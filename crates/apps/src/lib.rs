@@ -1,0 +1,52 @@
+//! # deltaos-apps — the paper's application workloads
+//!
+//! Everything the evaluation section (Section 5) runs:
+//!
+//! * [`jini`] — the Jini-lookup-inspired deadlock scenario of Table 4 /
+//!   Figure 15, driving the detection comparison of Table 5.
+//! * [`gdl`] — application example I (grant deadlock, Table 6 /
+//!   Figure 16), driving Table 7.
+//! * [`rdl`] — application example II (request deadlock, Table 8 /
+//!   Figure 17), driving Table 9.
+//! * [`robot`] — the robot-control + MPEG-decoder application of
+//!   Section 5.5 (Figures 19/20), driving Table 10.
+//! * [`splash`] — SPLASH-2-style LU / FFT / RADIX kernels with all
+//!   static arrays replaced by dynamic allocation, driving Tables 11
+//!   and 12.
+//!
+//! Each scenario module exposes an `install(&mut Kernel)` that spawns
+//! the paper's tasks with the paper's priorities and event ordering;
+//! the kernel configuration (RTOS1–RTOS7) decides which hardware/software
+//! RTOS components execute them.
+
+pub mod gdl;
+pub mod jini;
+pub mod livelock;
+pub mod rdl;
+pub mod robot;
+pub mod splash;
+
+/// Resource-index constants for the base platform's resource vector
+/// (`q1..q5` of Figure 10 / Section 5.1).
+pub mod res {
+    /// Video & image capture interface (q1).
+    pub const VI: usize = 0;
+    /// MPEG encoder/decoder (q2).
+    pub const MPEG: usize = 1;
+    /// DSP core (q3).
+    pub const DSP: usize = 2;
+    /// IDCT accelerator (q4 of the Section 5.1 base system).
+    pub const IDCT: usize = 3;
+    /// Wireless interface (q5).
+    pub const WI: usize = 4;
+
+    /// Generic aliases used by the Table 6/8 scenarios, which speak of
+    /// `q1..q4` without binding to concrete devices.
+    pub const Q1: usize = 0;
+    /// Second generic resource.
+    pub const Q2: usize = 1;
+    /// Third generic resource.
+    pub const Q3: usize = 2;
+    /// Fourth generic resource.
+    pub const Q4: usize = 3;
+}

@@ -1,0 +1,131 @@
+//! A livelock scenario (Definition 2 / Section 4.1): repeated G-dl
+//! denials starve a released resource until the DAU's livelock
+//! resolution asks a holder to shed.
+//!
+//! Construction: `p1` holds `q1` and cycles through release/re-acquire
+//! of `q2`; `p2` and `p3` wait for `q2` while holding `q3`/`q4` that
+//! each other (and `p1`) transitively need — every candidate grant of
+//! `q2` would close a cycle, so the resource keeps being denied
+//! (*"a request … repeatedly denied … while the resource is made
+//! available"*). The DAU detects the situation and issues a
+//! [`GiveUpReason::Livelock`] ask, after which the system drains.
+//!
+//! [`GiveUpReason::Livelock`]: deltaos_core::avoid::GiveUpReason
+
+use deltaos_core::Priority;
+use deltaos_mpsoc::pe::PeId;
+use deltaos_rtos::kernel::Kernel;
+use deltaos_rtos::task::{Action, Script};
+use deltaos_sim::SimTime;
+
+use crate::res;
+
+/// Installs the livelock-prone workload.
+///
+/// The decisive release happens when `p1` gives back `q2` while
+/// `p2` (waiting `q2`, holding `q3`, waiting-chain back through `p3`)
+/// and `p3` (waiting `q2`, holding `q4`) are both queued and both
+/// would G-dl:
+///
+/// * grant `q2`→`p2` closes `p2 → q4 → p3 → q2`? No — we wire it so
+///   `p2` waits on `q4` (held by `p3`) and `p3` waits on `q3` (held by
+///   `p2`)… that *would* already be an R-dl, so instead each waits on a
+///   resource the *other* will request later; the probe sees the cycle
+///   only when the temporary grant is marked. See the body scripts.
+pub fn install(k: &mut Kernel) {
+    // p1 (highest): takes q2, works, releases it — the release that
+    // exposes the livelock — then finishes with q1.
+    k.spawn(
+        "p1",
+        PeId(0),
+        Priority::new(1),
+        SimTime::ZERO,
+        Box::new(Script::new(vec![
+            Action::Request(res::Q1),
+            Action::Request(res::Q2),
+            Action::Compute(4_000),
+            Action::Release(res::Q2), // both waiters would G-dl here
+            Action::Compute(1_000),
+            Action::Release(res::Q1),
+            Action::End,
+        ])),
+    );
+    // p2: holds q3, waits q4 (held by p3), then wants q2.
+    k.spawn(
+        "p2",
+        PeId(1),
+        Priority::new(2),
+        SimTime::from_cycles(500),
+        Box::new(Script::new(vec![
+            Action::Request(res::Q3),
+            Action::Compute(500),
+            Action::Request(res::Q2), // queued behind p1
+            Action::Compute(300),
+            Action::Request(res::Q4), // waits on p3
+            Action::Compute(500),
+            Action::Release(res::Q2),
+            Action::Release(res::Q3),
+            Action::Release(res::Q4),
+            Action::End,
+        ])),
+    );
+    // p3: holds q4, waits q3 (held by p2), then wants q2.
+    k.spawn(
+        "p3",
+        PeId(2),
+        Priority::new(3),
+        SimTime::from_cycles(800),
+        Box::new(Script::new(vec![
+            Action::Request(res::Q4),
+            Action::Compute(500),
+            Action::Request(res::Q2), // queued behind p1 and p2
+            Action::Compute(300),
+            Action::Request(res::Q3), // waits on p2
+            Action::Compute(500),
+            Action::Release(res::Q2),
+            Action::Release(res::Q4),
+            Action::Release(res::Q3),
+            Action::End,
+        ])),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltaos_mpsoc::platform::PlatformConfig;
+    use deltaos_rtos::kernel::KernelConfig;
+    use deltaos_rtos::resman::ResPolicy;
+
+    fn run(policy: ResPolicy) -> (deltaos_rtos::RunReport, u64, u64) {
+        let mut k = Kernel::new(KernelConfig {
+            platform: PlatformConfig::small(),
+            res_policy: policy,
+            trace: true,
+            ..Default::default()
+        });
+        install(&mut k);
+        let r = k.run(Some(100_000_000));
+        let asks = k.stats().counter("res.giveup_asks");
+        let executed = k.stats().counter("res.giveups_executed");
+        (r, asks, executed)
+    }
+
+    #[test]
+    fn avoidance_resolves_the_tangle_and_finishes() {
+        for policy in [ResPolicy::AvoidSw, ResPolicy::AvoidHw] {
+            let (r, asks, executed) = run(policy);
+            assert!(r.all_finished, "{policy:?}: {r:?}");
+            assert!(asks >= 1, "{policy:?}: resolution must issue give-up asks");
+            assert!(executed >= 1);
+        }
+    }
+
+    #[test]
+    fn detection_policy_dies_on_the_same_workload() {
+        let (r, _, _) = run(ResPolicy::DetectHw);
+        // Without avoidance the plain grant ordering walks straight into
+        // the circular wait.
+        assert!(r.deadlock_at.is_some() || !r.all_finished);
+    }
+}

@@ -1,0 +1,147 @@
+//! Application example II (Section 5.4.3, Table 8, Figure 17): the
+//! **request deadlock** scenario for the Table 9 comparison.
+//!
+//! Resource needs: `p1` → {q1, q2}, `p2` → {q2, q3}, `p3` → {q3, q1}.
+//!
+//! * `t1`–`t3` — each process acquires its first resource.
+//! * `t4` — `p2` requests q3 (held by `p3`): pending, no R-dl.
+//! * `t5` — `p3` requests q1 (held by `p1`): pending, no R-dl.
+//! * `t6` — `p1` requests q2: would close the 3-cycle — **R-dl**. The
+//!   avoider parks the request and, since `p1` outranks the owner `p2`,
+//!   asks `p2` to give up q2.
+//! * `t7` — `p2` releases q2 (and re-requests it); q2 goes to `p1`.
+//! * `t8` — `p1` uses and releases q1+q2; q1 → `p3`, q2 → `p2`.
+//! * `t9` — `p3` uses and releases q1+q3; q3 → `p2`.
+//! * `t10` — `p2` finishes; the application completes.
+//!
+//! 14 algorithm invocations: 6 requests + 6 releases + the give-up
+//! release and its re-request — exactly the paper's count.
+
+use deltaos_core::Priority;
+use deltaos_mpsoc::pe::PeId;
+use deltaos_rtos::kernel::Kernel;
+use deltaos_rtos::task::{Action, Script};
+use deltaos_sim::SimTime;
+
+use crate::res;
+
+/// Scenario start times (bus cycles).
+pub mod times {
+    /// `p1` starts (t1).
+    pub const T1: u64 = 0;
+    /// `p2` starts (t2).
+    pub const T2: u64 = 1_000;
+    /// `p3` starts (t3).
+    pub const T3: u64 = 2_000;
+}
+
+/// Installs the three tasks of the R-dl scenario. Use an avoidance
+/// policy; everything must finish.
+pub fn install(k: &mut Kernel) {
+    // p1 needs q1 then q2; its q2 request at ~t6 triggers the R-dl.
+    k.spawn(
+        "p1",
+        PeId(0),
+        Priority::new(1),
+        SimTime::from_cycles(times::T1),
+        Box::new(Script::new(vec![
+            Action::Request(res::Q1), // t1
+            Action::Compute(6_000),
+            Action::Request(res::Q2), // t6: R-dl
+            Action::Compute(3_000),   // t7..t8: uses q1 + q2
+            Action::Release(res::Q1), // t8
+            Action::Release(res::Q2),
+            Action::End,
+        ])),
+    );
+    // p2 needs q2 then q3.
+    k.spawn(
+        "p2",
+        PeId(1),
+        Priority::new(2),
+        SimTime::from_cycles(times::T2),
+        Box::new(Script::new(vec![
+            Action::Request(res::Q2), // t2
+            Action::Compute(2_000),
+            Action::Request(res::Q3), // t4: pending
+            Action::Compute(3_000),   // t9..t10: uses q2 + q3
+            Action::Release(res::Q2), // t10
+            Action::Release(res::Q3),
+            Action::End,
+        ])),
+    );
+    // p3 needs q3 then q1.
+    k.spawn(
+        "p3",
+        PeId(2),
+        Priority::new(3),
+        SimTime::from_cycles(times::T3),
+        Box::new(Script::new(vec![
+            Action::Request(res::Q3), // t3
+            Action::Compute(2_500),
+            Action::Request(res::Q1), // t5: pending
+            Action::Compute(3_000),   // t8..t9: uses q1 + q3
+            Action::Release(res::Q3), // t9
+            Action::Release(res::Q1),
+            Action::End,
+        ])),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltaos_mpsoc::platform::PlatformConfig;
+    use deltaos_rtos::kernel::KernelConfig;
+    use deltaos_rtos::resman::ResPolicy;
+
+    fn run(policy: ResPolicy) -> (deltaos_rtos::RunReport, u64, u64, u64) {
+        let mut k = Kernel::new(KernelConfig {
+            platform: PlatformConfig::small(),
+            res_policy: policy,
+            trace: true,
+            ..Default::default()
+        });
+        install(&mut k);
+        let r = k.run(Some(10_000_000));
+        let (inv, cyc) = k.resource_service().unwrap().algo_stats();
+        let asks = k.stats().counter("res.giveup_asks");
+        (r, inv, cyc, asks)
+    }
+
+    #[test]
+    fn avoidance_completes_with_a_giveup() {
+        for policy in [ResPolicy::AvoidSw, ResPolicy::AvoidHw] {
+            let (r, _, _, asks) = run(policy);
+            assert!(r.all_finished, "{policy:?}: {r:?}");
+            assert!(asks >= 1, "the t6 R-dl must trigger a give-up ask");
+        }
+    }
+
+    #[test]
+    fn fourteen_algorithm_invocations() {
+        let (_, inv, _, _) = run(ResPolicy::AvoidHw);
+        assert_eq!(
+            inv, 14,
+            "6 requests + 6 releases + give-up release + re-request"
+        );
+    }
+
+    #[test]
+    fn detection_policy_confirms_the_rdl_without_avoidance() {
+        let (r, _, _, _) = run(ResPolicy::DetectSw);
+        assert!(
+            r.deadlock_at.is_some(),
+            "without the DAU, t6 closes a real deadlock"
+        );
+    }
+
+    #[test]
+    fn hardware_beats_software_avoidance() {
+        let (sw, _, sw_algo, _) = run(ResPolicy::AvoidSw);
+        let (hw, _, hw_algo, _) = run(ResPolicy::AvoidHw);
+        assert!(sw.all_finished && hw.all_finished);
+        assert!(sw.app_time() > hw.app_time());
+        assert!(sw_algo > 20 * hw_algo);
+    }
+}

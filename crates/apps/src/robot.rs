@@ -1,0 +1,248 @@
+//! The robot-control + MPEG-decoder application of Section 5.5
+//! (Figure 19, Figure 20, Table 10): the RTOS5-vs-RTOS6 lock study.
+//!
+//! Five tasks (priorities follow the paper; smaller = more urgent):
+//!
+//! | task | PE | priority | role | WCRT |
+//! |---|---|---|---|---|
+//! | task1 | PE1 | 1 | object recognition + obstacle avoidance | 250 µs |
+//! | task2 | PE2 | 2 | robot motion | 300 µs |
+//! | task3 | PE2 | 3 | trajectory display | 300 µs |
+//! | task4 | PE3 | 4 | trajectory recording | 600 µs |
+//! | task5 | PE4 | 5 | MPEG decoder (soft) | — |
+//!
+//! task1/task2/task3 share the **position-data lock** (`L0`); task4 and
+//! task5 share the **frame-buffer lock** (`L1`). Each task runs several
+//! sense→CS→act rounds, so the run exercises many lock hand-offs: the
+//! Table 10 metrics (lock latency, lock delay, overall execution time)
+//! are averaged over all of them. Figure 20's schedule — task3 inside
+//! its CS not being preempted by task2 under IPCP — reproduces on PE2.
+
+use deltaos_core::Priority;
+use deltaos_mpsoc::pe::PeId;
+use deltaos_rtos::kernel::Kernel;
+use deltaos_rtos::lock::LockId;
+use deltaos_rtos::task::{Action, ActionResult, TaskBody};
+use deltaos_sim::SimTime;
+
+/// The position-data lock (task1/task2/task3).
+pub const POSITION_LOCK: LockId = LockId(0);
+/// The frame-buffer lock (task4/task5).
+pub const FRAME_LOCK: LockId = LockId(1);
+
+/// A task running `rounds` iterations of
+/// `Compute(pre) → Lock → Compute(cs) → Unlock → Compute(post)`.
+#[derive(Debug, Clone)]
+pub struct CsRounds {
+    lock: LockId,
+    rounds: u32,
+    pre: u64,
+    cs: u64,
+    post: u64,
+    round: u32,
+    phase: u8,
+}
+
+impl CsRounds {
+    /// Builds the body.
+    pub fn new(lock: LockId, rounds: u32, pre: u64, cs: u64, post: u64) -> Self {
+        CsRounds {
+            lock,
+            rounds,
+            pre,
+            cs,
+            post,
+            round: 0,
+            phase: 0,
+        }
+    }
+}
+
+impl TaskBody for CsRounds {
+    fn step(&mut self, _last: &ActionResult) -> Action {
+        if self.round >= self.rounds {
+            return Action::End;
+        }
+        let action = match self.phase {
+            0 => Action::Compute(self.pre),
+            1 => Action::Lock(self.lock),
+            2 => Action::Compute(self.cs),
+            3 => Action::Unlock(self.lock),
+            _ => Action::Compute(self.post),
+        };
+        self.phase += 1;
+        if self.phase == 5 {
+            self.phase = 0;
+            self.round += 1;
+        }
+        action
+    }
+}
+
+/// Installs the five robot tasks. Program the lock ceilings first for the
+/// IPCP (SoCLC) configuration — [`set_ceilings`] does it.
+pub fn install(k: &mut Kernel) {
+    // task1: hard real-time sensing; contends hardest on the position
+    // lock. Sensor CSes are short — lock overhead, not CS length,
+    // dominates the hand-off (as in the paper's 1.75× lock delay).
+    k.spawn(
+        "task1",
+        PeId(0),
+        Priority::new(1),
+        SimTime::from_cycles(600),
+        Box::new(CsRounds::new(POSITION_LOCK, 24, 120, 600, 180)),
+    );
+    // task2: motion control, shares PE2 with task3.
+    k.spawn(
+        "task2",
+        PeId(1),
+        Priority::new(2),
+        SimTime::from_cycles(900),
+        Box::new(CsRounds::new(POSITION_LOCK, 24, 160, 500, 140)),
+    );
+    // task3: display, lowest of the position-lock users; its CS is where
+    // Figure 20's inheritance/ceiling story plays out.
+    k.spawn(
+        "task3",
+        PeId(1),
+        Priority::new(3),
+        SimTime::ZERO,
+        Box::new(CsRounds::new(POSITION_LOCK, 24, 80, 700, 110)),
+    );
+    // task4: recording, soft.
+    k.spawn(
+        "task4",
+        PeId(2),
+        Priority::new(4),
+        SimTime::ZERO,
+        Box::new(CsRounds::new(FRAME_LOCK, 16, 200, 500, 320)),
+    );
+    // task5: MPEG decoder, lowest priority.
+    k.spawn(
+        "task5",
+        PeId(3),
+        Priority::new(5),
+        SimTime::ZERO,
+        Box::new(CsRounds::new(FRAME_LOCK, 12, 300, 450, 600)),
+    );
+}
+
+/// Programs the IPCP ceilings: each lock's ceiling is its highest user.
+pub fn set_ceilings(k: &mut Kernel) {
+    k.locks_mut().set_ceiling(POSITION_LOCK, Priority::new(1));
+    k.locks_mut().set_ceiling(FRAME_LOCK, Priority::new(4));
+}
+
+/// The Table 10 metrics extracted from a finished run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LockMetrics {
+    /// Mean uncontended acquire time (cycles).
+    pub lock_latency: f64,
+    /// Mean blocked-until-acquired time under contention (cycles).
+    pub lock_delay: f64,
+    /// 95th-percentile lock delay (cycles) — the predictability story.
+    pub delay_p95: u64,
+    /// Application completion time (cycles).
+    pub overall: u64,
+}
+
+/// Runs the robot app on `k` and extracts the Table 10 metrics.
+///
+/// # Panics
+///
+/// Panics if the application fails to finish (it always should).
+pub fn run_and_measure(mut k: Kernel) -> LockMetrics {
+    install(&mut k);
+    let report = k.run(Some(50_000_000));
+    assert!(report.all_finished, "robot app must finish: {report:?}");
+    let latency = k
+        .stats()
+        .aggregate("lock.latency")
+        .and_then(|a| a.mean())
+        .expect("uncontended acquires happened");
+    let delay = k
+        .stats()
+        .aggregate("lock.delay")
+        .and_then(|a| a.mean())
+        .unwrap_or(0.0);
+    let delay_p95 = k
+        .stats()
+        .histogram("lock.delay")
+        .map(|h| h.percentile(0.95))
+        .unwrap_or(0);
+    LockMetrics {
+        lock_latency: latency,
+        lock_delay: delay,
+        delay_p95,
+        overall: report.app_time().cycles(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltaos_mpsoc::platform::PlatformConfig;
+    use deltaos_rtos::kernel::{KernelConfig, LockSetup};
+    use deltaos_rtos::resman::ResPolicy;
+
+    fn kernel(locks: LockSetup) -> Kernel {
+        let mut k = Kernel::new(KernelConfig {
+            platform: PlatformConfig::small(),
+            res_policy: ResPolicy::NoDeadlockSupport,
+            locks,
+            ..Default::default()
+        });
+        if let LockSetup::Soclc { .. } = locks {
+            set_ceilings(&mut k);
+        }
+        k
+    }
+
+    #[test]
+    fn both_configurations_finish() {
+        for locks in [
+            LockSetup::Software { count: 4 },
+            LockSetup::Soclc { short: 2, long: 2 },
+        ] {
+            let m = run_and_measure(kernel(locks));
+            assert!(m.overall > 10_000);
+            assert!(m.lock_latency > 0.0);
+        }
+    }
+
+    #[test]
+    fn soclc_improves_all_three_metrics() {
+        let sw = run_and_measure(kernel(LockSetup::Software { count: 4 }));
+        let hw = run_and_measure(kernel(LockSetup::Soclc { short: 2, long: 2 }));
+        assert!(
+            hw.lock_latency < sw.lock_latency,
+            "latency hw {} vs sw {}",
+            hw.lock_latency,
+            sw.lock_latency
+        );
+        assert!(
+            hw.lock_delay < sw.lock_delay,
+            "delay hw {} vs sw {}",
+            hw.lock_delay,
+            sw.lock_delay
+        );
+        assert!(
+            hw.overall < sw.overall,
+            "overall hw {} vs sw {}",
+            hw.overall,
+            sw.overall
+        );
+    }
+
+    #[test]
+    fn cs_rounds_body_cycles_through_phases() {
+        let mut b = CsRounds::new(POSITION_LOCK, 1, 10, 20, 30);
+        let r = ActionResult::Done;
+        assert_eq!(b.step(&r), Action::Compute(10));
+        assert_eq!(b.step(&r), Action::Lock(POSITION_LOCK));
+        assert_eq!(b.step(&r), Action::Compute(20));
+        assert_eq!(b.step(&r), Action::Unlock(POSITION_LOCK));
+        assert_eq!(b.step(&r), Action::Compute(30));
+        assert_eq!(b.step(&r), Action::End);
+    }
+}

@@ -1,0 +1,234 @@
+//! Complex 1-D FFT (SPLASH-2 "FFT"), dynamic-allocation variant.
+//!
+//! Iterative radix-2 decimation-in-time FFT over split real/imaginary
+//! arrays. The butterfly work of every stage proceeds in cache-sized
+//! chunks, each staging its twiddle products through a dynamically
+//! allocated scratch buffer — the `malloc`-heavy access pattern of the
+//! paper's modified benchmark (FFT has the highest memory-management
+//! share in Table 11: 27 %).
+
+use std::f64::consts::PI;
+
+use super::tape::{Tape, TapeBuilder};
+use super::OpCounter;
+
+/// Deterministic test signal: a couple of tones plus pseudo-noise.
+pub fn generate_signal(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut re = Vec::with_capacity(n);
+    let mut im = Vec::with_capacity(n);
+    let mut state = seed | 1;
+    for k in 0..n {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        let x = k as f64 / n as f64;
+        re.push((2.0 * PI * 5.0 * x).sin() + 0.5 * (2.0 * PI * 17.0 * x).cos() + 0.1 * noise);
+        im.push(0.0);
+    }
+    (re, im)
+}
+
+/// O(n²) reference DFT — the correctness oracle.
+pub fn dft_naive(re: &[f64], im: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = re.len();
+    let mut or = vec![0.0; n];
+    let mut oi = vec![0.0; n];
+    for (k, (orr, oii)) in or.iter_mut().zip(oi.iter_mut()).enumerate() {
+        for t in 0..n {
+            let ang = -2.0 * PI * (k * t) as f64 / n as f64;
+            let (s, c) = ang.sin_cos();
+            *orr += re[t] * c - im[t] * s;
+            *oii += re[t] * s + im[t] * c;
+        }
+    }
+    (or, oi)
+}
+
+/// In-place iterative radix-2 FFT, counting operations into `ops` and
+/// recording per-chunk scratch allocations into `tape`.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two and `chunk` divides `n`.
+pub fn fft_in_place(
+    re: &mut [f64],
+    im: &mut [f64],
+    chunk: usize,
+    ops: &mut OpCounter,
+    mut tape: Option<&mut TapeBuilder>,
+) {
+    let n = re.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    assert_eq!(re.len(), im.len());
+    assert!(chunk > 0 && n.is_multiple_of(chunk), "chunk must divide n");
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+            ops.mem += 4;
+            ops.iops += 2;
+        }
+    }
+    if let Some(t) = tape.as_deref_mut() {
+        t.compute(ops.take_cycles());
+    }
+
+    // log2(n) butterfly stages. The arithmetic is the canonical radix-2
+    // loop; the *attribution* groups every `chunk/2` butterflies into
+    // one phase that stages through a freshly allocated scratch buffer
+    // (the SPLASH modification's allocation pattern).
+    let flush_every = (chunk / 2).max(1);
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * PI / len as f64;
+        let mut slot = tape.as_deref_mut().map(|t| t.alloc((chunk * 16) as u32));
+        let mut pending = 0usize;
+        for start in (0..n).step_by(len) {
+            for k in 0..len / 2 {
+                let (s, c) = (ang * k as f64).sin_cos();
+                let a = start + k;
+                let b = a + len / 2;
+                let xr = re[b] * c - im[b] * s;
+                let xi = re[b] * s + im[b] * c;
+                re[b] = re[a] - xr;
+                im[b] = im[a] - xi;
+                re[a] += xr;
+                im[a] += xi;
+                ops.flops += 10;
+                ops.mem += 8;
+                ops.iops += 2;
+                pending += 1;
+                if pending >= flush_every {
+                    if let Some(t) = tape.as_deref_mut() {
+                        t.compute(ops.take_cycles());
+                        t.free(slot.take().expect("open phase"));
+                        slot = Some(t.alloc((chunk * 16) as u32));
+                    }
+                    pending = 0;
+                }
+            }
+        }
+        if let Some(t) = tape.as_deref_mut() {
+            t.compute(ops.take_cycles());
+            t.free(slot.take().expect("open phase"));
+        }
+        len <<= 1;
+    }
+}
+
+/// The straightforward (un-chunk-attributed) FFT used as the functional
+/// reference and by [`build_tape`] for the actual numbers.
+pub fn fft_reference(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert!(n.is_power_of_two());
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = ((i as u32).reverse_bits() >> (32 - bits)) as usize;
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * PI / len as f64;
+        for start in (0..n).step_by(len) {
+            for k in 0..len / 2 {
+                let (s, c) = (ang * k as f64).sin_cos();
+                let a = start + k;
+                let b = a + len / 2;
+                let xr = re[b] * c - im[b] * s;
+                let xi = re[b] * s + im[b] * c;
+                re[b] = re[a] - xr;
+                im[b] = im[a] - xi;
+                re[a] += xr;
+                im[a] += xi;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Builds the benchmark tape: the *reference* FFT provides the numbers
+/// (and is verified against the naive DFT); the tape records the
+/// chunked allocation pattern with op counts attributed per chunk.
+pub fn build_tape(n: usize, chunk: usize, seed: u64) -> Tape {
+    let (mut re, mut im) = generate_signal(n, seed);
+    let mut tb = TapeBuilder::new();
+    // The input arrays themselves are dynamic (the SPLASH modification).
+    let re_slot = tb.alloc((n * 8) as u32);
+    let im_slot = tb.alloc((n * 8) as u32);
+    let mut ops = OpCounter::new();
+    fft_in_place(&mut re, &mut im, chunk, &mut ops, Some(&mut tb));
+    tb.compute(ops.take_cycles());
+    tb.free(re_slot);
+    tb.free(im_slot);
+    tb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_fft_matches_naive_dft() {
+        let n = 64;
+        let (re0, im0) = generate_signal(n, 11);
+        let (dr, di) = dft_naive(&re0, &im0);
+        let mut re = re0.clone();
+        let mut im = im0.clone();
+        fft_reference(&mut re, &mut im);
+        for k in 0..n {
+            assert!(
+                (re[k] - dr[k]).abs() < 1e-6 && (im[k] - di[k]).abs() < 1e-6,
+                "bin {k}: fft ({}, {}) vs dft ({}, {})",
+                re[k],
+                im[k],
+                dr[k],
+                di[k]
+            );
+        }
+    }
+
+    #[test]
+    fn instrumented_fft_matches_reference() {
+        let n = 256;
+        let (re0, im0) = generate_signal(n, 5);
+        let mut r1 = re0.clone();
+        let mut i1 = im0.clone();
+        fft_reference(&mut r1, &mut i1);
+        let mut r2 = re0;
+        let mut i2 = im0;
+        let mut ops = OpCounter::new();
+        fft_in_place(&mut r2, &mut i2, n, &mut ops, None);
+        for k in 0..n {
+            assert!(
+                (r1[k] - r2[k]).abs() < 1e-9 && (i1[k] - i2[k]).abs() < 1e-9,
+                "bin {k} diverges"
+            );
+        }
+        assert!(ops.flops > 0);
+    }
+
+    #[test]
+    fn tape_scales_with_chunking() {
+        let coarse = build_tape(1024, 512, 1);
+        let fine = build_tape(1024, 128, 1);
+        assert!(fine.alloc_count() > coarse.alloc_count());
+        assert!(fine.compute_cycles() > 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut re = vec![0.0; 12];
+        let mut im = vec![0.0; 12];
+        fft_in_place(&mut re, &mut im, 4, &mut OpCounter::new(), None);
+    }
+}

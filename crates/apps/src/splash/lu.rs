@@ -1,0 +1,233 @@
+//! Blocked LU decomposition (SPLASH-2 "LU"), dynamic-allocation variant.
+//!
+//! Right-looking blocked LU without pivoting (inputs are generated
+//! diagonally dominant, as the SPLASH kernel assumes). The trailing
+//! update of each block step works tile by tile through a dynamically
+//! allocated workspace — that per-tile `malloc`/`free` traffic is what
+//! the paper's modified benchmark measures.
+
+use super::tape::{Tape, TapeBuilder};
+use super::OpCounter;
+
+/// Deterministic diagonally dominant test matrix (row-major n×n).
+pub fn generate_matrix(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut a = vec![0.0; n * n];
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..n {
+            let v = next() - 0.5;
+            a[i * n + j] = v;
+            row_sum += v.abs();
+        }
+        a[i * n + i] = row_sum + 1.0; // strict diagonal dominance
+    }
+    a
+}
+
+/// In-place unblocked LU (the correctness oracle): `A = L·U` with unit
+/// lower diagonal, both factors stored in `a`.
+pub fn lu_factor_unblocked(a: &mut [f64], n: usize) {
+    for k in 0..n {
+        let pivot = a[k * n + k];
+        for i in k + 1..n {
+            a[i * n + k] /= pivot;
+            let lik = a[i * n + k];
+            for j in k + 1..n {
+                a[i * n + j] -= lik * a[k * n + j];
+            }
+        }
+    }
+}
+
+/// In-place blocked LU with block size `bs`, counting operations into
+/// `ops` and (optionally) recording per-tile allocation phases into
+/// `tape`.
+///
+/// # Panics
+///
+/// Panics unless `bs` divides `n`.
+pub fn lu_factor_blocked(
+    a: &mut [f64],
+    n: usize,
+    bs: usize,
+    ops: &mut OpCounter,
+    mut tape: Option<&mut TapeBuilder>,
+) {
+    assert!(n.is_multiple_of(bs) && bs > 0, "block size must divide n");
+    for kb in (0..n).step_by(bs) {
+        let kend = kb + bs;
+        // 1. Factor the panel A[kb.., kb..kend] (unblocked within).
+        for k in kb..kend {
+            let pivot = a[k * n + k];
+            for i in k + 1..n {
+                a[i * n + k] /= pivot;
+                ops.flops += 1;
+                ops.mem += 2;
+                let lik = a[i * n + k];
+                for j in k + 1..kend {
+                    a[i * n + j] -= lik * a[k * n + j];
+                    ops.flops += 2;
+                    ops.mem += 3;
+                }
+            }
+        }
+        if let Some(t) = tape.as_deref_mut() {
+            t.compute(ops.take_cycles());
+        }
+        // 2. Compute the U12 row panel: A[kb..kend, kend..n] ←
+        //    L11⁻¹·A12 (triangular solve).
+        for k in kb..kend {
+            for i in k + 1..kend {
+                let lik = a[i * n + k];
+                for j in kend..n {
+                    a[i * n + j] -= lik * a[k * n + j];
+                    ops.flops += 2;
+                    ops.mem += 3;
+                }
+            }
+        }
+        if let Some(t) = tape.as_deref_mut() {
+            t.compute(ops.take_cycles());
+        }
+        // 3. Trailing update A22 -= L21·U12, tile by tile; each tile
+        //    works through a dynamically allocated bs×bs workspace (the
+        //    SPLASH modification).
+        for ib in (kend..n).step_by(bs) {
+            for jb in (kend..n).step_by(bs) {
+                let slot = tape.as_deref_mut().map(|t| t.alloc((bs * bs * 8) as u32));
+                for i in ib..ib + bs {
+                    for j in jb..jb + bs {
+                        let mut acc = 0.0;
+                        for k in kb..kend {
+                            acc += a[i * n + k] * a[k * n + j];
+                            ops.flops += 2;
+                            ops.mem += 2;
+                        }
+                        a[i * n + j] -= acc;
+                        ops.flops += 1;
+                        ops.mem += 2;
+                    }
+                }
+                if let Some(t) = tape.as_deref_mut() {
+                    t.compute(ops.take_cycles());
+                    t.free(slot.expect("slot allocated above"));
+                }
+            }
+        }
+    }
+}
+
+/// Builds the benchmark tape: generate, factor blocked, with the
+/// workspace alloc/free pattern recorded.
+pub fn build_tape(n: usize, bs: usize, seed: u64) -> Tape {
+    let mut a = generate_matrix(n, seed);
+    let mut ops = OpCounter::new();
+    let mut tb = TapeBuilder::new();
+    // The matrix itself is dynamically allocated up front and freed at
+    // the end, as in the modified benchmark.
+    let matrix_slot = tb.alloc((n * n * 8) as u32);
+    lu_factor_blocked(&mut a, n, bs, &mut ops, Some(&mut tb));
+    tb.compute(ops.take_cycles());
+    tb.free(matrix_slot);
+    tb.finish()
+}
+
+/// Max |(L·U) − A₀| over all entries — the verification metric.
+pub fn reconstruction_error(factored: &[f64], original: &[f64], n: usize) -> f64 {
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            let kmax = i.min(j + 1);
+            for k in 0..kmax {
+                acc += factored[i * n + k] * factored[k * n + j];
+            }
+            // L has unit diagonal; U contributes when i <= j.
+            acc += if i <= j { factored[i * n + j] } else { 0.0 };
+            worst = worst.max((acc - original[i * n + j]).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocked_matches_unblocked() {
+        let n = 32;
+        let original = generate_matrix(n, 7);
+        let mut ub = original.clone();
+        lu_factor_unblocked(&mut ub, n);
+        let mut bl = original.clone();
+        let mut ops = OpCounter::new();
+        lu_factor_blocked(&mut bl, n, 8, &mut ops, None);
+        for (x, y) in ub.iter().zip(&bl) {
+            assert!((x - y).abs() < 1e-9, "blocked and unblocked diverge");
+        }
+        assert!(ops.flops > 0);
+    }
+
+    #[test]
+    fn factorization_reconstructs_the_input() {
+        let n = 24;
+        let original = generate_matrix(n, 3);
+        let mut f = original.clone();
+        let mut ops = OpCounter::new();
+        lu_factor_blocked(&mut f, n, 8, &mut ops, None);
+        let err = reconstruction_error(&f, &original, n);
+        assert!(err < 1e-8, "L·U must reproduce A, max err {err}");
+    }
+
+    #[test]
+    fn flop_count_scales_cubically() {
+        let count = |n: usize| {
+            let mut a = generate_matrix(n, 1);
+            let mut ops = OpCounter::new();
+            lu_factor_blocked(&mut a, n, 8, &mut ops, None);
+            ops.flops
+        };
+        let f16 = count(16);
+        let f32v = count(32);
+        let ratio = f32v as f64 / f16 as f64;
+        assert!(
+            (6.0..10.0).contains(&ratio),
+            "doubling n should ~8x the flops, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn tape_has_per_tile_allocations() {
+        let t = build_tape(64, 16, 1);
+        // Trailing tiles: sum over kb of ((n-kend)/bs)^2 = 9+4+1+0 = 14,
+        // plus the matrix itself.
+        assert_eq!(t.alloc_count(), 15);
+        assert!(t.compute_cycles() > 100_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn bad_block_size_rejected() {
+        let mut a = generate_matrix(10, 1);
+        let mut ops = OpCounter::new();
+        lu_factor_blocked(&mut a, 10, 3, &mut ops, None);
+    }
+
+    #[test]
+    fn matrix_is_diagonally_dominant() {
+        let n = 16;
+        let a = generate_matrix(n, 9);
+        for i in 0..n {
+            let off: f64 = (0..n).filter(|&j| j != i).map(|j| a[i * n + j].abs()).sum();
+            assert!(a[i * n + i] > off, "row {i} not dominant");
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Execution tapes: replaying an instrumented kernel run as an RTOS task.
+
+use deltaos_rtos::task::{Action, ActionResult, TaskBody};
+
+/// One tape entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapeOp {
+    /// Allocate `bytes`, remembering the address in `slot`.
+    Alloc {
+        /// Address slot filled by the allocation.
+        slot: usize,
+        /// Requested size.
+        bytes: u32,
+    },
+    /// Free the address stored in `slot`.
+    Free {
+        /// Slot to free.
+        slot: usize,
+    },
+    /// Computation stretch (cycles from the kernel's op counter).
+    Compute(u64),
+}
+
+/// A replayable tape of allocations, computation and frees.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_apps::splash::tape::{Tape, TapeOp};
+///
+/// let t = Tape::new(vec![
+///     TapeOp::Alloc { slot: 0, bytes: 1024 },
+///     TapeOp::Compute(5_000),
+///     TapeOp::Free { slot: 0 },
+/// ], 1);
+/// assert_eq!(t.alloc_count(), 1);
+/// assert_eq!(t.compute_cycles(), 5_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tape {
+    ops: Vec<TapeOp>,
+    addrs: Vec<Option<u32>>,
+    pos: usize,
+    pending_slot: Option<usize>,
+}
+
+impl Tape {
+    /// Builds a tape over `slots` address slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any op references a slot `>= slots`.
+    pub fn new(ops: Vec<TapeOp>, slots: usize) -> Self {
+        for op in &ops {
+            match op {
+                TapeOp::Alloc { slot, .. } | TapeOp::Free { slot } => {
+                    assert!(*slot < slots, "slot {slot} out of range ({slots})");
+                }
+                TapeOp::Compute(_) => {}
+            }
+        }
+        Tape {
+            ops,
+            addrs: vec![None; slots],
+            pos: 0,
+            pending_slot: None,
+        }
+    }
+
+    /// Number of allocations on the tape.
+    pub fn alloc_count(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, TapeOp::Alloc { .. }))
+            .count() as u64
+    }
+
+    /// Total computation cycles on the tape.
+    pub fn compute_cycles(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|o| match o {
+                TapeOp::Compute(c) => *c,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total bytes requested across all allocations.
+    pub fn bytes_allocated(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|o| match o {
+                TapeOp::Alloc { bytes, .. } => *bytes as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+impl TaskBody for Tape {
+    fn step(&mut self, last: &ActionResult) -> Action {
+        match last {
+            ActionResult::Allocated(addr) => {
+                let slot = self
+                    .pending_slot
+                    .take()
+                    .expect("Allocated result without a pending slot");
+                self.addrs[slot] = Some(*addr);
+            }
+            ActionResult::AllocFailed => {
+                panic!("tape allocation failed: heap under-sized for the benchmark")
+            }
+            _ => {}
+        }
+        let Some(op) = self.ops.get(self.pos).copied() else {
+            return Action::End;
+        };
+        self.pos += 1;
+        match op {
+            TapeOp::Alloc { slot, bytes } => {
+                self.pending_slot = Some(slot);
+                Action::Alloc(bytes)
+            }
+            TapeOp::Free { slot } => {
+                let addr = self.addrs[slot]
+                    .take()
+                    .unwrap_or_else(|| panic!("free of empty slot {slot}"));
+                Action::Free(addr)
+            }
+            TapeOp::Compute(c) => Action::Compute(c),
+        }
+    }
+}
+
+/// Helper for tape builders: tracks the next fresh slot.
+#[derive(Debug, Default)]
+pub struct TapeBuilder {
+    ops: Vec<TapeOp>,
+    slots: usize,
+}
+
+impl TapeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TapeBuilder::default()
+    }
+
+    /// Appends an allocation, returning its slot.
+    pub fn alloc(&mut self, bytes: u32) -> usize {
+        let slot = self.slots;
+        self.slots += 1;
+        self.ops.push(TapeOp::Alloc { slot, bytes });
+        slot
+    }
+
+    /// Appends a free of `slot`.
+    pub fn free(&mut self, slot: usize) {
+        self.ops.push(TapeOp::Free { slot });
+    }
+
+    /// Appends a computation stretch (zero-cycle stretches are dropped).
+    pub fn compute(&mut self, cycles: u64) {
+        if cycles > 0 {
+            self.ops.push(TapeOp::Compute(cycles));
+        }
+    }
+
+    /// Finalizes the tape.
+    pub fn finish(self) -> Tape {
+        Tape::new(self.ops, self.slots.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tape_replays_alloc_compute_free() {
+        let mut t = Tape::new(
+            vec![
+                TapeOp::Alloc { slot: 0, bytes: 64 },
+                TapeOp::Compute(100),
+                TapeOp::Free { slot: 0 },
+            ],
+            1,
+        );
+        assert_eq!(t.step(&ActionResult::Started), Action::Alloc(64));
+        assert_eq!(
+            t.step(&ActionResult::Allocated(0x2000)),
+            Action::Compute(100)
+        );
+        assert_eq!(t.step(&ActionResult::Done), Action::Free(0x2000));
+        assert_eq!(t.step(&ActionResult::Done), Action::End);
+    }
+
+    #[test]
+    #[should_panic(expected = "heap under-sized")]
+    fn alloc_failure_panics() {
+        let mut t = Tape::new(vec![TapeOp::Compute(1)], 1);
+        t.step(&ActionResult::AllocFailed);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_slot_rejected() {
+        Tape::new(vec![TapeOp::Free { slot: 3 }], 1);
+    }
+
+    #[test]
+    fn builder_assigns_fresh_slots() {
+        let mut b = TapeBuilder::new();
+        let s0 = b.alloc(10);
+        b.compute(5);
+        b.compute(0); // dropped
+        let s1 = b.alloc(20);
+        b.free(s0);
+        b.free(s1);
+        let t = b.finish();
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(t.alloc_count(), 2);
+        assert_eq!(t.compute_cycles(), 5);
+        assert_eq!(t.bytes_allocated(), 30);
+    }
+}

@@ -1,0 +1,292 @@
+//! Ablation studies for the design choices DESIGN.md §6 calls out:
+//!
+//! 1. the G-dl dodge (grant-to-lower-priority) — measured as completion
+//!    rate of random workloads under avoidance vs plain highest-priority
+//!    granting with detection only;
+//! 2. the R-dl victim policy (Algorithm 3's priority rule vs
+//!    always-owner vs always-requester);
+//! 3. first-fit vs best-fit in the software allocator under
+//!    fragmentation;
+//! 4. SoCLC vs software locks as PE count grows.
+//!
+//! (Ablation 5, bit-plane packing, is a criterion bench:
+//! `cargo bench -p deltaos-bench -- detection_scaling`.)
+
+use deltaos_bench::print_table;
+use deltaos_core::avoid::{Avoider, FastProbe, RdlVictimPolicy};
+use deltaos_core::{Priority, ProcId, ResId};
+use deltaos_mpsoc::pe::PeId;
+use deltaos_mpsoc::platform::PlatformConfig;
+use deltaos_rtos::kernel::{Kernel, KernelConfig, LockSetup};
+use deltaos_rtos::lock::LockId;
+use deltaos_rtos::mem::{AllocOutcome, FitPolicy, SwAllocator};
+use deltaos_rtos::resman::ResPolicy;
+use deltaos_rtos::task::{Action, Script};
+use deltaos_sim::SimTime;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random well-formed task script over `resources`.
+fn random_script(rng: &mut StdRng, resources: usize) -> Vec<Action> {
+    let take: usize = rng.gen_range(1..=3.min(resources));
+    let mut rs: Vec<usize> = (0..resources).collect();
+    rs.shuffle(rng);
+    rs.truncate(take);
+    let mut actions = Vec::new();
+    for &r in &rs {
+        actions.push(Action::Compute(rng.gen_range(200..2_000)));
+        actions.push(Action::Request(r));
+    }
+    actions.push(Action::Compute(rng.gen_range(500..3_000)));
+    rs.shuffle(rng);
+    for &r in &rs {
+        actions.push(Action::Release(r));
+    }
+    actions.push(Action::End);
+    actions
+}
+
+fn random_workload_kernel(seed: u64, policy: ResPolicy) -> Kernel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut k = Kernel::new(KernelConfig {
+        platform: PlatformConfig::small(),
+        res_policy: policy,
+        ..Default::default()
+    });
+    for pe in 0..4u8 {
+        let script = random_script(&mut rng, 5);
+        k.spawn(
+            format!("t{pe}"),
+            PeId(pe),
+            Priority::new(pe + 1),
+            SimTime::from_cycles(rng.gen_range(0..3_000)),
+            Box::new(Script::new(script)),
+        );
+    }
+    k
+}
+
+/// Ablation 1: avoidance (with the G-dl dodge and give-up protocol) vs
+/// plain priority granting + detection, over random workloads.
+fn gdl_dodge_ablation(runs: u64) {
+    let mut detect_deadlocks = 0;
+    let mut avoid_completions = 0;
+    let mut avoid_giveups = 0;
+    for seed in 0..runs {
+        let mut plain = random_workload_kernel(seed, ResPolicy::DetectHw);
+        let r = plain.run(Some(10_000_000));
+        if r.deadlock_at.is_some() {
+            detect_deadlocks += 1;
+        }
+        let mut avoid = random_workload_kernel(seed, ResPolicy::AvoidHw);
+        let r = avoid.run(Some(10_000_000));
+        if r.all_finished {
+            avoid_completions += 1;
+        }
+        avoid_giveups += avoid.stats().counter("res.giveup_asks");
+    }
+    print_table(
+        "Ablation 1: G-dl dodge + give-up protocol (random 4-task workloads)",
+        &["metric", "value"],
+        &[
+            vec!["runs".into(), runs.to_string()],
+            vec![
+                "plain granting: runs ending in deadlock".into(),
+                format!(
+                    "{detect_deadlocks} ({:.0}%)",
+                    100.0 * detect_deadlocks as f64 / runs as f64
+                ),
+            ],
+            vec![
+                "avoidance: runs completing".into(),
+                format!(
+                    "{avoid_completions} ({:.0}%)",
+                    100.0 * avoid_completions as f64 / runs as f64
+                ),
+            ],
+            vec![
+                "avoidance: total give-up asks".into(),
+                avoid_giveups.to_string(),
+            ],
+        ],
+    );
+    assert_eq!(avoid_completions, runs, "avoidance must always complete");
+}
+
+/// Ablation 2: R-dl victim policy on random command streams.
+fn rdl_policy_ablation(streams: u64) {
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("by-priority (Algorithm 3)", RdlVictimPolicy::ByPriority),
+        ("always-owner", RdlVictimPolicy::AlwaysOwner),
+        ("always-requester", RdlVictimPolicy::AlwaysRequester),
+    ] {
+        let mut asks = 0u64;
+        let mut livelocks = 0u64;
+        let mut high_prio_disruptions = 0u64;
+        for seed in 0..streams {
+            let mut rng = StdRng::seed_from_u64(0xAB1A + seed);
+            let mut av = Avoider::new(5, 5);
+            av.set_rdl_policy(policy);
+            for i in 0..5 {
+                av.set_priority(ProcId(i), Priority::new(i as u8 + 1));
+            }
+            for _ in 0..60 {
+                let p = ProcId(rng.gen_range(0..5));
+                let q = ResId(rng.gen_range(0..5));
+                if rng.gen_bool(0.6) {
+                    let _ = av.request(p, q, &mut FastProbe);
+                } else {
+                    let _ = av.release(p, q, &mut FastProbe);
+                }
+                // Honor asks promptly (the RTOS role).
+                let pending: Vec<_> = av.outstanding_giveups().to_vec();
+                for ask in pending {
+                    asks += 1;
+                    if ask.target == ProcId(0) || ask.target == ProcId(1) {
+                        high_prio_disruptions += 1;
+                    }
+                    for r in ask.resources {
+                        if av.rag().owner(r) == Some(ask.target) {
+                            let _ = av.release(ask.target, r, &mut FastProbe);
+                        }
+                    }
+                }
+            }
+            livelocks += av.livelock_events();
+        }
+        rows.push(vec![
+            name.to_string(),
+            asks.to_string(),
+            high_prio_disruptions.to_string(),
+            livelocks.to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation 2: R-dl victim policy (random command streams)",
+        &[
+            "policy",
+            "give-up asks",
+            "asks hitting p1/p2",
+            "livelock events",
+        ],
+        &rows,
+    );
+}
+
+/// Ablation 3: fit policy under fragmentation.
+fn fit_policy_ablation() {
+    let mut rows = Vec::new();
+    for policy in [FitPolicy::FirstFit, FitPolicy::BestFit] {
+        let mut h = SwAllocator::new(0, 256 * 1024, policy);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut live: Vec<u32> = Vec::new();
+        let mut total_cycles = 0u64;
+        let mut failures = 0u64;
+        let mut ops = 0u64;
+        for _ in 0..4_000 {
+            ops += 1;
+            if rng.gen_bool(0.55) || live.is_empty() {
+                let size = if rng.gen_bool(0.85) {
+                    rng.gen_range(16..256)
+                } else {
+                    rng.gen_range(2_048..8_192)
+                };
+                match h.malloc(size) {
+                    AllocOutcome::Ok { addr, cycles } => {
+                        live.push(addr);
+                        total_cycles += cycles;
+                    }
+                    AllocOutcome::Failed { cycles } => {
+                        failures += 1;
+                        total_cycles += cycles;
+                    }
+                }
+            } else {
+                let idx = rng.gen_range(0..live.len());
+                let addr = live.swap_remove(idx);
+                total_cycles += h.free(addr);
+            }
+        }
+        rows.push(vec![
+            format!("{policy:?}"),
+            format!("{:.0}", total_cycles as f64 / ops as f64),
+            failures.to_string(),
+            h.hole_count().to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation 3: software allocator fit policy (4000 random ops, 256 KB heap)",
+        &["policy", "mean cycles/op", "failures", "final holes"],
+        &rows,
+    );
+}
+
+/// Ablation 4: lock backend scalability with PE count.
+fn soclc_scaling_ablation() {
+    let mut rows = Vec::new();
+    for pes in [2usize, 4, 8, 16] {
+        let run = |locks: LockSetup| {
+            let mut cfg = KernelConfig {
+                platform: PlatformConfig {
+                    pes,
+                    ..PlatformConfig::small()
+                },
+                res_policy: ResPolicy::NoDeadlockSupport,
+                locks,
+                ..Default::default()
+            };
+            cfg.platform.pes = pes;
+            let mut k = Kernel::new(cfg);
+            for pe in 0..pes {
+                k.spawn(
+                    format!("t{pe}"),
+                    PeId(pe as u8),
+                    Priority::new(pe as u8 + 1),
+                    SimTime::from_cycles(pe as u64 * 50),
+                    Box::new(Script::new(
+                        std::iter::repeat_n(
+                            [
+                                Action::Compute(300),
+                                Action::Lock(LockId(0)),
+                                Action::Compute(400),
+                                Action::Unlock(LockId(0)),
+                            ],
+                            6,
+                        )
+                        .flatten()
+                        .chain([Action::End])
+                        .collect(),
+                    )),
+                );
+            }
+            let r = k.run(Some(100_000_000));
+            assert!(r.all_finished);
+            r.app_time().cycles()
+        };
+        let sw = run(LockSetup::Software { count: 2 });
+        let hw = run(LockSetup::Soclc { short: 1, long: 1 });
+        rows.push(vec![
+            pes.to_string(),
+            sw.to_string(),
+            hw.to_string(),
+            format!("{:.2}x", sw as f64 / hw as f64),
+        ]);
+    }
+    print_table(
+        "Ablation 4: one contested lock, rising PE count",
+        &["PEs", "software locks (cyc)", "SoCLC (cyc)", "speed-up"],
+        &rows,
+    );
+}
+
+fn main() {
+    gdl_dodge_ablation(100);
+    rdl_policy_ablation(50);
+    fit_policy_ablation();
+    soclc_scaling_ablation();
+    println!(
+        "\n(Ablation 5, bit-plane packing: `cargo bench -p deltaos-bench -- detection_scaling`)"
+    );
+}

@@ -1,0 +1,97 @@
+//! Runs every table/figure harness in sequence (the EXPERIMENTS.md feed).
+
+fn main() {
+    let bins = [
+        "table01",
+        "table02",
+        "table03",
+        "table04/fig15",
+        "table05",
+        "table06/fig16",
+        "table07",
+        "table08/fig17",
+        "table09",
+        "table10/fig20",
+        "table11",
+        "table12",
+    ];
+    println!(
+        "deltaos: regenerating all paper tables ({} harnesses)\n",
+        bins.len()
+    );
+
+    // Inline the key tables (the per-table binaries print the same data).
+    use deltaos_bench::{comparison_rows, experiments, print_table};
+
+    let rows: Vec<Vec<String>> = experiments::table1()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.label,
+                r.lines.to_string(),
+                format!("{:.0}", r.area),
+                r.worst_steps.to_string(),
+                format!("{}/{}/{}", r.paper.0, r.paper.1, r.paper.2),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: DDU synthesis",
+        &["size", "lines", "area", "worst steps", "paper"],
+        &rows,
+    );
+
+    let t2 = experiments::table2();
+    println!("\nTable 2: DAU total {:.0} NAND2 ({:.4}% of {:.1}M-gate MPSoC), detect {} steps, avoid {} steps",
+        t2.total_area, t2.pct_of_mpsoc, t2.mpsoc_gates / 1e6, t2.detect_steps, t2.avoid_steps);
+
+    for (name, t) in [
+        ("Table 5 (detection)", experiments::table5()),
+        ("Table 7 (G-dl)", experiments::table7()),
+        ("Table 9 (R-dl)", experiments::table9()),
+    ] {
+        print_table(
+            name,
+            &["method", "algo cycles", "app cycles", "paper"],
+            &comparison_rows(&t),
+        );
+    }
+
+    let t10 = experiments::table10();
+    let (lat, delay, overall) = t10.speedups();
+    println!("\nTable 10: latency {lat:.2}x, delay {delay:.2}x, overall {overall:.2}x (paper 1.79/1.75/1.43)");
+
+    let rows11: Vec<Vec<String>> = experiments::table11()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.into(),
+                r.result.total_cycles.to_string(),
+                format!("{:.1}%", r.result.mem_share_pct()),
+                format!("paper {:.1}%", r.paper.2),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 11: malloc/free",
+        &["bench", "total", "% mem", "paper"],
+        &rows11,
+    );
+
+    let rows12: Vec<Vec<String>> = experiments::table12()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.into(),
+                r.result.total_cycles.to_string(),
+                format!("{:.2}%", r.result.mem_share_pct()),
+                format!("paper {:.2}%", r.paper.2),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 12: SoCDMMU",
+        &["bench", "total", "% mem", "paper"],
+        &rows12,
+    );
+}

@@ -1,0 +1,111 @@
+//! L1 cache study: replay the SPLASH-2 kernels' characteristic address
+//! patterns through the MPC755 data-cache model and report hit rates
+//! and the implied bus traffic — supporting evidence for the flat
+//! "L1-resident" op-cost weights used by the tape builders (see
+//! `deltaos_apps::splash::OpCounter`).
+
+use deltaos_bench::print_table;
+use deltaos_mpsoc::cache::{CacheAccess, L1Cache};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Replays `addrs` through a fresh MPC755 D-cache; returns
+/// (hit rate, bus cycles for the misses).
+fn replay(addrs: impl Iterator<Item = (u32, bool)>) -> (f64, u64) {
+    let mut c = L1Cache::mpc755_data();
+    let mut miss_cycles = 0u64;
+    for (a, w) in addrs {
+        if c.access(a, w) == CacheAccess::Miss {
+            // One burst fill: 3 cycles first word + 1 per further word.
+            miss_cycles += 3 + (c.words_per_line() as u64 - 1);
+        }
+    }
+    (c.hit_rate().unwrap_or(0.0), miss_cycles)
+}
+
+/// LU: blocked row-major walk over a 64×64 f64 matrix.
+fn lu_stream(n: usize, bs: usize) -> Vec<(u32, bool)> {
+    let base = 0x10_0000u32;
+    let mut v = Vec::new();
+    for kb in (0..n).step_by(bs) {
+        for i in kb..n {
+            for j in kb..(kb + bs).min(n) {
+                v.push((base + ((i * n + j) * 8) as u32, false));
+                v.push((base + ((i * n + j) * 8) as u32, true));
+            }
+        }
+    }
+    v
+}
+
+/// FFT: strided butterfly pairs over 2048 complex points.
+fn fft_stream(n: usize) -> Vec<(u32, bool)> {
+    let base = 0x20_0000u32;
+    let mut v = Vec::new();
+    let mut len = 2;
+    while len <= n {
+        for start in (0..n).step_by(len) {
+            for k in 0..len / 2 {
+                let a = start + k;
+                let b = a + len / 2;
+                v.push((base + (a * 16) as u32, false));
+                v.push((base + (b * 16) as u32, false));
+                v.push((base + (a * 16) as u32, true));
+                v.push((base + (b * 16) as u32, true));
+            }
+        }
+        len <<= 1;
+    }
+    v
+}
+
+/// RADIX: sequential key reads + random bucket scatter writes.
+fn radix_stream(n: usize) -> Vec<(u32, bool)> {
+    let base = 0x30_0000u32;
+    let buckets = 0x40_0000u32;
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut v = Vec::new();
+    for pass in 0..4 {
+        for i in 0..n {
+            v.push((base + (i * 4) as u32, false));
+            let b: u32 = rng.gen_range(0..32);
+            let slot: u32 = rng.gen_range(0..(n as u32 / 16));
+            v.push((buckets + pass * 0x8000 + b * 0x400 + slot * 4, true));
+        }
+    }
+    v
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for (name, stream) in [
+        ("LU 64x64 blocked walk", lu_stream(64, 8)),
+        ("FFT 2048-pt butterflies", fft_stream(2048)),
+        ("RADIX 4096-key scatter", radix_stream(4096)),
+    ] {
+        let accesses = stream.len();
+        let (hit, miss_cycles) = replay(stream.into_iter());
+        rows.push(vec![
+            name.to_string(),
+            accesses.to_string(),
+            format!("{:.1}%", hit * 100.0),
+            miss_cycles.to_string(),
+            format!("{:.2}", miss_cycles as f64 / accesses as f64),
+        ]);
+    }
+    print_table(
+        "L1 D-cache study (MPC755: 32 KB, 8-way, 32 B lines)",
+        &[
+            "pattern",
+            "accesses",
+            "hit rate",
+            "miss bus cycles",
+            "bus cyc/access",
+        ],
+        &rows,
+    );
+    println!(
+        "\nHigh hit rates justify the ~1 cycle/access weight used by the SPLASH\n\
+         tape builders; RADIX's scatter phase shows where that model is optimistic."
+    );
+}

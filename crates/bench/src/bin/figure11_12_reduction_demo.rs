@@ -1,0 +1,41 @@
+//! Figures 11 & 12 — the matrix representation of a RAG and one
+//! terminal-reduction step, as worked examples.
+
+use deltaos_core::matrix::StateMatrix;
+use deltaos_core::reduction::terminal_reduction;
+use deltaos_core::{ProcId, Rag, ResId};
+
+fn main() {
+    // A state in the spirit of Figure 12: a 4-resource, 6-process system
+    // with a cycle (q1,p1,q4,p3) plus reducible edges.
+    let mut rag = Rag::new(4, 6);
+    rag.add_grant(ResId(0), ProcId(0)).unwrap();
+    rag.add_request(ProcId(0), ResId(3)).unwrap();
+    rag.add_grant(ResId(3), ProcId(2)).unwrap();
+    rag.add_request(ProcId(2), ResId(0)).unwrap();
+    rag.add_request(ProcId(1), ResId(1)).unwrap();
+    rag.add_request(ProcId(3), ResId(1)).unwrap();
+    rag.add_grant(ResId(2), ProcId(5)).unwrap();
+
+    println!("=== Figure 11: state matrix representation ===\n");
+    println!("RAG: {rag}\n");
+    let mut m = StateMatrix::from_rag(&rag);
+    println!("{m}\n");
+
+    println!("=== Figure 12: terminal reduction ===\n");
+    let report = terminal_reduction(&mut m);
+    println!(
+        "after {} edge-removing iterations ({} steps):\n",
+        report.iterations, report.steps
+    );
+    println!("{m}\n");
+    println!(
+        "complete reduction: {} -> {}",
+        report.complete,
+        if report.complete {
+            "no deadlock"
+        } else {
+            "DEADLOCK (cycle survives)"
+        }
+    );
+}

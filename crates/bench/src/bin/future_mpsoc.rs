@@ -1,0 +1,139 @@
+//! The paper's motivating prediction, quantified (Sections 1 and 3.1):
+//! *"future chips may have five to twenty (or more) processors and ten
+//! to a hundred resources all in a single chip … deadlock problems are
+//! on the horizon."*
+//!
+//! This study sweeps the platform from today's 4 PEs / 5 resources to
+//! the predicted 20 PEs / 50 resources and measures, over seeded random
+//! workloads:
+//!
+//! * how often plain priority granting ends in deadlock (the horizon),
+//! * what a software avoider costs per command at that scale vs the DAU,
+//! * what the matching DDU costs in gates.
+
+use deltaos_bench::print_table;
+use deltaos_core::Priority;
+use deltaos_mpsoc::pe::PeId;
+use deltaos_mpsoc::platform::PlatformConfig;
+use deltaos_mpsoc::resource::ResKind;
+use deltaos_rtos::kernel::{Kernel, KernelConfig};
+use deltaos_rtos::resman::ResPolicy;
+use deltaos_rtos::task::{Action, Script};
+use deltaos_sim::SimTime;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn platform(pes: usize, resources: usize) -> PlatformConfig {
+    let kinds: Vec<ResKind> = ResKind::all()
+        .iter()
+        .copied()
+        .cycle()
+        .take(resources)
+        .collect();
+    PlatformConfig {
+        pes,
+        resources: kinds,
+        ..PlatformConfig::small()
+    }
+}
+
+fn workload(rng: &mut StdRng, resources: usize) -> Vec<Action> {
+    let take = rng.gen_range(2..=3);
+    let mut rs: Vec<usize> = (0..resources).collect();
+    rs.shuffle(rng);
+    rs.truncate(take);
+    let mut a = Vec::new();
+    for &r in &rs {
+        a.push(Action::Compute(rng.gen_range(200..1_500)));
+        a.push(Action::Request(r));
+    }
+    a.push(Action::Compute(rng.gen_range(500..2_000)));
+    rs.shuffle(rng);
+    for &r in &rs {
+        a.push(Action::Release(r));
+    }
+    a.push(Action::End);
+    a
+}
+
+fn build(seed: u64, pes: usize, resources: usize, policy: ResPolicy) -> Kernel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut k = Kernel::new(KernelConfig {
+        platform: platform(pes, resources),
+        res_policy: policy,
+        ..Default::default()
+    });
+    for pe in 0..pes {
+        k.spawn(
+            format!("t{pe}"),
+            PeId(pe as u8),
+            Priority::new((pe % 250) as u8 + 1),
+            SimTime::from_cycles(rng.gen_range(0..2_000)),
+            Box::new(Script::new(workload(&mut rng, resources))),
+        );
+    }
+    k
+}
+
+fn main() {
+    const RUNS: u64 = 40;
+    let mut rows = Vec::new();
+    for &(pes, resources) in &[(4usize, 5usize), (8, 10), (16, 20), (20, 20), (20, 50)] {
+        let mut deadlocks = 0u64;
+        let mut sw_algo = (0u64, 0u64); // (invocations, cycles)
+        let mut hw_algo = (0u64, 0u64);
+        let mut avoided_all = true;
+        for seed in 0..RUNS {
+            let mut plain = build(seed, pes, resources, ResPolicy::DetectHw);
+            if plain.run(Some(50_000_000)).deadlock_at.is_some() {
+                deadlocks += 1;
+            }
+            let mut sw = build(seed, pes, resources, ResPolicy::AvoidSw);
+            avoided_all &= sw.run(Some(50_000_000)).all_finished;
+            let (i, c) = sw.resource_service().unwrap().algo_stats();
+            sw_algo.0 += i;
+            sw_algo.1 += c;
+            let mut hw = build(seed, pes, resources, ResPolicy::AvoidHw);
+            avoided_all &= hw.run(Some(50_000_000)).all_finished;
+            let (i, c) = hw.resource_service().unwrap().algo_stats();
+            hw_algo.0 += i;
+            hw_algo.1 += c;
+        }
+        assert!(avoided_all, "avoidance must complete at every scale");
+        let ddu_area = deltaos_rtl::ddu_gen::generate(resources, pes)
+            .gates
+            .nand2_equiv();
+        rows.push(vec![
+            format!("{pes} PEs x {resources} res"),
+            format!("{:.0}%", 100.0 * deadlocks as f64 / RUNS as f64),
+            format!("{:.0}", sw_algo.1 as f64 / sw_algo.0.max(1) as f64),
+            format!("{:.1}", hw_algo.1 as f64 / hw_algo.0.max(1) as f64),
+            format!(
+                "{:.0}x",
+                (sw_algo.1 as f64 / sw_algo.0.max(1) as f64)
+                    / (hw_algo.1 as f64 / hw_algo.0.max(1) as f64)
+            ),
+            format!("{ddu_area:.0}"),
+        ]);
+    }
+    print_table(
+        "Future MPSoC study: deadlock on the horizon (40 random workloads per point)",
+        &[
+            "platform",
+            "deadlock rate (plain)",
+            "sw DAA cyc/cmd",
+            "DAU cyc/cmd",
+            "speed-up",
+            "DDU gates",
+        ],
+        &rows,
+    );
+    println!(
+        "\nThe deadlock rate grows with contention density (it peaks when tasks\n\
+         roughly match resources and relaxes at 50 resources, where contention\n\
+         thins out), and the software avoider's per-command cost grows with\n\
+         scale, while the DAU's stays near-constant — the paper's argument that\n\
+         hardware deadlock support pays off precisely where MPSoCs are going."
+    );
+}

@@ -1,0 +1,31 @@
+//! Table 1 — synthesis results of the DDU across array sizes.
+
+use deltaos_bench::{experiments, print_table};
+
+fn main() {
+    let rows: Vec<Vec<String>> = experiments::table1()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.label,
+                r.lines.to_string(),
+                format!("{:.0}", r.area),
+                r.worst_steps.to_string(),
+                format!("{} / {} / {}", r.paper.0, r.paper.1, r.paper.2),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: DDU synthesis results",
+        &[
+            "procs x res",
+            "lines of Verilog",
+            "area (NAND2-equiv)",
+            "worst-case steps",
+            "paper (lines/area/iters)",
+        ],
+        &rows,
+    );
+    println!("\nNote: areas come from the NAND2-equivalent estimator standing in for");
+    println!("Synopsys DC + AMIS 0.3um; trends, not absolute values, are comparable.");
+}

@@ -1,0 +1,50 @@
+//! Table 2 — synthesis results of the DAU (5 processes × 5 resources).
+
+use deltaos_bench::{experiments, print_table};
+
+fn main() {
+    let t = experiments::table2();
+    print_table(
+        "Table 2: DAU synthesis results (5x5, 4 PEs)",
+        &[
+            "module",
+            "lines",
+            "area (NAND2)",
+            "steps detect",
+            "steps avoid",
+        ],
+        &[
+            vec![
+                "DDU 5x5".into(),
+                t.ddu_lines.to_string(),
+                format!("{:.0}", t.ddu_area),
+                t.detect_steps.to_string(),
+                "-".into(),
+            ],
+            vec![
+                "others (regs+FSM)".into(),
+                (t.total_lines - t.ddu_lines).to_string(),
+                format!("{:.0}", t.others_area),
+                "-".into(),
+                "-".into(),
+            ],
+            vec![
+                "total".into(),
+                t.total_lines.to_string(),
+                format!("{:.0} ({:.4}%)", t.total_area, t.pct_of_mpsoc),
+                "-".into(),
+                t.avoid_steps.to_string(),
+            ],
+            vec![
+                "MPSoC".into(),
+                "-".into(),
+                format!("{:.3}M", t.mpsoc_gates / 1e6),
+                "-".into(),
+                "-".into(),
+            ],
+        ],
+    );
+    println!(
+        "\nPaper: DDU 364, others 1472, total 1836 (.005% of 40.344M), detect 6, avoid 6x5+8=38."
+    );
+}

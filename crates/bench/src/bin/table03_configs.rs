@@ -1,0 +1,33 @@
+//! Table 3 — the configured RTOS/MPSoC systems, with generated hardware
+//! cost per configuration.
+
+use deltaos_bench::{experiments, print_table};
+use deltaos_framework::RtosPreset;
+
+fn main() {
+    let costs = experiments::preset_hw_costs();
+    let rows: Vec<Vec<String>> = RtosPreset::all()
+        .iter()
+        .map(|&p| {
+            let gates = costs
+                .iter()
+                .find(|(q, _)| *q == p)
+                .map(|(_, g)| *g)
+                .unwrap_or(0.0);
+            vec![
+                p.to_string(),
+                p.description().to_string(),
+                format!("{:.0}", gates),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 3: configured RTOS/MPSoCs",
+        &[
+            "system",
+            "components on top of the pure software RTOS",
+            "added hw gates",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,10 @@
+//! Table 4 / Figure 15 — the request/grant sequence that leads to
+//! deadlock in the Jini-style lookup application.
+
+use deltaos_bench::experiments;
+
+fn main() {
+    println!("=== Table 4 / Figure 15: events RAG of the lookup application (RTOS2) ===\n");
+    println!("{}", experiments::event_trace("table4"));
+    println!("\nThe final grant of the IDCT to p2 closes the p2/p3 circular wait (e5).");
+}

@@ -1,0 +1,22 @@
+//! Table 5 — deadlock detection time and application execution time:
+//! DDU (RTOS2) vs PDDA in software (RTOS1).
+
+use deltaos_bench::{comparison_rows, experiments, print_table};
+
+fn main() {
+    let t = experiments::table5();
+    print_table(
+        "Table 5: DDU vs software PDDA (lookup application)",
+        &[
+            "method",
+            "algorithm run time*",
+            "application run time*",
+            "paper",
+        ],
+        &comparison_rows(&t),
+    );
+    println!(
+        "\n*bus clocks, averaged over {} detector invocations.",
+        t.invocations.0
+    );
+}

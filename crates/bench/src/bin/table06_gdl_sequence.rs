@@ -1,0 +1,9 @@
+//! Table 6 / Figure 16 — the grant-deadlock (G-dl) event sequence.
+
+use deltaos_bench::experiments;
+
+fn main() {
+    println!("=== Table 6 / Figure 16: events RAG of application example I (RTOS4) ===\n");
+    println!("{}", experiments::event_trace("table6"));
+    println!("\nAt t5 the DAU dodges the G-dl by granting q2 to the lower-priority p3.");
+}

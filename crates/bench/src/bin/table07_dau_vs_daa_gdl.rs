@@ -1,0 +1,21 @@
+//! Table 7 — DAU vs software DAA on the grant-deadlock scenario.
+
+use deltaos_bench::{comparison_rows, experiments, print_table};
+
+fn main() {
+    let t = experiments::table7();
+    print_table(
+        "Table 7: execution time comparison (G-dl)",
+        &[
+            "method",
+            "algorithm run time*",
+            "application run time*",
+            "paper",
+        ],
+        &comparison_rows(&t),
+    );
+    println!(
+        "\n*bus clocks, averaged over {} avoidance invocations (paper: 12).",
+        t.invocations.0
+    );
+}

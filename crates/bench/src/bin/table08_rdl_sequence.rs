@@ -1,0 +1,10 @@
+//! Table 8 / Figure 17 — the request-deadlock (R-dl) event sequence.
+
+use deltaos_bench::experiments;
+
+fn main() {
+    println!("=== Table 8 / Figure 17: events RAG of application example II (RTOS4) ===\n");
+    println!("{}", experiments::event_trace("table8"));
+    println!("\nAt t6 the DAU parks p1's request and asks p2 to give up q2;");
+    println!("p2 releases, re-requests, and everything completes by t10.");
+}

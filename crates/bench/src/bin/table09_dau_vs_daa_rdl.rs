@@ -1,0 +1,21 @@
+//! Table 9 — DAU vs software DAA on the request-deadlock scenario.
+
+use deltaos_bench::{comparison_rows, experiments, print_table};
+
+fn main() {
+    let t = experiments::table9();
+    print_table(
+        "Table 9: execution time comparison (R-dl)",
+        &[
+            "method",
+            "algorithm run time*",
+            "application run time*",
+            "paper",
+        ],
+        &comparison_rows(&t),
+    );
+    println!(
+        "\n*bus clocks, averaged over {} avoidance invocations (paper: 14).",
+        t.invocations.0
+    );
+}

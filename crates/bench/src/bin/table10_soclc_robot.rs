@@ -1,0 +1,48 @@
+//! Table 10 / Figure 20 — the robot application under software PI locks
+//! (RTOS5) vs the SoCLC with IPCP (RTOS6).
+
+use deltaos_bench::{experiments, print_table};
+
+fn main() {
+    let t = experiments::table10();
+    let (lat, delay, overall) = t.speedups();
+    print_table(
+        "Table 10: simulation results of the robot application",
+        &[
+            "metric (cycles)",
+            "RTOS5",
+            "RTOS6",
+            "speed-up",
+            "paper (5 / 6 / x)",
+        ],
+        &[
+            vec![
+                "lock latency".into(),
+                format!("{:.0}", t.rtos5.lock_latency),
+                format!("{:.0}", t.rtos6.lock_latency),
+                format!("{lat:.2}x"),
+                format!("{} / {} / 1.79x", t.paper.0, t.paper.1),
+            ],
+            vec![
+                "lock delay".into(),
+                format!("{:.0}", t.rtos5.lock_delay),
+                format!("{:.0}", t.rtos6.lock_delay),
+                format!("{delay:.2}x"),
+                format!("{} / {} / 1.75x", t.paper.2, t.paper.3),
+            ],
+            vec![
+                "overall execution".into(),
+                t.rtos5.overall.to_string(),
+                t.rtos6.overall.to_string(),
+                format!("{overall:.2}x"),
+                format!("{} / {} / 1.43x", t.paper.4, t.paper.5),
+            ],
+        ],
+    );
+    println!(
+        "\npredictability: p95 lock delay RTOS5 = {} cyc, RTOS6 = {} cyc",
+        t.rtos5.delay_p95, t.rtos6.delay_p95
+    );
+    println!("\n=== Figure 20: schedule/lock trace under IPCP (first events) ===\n");
+    println!("{}", experiments::figure20_trace());
+}

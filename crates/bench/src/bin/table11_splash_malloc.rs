@@ -1,0 +1,29 @@
+//! Table 11 — SPLASH-2 benchmarks with glibc-style malloc/free.
+
+use deltaos_bench::{experiments, print_table};
+
+fn main() {
+    let rows: Vec<Vec<String>> = experiments::table11()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.result.total_cycles.to_string(),
+                r.result.mem_mgmt_cycles.to_string(),
+                format!("{:.2}%", r.result.mem_share_pct()),
+                format!("{} / {} / {:.2}%", r.paper.0, r.paper.1, r.paper.2),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 11: SPLASH-2 with software malloc/free",
+        &[
+            "benchmark",
+            "total cycles",
+            "mem mgmt cycles",
+            "% mem mgmt",
+            "paper (total/mem/%)",
+        ],
+        &rows,
+    );
+}

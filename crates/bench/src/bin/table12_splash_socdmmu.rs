@@ -1,0 +1,41 @@
+//! Table 12 — SPLASH-2 benchmarks with the SoCDMMU.
+
+use deltaos_bench::{experiments, print_table};
+
+fn main() {
+    let sw = experiments::table11();
+    let rows: Vec<Vec<String>> = experiments::table12()
+        .into_iter()
+        .zip(sw)
+        .map(|(r, s)| {
+            let mem_reduction = 100.0
+                * (s.result.mem_mgmt_cycles as f64 - r.result.mem_mgmt_cycles as f64)
+                / s.result.mem_mgmt_cycles as f64;
+            let exe_reduction = 100.0
+                * (s.result.total_cycles as f64 - r.result.total_cycles as f64)
+                / s.result.total_cycles as f64;
+            vec![
+                r.name.to_string(),
+                r.result.total_cycles.to_string(),
+                r.result.mem_mgmt_cycles.to_string(),
+                format!("{:.2}%", r.result.mem_share_pct()),
+                format!("{mem_reduction:.1}%"),
+                format!("{exe_reduction:.1}%"),
+                format!("{} / {} / {:.2}%", r.paper.0, r.paper.1, r.paper.2),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 12: SPLASH-2 with the SoCDMMU",
+        &[
+            "benchmark",
+            "total cycles",
+            "mem mgmt cycles",
+            "% mem mgmt",
+            "% mem reduction",
+            "% exe reduction",
+            "paper (total/mem/%)",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,84 @@
+//! # deltaos-bench — experiment harnesses for every paper table & figure
+//!
+//! One binary per table/figure (see `src/bin/`), all built on the
+//! structured runners in [`experiments`]. Each binary prints the
+//! regenerated table side by side with the paper's reported values, so
+//! `EXPERIMENTS.md` can be refreshed by running:
+//!
+//! ```text
+//! cargo run -p deltaos-bench --bin all_tables
+//! ```
+//!
+//! Criterion micro-benchmarks (in `benches/`) back the scaling claims:
+//! PDDA/DDU step counts vs software scans, DAU command latency,
+//! allocator costs, and the bit-plane-packing ablation.
+
+pub mod experiments;
+
+/// Prints a simple fixed-width table: a header row then data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: Vec<String>| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(header.iter().map(|s| s.to_string()).collect())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row.clone()));
+    }
+}
+
+/// Formats an [`experiments::AlgoComparison`] as printable rows.
+pub fn comparison_rows(t: &experiments::AlgoComparison) -> Vec<Vec<String>> {
+    vec![
+        vec![
+            t.hw_label.to_string(),
+            format!("{:.1}", t.hw_algo_mean),
+            t.hw_app.to_string(),
+            format!("paper: {:.1} / {}", t.paper.1, t.paper.3),
+        ],
+        vec![
+            t.sw_label.to_string(),
+            format!("{:.1}", t.sw_algo_mean),
+            t.sw_app.to_string(),
+            format!("paper: {:.1} / {}", t.paper.0, t.paper.2),
+        ],
+        vec![
+            "speed-up".into(),
+            format!("{:.0}x", t.algo_speedup()),
+            format!("{:.0}%", t.app_speedup_pct()),
+            format!(
+                "paper: {:.0}x / {:.0}%",
+                t.paper.0 / t.paper.1,
+                100.0 * (t.paper.2 as f64 - t.paper.3 as f64) / t.paper.3 as f64
+            ),
+        ],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn print_table_does_not_panic() {
+        super::print_table(
+            "t",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,396 @@
+//! Prior-work baseline algorithms (Section 3.3 of the paper).
+//!
+//! The paper positions PDDA/DAA against the classical literature:
+//! Leibfried's adjacency-matrix detection (O(m³) matrix multiplications,
+//! ref. \[22\]), Holt-style graph reduction (O(m·n), \[21\] — our
+//! [`crate::Rag::has_cycle`] DFS plays that role), Dijkstra's Banker's
+//! algorithm for avoidance (\[24\]) and resource-ordering prevention.
+//! Implementing them makes the comparisons in `deltaos-bench` concrete:
+//! the benches race PDDA against these baselines, and the Banker
+//! illustrates the disadvantage the paper calls out — it needs maximum
+//! claims declared in advance, which the DAA deliberately avoids.
+
+use crate::{CoreError, ProcId, Rag, ResId};
+
+/// Deadlock detection via boolean adjacency-matrix powers
+/// (Leibfried \[22\]): a cycle exists iff some `A^k` has a true diagonal
+/// entry. O(k³) per multiplication over `k = m + n` nodes.
+pub fn leibfried_detect(rag: &Rag) -> bool {
+    let n = rag.processes();
+    let m = rag.resources();
+    let k = n + m;
+    if k == 0 {
+        return false;
+    }
+    // adj[i][j]: edge i → j. Processes 0..n, resources n..n+m.
+    let mut adj = vec![false; k * k];
+    for qi in 0..m {
+        let q = ResId(qi as u16);
+        for &p in rag.requesters(q) {
+            adj[p.index() * k + (n + qi)] = true;
+        }
+        if let Some(p) = rag.owner(q) {
+            adj[(n + qi) * k + p.index()] = true;
+        }
+    }
+    // reach = adj; repeatedly square/or until fixpoint, checking the
+    // diagonal (transitive closure by repeated boolean multiplication).
+    let mut reach = adj.clone();
+    for _ in 0..k.ilog2() as usize + 2 {
+        if (0..k).any(|i| reach[i * k + i]) {
+            return true;
+        }
+        // next = reach ∨ reach·reach
+        let mut next = reach.clone();
+        for i in 0..k {
+            for l in 0..k {
+                if reach[i * k + l] {
+                    for j in 0..k {
+                        if reach[l * k + j] {
+                            next[i * k + j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        if next == reach {
+            break;
+        }
+        reach = next;
+    }
+    (0..k).any(|i| reach[i * k + i])
+}
+
+/// Resource-ordering deadlock *prevention*: processes may only request
+/// resources with indices strictly greater than everything they hold.
+/// Requests that violate the discipline are rejected — the concurrency
+/// restriction the paper contrasts with detection/avoidance.
+#[derive(Debug, Clone)]
+pub struct OrderedPrevention {
+    rag: Rag,
+}
+
+/// Outcome of an ordered-prevention request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreventionOutcome {
+    /// Granted immediately.
+    Granted,
+    /// Resource busy; queued (safe, because ordering holds).
+    Pending,
+    /// Rejected: the request violates the resource ordering.
+    OrderViolation {
+        /// The highest-indexed resource the process already holds.
+        highest_held: ResId,
+    },
+}
+
+impl OrderedPrevention {
+    /// Creates the prevention manager.
+    pub fn new(resources: usize, processes: usize) -> Self {
+        OrderedPrevention {
+            rag: Rag::new(resources, processes),
+        }
+    }
+
+    /// The tracked state (always deadlock-free by construction).
+    pub fn rag(&self) -> &Rag {
+        &self.rag
+    }
+
+    /// Requests `q` for `p` under the ordering discipline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] for duplicate requests / bad ids.
+    pub fn request(&mut self, p: ProcId, q: ResId) -> Result<PreventionOutcome, CoreError> {
+        if let Some(&highest) = self.rag.held_by(p).iter().max() {
+            if q <= highest {
+                return Ok(PreventionOutcome::OrderViolation {
+                    highest_held: highest,
+                });
+            }
+        }
+        if self.rag.owner(q).is_none() {
+            self.rag.add_grant(q, p)?;
+            Ok(PreventionOutcome::Granted)
+        } else {
+            self.rag.add_request(p, q)?;
+            Ok(PreventionOutcome::Pending)
+        }
+    }
+
+    /// Releases `q`, granting it to the first waiter (FIFO).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotOwner`] if `p` does not hold `q`.
+    pub fn release(&mut self, p: ProcId, q: ResId) -> Result<Option<ProcId>, CoreError> {
+        self.rag.remove_grant(q, p)?;
+        if let Some(&w) = self.rag.requesters(q).first() {
+            self.rag.remove_request(w, q);
+            self.rag.add_grant(q, w)?;
+            Ok(Some(w))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// Dijkstra's Banker's algorithm for single-unit resources: every
+/// process declares its **maximum claim** up front; a grant is allowed
+/// only if the resulting state is *safe* (some completion order exists
+/// in which every process can still obtain its full claim).
+#[derive(Debug, Clone)]
+pub struct Banker {
+    resources: usize,
+    processes: usize,
+    /// `claims[p]` = the resources `p` may ever request.
+    claims: Vec<Vec<bool>>,
+    /// `held[q]` = current owner.
+    held: Vec<Option<ProcId>>,
+}
+
+/// Outcome of a Banker's request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankerOutcome {
+    /// Granted: the resulting state is safe.
+    Granted,
+    /// Deferred: the resource is busy, or granting would make the state
+    /// unsafe.
+    Deferred,
+    /// Rejected: the resource is outside the declared claim.
+    OutsideClaim,
+}
+
+impl Banker {
+    /// Creates a banker with all claims empty; declare them with
+    /// [`Banker::set_claim`].
+    pub fn new(resources: usize, processes: usize) -> Self {
+        Banker {
+            resources,
+            processes,
+            claims: vec![vec![false; resources]; processes],
+            held: vec![None; resources],
+        }
+    }
+
+    /// Declares that `p` may request `q` (part of its maximum claim).
+    pub fn set_claim(&mut self, p: ProcId, q: ResId) {
+        self.claims[p.index()][q.index()] = true;
+    }
+
+    /// `true` if the hypothetical assignment is safe: there is an order
+    /// in which every process can acquire its remaining claim and
+    /// finish.
+    fn is_safe(&self, held: &[Option<ProcId>]) -> bool {
+        let mut finished = vec![false; self.processes];
+        let mut free: Vec<bool> = held.iter().map(|o| o.is_none()).collect();
+        loop {
+            let mut progressed = false;
+            #[allow(clippy::needless_range_loop)]
+            for p in 0..self.processes {
+                if finished[p] {
+                    continue;
+                }
+                // p can finish if every claimed resource is free or
+                // already held by p.
+                let can = (0..self.resources)
+                    .all(|q| !self.claims[p][q] || free[q] || held[q] == Some(ProcId(p as u16)));
+                if can {
+                    finished[p] = true;
+                    progressed = true;
+                    for q in 0..self.resources {
+                        if held[q] == Some(ProcId(p as u16)) {
+                            free[q] = true;
+                        }
+                    }
+                }
+            }
+            if finished.iter().all(|&f| f) {
+                return true;
+            }
+            if !progressed {
+                return false;
+            }
+        }
+    }
+
+    /// Requests `q` for `p` with the safety check.
+    pub fn request(&mut self, p: ProcId, q: ResId) -> BankerOutcome {
+        if !self.claims[p.index()][q.index()] {
+            return BankerOutcome::OutsideClaim;
+        }
+        if self.held[q.index()].is_some() {
+            return BankerOutcome::Deferred;
+        }
+        let mut trial = self.held.clone();
+        trial[q.index()] = Some(p);
+        if self.is_safe(&trial) {
+            self.held = trial;
+            BankerOutcome::Granted
+        } else {
+            BankerOutcome::Deferred
+        }
+    }
+
+    /// Releases `q`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotOwner`] if `p` does not hold `q`.
+    pub fn release(&mut self, p: ProcId, q: ResId) -> Result<(), CoreError> {
+        if self.held[q.index()] != Some(p) {
+            return Err(CoreError::NotOwner {
+                process: p,
+                resource: q,
+            });
+        }
+        self.held[q.index()] = None;
+        Ok(())
+    }
+
+    /// Current owner of `q`.
+    pub fn owner(&self, q: ResId) -> Option<ProcId> {
+        self.held[q.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u16) -> ProcId {
+        ProcId(i)
+    }
+    fn q(i: u16) -> ResId {
+        ResId(i)
+    }
+
+    #[test]
+    fn leibfried_agrees_with_dfs_on_cycles() {
+        let mut rag = Rag::new(3, 3);
+        rag.add_grant(q(0), p(0)).unwrap();
+        rag.add_grant(q(1), p(1)).unwrap();
+        rag.add_request(p(0), q(1)).unwrap();
+        assert!(!leibfried_detect(&rag));
+        assert_eq!(leibfried_detect(&rag), rag.has_cycle());
+        rag.add_request(p(1), q(0)).unwrap();
+        assert!(leibfried_detect(&rag));
+        assert_eq!(leibfried_detect(&rag), rag.has_cycle());
+    }
+
+    #[test]
+    fn leibfried_empty_graph() {
+        assert!(!leibfried_detect(&Rag::new(4, 4)));
+    }
+
+    #[test]
+    fn ordered_prevention_blocks_descending_requests() {
+        let mut op = OrderedPrevention::new(3, 2);
+        assert_eq!(op.request(p(0), q(1)).unwrap(), PreventionOutcome::Granted);
+        match op.request(p(0), q(0)).unwrap() {
+            PreventionOutcome::OrderViolation { highest_held } => {
+                assert_eq!(highest_held, q(1));
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+        assert_eq!(op.request(p(0), q(2)).unwrap(), PreventionOutcome::Granted);
+    }
+
+    #[test]
+    fn ordered_prevention_never_deadlocks() {
+        // The circular-wait pattern cannot even be expressed: one side
+        // is rejected.
+        let mut op = OrderedPrevention::new(2, 2);
+        op.request(p(0), q(0)).unwrap();
+        op.request(p(1), q(1)).unwrap();
+        assert_eq!(op.request(p(0), q(1)).unwrap(), PreventionOutcome::Pending);
+        assert!(matches!(
+            op.request(p(1), q(0)).unwrap(),
+            PreventionOutcome::OrderViolation { .. }
+        ));
+        assert!(!op.rag().has_cycle());
+    }
+
+    #[test]
+    fn ordered_prevention_release_is_fifo() {
+        let mut op = OrderedPrevention::new(2, 3);
+        op.request(p(0), q(0)).unwrap();
+        op.request(p(1), q(0)).unwrap();
+        op.request(p(2), q(0)).unwrap();
+        assert_eq!(op.release(p(0), q(0)).unwrap(), Some(p(1)));
+    }
+
+    #[test]
+    fn banker_defers_unsafe_grants() {
+        // Two processes both claiming both resources: after p1 takes q1,
+        // granting q2 to p2 would be unsafe (neither could ever finish).
+        let mut b = Banker::new(2, 2);
+        for pi in 0..2 {
+            b.set_claim(p(pi), q(0));
+            b.set_claim(p(pi), q(1));
+        }
+        assert_eq!(b.request(p(0), q(0)), BankerOutcome::Granted);
+        assert_eq!(
+            b.request(p(1), q(1)),
+            BankerOutcome::Deferred,
+            "unsafe: would leave no completion order"
+        );
+        // p1 can take q2 itself (still safe: p1 finishes, then p2).
+        assert_eq!(b.request(p(0), q(1)), BankerOutcome::Granted);
+        b.release(p(0), q(0)).unwrap();
+        b.release(p(0), q(1)).unwrap();
+        assert_eq!(b.request(p(1), q(1)), BankerOutcome::Granted);
+    }
+
+    #[test]
+    fn banker_rejects_undeclared_requests() {
+        let mut b = Banker::new(2, 1);
+        b.set_claim(p(0), q(0));
+        assert_eq!(b.request(p(0), q(1)), BankerOutcome::OutsideClaim);
+    }
+
+    #[test]
+    fn banker_with_disjoint_claims_grants_freely() {
+        let mut b = Banker::new(2, 2);
+        b.set_claim(p(0), q(0));
+        b.set_claim(p(1), q(1));
+        assert_eq!(b.request(p(0), q(0)), BankerOutcome::Granted);
+        assert_eq!(b.request(p(1), q(1)), BankerOutcome::Granted);
+        assert_eq!(b.owner(q(0)), Some(p(0)));
+    }
+
+    #[test]
+    fn banker_release_requires_ownership() {
+        let mut b = Banker::new(1, 2);
+        b.set_claim(p(0), q(0));
+        b.request(p(0), q(0));
+        assert!(b.release(p(1), q(0)).is_err());
+        assert!(b.release(p(0), q(0)).is_ok());
+    }
+
+    /// The DAA's key advantage over the Banker (Section 4.1): on the
+    /// same workload, the Banker defers grants the DAA allows, because
+    /// the DAA only restricts when an actual cycle would form.
+    #[test]
+    fn daa_is_more_permissive_than_banker() {
+        use crate::avoid::{Avoider, FastProbe};
+        let mut banker = Banker::new(2, 2);
+        for pi in 0..2 {
+            banker.set_claim(p(pi), q(0));
+            banker.set_claim(p(pi), q(1));
+        }
+        let mut daa = Avoider::new(2, 2);
+        banker.request(p(0), q(0));
+        daa.request(p(0), q(0), &mut FastProbe).unwrap();
+        // q2 is free; p2 asks for it.
+        let banker_says = banker.request(p(1), q(1));
+        let daa_says = daa.request(p(1), q(1), &mut FastProbe).unwrap();
+        assert_eq!(
+            banker_says,
+            BankerOutcome::Deferred,
+            "banker is conservative"
+        );
+        assert!(daa_says.is_granted(), "the DAA grants: no cycle yet");
+    }
+}

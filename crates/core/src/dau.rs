@@ -1,0 +1,479 @@
+//! DAU — the Deadlock Avoidance hardware Unit (Section 4.3.2).
+//!
+//! The DAU packages four blocks (Figure 14): a DDU, **command registers**
+//! (one per PE, written with request/release commands), **status
+//! registers** (read back by the PEs) and the Algorithm-3 FSM. [`Dau`]
+//! models it at cycle granularity: executing a command costs the FSM's
+//! fixed step budget plus the DDU steps of every detection probe the
+//! command triggered — the Table 2 worst case for a 5×5 unit is
+//! `6 × 5 + 8 = 38` steps (five G-dl probes of six steps each, plus the
+//! eight FSM steps).
+
+use crate::avoid::{Avoider, DeadlockProbe, GiveUpAsk, ReleaseOutcome, RequestOutcome};
+use crate::ddu::Ddu;
+use crate::{CoreError, Priority, ProcId, Rag, ResId};
+
+/// FSM steps per command (the "Others in Figure 14" row of Table 2).
+pub const FSM_STEPS: u64 = 8;
+
+/// A command a PE writes into its DAU command register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// `p` requests `q`.
+    Request { process: ProcId, resource: ResId },
+    /// `p` releases `q`.
+    Release { process: ProcId, resource: ResId },
+}
+
+/// Contents of a DAU status register after a command completes
+/// (Section 4.3.2 lists these fields).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Status {
+    /// Command processing finished.
+    pub done: bool,
+    /// The command achieved its direct goal (grant happened / release
+    /// processed).
+    pub successful: bool,
+    /// The request was queued.
+    pub pending: bool,
+    /// A process is being asked to give up resources.
+    pub give_up: Option<GiveUpAsk>,
+    /// Livelock was detected and resolution engaged.
+    pub livelock: bool,
+    /// Grant deadlock was detected (and dodged) while processing.
+    pub gdl: bool,
+    /// Request deadlock was detected (and handled) while processing.
+    pub rdl: bool,
+    /// Process the status refers to (requester/releaser).
+    pub which_process: ProcId,
+    /// Resource the status refers to.
+    pub which_resource: ResId,
+    /// For a release: who received the resource, if anyone.
+    pub granted_to: Option<ProcId>,
+}
+
+/// Step-counting probe backed by the embedded DDU.
+struct DduProbe<'a> {
+    ddu: &'a mut Ddu,
+    steps: &'a mut u64,
+    probes: &'a mut u32,
+}
+
+impl DeadlockProbe for DduProbe<'_> {
+    fn would_deadlock(&mut self, rag: &Rag) -> bool {
+        self.ddu.load_rag(rag);
+        let out = self.ddu.detect();
+        *self.steps += out.steps as u64;
+        *self.probes += 1;
+        out.deadlock
+    }
+}
+
+/// Report from executing one DAU command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DauReport {
+    /// The status register contents.
+    pub status: Status,
+    /// Hardware clock cycles consumed (`FSM_STEPS` + DDU steps).
+    pub cycles: u64,
+    /// Number of DDU detection pulses the command triggered.
+    pub probes: u32,
+}
+
+/// Cycle-level model of the Deadlock Avoidance Unit.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_core::dau::{Command, Dau};
+/// use deltaos_core::{Priority, ProcId, ResId};
+///
+/// # fn main() -> Result<(), deltaos_core::CoreError> {
+/// let mut dau = Dau::new(5, 5);
+/// dau.set_priority(ProcId(0), Priority::new(1));
+/// let report = dau.execute(Command::Request {
+///     process: ProcId(0),
+///     resource: ResId(0),
+/// })?;
+/// assert!(report.status.successful);
+/// assert_eq!(report.cycles, deltaos_core::dau::FSM_STEPS); // no probe needed
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dau {
+    avoider: Avoider,
+    ddu: Ddu,
+    total_cycles: u64,
+    commands: u64,
+}
+
+impl Dau {
+    /// Creates a DAU for `resources` × `processes` (the generator
+    /// parameters of Section 4.4).
+    pub fn new(resources: usize, processes: usize) -> Self {
+        Dau {
+            avoider: Avoider::new(resources, processes),
+            ddu: Ddu::new(resources, processes),
+            total_cycles: 0,
+            commands: 0,
+        }
+    }
+
+    /// Sets the arbitration priority for `p` (loaded into the DAU by the
+    /// RTOS at task creation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn set_priority(&mut self, p: ProcId, priority: Priority) {
+        self.avoider.set_priority(p, priority);
+    }
+
+    /// The tracked system state.
+    pub fn rag(&self) -> &Rag {
+        self.avoider.rag()
+    }
+
+    /// The decision engine (for give-up asks and livelock counters).
+    pub fn avoider(&self) -> &Avoider {
+        &self.avoider
+    }
+
+    /// Executes a command written to the command register and returns the
+    /// resulting status register plus hardware cycle cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] for protocol violations (double request,
+    /// release by non-owner, bad ids). Real hardware would flag these in
+    /// the status register; surfacing them as `Result` keeps misuse loud
+    /// in simulation.
+    pub fn execute(&mut self, cmd: Command) -> Result<DauReport, CoreError> {
+        let mut steps = 0u64;
+        let mut probes = 0u32;
+        let status = match cmd {
+            Command::Request { process, resource } => {
+                let outcome = {
+                    let mut probe = DduProbe {
+                        ddu: &mut self.ddu,
+                        steps: &mut steps,
+                        probes: &mut probes,
+                    };
+                    self.avoider.request(process, resource, &mut probe)?
+                };
+                let mut st = Status {
+                    done: true,
+                    successful: matches!(outcome, RequestOutcome::Granted),
+                    pending: !matches!(outcome, RequestOutcome::Granted),
+                    give_up: None,
+                    livelock: false,
+                    gdl: false,
+                    rdl: outcome.is_rdl(),
+                    which_process: process,
+                    which_resource: resource,
+                    granted_to: matches!(outcome, RequestOutcome::Granted).then_some(process),
+                };
+                match outcome {
+                    RequestOutcome::PendingOwnerAsked(ask)
+                    | RequestOutcome::PendingRequesterAsked(ask) => st.give_up = Some(ask),
+                    _ => {}
+                }
+                st
+            }
+            Command::Release { process, resource } => {
+                let outcome = {
+                    let mut probe = DduProbe {
+                        ddu: &mut self.ddu,
+                        steps: &mut steps,
+                        probes: &mut probes,
+                    };
+                    self.avoider.release(process, resource, &mut probe)?
+                };
+                let gdl = outcome.is_gdl();
+                match outcome {
+                    ReleaseOutcome::NoWaiters => Status {
+                        done: true,
+                        successful: true,
+                        pending: false,
+                        give_up: None,
+                        livelock: false,
+                        gdl: false,
+                        rdl: false,
+                        which_process: process,
+                        which_resource: resource,
+                        granted_to: None,
+                    },
+                    ReleaseOutcome::GrantedTo {
+                        process: to,
+                        bypassed_gdl: _,
+                    } => Status {
+                        done: true,
+                        successful: true,
+                        pending: false,
+                        give_up: None,
+                        livelock: false,
+                        gdl,
+                        rdl: false,
+                        which_process: process,
+                        which_resource: resource,
+                        granted_to: Some(to),
+                    },
+                    ReleaseOutcome::Livelock { ask } => Status {
+                        done: true,
+                        successful: true,
+                        pending: false,
+                        give_up: ask,
+                        livelock: true,
+                        gdl: true,
+                        rdl: false,
+                        which_process: process,
+                        which_resource: resource,
+                        granted_to: None,
+                    },
+                }
+            }
+        };
+        let cycles = FSM_STEPS + steps;
+        self.total_cycles += cycles;
+        self.commands += 1;
+        Ok(DauReport {
+            status,
+            cycles,
+            probes,
+        })
+    }
+
+    /// Withdraws a pending or parked request (the PE clearing its
+    /// command register); returns whether one existed.
+    pub fn cancel_request(&mut self, p: ProcId, q: ResId) -> bool {
+        self.avoider.cancel_request(p, q)
+    }
+
+    /// Total hardware cycles across all commands.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Number of commands executed.
+    pub fn command_count(&self) -> u64 {
+        self.commands
+    }
+
+    /// Mean hardware cycles per command (the "DAU / Algorithm Run Time"
+    /// entry of Tables 7 and 9), or `None` before the first command.
+    pub fn mean_cycles(&self) -> Option<f64> {
+        if self.commands == 0 {
+            None
+        } else {
+            Some(self.total_cycles as f64 / self.commands as f64)
+        }
+    }
+
+    /// Worst-case avoidance steps for a unit of this size, per the Table 2
+    /// accounting: one G-dl probe per process plus the FSM budget.
+    pub fn worst_case_steps(&self) -> u64 {
+        let probes = self.avoider.rag().processes() as u64;
+        let ddu_worst = crate::reduction::step_bound(
+            self.avoider.rag().resources(),
+            self.avoider.rag().processes(),
+        ) as u64;
+        probes * ddu_worst + FSM_STEPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u16) -> ProcId {
+        ProcId(i)
+    }
+    fn q(i: u16) -> ResId {
+        ResId(i)
+    }
+
+    fn dau() -> Dau {
+        let mut d = Dau::new(5, 5);
+        for i in 0..5 {
+            d.set_priority(p(i), Priority::new(i as u8 + 1));
+        }
+        d
+    }
+
+    #[test]
+    fn grant_on_free_resource_costs_fsm_only() {
+        let mut d = dau();
+        let rep = d
+            .execute(Command::Request {
+                process: p(0),
+                resource: q(0),
+            })
+            .unwrap();
+        assert!(rep.status.successful);
+        assert_eq!(rep.probes, 0);
+        assert_eq!(rep.cycles, FSM_STEPS);
+    }
+
+    #[test]
+    fn busy_request_costs_fsm_plus_one_detection() {
+        let mut d = dau();
+        d.execute(Command::Request {
+            process: p(0),
+            resource: q(0),
+        })
+        .unwrap();
+        let rep = d
+            .execute(Command::Request {
+                process: p(1),
+                resource: q(0),
+            })
+            .unwrap();
+        assert!(rep.status.pending);
+        assert_eq!(rep.probes, 1);
+        assert!(rep.cycles > FSM_STEPS && rep.cycles < FSM_STEPS + 20);
+    }
+
+    #[test]
+    fn gdl_dodge_sets_status_bit_and_grants_lower_priority() {
+        let mut d = dau();
+        for (pi, qi) in [(0u16, 1u16), (2, 3)] {
+            d.execute(Command::Request {
+                process: p(pi),
+                resource: q(qi),
+            })
+            .unwrap();
+        }
+        for (pi, qi) in [(2u16, 1u16), (1, 1), (1, 3)] {
+            d.execute(Command::Request {
+                process: p(pi),
+                resource: q(qi),
+            })
+            .unwrap();
+        }
+        let rep = d
+            .execute(Command::Release {
+                process: p(0),
+                resource: q(1),
+            })
+            .unwrap();
+        assert!(rep.status.gdl, "G-dl must be flagged");
+        assert_eq!(rep.status.granted_to, Some(p(2)));
+        assert_eq!(rep.probes, 2, "p2 probed (G-dl), then p3 probed (ok)");
+    }
+
+    #[test]
+    fn rdl_sets_status_and_giveup() {
+        let mut d = dau();
+        d.execute(Command::Request {
+            process: p(1),
+            resource: q(1),
+        })
+        .unwrap();
+        d.execute(Command::Request {
+            process: p(0),
+            resource: q(0),
+        })
+        .unwrap();
+        d.execute(Command::Request {
+            process: p(1),
+            resource: q(0),
+        })
+        .unwrap();
+        let rep = d
+            .execute(Command::Request {
+                process: p(0),
+                resource: q(1),
+            })
+            .unwrap();
+        assert!(rep.status.rdl);
+        let ask = rep.status.give_up.expect("owner must be asked");
+        assert_eq!(ask.target, p(1));
+    }
+
+    #[test]
+    fn worst_case_steps_shape_matches_table2() {
+        let d = dau();
+        // 5 probes × step bound + 8 FSM steps; the paper's concrete figure
+        // is 6×5+8 = 38 with its tighter per-probe bound.
+        assert_eq!(d.worst_case_steps(), 5 * 11 + 8);
+        assert!(d.worst_case_steps() < 100);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = dau();
+        d.execute(Command::Request {
+            process: p(0),
+            resource: q(0),
+        })
+        .unwrap();
+        d.execute(Command::Release {
+            process: p(0),
+            resource: q(0),
+        })
+        .unwrap();
+        assert_eq!(d.command_count(), 2);
+        assert!(d.mean_cycles().unwrap() >= FSM_STEPS as f64);
+    }
+
+    #[test]
+    fn protocol_violation_is_error() {
+        let mut d = dau();
+        assert!(d
+            .execute(Command::Release {
+                process: p(0),
+                resource: q(0),
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn dau_is_orders_faster_than_sw_daa_on_same_trace() {
+        use crate::daa::SwDaa;
+        let trace: Vec<(bool, u16, u16)> = vec![
+            (true, 0, 0),
+            (true, 1, 1),
+            (true, 2, 2),
+            (true, 0, 1),
+            (true, 1, 2),
+            (false, 0, 0),
+            (false, 1, 1), // q2 released → granted to waiter p1? (p0 waits q1)
+            (false, 2, 2), // q3 released → granted to waiter p2 (p1 waits q2)
+            (false, 0, 1),
+            (false, 1, 2),
+        ];
+        let mut hw = dau();
+        let mut sw = SwDaa::new(5, 5);
+        for i in 0..5 {
+            sw.set_priority(p(i), Priority::new(i as u8 + 1));
+        }
+        let mut hw_total = 0u64;
+        let mut sw_total = 0u64;
+        for &(is_req, pi, qi) in &trace {
+            if is_req {
+                let r = hw
+                    .execute(Command::Request {
+                        process: p(pi),
+                        resource: q(qi),
+                    })
+                    .unwrap();
+                hw_total += r.cycles;
+                sw_total += sw.request(p(pi), q(qi)).unwrap().cycles;
+            } else {
+                let r = hw
+                    .execute(Command::Release {
+                        process: p(pi),
+                        resource: q(qi),
+                    })
+                    .unwrap();
+                hw_total += r.cycles;
+                sw_total += sw.release(p(pi), q(qi)).unwrap().cycles;
+            }
+        }
+        assert!(
+            sw_total > 20 * hw_total,
+            "software {sw_total} vs hardware {hw_total} cycles"
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! DDU — the Deadlock Detection hardware Unit (Sections 4.2.2–4.2.3).
+//!
+//! The DDU is a cell array holding the state matrix in flip-flop pairs
+//! (one `r` and one `g` bit per cell), a column/row weight-cell rim
+//! computing the Bit-Wise-OR → XOR → OR trees of Equations 3–5 and a
+//! decide cell implementing Equations 6–7. Every terminal-reduction step
+//! completes in **one hardware clock** regardless of matrix size because
+//! all rows and columns are evaluated by combinational trees in parallel —
+//! that is the source of the O(min(m,n)) bound, versus O(m·n) per pass for
+//! the software scan.
+//!
+//! [`Ddu`] models the unit at cycle granularity: the RTOS (or the DAU)
+//! writes edges into the cell array with [`Ddu::set_request`] /
+//! [`Ddu::set_grant`] / [`Ddu::clear`], then pulses [`Ddu::detect`], which
+//! reports the deadlock decision and the number of hardware clocks the
+//! engine spent.
+
+use crate::matrix::StateMatrix;
+use crate::pdda::DetectOutcome;
+use crate::reduction::terminal_reduction;
+use crate::{ProcId, Rag, ResId};
+
+/// Cycle-level model of the Deadlock Detection Unit.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_core::ddu::Ddu;
+/// use deltaos_core::{ProcId, ResId};
+///
+/// let mut ddu = Ddu::new(5, 5);
+/// ddu.set_grant(ResId(0), ProcId(0));
+/// ddu.set_request(ProcId(1), ResId(0));
+/// let out = ddu.detect();
+/// assert!(!out.deadlock);
+/// assert!(out.steps >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ddu {
+    matrix: StateMatrix,
+    detections: u64,
+    total_steps: u64,
+}
+
+impl Ddu {
+    /// Creates a DDU sized for `resources` × `processes` (the paper's
+    /// parameterized generator takes the same two parameters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(resources: usize, processes: usize) -> Self {
+        Ddu {
+            matrix: StateMatrix::new(resources, processes),
+            detections: 0,
+            total_steps: 0,
+        }
+    }
+
+    /// Number of resource rows.
+    pub fn resources(&self) -> usize {
+        self.matrix.resources()
+    }
+
+    /// Number of process columns.
+    pub fn processes(&self) -> usize {
+        self.matrix.processes()
+    }
+
+    /// Writes a request edge into the cell array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are out of range for the unit.
+    pub fn set_request(&mut self, p: ProcId, q: ResId) {
+        self.matrix.set_request(p, q);
+    }
+
+    /// Writes a grant edge into the cell array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are out of range for the unit.
+    pub fn set_grant(&mut self, q: ResId, p: ProcId) {
+        self.matrix.set_grant(q, p);
+    }
+
+    /// Clears a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are out of range for the unit.
+    pub fn clear(&mut self, q: ResId, p: ProcId) {
+        self.matrix.clear(q, p);
+    }
+
+    /// Reloads the whole cell array from a [`Rag`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the RAG dimensions exceed the unit's.
+    pub fn load_rag(&mut self, rag: &Rag) {
+        assert!(
+            rag.resources() <= self.resources() && rag.processes() <= self.processes(),
+            "RAG {}x{} does not fit DDU {}x{}",
+            rag.resources(),
+            rag.processes(),
+            self.resources(),
+            self.processes()
+        );
+        let mut fresh = StateMatrix::new(self.resources(), self.processes());
+        for qi in 0..rag.resources() {
+            let q = ResId(qi as u16);
+            if let Some(p) = rag.owner(q) {
+                fresh.set_grant(q, p);
+            }
+            for &p in rag.requesters(q) {
+                fresh.set_request(p, q);
+            }
+        }
+        self.matrix = fresh;
+    }
+
+    /// Read-back of the current cell array (for debugging and the RTL
+    /// test benches).
+    pub fn matrix(&self) -> &StateMatrix {
+        &self.matrix
+    }
+
+    /// Pulses the detection engine.
+    ///
+    /// The reduction runs on a working copy — the real DDU shifts the cell
+    /// contents into its iteration registers so the programmed state
+    /// survives detection, and so does ours. `steps` in the returned
+    /// outcome is the number of hardware clocks consumed.
+    pub fn detect(&mut self) -> DetectOutcome {
+        let mut work = self.matrix.clone();
+        let outcome: DetectOutcome = terminal_reduction(&mut work).into();
+        self.detections += 1;
+        self.total_steps += outcome.steps as u64;
+        outcome
+    }
+
+    /// Number of [`Ddu::detect`] pulses since construction.
+    pub fn detection_count(&self) -> u64 {
+        self.detections
+    }
+
+    /// Total hardware clocks spent detecting since construction.
+    pub fn total_steps(&self) -> u64 {
+        self.total_steps
+    }
+
+    /// Mean hardware clocks per detection (the "Algorithm Run Time" row of
+    /// Table 5), or `None` before the first detection.
+    pub fn mean_steps(&self) -> Option<f64> {
+        if self.detections == 0 {
+            None
+        } else {
+            Some(self.total_steps as f64 / self.detections as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u16) -> ProcId {
+        ProcId(i)
+    }
+    fn q(i: u16) -> ResId {
+        ResId(i)
+    }
+
+    #[test]
+    fn empty_unit_detects_nothing_in_one_clock() {
+        let mut ddu = Ddu::new(5, 5);
+        let out = ddu.detect();
+        assert!(!out.deadlock);
+        assert_eq!(out.steps, 1);
+    }
+
+    #[test]
+    fn detection_preserves_programmed_state() {
+        let mut ddu = Ddu::new(2, 2);
+        ddu.set_grant(q(0), p(0));
+        ddu.set_request(p(1), q(0));
+        ddu.detect();
+        assert_eq!(ddu.matrix().edge_count(), 2, "cells must survive detection");
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut ddu = Ddu::new(2, 2);
+        ddu.set_grant(q(0), p(0));
+        ddu.set_grant(q(1), p(1));
+        ddu.set_request(p(0), q(1));
+        ddu.set_request(p(1), q(0));
+        assert!(ddu.detect().deadlock);
+    }
+
+    #[test]
+    fn clear_removes_the_cycle() {
+        let mut ddu = Ddu::new(2, 2);
+        ddu.set_grant(q(0), p(0));
+        ddu.set_grant(q(1), p(1));
+        ddu.set_request(p(0), q(1));
+        ddu.set_request(p(1), q(0));
+        ddu.clear(q(1), p(0));
+        assert!(!ddu.detect().deadlock);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut ddu = Ddu::new(3, 3);
+        assert_eq!(ddu.mean_steps(), None);
+        ddu.detect();
+        ddu.set_grant(q(0), p(0));
+        ddu.detect();
+        assert_eq!(ddu.detection_count(), 2);
+        assert!(ddu.total_steps() >= 2);
+        assert!(ddu.mean_steps().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn load_rag_mirrors_graph() {
+        let mut rag = Rag::new(2, 2);
+        rag.add_grant(q(0), p(1)).unwrap();
+        rag.add_request(p(0), q(0)).unwrap();
+        let mut ddu = Ddu::new(5, 5);
+        ddu.load_rag(&rag);
+        assert_eq!(ddu.matrix().edge_count(), 2);
+        assert!(!ddu.detect().deadlock);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_rag_rejected() {
+        let rag = Rag::new(10, 10);
+        let mut ddu = Ddu::new(5, 5);
+        ddu.load_rag(&rag);
+    }
+
+    #[test]
+    fn steps_scale_with_chain_length_not_area() {
+        // A chain over k nodes needs ~k/2 steps; the same chain in a much
+        // wider unit needs the same number of steps (hardware parallelism).
+        let mut chain = Rag::new(8, 8);
+        for i in 0..7u16 {
+            chain.add_grant(q(i), p(i)).unwrap();
+            chain.add_request(p(i), q(i + 1)).unwrap();
+        }
+        let mut small = Ddu::new(8, 8);
+        small.load_rag(&chain);
+        let s1 = small.detect().steps;
+        let mut wide = Ddu::new(8, 64);
+        wide.load_rag(&chain);
+        let s2 = wide.detect().steps;
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the core deadlock machinery.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{ProcId, ResId};
+
+/// Errors returned by the RAG, matrix and avoidance APIs.
+///
+/// Every variant describes a violated precondition of the paper's system
+/// model (Section 3.2.3): fixed resource set, single-unit resources, and
+/// release-by-holder-only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Process id out of range for this system.
+    UnknownProcess(ProcId),
+    /// Resource id out of range for this system.
+    UnknownResource(ResId),
+    /// The same request edge was added twice.
+    DuplicateEdge { process: ProcId, resource: ResId },
+    /// A grant was attempted on a resource that is already granted
+    /// (single-unit resource invariant).
+    ResourceBusy { resource: ResId, owner: ProcId },
+    /// A release was attempted by a process that does not hold the
+    /// resource (Assumption 2).
+    NotOwner { process: ProcId, resource: ResId },
+    /// A process requested a resource it already holds.
+    RequestWhileHolding { process: ProcId, resource: ResId },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownProcess(p) => write!(f, "unknown process {p}"),
+            CoreError::UnknownResource(q) => write!(f, "unknown resource {q}"),
+            CoreError::DuplicateEdge { process, resource } => {
+                write!(f, "request edge {process}->{resource} already exists")
+            }
+            CoreError::ResourceBusy { resource, owner } => {
+                write!(f, "resource {resource} is already granted to {owner}")
+            }
+            CoreError::NotOwner { process, resource } => {
+                write!(f, "{process} does not hold {resource}")
+            }
+            CoreError::RequestWhileHolding { process, resource } => {
+                write!(f, "{process} already holds {resource}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = CoreError::ResourceBusy {
+            resource: ResId(1),
+            owner: ProcId(0),
+        };
+        let s = e.to_string();
+        assert!(s.contains("q2"));
+        assert!(s.contains("p1"));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CoreError>();
+    }
+}

@@ -1,0 +1,163 @@
+//! Identifier newtypes shared across the deadlock machinery.
+
+use std::fmt;
+
+/// Identifies a process (task) in the system model.
+///
+/// The paper writes processes as `p1..pn`; indices here are zero-based, so
+/// the paper's `p1` is `ProcId(0)`.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_core::ProcId;
+/// assert_eq!(ProcId(0).to_string(), "p1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u16);
+
+impl ProcId {
+    /// Zero-based index into process-indexed arrays and matrix columns.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0 + 1)
+    }
+}
+
+/// Identifies a resource in the system model.
+///
+/// The paper writes resources as `q1..qm`; indices here are zero-based, so
+/// the paper's `q1` is `ResId(0)`.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_core::ResId;
+/// assert_eq!(ResId(1).to_string(), "q2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResId(pub u16);
+
+impl ResId {
+    /// Zero-based index into resource-indexed arrays and matrix rows.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ResId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0 + 1)
+    }
+}
+
+/// A task/process priority.
+///
+/// Follows the paper's convention (and Atalanta's): **numerically smaller
+/// is more urgent** — priority 1 is the highest. [`Priority::is_higher_than`]
+/// encodes the comparison so call sites never get the direction wrong.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_core::Priority;
+/// let p1 = Priority::new(1);
+/// let p2 = Priority::new(2);
+/// assert!(p1.is_higher_than(p2));
+/// assert!(!p2.is_higher_than(p1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(u8);
+
+impl Priority {
+    /// Highest possible priority.
+    pub const HIGHEST: Priority = Priority(0);
+    /// Lowest possible priority.
+    pub const LOWEST: Priority = Priority(u8::MAX);
+
+    /// Creates a priority from its numeric level (smaller = more urgent).
+    #[inline]
+    pub const fn new(level: u8) -> Self {
+        Priority(level)
+    }
+
+    /// The numeric level.
+    #[inline]
+    pub const fn level(self) -> u8 {
+        self.0
+    }
+
+    /// `true` if `self` is more urgent than `other`.
+    #[inline]
+    pub fn is_higher_than(self, other: Priority) -> bool {
+        self.0 < other.0
+    }
+
+    /// Returns the more urgent of the two priorities.
+    #[inline]
+    pub fn higher_of(self, other: Priority) -> Priority {
+        if self.is_higher_than(other) {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::LOWEST
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_based_like_the_paper() {
+        assert_eq!(ProcId(0).to_string(), "p1");
+        assert_eq!(ProcId(3).to_string(), "p4");
+        assert_eq!(ResId(0).to_string(), "q1");
+        assert_eq!(ResId(4).to_string(), "q5");
+    }
+
+    #[test]
+    fn priority_direction() {
+        assert!(Priority::HIGHEST.is_higher_than(Priority::LOWEST));
+        assert!(Priority::new(1).is_higher_than(Priority::new(2)));
+        assert!(!Priority::new(2).is_higher_than(Priority::new(2)));
+    }
+
+    #[test]
+    fn higher_of_picks_the_urgent_one() {
+        let a = Priority::new(3);
+        let b = Priority::new(7);
+        assert_eq!(a.higher_of(b), a);
+        assert_eq!(b.higher_of(a), a);
+    }
+
+    #[test]
+    fn default_priority_is_lowest() {
+        assert_eq!(Priority::default(), Priority::LOWEST);
+    }
+
+    #[test]
+    fn indices_are_zero_based() {
+        assert_eq!(ProcId(2).index(), 2);
+        assert_eq!(ResId(2).index(), 2);
+    }
+}

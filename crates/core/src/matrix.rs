@@ -1,0 +1,490 @@
+//! The state matrix `M_ij` (Definition 6): a bit-plane encoding of the RAG.
+//!
+//! Each entry `α_st` of the m×n matrix is ternary — a request edge
+//! `r_{t→s}`, a grant edge `g_{s→t}`, or empty — and the paper encodes it
+//! as the bit pair `(α^r_st, α^g_st)` (Equation 2). [`StateMatrix`] stores
+//! the two bit planes row-major with each row's columns packed into `u64`
+//! words. That packing is not an optimization detail: it is the software
+//! twin of the DDU's cell array, where all columns of a row are processed
+//! *in the same clock*. The word-parallel reduction in
+//! [`crate::reduction`] evaluates the hardware's Bit-Wise-OR / XOR / AND
+//! trees (Equations 3–7) one row-word at a time, which is exactly how the
+//! O(min(m,n)) step bound arises.
+
+use std::fmt;
+
+use crate::{CoreError, ProcId, Rag, ResId};
+
+/// One ternary matrix entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cell {
+    /// No edge (`0_st`).
+    Empty,
+    /// Request edge `r_{t→s}`: process `t` waits for resource `s`.
+    Request,
+    /// Grant edge `g_{s→t}`: resource `s` is allocated to process `t`.
+    Grant,
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Cell::Empty => '.',
+            Cell::Request => 'r',
+            Cell::Grant => 'g',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// The m×n system state matrix with `r`/`g` bit planes.
+///
+/// Rows are resources (`q1..qm`), columns are processes (`p1..pn`), exactly
+/// as in Definition 6 and Figure 11 of the paper.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_core::matrix::{Cell, StateMatrix};
+/// use deltaos_core::{ProcId, ResId};
+///
+/// let mut m = StateMatrix::new(3, 3);
+/// m.set_grant(ResId(0), ProcId(0));
+/// m.set_request(ProcId(1), ResId(0));
+/// assert_eq!(m.cell(ResId(0), ProcId(0)), Cell::Grant);
+/// assert_eq!(m.cell(ResId(0), ProcId(1)), Cell::Request);
+/// assert_eq!(m.cell(ResId(1), ProcId(1)), Cell::Empty);
+/// assert_eq!(m.edge_count(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct StateMatrix {
+    m: usize,
+    n: usize,
+    /// Words per row: `ceil(n / 64)`.
+    words: usize,
+    /// Request bit plane, row-major (`m * words` words).
+    r: Vec<u64>,
+    /// Grant bit plane, row-major.
+    g: Vec<u64>,
+}
+
+impl StateMatrix {
+    /// Creates an empty matrix for `resources` rows and `processes`
+    /// columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero — the hardware generators refuse
+    /// degenerate arrays, and so do we.
+    pub fn new(resources: usize, processes: usize) -> Self {
+        assert!(
+            resources > 0 && processes > 0,
+            "matrix dimensions must be non-zero"
+        );
+        let words = processes.div_ceil(64);
+        StateMatrix {
+            m: resources,
+            n: processes,
+            words,
+            r: vec![0; resources * words],
+            g: vec![0; resources * words],
+        }
+    }
+
+    /// Builds the matrix from a [`Rag`] (lines 2–6 of Algorithm 2).
+    pub fn from_rag(rag: &Rag) -> Self {
+        let mut mat = StateMatrix::new(rag.resources().max(1), rag.processes().max(1));
+        for qi in 0..rag.resources() {
+            let q = ResId(qi as u16);
+            if let Some(p) = rag.owner(q) {
+                mat.set_grant(q, p);
+            }
+            for &p in rag.requesters(q) {
+                mat.set_request(p, q);
+            }
+        }
+        mat
+    }
+
+    /// Number of resource rows `m`.
+    pub fn resources(&self) -> usize {
+        self.m
+    }
+
+    /// Number of process columns `n`.
+    pub fn processes(&self) -> usize {
+        self.n
+    }
+
+    /// Words per row (an implementation detail exposed for the reduction
+    /// engine and benchmarks).
+    pub fn words_per_row(&self) -> usize {
+        self.words
+    }
+
+    #[inline]
+    fn idx(&self, s: usize, word: usize) -> usize {
+        s * self.words + word
+    }
+
+    #[inline]
+    fn bit(t: usize) -> (usize, u64) {
+        (t / 64, 1u64 << (t % 64))
+    }
+
+    #[inline]
+    fn check(&self, q: ResId, p: ProcId) {
+        assert!(
+            q.index() < self.m && p.index() < self.n,
+            "cell ({q},{p}) out of range for {}x{} matrix",
+            self.m,
+            self.n
+        );
+    }
+
+    /// Sets `α_st = r` (request edge `p → q`), clearing any grant bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    pub fn set_request(&mut self, p: ProcId, q: ResId) {
+        self.check(q, p);
+        let (w, b) = Self::bit(p.index());
+        let i = self.idx(q.index(), w);
+        self.r[i] |= b;
+        self.g[i] &= !b;
+    }
+
+    /// Sets `α_st = g` (grant edge `q → p`), clearing any request bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    pub fn set_grant(&mut self, q: ResId, p: ProcId) {
+        self.check(q, p);
+        let (w, b) = Self::bit(p.index());
+        let i = self.idx(q.index(), w);
+        self.g[i] |= b;
+        self.r[i] &= !b;
+    }
+
+    /// Clears the entry to `0_st`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    pub fn clear(&mut self, q: ResId, p: ProcId) {
+        self.check(q, p);
+        let (w, b) = Self::bit(p.index());
+        let i = self.idx(q.index(), w);
+        self.r[i] &= !b;
+        self.g[i] &= !b;
+    }
+
+    /// Reads the entry `α_st`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    pub fn cell(&self, q: ResId, p: ProcId) -> Cell {
+        self.check(q, p);
+        let (w, b) = Self::bit(p.index());
+        let i = self.idx(q.index(), w);
+        match (self.r[i] & b != 0, self.g[i] & b != 0) {
+            (false, false) => Cell::Empty,
+            (true, false) => Cell::Request,
+            (false, true) => Cell::Grant,
+            (true, true) => unreachable!("entry cannot be both request and grant"),
+        }
+    }
+
+    /// Request bit-plane words of row `s`.
+    #[inline]
+    pub fn row_r(&self, s: usize) -> &[u64] {
+        &self.r[s * self.words..(s + 1) * self.words]
+    }
+
+    /// Grant bit-plane words of row `s`.
+    #[inline]
+    pub fn row_g(&self, s: usize) -> &[u64] {
+        &self.g[s * self.words..(s + 1) * self.words]
+    }
+
+    /// Zeroes entire row `s` in both planes (terminal-row removal).
+    #[inline]
+    pub fn clear_row(&mut self, s: usize) {
+        for w in 0..self.words {
+            let i = self.idx(s, w);
+            self.r[i] = 0;
+            self.g[i] = 0;
+        }
+    }
+
+    /// Clears, in every row, the columns whose bits are set in `mask`
+    /// (terminal-column removal). `mask` must have `words_per_row` words.
+    #[inline]
+    #[allow(clippy::needless_range_loop)]
+    pub fn clear_columns(&mut self, mask: &[u64]) {
+        debug_assert_eq!(mask.len(), self.words);
+        for s in 0..self.m {
+            for w in 0..self.words {
+                let i = self.idx(s, w);
+                self.r[i] &= !mask[w];
+                self.g[i] &= !mask[w];
+            }
+        }
+    }
+
+    /// Column-wise Bit-Wise-OR of both planes (Equation 3's `BWO^c`):
+    /// returns `(col_r, col_g)` bit vectors indexed by process column.
+    pub fn column_bwo(&self) -> (Vec<u64>, Vec<u64>) {
+        let mut cr = vec![0u64; self.words];
+        let mut cg = vec![0u64; self.words];
+        for s in 0..self.m {
+            for w in 0..self.words {
+                let i = self.idx(s, w);
+                cr[w] |= self.r[i];
+                cg[w] |= self.g[i];
+            }
+        }
+        (cr, cg)
+    }
+
+    /// Row-wise Bit-Wise-OR (Equation 3's `BWO^r`): for row `s` returns
+    /// `(any_request, any_grant)`.
+    #[inline]
+    pub fn row_bwo(&self, s: usize) -> (bool, bool) {
+        let mut ra = 0u64;
+        let mut ga = 0u64;
+        for w in 0..self.words {
+            let i = self.idx(s, w);
+            ra |= self.r[i];
+            ga |= self.g[i];
+        }
+        (ra != 0, ga != 0)
+    }
+
+    /// Total number of non-empty entries.
+    pub fn edge_count(&self) -> usize {
+        let r: u32 = self.r.iter().map(|w| w.count_ones()).sum();
+        let g: u32 = self.g.iter().map(|w| w.count_ones()).sum();
+        (r + g) as usize
+    }
+
+    /// `true` if every entry is `0_st` (a *complete reduction* result,
+    /// Definition 13).
+    pub fn is_empty(&self) -> bool {
+        self.r.iter().all(|&w| w == 0) && self.g.iter().all(|&w| w == 0)
+    }
+
+    /// Rows and columns that still carry edges — after a terminal
+    /// reduction, these are exactly the resources and processes involved
+    /// in deadlock cycles (the irreducible core).
+    pub fn survivors(&self) -> (Vec<ResId>, Vec<ProcId>) {
+        let mut rows = Vec::new();
+        for s in 0..self.m {
+            let (ra, ga) = self.row_bwo(s);
+            if ra || ga {
+                rows.push(ResId(s as u16));
+            }
+        }
+        let (cr, cg) = self.column_bwo();
+        let mut cols = Vec::new();
+        for t in 0..self.n {
+            let w = t / 64;
+            let b = 1u64 << (t % 64);
+            if (cr[w] | cg[w]) & b != 0 {
+                cols.push(ProcId(t as u16));
+            }
+        }
+        (rows, cols)
+    }
+}
+
+impl fmt::Debug for StateMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "StateMatrix {}x{} ({} edges)",
+            self.m,
+            self.n,
+            self.edge_count()
+        )
+    }
+}
+
+impl fmt::Display for StateMatrix {
+    /// Renders the matrix like Figure 11 of the paper: one row per
+    /// resource, `r`/`g`/`.` per process column.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "     ")?;
+        for t in 0..self.n {
+            write!(f, "{:>3}", format!("p{}", t + 1))?;
+        }
+        writeln!(f)?;
+        for s in 0..self.m {
+            write!(f, "{:>4} ", format!("q{}", s + 1))?;
+            for t in 0..self.n {
+                write!(f, "{:>3}", self.cell(ResId(s as u16), ProcId(t as u16)))?;
+            }
+            if s + 1 < self.m {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds a matrix directly from edge lists; convenient for tests and the
+/// worked examples of Figures 11 and 12.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if ids are out of range or the single-unit
+/// invariant is violated.
+pub fn matrix_from_edges(
+    resources: usize,
+    processes: usize,
+    grants: &[(ResId, ProcId)],
+    requests: &[(ProcId, ResId)],
+) -> Result<StateMatrix, CoreError> {
+    let mut rag = Rag::new(resources, processes);
+    for &(q, p) in grants {
+        rag.add_grant(q, p)?;
+    }
+    for &(p, q) in requests {
+        rag.add_request(p, q)?;
+    }
+    Ok(StateMatrix::from_rag(&rag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_matrix_is_empty() {
+        let m = StateMatrix::new(5, 5);
+        assert!(m.is_empty());
+        assert_eq!(m.edge_count(), 0);
+        assert_eq!(m.resources(), 5);
+        assert_eq!(m.processes(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        StateMatrix::new(0, 5);
+    }
+
+    #[test]
+    fn set_and_read_cells() {
+        let mut m = StateMatrix::new(2, 2);
+        m.set_request(ProcId(0), ResId(1));
+        m.set_grant(ResId(0), ProcId(1));
+        assert_eq!(m.cell(ResId(1), ProcId(0)), Cell::Request);
+        assert_eq!(m.cell(ResId(0), ProcId(1)), Cell::Grant);
+        assert_eq!(m.cell(ResId(0), ProcId(0)), Cell::Empty);
+    }
+
+    #[test]
+    fn request_to_grant_transition_is_exclusive() {
+        let mut m = StateMatrix::new(1, 1);
+        m.set_request(ProcId(0), ResId(0));
+        m.set_grant(ResId(0), ProcId(0));
+        assert_eq!(m.cell(ResId(0), ProcId(0)), Cell::Grant);
+        m.set_request(ProcId(0), ResId(0));
+        assert_eq!(m.cell(ResId(0), ProcId(0)), Cell::Request);
+        assert_eq!(m.edge_count(), 1);
+    }
+
+    #[test]
+    fn clear_removes_edge() {
+        let mut m = StateMatrix::new(1, 1);
+        m.set_grant(ResId(0), ProcId(0));
+        m.clear(ResId(0), ProcId(0));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn wide_matrix_crosses_word_boundary() {
+        // 100 processes: columns span two u64 words.
+        let mut m = StateMatrix::new(2, 100);
+        assert_eq!(m.words_per_row(), 2);
+        m.set_request(ProcId(70), ResId(1));
+        m.set_grant(ResId(0), ProcId(99));
+        assert_eq!(m.cell(ResId(1), ProcId(70)), Cell::Request);
+        assert_eq!(m.cell(ResId(0), ProcId(99)), Cell::Grant);
+        assert_eq!(m.edge_count(), 2);
+        let (cr, cg) = m.column_bwo();
+        assert_eq!(cr[1] & (1 << (70 - 64)), 1 << 6);
+        assert_eq!(cg[1] & (1 << (99 - 64)), 1 << 35);
+    }
+
+    #[test]
+    fn row_bwo_flags() {
+        let mut m = StateMatrix::new(2, 3);
+        m.set_request(ProcId(0), ResId(0));
+        m.set_grant(ResId(0), ProcId(1));
+        assert_eq!(m.row_bwo(0), (true, true));
+        assert_eq!(m.row_bwo(1), (false, false));
+    }
+
+    #[test]
+    fn clear_row_and_columns() {
+        let mut m = StateMatrix::new(2, 2);
+        m.set_request(ProcId(0), ResId(0));
+        m.set_grant(ResId(0), ProcId(1));
+        m.set_request(ProcId(0), ResId(1));
+        m.clear_row(0);
+        assert_eq!(m.edge_count(), 1);
+        let mask = vec![1u64]; // column p1
+        m.clear_columns(&mask);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn from_rag_matches_edges() {
+        let mut rag = Rag::new(2, 2);
+        rag.add_grant(ResId(0), ProcId(0)).unwrap();
+        rag.add_request(ProcId(1), ResId(0)).unwrap();
+        let m = StateMatrix::from_rag(&rag);
+        assert_eq!(m.cell(ResId(0), ProcId(0)), Cell::Grant);
+        assert_eq!(m.cell(ResId(0), ProcId(1)), Cell::Request);
+        assert_eq!(m.edge_count(), 2);
+    }
+
+    #[test]
+    fn display_looks_like_figure_11() {
+        let m =
+            matrix_from_edges(2, 2, &[(ResId(0), ProcId(0))], &[(ProcId(1), ResId(0))]).unwrap();
+        let s = m.to_string();
+        assert!(s.contains("p1"));
+        assert!(s.contains("q2"));
+        assert!(s.contains('g'));
+        assert!(s.contains('r'));
+    }
+
+    #[test]
+    fn matrix_from_edges_propagates_invariant_errors() {
+        let err = matrix_from_edges(1, 2, &[(ResId(0), ProcId(0)), (ResId(0), ProcId(1))], &[])
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ResourceBusy { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_cell_panics() {
+        let m = StateMatrix::new(2, 2);
+        m.cell(ResId(5), ProcId(0));
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = StateMatrix::new(2, 2);
+        a.set_grant(ResId(0), ProcId(0));
+        let b = a.clone();
+        a.clear(ResId(0), ProcId(0));
+        assert_eq!(b.cell(ResId(0), ProcId(0)), Cell::Grant);
+    }
+}

@@ -1,0 +1,328 @@
+//! PDDA — the Parallel Deadlock Detection Algorithm (Algorithm 2).
+//!
+//! Two implementations live here:
+//!
+//! * [`detect`] — the word-parallel form: builds the state matrix and runs
+//!   the terminal reduction exactly as the DDU hardware evaluates it. This
+//!   is the *functional* engine used everywhere a deadlock decision is
+//!   needed.
+//! * [`detect_metered`] — **PDDA in software** (the paper's RTOS1
+//!   configuration): the same algorithm written the way its C
+//!   implementation runs on an MPC755, scanning the matrix cell by cell
+//!   with all kernel structures in shared memory. Every load, store, ALU
+//!   op and branch is counted in a [`Meter`] so the software execution
+//!   time of Table 5 emerges from real execution.
+//!
+//! Both implementations are property-tested to agree with each other and
+//! with the DFS cycle oracle [`Rag::has_cycle`].
+
+use crate::cost::Meter;
+use crate::matrix::StateMatrix;
+use crate::reduction::{terminal_reduction, ReductionReport};
+use crate::Rag;
+
+/// Outcome of one deadlock detection run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectOutcome {
+    /// `true` if the state contains a deadlock (the reduction was
+    /// incomplete).
+    pub deadlock: bool,
+    /// Edge-removing reduction iterations (`k` of Definition 13).
+    pub iterations: u32,
+    /// Total reduction passes, including the terminating one — the DDU's
+    /// hardware step count.
+    pub steps: u32,
+}
+
+impl From<ReductionReport> for DetectOutcome {
+    fn from(r: ReductionReport) -> Self {
+        DetectOutcome {
+            deadlock: !r.complete,
+            iterations: r.iterations,
+            steps: r.steps,
+        }
+    }
+}
+
+/// Runs PDDA on the given state (word-parallel form).
+///
+/// # Example
+///
+/// ```
+/// use deltaos_core::{pdda, ProcId, Rag, ResId};
+///
+/// # fn main() -> Result<(), deltaos_core::CoreError> {
+/// let mut rag = Rag::new(2, 2);
+/// rag.add_grant(ResId(0), ProcId(0))?;
+/// rag.add_grant(ResId(1), ProcId(1))?;
+/// rag.add_request(ProcId(0), ResId(1))?;
+/// rag.add_request(ProcId(1), ResId(0))?;
+/// assert!(pdda::detect(&rag).deadlock);
+/// # Ok(())
+/// # }
+/// ```
+pub fn detect(rag: &Rag) -> DetectOutcome {
+    let mut matrix = StateMatrix::from_rag(rag);
+    terminal_reduction(&mut matrix).into()
+}
+
+/// Runs PDDA on an already-built matrix, consuming it.
+pub fn detect_matrix(mut matrix: StateMatrix) -> DetectOutcome {
+    terminal_reduction(&mut matrix).into()
+}
+
+/// **PDDA in software**: the sequential, cell-by-cell implementation as it
+/// executes on a processing element, with instruction costs recorded into
+/// `meter`.
+///
+/// The modeled program keeps the m×n matrix and the row/column flag arrays
+/// in shared kernel memory (as Atalanta does — all PEs share kernel
+/// structures), so each access is a bus transaction. Register-allocated
+/// loop variables cost local ops.
+///
+/// The returned decision is identical to [`detect`]'s; only the cost
+/// accounting differs. The caller converts the meter to cycles with a
+/// [`crate::cost::CostModel`].
+pub fn detect_metered(rag: &Rag, meter: &mut Meter) -> DetectOutcome {
+    let m = rag.resources();
+    let n = rag.processes();
+
+    // Lines 2–6 of Algorithm 2: construct the matrix from the kernel's
+    // resource tables. The software implementation rebuilds it on every
+    // invocation (the graph "just came into existence" from the kernel's
+    // point of view), so the construction is part of the measured
+    // algorithm run time: every cell is cleared, then the owner and
+    // requester tables are walked. 0 = empty, 1 = request, 2 = grant.
+    let mut cells = vec![0u8; m * n];
+    meter.store(m as u64 * n as u64); // matrix clear
+    meter.op(m as u64 * n as u64);
+    for qi in 0..m {
+        let q = crate::ResId(qi as u16);
+        meter.load(2); // owner entry + requester list head
+        meter.branch(1);
+        if let Some(p) = rag.owner(q) {
+            cells[qi * n + p.index()] = 2;
+            meter.store(1);
+            meter.op(2);
+        }
+        for &p in rag.requesters(q) {
+            cells[qi * n + p.index()] = 1;
+            meter.load(1); // list node
+            meter.store(1);
+            meter.op(2);
+        }
+    }
+
+    let mut row_r = vec![false; m];
+    let mut row_g = vec![false; m];
+    let mut col_r = vec![false; n];
+    let mut col_g = vec![false; n];
+    let mut iterations = 0u32;
+    let mut steps = 0u32;
+
+    loop {
+        steps += 1;
+
+        // Clear the flag arrays (stores to shared kernel memory).
+        for f in row_r.iter_mut().chain(row_g.iter_mut()) {
+            *f = false;
+        }
+        for f in col_r.iter_mut().chain(col_g.iter_mut()) {
+            *f = false;
+        }
+        meter.store(2 * (m as u64 + n as u64));
+        meter.op(m as u64 + n as u64); // loop increments
+
+        // Scan every cell once, updating row/column any-r / any-g flags.
+        for s in 0..m {
+            for t in 0..n {
+                let v = cells[s * n + t];
+                meter.load(1); // matrix cell
+                meter.op(1); // index arithmetic
+                meter.branch(1); // switch on cell kind
+                match v {
+                    1 => {
+                        row_r[s] = true;
+                        col_r[t] = true;
+                        meter.store(2);
+                    }
+                    2 => {
+                        row_g[s] = true;
+                        col_g[t] = true;
+                        meter.store(2);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Terminal tests: XOR of the flag pairs (loads + ALU + branch).
+        let mut terminal_rows = Vec::new();
+        let mut terminal_cols = Vec::new();
+        for s in 0..m {
+            meter.load(2);
+            meter.op(1);
+            meter.branch(1);
+            if row_r[s] ^ row_g[s] {
+                terminal_rows.push(s);
+            }
+        }
+        for t in 0..n {
+            meter.load(2);
+            meter.op(1);
+            meter.branch(1);
+            if col_r[t] ^ col_g[t] {
+                terminal_cols.push(t);
+            }
+        }
+
+        meter.branch(1); // termination test
+        if terminal_rows.is_empty() && terminal_cols.is_empty() {
+            break;
+        }
+        iterations += 1;
+
+        // Remove terminal edges: zero whole rows / columns in shared
+        // memory.
+        for &s in &terminal_rows {
+            for t in 0..n {
+                cells[s * n + t] = 0;
+            }
+            meter.store(n as u64);
+            meter.op(n as u64);
+        }
+        for &t in &terminal_cols {
+            for s in 0..m {
+                cells[s * n + t] = 0;
+            }
+            meter.store(m as u64);
+            meter.op(m as u64);
+        }
+    }
+
+    // Deadlock iff any edge survived (lines 8–12 of Algorithm 2): one
+    // final scan, as the C code checks the residual matrix.
+    let mut deadlock = false;
+    for s in 0..m {
+        for t in 0..n {
+            meter.load(1);
+            meter.branch(1);
+            if cells[s * n + t] != 0 {
+                deadlock = true;
+            }
+        }
+    }
+
+    DetectOutcome {
+        deadlock,
+        iterations,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::{ProcId, ResId};
+
+    fn p(i: u16) -> ProcId {
+        ProcId(i)
+    }
+    fn q(i: u16) -> ResId {
+        ResId(i)
+    }
+
+    fn cycle_rag() -> Rag {
+        let mut rag = Rag::new(2, 2);
+        rag.add_grant(q(0), p(0)).unwrap();
+        rag.add_grant(q(1), p(1)).unwrap();
+        rag.add_request(p(0), q(1)).unwrap();
+        rag.add_request(p(1), q(0)).unwrap();
+        rag
+    }
+
+    #[test]
+    fn detect_agrees_with_oracle_on_cycle() {
+        let rag = cycle_rag();
+        assert!(rag.has_cycle());
+        assert!(detect(&rag).deadlock);
+    }
+
+    #[test]
+    fn detect_agrees_with_oracle_on_empty() {
+        let rag = Rag::new(5, 5);
+        assert!(!detect(&rag).deadlock);
+        assert_eq!(detect(&rag).iterations, 0);
+    }
+
+    #[test]
+    fn metered_matches_parallel_decision() {
+        let rag = cycle_rag();
+        let mut meter = Meter::new();
+        let sw = detect_metered(&rag, &mut meter);
+        let hw = detect(&rag);
+        assert_eq!(sw.deadlock, hw.deadlock);
+        assert_eq!(sw.iterations, hw.iterations);
+        assert_eq!(sw.steps, hw.steps);
+    }
+
+    #[test]
+    fn software_cost_is_orders_of_magnitude_above_hw_steps() {
+        // 5×5 worst-case-ish chain: the software scan costs hundreds of
+        // cycles while the hardware completes in a handful of steps.
+        let mut rag = Rag::new(5, 5);
+        for i in 0..4u16 {
+            rag.add_grant(q(i), p(i)).unwrap();
+            rag.add_request(p(i), q(i + 1)).unwrap();
+        }
+        rag.add_grant(q(4), p(4)).unwrap();
+        let mut meter = Meter::new();
+        let sw = detect_metered(&rag, &mut meter);
+        let cycles = CostModel::MPC755_SHARED.cycles(&meter);
+        assert!(!sw.deadlock);
+        assert!(
+            cycles > 100 * sw.steps as u64,
+            "sw {cycles} cycles vs {} hw steps",
+            sw.steps
+        );
+    }
+
+    #[test]
+    fn metered_cost_grows_with_matrix_size() {
+        let mut small = Meter::new();
+        detect_metered(&Rag::new(2, 2), &mut small);
+        let mut large = Meter::new();
+        detect_metered(&Rag::new(10, 10), &mut large);
+        assert!(large.total_ops() > small.total_ops());
+    }
+
+    #[test]
+    fn detect_matrix_consumes_prebuilt_matrix() {
+        let rag = cycle_rag();
+        let matrix = StateMatrix::from_rag(&rag);
+        assert!(detect_matrix(matrix).deadlock);
+    }
+
+    #[test]
+    fn paper_table4_sequence_reaches_deadlock_only_at_final_grant() {
+        // Table 4: p1 holds IDCT(q2) and VI(q1); p3 holds WI(q4), waits
+        // IDCT; p2 waits IDCT and WI; p1 releases IDCT which is granted to
+        // p2 — deadlock between p2 and p3.
+        let mut rag = Rag::new(5, 5);
+        rag.add_grant(q(1), p(0)).unwrap(); // e1: IDCT -> p1
+        rag.add_grant(q(0), p(0)).unwrap(); // e1: VI -> p1
+        assert!(!detect(&rag).deadlock);
+        rag.add_grant(q(3), p(2)).unwrap(); // e2: WI -> p3
+        rag.add_request(p(2), q(1)).unwrap(); // e2: p3 waits IDCT
+        assert!(!detect(&rag).deadlock);
+        rag.add_request(p(1), q(1)).unwrap(); // e3: p2 waits IDCT
+        rag.add_request(p(1), q(3)).unwrap(); // e3: p2 waits WI
+        assert!(!detect(&rag).deadlock);
+        rag.remove_grant(q(1), p(0)).unwrap(); // e4: p1 releases IDCT
+        assert!(!detect(&rag).deadlock);
+        rag.remove_request(p(1), q(1)); // e5: grant IDCT to p2
+        rag.add_grant(q(1), p(1)).unwrap();
+        assert!(detect(&rag).deadlock, "e5 closes the p2/p3 cycle");
+    }
+}

@@ -1,0 +1,466 @@
+//! Resource Allocation Graph (RAG): the specification-level system state.
+//!
+//! The RAG is the classical bipartite directed graph over processes and
+//! resources (the paper's `γ_ij`): a **request edge** `p → q` means process
+//! `p` is blocked waiting for resource `q`; a **grant edge** `q → p` means
+//! resource `q` is currently allocated to `p`. The paper's system model
+//! (Section 3.2.2) uses *single-unit* resources — a resource is granted to
+//! at most one process at a time — and [`Rag`] enforces that invariant.
+//!
+//! [`Rag::has_cycle`] is a straightforward depth-first search. It exists as
+//! the *oracle* against which the Parallel Deadlock Detection Algorithm
+//! ([`crate::pdda`]) is property-tested: the paper proves PDDA detects
+//! deadlock iff the RAG contains a cycle.
+
+use std::fmt;
+
+use crate::{CoreError, ProcId, ResId};
+
+/// The system state as an explicit request/grant edge set.
+///
+/// # Example
+///
+/// The two-process / two-resource circular wait:
+///
+/// ```
+/// use deltaos_core::{ProcId, Rag, ResId};
+///
+/// # fn main() -> Result<(), deltaos_core::CoreError> {
+/// let mut rag = Rag::new(2, 2);
+/// rag.add_grant(ResId(0), ProcId(0))?;
+/// rag.add_grant(ResId(1), ProcId(1))?;
+/// rag.add_request(ProcId(0), ResId(1))?;
+/// rag.add_request(ProcId(1), ResId(0))?;
+/// assert!(rag.has_cycle());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rag {
+    resources: usize,
+    processes: usize,
+    /// `owner[q] = Some(p)` when grant edge `q → p` exists.
+    owner: Vec<Option<ProcId>>,
+    /// `requests[q]` = processes with a request edge `p → q`, in insertion
+    /// order (deterministic iteration).
+    requests: Vec<Vec<ProcId>>,
+}
+
+impl Rag {
+    /// Creates an empty RAG for `resources` (m) rows and `processes` (n)
+    /// columns.
+    pub fn new(resources: usize, processes: usize) -> Self {
+        Rag {
+            resources,
+            processes,
+            owner: vec![None; resources],
+            requests: vec![Vec::new(); resources],
+        }
+    }
+
+    /// Number of resources `m`.
+    pub fn resources(&self) -> usize {
+        self.resources
+    }
+
+    /// Number of processes `n`.
+    pub fn processes(&self) -> usize {
+        self.processes
+    }
+
+    fn check_ids(&self, p: ProcId, q: ResId) -> Result<(), CoreError> {
+        if p.index() >= self.processes {
+            return Err(CoreError::UnknownProcess(p));
+        }
+        if q.index() >= self.resources {
+            return Err(CoreError::UnknownResource(q));
+        }
+        Ok(())
+    }
+
+    /// Adds the request edge `p → q`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::UnknownProcess`] / [`CoreError::UnknownResource`] for
+    ///   out-of-range ids.
+    /// * [`CoreError::DuplicateEdge`] if the same request already exists.
+    /// * [`CoreError::RequestWhileHolding`] if `p` already holds `q`
+    ///   (a process never waits for a resource it owns).
+    pub fn add_request(&mut self, p: ProcId, q: ResId) -> Result<(), CoreError> {
+        self.check_ids(p, q)?;
+        if self.owner[q.index()] == Some(p) {
+            return Err(CoreError::RequestWhileHolding {
+                process: p,
+                resource: q,
+            });
+        }
+        if self.requests[q.index()].contains(&p) {
+            return Err(CoreError::DuplicateEdge {
+                process: p,
+                resource: q,
+            });
+        }
+        self.requests[q.index()].push(p);
+        Ok(())
+    }
+
+    /// Adds the grant edge `q → p`.
+    ///
+    /// Any pending request `p → q` is consumed (the request became a grant),
+    /// matching how the DAU converts a pending request into a grant.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::UnknownProcess`] / [`CoreError::UnknownResource`] for
+    ///   out-of-range ids.
+    /// * [`CoreError::ResourceBusy`] if `q` is already granted (single-unit
+    ///   resource invariant, Assumption 2 of the paper).
+    pub fn add_grant(&mut self, q: ResId, p: ProcId) -> Result<(), CoreError> {
+        self.check_ids(p, q)?;
+        if let Some(cur) = self.owner[q.index()] {
+            return Err(CoreError::ResourceBusy {
+                resource: q,
+                owner: cur,
+            });
+        }
+        self.requests[q.index()].retain(|&r| r != p);
+        self.owner[q.index()] = Some(p);
+        Ok(())
+    }
+
+    /// Removes the request edge `p → q` if present; returns whether it
+    /// existed.
+    pub fn remove_request(&mut self, p: ProcId, q: ResId) -> bool {
+        if q.index() >= self.resources {
+            return false;
+        }
+        let reqs = &mut self.requests[q.index()];
+        let before = reqs.len();
+        reqs.retain(|&r| r != p);
+        reqs.len() != before
+    }
+
+    /// Removes the grant edge `q → p`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotOwner`] if `q` is not currently granted to `p`
+    /// (Assumption 2: only the holder may release).
+    pub fn remove_grant(&mut self, q: ResId, p: ProcId) -> Result<(), CoreError> {
+        self.check_ids(p, q)?;
+        if self.owner[q.index()] != Some(p) {
+            return Err(CoreError::NotOwner {
+                process: p,
+                resource: q,
+            });
+        }
+        self.owner[q.index()] = None;
+        Ok(())
+    }
+
+    /// The current owner of `q`, if granted.
+    pub fn owner(&self, q: ResId) -> Option<ProcId> {
+        self.owner.get(q.index()).copied().flatten()
+    }
+
+    /// Processes with a pending request for `q`, in request order.
+    pub fn requesters(&self, q: ResId) -> &[ProcId] {
+        self.requests
+            .get(q.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Resources currently held by `p`.
+    pub fn held_by(&self, p: ProcId) -> Vec<ResId> {
+        self.owner
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| (*o == Some(p)).then_some(ResId(i as u16)))
+            .collect()
+    }
+
+    /// Resources `p` is waiting on.
+    pub fn waiting_on(&self, p: ProcId) -> Vec<ResId> {
+        self.requests
+            .iter()
+            .enumerate()
+            .filter_map(|(i, reqs)| reqs.contains(&p).then_some(ResId(i as u16)))
+            .collect()
+    }
+
+    /// Total number of edges (requests + grants).
+    pub fn edge_count(&self) -> usize {
+        let grants = self.owner.iter().filter(|o| o.is_some()).count();
+        let requests: usize = self.requests.iter().map(Vec::len).sum();
+        grants + requests
+    }
+
+    /// `true` when the graph has no edges at all.
+    pub fn is_empty(&self) -> bool {
+        self.edge_count() == 0
+    }
+
+    /// DFS cycle detection: the deadlock *oracle*.
+    ///
+    /// A cycle in the RAG is a circular wait, which under the single-unit /
+    /// hold-and-wait / no-preemption model is exactly a deadlock. The
+    /// parallel algorithm in [`crate::pdda`] is verified against this.
+    pub fn has_cycle(&self) -> bool {
+        // Node numbering: processes 0..n, resources n..n+m.
+        let n = self.processes;
+        let m = self.resources;
+        let total = n + m;
+        // 0 = unvisited, 1 = on stack, 2 = done.
+        let mut mark = vec![0u8; total];
+
+        // Build successor lists: p → q for each request; q → p for grants.
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); total];
+        for (qi, reqs) in self.requests.iter().enumerate() {
+            for p in reqs {
+                succ[p.index()].push(n + qi);
+            }
+        }
+        for (qi, o) in self.owner.iter().enumerate() {
+            if let Some(p) = o {
+                succ[n + qi].push(p.index());
+            }
+        }
+
+        // Iterative DFS with explicit stack (node, next-successor index).
+        for start in 0..total {
+            if mark[start] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            mark[start] = 1;
+            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+                if *next < succ[node].len() {
+                    let child = succ[node][*next];
+                    *next += 1;
+                    match mark[child] {
+                        0 => {
+                            mark[child] = 1;
+                            stack.push((child, 0));
+                        }
+                        1 => return true, // back edge: cycle
+                        _ => {}
+                    }
+                } else {
+                    mark[node] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for Rag {
+    /// Lists grant then request edges in index order, e.g.
+    /// `grants: q1->p1; requests: p2->q1`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "grants:")?;
+        let mut any = false;
+        for (qi, o) in self.owner.iter().enumerate() {
+            if let Some(p) = o {
+                write!(f, " {}->{}", ResId(qi as u16), p)?;
+                any = true;
+            }
+        }
+        if !any {
+            write!(f, " (none)")?;
+        }
+        write!(f, "; requests:")?;
+        any = false;
+        for (qi, reqs) in self.requests.iter().enumerate() {
+            for p in reqs {
+                write!(f, " {}->{}", p, ResId(qi as u16))?;
+                any = true;
+            }
+        }
+        if !any {
+            write!(f, " (none)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u16) -> ProcId {
+        ProcId(i)
+    }
+    fn q(i: u16) -> ResId {
+        ResId(i)
+    }
+
+    #[test]
+    fn empty_rag_has_no_cycle() {
+        let rag = Rag::new(5, 5);
+        assert!(!rag.has_cycle());
+        assert!(rag.is_empty());
+        assert_eq!(rag.edge_count(), 0);
+    }
+
+    #[test]
+    fn grant_only_chain_has_no_cycle() {
+        let mut rag = Rag::new(3, 3);
+        rag.add_grant(q(0), p(0)).unwrap();
+        rag.add_grant(q(1), p(1)).unwrap();
+        assert!(!rag.has_cycle());
+        assert_eq!(rag.edge_count(), 2);
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let mut rag = Rag::new(2, 2);
+        rag.add_grant(q(0), p(0)).unwrap();
+        rag.add_grant(q(1), p(1)).unwrap();
+        rag.add_request(p(0), q(1)).unwrap();
+        rag.add_request(p(1), q(0)).unwrap();
+        assert!(rag.has_cycle());
+    }
+
+    #[test]
+    fn long_chain_without_closing_edge_is_acyclic() {
+        // p1→q1→p2→q2→p3→q3→p4 : a wait chain, not a cycle.
+        let mut rag = Rag::new(3, 4);
+        rag.add_request(p(0), q(0)).unwrap();
+        rag.add_grant(q(0), p(1)).unwrap();
+        rag.add_request(p(1), q(1)).unwrap();
+        rag.add_grant(q(1), p(2)).unwrap();
+        rag.add_request(p(2), q(2)).unwrap();
+        rag.add_grant(q(2), p(3)).unwrap();
+        assert!(!rag.has_cycle());
+        // Closing the loop creates the deadlock:
+        // p4→q1→p2→q2→p3→q3→p4.
+        rag.add_request(p(3), q(0)).unwrap();
+        assert!(rag.has_cycle());
+    }
+
+    #[test]
+    fn closing_edge_creates_cycle() {
+        let mut rag = Rag::new(3, 3);
+        rag.add_grant(q(0), p(0)).unwrap();
+        rag.add_grant(q(1), p(1)).unwrap();
+        rag.add_grant(q(2), p(2)).unwrap();
+        rag.add_request(p(0), q(1)).unwrap();
+        rag.add_request(p(1), q(2)).unwrap();
+        assert!(!rag.has_cycle());
+        rag.add_request(p(2), q(0)).unwrap();
+        assert!(rag.has_cycle());
+    }
+
+    #[test]
+    fn paper_example_2_state_is_acyclic() {
+        // Figure 10(b): q1→p1→q2→p3→q4→p4, q4 granted to p4.
+        let mut rag = Rag::new(4, 4);
+        rag.add_grant(q(0), p(0)).unwrap();
+        rag.add_request(p(0), q(1)).unwrap();
+        rag.add_grant(q(1), p(2)).unwrap();
+        rag.add_request(p(2), q(3)).unwrap();
+        rag.add_grant(q(3), p(3)).unwrap();
+        assert!(!rag.has_cycle());
+    }
+
+    #[test]
+    fn single_unit_invariant_enforced() {
+        let mut rag = Rag::new(1, 2);
+        rag.add_grant(q(0), p(0)).unwrap();
+        let err = rag.add_grant(q(0), p(1)).unwrap_err();
+        assert!(matches!(err, CoreError::ResourceBusy { .. }));
+    }
+
+    #[test]
+    fn duplicate_request_rejected() {
+        let mut rag = Rag::new(1, 1);
+        rag.add_request(p(0), q(0)).unwrap();
+        let err = rag.add_request(p(0), q(0)).unwrap_err();
+        assert!(matches!(err, CoreError::DuplicateEdge { .. }));
+    }
+
+    #[test]
+    fn request_while_holding_rejected() {
+        let mut rag = Rag::new(1, 1);
+        rag.add_grant(q(0), p(0)).unwrap();
+        let err = rag.add_request(p(0), q(0)).unwrap_err();
+        assert!(matches!(err, CoreError::RequestWhileHolding { .. }));
+    }
+
+    #[test]
+    fn grant_consumes_pending_request() {
+        let mut rag = Rag::new(1, 1);
+        rag.add_request(p(0), q(0)).unwrap();
+        rag.add_grant(q(0), p(0)).unwrap();
+        assert!(rag.requesters(q(0)).is_empty());
+        assert_eq!(rag.owner(q(0)), Some(p(0)));
+        assert_eq!(rag.edge_count(), 1);
+    }
+
+    #[test]
+    fn release_requires_ownership() {
+        let mut rag = Rag::new(1, 2);
+        rag.add_grant(q(0), p(0)).unwrap();
+        assert!(matches!(
+            rag.remove_grant(q(0), p(1)),
+            Err(CoreError::NotOwner { .. })
+        ));
+        rag.remove_grant(q(0), p(0)).unwrap();
+        assert_eq!(rag.owner(q(0)), None);
+    }
+
+    #[test]
+    fn held_by_and_waiting_on() {
+        let mut rag = Rag::new(3, 2);
+        rag.add_grant(q(0), p(0)).unwrap();
+        rag.add_grant(q(2), p(0)).unwrap();
+        rag.add_request(p(0), q(1)).unwrap();
+        assert_eq!(rag.held_by(p(0)), vec![q(0), q(2)]);
+        assert_eq!(rag.waiting_on(p(0)), vec![q(1)]);
+        assert!(rag.held_by(p(1)).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_ids_error() {
+        let mut rag = Rag::new(1, 1);
+        assert!(matches!(
+            rag.add_request(p(1), q(0)),
+            Err(CoreError::UnknownProcess(_))
+        ));
+        assert!(matches!(
+            rag.add_request(p(0), q(1)),
+            Err(CoreError::UnknownResource(_))
+        ));
+    }
+
+    #[test]
+    fn remove_request_reports_presence() {
+        let mut rag = Rag::new(1, 1);
+        rag.add_request(p(0), q(0)).unwrap();
+        assert!(rag.remove_request(p(0), q(0)));
+        assert!(!rag.remove_request(p(0), q(0)));
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let mut rag = Rag::new(2, 2);
+        rag.add_grant(q(0), p(0)).unwrap();
+        rag.add_request(p(1), q(0)).unwrap();
+        let s = rag.to_string();
+        assert!(s.contains("q1->p1"));
+        assert!(s.contains("p2->q1"));
+    }
+
+    #[test]
+    fn self_loop_impossible_no_false_cycle() {
+        // A process holding one resource and requesting another free one.
+        let mut rag = Rag::new(2, 1);
+        rag.add_grant(q(0), p(0)).unwrap();
+        rag.add_request(p(0), q(1)).unwrap();
+        assert!(!rag.has_cycle());
+    }
+}

@@ -1,0 +1,148 @@
+//! Deadlock recovery: victim selection from the irreducible core.
+//!
+//! Detection "does not typically restrict the behavior of a system …
+//! [but] usually requires a recovery once a deadlock is detected"
+//! (Section 3.3.1). This module supplies the recovery half for the
+//! RTOS1/RTOS2 configurations: run the terminal reduction, read the
+//! **irreducible core** (the processes and resources still carrying
+//! edges — exactly the deadlock participants), and pick a victim whose
+//! resources the RTOS preempts via the same give-up mechanism Assumption
+//! 3 provides for avoidance.
+
+use crate::matrix::StateMatrix;
+use crate::reduction::terminal_reduction;
+use crate::{Priority, ProcId, Rag, ResId};
+
+/// The participants of the detected deadlock(s).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockCore {
+    /// Resources on deadlock cycles.
+    pub resources: Vec<ResId>,
+    /// Processes on deadlock cycles.
+    pub processes: Vec<ProcId>,
+}
+
+/// Runs the reduction and returns the deadlock core, or `None` when the
+/// state is deadlock-free.
+pub fn deadlock_core(rag: &Rag) -> Option<DeadlockCore> {
+    let mut m = StateMatrix::from_rag(rag);
+    let report = terminal_reduction(&mut m);
+    if report.complete {
+        return None;
+    }
+    let (resources, processes) = m.survivors();
+    Some(DeadlockCore {
+        resources,
+        processes,
+    })
+}
+
+/// Picks the recovery victim: the **lowest-priority** process in the
+/// core (ties broken towards the higher process index, i.e. the later
+/// arrival). Preempting its held resources breaks at least one cycle
+/// while disturbing the most urgent work the least.
+pub fn choose_victim(rag: &Rag, priorities: &[Priority]) -> Option<ProcId> {
+    let core = deadlock_core(rag)?;
+    core.processes
+        .iter()
+        .copied()
+        .max_by_key(|p| (priorities[p.index()].level(), p.index()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u16) -> ProcId {
+        ProcId(i)
+    }
+    fn q(i: u16) -> ResId {
+        ResId(i)
+    }
+
+    /// p2/p3 cycle over q2/q4 with p1 holding an unrelated grant.
+    fn deadlocked_rag() -> Rag {
+        let mut rag = Rag::new(5, 5);
+        rag.add_grant(q(1), p(1)).unwrap();
+        rag.add_grant(q(3), p(2)).unwrap();
+        rag.add_request(p(1), q(3)).unwrap();
+        rag.add_request(p(2), q(1)).unwrap();
+        rag.add_grant(q(0), p(0)).unwrap(); // bystander
+        rag
+    }
+
+    #[test]
+    fn core_contains_exactly_the_cycle_members() {
+        let core = deadlock_core(&deadlocked_rag()).expect("deadlock");
+        assert_eq!(core.processes, vec![p(1), p(2)]);
+        assert_eq!(core.resources, vec![q(1), q(3)]);
+    }
+
+    #[test]
+    fn no_core_without_deadlock() {
+        let mut rag = Rag::new(2, 2);
+        rag.add_grant(q(0), p(0)).unwrap();
+        rag.add_request(p(1), q(0)).unwrap();
+        assert_eq!(deadlock_core(&rag), None);
+    }
+
+    #[test]
+    fn victim_is_the_lowest_priority_participant() {
+        let rag = deadlocked_rag();
+        // p2 urgent, p3 lazy → sacrifice p3.
+        let prios = [
+            Priority::new(9), // p1 (bystander — must not be chosen)
+            Priority::new(1), // p2
+            Priority::new(5), // p3
+            Priority::LOWEST,
+            Priority::LOWEST,
+        ];
+        assert_eq!(choose_victim(&rag, &prios), Some(p(2)));
+        // Swap urgencies → sacrifice p2.
+        let prios = [
+            Priority::new(9),
+            Priority::new(5),
+            Priority::new(1),
+            Priority::LOWEST,
+            Priority::LOWEST,
+        ];
+        assert_eq!(choose_victim(&rag, &prios), Some(p(1)));
+    }
+
+    #[test]
+    fn bystanders_are_never_victims() {
+        let rag = deadlocked_rag();
+        // The bystander p1 has the numerically largest (least urgent)
+        // priority, but it is not on the cycle.
+        let prios = [Priority::LOWEST; 5];
+        let v = choose_victim(&rag, &prios).unwrap();
+        assert!(v == p(1) || v == p(2), "victim {v} must be on the cycle");
+    }
+
+    #[test]
+    fn preempting_the_victim_breaks_the_deadlock() {
+        let mut rag = deadlocked_rag();
+        let prios = [Priority::new(3); 5];
+        let victim = choose_victim(&rag, &prios).unwrap();
+        for r in rag.held_by(victim) {
+            rag.remove_grant(r, victim).unwrap();
+        }
+        assert!(!rag.has_cycle(), "recovery must break the cycle");
+        assert_eq!(deadlock_core(&rag), None);
+    }
+
+    #[test]
+    fn multi_cycle_core_lists_everyone() {
+        // Two independent 2-cycles.
+        let mut rag = Rag::new(4, 4);
+        for (a, b) in [(0u16, 1u16), (2, 3)] {
+            rag.add_grant(q(a), p(a)).unwrap();
+            rag.add_grant(q(b), p(b)).unwrap();
+            rag.add_request(p(a), q(b)).unwrap();
+            rag.add_request(p(b), q(a)).unwrap();
+        }
+        let core = deadlock_core(&rag).unwrap();
+        assert_eq!(core.processes.len(), 4);
+        assert_eq!(core.resources.len(), 4);
+    }
+}

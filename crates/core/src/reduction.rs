@@ -1,0 +1,271 @@
+//! The terminal reduction sequence `ξ` (Algorithm 1, Definitions 7–13).
+//!
+//! One reduction step `ε` finds every **terminal row** (a resource row with
+//! requests only, or exactly one grant and nothing else) and every
+//! **terminal column** (a process column whose non-zero entries are all
+//! requests, or all grants) and removes all their edges. Iterating until no
+//! terminal remains yields an *irreducible* matrix; the state is
+//! deadlock-free iff that matrix is empty (a *complete reduction*).
+//!
+//! The implementation is the word-parallel form the DDU hardware computes
+//! (Equations 3–5): per step, a Bit-Wise-OR tree collapses each row and
+//! each column to the `(any-request, any-grant)` pair, an XOR picks the
+//! terminals, and an OR over all τ bits produces the termination condition
+//! `T_iter`.
+
+use crate::matrix::StateMatrix;
+
+/// Result of running the terminal reduction sequence on a matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReductionReport {
+    /// Number of reduction steps `ε` that removed edges (the `k` of
+    /// Definition 13).
+    pub iterations: u32,
+    /// Number of loop passes executed by the engine, including the final
+    /// pass that finds no terminals. This is the DDU's step count: the
+    /// hardware spends one clock on the pass that raises `T_iter = 0`.
+    pub steps: u32,
+    /// `true` if the reduction was *complete* (all edges removed — no
+    /// deadlock).
+    pub complete: bool,
+}
+
+/// Runs the terminal reduction sequence `ξ` in place, returning the report.
+///
+/// After the call, `matrix` holds the irreducible matrix `M_{i,j+k}`.
+///
+/// # Example
+///
+/// The Figure 12 example: rows `q2`, `q3` and columns `p2`, `p4`, `p6` are
+/// terminal in the first step.
+///
+/// ```
+/// use deltaos_core::matrix::StateMatrix;
+/// use deltaos_core::reduction::terminal_reduction;
+/// use deltaos_core::{ProcId, ResId};
+///
+/// let mut m = StateMatrix::new(3, 6);
+/// m.set_grant(ResId(0), ProcId(0));     // q1 -> p1
+/// m.set_request(ProcId(1), ResId(0));   // p2 -> q1
+/// m.set_request(ProcId(3), ResId(1));   // p4 -> q2  (q2 row: requests only)
+/// m.set_grant(ResId(2), ProcId(5));     // q3 -> p6  (q3 row: single grant)
+/// let report = terminal_reduction(&mut m);
+/// assert!(report.complete);
+/// assert!(m.is_empty());
+/// ```
+pub fn terminal_reduction(matrix: &mut StateMatrix) -> ReductionReport {
+    let m = matrix.resources();
+    let words = matrix.words_per_row();
+    let mut iterations = 0u32;
+    let mut steps = 0u32;
+
+    // Mask of valid column bits in the last word, so phantom columns
+    // beyond `n` can never appear terminal.
+    let tail_bits = matrix.processes() % 64;
+    let tail_mask = if tail_bits == 0 {
+        u64::MAX
+    } else {
+        (1u64 << tail_bits) - 1
+    };
+
+    let mut terminal_rows: Vec<bool> = vec![false; m];
+    let mut col_mask: Vec<u64> = vec![0; words];
+
+    loop {
+        steps += 1;
+
+        // Equation 3/4 column side: BWO over rows, then XOR.
+        let (cr, cg) = matrix.column_bwo();
+        let mut any_terminal = false;
+        for w in 0..words {
+            let valid = if w + 1 == words { tail_mask } else { u64::MAX };
+            // τ_ct = r-any XOR g-any, per column, restricted to columns
+            // that actually have edges (XOR of two zero bits is zero, so
+            // empty columns are naturally excluded).
+            col_mask[w] = (cr[w] ^ cg[w]) & valid;
+            if col_mask[w] != 0 {
+                any_terminal = true;
+            }
+        }
+
+        // Equation 3/4 row side.
+        for (s, flag) in terminal_rows.iter_mut().enumerate() {
+            let (ra, ga) = matrix.row_bwo(s);
+            *flag = ra ^ ga;
+            if *flag {
+                any_terminal = true;
+            }
+        }
+
+        // Equation 5: T_iter == 0 → irreducible, stop.
+        if !any_terminal {
+            break;
+        }
+        iterations += 1;
+
+        // The removal half of ε (lines 8–9 of Algorithm 1), rows and
+        // columns "in parallel": both removals are computed from the same
+        // pre-removal snapshot, exactly like the hardware.
+        for (s, flag) in terminal_rows.iter().enumerate() {
+            if *flag {
+                matrix.clear_row(s);
+            }
+        }
+        matrix.clear_columns(&col_mask);
+    }
+
+    ReductionReport {
+        iterations,
+        steps,
+        complete: matrix.is_empty(),
+    }
+}
+
+/// Upper bound on reduction steps proven in the paper's technical report:
+/// the hardware completes in `O(min(m, n))` steps. We use the conservative
+/// closed form `2·min(m,n)` as the property-test bound.
+pub fn step_bound(resources: usize, processes: usize) -> u32 {
+    2 * resources.min(processes) as u32 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::matrix_from_edges;
+    use crate::{ProcId, Rag, ResId};
+
+    fn p(i: u16) -> ProcId {
+        ProcId(i)
+    }
+    fn q(i: u16) -> ResId {
+        ResId(i)
+    }
+
+    #[test]
+    fn empty_matrix_reduces_in_one_step() {
+        let mut m = StateMatrix::new(5, 5);
+        let r = terminal_reduction(&mut m);
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.steps, 1);
+        assert!(r.complete);
+    }
+
+    #[test]
+    fn single_grant_is_terminal() {
+        let mut m = matrix_from_edges(2, 2, &[(q(0), p(0))], &[]).unwrap();
+        let r = terminal_reduction(&mut m);
+        assert!(r.complete);
+        assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn deadlock_cycle_is_irreducible() {
+        let mut m = matrix_from_edges(
+            2,
+            2,
+            &[(q(0), p(0)), (q(1), p(1))],
+            &[(p(0), q(1)), (p(1), q(0))],
+        )
+        .unwrap();
+        let r = terminal_reduction(&mut m);
+        assert!(!r.complete);
+        assert_eq!(m.edge_count(), 4, "the 2-cycle must survive intact");
+    }
+
+    #[test]
+    fn hanger_on_edges_are_stripped_from_cycle() {
+        // A 2-cycle plus an extra process p3 requesting q1: p3's column is
+        // terminal (requests only) and gets removed; the cycle remains.
+        let mut m = matrix_from_edges(
+            2,
+            3,
+            &[(q(0), p(0)), (q(1), p(1))],
+            &[(p(0), q(1)), (p(1), q(0)), (p(2), q(0))],
+        )
+        .unwrap();
+        let r = terminal_reduction(&mut m);
+        assert!(!r.complete);
+        assert_eq!(m.edge_count(), 4);
+    }
+
+    #[test]
+    fn figure_12_first_step_removes_terminals() {
+        // Figure 12(a): q2 and q3 are terminal rows; p2, p4, p6 terminal
+        // columns. We model a compatible state: 4 resources, 6 processes.
+        let mut rag = Rag::new(4, 6);
+        rag.add_grant(q(0), p(0)).unwrap(); // q1 -> p1
+        rag.add_request(p(0), q(3)).unwrap(); // p1 -> q4
+        rag.add_grant(q(3), p(2)).unwrap(); // q4 -> p3
+        rag.add_request(p(2), q(0)).unwrap(); // p3 -> q1 (cycle q1,p1,q4,p3)
+        rag.add_request(p(1), q(1)).unwrap(); // p2 -> q2 (terminal row+col)
+        rag.add_request(p(3), q(1)).unwrap(); // p4 -> q2
+        rag.add_grant(q(2), p(5)).unwrap(); // q3 -> p6 (terminal row+col)
+        let mut m = StateMatrix::from_rag(&rag);
+        let r = terminal_reduction(&mut m);
+        assert!(!r.complete, "the embedded cycle is a deadlock");
+        assert_eq!(m.edge_count(), 4, "only the 4-edge cycle survives");
+    }
+
+    #[test]
+    fn chain_reduces_completely() {
+        // p1→q1→p2→q2→p3: no cycle, must fully reduce.
+        let mut rag = Rag::new(2, 3);
+        rag.add_request(p(0), q(0)).unwrap();
+        rag.add_grant(q(0), p(1)).unwrap();
+        rag.add_request(p(1), q(1)).unwrap();
+        rag.add_grant(q(1), p(2)).unwrap();
+        let mut m = StateMatrix::from_rag(&rag);
+        let r = terminal_reduction(&mut m);
+        assert!(r.complete);
+        assert!(r.steps <= step_bound(2, 3));
+    }
+
+    #[test]
+    fn steps_respect_bound_on_long_chain() {
+        // Worst-case style chain across 8 resources / 8 processes.
+        let k = 8;
+        let mut rag = Rag::new(k, k);
+        for i in 0..k as u16 - 1 {
+            rag.add_grant(q(i), p(i)).unwrap();
+            rag.add_request(p(i), q(i + 1)).unwrap();
+        }
+        rag.add_grant(q(k as u16 - 1), p(k as u16 - 1)).unwrap();
+        let mut m = StateMatrix::from_rag(&rag);
+        let r = terminal_reduction(&mut m);
+        assert!(r.complete);
+        assert!(
+            r.steps <= step_bound(k, k),
+            "steps {} exceed bound {}",
+            r.steps,
+            step_bound(k, k)
+        );
+    }
+
+    #[test]
+    fn idempotent_at_fixpoint() {
+        let mut m = matrix_from_edges(
+            2,
+            2,
+            &[(q(0), p(0)), (q(1), p(1))],
+            &[(p(0), q(1)), (p(1), q(0))],
+        )
+        .unwrap();
+        terminal_reduction(&mut m);
+        let snapshot = m.clone();
+        let r2 = terminal_reduction(&mut m);
+        assert_eq!(m, snapshot, "irreducible matrix must be a fixpoint");
+        assert_eq!(r2.iterations, 0);
+    }
+
+    #[test]
+    fn wide_matrix_tail_columns_handled() {
+        // 70 processes → tail word has 6 valid bits; ensure no phantom
+        // terminals corrupt the result.
+        let mut rag = Rag::new(2, 70);
+        rag.add_grant(q(0), p(69)).unwrap();
+        rag.add_request(p(68), q(0)).unwrap();
+        let mut m = StateMatrix::from_rag(&rag);
+        let r = terminal_reduction(&mut m);
+        assert!(r.complete);
+    }
+}

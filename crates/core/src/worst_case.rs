@@ -1,0 +1,168 @@
+//! Adversarial and exhaustive state construction for the DDU step-count
+//! study (Table 1's "worst case # iterations" column).
+//!
+//! Two tools:
+//!
+//! * [`chain_rag`] builds the wait-chain family that maximizes terminal
+//!   reduction length — reduction can only peel the two chain ends per
+//!   step, so a chain over `k = min(m, n)` process/resource pairs needs
+//!   `Θ(k)` steps.
+//! * [`exhaustive_max_steps`] enumerates *every* valid single-unit state
+//!   of a small matrix and reports the true worst case; feasible up to a
+//!   few dozen total cells (8^m states for n = 2).
+
+use crate::matrix::StateMatrix;
+use crate::reduction::terminal_reduction;
+use crate::{ProcId, Rag, ResId};
+
+/// Builds the adversarial wait chain over `k` processes and `k` resources:
+/// `p1→q1→p2→q2→…→p_k` with `q_k` granted to `p_k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn chain_rag(k: usize) -> Rag {
+    assert!(k > 0, "chain length must be non-zero");
+    let mut rag = Rag::new(k, k);
+    for i in 0..k as u16 - 1 {
+        rag.add_request(ProcId(i), ResId(i)).expect("chain request");
+        rag.add_grant(ResId(i), ProcId(i + 1)).expect("chain grant");
+    }
+    rag.add_grant(ResId(k as u16 - 1), ProcId(k as u16 - 1))
+        .expect("tail grant");
+    rag
+}
+
+/// Steps the reduction engine takes on the `k`-chain.
+pub fn chain_steps(k: usize) -> u32 {
+    let mut m = StateMatrix::from_rag(&chain_rag(k));
+    terminal_reduction(&mut m).steps
+}
+
+/// Exhaustively enumerates all valid single-unit states of an
+/// m-resources × n-processes matrix and returns the maximum reduction
+/// step count, together with the number of states visited.
+///
+/// A row's state is: an optional grant column plus any request subset of
+/// the remaining columns — `(n+1) · 2^(n-1)`-ish combinations per row —
+/// so keep `m·n` small (the Table 1 "2×3" entry is 512 states).
+///
+/// # Panics
+///
+/// Panics if the state space exceeds `2^24` (a guard against accidental
+/// explosion, not a hardware limit).
+pub fn exhaustive_max_steps(resources: usize, processes: usize) -> (u32, u64) {
+    let n = processes;
+    // Enumerate per-row configurations once.
+    let mut row_configs: Vec<(Option<usize>, u32)> = Vec::new(); // (grant col, request bitmask)
+    for grant in 0..=n {
+        let grant_col = (grant < n).then_some(grant);
+        for mask in 0u32..(1 << n) {
+            if let Some(g) = grant_col {
+                if mask & (1 << g) != 0 {
+                    continue; // a cell cannot be both grant and request
+                }
+            }
+            row_configs.push((grant_col, mask));
+        }
+    }
+    let total = (row_configs.len() as u64).checked_pow(resources as u32);
+    assert!(
+        matches!(total, Some(t) if t <= 1 << 24),
+        "state space too large to enumerate"
+    );
+
+    let mut max_steps = 0u32;
+    let mut visited = 0u64;
+    let mut indices = vec![0usize; resources];
+    loop {
+        // Materialize the matrix for the current index vector.
+        let mut m = StateMatrix::new(resources, processes);
+        for (s, &ci) in indices.iter().enumerate() {
+            let (grant_col, mask) = row_configs[ci];
+            if let Some(g) = grant_col {
+                m.set_grant(ResId(s as u16), ProcId(g as u16));
+            }
+            for t in 0..n {
+                if mask & (1 << t) != 0 {
+                    m.set_request(ProcId(t as u16), ResId(s as u16));
+                }
+            }
+        }
+        let steps = terminal_reduction(&mut m).steps;
+        max_steps = max_steps.max(steps);
+        visited += 1;
+
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == resources {
+                return (max_steps, visited);
+            }
+            indices[i] += 1;
+            if indices[i] < row_configs.len() {
+                break;
+            }
+            indices[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduction::step_bound;
+
+    #[test]
+    fn chain_is_acyclic_and_fully_reducible() {
+        let rag = chain_rag(6);
+        assert!(!rag.has_cycle());
+        let mut m = StateMatrix::from_rag(&rag);
+        let r = terminal_reduction(&mut m);
+        assert!(r.complete);
+    }
+
+    #[test]
+    fn chain_steps_grow_linearly() {
+        let s3 = chain_steps(3);
+        let s6 = chain_steps(6);
+        let s12 = chain_steps(12);
+        assert!(s6 > s3);
+        assert!(s12 > s6);
+        // Roughly linear: doubling k roughly doubles steps.
+        assert!(s12 as f64 / s6 as f64 > 1.5);
+    }
+
+    #[test]
+    fn chain_steps_respect_proven_bound() {
+        for k in 1..=20 {
+            assert!(chain_steps(k) <= step_bound(k, k));
+        }
+    }
+
+    #[test]
+    fn exhaustive_2x3_matches_table1_scale() {
+        // Table 1's smallest unit: 2 processes × 3 resources, worst case
+        // 2 edge-removing iterations. Our step count includes the
+        // terminating pass, so expect the max around 3.
+        let (max_steps, visited) = exhaustive_max_steps(3, 2);
+        assert_eq!(visited, 512);
+        assert!(
+            (2..=4).contains(&max_steps),
+            "unexpected worst case {max_steps}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_enumeration_guarded() {
+        exhaustive_max_steps(10, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_chain_rejected() {
+        chain_rag(0);
+    }
+}

@@ -1,0 +1,331 @@
+//! Property-based verification of the paper's central claims.
+//!
+//! * PDDA detects deadlock **iff** the RAG contains a cycle (the theorem
+//!   of the paper's technical report, tested against the DFS oracle).
+//! * The hardware step count respects the O(min(m, n)) bound.
+//! * The metered software PDDA and the word-parallel PDDA are
+//!   decision-identical.
+//! * The DAU and the software DAA make identical decisions on identical
+//!   command streams (they share Algorithm 3, differing only in cost).
+//! * Under the avoider, with give-up asks honored, the system never gets
+//!   stuck: every cycle present has an outstanding give-up ask attached.
+
+use deltaos_core::avoid::{Avoider, FastProbe, ReleaseOutcome, RequestOutcome};
+use deltaos_core::cost::Meter;
+use deltaos_core::daa::SwDaa;
+use deltaos_core::dau::{Command, Dau};
+use deltaos_core::matrix::StateMatrix;
+use deltaos_core::reduction::{step_bound, terminal_reduction};
+use deltaos_core::{pdda, Priority, ProcId, Rag, ResId};
+use proptest::prelude::*;
+
+/// Strategy: a valid single-unit RAG with up to 8 resources / 8 processes.
+fn arb_rag() -> impl Strategy<Value = Rag> {
+    (1usize..=8, 1usize..=8)
+        .prop_flat_map(|(m, n)| {
+            let row = (
+                proptest::option::of(0..n),
+                proptest::collection::vec(any::<bool>(), n),
+            );
+            (Just(m), Just(n), proptest::collection::vec(row, m))
+        })
+        .prop_map(|(m, n, rows)| {
+            let mut rag = Rag::new(m, n);
+            for (qi, (owner, reqs)) in rows.into_iter().enumerate() {
+                let q = ResId(qi as u16);
+                if let Some(p) = owner {
+                    rag.add_grant(q, ProcId(p as u16)).unwrap();
+                }
+                for (pi, want) in reqs.into_iter().enumerate() {
+                    if want && owner != Some(pi) {
+                        rag.add_request(ProcId(pi as u16), q).unwrap();
+                    }
+                }
+            }
+            rag
+        })
+}
+
+proptest! {
+    #[test]
+    fn pdda_matches_cycle_oracle(rag in arb_rag()) {
+        let outcome = pdda::detect(&rag);
+        prop_assert_eq!(outcome.deadlock, rag.has_cycle());
+    }
+
+    /// Leibfried's O(k³) matrix-power detection agrees with both PDDA
+    /// and the DFS oracle — three independent implementations of the
+    /// same predicate.
+    #[test]
+    fn leibfried_matches_pdda_and_oracle(rag in arb_rag()) {
+        let lb = deltaos_core::baselines::leibfried_detect(&rag);
+        prop_assert_eq!(lb, rag.has_cycle());
+        prop_assert_eq!(lb, pdda::detect(&rag).deadlock);
+    }
+
+    #[test]
+    fn metered_pdda_matches_parallel(rag in arb_rag()) {
+        let mut meter = Meter::new();
+        let sw = pdda::detect_metered(&rag, &mut meter);
+        let hw = pdda::detect(&rag);
+        prop_assert_eq!(sw.deadlock, hw.deadlock);
+        prop_assert_eq!(sw.steps, hw.steps);
+        prop_assert_eq!(sw.iterations, hw.iterations);
+        // A software pass always touches every cell at least once.
+        prop_assert!(meter.shared_loads >= (rag.resources() * rag.processes()) as u64);
+    }
+
+    #[test]
+    fn reduction_steps_within_bound(rag in arb_rag()) {
+        let outcome = pdda::detect(&rag);
+        prop_assert!(
+            outcome.steps <= step_bound(rag.resources(), rag.processes()),
+            "steps {} exceed bound {}",
+            outcome.steps,
+            step_bound(rag.resources(), rag.processes())
+        );
+    }
+
+    #[test]
+    fn reduction_is_idempotent_at_fixpoint(rag in arb_rag()) {
+        let mut m = StateMatrix::from_rag(&rag);
+        terminal_reduction(&mut m);
+        let snapshot = m.clone();
+        let again = terminal_reduction(&mut m);
+        prop_assert_eq!(again.iterations, 0);
+        prop_assert!(m == snapshot);
+    }
+
+    #[test]
+    fn complete_reduction_iff_no_deadlock(rag in arb_rag()) {
+        let mut m = StateMatrix::from_rag(&rag);
+        let r = terminal_reduction(&mut m);
+        prop_assert_eq!(r.complete, !rag.has_cycle());
+        prop_assert_eq!(r.complete, m.is_empty());
+    }
+}
+
+/// A random command: request or release against a 5×5 system.
+#[derive(Debug, Clone, Copy)]
+enum Cmd {
+    Req(u16, u16),
+    Rel(u16, u16),
+}
+
+fn arb_cmds() -> impl Strategy<Value = Vec<Cmd>> {
+    proptest::collection::vec(
+        (any::<bool>(), 0u16..5, 0u16..5).prop_map(|(req, p, q)| {
+            if req {
+                Cmd::Req(p, q)
+            } else {
+                Cmd::Rel(p, q)
+            }
+        }),
+        0..60,
+    )
+}
+
+proptest! {
+    /// The DAU and the software DAA are decision-identical on arbitrary
+    /// command streams (invalid commands rejected identically too).
+    #[test]
+    fn dau_and_swdaa_decide_identically(cmds in arb_cmds()) {
+        let mut hw = Dau::new(5, 5);
+        let mut sw = SwDaa::new(5, 5);
+        for i in 0..5 {
+            hw.set_priority(ProcId(i), Priority::new(i as u8 + 1));
+            sw.set_priority(ProcId(i), Priority::new(i as u8 + 1));
+        }
+        for cmd in cmds {
+            match cmd {
+                Cmd::Req(p, q) => {
+                    let a = hw.execute(Command::Request {
+                        process: ProcId(p),
+                        resource: ResId(q),
+                    });
+                    let b = sw.request(ProcId(p), ResId(q));
+                    match (a, b) {
+                        (Ok(ar), Ok(br)) => {
+                            prop_assert_eq!(ar.status.successful, br.outcome.is_granted());
+                            prop_assert_eq!(ar.status.rdl, br.outcome.is_rdl());
+                        }
+                        (Err(ae), Err(be)) => prop_assert_eq!(ae, be),
+                        (a, b) => prop_assert!(false, "divergence: {:?} vs {:?}", a, b),
+                    }
+                }
+                Cmd::Rel(p, q) => {
+                    let a = hw.execute(Command::Release {
+                        process: ProcId(p),
+                        resource: ResId(q),
+                    });
+                    let b = sw.release(ProcId(p), ResId(q));
+                    match (a, b) {
+                        (Ok(ar), Ok(br)) => {
+                            prop_assert_eq!(ar.status.gdl, br.outcome.is_gdl());
+                            let granted = matches!(br.outcome,
+                                ReleaseOutcome::GrantedTo { .. });
+                            prop_assert_eq!(ar.status.granted_to.is_some(), granted);
+                        }
+                        (Err(ae), Err(be)) => prop_assert_eq!(ae, be),
+                        (a, b) => prop_assert!(false, "divergence: {:?} vs {:?}", a, b),
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(hw.rag(), sw.rag(), "states must track identically");
+    }
+
+    /// **The avoidance invariant (Definition 3):** after every command the
+    /// tracked state is acyclic — deadlock can never be *reached*.
+    #[test]
+    fn avoider_state_is_never_cyclic(cmds in arb_cmds()) {
+        let mut av = Avoider::new(5, 5);
+        for i in 0..5 {
+            av.set_priority(ProcId(i), Priority::new(i as u8 + 1));
+        }
+        let mut probe = FastProbe;
+        for cmd in cmds {
+            match cmd {
+                Cmd::Req(p, q) => {
+                    let _ = av.request(ProcId(p), ResId(q), &mut probe);
+                }
+                Cmd::Rel(p, q) => {
+                    let _ = av.release(ProcId(p), ResId(q), &mut probe);
+                }
+            }
+            prop_assert!(
+                !pdda::detect(av.rag()).deadlock,
+                "avoidance invariant violated: state contains a cycle"
+            );
+        }
+    }
+
+    /// Progress: every R-dl-parked request has a give-up ask outstanding,
+    /// and honoring all asks (releasing the named resources) lets the
+    /// parked requests drain.
+    #[test]
+    fn parked_requests_drain_when_giveups_honored(cmds in arb_cmds()) {
+        let mut av = Avoider::new(5, 5);
+        for i in 0..5 {
+            av.set_priority(ProcId(i), Priority::new(i as u8 + 1));
+        }
+        let mut probe = FastProbe;
+        for cmd in cmds {
+            match cmd {
+                Cmd::Req(p, q) => {
+                    let _ = av.request(ProcId(p), ResId(q), &mut probe);
+                }
+                Cmd::Rel(p, q) => {
+                    let _ = av.release(ProcId(p), ResId(q), &mut probe);
+                }
+            }
+            if !av.parked_requests().is_empty() {
+                prop_assert!(
+                    !av.outstanding_giveups().is_empty(),
+                    "parked request with no give-up ask outstanding"
+                );
+            }
+        }
+        // Drain: honor asks until no parked request remains. Each honored
+        // release either serves a parked request or triggers further asks.
+        let mut guard = 0;
+        while !av.parked_requests().is_empty() {
+            guard += 1;
+            prop_assert!(guard < 200, "parked requests failed to drain");
+            let asks: Vec<_> = av.outstanding_giveups().to_vec();
+            prop_assert!(!asks.is_empty(), "parked but nobody asked to give up");
+            let mut released_any = false;
+            for ask in asks {
+                for q in ask.resources {
+                    if av.rag().owner(q) == Some(ask.target) {
+                        let _ = av.release(ask.target, q, &mut probe);
+                        released_any = true;
+                    }
+                }
+            }
+            if !released_any {
+                // Stale asks (target no longer owns): fall back to
+                // releasing every held resource of every asked target.
+                let targets: Vec<_> =
+                    av.outstanding_giveups().iter().map(|a| a.target).collect();
+                for t in targets {
+                    for q in av.rag().held_by(t) {
+                        let _ = av.release(t, q, &mut probe);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Grant decisions respect priority except when dodging G-dl: if a
+    /// release grants to someone, no *grantable* higher-priority waiter
+    /// was skipped.
+    #[test]
+    fn release_grants_highest_grantable(cmds in arb_cmds()) {
+        let mut av = Avoider::new(5, 5);
+        for i in 0..5 {
+            av.set_priority(ProcId(i), Priority::new(i as u8 + 1));
+        }
+        let mut probe = FastProbe;
+        for cmd in cmds {
+            match cmd {
+                Cmd::Req(p, q) => {
+                    let _ = av.request(ProcId(p), ResId(q), &mut probe);
+                }
+                Cmd::Rel(p, q) => {
+                    if let Ok(ReleaseOutcome::GrantedTo { process, bypassed_gdl }) =
+                        av.release(ProcId(p), ResId(q), &mut probe)
+                    {
+                        for b in bypassed_gdl {
+                            prop_assert!(
+                                av.priority(b).is_higher_than(av.priority(process))
+                                    || av.priority(b) == av.priority(process),
+                                "bypassed waiter {} was not higher priority", b
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every DAU command's hardware cycle cost respects the Table 2
+    /// worst-case bound (FSM budget + one detection per candidate).
+    #[test]
+    fn dau_command_cycles_respect_worst_case(cmds in arb_cmds()) {
+        let mut dau = Dau::new(5, 5);
+        for i in 0..5 {
+            dau.set_priority(ProcId(i), Priority::new(i as u8 + 1));
+        }
+        let bound = dau.worst_case_steps()
+            + 2 * deltaos_core::reduction::step_bound(5, 5) as u64; // recheck slack
+        for cmd in cmds {
+            let r = match cmd {
+                Cmd::Req(p, q) => dau.execute(Command::Request {
+                    process: ProcId(p),
+                    resource: ResId(q),
+                }),
+                Cmd::Rel(p, q) => dau.execute(Command::Release {
+                    process: ProcId(p),
+                    resource: ResId(q),
+                }),
+            };
+            if let Ok(rep) = r {
+                prop_assert!(
+                    rep.cycles <= bound,
+                    "command cost {} exceeds bound {bound}",
+                    rep.cycles
+                );
+            }
+        }
+    }
+
+    /// The request fast path never misclassifies: a request for a free
+    /// resource is always granted, never pended.
+    #[test]
+    fn free_resources_always_granted(p in 0u16..5, q in 0u16..5) {
+        let mut av = Avoider::new(5, 5);
+        let out = av.request(ProcId(p), ResId(q), &mut FastProbe).unwrap();
+        prop_assert_eq!(out, RequestOutcome::Granted);
+    }
+}

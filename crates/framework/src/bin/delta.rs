@@ -1,0 +1,106 @@
+//! `delta` — the δ framework command-line front end (the headless
+//! replacement for the GUI of Figure 3).
+//!
+//! ```text
+//! delta presets                      list the Table 3 configurations
+//! delta generate <config.delta>     emit the configured system's Verilog
+//! delta inspect  <config.delta>     show what the configuration elaborates to
+//! delta explore  <workload>         run gdl|rdl|jini|livelock across RTOS1..7
+//! ```
+
+use std::process::ExitCode;
+
+use deltaos_framework::explore::{explore, render_table};
+use deltaos_framework::{generate, parse, RtosPreset};
+use deltaos_rtl::archi_gen::EXTERNAL_IP;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "delta — hardware/software RTOS design framework
+
+USAGE:
+    delta presets
+    delta generate <config-file>   # print generated Verilog to stdout
+    delta inspect  <config-file>   # summarize the elaborated system
+    delta explore  <workload>      # gdl | rdl | jini | livelock"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<deltaos_framework::SystemConfig, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("presets") => {
+            for p in RtosPreset::all() {
+                println!("{p}: {}", p.description());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("generate") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            match load(path) {
+                Ok(cfg) => {
+                    let sys = generate(&cfg);
+                    let errs = sys.rtl.lint(EXTERNAL_IP);
+                    if !errs.is_empty() {
+                        eprintln!("generated RTL failed lint: {errs:?}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("{}", sys.rtl.verilog);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("inspect") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            match load(path) {
+                Ok(cfg) => {
+                    let sys = generate(&cfg);
+                    println!("preset:      {} — {}", cfg.preset, cfg.preset.description());
+                    println!("PEs:         {}", cfg.pes);
+                    println!("resources:   {:?}", cfg.resources);
+                    println!("top module:  {}", sys.rtl.top);
+                    println!("verilog:     {} lines", sys.rtl.line_count());
+                    println!(
+                        "added gates: {:.0} NAND2-equiv ({:.4}% of the base MPSoC)",
+                        sys.rtl.gates.nand2_equiv(),
+                        100.0 * sys.rtl.gates.nand2_equiv()
+                            / deltaos_rtl::area::mpsoc_gate_budget(cfg.pes as u64, 16)
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("explore") => {
+            let workload: fn(&mut deltaos_rtos::kernel::Kernel) =
+                match args.get(1).map(String::as_str) {
+                    Some("gdl") => deltaos_apps::gdl::install,
+                    Some("rdl") => deltaos_apps::rdl::install,
+                    Some("jini") => deltaos_apps::jini::install,
+                    Some("livelock") => deltaos_apps::livelock::install,
+                    _ => return usage(),
+                };
+            let rows = explore(&RtosPreset::all(), workload);
+            print!("{}", render_table(&rows));
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

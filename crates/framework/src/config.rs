@@ -1,0 +1,336 @@
+//! System configuration: the δ framework's design space.
+//!
+//! A [`SystemConfig`] captures everything the GUI of Figure 3 collects:
+//! the target architecture (PEs, resources, bus) and the selected
+//! hardware/software RTOS components. The seven configurations the
+//! paper evaluates (Table 3) are available as [`RtosPreset`]s.
+
+use deltaos_mpsoc::platform::PlatformConfig;
+use deltaos_mpsoc::resource::ResKind;
+use deltaos_rtl::archi_gen::{Component, SystemDesc};
+use deltaos_rtl::bus_gen::BusConfig;
+use deltaos_rtos::kernel::{KernelConfig, LockSetup, MemSetup};
+use deltaos_rtos::mem::FitPolicy;
+use deltaos_rtos::resman::ResPolicy;
+
+use std::fmt;
+
+/// The Table 3 RTOS/MPSoC configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RtosPreset {
+    /// RTOS1 — PDDA (Algorithms 1 & 2) in software.
+    Rtos1,
+    /// RTOS2 — DDU in hardware.
+    Rtos2,
+    /// RTOS3 — DAA (Algorithm 3) in software.
+    Rtos3,
+    /// RTOS4 — DAU in hardware.
+    Rtos4,
+    /// RTOS5 — pure RTOS with priority-inheritance support.
+    Rtos5,
+    /// RTOS6 — SoCLC with immediate priority ceiling in hardware.
+    Rtos6,
+    /// RTOS7 — SoCDMMU in hardware.
+    Rtos7,
+}
+
+impl RtosPreset {
+    /// All seven, in Table 3 order.
+    pub fn all() -> [RtosPreset; 7] {
+        [
+            RtosPreset::Rtos1,
+            RtosPreset::Rtos2,
+            RtosPreset::Rtos3,
+            RtosPreset::Rtos4,
+            RtosPreset::Rtos5,
+            RtosPreset::Rtos6,
+            RtosPreset::Rtos7,
+        ]
+    }
+
+    /// The Table 3 description of what sits on top of the essential pure
+    /// software RTOS.
+    pub fn description(self) -> &'static str {
+        match self {
+            RtosPreset::Rtos1 => "PDDA (Algorithms 1 and 2) in software (Section 4.2.1)",
+            RtosPreset::Rtos2 => "DDU in hardware (Sections 4.2.2 and 4.2.3)",
+            RtosPreset::Rtos3 => "DAA (Algorithm 3) in software (Section 4.3.1)",
+            RtosPreset::Rtos4 => "DAU in hardware (Section 4.3.2)",
+            RtosPreset::Rtos5 => "Pure RTOS with priority inheritance support (Section 2.1)",
+            RtosPreset::Rtos6 => {
+                "SoCLC with immediate priority ceiling protocol in hardware (Section 2.3.1)"
+            }
+            RtosPreset::Rtos7 => "SoCDMMU in hardware (Section 2.3.2)",
+        }
+    }
+
+    /// Parses `"rtos1"`…`"rtos7"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<RtosPreset> {
+        match s.to_ascii_lowercase().as_str() {
+            "rtos1" => Some(RtosPreset::Rtos1),
+            "rtos2" => Some(RtosPreset::Rtos2),
+            "rtos3" => Some(RtosPreset::Rtos3),
+            "rtos4" => Some(RtosPreset::Rtos4),
+            "rtos5" => Some(RtosPreset::Rtos5),
+            "rtos6" => Some(RtosPreset::Rtos6),
+            "rtos7" => Some(RtosPreset::Rtos7),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RtosPreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = match self {
+            RtosPreset::Rtos1 => 1,
+            RtosPreset::Rtos2 => 2,
+            RtosPreset::Rtos3 => 3,
+            RtosPreset::Rtos4 => 4,
+            RtosPreset::Rtos5 => 5,
+            RtosPreset::Rtos6 => 6,
+            RtosPreset::Rtos7 => 7,
+        };
+        write!(f, "RTOS{n}")
+    }
+}
+
+/// A full RTOS/MPSoC configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// The selected preset.
+    pub preset: RtosPreset,
+    /// Number of PEs.
+    pub pes: usize,
+    /// Hardware resources.
+    pub resources: Vec<ResKind>,
+    /// Deadlock unit dimensions (resources × processes), used by
+    /// RTOS1–RTOS4.
+    pub deadlock_dims: (usize, usize),
+    /// SoCLC lock split (short, long), used by RTOS6.
+    pub soclc_locks: (u16, u16),
+    /// SoCDMMU geometry (blocks, block size), used by RTOS7.
+    pub socdmmu: (u32, u32),
+    /// Bus configuration for RTL generation.
+    pub bus: BusConfig,
+    /// Use the small test memory instead of the full 16 MB.
+    pub small_memory: bool,
+    /// Select *every* hardware RTOS component at once (DAU + SoCLC +
+    /// SoCDMMU) — the "different mixes" the δ framework exists to
+    /// explore. Overrides the preset's single-component selection for
+    /// locks/memory while keeping the preset's deadlock policy.
+    pub all_hardware: bool,
+}
+
+impl SystemConfig {
+    /// The paper's base system under the given preset.
+    pub fn preset(preset: RtosPreset) -> Self {
+        SystemConfig {
+            preset,
+            pes: 4,
+            resources: ResKind::all().to_vec(),
+            deadlock_dims: (5, 5),
+            soclc_locks: (8, 8),
+            socdmmu: (128, 4096),
+            bus: BusConfig::default(),
+            small_memory: false,
+            all_hardware: false,
+        }
+    }
+
+    /// Same, with the small test memory (fast construction in tests).
+    pub fn preset_small(preset: RtosPreset) -> Self {
+        SystemConfig {
+            small_memory: true,
+            ..Self::preset(preset)
+        }
+    }
+
+    /// The maximal mix: DAU avoidance + SoCLC locks + SoCDMMU memory —
+    /// every RTOS service in hardware at once.
+    pub fn full_hardware() -> Self {
+        SystemConfig {
+            all_hardware: true,
+            small_memory: true,
+            ..Self::preset(RtosPreset::Rtos4)
+        }
+    }
+
+    /// Builds the kernel configuration this system runs.
+    pub fn kernel_config(&self) -> KernelConfig {
+        let platform = PlatformConfig {
+            pes: self.pes,
+            resources: self.resources.clone(),
+            ..if self.small_memory {
+                PlatformConfig::small()
+            } else {
+                PlatformConfig::default()
+            }
+        };
+        let res_policy = match self.preset {
+            RtosPreset::Rtos1 => ResPolicy::DetectSw,
+            RtosPreset::Rtos2 => ResPolicy::DetectHw,
+            RtosPreset::Rtos3 => ResPolicy::AvoidSw,
+            RtosPreset::Rtos4 => ResPolicy::AvoidHw,
+            _ => ResPolicy::NoDeadlockSupport,
+        };
+        let locks = if self.preset == RtosPreset::Rtos6 || self.all_hardware {
+            LockSetup::Soclc {
+                short: self.soclc_locks.0,
+                long: self.soclc_locks.1,
+            }
+        } else {
+            LockSetup::Software {
+                count: self.soclc_locks.0 + self.soclc_locks.1,
+            }
+        };
+        let memory = if self.preset == RtosPreset::Rtos7 || self.all_hardware {
+            MemSetup::Socdmmu {
+                blocks: self.socdmmu.0,
+                block_size: self.socdmmu.1,
+            }
+        } else {
+            MemSetup::Software(FitPolicy::FirstFit)
+        };
+        KernelConfig {
+            platform,
+            res_policy,
+            locks,
+            memory,
+            ..Default::default()
+        }
+    }
+
+    /// Builds the RTL system description (what Archi_gen elaborates).
+    pub fn system_desc(&self) -> SystemDesc {
+        let mut components = Vec::new();
+        if self.all_hardware {
+            components.push(Component::Dau {
+                resources: self.deadlock_dims.0,
+                processes: self.deadlock_dims.1,
+            });
+            components.push(Component::Soclc {
+                short: self.soclc_locks.0,
+                long: self.soclc_locks.1,
+            });
+            components.push(Component::Socdmmu {
+                blocks: self.socdmmu.0,
+            });
+            return SystemDesc {
+                pes: self.pes,
+                bus: self.bus.clone(),
+                components,
+            };
+        }
+        match self.preset {
+            RtosPreset::Rtos2 => components.push(Component::Ddu {
+                resources: self.deadlock_dims.0,
+                processes: self.deadlock_dims.1,
+            }),
+            RtosPreset::Rtos4 => components.push(Component::Dau {
+                resources: self.deadlock_dims.0,
+                processes: self.deadlock_dims.1,
+            }),
+            RtosPreset::Rtos6 => components.push(Component::Soclc {
+                short: self.soclc_locks.0,
+                long: self.soclc_locks.1,
+            }),
+            RtosPreset::Rtos7 => components.push(Component::Socdmmu {
+                blocks: self.socdmmu.0,
+            }),
+            _ => {}
+        }
+        SystemDesc {
+            pes: self.pes,
+            bus: self.bus.clone(),
+            components,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_map_to_table3_policies() {
+        assert_eq!(
+            SystemConfig::preset(RtosPreset::Rtos1)
+                .kernel_config()
+                .res_policy,
+            ResPolicy::DetectSw
+        );
+        assert_eq!(
+            SystemConfig::preset(RtosPreset::Rtos2)
+                .kernel_config()
+                .res_policy,
+            ResPolicy::DetectHw
+        );
+        assert_eq!(
+            SystemConfig::preset(RtosPreset::Rtos3)
+                .kernel_config()
+                .res_policy,
+            ResPolicy::AvoidSw
+        );
+        assert_eq!(
+            SystemConfig::preset(RtosPreset::Rtos4)
+                .kernel_config()
+                .res_policy,
+            ResPolicy::AvoidHw
+        );
+        assert_eq!(
+            SystemConfig::preset(RtosPreset::Rtos5)
+                .kernel_config()
+                .res_policy,
+            ResPolicy::NoDeadlockSupport
+        );
+    }
+
+    #[test]
+    fn rtos6_selects_soclc_and_rtos7_selects_socdmmu() {
+        let c6 = SystemConfig::preset(RtosPreset::Rtos6).kernel_config();
+        assert!(matches!(c6.locks, LockSetup::Soclc { short: 8, long: 8 }));
+        let c7 = SystemConfig::preset(RtosPreset::Rtos7).kernel_config();
+        assert!(matches!(c7.memory, MemSetup::Socdmmu { .. }));
+        let c5 = SystemConfig::preset(RtosPreset::Rtos5).kernel_config();
+        assert!(matches!(c5.locks, LockSetup::Software { .. }));
+        assert!(matches!(c5.memory, MemSetup::Software(_)));
+    }
+
+    #[test]
+    fn system_desc_selects_the_right_component() {
+        let d = SystemConfig::preset(RtosPreset::Rtos4).system_desc();
+        assert!(matches!(d.components[0], Component::Dau { .. }));
+        let d5 = SystemConfig::preset(RtosPreset::Rtos5).system_desc();
+        assert!(d5.components.is_empty());
+    }
+
+    #[test]
+    fn full_hardware_mixes_every_component() {
+        let cfg = SystemConfig::full_hardware();
+        let kc = cfg.kernel_config();
+        assert_eq!(kc.res_policy, ResPolicy::AvoidHw);
+        assert!(matches!(kc.locks, LockSetup::Soclc { .. }));
+        assert!(matches!(kc.memory, MemSetup::Socdmmu { .. }));
+        let desc = cfg.system_desc();
+        assert_eq!(desc.components.len(), 3, "DAU + SoCLC + SoCDMMU");
+    }
+
+    #[test]
+    fn preset_parse_and_display_roundtrip() {
+        for p in RtosPreset::all() {
+            let s = p.to_string();
+            assert_eq!(RtosPreset::parse(&s), Some(p));
+        }
+        assert_eq!(RtosPreset::parse("nope"), None);
+    }
+
+    #[test]
+    fn descriptions_cover_all_presets() {
+        for p in RtosPreset::all() {
+            assert!(!p.description().is_empty());
+        }
+        assert!(RtosPreset::Rtos6
+            .description()
+            .contains("immediate priority ceiling"));
+    }
+}

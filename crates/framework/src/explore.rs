@@ -1,0 +1,125 @@
+//! Design-space exploration: the δ framework's purpose.
+//!
+//! The framework exists so a designer can *"easily and quickly explore
+//! their design space with available hardware and software modules"*
+//! (Section 6). [`explore`] runs a workload across a set of
+//! configurations and tabulates application time, algorithm overhead
+//! and hardware cost side by side — the decision table the paper's
+//! conclusions are drawn from.
+
+use crate::config::{RtosPreset, SystemConfig};
+use deltaos_rtos::kernel::Kernel;
+use deltaos_sim::SimTime;
+
+use std::fmt;
+
+/// A workload that can be installed on any kernel configuration.
+pub type Workload = fn(&mut Kernel);
+
+/// One row of the exploration report.
+#[derive(Debug, Clone)]
+pub struct ExplorationRow {
+    /// The configuration.
+    pub preset: RtosPreset,
+    /// Application execution time.
+    pub app_time: SimTime,
+    /// `true` if every task completed.
+    pub finished: bool,
+    /// When a detection policy flagged deadlock.
+    pub deadlock_at: Option<SimTime>,
+    /// Deadlock-algorithm invocations.
+    pub algo_invocations: u64,
+    /// Total deadlock-algorithm cycles.
+    pub algo_cycles: u64,
+    /// Hardware cost of the configuration's added component
+    /// (NAND2-equivalents), from the RTL generators.
+    pub hw_gates: f64,
+}
+
+impl fmt::Display for ExplorationRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:6} app={:>9} finished={:5} algo_runs={:>3} algo_cycles={:>7} hw_gates={:>8.0}",
+            self.preset.to_string(),
+            self.app_time.cycles(),
+            self.finished,
+            self.algo_invocations,
+            self.algo_cycles,
+            self.hw_gates
+        )
+    }
+}
+
+/// Runs `workload` under every configuration in `presets` and returns
+/// one row per configuration.
+pub fn explore(presets: &[RtosPreset], workload: Workload) -> Vec<ExplorationRow> {
+    presets
+        .iter()
+        .map(|&preset| {
+            let cfg = SystemConfig::preset_small(preset);
+            let mut k = Kernel::new(cfg.kernel_config());
+            workload(&mut k);
+            let report = k.run(Some(1_000_000_000));
+            let (inv, cyc) = k
+                .resource_service()
+                .map(|rs| rs.algo_stats())
+                .unwrap_or((0, 0));
+            let hw_gates = deltaos_rtl::archi_gen::generate(&cfg.system_desc())
+                .gates
+                .nand2_equiv();
+            ExplorationRow {
+                preset,
+                app_time: report.app_time(),
+                finished: report.all_finished,
+                deadlock_at: report.deadlock_at,
+                algo_invocations: inv,
+                algo_cycles: cyc,
+                hw_gates,
+            }
+        })
+        .collect()
+}
+
+/// Formats rows as a table (one row per line).
+pub fn render_table(rows: &[ExplorationRow]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&r.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltaos_apps::gdl;
+
+    #[test]
+    fn exploring_the_gdl_workload_ranks_avoidance() {
+        let rows = explore(
+            &[RtosPreset::Rtos2, RtosPreset::Rtos3, RtosPreset::Rtos4],
+            gdl::install,
+        );
+        assert_eq!(rows.len(), 3);
+        let r2 = &rows[0];
+        let r3 = &rows[1];
+        let r4 = &rows[2];
+        assert!(r2.deadlock_at.is_some(), "detection flags the G-dl");
+        assert!(r3.finished && r4.finished, "avoidance completes");
+        assert!(
+            r4.app_time < r3.app_time,
+            "hardware avoidance must be faster"
+        );
+        assert!(r4.hw_gates > r2.hw_gates, "the DAU costs more than the DDU");
+    }
+
+    #[test]
+    fn render_table_mentions_every_preset() {
+        let rows = explore(&[RtosPreset::Rtos4], gdl::install);
+        let table = render_table(&rows);
+        assert!(table.contains("RTOS4"));
+        assert!(table.contains("app="));
+    }
+}

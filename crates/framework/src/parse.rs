@@ -1,0 +1,247 @@
+//! Text configuration files for the δ framework.
+//!
+//! The paper's GUI (Figures 3–6) collects the target-architecture
+//! parameters interactively; the headless equivalent is a small
+//! INI-style file:
+//!
+//! ```text
+//! # delta framework configuration
+//! [system]
+//! preset = rtos4
+//! pes = 4
+//!
+//! [deadlock]
+//! resources = 5
+//! processes = 5
+//!
+//! [soclc]
+//! short = 8
+//! long = 8
+//!
+//! [socdmmu]
+//! blocks = 128
+//! block_size = 4096
+//!
+//! [bus]
+//! addr_width = 32
+//! data_width = 64
+//! ```
+//!
+//! Unknown sections/keys are errors (catching typos beats silently
+//! ignoring them).
+
+use crate::config::{RtosPreset, SystemConfig};
+use deltaos_rtl::bus_gen::BusConfig;
+
+use std::error::Error;
+use std::fmt;
+
+/// A configuration parse error with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a configuration file into a [`SystemConfig`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a line number for syntax errors,
+/// unknown sections/keys, bad values and missing preset.
+pub fn parse(source: &str) -> Result<SystemConfig, ParseError> {
+    let mut preset: Option<RtosPreset> = None;
+    let mut cfg = SystemConfig::preset(RtosPreset::Rtos5);
+    let mut section = String::new();
+
+    for (i, raw) in source.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(err(lineno, "unterminated section header"));
+            };
+            section = name.trim().to_ascii_lowercase();
+            if !["system", "deadlock", "soclc", "socdmmu", "bus"].contains(&section.as_str()) {
+                return Err(err(lineno, format!("unknown section `{section}`")));
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(lineno, "expected `key = value`"));
+        };
+        let key = key.trim().to_ascii_lowercase();
+        let value = value.trim();
+        let int = |v: &str| -> Result<u64, ParseError> {
+            v.parse::<u64>()
+                .map_err(|_| err(lineno, format!("`{v}` is not a number")))
+        };
+        match (section.as_str(), key.as_str()) {
+            ("system", "preset") => {
+                preset = Some(
+                    RtosPreset::parse(value)
+                        .ok_or_else(|| err(lineno, format!("unknown preset `{value}`")))?,
+                );
+            }
+            ("system", "pes") => {
+                let v = int(value)? as usize;
+                if v == 0 || v > 64 {
+                    return Err(err(lineno, "pes must be in 1..=64"));
+                }
+                cfg.pes = v;
+            }
+            ("system", "small_memory") => {
+                cfg.small_memory = match value {
+                    "true" => true,
+                    "false" => false,
+                    _ => return Err(err(lineno, "small_memory must be true/false")),
+                };
+            }
+            ("system", "all_hardware") => {
+                cfg.all_hardware = match value {
+                    "true" => true,
+                    "false" => false,
+                    _ => return Err(err(lineno, "all_hardware must be true/false")),
+                };
+            }
+            ("deadlock", "resources") => cfg.deadlock_dims.0 = int(value)? as usize,
+            ("deadlock", "processes") => cfg.deadlock_dims.1 = int(value)? as usize,
+            ("soclc", "short") => cfg.soclc_locks.0 = int(value)? as u16,
+            ("soclc", "long") => cfg.soclc_locks.1 = int(value)? as u16,
+            ("socdmmu", "blocks") => cfg.socdmmu.0 = int(value)? as u32,
+            ("socdmmu", "block_size") => cfg.socdmmu.1 = int(value)? as u32,
+            ("bus", "addr_width") => cfg.bus.addr_width = int(value)? as u32,
+            ("bus", "data_width") => cfg.bus.data_width = int(value)? as u32,
+            ("", k) => return Err(err(lineno, format!("key `{k}` outside any section"))),
+            (s, k) => return Err(err(lineno, format!("unknown key `{k}` in section `{s}`"))),
+        }
+    }
+    let preset = preset.ok_or_else(|| {
+        err(
+            source.lines().count().max(1),
+            "missing `preset` in [system]",
+        )
+    })?;
+    cfg.preset = preset;
+    Ok(cfg)
+}
+
+/// Renders a [`SystemConfig`] back to the file format (round-trips
+/// through [`parse`]).
+pub fn render(cfg: &SystemConfig) -> String {
+    let _ = BusConfig::default();
+    format!(
+        "# delta framework configuration\n[system]\npreset = {}\npes = {}\nsmall_memory = {}\nall_hardware = {}\n\n[deadlock]\nresources = {}\nprocesses = {}\n\n[soclc]\nshort = {}\nlong = {}\n\n[socdmmu]\nblocks = {}\nblock_size = {}\n\n[bus]\naddr_width = {}\ndata_width = {}\n",
+        cfg.preset.to_string().to_ascii_lowercase(),
+        cfg.pes,
+        cfg.small_memory,
+        cfg.all_hardware,
+        cfg.deadlock_dims.0,
+        cfg.deadlock_dims.1,
+        cfg.soclc_locks.0,
+        cfg.soclc_locks.1,
+        cfg.socdmmu.0,
+        cfg.socdmmu.1,
+        cfg.bus.addr_width,
+        cfg.bus.data_width,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_config() {
+        let src = "\
+# comment
+[system]
+preset = rtos4
+pes = 4
+
+[deadlock]
+resources = 5
+processes = 5
+
+[soclc]
+short = 8
+long = 8
+";
+        let cfg = parse(src).unwrap();
+        assert_eq!(cfg.preset, RtosPreset::Rtos4);
+        assert_eq!(cfg.pes, 4);
+        assert_eq!(cfg.deadlock_dims, (5, 5));
+    }
+
+    #[test]
+    fn roundtrips_through_render() {
+        let mut cfg = SystemConfig::preset(RtosPreset::Rtos6);
+        cfg.soclc_locks = (4, 12);
+        cfg.pes = 8;
+        let parsed = parse(&render(&cfg)).unwrap();
+        assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn missing_preset_is_an_error() {
+        let e = parse("[system]\npes = 4\n").unwrap_err();
+        assert!(e.message.contains("missing `preset`"));
+    }
+
+    #[test]
+    fn unknown_section_reports_line() {
+        let e = parse("[system]\npreset = rtos1\n[bogus]\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("unknown section"));
+    }
+
+    #[test]
+    fn unknown_key_reports_line() {
+        let e = parse("[system]\npreset = rtos1\nwheels = 4\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn bad_number_reports_value() {
+        let e = parse("[system]\npreset = rtos1\npes = many\n").unwrap_err();
+        assert!(e.message.contains("not a number"));
+    }
+
+    #[test]
+    fn zero_pes_rejected() {
+        let e = parse("[system]\npreset = rtos1\npes = 0\n").unwrap_err();
+        assert!(e.message.contains("1..=64"));
+    }
+
+    #[test]
+    fn key_outside_section_rejected() {
+        let e = parse("pes = 4\n").unwrap_err();
+        assert!(e.message.contains("outside any section"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let cfg = parse("\n# hi\n[system]\npreset = rtos2 # trailing\n").unwrap();
+        assert_eq!(cfg.preset, RtosPreset::Rtos2);
+    }
+}

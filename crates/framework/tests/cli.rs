@@ -1,0 +1,76 @@
+//! Integration tests of the `delta` command-line front end.
+
+use std::process::Command;
+
+fn delta() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_delta"))
+}
+
+#[test]
+fn presets_lists_all_seven() {
+    let out = delta().arg("presets").output().expect("run delta");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for n in 1..=7 {
+        assert!(text.contains(&format!("RTOS{n}:")), "missing RTOS{n}");
+    }
+}
+
+#[test]
+fn generate_emits_lintable_verilog() {
+    let dir = std::env::temp_dir().join("deltaos-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = dir.join("sys.delta");
+    std::fs::write(
+        &cfg,
+        "[system]\npreset = rtos2\npes = 4\nsmall_memory = true\n",
+    )
+    .unwrap();
+    let out = delta().arg("generate").arg(&cfg).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let verilog = String::from_utf8(out.stdout).unwrap();
+    assert!(verilog.contains("module ddu_5x5"));
+    assert!(verilog.contains("module Top"));
+    assert!(deltaos_rtl::verilog::lint(&verilog, deltaos_rtl::archi_gen::EXTERNAL_IP).is_empty());
+}
+
+#[test]
+fn inspect_reports_gates() {
+    let dir = std::env::temp_dir().join("deltaos-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = dir.join("inspect.delta");
+    std::fs::write(
+        &cfg,
+        "[system]\npreset = rtos6\npes = 4\nsmall_memory = true\n",
+    )
+    .unwrap();
+    let out = delta().arg("inspect").arg(&cfg).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("RTOS6"));
+    assert!(text.contains("added gates"));
+}
+
+#[test]
+fn bad_config_fails_with_line_number() {
+    let dir = std::env::temp_dir().join("deltaos-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = dir.join("bad.delta");
+    std::fs::write(&cfg, "[system]\npreset = rtos9\n").unwrap();
+    let out = delta().arg("inspect").arg(&cfg).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("line 2"), "stderr: {err}");
+}
+
+#[test]
+fn no_args_prints_usage_and_exits_2() {
+    let out = delta().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("USAGE"));
+}

@@ -1,0 +1,38 @@
+//! # deltaos-hwunits — hardware RTOS components
+//!
+//! The prior-work hardware IP components the δ framework can configure
+//! into an RTOS/MPSoC (Section 2.3):
+//!
+//! * [`soclc::Soclc`] — the System-on-a-Chip Lock Cache: lock variables
+//!   in hardware, priority-ordered hand-off, IPCP ceilings, interrupt
+//!   wakeups. The RTOS6 configuration of Table 3 and the subject of the
+//!   Table 10 robot experiment.
+//! * [`socdmmu::Socdmmu`] — the SoC Dynamic Memory Management Unit:
+//!   deterministic fixed-block allocation of global memory. The RTOS7
+//!   configuration and the subject of the Table 11/12 SPLASH-2
+//!   experiments.
+//!
+//! The deadlock units (DDU, DAU) live in `deltaos-core` because they are
+//! the paper's primary contribution; this crate hosts the supporting
+//! units.
+//!
+//! # Example
+//!
+//! ```
+//! use deltaos_hwunits::socdmmu::Socdmmu;
+//! use deltaos_mpsoc::pe::PeId;
+//!
+//! # fn main() -> Result<(), deltaos_hwunits::socdmmu::SocdmmuError> {
+//! let mut dmmu = Socdmmu::generate(128, 4096);
+//! let a = dmmu.alloc(PeId(2), 64 * 1024)?;
+//! assert_eq!(a.blocks, 16);
+//! dmmu.dealloc(PeId(2), a.addr)?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod socdmmu;
+pub mod soclc;
+
+pub use socdmmu::{Allocation, Socdmmu, SocdmmuError};
+pub use soclc::{AcquireResult, LockId, LockKind, ReleaseResult, Soclc, TaskToken};

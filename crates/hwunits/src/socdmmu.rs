@@ -1,0 +1,362 @@
+//! SoCDMMU — the SoC Dynamic Memory Management Unit (Section 2.3.2).
+//!
+//! A hardware allocator for the global (L2) memory: the heap is divided
+//! into fixed-size blocks and the unit services allocate/deallocate
+//! commands **deterministically in a few cycles**, independent of heap
+//! state — the property that removes the `malloc`/`free` overhead from
+//! the SPLASH-2 benchmarks in Table 12. The unit also performs the
+//! PE-address (virtual) to physical translation for allocated regions.
+//!
+//! The paper's generator (DX-Gt) parameterizes the number of blocks and
+//! PEs; [`Socdmmu::generate`] mirrors that.
+
+use deltaos_mpsoc::memory::MemoryMap;
+use deltaos_mpsoc::pe::PeId;
+use deltaos_sim::Stats;
+
+use std::error::Error;
+use std::fmt;
+
+/// Cycles the unit spends executing one command (fixed by design — the
+/// bit-vector scan is combinational).
+pub const UNIT_CYCLES: u64 = 4;
+
+/// Errors surfaced in the unit's status word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SocdmmuError {
+    /// Not enough contiguous free blocks.
+    OutOfMemory {
+        /// Blocks requested.
+        requested: u32,
+        /// Largest free run available.
+        largest_free_run: u32,
+    },
+    /// Deallocation of an address that is not an allocation start.
+    BadAddress(u32),
+    /// Deallocation by a PE that does not own the allocation.
+    NotOwner {
+        /// The PE that issued the command.
+        pe: PeId,
+        /// The allocation's actual owner.
+        owner: PeId,
+    },
+    /// Zero-byte allocation request.
+    ZeroSize,
+}
+
+impl fmt::Display for SocdmmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocdmmuError::OutOfMemory {
+                requested,
+                largest_free_run,
+            } => write!(
+                f,
+                "out of memory: {requested} blocks requested, largest free run {largest_free_run}"
+            ),
+            SocdmmuError::BadAddress(a) => write!(f, "address {a:#x} is not an allocation start"),
+            SocdmmuError::NotOwner { pe, owner } => {
+                write!(f, "{pe} tried to free an allocation owned by {owner}")
+            }
+            SocdmmuError::ZeroSize => write!(f, "zero-byte allocation"),
+        }
+    }
+}
+
+impl Error for SocdmmuError {}
+
+/// A successful allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// Physical start address in the global heap.
+    pub addr: u32,
+    /// Number of blocks granted.
+    pub blocks: u32,
+    /// Bytes usable (blocks × block size).
+    pub bytes: u32,
+}
+
+/// The hardware memory management unit.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_hwunits::socdmmu::Socdmmu;
+/// use deltaos_mpsoc::pe::PeId;
+///
+/// # fn main() -> Result<(), deltaos_hwunits::socdmmu::SocdmmuError> {
+/// let mut dmmu = Socdmmu::generate(64, 4 * 1024); // 64 blocks of 4 KB
+/// let a = dmmu.alloc(PeId(0), 10_000)?; // rounds up to 3 blocks
+/// assert_eq!(a.blocks, 3);
+/// dmmu.dealloc(PeId(0), a.addr)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Socdmmu {
+    block_size: u32,
+    heap_base: u32,
+    /// Block → owning PE, or `None` when free.
+    owners: Vec<Option<PeId>>,
+    /// Allocation starts: block index → run length.
+    runs: Vec<u32>,
+    stats: Stats,
+}
+
+impl Socdmmu {
+    /// Generates a unit managing `blocks` blocks of `block_size` bytes,
+    /// based at the platform heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks == 0`, `block_size == 0`, or the managed region
+    /// exceeds the platform heap size.
+    pub fn generate(blocks: u32, block_size: u32) -> Self {
+        assert!(blocks > 0 && block_size > 0, "degenerate SoCDMMU geometry");
+        assert!(
+            blocks
+                .checked_mul(block_size)
+                .is_some_and(|sz| sz <= MemoryMap::HEAP_SIZE),
+            "managed region exceeds the global heap"
+        );
+        Socdmmu {
+            block_size,
+            heap_base: MemoryMap::HEAP_BASE,
+            owners: vec![None; blocks as usize],
+            runs: vec![0; blocks as usize],
+            stats: Stats::new(),
+        }
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> u32 {
+        self.block_size
+    }
+
+    /// Total number of managed blocks.
+    pub fn block_count(&self) -> u32 {
+        self.owners.len() as u32
+    }
+
+    /// Number of currently free blocks.
+    pub fn free_blocks(&self) -> u32 {
+        self.owners.iter().filter(|o| o.is_none()).count() as u32
+    }
+
+    fn largest_free_run(&self) -> u32 {
+        let mut best = 0u32;
+        let mut cur = 0u32;
+        for o in &self.owners {
+            if o.is_none() {
+                cur += 1;
+                best = best.max(cur);
+            } else {
+                cur = 0;
+            }
+        }
+        best
+    }
+
+    /// Allocates at least `bytes` bytes for `pe` (first-fit over the block
+    /// bit-vector, computed combinationally in hardware).
+    ///
+    /// # Errors
+    ///
+    /// [`SocdmmuError::ZeroSize`] or [`SocdmmuError::OutOfMemory`].
+    pub fn alloc(&mut self, pe: PeId, bytes: u32) -> Result<Allocation, SocdmmuError> {
+        if bytes == 0 {
+            return Err(SocdmmuError::ZeroSize);
+        }
+        let need = bytes.div_ceil(self.block_size);
+        // First fit: find `need` consecutive free blocks.
+        let mut run_start = 0usize;
+        let mut run_len = 0u32;
+        for (i, o) in self.owners.iter().enumerate() {
+            if o.is_none() {
+                if run_len == 0 {
+                    run_start = i;
+                }
+                run_len += 1;
+                if run_len == need {
+                    for b in run_start..run_start + need as usize {
+                        self.owners[b] = Some(pe);
+                    }
+                    self.runs[run_start] = need;
+                    self.stats.incr("socdmmu.allocs");
+                    self.stats.add("socdmmu.blocks_allocated", need as u64);
+                    return Ok(Allocation {
+                        addr: self.heap_base + run_start as u32 * self.block_size,
+                        blocks: need,
+                        bytes: need * self.block_size,
+                    });
+                }
+            } else {
+                run_len = 0;
+            }
+        }
+        self.stats.incr("socdmmu.alloc_failures");
+        Err(SocdmmuError::OutOfMemory {
+            requested: need,
+            largest_free_run: self.largest_free_run(),
+        })
+    }
+
+    /// Deallocates the allocation starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`SocdmmuError::BadAddress`] if `addr` is not an allocation start;
+    /// [`SocdmmuError::NotOwner`] if `pe` does not own it (the unit
+    /// enforces PE-level protection).
+    pub fn dealloc(&mut self, pe: PeId, addr: u32) -> Result<(), SocdmmuError> {
+        let off = addr.wrapping_sub(self.heap_base);
+        if !off.is_multiple_of(self.block_size) {
+            return Err(SocdmmuError::BadAddress(addr));
+        }
+        let start = (off / self.block_size) as usize;
+        if start >= self.owners.len() || self.runs[start] == 0 {
+            return Err(SocdmmuError::BadAddress(addr));
+        }
+        let owner = self.owners[start].expect("allocation start must be owned");
+        if owner != pe {
+            return Err(SocdmmuError::NotOwner { pe, owner });
+        }
+        let len = self.runs[start] as usize;
+        for b in start..start + len {
+            self.owners[b] = None;
+        }
+        self.runs[start] = 0;
+        self.stats.incr("socdmmu.deallocs");
+        Ok(())
+    }
+
+    /// Allocation/deallocation counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_rounds_up_to_blocks() {
+        let mut d = Socdmmu::generate(16, 1024);
+        let a = d.alloc(PeId(0), 1).unwrap();
+        assert_eq!(a.blocks, 1);
+        let b = d.alloc(PeId(0), 1025).unwrap();
+        assert_eq!(b.blocks, 2);
+        assert_eq!(b.addr, a.addr + 1024);
+        assert_eq!(d.free_blocks(), 13);
+    }
+
+    #[test]
+    fn dealloc_frees_whole_run() {
+        let mut d = Socdmmu::generate(8, 1024);
+        let a = d.alloc(PeId(1), 3 * 1024).unwrap();
+        assert_eq!(d.free_blocks(), 5);
+        d.dealloc(PeId(1), a.addr).unwrap();
+        assert_eq!(d.free_blocks(), 8);
+    }
+
+    #[test]
+    fn first_fit_reuses_freed_space() {
+        let mut d = Socdmmu::generate(4, 1024);
+        let a = d.alloc(PeId(0), 1024).unwrap();
+        let _b = d.alloc(PeId(0), 1024).unwrap();
+        d.dealloc(PeId(0), a.addr).unwrap();
+        let c = d.alloc(PeId(0), 1024).unwrap();
+        assert_eq!(c.addr, a.addr, "first fit must reuse the first hole");
+    }
+
+    #[test]
+    fn out_of_memory_reports_largest_run() {
+        let mut d = Socdmmu::generate(4, 1024);
+        let _a = d.alloc(PeId(0), 1024).unwrap();
+        let b = d.alloc(PeId(0), 1024).unwrap();
+        let _c = d.alloc(PeId(0), 2 * 1024).unwrap();
+        d.dealloc(PeId(0), b.addr).unwrap();
+        // Free: 1 block (fragmented) — a 2-block request must fail.
+        match d.alloc(PeId(0), 2 * 1024) {
+            Err(SocdmmuError::OutOfMemory {
+                requested,
+                largest_free_run,
+            }) => {
+                assert_eq!(requested, 2);
+                assert_eq!(largest_free_run, 1);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pe_protection_enforced() {
+        let mut d = Socdmmu::generate(4, 1024);
+        let a = d.alloc(PeId(0), 1024).unwrap();
+        assert!(matches!(
+            d.dealloc(PeId(1), a.addr),
+            Err(SocdmmuError::NotOwner { .. })
+        ));
+        d.dealloc(PeId(0), a.addr).unwrap();
+    }
+
+    #[test]
+    fn bad_addresses_rejected() {
+        let mut d = Socdmmu::generate(4, 1024);
+        let a = d.alloc(PeId(0), 2048).unwrap();
+        // Mid-run address is not an allocation start.
+        assert!(matches!(
+            d.dealloc(PeId(0), a.addr + 1024),
+            Err(SocdmmuError::BadAddress(_))
+        ));
+        // Unaligned address.
+        assert!(matches!(
+            d.dealloc(PeId(0), a.addr + 3),
+            Err(SocdmmuError::BadAddress(_))
+        ));
+        // Double free.
+        d.dealloc(PeId(0), a.addr).unwrap();
+        assert!(matches!(
+            d.dealloc(PeId(0), a.addr),
+            Err(SocdmmuError::BadAddress(_))
+        ));
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut d = Socdmmu::generate(4, 1024);
+        assert!(matches!(d.alloc(PeId(0), 0), Err(SocdmmuError::ZeroSize)));
+    }
+
+    #[test]
+    fn addresses_live_in_heap_region() {
+        let mut d = Socdmmu::generate(4, 1024);
+        let a = d.alloc(PeId(0), 1024).unwrap();
+        assert!(MemoryMap::is_heap(a.addr));
+    }
+
+    #[test]
+    fn stats_count_commands() {
+        let mut d = Socdmmu::generate(4, 1024);
+        let a = d.alloc(PeId(0), 1024).unwrap();
+        d.dealloc(PeId(0), a.addr).unwrap();
+        let _ = d.alloc(PeId(0), 99 * 1024);
+        assert_eq!(d.stats().counter("socdmmu.allocs"), 1);
+        assert_eq!(d.stats().counter("socdmmu.deallocs"), 1);
+        assert_eq!(d.stats().counter("socdmmu.alloc_failures"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_blocks_rejected() {
+        Socdmmu::generate(0, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the global heap")]
+    fn oversized_region_rejected() {
+        Socdmmu::generate(1 << 20, 1 << 20);
+    }
+}

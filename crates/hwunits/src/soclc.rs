@@ -1,0 +1,500 @@
+//! SoCLC — the System-on-a-Chip Lock Cache (Section 2.3.1).
+//!
+//! A small custom hardware unit that owns all lock state: lock variables
+//! live in the unit instead of shared memory, so acquiring an
+//! uncontended lock is a single memory-mapped access instead of a
+//! read-modify-write dance over the bus plus kernel bookkeeping. On
+//! release the unit picks the highest-priority waiter, hands the lock
+//! over in hardware ("fair and fast lock hand-off") and raises an
+//! interrupt at the waiter's PE. The unit also implements the Immediate
+//! Priority Ceiling Protocol (IPCP): each lock carries a ceiling
+//! priority that the acquiring task's priority is immediately raised to,
+//! which is what bounds blocking for the Table 10 robot application.
+//!
+//! The paper distinguishes *short* locks (spin-waited critical sections)
+//! from *long* locks (semaphore-like, blocked waiters sleep until the
+//! hand-off interrupt); the generator parameterizes how many of each to
+//! synthesize.
+
+use deltaos_core::Priority;
+use deltaos_mpsoc::interrupt::{InterruptController, IrqSource};
+use deltaos_mpsoc::pe::PeId;
+use deltaos_sim::{SimTime, Stats};
+
+/// Short (spin) or long (blocking) lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockKind {
+    /// Spin-waited; waiters poll the unit.
+    Short,
+    /// Semaphore-like; waiters sleep and are woken by interrupt.
+    Long,
+}
+
+/// Identifies a lock inside the unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockId(pub u16);
+
+impl std::fmt::Display for LockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lock{}", self.0)
+    }
+}
+
+/// Opaque task identity used for ownership tracking (the RTOS's task id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskToken(pub u32);
+
+/// Cycles the unit itself spends on an operation (after the MMIO access
+/// reaches it): the SoCLC answers combinationally within a clock.
+pub const UNIT_CYCLES: u64 = 1;
+
+/// Result of an acquire attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireResult {
+    /// Lock granted. `ceiling` is the IPCP ceiling the task must run at
+    /// while holding the lock.
+    Granted {
+        /// The lock's ceiling priority.
+        ceiling: Priority,
+    },
+    /// Lock busy; the caller was queued in hardware.
+    Queued {
+        /// Current owner (for priority-inheritance accounting).
+        owner: TaskToken,
+    },
+}
+
+/// Result of a release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReleaseResult {
+    /// The waiter that now owns the lock, if any (an interrupt was raised
+    /// at its PE for long locks).
+    pub handed_to: Option<(TaskToken, PeId)>,
+}
+
+#[derive(Debug, Clone)]
+struct HwLock {
+    kind: LockKind,
+    ceiling: Priority,
+    owner: Option<(TaskToken, PeId)>,
+    /// Waiters: (task, pe, priority), kept in arrival order; hand-off
+    /// picks the highest priority (FIFO among equals).
+    waiters: Vec<(TaskToken, PeId, Priority)>,
+}
+
+/// The lock cache unit.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_core::Priority;
+/// use deltaos_hwunits::soclc::{AcquireResult, LockId, Soclc, TaskToken};
+/// use deltaos_mpsoc::interrupt::InterruptController;
+/// use deltaos_mpsoc::pe::PeId;
+/// use deltaos_sim::SimTime;
+///
+/// let mut soclc = Soclc::generate(8, 8); // 8 short + 8 long locks
+/// let mut ic = InterruptController::new(4);
+/// let r = soclc.acquire(
+///     SimTime::ZERO, LockId(0), TaskToken(1), PeId(0), Priority::new(2));
+/// assert!(matches!(r, AcquireResult::Granted { .. }));
+/// let rel = soclc.release(SimTime::ZERO, LockId(0), TaskToken(1), &mut ic);
+/// assert_eq!(rel.handed_to, None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Soclc {
+    locks: Vec<HwLock>,
+    short_count: u16,
+    stats: Stats,
+}
+
+impl Soclc {
+    /// Generates a unit with `short` spin locks followed by `long`
+    /// blocking locks (the GUI's "number of small locks / long locks"
+    /// parameters). All ceilings default to [`Priority::HIGHEST`]; set
+    /// real ceilings with [`Soclc::set_ceiling`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if both counts are zero.
+    pub fn generate(short: u16, long: u16) -> Self {
+        assert!(short + long > 0, "a SoCLC needs at least one lock");
+        let mk = |kind| HwLock {
+            kind,
+            ceiling: Priority::HIGHEST,
+            owner: None,
+            waiters: Vec::new(),
+        };
+        let mut locks = Vec::with_capacity((short + long) as usize);
+        for _ in 0..short {
+            locks.push(mk(LockKind::Short));
+        }
+        for _ in 0..long {
+            locks.push(mk(LockKind::Long));
+        }
+        Soclc {
+            locks,
+            short_count: short,
+            stats: Stats::new(),
+        }
+    }
+
+    /// Total number of locks.
+    pub fn lock_count(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// The kind of `lock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is out of range.
+    pub fn kind(&self, lock: LockId) -> LockKind {
+        self.locks[lock.0 as usize].kind
+    }
+
+    /// Number of short locks (ids `0..short_count`).
+    pub fn short_count(&self) -> u16 {
+        self.short_count
+    }
+
+    /// Programs the IPCP ceiling of `lock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is out of range.
+    pub fn set_ceiling(&mut self, lock: LockId, ceiling: Priority) {
+        self.locks[lock.0 as usize].ceiling = ceiling;
+    }
+
+    /// The programmed IPCP ceiling of `lock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is out of range.
+    pub fn ceiling(&self, lock: LockId) -> Priority {
+        self.locks[lock.0 as usize].ceiling
+    }
+
+    /// Attempts to acquire `lock` for `task` running on `pe` at priority
+    /// `prio`. One MMIO access; the unit answers in [`UNIT_CYCLES`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is out of range or `task` already owns it.
+    pub fn acquire(
+        &mut self,
+        _now: SimTime,
+        lock: LockId,
+        task: TaskToken,
+        pe: PeId,
+        prio: Priority,
+    ) -> AcquireResult {
+        let l = &mut self.locks[lock.0 as usize];
+        match l.owner {
+            None => {
+                l.owner = Some((task, pe));
+                self.stats.incr("soclc.grants");
+                AcquireResult::Granted { ceiling: l.ceiling }
+            }
+            Some((owner, _)) => {
+                assert!(owner != task, "task re-acquired a lock it holds");
+                l.waiters.push((task, pe, prio));
+                self.stats.incr("soclc.queued");
+                AcquireResult::Queued { owner }
+            }
+        }
+    }
+
+    /// Releases `lock`, handing it to the highest-priority waiter if any.
+    /// For long locks the new owner's PE gets a [`IrqSource::LockGrant`]
+    /// interrupt; short-lock waiters notice on their next spin poll.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is out of range or `task` does not own it.
+    pub fn release(
+        &mut self,
+        now: SimTime,
+        lock: LockId,
+        task: TaskToken,
+        interrupts: &mut InterruptController,
+    ) -> ReleaseResult {
+        let l = &mut self.locks[lock.0 as usize];
+        match l.owner {
+            Some((owner, _)) if owner == task => {}
+            other => panic!("release by non-owner: {task:?} vs {other:?}"),
+        }
+        self.stats.incr("soclc.releases");
+        if l.waiters.is_empty() {
+            l.owner = None;
+            return ReleaseResult { handed_to: None };
+        }
+        // Highest priority wins; stable over arrival order among equals.
+        let best = l
+            .waiters
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, (_, _, p))| (*p, *i))
+            .map(|(i, _)| i)
+            .expect("non-empty waiters");
+        let (t, pe, _) = l.waiters.remove(best);
+        l.owner = Some((t, pe));
+        self.stats.incr("soclc.handoffs");
+        if l.kind == LockKind::Long {
+            interrupts.raise(now, pe.index(), IrqSource::LockGrant);
+        }
+        ReleaseResult {
+            handed_to: Some((t, pe)),
+        }
+    }
+
+    /// The current owner of `lock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is out of range.
+    pub fn owner(&self, lock: LockId) -> Option<TaskToken> {
+        self.locks[lock.0 as usize].owner.map(|(t, _)| t)
+    }
+
+    /// Number of queued waiters on `lock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is out of range.
+    pub fn waiter_count(&self, lock: LockId) -> usize {
+        self.locks[lock.0 as usize].waiters.len()
+    }
+
+    /// Grant/queue/hand-off counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ic() -> InterruptController {
+        InterruptController::new(4)
+    }
+
+    #[test]
+    fn uncontended_acquire_grants_with_ceiling() {
+        let mut s = Soclc::generate(1, 1);
+        s.set_ceiling(LockId(0), Priority::new(1));
+        let r = s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(7),
+            PeId(0),
+            Priority::new(5),
+        );
+        assert_eq!(
+            r,
+            AcquireResult::Granted {
+                ceiling: Priority::new(1)
+            }
+        );
+        assert_eq!(s.owner(LockId(0)), Some(TaskToken(7)));
+    }
+
+    #[test]
+    fn contended_acquire_queues() {
+        let mut s = Soclc::generate(1, 0);
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(1),
+            PeId(0),
+            Priority::new(1),
+        );
+        let r = s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(2),
+            PeId(1),
+            Priority::new(2),
+        );
+        assert_eq!(
+            r,
+            AcquireResult::Queued {
+                owner: TaskToken(1)
+            }
+        );
+        assert_eq!(s.waiter_count(LockId(0)), 1);
+    }
+
+    #[test]
+    fn release_hands_to_highest_priority_waiter() {
+        let mut s = Soclc::generate(0, 1);
+        let mut ints = ic();
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(1),
+            PeId(0),
+            Priority::new(3),
+        );
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(2),
+            PeId(1),
+            Priority::new(4),
+        );
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(3),
+            PeId(2),
+            Priority::new(2),
+        );
+        let r = s.release(SimTime::ZERO, LockId(0), TaskToken(1), &mut ints);
+        assert_eq!(r.handed_to, Some((TaskToken(3), PeId(2))));
+        assert_eq!(s.owner(LockId(0)), Some(TaskToken(3)));
+        // Long lock → wakeup interrupt at PE3's line.
+        let ready = ints.take_ready(SimTime::from_cycles(10));
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].pe, 2);
+        assert_eq!(ready[0].source, IrqSource::LockGrant);
+    }
+
+    #[test]
+    fn fifo_among_equal_priorities() {
+        let mut s = Soclc::generate(1, 0);
+        let mut ints = ic();
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(1),
+            PeId(0),
+            Priority::new(1),
+        );
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(2),
+            PeId(1),
+            Priority::new(3),
+        );
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(3),
+            PeId(2),
+            Priority::new(3),
+        );
+        let r = s.release(SimTime::ZERO, LockId(0), TaskToken(1), &mut ints);
+        assert_eq!(r.handed_to, Some((TaskToken(2), PeId(1))));
+    }
+
+    #[test]
+    fn short_lock_handoff_raises_no_interrupt() {
+        let mut s = Soclc::generate(1, 0);
+        let mut ints = ic();
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(1),
+            PeId(0),
+            Priority::new(1),
+        );
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(2),
+            PeId(1),
+            Priority::new(2),
+        );
+        s.release(SimTime::ZERO, LockId(0), TaskToken(1), &mut ints);
+        assert!(ints.take_ready(SimTime::from_cycles(10)).is_empty());
+    }
+
+    #[test]
+    fn release_without_waiters_frees_lock() {
+        let mut s = Soclc::generate(1, 0);
+        let mut ints = ic();
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(1),
+            PeId(0),
+            Priority::new(1),
+        );
+        let r = s.release(SimTime::ZERO, LockId(0), TaskToken(1), &mut ints);
+        assert_eq!(r.handed_to, None);
+        assert_eq!(s.owner(LockId(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-owner")]
+    fn release_by_non_owner_panics() {
+        let mut s = Soclc::generate(1, 0);
+        let mut ints = ic();
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(1),
+            PeId(0),
+            Priority::new(1),
+        );
+        s.release(SimTime::ZERO, LockId(0), TaskToken(9), &mut ints);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-acquired")]
+    fn double_acquire_panics() {
+        let mut s = Soclc::generate(1, 0);
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(1),
+            PeId(0),
+            Priority::new(1),
+        );
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(1),
+            PeId(0),
+            Priority::new(1),
+        );
+    }
+
+    #[test]
+    fn generator_splits_short_and_long() {
+        let s = Soclc::generate(8, 8);
+        assert_eq!(s.lock_count(), 16);
+        assert_eq!(s.kind(LockId(0)), LockKind::Short);
+        assert_eq!(s.kind(LockId(7)), LockKind::Short);
+        assert_eq!(s.kind(LockId(8)), LockKind::Long);
+        assert_eq!(s.short_count(), 8);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut s = Soclc::generate(1, 0);
+        let mut ints = ic();
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(1),
+            PeId(0),
+            Priority::new(1),
+        );
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(2),
+            PeId(1),
+            Priority::new(2),
+        );
+        s.release(SimTime::ZERO, LockId(0), TaskToken(1), &mut ints);
+        assert_eq!(s.stats().counter("soclc.grants"), 1);
+        assert_eq!(s.stats().counter("soclc.queued"), 1);
+        assert_eq!(s.stats().counter("soclc.handoffs"), 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! The system bus and arbiter.
+//!
+//! The paper's base MPSoC runs one shared bus at 100 MHz with the timing
+//! stated in Section 5.5: *"three cycles of the system bus clock
+//! (including bus arbitration) are needed to access the first word in the
+//! 16 MB global memory (if the transaction is a burst transaction, the
+//! successive words of the burst are accessed each in one clock cycle)"*.
+//!
+//! [`Bus`] models exactly that: a transaction of `w` words costs
+//! `3 + (w − 1)` cycles once the bus is free; while the bus is busy,
+//! later transactions queue and their wait time is recorded as
+//! contention. Arbitration policy decides ordering between requests
+//! issued *in the same cycle*.
+
+use deltaos_sim::{SimTime, Stats};
+
+/// A bus master (PE or DMA-capable hardware unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MasterId(pub u8);
+
+impl std::fmt::Display for MasterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// Arbitration policy for same-cycle contenders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Arbitration {
+    /// Lower master id wins (the base MPSoC's fixed-priority arbiter).
+    #[default]
+    FixedPriority,
+    /// Rotating grant among contenders.
+    RoundRobin,
+}
+
+/// One completed bus transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusGrant {
+    /// When the transaction started driving the bus.
+    pub start: SimTime,
+    /// First cycle after the transaction finished.
+    pub end: SimTime,
+    /// Cycles spent waiting for the bus (contention).
+    pub wait: u64,
+}
+
+/// Cycle-cost model of the shared system bus.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_mpsoc::bus::{Arbitration, Bus, MasterId};
+/// use deltaos_sim::SimTime;
+///
+/// let mut bus = Bus::new(Arbitration::FixedPriority);
+/// // Single word: 3 cycles.
+/// let g = bus.access(SimTime::ZERO, MasterId(0), 1);
+/// assert_eq!(g.end, SimTime::from_cycles(3));
+/// // 8-word burst right behind it: waits 3, then 3 + 7 = 10 cycles.
+/// let g2 = bus.access(SimTime::ZERO, MasterId(1), 8);
+/// assert_eq!(g2.wait, 3);
+/// assert_eq!(g2.end, SimTime::from_cycles(13));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bus {
+    arbitration: Arbitration,
+    busy_until: SimTime,
+    /// Pending same-cycle contenders (master, words) awaiting arbitration.
+    same_cycle: Vec<(MasterId, u32)>,
+    last_granted: Option<MasterId>,
+    stats: Stats,
+}
+
+/// First-word access latency in bus cycles (includes arbitration).
+pub const FIRST_WORD_CYCLES: u64 = 3;
+
+impl Bus {
+    /// Creates an idle bus with the given arbitration policy.
+    pub fn new(arbitration: Arbitration) -> Self {
+        Bus {
+            arbitration,
+            busy_until: SimTime::ZERO,
+            same_cycle: Vec::new(),
+            last_granted: None,
+            stats: Stats::new(),
+        }
+    }
+
+    /// The configured arbitration policy.
+    pub fn arbitration(&self) -> Arbitration {
+        self.arbitration
+    }
+
+    /// Performs (and accounts) a transaction of `words` words issued by
+    /// `master` at time `now`.
+    ///
+    /// Returns the grant with start/end times; the caller resumes its
+    /// model at `grant.end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words == 0`.
+    pub fn access(&mut self, now: SimTime, master: MasterId, words: u32) -> BusGrant {
+        assert!(words > 0, "zero-word bus transaction");
+        let start = now.max(self.busy_until);
+        let wait = start.cycles_since(now);
+        let duration = FIRST_WORD_CYCLES + (words as u64 - 1);
+        let end = start + duration;
+        self.busy_until = end;
+        self.last_granted = Some(master);
+        self.stats.incr("bus.transactions");
+        self.stats.add("bus.busy_cycles", duration);
+        self.stats.add("bus.wait_cycles", wait);
+        self.stats.sample("bus.txn_words", words as u64);
+        BusGrant { start, end, wait }
+    }
+
+    /// Arbitrates a set of same-cycle contenders and returns them in grant
+    /// order (the event-driven callers use this when several PEs hit the
+    /// bus in one cycle).
+    pub fn arbitrate(&mut self, mut contenders: Vec<MasterId>) -> Vec<MasterId> {
+        match self.arbitration {
+            Arbitration::FixedPriority => contenders.sort(),
+            Arbitration::RoundRobin => {
+                contenders.sort();
+                if let Some(last) = self.last_granted {
+                    // Rotate so the first master *after* the last grantee
+                    // goes first.
+                    let split = contenders.iter().position(|&m| m > last).unwrap_or(0);
+                    contenders.rotate_left(split);
+                }
+            }
+        }
+        contenders
+    }
+
+    /// The first cycle at which the bus will be free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Accumulated statistics (`bus.transactions`, `bus.busy_cycles`,
+    /// `bus.wait_cycles`, `bus.txn_words`).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Bus utilization in [0, 1] over the first `horizon` cycles.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon.cycles() == 0 {
+            return 0.0;
+        }
+        self.stats.counter("bus.busy_cycles") as f64 / horizon.cycles() as f64
+    }
+
+    #[doc(hidden)]
+    pub fn queue_same_cycle(&mut self, master: MasterId, words: u32) {
+        self.same_cycle.push((master, words));
+    }
+
+    /// Drains queued same-cycle requests in arbitration order, granting
+    /// each back-to-back. Returns `(master, grant)` pairs.
+    pub fn drain_same_cycle(&mut self, now: SimTime) -> Vec<(MasterId, BusGrant)> {
+        let mut queued = std::mem::take(&mut self.same_cycle);
+        queued.sort_by_key(|&(m, _)| m);
+        let order = self.arbitrate(queued.iter().map(|&(m, _)| m).collect());
+        let mut out = Vec::with_capacity(order.len());
+        for m in order {
+            let (_, words) = queued
+                .iter()
+                .find(|&&(qm, _)| qm == m)
+                .copied()
+                .expect("arbitrated master must be queued");
+            let grant = self.access(now, m, words);
+            out.push((m, grant));
+        }
+        out
+    }
+}
+
+impl Default for Bus {
+    fn default() -> Self {
+        Bus::new(Arbitration::FixedPriority)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_word_costs_three_cycles() {
+        let mut bus = Bus::default();
+        let g = bus.access(SimTime::ZERO, MasterId(0), 1);
+        assert_eq!(g.start, SimTime::ZERO);
+        assert_eq!(g.end, SimTime::from_cycles(3));
+        assert_eq!(g.wait, 0);
+    }
+
+    #[test]
+    fn burst_words_cost_one_cycle_each() {
+        let mut bus = Bus::default();
+        let g = bus.access(SimTime::ZERO, MasterId(0), 4);
+        assert_eq!(g.end, SimTime::from_cycles(3 + 3));
+    }
+
+    #[test]
+    fn contention_is_serialized_and_recorded() {
+        let mut bus = Bus::default();
+        bus.access(SimTime::ZERO, MasterId(0), 1);
+        let g = bus.access(SimTime::from_cycles(1), MasterId(1), 1);
+        assert_eq!(g.start, SimTime::from_cycles(3));
+        assert_eq!(g.wait, 2);
+        assert_eq!(bus.stats().counter("bus.wait_cycles"), 2);
+    }
+
+    #[test]
+    fn idle_gap_not_counted_busy() {
+        let mut bus = Bus::default();
+        bus.access(SimTime::ZERO, MasterId(0), 1);
+        let g = bus.access(SimTime::from_cycles(100), MasterId(0), 1);
+        assert_eq!(g.start, SimTime::from_cycles(100));
+        assert_eq!(g.wait, 0);
+        assert_eq!(bus.stats().counter("bus.busy_cycles"), 6);
+    }
+
+    #[test]
+    fn fixed_priority_grants_lowest_id_first() {
+        let mut bus = Bus::new(Arbitration::FixedPriority);
+        let order = bus.arbitrate(vec![MasterId(2), MasterId(0), MasterId(3)]);
+        assert_eq!(order, vec![MasterId(0), MasterId(2), MasterId(3)]);
+    }
+
+    #[test]
+    fn round_robin_rotates_after_grant() {
+        let mut bus = Bus::new(Arbitration::RoundRobin);
+        bus.access(SimTime::ZERO, MasterId(1), 1);
+        let order = bus.arbitrate(vec![MasterId(0), MasterId(1), MasterId(2)]);
+        assert_eq!(order, vec![MasterId(2), MasterId(0), MasterId(1)]);
+    }
+
+    #[test]
+    fn round_robin_without_history_is_id_order() {
+        let mut bus = Bus::new(Arbitration::RoundRobin);
+        let order = bus.arbitrate(vec![MasterId(2), MasterId(1)]);
+        assert_eq!(order, vec![MasterId(1), MasterId(2)]);
+    }
+
+    #[test]
+    fn drain_same_cycle_grants_back_to_back() {
+        let mut bus = Bus::default();
+        bus.queue_same_cycle(MasterId(1), 1);
+        bus.queue_same_cycle(MasterId(0), 2);
+        let grants = bus.drain_same_cycle(SimTime::ZERO);
+        assert_eq!(grants.len(), 2);
+        assert_eq!(grants[0].0, MasterId(0));
+        assert_eq!(grants[0].1.start, SimTime::ZERO);
+        assert_eq!(grants[1].0, MasterId(1));
+        assert_eq!(grants[1].1.start, SimTime::from_cycles(4));
+        assert_eq!(grants[1].1.wait, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-word")]
+    fn zero_words_rejected() {
+        let mut bus = Bus::default();
+        bus.access(SimTime::ZERO, MasterId(0), 0);
+    }
+
+    #[test]
+    fn utilization_reflects_busy_fraction() {
+        let mut bus = Bus::default();
+        bus.access(SimTime::ZERO, MasterId(0), 8); // 10 cycles busy
+        let u = bus.utilization(SimTime::from_cycles(100));
+        assert!((u - 0.10).abs() < 1e-9);
+        assert_eq!(bus.utilization(SimTime::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! L1 cache model.
+//!
+//! Each MPC755 in the base MPSoC has separate 32 KB instruction and data
+//! L1 caches. [`L1Cache`] is a real set-associative model with LRU
+//! replacement — tags and all — used by the SPLASH-2 kernels' address
+//! traces (Tables 11 and 12) to decide which accesses go to the bus and
+//! which stay on-chip.
+
+use deltaos_sim::Stats;
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAccess {
+    /// Serviced on-chip.
+    Hit,
+    /// Line fetched from global memory (one bus burst).
+    Miss,
+}
+
+/// A set-associative, write-allocate, LRU cache.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_mpsoc::cache::{CacheAccess, L1Cache};
+///
+/// let mut c = L1Cache::mpc755_data();
+/// assert_eq!(c.access(0x1000, false), CacheAccess::Miss);
+/// assert_eq!(c.access(0x1004, false), CacheAccess::Hit); // same line
+/// ```
+#[derive(Debug, Clone)]
+pub struct L1Cache {
+    sets: usize,
+    ways: usize,
+    line_bytes: u32,
+    /// `tags[set * ways + way]` = tag, or `u32::MAX` when invalid.
+    tags: Vec<u32>,
+    /// LRU counters, larger = more recently used.
+    lru: Vec<u64>,
+    tick: u64,
+    stats: Stats,
+}
+
+impl L1Cache {
+    /// Creates a cache of `size_bytes` with `ways` ways and
+    /// `line_bytes`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size_bytes` is divisible by `ways * line_bytes` and
+    /// `line_bytes` is a power of two.
+    pub fn new(size_bytes: u32, ways: usize, line_bytes: u32) -> Self {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(ways > 0);
+        let lines = size_bytes / line_bytes;
+        assert!(
+            (lines as usize).is_multiple_of(ways) && lines > 0,
+            "size must divide evenly into {ways} ways of {line_bytes}-byte lines"
+        );
+        let sets = lines as usize / ways;
+        L1Cache {
+            sets,
+            ways,
+            line_bytes,
+            tags: vec![u32::MAX; sets * ways],
+            lru: vec![0; sets * ways],
+            tick: 0,
+            stats: Stats::new(),
+        }
+    }
+
+    /// The MPC755's 32 KB, 8-way, 32-byte-line data cache.
+    pub fn mpc755_data() -> Self {
+        Self::new(32 * 1024, 8, 32)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Words per line (for bus burst sizing on a miss).
+    pub fn words_per_line(&self) -> u32 {
+        self.line_bytes / 4
+    }
+
+    /// Performs one access; `is_write` only affects statistics (the model
+    /// is write-allocate, so hits and misses behave identically for reads
+    /// and writes).
+    pub fn access(&mut self, addr: u32, is_write: bool) -> CacheAccess {
+        self.tick += 1;
+        let line = addr / self.line_bytes;
+        let set = (line as usize) % self.sets;
+        let tag = line / self.sets as u32;
+        let base = set * self.ways;
+        let kind = if is_write { "write" } else { "read" };
+
+        // Hit?
+        for way in 0..self.ways {
+            if self.tags[base + way] == tag {
+                self.lru[base + way] = self.tick;
+                self.stats.incr("cache.hits");
+                self.stats.incr(&format!("cache.{kind}_hits"));
+                return CacheAccess::Hit;
+            }
+        }
+        // Miss: fill LRU way.
+        let victim = (0..self.ways)
+            .min_by_key(|&w| self.lru[base + w])
+            .expect("ways > 0");
+        self.tags[base + victim] = tag;
+        self.lru[base + victim] = self.tick;
+        self.stats.incr("cache.misses");
+        self.stats.incr(&format!("cache.{kind}_misses"));
+        CacheAccess::Miss
+    }
+
+    /// Invalidates the whole cache (e.g. on task migration).
+    pub fn invalidate_all(&mut self) {
+        self.tags.fill(u32::MAX);
+        self.lru.fill(0);
+    }
+
+    /// Hit + miss counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Hit rate in [0, 1], or `None` before any access.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let h = self.stats.counter("cache.hits");
+        let m = self.stats.counter("cache.misses");
+        if h + m == 0 {
+            None
+        } else {
+            Some(h as f64 / (h + m) as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut c = L1Cache::new(1024, 2, 32);
+        assert_eq!(c.access(0, false), CacheAccess::Miss);
+        assert_eq!(c.access(4, false), CacheAccess::Hit);
+        assert_eq!(c.access(31, true), CacheAccess::Hit);
+        assert_eq!(c.access(32, false), CacheAccess::Miss);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_way() {
+        // 2 ways, 32-byte lines, 64-byte cache → 1 set.
+        let mut c = L1Cache::new(64, 2, 32);
+        assert_eq!(c.sets(), 1);
+        c.access(0, false); // line A
+        c.access(32, false); // line B
+        c.access(0, false); // touch A (B is now LRU)
+        c.access(64, false); // line C evicts B
+        assert_eq!(c.access(0, false), CacheAccess::Hit, "A must survive");
+        assert_eq!(c.access(32, false), CacheAccess::Miss, "B was evicted");
+    }
+
+    #[test]
+    fn sets_indexed_by_line_address() {
+        // 2 sets, direct-mapped, 32-byte lines.
+        let mut c = L1Cache::new(64, 1, 32);
+        assert_eq!(c.sets(), 2);
+        c.access(0, false); // set 0
+        c.access(32, false); // set 1
+        assert_eq!(c.access(0, false), CacheAccess::Hit);
+        assert_eq!(c.access(32, false), CacheAccess::Hit);
+    }
+
+    #[test]
+    fn conflicting_lines_in_direct_mapped_thrash() {
+        let mut c = L1Cache::new(64, 1, 32);
+        c.access(0, false); // set 0
+        c.access(64, false); // also set 0 → evicts
+        assert_eq!(c.access(0, false), CacheAccess::Miss);
+    }
+
+    #[test]
+    fn mpc755_geometry() {
+        let c = L1Cache::mpc755_data();
+        assert_eq!(c.sets(), 128);
+        assert_eq!(c.ways(), 8);
+        assert_eq!(c.line_bytes(), 32);
+        assert_eq!(c.words_per_line(), 8);
+    }
+
+    #[test]
+    fn invalidate_clears_everything() {
+        let mut c = L1Cache::new(64, 2, 32);
+        c.access(0, false);
+        c.invalidate_all();
+        assert_eq!(c.access(0, false), CacheAccess::Miss);
+    }
+
+    #[test]
+    fn hit_rate_tracks_accesses() {
+        let mut c = L1Cache::new(1024, 2, 32);
+        assert_eq!(c.hit_rate(), None);
+        c.access(0, false);
+        c.access(0, false);
+        c.access(0, false);
+        c.access(0, true);
+        assert!((c.hit_rate().unwrap() - 0.75).abs() < 1e-9);
+        assert_eq!(c.stats().counter("cache.write_hits"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_rejected() {
+        L1Cache::new(1024, 2, 24);
+    }
+}

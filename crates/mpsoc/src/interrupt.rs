@@ -1,0 +1,168 @@
+//! The interrupt controller.
+//!
+//! Per-PE interrupt lines, used by the SoCLC for lock hand-off wakeups,
+//! by the DAU for give-up notifications and by the hardware resources for
+//! job-completion signals. The model is level-pend/acknowledge with a
+//! fixed delivery latency.
+
+use deltaos_sim::{SimTime, Stats};
+
+/// Interrupt sources in the base MPSoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IrqSource {
+    /// SoCLC lock released and handed to this PE.
+    LockGrant,
+    /// DAU asks a process on this PE to give up resources.
+    GiveUp,
+    /// A hardware resource finished its job.
+    ResourceDone,
+    /// RTOS tick / inter-processor interrupt.
+    Ipi,
+}
+
+/// A pending interrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingIrq {
+    /// Destination PE index.
+    pub pe: usize,
+    /// What raised it.
+    pub source: IrqSource,
+    /// When it becomes visible to the PE.
+    pub deliver_at: SimTime,
+}
+
+/// Cycles between raising an interrupt and the PE observing it
+/// (synchronizer + controller latency).
+pub const IRQ_DELIVERY_CYCLES: u64 = 2;
+
+/// Simple per-PE interrupt controller.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_mpsoc::interrupt::{InterruptController, IrqSource};
+/// use deltaos_sim::SimTime;
+///
+/// let mut ic = InterruptController::new(4);
+/// ic.raise(SimTime::ZERO, 2, IrqSource::LockGrant);
+/// let ready = ic.take_ready(SimTime::from_cycles(2));
+/// assert_eq!(ready.len(), 1);
+/// assert_eq!(ready[0].pe, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InterruptController {
+    pes: usize,
+    pending: Vec<PendingIrq>,
+    stats: Stats,
+}
+
+impl InterruptController {
+    /// Creates a controller for `pes` processing elements.
+    pub fn new(pes: usize) -> Self {
+        InterruptController {
+            pes,
+            pending: Vec::new(),
+            stats: Stats::new(),
+        }
+    }
+
+    /// Number of PE lines.
+    pub fn pes(&self) -> usize {
+        self.pes
+    }
+
+    /// Raises an interrupt towards `pe` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range.
+    pub fn raise(&mut self, now: SimTime, pe: usize, source: IrqSource) {
+        assert!(pe < self.pes, "PE {pe} out of range ({} PEs)", self.pes);
+        self.pending.push(PendingIrq {
+            pe,
+            source,
+            deliver_at: now + IRQ_DELIVERY_CYCLES,
+        });
+        self.stats.incr("irq.raised");
+    }
+
+    /// Removes and returns every interrupt deliverable at or before `now`,
+    /// in raise order.
+    pub fn take_ready(&mut self, now: SimTime) -> Vec<PendingIrq> {
+        let (ready, rest): (Vec<_>, Vec<_>) = self
+            .pending
+            .drain(..)
+            .partition(|irq| irq.deliver_at <= now);
+        self.pending = rest;
+        self.stats.add("irq.delivered", ready.len() as u64);
+        ready
+    }
+
+    /// Earliest pending delivery time, if any.
+    pub fn next_delivery(&self) -> Option<SimTime> {
+        self.pending.iter().map(|i| i.deliver_at).min()
+    }
+
+    /// Number of undelivered interrupts.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Raise/delivery counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_respects_latency() {
+        let mut ic = InterruptController::new(2);
+        ic.raise(SimTime::ZERO, 0, IrqSource::Ipi);
+        assert!(ic.take_ready(SimTime::from_cycles(1)).is_empty());
+        let ready = ic.take_ready(SimTime::from_cycles(2));
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].source, IrqSource::Ipi);
+    }
+
+    #[test]
+    fn multiple_pes_independent() {
+        let mut ic = InterruptController::new(4);
+        ic.raise(SimTime::ZERO, 0, IrqSource::LockGrant);
+        ic.raise(SimTime::ZERO, 3, IrqSource::GiveUp);
+        let ready = ic.take_ready(SimTime::from_cycles(10));
+        assert_eq!(ready.len(), 2);
+        assert_eq!(ready[0].pe, 0);
+        assert_eq!(ready[1].pe, 3);
+        assert_eq!(ic.pending_count(), 0);
+    }
+
+    #[test]
+    fn undelivered_interrupts_stay_pending() {
+        let mut ic = InterruptController::new(1);
+        ic.raise(SimTime::from_cycles(100), 0, IrqSource::ResourceDone);
+        assert!(ic.take_ready(SimTime::from_cycles(50)).is_empty());
+        assert_eq!(ic.pending_count(), 1);
+        assert_eq!(ic.next_delivery(), Some(SimTime::from_cycles(102)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_pe_rejected() {
+        let mut ic = InterruptController::new(2);
+        ic.raise(SimTime::ZERO, 2, IrqSource::Ipi);
+    }
+
+    #[test]
+    fn stats_count_raised_and_delivered() {
+        let mut ic = InterruptController::new(1);
+        ic.raise(SimTime::ZERO, 0, IrqSource::Ipi);
+        ic.raise(SimTime::ZERO, 0, IrqSource::Ipi);
+        ic.take_ready(SimTime::from_cycles(5));
+        assert_eq!(ic.stats().counter("irq.raised"), 2);
+        assert_eq!(ic.stats().counter("irq.delivered"), 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! # deltaos-mpsoc — the base MPSoC platform model
+//!
+//! The substrate the paper's experiments run on (Section 5.1): four
+//! Motorola MPC755 processing elements with 32 KB L1 caches, a shared
+//! 100 MHz bus with arbiter (3 cycles to the first word, 1 per burst
+//! word), a memory controller in front of 16 MB of global memory, an
+//! interrupt controller and the five shared hardware resources of the
+//! Figure 10 MPSoC (VI, MPEG, DSP, IDCT, WI).
+//!
+//! The paper simulated this platform with Seamless CVE instruction-
+//! accurate MPC755 models plus Synopsys VCS; here the same structure is a
+//! deterministic cycle-cost model (see `DESIGN.md` for the substitution
+//! argument).
+//!
+//! # Example
+//!
+//! ```
+//! use deltaos_mpsoc::platform::{BaseMpsoc, PlatformConfig};
+//! use deltaos_mpsoc::resource::ResKind;
+//! use deltaos_sim::SimTime;
+//!
+//! let mut soc = BaseMpsoc::new(PlatformConfig::small());
+//! let idct = soc.resource_index(ResKind::Idct).unwrap();
+//! let done = soc.resource_mut(idct).start_job(SimTime::ZERO, None);
+//! assert_eq!(done.cycles(), 23_600); // the paper's 64×64 test frame
+//! ```
+
+pub mod bus;
+pub mod cache;
+pub mod interrupt;
+pub mod memory;
+pub mod pe;
+pub mod platform;
+pub mod resource;
+
+pub use bus::{Arbitration, Bus, MasterId};
+pub use cache::L1Cache;
+pub use interrupt::InterruptController;
+pub use memory::{MemoryController, SharedMemory};
+pub use pe::{PeId, ProcessingElement};
+pub use platform::{BaseMpsoc, PlatformConfig};
+pub use resource::{HwResource, ResKind};

@@ -1,0 +1,257 @@
+//! Shared L2 memory and the memory controller.
+//!
+//! The base MPSoC has 16 MB of global memory behind a memory controller
+//! on the shared bus. [`SharedMemory`] provides real byte-addressable
+//! storage (the SPLASH-2 kernels and allocator models operate on genuine
+//! addresses) and [`MemoryController`] stacks the bus timing on top.
+//! [`MemoryMap`] fixes the regions the RTOS and the memory-mapped
+//! hardware units occupy.
+
+use crate::bus::{Bus, BusGrant, MasterId};
+use deltaos_sim::SimTime;
+
+/// Size of the base MPSoC's global memory: 16 MB.
+pub const GLOBAL_MEMORY_BYTES: u32 = 16 * 1024 * 1024;
+
+/// The fixed address map of the base MPSoC.
+///
+/// Layout (all in the 16 MB global memory except the MMIO window):
+///
+/// | region           | start        | size    |
+/// |------------------|--------------|---------|
+/// | kernel structures| `0x0000_0000` | 1 MB   |
+/// | global heap      | `0x0010_0000` | 14 MB  |
+/// | stacks           | `0x00F0_0000` | 1 MB   |
+/// | MMIO (units)     | `0xFFF0_0000` | 1 MB   |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryMap;
+
+impl MemoryMap {
+    /// Kernel structure region base.
+    pub const KERNEL_BASE: u32 = 0x0000_0000;
+    /// Kernel region size (1 MB).
+    pub const KERNEL_SIZE: u32 = 0x0010_0000;
+    /// Global heap base.
+    pub const HEAP_BASE: u32 = 0x0010_0000;
+    /// Global heap size (14 MB).
+    pub const HEAP_SIZE: u32 = 0x00E0_0000;
+    /// Per-PE stack region base.
+    pub const STACK_BASE: u32 = 0x00F0_0000;
+    /// Stack region size (1 MB).
+    pub const STACK_SIZE: u32 = 0x0010_0000;
+    /// Memory-mapped IO window base (SoCLC, SoCDMMU, DDU, DAU registers).
+    pub const MMIO_BASE: u32 = 0xFFF0_0000;
+
+    /// `true` if `addr` falls in the memory-mapped IO window.
+    pub fn is_mmio(addr: u32) -> bool {
+        addr >= Self::MMIO_BASE
+    }
+
+    /// `true` if `addr` falls in the global heap.
+    pub fn is_heap(addr: u32) -> bool {
+        (Self::HEAP_BASE..Self::HEAP_BASE + Self::HEAP_SIZE).contains(&addr)
+    }
+}
+
+/// Byte-addressable global memory.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_mpsoc::memory::SharedMemory;
+///
+/// let mut mem = SharedMemory::new(1024);
+/// mem.write_u32(0x10, 0xDEAD_BEEF);
+/// assert_eq!(mem.read_u32(0x10), 0xDEAD_BEEF);
+/// ```
+#[derive(Clone)]
+pub struct SharedMemory {
+    bytes: Vec<u8>,
+}
+
+impl std::fmt::Debug for SharedMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedMemory({} bytes)", self.bytes.len())
+    }
+}
+
+impl SharedMemory {
+    /// Allocates zeroed memory of `size` bytes.
+    pub fn new(size: u32) -> Self {
+        SharedMemory {
+            bytes: vec![0; size as usize],
+        }
+    }
+
+    /// Allocates the full 16 MB base-platform memory.
+    pub fn base_platform() -> Self {
+        Self::new(GLOBAL_MEMORY_BYTES)
+    }
+
+    /// Memory size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr + 4` exceeds the memory size.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let a = addr as usize;
+        u32::from_le_bytes(self.bytes[a..a + 4].try_into().expect("4-byte read"))
+    }
+
+    /// Writes a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr + 4` exceeds the memory size.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        let a = addr as usize;
+        self.bytes[a..a + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` exceeds the memory size.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        self.bytes[addr as usize]
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` exceeds the memory size.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        self.bytes[addr as usize] = value;
+    }
+}
+
+/// The memory controller: global memory behind the shared bus.
+///
+/// Every access is one bus transaction; word count maps to burst length.
+#[derive(Debug, Clone)]
+pub struct MemoryController {
+    memory: SharedMemory,
+}
+
+impl MemoryController {
+    /// Wraps `memory` behind the controller.
+    pub fn new(memory: SharedMemory) -> Self {
+        MemoryController { memory }
+    }
+
+    /// Timed read of `words` consecutive words starting at `addr`.
+    ///
+    /// Returns the bus grant (timing) and the first word's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range addresses.
+    pub fn read(
+        &mut self,
+        bus: &mut Bus,
+        now: SimTime,
+        master: MasterId,
+        addr: u32,
+        words: u32,
+    ) -> (BusGrant, u32) {
+        let grant = bus.access(now, master, words);
+        (grant, self.memory.read_u32(addr))
+    }
+
+    /// Timed write of `words` consecutive words starting at `addr`
+    /// (`value` written to the first word; bursts model block fills).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range addresses.
+    pub fn write(
+        &mut self,
+        bus: &mut Bus,
+        now: SimTime,
+        master: MasterId,
+        addr: u32,
+        value: u32,
+        words: u32,
+    ) -> BusGrant {
+        let grant = bus.access(now, master, words);
+        self.memory.write_u32(addr, value);
+        grant
+    }
+
+    /// Untimed view of the underlying memory.
+    pub fn memory(&self) -> &SharedMemory {
+        &self.memory
+    }
+
+    /// Untimed mutable view of the underlying memory.
+    pub fn memory_mut(&mut self) -> &mut SharedMemory {
+        &mut self.memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::Arbitration;
+
+    #[test]
+    fn memory_roundtrip() {
+        let mut mem = SharedMemory::new(64);
+        mem.write_u32(0, 42);
+        mem.write_u8(8, 7);
+        assert_eq!(mem.read_u32(0), 42);
+        assert_eq!(mem.read_u8(8), 7);
+        assert_eq!(mem.size(), 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_read_panics() {
+        let mem = SharedMemory::new(4);
+        mem.read_u32(4);
+    }
+
+    #[test]
+    fn controller_charges_bus_timing() {
+        let mut bus = Bus::new(Arbitration::FixedPriority);
+        let mut mc = MemoryController::new(SharedMemory::new(1024));
+        let g = mc.write(&mut bus, SimTime::ZERO, MasterId(0), 0x10, 99, 1);
+        assert_eq!(g.end, SimTime::from_cycles(3));
+        let (g2, v) = mc.read(&mut bus, g.end, MasterId(0), 0x10, 4);
+        assert_eq!(v, 99);
+        assert_eq!(g2.end, SimTime::from_cycles(3 + 6));
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn memory_map_regions_are_disjoint() {
+        assert_eq!(
+            MemoryMap::KERNEL_BASE + MemoryMap::KERNEL_SIZE,
+            MemoryMap::HEAP_BASE
+        );
+        assert_eq!(
+            MemoryMap::HEAP_BASE + MemoryMap::HEAP_SIZE,
+            MemoryMap::STACK_BASE
+        );
+        assert!(MemoryMap::STACK_BASE + MemoryMap::STACK_SIZE <= MemoryMap::MMIO_BASE);
+        assert!(MemoryMap::is_mmio(0xFFF0_0004));
+        assert!(!MemoryMap::is_mmio(MemoryMap::HEAP_BASE));
+        assert!(MemoryMap::is_heap(MemoryMap::HEAP_BASE));
+        assert!(!MemoryMap::is_heap(MemoryMap::STACK_BASE));
+    }
+
+    #[test]
+    fn base_platform_is_16mb() {
+        // Construct lazily sized smaller in tests elsewhere; here verify
+        // the constant only (allocating 16 MB once is fine).
+        let mem = SharedMemory::base_platform();
+        assert_eq!(mem.size(), GLOBAL_MEMORY_BYTES);
+    }
+}

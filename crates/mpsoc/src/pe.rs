@@ -1,0 +1,154 @@
+//! Processing elements.
+//!
+//! The base MPSoC integrates four Motorola MPC755 cores, each with split
+//! 32 KB L1 caches, all executing the same shared-memory RTOS image. The
+//! PE model is deliberately thin: software *work* is accounted through
+//! the instruction cost meter (see `deltaos_core::cost`), so the PE
+//! mostly carries identity, its caches and utilization accounting.
+
+use crate::bus::MasterId;
+use crate::cache::L1Cache;
+use deltaos_sim::{SimTime, Stats};
+
+/// Identifies a processing element (zero-based; the paper's PE1 is
+/// `PeId(0)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeId(pub u8);
+
+impl PeId {
+    /// Zero-based index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The PE's bus master id (PEs occupy the low master numbers).
+    pub fn master(self) -> MasterId {
+        MasterId(self.0)
+    }
+}
+
+impl std::fmt::Display for PeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PE{}", self.0 + 1)
+    }
+}
+
+/// One processing element with its data cache and accounting.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_mpsoc::pe::{PeId, ProcessingElement};
+/// use deltaos_sim::SimTime;
+///
+/// let mut pe = ProcessingElement::mpc755(PeId(0));
+/// pe.account_busy(SimTime::ZERO, 100);
+/// assert_eq!(pe.busy_cycles(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProcessingElement {
+    id: PeId,
+    model: &'static str,
+    dcache: L1Cache,
+    stats: Stats,
+}
+
+impl ProcessingElement {
+    /// Creates an MPC755-flavoured PE (32 KB 8-way data cache).
+    pub fn mpc755(id: PeId) -> Self {
+        ProcessingElement {
+            id,
+            model: "MPC755",
+            dcache: L1Cache::mpc755_data(),
+            stats: Stats::new(),
+        }
+    }
+
+    /// The PE id.
+    pub fn id(&self) -> PeId {
+        self.id
+    }
+
+    /// Core model name (for reports).
+    pub fn model(&self) -> &'static str {
+        self.model
+    }
+
+    /// The data cache.
+    pub fn dcache(&self) -> &L1Cache {
+        &self.dcache
+    }
+
+    /// Mutable access to the data cache (address-trace replay).
+    pub fn dcache_mut(&mut self) -> &mut L1Cache {
+        &mut self.dcache
+    }
+
+    /// Accounts `cycles` of busy execution starting at `from`.
+    pub fn account_busy(&mut self, from: SimTime, cycles: u64) {
+        let _ = from;
+        self.stats.add("pe.busy_cycles", cycles);
+    }
+
+    /// Accounts cycles stalled on the bus or blocked on the RTOS.
+    pub fn account_stall(&mut self, cycles: u64) {
+        self.stats.add("pe.stall_cycles", cycles);
+    }
+
+    /// Total busy cycles so far.
+    pub fn busy_cycles(&self) -> u64 {
+        self.stats.counter("pe.busy_cycles")
+    }
+
+    /// Total stall cycles so far.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stats.counter("pe.stall_cycles")
+    }
+
+    /// Utilization over `horizon`, in [0, 1].
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon.cycles() == 0 {
+            return 0.0;
+        }
+        self.busy_cycles() as f64 / horizon.cycles() as f64
+    }
+
+    /// All accounting counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_based() {
+        assert_eq!(PeId(0).to_string(), "PE1");
+        assert_eq!(PeId(3).to_string(), "PE4");
+    }
+
+    #[test]
+    fn master_id_matches_pe_index() {
+        assert_eq!(PeId(2).master(), MasterId(2));
+    }
+
+    #[test]
+    fn busy_and_stall_accounting() {
+        let mut pe = ProcessingElement::mpc755(PeId(0));
+        pe.account_busy(SimTime::ZERO, 70);
+        pe.account_stall(30);
+        assert_eq!(pe.busy_cycles(), 70);
+        assert_eq!(pe.stall_cycles(), 30);
+        assert!((pe.utilization(SimTime::from_cycles(100)) - 0.7).abs() < 1e-9);
+        assert_eq!(pe.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn pe_has_mpc755_cache() {
+        let pe = ProcessingElement::mpc755(PeId(1));
+        assert_eq!(pe.model(), "MPC755");
+        assert_eq!(pe.dcache().ways(), 8);
+    }
+}

@@ -1,0 +1,227 @@
+//! The assembled base MPSoC (Section 5.1).
+//!
+//! Four MPC755 PEs with L1 caches, a fixed-priority bus arbiter, a memory
+//! controller in front of 16 MB shared memory, an interrupt controller
+//! and the five shared hardware resources. Every configured RTOS/MPSoC of
+//! Table 3 starts from this platform and adds hardware RTOS components.
+
+use crate::bus::{Arbitration, Bus};
+use crate::interrupt::InterruptController;
+use crate::memory::{MemoryController, SharedMemory};
+use crate::pe::{PeId, ProcessingElement};
+use crate::resource::{HwResource, ResKind};
+
+/// Configuration of the base platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlatformConfig {
+    /// Number of processing elements (the paper uses 4).
+    pub pes: usize,
+    /// Bus arbitration policy.
+    pub arbitration: Arbitration,
+    /// Which hardware resources to instantiate.
+    pub resources: Vec<ResKind>,
+    /// Global memory size in bytes (16 MB on the paper's platform; tests
+    /// shrink it).
+    pub memory_bytes: u32,
+}
+
+impl Default for PlatformConfig {
+    /// The paper's base system: 4 MPC755s, fixed-priority arbiter, all
+    /// five resources, 16 MB memory.
+    fn default() -> Self {
+        PlatformConfig {
+            pes: 4,
+            arbitration: Arbitration::FixedPriority,
+            resources: ResKind::all().to_vec(),
+            memory_bytes: crate::memory::GLOBAL_MEMORY_BYTES,
+        }
+    }
+}
+
+impl PlatformConfig {
+    /// A small-memory variant for unit tests (64 KB).
+    pub fn small() -> Self {
+        PlatformConfig {
+            memory_bytes: 64 * 1024,
+            ..Default::default()
+        }
+    }
+}
+
+/// The assembled platform.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_mpsoc::platform::{BaseMpsoc, PlatformConfig};
+///
+/// let soc = BaseMpsoc::new(PlatformConfig::small());
+/// assert_eq!(soc.pes().len(), 4);
+/// assert_eq!(soc.resources().len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BaseMpsoc {
+    config: PlatformConfig,
+    pes: Vec<ProcessingElement>,
+    bus: Bus,
+    memory: MemoryController,
+    interrupts: InterruptController,
+    resources: Vec<HwResource>,
+}
+
+impl BaseMpsoc {
+    /// Builds the platform from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.pes == 0` or no resources are configured.
+    pub fn new(config: PlatformConfig) -> Self {
+        assert!(config.pes > 0, "a platform needs at least one PE");
+        assert!(
+            !config.resources.is_empty(),
+            "a platform needs at least one resource"
+        );
+        let pes = (0..config.pes)
+            .map(|i| ProcessingElement::mpc755(PeId(i as u8)))
+            .collect();
+        let resources = config
+            .resources
+            .iter()
+            .map(|&k| HwResource::new(k))
+            .collect();
+        BaseMpsoc {
+            pes,
+            bus: Bus::new(config.arbitration),
+            memory: MemoryController::new(SharedMemory::new(config.memory_bytes)),
+            interrupts: InterruptController::new(config.pes),
+            resources,
+            config,
+        }
+    }
+
+    /// The paper's default platform (16 MB memory).
+    pub fn paper_base() -> Self {
+        Self::new(PlatformConfig::default())
+    }
+
+    /// The configuration this platform was built from.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// The processing elements.
+    pub fn pes(&self) -> &[ProcessingElement] {
+        &self.pes
+    }
+
+    /// Mutable PE access.
+    pub fn pe_mut(&mut self, id: PeId) -> &mut ProcessingElement {
+        &mut self.pes[id.index()]
+    }
+
+    /// The shared bus.
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Mutable bus access.
+    pub fn bus_mut(&mut self) -> &mut Bus {
+        &mut self.bus
+    }
+
+    /// The memory controller.
+    pub fn memory(&self) -> &MemoryController {
+        &self.memory
+    }
+
+    /// Mutable memory controller access.
+    pub fn memory_mut(&mut self) -> &mut MemoryController {
+        &mut self.memory
+    }
+
+    /// The interrupt controller.
+    pub fn interrupts(&self) -> &InterruptController {
+        &self.interrupts
+    }
+
+    /// Mutable interrupt controller access.
+    pub fn interrupts_mut(&mut self) -> &mut InterruptController {
+        &mut self.interrupts
+    }
+
+    /// The hardware resources, in configuration order (q1, q2, …).
+    pub fn resources(&self) -> &[HwResource] {
+        &self.resources
+    }
+
+    /// Mutable access to resource `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn resource_mut(&mut self, index: usize) -> &mut HwResource {
+        &mut self.resources[index]
+    }
+
+    /// Index of the first resource of `kind`, if configured.
+    pub fn resource_index(&self, kind: ResKind) -> Option<usize> {
+        self.resources.iter().position(|r| r.kind() == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltaos_sim::SimTime;
+
+    #[test]
+    fn default_platform_matches_paper() {
+        let cfg = PlatformConfig::default();
+        assert_eq!(cfg.pes, 4);
+        assert_eq!(cfg.memory_bytes, 16 * 1024 * 1024);
+        assert_eq!(cfg.resources.len(), 5);
+    }
+
+    #[test]
+    fn small_platform_builds() {
+        let soc = BaseMpsoc::new(PlatformConfig::small());
+        assert_eq!(soc.pes().len(), 4);
+        assert_eq!(soc.memory().memory().size(), 64 * 1024);
+        assert_eq!(soc.interrupts().pes(), 4);
+    }
+
+    #[test]
+    fn resource_lookup_by_kind() {
+        let soc = BaseMpsoc::new(PlatformConfig::small());
+        assert_eq!(soc.resource_index(ResKind::Vi), Some(0));
+        assert_eq!(soc.resource_index(ResKind::Wi), Some(4));
+    }
+
+    #[test]
+    fn components_are_usable_together() {
+        let mut soc = BaseMpsoc::new(PlatformConfig::small());
+        let idx = soc.resource_index(ResKind::Idct).unwrap();
+        let done = soc.resource_mut(idx).start_job(SimTime::ZERO, None);
+        assert_eq!(done.cycles(), 23_600);
+        let g = soc.bus_mut().access(SimTime::ZERO, PeId(0).master(), 1);
+        assert_eq!(g.end.cycles(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_pes_rejected() {
+        BaseMpsoc::new(PlatformConfig {
+            pes: 0,
+            ..PlatformConfig::small()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resource")]
+    fn zero_resources_rejected() {
+        BaseMpsoc::new(PlatformConfig {
+            resources: vec![],
+            ..PlatformConfig::small()
+        });
+    }
+}

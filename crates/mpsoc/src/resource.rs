@@ -1,0 +1,188 @@
+//! The MPSoC's shared hardware resources.
+//!
+//! The paper's Example 2 / Figure 10 MPSoC exposes a Video Interface
+//! (VI), an MPEG encoder/decoder, a DSP, an IDCT unit and a Wireless
+//! Interface (WI) as *resources* managed by the RTOS (and contested by
+//! the deadlock scenarios). Each has a characteristic processing latency;
+//! the paper's IDCT of a 64×64 test frame takes ≈ 23 600 bus cycles.
+
+use deltaos_sim::{SimTime, Stats};
+
+use std::fmt;
+
+/// The resource kinds of the base MPSoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ResKind {
+    /// Video & image capture interface (q1 in Figure 10).
+    Vi,
+    /// MPEG encoder/decoder (q2 in Figure 10).
+    Mpeg,
+    /// DSP core (q3 in Figure 10).
+    Dsp,
+    /// Inverse DCT accelerator (the fourth resource of the Section 5.1
+    /// base system).
+    Idct,
+    /// Wireless interface (q4 in Figure 10).
+    Wi,
+}
+
+impl ResKind {
+    /// Default processing latency (bus cycles) for one job on this
+    /// resource. The IDCT figure is the paper's measured 23 600-cycle
+    /// 64×64 test frame; the others are scaled to plausible ratios.
+    pub fn default_latency(self) -> u64 {
+        match self {
+            ResKind::Vi => 4_000,    // frame capture DMA
+            ResKind::Mpeg => 18_000, // macroblock pipeline
+            ResKind::Dsp => 9_000,   // filter kernel
+            ResKind::Idct => 23_600, // 64×64 test frame (Section 5.3)
+            ResKind::Wi => 6_000,    // packet transmit
+        }
+    }
+
+    /// All kinds, in the q1..q5 order used by the experiments.
+    pub fn all() -> [ResKind; 5] {
+        [
+            ResKind::Vi,
+            ResKind::Mpeg,
+            ResKind::Dsp,
+            ResKind::Idct,
+            ResKind::Wi,
+        ]
+    }
+}
+
+impl fmt::Display for ResKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ResKind::Vi => "VI",
+            ResKind::Mpeg => "MPEG",
+            ResKind::Dsp => "DSP",
+            ResKind::Idct => "IDCT",
+            ResKind::Wi => "WI",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One shared hardware resource with timers, a busy flag and a
+/// completion-interrupt hook.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_mpsoc::resource::{HwResource, ResKind};
+/// use deltaos_sim::SimTime;
+///
+/// let mut idct = HwResource::new(ResKind::Idct);
+/// let done = idct.start_job(SimTime::ZERO, None);
+/// assert_eq!(done, SimTime::from_cycles(23_600));
+/// assert!(idct.is_busy(SimTime::from_cycles(100)));
+/// assert!(!idct.is_busy(done));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HwResource {
+    kind: ResKind,
+    busy_until: SimTime,
+    stats: Stats,
+}
+
+impl HwResource {
+    /// Creates an idle resource.
+    pub fn new(kind: ResKind) -> Self {
+        HwResource {
+            kind,
+            busy_until: SimTime::ZERO,
+            stats: Stats::new(),
+        }
+    }
+
+    /// The resource kind.
+    pub fn kind(&self) -> ResKind {
+        self.kind
+    }
+
+    /// Starts a job at `now`; `duration` overrides the kind's default
+    /// latency. Returns the completion time (when the resource raises its
+    /// completion interrupt).
+    ///
+    /// Jobs are serialized: a job started while busy begins when the
+    /// previous one finishes (the RTOS resource manager normally prevents
+    /// this, but the hardware itself just queues).
+    pub fn start_job(&mut self, now: SimTime, duration: Option<u64>) -> SimTime {
+        let dur = duration.unwrap_or_else(|| self.kind.default_latency());
+        let start = now.max(self.busy_until);
+        let done = start + dur;
+        self.busy_until = done;
+        self.stats.incr("jobs");
+        self.stats.add("busy_cycles", dur);
+        self.stats.sample("job_cycles", dur);
+        done
+    }
+
+    /// `true` while a job is in flight at `at`.
+    pub fn is_busy(&self, at: SimTime) -> bool {
+        at < self.busy_until
+    }
+
+    /// Completion time of the last job.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Job counters and latency samples.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idct_default_matches_paper_figure() {
+        assert_eq!(ResKind::Idct.default_latency(), 23_600);
+    }
+
+    #[test]
+    fn jobs_serialize_when_busy() {
+        let mut r = HwResource::new(ResKind::Dsp);
+        let d1 = r.start_job(SimTime::ZERO, Some(100));
+        let d2 = r.start_job(SimTime::from_cycles(10), Some(50));
+        assert_eq!(d1, SimTime::from_cycles(100));
+        assert_eq!(d2, SimTime::from_cycles(150));
+    }
+
+    #[test]
+    fn idle_resource_starts_immediately() {
+        let mut r = HwResource::new(ResKind::Wi);
+        let done = r.start_job(SimTime::from_cycles(500), Some(10));
+        assert_eq!(done, SimTime::from_cycles(510));
+        assert!(!r.is_busy(SimTime::from_cycles(510)));
+    }
+
+    #[test]
+    fn stats_track_jobs() {
+        let mut r = HwResource::new(ResKind::Vi);
+        r.start_job(SimTime::ZERO, Some(5));
+        r.start_job(SimTime::ZERO, Some(7));
+        assert_eq!(r.stats().counter("jobs"), 2);
+        assert_eq!(r.stats().counter("busy_cycles"), 12);
+        assert_eq!(r.stats().aggregate("job_cycles").unwrap().max(), Some(7));
+    }
+
+    #[test]
+    fn all_kinds_order_matches_figure_10() {
+        let kinds = ResKind::all();
+        assert_eq!(kinds[0], ResKind::Vi);
+        assert_eq!(kinds[4], ResKind::Wi);
+        assert_eq!(kinds.len(), 5);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ResKind::Idct.to_string(), "IDCT");
+        assert_eq!(ResKind::Mpeg.to_string(), "MPEG");
+    }
+}

@@ -1,0 +1,169 @@
+//! Gate-level area estimation in NAND2 equivalents.
+//!
+//! The paper reports synthesis areas "in units equivalent to a
+//! minimum-sized two-input NAND gate" (Synopsys DC with AMIS 0.3 µm /
+//! QualCore 0.25 µm libraries). We do not have a synthesis flow, so each
+//! generator elaborates its design into primitive counts and
+//! [`GateCounts::nand2_equiv`] converts them with standard-cell
+//! equivalence factors. Absolute values differ from the paper's
+//! (DC optimizes across cell boundaries); growth trends and the
+//! area-versus-MPSoC ratios are what the Table 1/2 reproductions check.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Primitive counts of an elaborated design.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateCounts {
+    /// D flip-flops.
+    pub ff: u64,
+    /// 2-input NAND/NOR gates.
+    pub nand2: u64,
+    /// 2-input AND/OR gates.
+    pub and2: u64,
+    /// 2-input XOR/XNOR gates.
+    pub xor2: u64,
+    /// Inverters.
+    pub inv: u64,
+    /// 2:1 muxes.
+    pub mux2: u64,
+}
+
+/// NAND2-equivalents per primitive (typical standard-cell factors).
+pub mod equiv {
+    /// A D flip-flop ≈ 6 NAND2.
+    pub const FF: f64 = 6.0;
+    /// NAND2/NOR2 are the unit.
+    pub const NAND2: f64 = 1.0;
+    /// AND2/OR2 ≈ 1.5 (gate + inverter).
+    pub const AND2: f64 = 1.5;
+    /// XOR2 ≈ 2.5.
+    pub const XOR2: f64 = 2.5;
+    /// Inverter ≈ 0.5.
+    pub const INV: f64 = 0.5;
+    /// MUX2 ≈ 3.
+    pub const MUX2: f64 = 3.0;
+}
+
+impl GateCounts {
+    /// A zeroed count.
+    pub fn new() -> Self {
+        GateCounts::default()
+    }
+
+    /// Total area in NAND2 equivalents.
+    pub fn nand2_equiv(&self) -> f64 {
+        self.ff as f64 * equiv::FF
+            + self.nand2 as f64 * equiv::NAND2
+            + self.and2 as f64 * equiv::AND2
+            + self.xor2 as f64 * equiv::XOR2
+            + self.inv as f64 * equiv::INV
+            + self.mux2 as f64 * equiv::MUX2
+    }
+
+    /// Scales every count by `k` (for arrays of identical cells).
+    pub fn times(mut self, k: u64) -> Self {
+        self.ff *= k;
+        self.nand2 *= k;
+        self.and2 *= k;
+        self.xor2 *= k;
+        self.inv *= k;
+        self.mux2 *= k;
+        self
+    }
+}
+
+impl Add for GateCounts {
+    type Output = GateCounts;
+    fn add(mut self, rhs: GateCounts) -> GateCounts {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for GateCounts {
+    fn add_assign(&mut self, rhs: GateCounts) {
+        self.ff += rhs.ff;
+        self.nand2 += rhs.nand2;
+        self.and2 += rhs.and2;
+        self.xor2 += rhs.xor2;
+        self.inv += rhs.inv;
+        self.mux2 += rhs.mux2;
+    }
+}
+
+impl fmt::Display for GateCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} NAND2-equiv (ff={} nand={} and={} xor={} inv={} mux={})",
+            self.nand2_equiv(),
+            self.ff,
+            self.nand2,
+            self.and2,
+            self.xor2,
+            self.inv,
+            self.mux2
+        )
+    }
+}
+
+/// The Table 2 MPSoC gate budget: `pes` PowerPC 755 cores at 1.7 M gates
+/// each plus `mem_mb` megabytes of memory at ≈ 2.1 M gates per MB (the
+/// paper's 16 MB = 33.5 M), plus a small uncore allowance.
+pub fn mpsoc_gate_budget(pes: u64, mem_mb: u64) -> f64 {
+    const PE_GATES: f64 = 1_700_000.0;
+    const MEM_GATES_PER_MB: f64 = 33_500_000.0 / 16.0;
+    const UNCORE: f64 = 44_000.0; // bus, arbiter, controllers
+    pes as f64 * PE_GATES + mem_mb as f64 * MEM_GATES_PER_MB + UNCORE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nand2_equiv_weighs_primitives() {
+        let g = GateCounts {
+            ff: 2,
+            nand2: 4,
+            and2: 2,
+            xor2: 2,
+            inv: 2,
+            mux2: 1,
+        };
+        let expect = 2.0 * 6.0 + 4.0 + 2.0 * 1.5 + 2.0 * 2.5 + 2.0 * 0.5 + 3.0;
+        assert!((g.nand2_equiv() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_and_times_compose() {
+        let a = GateCounts {
+            ff: 1,
+            ..Default::default()
+        };
+        let b = a.times(5) + a;
+        assert_eq!(b.ff, 6);
+    }
+
+    #[test]
+    fn paper_mpsoc_budget_shape() {
+        let total = mpsoc_gate_budget(4, 16);
+        // The paper's Table 2 figure is 40.344 M.
+        assert!(
+            (total - 40_344_000.0).abs() / 40_344_000.0 < 0.01,
+            "budget {total} should be ~40.3M"
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let g = GateCounts {
+            ff: 3,
+            ..Default::default()
+        };
+        let s = g.to_string();
+        assert!(s.contains("ff=3"));
+        assert!(s.contains("18 NAND2-equiv"));
+    }
+}

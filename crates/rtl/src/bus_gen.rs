@@ -1,0 +1,212 @@
+//! Bus system generator (Section 2.2, Figures 4–6).
+//!
+//! The δ framework GUI collects address/data widths and a hierarchical
+//! topology of **Bus Access Nodes** (BANs), then generates the bus
+//! fabric. This generator covers the same parameter space: per
+//! subsystem, a fixed-priority arbiter over `masters` masters, the
+//! grant/mux fabric, and an address decoder over `slaves` regions;
+//! subsystems are joined by bridges.
+
+use crate::area::GateCounts;
+use crate::ddu_gen::GeneratedRtl;
+use crate::verilog::{Dir, ModuleBuilder};
+
+/// Configuration of one bus subsystem (one BAN).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusSubsystem {
+    /// Number of bus masters.
+    pub masters: usize,
+    /// Number of address-decoded slaves.
+    pub slaves: usize,
+}
+
+/// Configuration of the whole bus system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusConfig {
+    /// Address bus width in bits.
+    pub addr_width: u32,
+    /// Data bus width in bits.
+    pub data_width: u32,
+    /// The subsystems (≥ 1); adjacent subsystems get a bridge.
+    pub subsystems: Vec<BusSubsystem>,
+}
+
+impl Default for BusConfig {
+    /// The paper's base system: one 32-bit-address / 64-bit-data bus
+    /// with 5 masters (4 PEs + DMA) and 8 slave regions.
+    fn default() -> Self {
+        BusConfig {
+            addr_width: 32,
+            data_width: 64,
+            subsystems: vec![BusSubsystem {
+                masters: 5,
+                slaves: 8,
+            }],
+        }
+    }
+}
+
+fn arbiter_gates(masters: usize) -> GateCounts {
+    GateCounts {
+        ff: masters as u64, // grant registers
+        and2: 6 * masters as u64,
+        inv: masters as u64,
+        ..Default::default()
+    }
+}
+
+fn mux_gates(masters: usize, width: u32) -> GateCounts {
+    GateCounts {
+        mux2: (masters.saturating_sub(1)) as u64 * width as u64,
+        ..Default::default()
+    }
+}
+
+fn decoder_gates(slaves: usize) -> GateCounts {
+    GateCounts {
+        and2: 8 * slaves as u64,
+        inv: 2 * slaves as u64,
+        ..Default::default()
+    }
+}
+
+/// Generates the bus fabric described by `config`.
+///
+/// # Panics
+///
+/// Panics if the configuration has no subsystems or a subsystem has no
+/// masters.
+pub fn generate(config: &BusConfig) -> GeneratedRtl {
+    assert!(!config.subsystems.is_empty(), "bus needs ≥1 subsystem");
+    let mut src = String::new();
+    let mut gates = GateCounts::new();
+
+    for (i, sub) in config.subsystems.iter().enumerate() {
+        assert!(sub.masters > 0, "subsystem {i} has no masters");
+        let mut m = ModuleBuilder::new(format!("bus_ban_{i}"));
+        m.comment(format!(
+            "bus subsystem #{i}: {} masters, {} slaves, {}-bit addr / {}-bit data",
+            sub.masters, sub.slaves, config.addr_width, config.data_width
+        ));
+        m.port(Dir::In, "clk", 1)
+            .port(Dir::In, "rst", 1)
+            .port(Dir::In, "req", sub.masters.max(2) as u32)
+            .port(Dir::Out, "grant", sub.masters.max(2) as u32)
+            .port(Dir::In, "addr_in", config.addr_width)
+            .port(Dir::Out, "sel", sub.slaves.max(2) as u32)
+            .reg("grant_q", sub.masters.max(2) as u32)
+            .assign("grant", "grant_q");
+        // Fixed-priority arbitration: lowest index wins.
+        let mut expr = String::from("req[0]");
+        let mut body = String::from(
+            "always @(posedge clk) begin\n  if (rst) grant_q <= 0;\n  else begin\n    grant_q <= 0;\n",
+        );
+        body.push_str("    if (req[0]) grant_q[0] <= 1'b1;\n");
+        for mi in 1..sub.masters {
+            body.push_str(&format!("    else if (req[{mi}]) grant_q[{mi}] <= 1'b1;\n"));
+            expr.push_str(&format!(" | req[{mi}]"));
+        }
+        body.push_str("  end\nend");
+        m.always(body);
+        for s in 0..sub.slaves {
+            m.assign(
+                format!("sel[{s}]"),
+                format!(
+                    "addr_in[{}:{}] == {}'d{}",
+                    config.addr_width - 1,
+                    config.addr_width - 4,
+                    4,
+                    s
+                ),
+            );
+        }
+        src.push_str(&m.emit());
+        src.push('\n');
+        gates += arbiter_gates(sub.masters)
+            + mux_gates(sub.masters, config.addr_width + config.data_width)
+            + decoder_gates(sub.slaves);
+    }
+
+    // Bridges between adjacent subsystems.
+    for i in 1..config.subsystems.len() {
+        let mut b = ModuleBuilder::new(format!("bus_bridge_{}_{}", i - 1, i));
+        b.comment("bridge: request forwarding + data latch between BANs");
+        b.port(Dir::In, "clk", 1)
+            .port(Dir::In, "rst", 1)
+            .port(Dir::In, "up_data", config.data_width)
+            .port(Dir::Out, "down_data", config.data_width)
+            .reg("latch_q", config.data_width)
+            .assign("down_data", "latch_q")
+            .always("always @(posedge clk) begin\n  if (rst) latch_q <= 0;\n  else latch_q <= up_data;\nend");
+        src.push_str(&b.emit());
+        src.push('\n');
+        gates += GateCounts {
+            ff: config.data_width as u64,
+            and2: 24,
+            ..Default::default()
+        };
+    }
+
+    GeneratedRtl {
+        top: "bus_ban_0".into(),
+        verilog: src,
+        gates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bus_lints_clean() {
+        let rtl = generate(&BusConfig::default());
+        let errs = rtl.lint(&[]);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn hierarchical_bus_adds_bridges() {
+        let cfg = BusConfig {
+            addr_width: 32,
+            data_width: 32,
+            subsystems: vec![
+                BusSubsystem {
+                    masters: 4,
+                    slaves: 4,
+                },
+                BusSubsystem {
+                    masters: 2,
+                    slaves: 2,
+                },
+            ],
+        };
+        let rtl = generate(&cfg);
+        assert!(rtl.verilog.contains("bus_bridge_0_1"));
+        assert!(rtl.lint(&[]).is_empty());
+    }
+
+    #[test]
+    fn area_scales_with_masters_and_width() {
+        let narrow = generate(&BusConfig {
+            addr_width: 16,
+            data_width: 16,
+            subsystems: vec![BusSubsystem {
+                masters: 2,
+                slaves: 2,
+            }],
+        });
+        let wide = generate(&BusConfig::default());
+        assert!(wide.gates.nand2_equiv() > narrow.gates.nand2_equiv());
+    }
+
+    #[test]
+    #[should_panic(expected = "subsystem")]
+    fn empty_config_rejected() {
+        generate(&BusConfig {
+            addr_width: 32,
+            data_width: 32,
+            subsystems: vec![],
+        });
+    }
+}

@@ -1,0 +1,58 @@
+//! Kernel service cost constants.
+//!
+//! Atalanta's system-call path (trap, argument marshaling, kernel
+//! structure guard, return) and scheduler costs, expressed in bus-clock
+//! cycles. Mechanism-specific costs (lock word traffic, allocator
+//! searches, detection scans) are *not* here — those are metered from
+//! the work the services actually do; these constants cover the fixed
+//! wrappers around them.
+
+/// System-call entry + exit overhead charged on every kernel service
+/// (trap, register save, parameter checks, return).
+pub const API_OVERHEAD: u64 = 120;
+
+/// Context-switch cost: register file save/restore + scheduler queue
+/// manipulation over shared memory.
+pub const CONTEXT_SWITCH: u64 = 80;
+
+/// Library-call overhead for `malloc`/`free`: these are *user-space*
+/// library calls (no kernel trap), so only call/return and prologue
+/// cycles apply on top of the allocator's metered work.
+pub const MEM_API_OVERHEAD: u64 = 12;
+
+/// Checkpoint delay before a task complies with a give-up ask
+/// (Algorithm 3's "the current owner may need time to finish or
+/// checkpoint its current processing").
+pub const GIVE_UP_DELAY: u64 = 200;
+
+/// Software lock hand-off wake path: IPI to the waiter's PE plus
+/// ready-queue insertion by its scheduler.
+pub const SW_LOCK_WAKE: u64 = 60;
+
+/// Mean spin-poll quantization penalty of the software lock path: a
+/// blocked waiter re-tests the lock word over the bus with backoff, so
+/// on average it observes the release half a poll period late. The
+/// SoCLC's hardware hand-off interrupt eliminates this — the paper's
+/// "fair and fast lock hand-off".
+pub const SW_POLL_PENALTY: u64 = 170;
+
+/// Hardware (SoCLC) hand-off wake path: interrupt delivery plus a short
+/// ISR that readies the task.
+pub const HW_LOCK_WAKE: u64 = deltaos_mpsoc::interrupt::IRQ_DELIVERY_CYCLES + 20;
+
+#[cfg(test)]
+#[allow(clippy::assertions_on_constants)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_wake_is_cheaper_than_software() {
+        assert!(HW_LOCK_WAKE < SW_LOCK_WAKE);
+    }
+
+    #[test]
+    fn constants_are_sane() {
+        assert!(API_OVERHEAD > 0 && API_OVERHEAD < 1_000);
+        assert!(CONTEXT_SWITCH > 0 && CONTEXT_SWITCH < 1_000);
+    }
+}

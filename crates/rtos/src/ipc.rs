@@ -1,0 +1,519 @@
+//! Inter-process communication primitives.
+//!
+//! Atalanta v0.3 provides semaphores, mutexes, mailboxes, message queues
+//! and event flags (Section 2.1). The kernel uses [`LockService`] for
+//! mutexes; this module hosts the remaining primitives as software
+//! services over shared kernel memory, each with an instruction-derived
+//! cycle cost.
+//!
+//! [`LockService`]: crate::lock::LockService
+
+use deltaos_core::cost::{CostModel, Meter};
+use deltaos_core::Priority;
+
+use crate::task::TaskId;
+
+/// Identifies a counting semaphore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SemId(pub u16);
+
+/// Identifies a mailbox / message queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MboxId(pub u16);
+
+/// Identifies an event-flag group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub u16);
+
+/// Outcome of a semaphore wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemOutcome {
+    /// The count was positive; decremented and taken.
+    Taken {
+        /// Service cycles.
+        cycles: u64,
+    },
+    /// Count was zero; caller queued.
+    Blocked {
+        /// Service cycles.
+        cycles: u64,
+    },
+}
+
+/// Outcome of a semaphore post.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostOutcome {
+    /// Service cycles.
+    pub cycles: u64,
+    /// Waiter released by this post, if any.
+    pub woke: Option<TaskId>,
+}
+
+/// Outcome of a mailbox receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvOutcome {
+    /// A message was available.
+    Message {
+        /// The message word.
+        value: u32,
+        /// Service cycles.
+        cycles: u64,
+    },
+    /// Mailbox empty; caller queued.
+    Blocked {
+        /// Service cycles.
+        cycles: u64,
+    },
+}
+
+/// Outcome of a mailbox send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendOutcome {
+    /// Service cycles.
+    pub cycles: u64,
+    /// `false` when the mailbox was full (message dropped, as in
+    /// Atalanta's non-blocking send).
+    pub accepted: bool,
+    /// Blocked receiver released by this send, handed the message
+    /// directly.
+    pub woke: Option<(TaskId, u32)>,
+}
+
+#[derive(Debug, Clone)]
+struct Semaphore {
+    count: u32,
+    waiters: Vec<(TaskId, Priority, u64)>,
+}
+
+#[derive(Debug, Clone)]
+struct Mailbox {
+    capacity: usize,
+    messages: std::collections::VecDeque<u32>,
+    receivers: Vec<(TaskId, Priority, u64)>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct EventGroup {
+    flags: u32,
+    /// Waiters: (task, required mask, arrival).
+    waiters: Vec<(TaskId, u32, u64)>,
+}
+
+/// Outcome of an event-flag wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventOutcome {
+    /// All required flags were set; they have been consumed.
+    Taken {
+        /// Service cycles.
+        cycles: u64,
+    },
+    /// Flags not yet complete; caller queued.
+    Blocked {
+        /// Service cycles.
+        cycles: u64,
+    },
+}
+
+/// The IPC service: semaphores + mailboxes/queues + event flags.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_core::Priority;
+/// use deltaos_rtos::ipc::{IpcService, MboxId, RecvOutcome, SemId};
+/// use deltaos_rtos::task::TaskId;
+///
+/// let mut ipc = IpcService::new();
+/// let s = ipc.add_semaphore(1);
+/// let m = ipc.add_mailbox(4);
+/// assert!(matches!(
+///     ipc.sem_wait(s, TaskId(0), Priority::new(1)),
+///     deltaos_rtos::ipc::SemOutcome::Taken { .. }
+/// ));
+/// let out = ipc.send(m, 42);
+/// assert!(out.accepted);
+/// assert!(matches!(
+///     ipc.recv(m, TaskId(1), Priority::new(2)),
+///     RecvOutcome::Message { value: 42, .. }
+/// ));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IpcService {
+    semaphores: Vec<Semaphore>,
+    mailboxes: Vec<Mailbox>,
+    events: Vec<EventGroup>,
+    seq: u64,
+}
+
+impl IpcService {
+    /// Creates an empty service; add primitives with the `add_*` methods.
+    pub fn new() -> Self {
+        IpcService::default()
+    }
+
+    /// Adds a counting semaphore with the given initial count.
+    pub fn add_semaphore(&mut self, initial: u32) -> SemId {
+        self.semaphores.push(Semaphore {
+            count: initial,
+            waiters: Vec::new(),
+        });
+        SemId(self.semaphores.len() as u16 - 1)
+    }
+
+    /// Adds a mailbox/queue with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn add_mailbox(&mut self, capacity: usize) -> MboxId {
+        assert!(capacity > 0, "mailbox capacity must be non-zero");
+        self.mailboxes.push(Mailbox {
+            capacity,
+            messages: std::collections::VecDeque::new(),
+            receivers: Vec::new(),
+        });
+        MboxId(self.mailboxes.len() as u16 - 1)
+    }
+
+    /// Adds an event-flag group (32 flags).
+    pub fn add_event_group(&mut self) -> EventId {
+        self.events.push(EventGroup::default());
+        EventId(self.events.len() as u16 - 1)
+    }
+
+    fn svc_cost(loads: u64, stores: u64, ops: u64, branches: u64) -> u64 {
+        let mut m = Meter::new();
+        m.load(loads);
+        m.store(stores);
+        m.op(ops);
+        m.branch(branches);
+        CostModel::MPC755_SHARED.cycles(&m)
+    }
+
+    /// P() — wait on a semaphore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sem` is out of range.
+    pub fn sem_wait(&mut self, sem: SemId, task: TaskId, prio: Priority) -> SemOutcome {
+        let s = &mut self.semaphores[sem.0 as usize];
+        if s.count > 0 {
+            s.count -= 1;
+            SemOutcome::Taken {
+                cycles: Self::svc_cost(6, 3, 14, 5),
+            }
+        } else {
+            self.seq += 1;
+            s.waiters.push((task, prio, self.seq));
+            SemOutcome::Blocked {
+                cycles: Self::svc_cost(9, 6, 20, 7),
+            }
+        }
+    }
+
+    /// V() — post a semaphore; wakes the highest-priority waiter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sem` is out of range.
+    pub fn sem_post(&mut self, sem: SemId) -> PostOutcome {
+        let s = &mut self.semaphores[sem.0 as usize];
+        if s.waiters.is_empty() {
+            s.count += 1;
+            PostOutcome {
+                cycles: Self::svc_cost(5, 3, 12, 4),
+                woke: None,
+            }
+        } else {
+            let best = s
+                .waiters
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, p, q))| (*p, *q))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let (t, _, _) = s.waiters.remove(best);
+            PostOutcome {
+                cycles: Self::svc_cost(8 + s.waiters.len() as u64, 5, 18, 6),
+                woke: Some(t),
+            }
+        }
+    }
+
+    /// Sends `value` to `mbox`. Non-blocking: returns `accepted = false`
+    /// when the box is full. Wakes a blocked receiver if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mbox` is out of range.
+    pub fn send(&mut self, mbox: MboxId, value: u32) -> SendOutcome {
+        let m = &mut self.mailboxes[mbox.0 as usize];
+        if let Some(best) = m
+            .receivers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, p, q))| (*p, *q))
+            .map(|(i, _)| i)
+        {
+            let (t, _, _) = m.receivers.remove(best);
+            return SendOutcome {
+                cycles: Self::svc_cost(9, 5, 18, 6),
+                accepted: true,
+                woke: Some((t, value)),
+            };
+        }
+        if m.messages.len() >= m.capacity {
+            return SendOutcome {
+                cycles: Self::svc_cost(5, 1, 10, 4),
+                accepted: false,
+                woke: None,
+            };
+        }
+        m.messages.push_back(value);
+        SendOutcome {
+            cycles: Self::svc_cost(6, 4, 14, 4),
+            accepted: true,
+            woke: None,
+        }
+    }
+
+    /// Receives from `mbox`; blocks the caller when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mbox` is out of range.
+    pub fn recv(&mut self, mbox: MboxId, task: TaskId, prio: Priority) -> RecvOutcome {
+        let m = &mut self.mailboxes[mbox.0 as usize];
+        if let Some(v) = m.messages.pop_front() {
+            RecvOutcome::Message {
+                value: v,
+                cycles: Self::svc_cost(7, 4, 15, 5),
+            }
+        } else {
+            self.seq += 1;
+            m.receivers.push((task, prio, self.seq));
+            RecvOutcome::Blocked {
+                cycles: Self::svc_cost(8, 5, 17, 6),
+            }
+        }
+    }
+
+    /// Sets flags in an event group, returning the new mask and any
+    /// waiters whose required flags became complete (their flags are
+    /// consumed, highest priority first in arrival order of
+    /// satisfaction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ev` is out of range.
+    pub fn event_set(&mut self, ev: EventId, mask: u32) -> (u32, Vec<TaskId>) {
+        let g = &mut self.events[ev.0 as usize];
+        g.flags |= mask;
+        let mut woken = Vec::new();
+        // Serve waiters in arrival order while their masks are complete.
+        while let Some(pos) = g
+            .waiters
+            .iter()
+            .position(|&(_, need, _)| g.flags & need == need)
+        {
+            let (t, need, _) = g.waiters.remove(pos);
+            g.flags &= !need;
+            woken.push(t);
+        }
+        (g.flags, woken)
+    }
+
+    /// Tests whether all `mask` flags are set; clears them if so.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ev` is out of range.
+    pub fn event_take(&mut self, ev: EventId, mask: u32) -> bool {
+        let g = &mut self.events[ev.0 as usize];
+        if g.flags & mask == mask {
+            g.flags &= !mask;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Waits until all `mask` flags are set (consuming them), queueing
+    /// the caller otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ev` is out of range or `mask` is zero.
+    pub fn event_wait(&mut self, ev: EventId, mask: u32, task: TaskId) -> EventOutcome {
+        assert!(mask != 0, "waiting on an empty mask never completes");
+        let g = &mut self.events[ev.0 as usize];
+        if g.flags & mask == mask {
+            g.flags &= !mask;
+            EventOutcome::Taken {
+                cycles: Self::svc_cost(6, 3, 14, 5),
+            }
+        } else {
+            self.seq += 1;
+            g.waiters.push((task, mask, self.seq));
+            EventOutcome::Blocked {
+                cycles: Self::svc_cost(8, 5, 17, 6),
+            }
+        }
+    }
+
+    /// Current semaphore count (diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sem` is out of range.
+    pub fn sem_count(&self, sem: SemId) -> u32 {
+        self.semaphores[sem.0 as usize].count
+    }
+
+    /// Queued message count (diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mbox` is out of range.
+    pub fn mbox_len(&self, mbox: MboxId) -> usize {
+        self.mailboxes[mbox.0 as usize].messages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semaphore_counts_down_then_blocks() {
+        let mut ipc = IpcService::new();
+        let s = ipc.add_semaphore(1);
+        assert!(matches!(
+            ipc.sem_wait(s, TaskId(0), Priority::new(1)),
+            SemOutcome::Taken { .. }
+        ));
+        assert!(matches!(
+            ipc.sem_wait(s, TaskId(1), Priority::new(2)),
+            SemOutcome::Blocked { .. }
+        ));
+        assert_eq!(ipc.sem_count(s), 0);
+    }
+
+    #[test]
+    fn post_wakes_highest_priority_waiter() {
+        let mut ipc = IpcService::new();
+        let s = ipc.add_semaphore(0);
+        ipc.sem_wait(s, TaskId(0), Priority::new(5));
+        ipc.sem_wait(s, TaskId(1), Priority::new(2));
+        ipc.sem_wait(s, TaskId(2), Priority::new(3));
+        let out = ipc.sem_post(s);
+        assert_eq!(out.woke, Some(TaskId(1)));
+        assert_eq!(ipc.sem_count(s), 0, "count stays 0 when handed to a waiter");
+    }
+
+    #[test]
+    fn post_without_waiters_increments() {
+        let mut ipc = IpcService::new();
+        let s = ipc.add_semaphore(0);
+        let out = ipc.sem_post(s);
+        assert_eq!(out.woke, None);
+        assert_eq!(ipc.sem_count(s), 1);
+    }
+
+    #[test]
+    fn mailbox_buffers_until_capacity() {
+        let mut ipc = IpcService::new();
+        let m = ipc.add_mailbox(2);
+        assert!(ipc.send(m, 1).accepted);
+        assert!(ipc.send(m, 2).accepted);
+        assert!(!ipc.send(m, 3).accepted, "full mailbox rejects");
+        assert_eq!(ipc.mbox_len(m), 2);
+    }
+
+    #[test]
+    fn recv_blocks_then_direct_handoff() {
+        let mut ipc = IpcService::new();
+        let m = ipc.add_mailbox(1);
+        assert!(matches!(
+            ipc.recv(m, TaskId(4), Priority::new(2)),
+            RecvOutcome::Blocked { .. }
+        ));
+        let out = ipc.send(m, 99);
+        assert_eq!(out.woke, Some((TaskId(4), 99)));
+        assert_eq!(ipc.mbox_len(m), 0, "direct hand-off bypasses the buffer");
+    }
+
+    #[test]
+    fn fifo_order_of_messages() {
+        let mut ipc = IpcService::new();
+        let m = ipc.add_mailbox(4);
+        ipc.send(m, 1);
+        ipc.send(m, 2);
+        match ipc.recv(m, TaskId(0), Priority::new(1)) {
+            RecvOutcome::Message { value, .. } => assert_eq!(value, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_flags_set_and_take() {
+        let mut ipc = IpcService::new();
+        let e = ipc.add_event_group();
+        assert_eq!(ipc.event_set(e, 0b101).0, 0b101);
+        assert!(!ipc.event_take(e, 0b111), "missing flag 0b010");
+        assert!(ipc.event_take(e, 0b101));
+        assert!(!ipc.event_take(e, 0b001), "flags cleared after take");
+    }
+
+    #[test]
+    fn event_wait_blocks_until_flags_complete() {
+        let mut ipc = IpcService::new();
+        let e = ipc.add_event_group();
+        assert!(matches!(
+            ipc.event_wait(e, 0b11, TaskId(0)),
+            EventOutcome::Blocked { .. }
+        ));
+        let (_, woken) = ipc.event_set(e, 0b01);
+        assert!(woken.is_empty(), "mask incomplete");
+        let (flags, woken) = ipc.event_set(e, 0b10);
+        assert_eq!(woken, vec![TaskId(0)]);
+        assert_eq!(flags, 0, "waiter consumed its flags");
+    }
+
+    #[test]
+    fn event_wait_takes_immediately_when_set() {
+        let mut ipc = IpcService::new();
+        let e = ipc.add_event_group();
+        ipc.event_set(e, 0b111);
+        assert!(matches!(
+            ipc.event_wait(e, 0b101, TaskId(1)),
+            EventOutcome::Taken { .. }
+        ));
+        assert!(ipc.event_take(e, 0b010), "untouched flag remains");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty mask")]
+    fn event_wait_zero_mask_rejected() {
+        let mut ipc = IpcService::new();
+        let e = ipc.add_event_group();
+        ipc.event_wait(e, 0, TaskId(0));
+    }
+
+    #[test]
+    fn costs_are_nonzero_and_bounded() {
+        let mut ipc = IpcService::new();
+        let s = ipc.add_semaphore(1);
+        match ipc.sem_wait(s, TaskId(0), Priority::new(1)) {
+            SemOutcome::Taken { cycles } => assert!(cycles > 10 && cycles < 200),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_mailbox_rejected() {
+        let mut ipc = IpcService::new();
+        ipc.add_mailbox(0);
+    }
+}

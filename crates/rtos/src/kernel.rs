@@ -1,0 +1,1237 @@
+//! The kernel: a shared-memory multiprocessor RTOS over the base MPSoC.
+//!
+//! Models Atalanta v0.3's execution semantics on the simulated platform:
+//! per-PE preemptive priority scheduling (FIFO among equals), blocking
+//! services, priority inheritance / ceiling, and the pluggable backends
+//! for locks ([`LockService`]), memory ([`MemService`]) and resource
+//! management ([`ResourceService`]) that realize the RTOS1–RTOS7
+//! configurations of Table 3.
+//!
+//! Timing model: every system call charges [`costs::API_OVERHEAD`] plus
+//! the service's own (metered or hardware) cycles, executed
+//! non-preemptibly on the calling PE. [`Action::Compute`] stretches are
+//! preemptible. Give-up asks from the avoidance engines are executed by
+//! the kernel on the target task's behalf after
+//! [`costs::GIVE_UP_DELAY`], per Assumption 3, and every force-released
+//! resource is automatically re-requested (the paper's *"of course, p2
+//! has to request q2 again"*).
+
+use deltaos_core::Priority;
+use deltaos_mpsoc::pe::PeId;
+use deltaos_mpsoc::platform::{BaseMpsoc, PlatformConfig};
+use deltaos_sim::{EventQueue, SimTime, Stats, Tracer};
+
+use crate::costs;
+use crate::ipc::{IpcService, RecvOutcome, SemOutcome};
+use crate::lock::{AcquireOutcome, LockId, LockService};
+use crate::mem::{AllocOutcome, FitPolicy, MemService, SocdmmuAllocator, SwAllocator};
+use crate::resman::{ResOutcome, ResPolicy, ResourceService};
+use crate::task::{Action, ActionResult, ResIdx, TaskBody, TaskId, TaskState, Tcb};
+
+/// Lock backend selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockSetup {
+    /// Software locks with priority inheritance (RTOS5).
+    Software {
+        /// Number of locks.
+        count: u16,
+    },
+    /// SoCLC with IPCP (RTOS6).
+    Soclc {
+        /// Spin locks.
+        short: u16,
+        /// Blocking locks.
+        long: u16,
+    },
+}
+
+/// Memory backend selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemSetup {
+    /// Software free-list allocator (glibc stand-in).
+    Software(FitPolicy),
+    /// SoCDMMU hardware unit (RTOS7).
+    Socdmmu {
+        /// Managed blocks.
+        blocks: u32,
+        /// Block size in bytes.
+        block_size: u32,
+    },
+}
+
+/// Kernel configuration: platform + backend selection.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// The hardware platform.
+    pub platform: PlatformConfig,
+    /// Deadlock policy for the resource manager.
+    pub res_policy: ResPolicy,
+    /// Lock backend.
+    pub locks: LockSetup,
+    /// Memory backend.
+    pub memory: MemSetup,
+    /// Stop the simulation when a detection policy flags deadlock (the
+    /// Table 5 measurement ends there).
+    pub halt_on_deadlock: bool,
+    /// Round-robin time slice among equal-priority tasks on a PE
+    /// (Atalanta's RR mode); `None` runs equal priorities FIFO to
+    /// completion.
+    pub round_robin_quantum: Option<u64>,
+    /// Detection policies only: instead of halting on a detected
+    /// deadlock, *recover* — preempt the lowest-priority cycle
+    /// participant's resources (Section 3.3.1's detect-and-recover).
+    pub recover_on_deadlock: bool,
+    /// Collect an event trace.
+    pub trace: bool,
+}
+
+impl Default for KernelConfig {
+    /// RTOS5-flavoured default: pure software RTOS on the paper's base
+    /// platform.
+    fn default() -> Self {
+        KernelConfig {
+            platform: PlatformConfig::default(),
+            res_policy: ResPolicy::NoDeadlockSupport,
+            locks: LockSetup::Software { count: 16 },
+            memory: MemSetup::Software(FitPolicy::FirstFit),
+            halt_on_deadlock: true,
+            round_robin_quantum: None,
+            recover_on_deadlock: false,
+            trace: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Start(TaskId),
+    Resume {
+        task: TaskId,
+        gen: u64,
+        result: ActionResult,
+    },
+    ComputeDone {
+        task: TaskId,
+        gen: u64,
+    },
+    Dispatch {
+        task: TaskId,
+        gen: u64,
+    },
+    PeRelease {
+        pe: usize,
+        gen: u64,
+    },
+    ForcedRelease {
+        task: TaskId,
+        resources: Vec<ResIdx>,
+    },
+}
+
+/// Result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Time of the last processed event.
+    pub end_time: SimTime,
+    /// When a detection policy flagged deadlock, if it did.
+    pub deadlock_at: Option<SimTime>,
+    /// Completion time per finished task.
+    pub finished: Vec<(TaskId, SimTime)>,
+    /// `true` if every spawned task ran to completion.
+    pub all_finished: bool,
+}
+
+impl RunReport {
+    /// The application execution time: deadlock flag time if the run was
+    /// cut short, otherwise the last task completion (or last event).
+    pub fn app_time(&self) -> SimTime {
+        if let Some(d) = self.deadlock_at {
+            return d;
+        }
+        self.finished
+            .iter()
+            .map(|&(_, t)| t)
+            .max()
+            .unwrap_or(self.end_time)
+    }
+}
+
+/// The multiprocessor kernel.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_mpsoc::pe::PeId;
+/// use deltaos_mpsoc::platform::PlatformConfig;
+/// use deltaos_core::Priority;
+/// use deltaos_rtos::kernel::{Kernel, KernelConfig};
+/// use deltaos_rtos::task::{Action, Script};
+/// use deltaos_sim::SimTime;
+///
+/// let mut k = Kernel::new(KernelConfig {
+///     platform: PlatformConfig::small(),
+///     ..Default::default()
+/// });
+/// k.spawn("worker", PeId(0), Priority::new(1), SimTime::ZERO,
+///     Box::new(Script::new(vec![Action::Compute(100), Action::End])));
+/// let report = k.run(None);
+/// assert!(report.all_finished);
+/// assert!(report.app_time().cycles() >= 100);
+/// ```
+pub struct Kernel {
+    cfg: KernelConfig,
+    soc: BaseMpsoc,
+    queue: EventQueue<Ev>,
+    tasks: Vec<Tcb>,
+    running: Vec<Option<TaskId>>,
+    /// Per-PE: kernel-service window in progress (non-preemptible).
+    in_service: Vec<bool>,
+    /// Per-PE generation for PeRelease cancellation.
+    pe_gen: Vec<u64>,
+    locks: LockService,
+    ipc: IpcService,
+    mem: MemService,
+    res: Option<ResourceService>,
+    tracer: Tracer,
+    stats: Stats,
+    deadlock_at: Option<SimTime>,
+    /// Held locks per task (for priority recomputation).
+    held_locks: Vec<Vec<LockId>>,
+    /// Resources a task is awaiting before it can wake.
+    awaiting: Vec<Vec<ResIdx>>,
+    /// Resources being silently re-acquired after a forced give-up.
+    reacquiring: Vec<Vec<ResIdx>>,
+    /// A `UseResource` deferred until a re-grant arrives.
+    pending_use: Vec<Option<(ResIdx, Option<u64>)>>,
+    /// The kernel resource-table guard: Atalanta protects its shared
+    /// kernel structures with a semaphore, so resource-manager commands
+    /// from different PEs serialize. This is what puts the software
+    /// deadlock algorithms on the application's critical path (Table 5).
+    res_guard_until: SimTime,
+    live: usize,
+}
+
+impl Kernel {
+    /// Builds a kernel over a fresh platform.
+    pub fn new(cfg: KernelConfig) -> Self {
+        let soc = BaseMpsoc::new(cfg.platform.clone());
+        let pes = cfg.platform.pes;
+        let locks = match cfg.locks {
+            LockSetup::Software { count } => LockService::software(count),
+            LockSetup::Soclc { short, long } => LockService::soclc(short, long),
+        };
+        let mem = match cfg.memory {
+            MemSetup::Software(policy) => MemService::Software(SwAllocator::platform_heap(policy)),
+            MemSetup::Socdmmu { blocks, block_size } => MemService::Socdmmu(SocdmmuAllocator::new(
+                deltaos_hwunits::socdmmu::Socdmmu::generate(blocks, block_size),
+            )),
+        };
+        let tracer = if cfg.trace {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+        Kernel {
+            soc,
+            queue: EventQueue::new(),
+            tasks: Vec::new(),
+            running: vec![None; pes],
+            in_service: vec![false; pes],
+            pe_gen: vec![0; pes],
+            locks,
+            ipc: IpcService::new(),
+            mem,
+            res: None,
+            tracer,
+            stats: Stats::new(),
+            deadlock_at: None,
+            held_locks: Vec::new(),
+            awaiting: Vec::new(),
+            reacquiring: Vec::new(),
+            pending_use: Vec::new(),
+            res_guard_until: SimTime::ZERO,
+            live: 0,
+            cfg,
+        }
+    }
+
+    /// Spawns a task pinned to `pe` with the given base priority and
+    /// start time. Returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range or if called after [`Kernel::run`].
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        pe: PeId,
+        priority: Priority,
+        start_at: SimTime,
+        body: Box<dyn TaskBody>,
+    ) -> TaskId {
+        assert!(pe.index() < self.cfg.platform.pes, "PE out of range");
+        assert!(self.res.is_none(), "spawn after run() is not supported");
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks
+            .push(Tcb::new(id, name, pe, priority, start_at, body));
+        self.held_locks.push(Vec::new());
+        self.awaiting.push(Vec::new());
+        self.reacquiring.push(Vec::new());
+        self.pending_use.push(None);
+        self.live += 1;
+        id
+    }
+
+    /// The IPC service (create semaphores/mailboxes before running).
+    pub fn ipc_mut(&mut self) -> &mut IpcService {
+        &mut self.ipc
+    }
+
+    /// The lock service (program ceilings before running).
+    pub fn locks_mut(&mut self) -> &mut LockService {
+        &mut self.locks
+    }
+
+    /// The platform.
+    pub fn soc(&self) -> &BaseMpsoc {
+        &self.soc
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The event trace (enabled via [`KernelConfig::trace`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The resource service (available after [`Kernel::run`] starts; use
+    /// for algorithm statistics).
+    pub fn resource_service(&self) -> Option<&ResourceService> {
+        self.res.as_ref()
+    }
+
+    fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    fn trace(&mut self, category: &'static str, msg: String) {
+        let t = self.now();
+        self.tracer.emit(t, category, msg);
+    }
+
+    /// Runs the simulation until the event queue drains, deadlock halts
+    /// it, or `limit` cycles elapse.
+    pub fn run(&mut self, limit: Option<u64>) -> RunReport {
+        // Freeze the task set: build the resource service.
+        if self.res.is_none() {
+            let mut rs = ResourceService::new(
+                self.cfg.res_policy,
+                self.soc.resources().len(),
+                self.tasks.len().max(1),
+            );
+            for t in &self.tasks {
+                rs.set_priority(t.id, t.base_priority);
+            }
+            self.res = Some(rs);
+            for t in 0..self.tasks.len() {
+                let at = self.tasks[t].start_at;
+                self.queue.schedule(at, Ev::Start(TaskId(t as u32)));
+            }
+        }
+
+        while let Some((now, ev)) = self.queue.pop() {
+            if let Some(l) = limit {
+                if now.cycles() > l {
+                    break;
+                }
+            }
+            self.handle(ev);
+            if self.deadlock_at.is_some() && self.cfg.halt_on_deadlock {
+                break;
+            }
+            let _ = now;
+        }
+
+        let finished: Vec<(TaskId, SimTime)> = self
+            .tasks
+            .iter()
+            .filter_map(|t| t.finished_at.map(|at| (t.id, at)))
+            .collect();
+        RunReport {
+            end_time: self.now(),
+            deadlock_at: self.deadlock_at,
+            all_finished: finished.len() == self.tasks.len(),
+            finished,
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Start(t) => {
+                self.tasks[t.index()].state = TaskState::Ready;
+                self.tasks[t.index()].ready_since = self.now();
+                self.tasks[t.index()].pending_result = Some(ActionResult::Started);
+                self.trace("sched", format!("{} ready", self.tasks[t.index()].name));
+                self.sched(self.tasks[t.index()].pe.index());
+            }
+            Ev::Resume { task, gen, result } => {
+                if self.tasks[task.index()].generation != gen {
+                    return; // stale
+                }
+                let tcb = &mut self.tasks[task.index()];
+                match tcb.state {
+                    TaskState::Running => {
+                        // Service window completed; continue directly.
+                        let pe = tcb.pe.index();
+                        self.in_service[pe] = false;
+                        self.execute_step(task, result);
+                    }
+                    TaskState::Blocked | TaskState::Ready | TaskState::New => {
+                        if let Some(since) = tcb.blocked_since.take() {
+                            tcb.blocked_cycles += self.queue.now().cycles_since(since);
+                        }
+                        tcb.state = TaskState::Ready;
+                        tcb.ready_since = self.queue.now();
+                        tcb.pending_result = Some(result);
+                        let pe = tcb.pe.index();
+                        self.sched(pe);
+                    }
+                    TaskState::Done => {}
+                }
+            }
+            Ev::ComputeDone { task, gen } => {
+                if self.tasks[task.index()].generation != gen {
+                    return;
+                }
+                self.tasks[task.index()].compute_ends_at = None;
+                if self.tasks[task.index()].remaining_compute > 0 {
+                    // Round-robin quantum expired mid-computation: yield
+                    // to the equal-priority peers; the remainder resumes
+                    // on the next dispatch.
+                    let now = self.queue.now();
+                    let tcb = &mut self.tasks[task.index()];
+                    tcb.state = TaskState::Ready;
+                    tcb.ready_since = now;
+                    let pe = tcb.pe.index();
+                    self.running[pe] = None;
+                    self.stats.incr("sched.rr_yields");
+                    self.sched(pe);
+                } else {
+                    self.execute_step(task, ActionResult::Done);
+                }
+            }
+            Ev::Dispatch { task, gen } => {
+                if self.tasks[task.index()].generation != gen {
+                    return;
+                }
+                let result = self.tasks[task.index()]
+                    .pending_result
+                    .take()
+                    .unwrap_or(ActionResult::Done);
+                self.execute_step(task, result);
+            }
+            Ev::PeRelease { pe, gen } => {
+                if self.pe_gen[pe] != gen {
+                    return;
+                }
+                self.running[pe] = None;
+                self.in_service[pe] = false;
+                self.sched(pe);
+            }
+            Ev::ForcedRelease { task, resources } => {
+                self.forced_release(task, resources);
+            }
+        }
+    }
+
+    /// Picks the next task for `pe`, preempting a running compute if a
+    /// higher-priority task is ready.
+    fn sched(&mut self, pe: usize) {
+        if self.in_service[pe] {
+            return; // kernel windows are non-preemptible
+        }
+        let best = self
+            .tasks
+            .iter()
+            .filter(|t| t.pe.index() == pe && t.state == TaskState::Ready && !t.suspended)
+            .min_by_key(|t| (t.effective_priority, t.ready_since, t.id))
+            .map(|t| t.id);
+        let Some(best) = best else { return };
+        match self.running[pe] {
+            None => self.dispatch(best),
+            Some(cur) => {
+                let cur_prio = self.tasks[cur.index()].effective_priority;
+                let best_prio = self.tasks[best.index()].effective_priority;
+                if best_prio.is_higher_than(cur_prio) {
+                    self.preempt(cur);
+                    self.dispatch(best);
+                }
+            }
+        }
+    }
+
+    /// `true` if another task of equal effective priority is ready on
+    /// `task`'s PE (the round-robin rotation condition).
+    fn has_equal_priority_peer(&self, task: TaskId) -> bool {
+        let me = &self.tasks[task.index()];
+        self.tasks.iter().any(|t| {
+            t.id != task
+                && t.pe == me.pe
+                && t.state == TaskState::Ready
+                && t.effective_priority == me.effective_priority
+        })
+    }
+
+    /// Preempts a task mid-compute.
+    fn preempt(&mut self, task: TaskId) {
+        let now = self.now();
+        let tcb = &mut self.tasks[task.index()];
+        debug_assert_eq!(tcb.state, TaskState::Running);
+        // Cancel the in-flight ComputeDone (or pre-step Dispatch) and
+        // remember the unfinished work (adding any round-robin remainder
+        // already parked in `remaining_compute`).
+        tcb.generation += 1;
+        let end = tcb.compute_ends_at.take().unwrap_or(now);
+        tcb.remaining_compute += end.cycles_since(now);
+        tcb.state = TaskState::Ready;
+        tcb.ready_since = now;
+        let name = tcb.name.clone();
+        self.running[tcb.pe.index()] = None;
+        self.stats.incr("sched.preemptions");
+        self.trace("sched", format!("{name} preempted"));
+    }
+
+    /// Starts (or resumes) `task` on its PE, charging the context switch.
+    fn dispatch(&mut self, task: TaskId) {
+        let now = self.now();
+        let pe = self.tasks[task.index()].pe.index();
+        debug_assert!(self.running[pe].is_none());
+        self.running[pe] = Some(task);
+        let tcb = &mut self.tasks[task.index()];
+        tcb.state = TaskState::Running;
+        self.stats.incr("sched.dispatches");
+        if tcb.remaining_compute > 0 {
+            // Resume a preempted/yielded computation after the switch,
+            // re-applying the round-robin quantum.
+            let rem = tcb.remaining_compute;
+            let chunk = match self.cfg.round_robin_quantum {
+                Some(q) if q < rem && self.has_equal_priority_peer(task) => q,
+                _ => rem,
+            };
+            let tcb = &mut self.tasks[task.index()];
+            tcb.remaining_compute = rem - chunk;
+            let gen = tcb.generation;
+            let end = now + costs::CONTEXT_SWITCH + chunk;
+            tcb.compute_ends_at = Some(end);
+            self.queue.schedule(end, Ev::ComputeDone { task, gen });
+        } else {
+            let gen = tcb.generation;
+            self.queue
+                .schedule(now + costs::CONTEXT_SWITCH, Ev::Dispatch { task, gen });
+        }
+    }
+
+    /// Marks the PE busy with a kernel service until `until`, after which
+    /// the scheduler reconsiders. Used when the calling task blocks or
+    /// ends inside the service.
+    fn release_pe_at(&mut self, pe: usize, until: SimTime) {
+        self.in_service[pe] = true;
+        self.pe_gen[pe] += 1;
+        let gen = self.pe_gen[pe];
+        self.queue.schedule(until, Ev::PeRelease { pe, gen });
+    }
+
+    /// Blocks `task` at `at` (end of its service window).
+    fn block_task(&mut self, task: TaskId, at: SimTime) {
+        let tcb = &mut self.tasks[task.index()];
+        tcb.state = TaskState::Blocked;
+        tcb.blocked_since = Some(at);
+        let pe = tcb.pe.index();
+        self.release_pe_at(pe, at);
+        self.stats.incr("sched.blocks");
+    }
+
+    /// Schedules the same task to continue at `at` with `result`
+    /// (non-preemptible service window until then; the task keeps its
+    /// PE).
+    fn continue_at(&mut self, task: TaskId, at: SimTime, result: ActionResult) {
+        let pe = self.tasks[task.index()].pe.index();
+        self.in_service[pe] = true;
+        let gen = self.tasks[task.index()].generation;
+        self.queue.schedule(at, Ev::Resume { task, gen, result });
+    }
+
+    fn finish_task(&mut self, task: TaskId, at: SimTime) {
+        let tcb = &mut self.tasks[task.index()];
+        tcb.state = TaskState::Done;
+        tcb.finished_at = Some(at);
+        let name = tcb.name.clone();
+        let pe = tcb.pe.index();
+        self.live -= 1;
+        self.release_pe_at(pe, at);
+        self.stats.incr("tasks.finished");
+        self.trace("sched", format!("{name} finished"));
+    }
+
+    /// Executes one body step at the current time.
+    fn execute_step(&mut self, task: TaskId, result: ActionResult) {
+        let mut result = result;
+        loop {
+            let action = {
+                let tcb = &mut self.tasks[task.index()];
+                debug_assert_eq!(tcb.state, TaskState::Running, "{}", tcb.name);
+                tcb.body.step(&result)
+            };
+            match self.perform(task, action) {
+                StepFlow::Continue(r) => result = r,
+                StepFlow::Yielded => break,
+            }
+        }
+    }
+
+    fn perform(&mut self, task: TaskId, action: Action) -> StepFlow {
+        let now = self.now();
+        let pe = self.tasks[task.index()].pe;
+        match action {
+            Action::Nop => StepFlow::Continue(ActionResult::Done),
+            Action::Compute(n) => {
+                let pe_i = pe.index();
+                // Round-robin: if an equal-priority peer is ready on this
+                // PE, run only one quantum and yield the remainder.
+                let chunk = match self.cfg.round_robin_quantum {
+                    Some(q) if q < n && self.has_equal_priority_peer(task) => q,
+                    _ => n,
+                };
+                let tcb = &mut self.tasks[task.index()];
+                let gen = tcb.generation;
+                self.in_service[pe_i] = false; // computation is preemptible
+                tcb.remaining_compute = n - chunk;
+                tcb.compute_ends_at = Some(now + chunk);
+                self.queue
+                    .schedule(now + chunk, Ev::ComputeDone { task, gen });
+                // A higher-priority ready task may preempt immediately.
+                self.sched(pe_i);
+                StepFlow::Yielded
+            }
+            Action::Request(r) => {
+                self.do_requests(task, &[r]);
+                StepFlow::Yielded
+            }
+            Action::RequestPair(a, b) => {
+                self.do_requests(task, &[a, b]);
+                StepFlow::Yielded
+            }
+            Action::Release(r) => {
+                if let Some(pos) = self.reacquiring[task.index()].iter().position(|&x| x == r) {
+                    // The resource was force-released (give-up) and has
+                    // not come back yet: the task's own release reduces
+                    // to withdrawing the re-request.
+                    self.reacquiring[task.index()].remove(pos);
+                    self.res
+                        .as_mut()
+                        .expect("service present")
+                        .cancel_request(task, r);
+                    self.trace(
+                        "rag",
+                        format!(
+                            "{} drops its re-request for q{}",
+                            self.tasks[task.index()].name,
+                            r + 1
+                        ),
+                    );
+                    self.continue_at(task, now + costs::API_OVERHEAD, ActionResult::Done);
+                    return StepFlow::Yielded;
+                }
+                let guard_wait = self.acquire_res_guard(now);
+                let resp = self
+                    .res
+                    .as_mut()
+                    .expect("run() builds the service")
+                    .release(task, r)
+                    .unwrap_or_else(|e| panic!("{} release q{}: {e}", task, r + 1));
+                let cost = costs::API_OVERHEAD + guard_wait + resp.cycles;
+                let at = now + cost;
+                self.res_guard_until = at;
+                self.trace(
+                    "rag",
+                    format!("{} releases q{}", self.tasks[task.index()].name, r + 1),
+                );
+                self.process_res_response(&resp, r, at);
+                if resp.deadlock_detected {
+                    self.flag_deadlock(at);
+                }
+                self.continue_at(task, at, ActionResult::Done);
+                StepFlow::Yielded
+            }
+            Action::UseResource { res, cycles } => {
+                if let Some(pos) = self.reacquiring[task.index()]
+                    .iter()
+                    .position(|&x| x == res)
+                {
+                    // The resource was force-released and is still being
+                    // re-acquired: block until the re-grant, then run the
+                    // job (the kernel remembers the pending use).
+                    self.reacquiring[task.index()].remove(pos);
+                    self.awaiting[task.index()].push(res);
+                    self.pending_use[task.index()] = Some((res, cycles));
+                    self.block_task(task, now + costs::API_OVERHEAD);
+                    return StepFlow::Yielded;
+                }
+                let owner = self.res.as_ref().and_then(|rs| rs.owner(res));
+                assert_eq!(
+                    owner,
+                    Some(task),
+                    "{task} used q{} without holding it",
+                    res + 1
+                );
+                let done = self.soc.resource_mut(res).start_job(now, cycles);
+                let gen = self.tasks[task.index()].generation;
+                // The task sleeps until the completion interrupt.
+                self.block_task(task, now + costs::API_OVERHEAD);
+                self.queue.schedule(
+                    done + deltaos_mpsoc::interrupt::IRQ_DELIVERY_CYCLES,
+                    Ev::Resume {
+                        task,
+                        gen,
+                        result: ActionResult::Done,
+                    },
+                );
+                StepFlow::Yielded
+            }
+            Action::Lock(l) => {
+                let prio = self.tasks[task.index()].effective_priority;
+                match self.locks.acquire(l, task, pe, prio) {
+                    AcquireOutcome::Granted { cycles, raise_to } => {
+                        let cost = costs::API_OVERHEAD + cycles;
+                        self.held_locks[task.index()].push(l);
+                        if let Some(c) = raise_to {
+                            let tcb = &mut self.tasks[task.index()];
+                            tcb.effective_priority = tcb.effective_priority.higher_of(c);
+                        }
+                        self.stats.sample("lock.latency", cost);
+                        self.trace(
+                            "lock",
+                            format!("{} acquired {l}", self.tasks[task.index()].name),
+                        );
+                        self.continue_at(task, now + cost, ActionResult::LockAcquired(l));
+                    }
+                    AcquireOutcome::Blocked {
+                        cycles,
+                        owner,
+                        boost_owner,
+                    } => {
+                        let cost = costs::API_OVERHEAD + cycles;
+                        if let Some(b) = boost_owner {
+                            // Transitive priority inheritance: boost the
+                            // owner, and if the owner itself is blocked
+                            // on a lock, follow the chain.
+                            self.boost_chain(owner, b);
+                        }
+                        self.trace(
+                            "lock",
+                            format!("{} blocked on {l}", self.tasks[task.index()].name),
+                        );
+                        self.tasks[task.index()].waiting_lock = Some(l);
+                        self.block_task(task, now + cost);
+                    }
+                }
+                StepFlow::Yielded
+            }
+            Action::Unlock(l) => {
+                let held = &mut self.held_locks[task.index()];
+                let pos = held
+                    .iter()
+                    .position(|&h| h == l)
+                    .unwrap_or_else(|| panic!("{task} unlocked {l} it does not hold"));
+                held.remove(pos);
+                let out = self.locks.release(l, task, self.soc.interrupts_mut(), now);
+                let cost = costs::API_OVERHEAD + out.cycles;
+                // Recompute the releaser's priority (inheritance or
+                // ceiling ends with the lock).
+                self.recompute_priority(task);
+                if let Some((next, raise)) = out.handed_to {
+                    let wake = match &self.locks {
+                        // Software waiters spin-poll the lock word with
+                        // backoff: they observe the hand-off on their
+                        // next poll, half a period late on average.
+                        LockService::Software { .. } => {
+                            costs::SW_LOCK_WAKE + costs::SW_POLL_PENALTY
+                        }
+                        LockService::Soclc { .. } => costs::HW_LOCK_WAKE,
+                    };
+                    self.held_locks[next.index()].push(l);
+                    self.tasks[next.index()].waiting_lock = None;
+                    if let Some(c) = raise {
+                        let ntcb = &mut self.tasks[next.index()];
+                        ntcb.effective_priority = ntcb.effective_priority.higher_of(c);
+                    }
+                    let gen = self.tasks[next.index()].generation;
+                    let delay_start = self.tasks[next.index()].blocked_since;
+                    if let Some(since) = delay_start {
+                        self.stats
+                            .sample_hist("lock.delay", (now + cost + wake).cycles_since(since));
+                    }
+                    self.queue.schedule(
+                        now + cost + wake,
+                        Ev::Resume {
+                            task: next,
+                            gen,
+                            result: ActionResult::LockAcquired(l),
+                        },
+                    );
+                    self.trace(
+                        "lock",
+                        format!(
+                            "{} handed {l} to {}",
+                            self.tasks[task.index()].name,
+                            self.tasks[next.index()].name
+                        ),
+                    );
+                }
+                self.continue_at(task, now + cost, ActionResult::Done);
+                StepFlow::Yielded
+            }
+            Action::SemWait(s) => {
+                let prio = self.tasks[task.index()].effective_priority;
+                match self.ipc.sem_wait(s, task, prio) {
+                    SemOutcome::Taken { cycles } => {
+                        self.continue_at(
+                            task,
+                            now + costs::API_OVERHEAD + cycles,
+                            ActionResult::Done,
+                        );
+                    }
+                    SemOutcome::Blocked { cycles } => {
+                        self.block_task(task, now + costs::API_OVERHEAD + cycles);
+                    }
+                }
+                StepFlow::Yielded
+            }
+            Action::SemPost(s) => {
+                let out = self.ipc.sem_post(s);
+                let cost = costs::API_OVERHEAD + out.cycles;
+                if let Some(w) = out.woke {
+                    let gen = self.tasks[w.index()].generation;
+                    self.queue.schedule(
+                        now + cost + costs::SW_LOCK_WAKE,
+                        Ev::Resume {
+                            task: w,
+                            gen,
+                            result: ActionResult::Done,
+                        },
+                    );
+                }
+                self.continue_at(task, now + cost, ActionResult::Done);
+                StepFlow::Yielded
+            }
+            Action::MboxSend(m, v) => {
+                let out = self.ipc.send(m, v);
+                let cost = costs::API_OVERHEAD + out.cycles;
+                if let Some((w, msg)) = out.woke {
+                    let gen = self.tasks[w.index()].generation;
+                    self.queue.schedule(
+                        now + cost + costs::SW_LOCK_WAKE,
+                        Ev::Resume {
+                            task: w,
+                            gen,
+                            result: ActionResult::Message(msg),
+                        },
+                    );
+                }
+                self.continue_at(task, now + cost, ActionResult::Done);
+                StepFlow::Yielded
+            }
+            Action::MboxRecv(m) => {
+                let prio = self.tasks[task.index()].effective_priority;
+                match self.ipc.recv(m, task, prio) {
+                    RecvOutcome::Message { value, cycles } => {
+                        self.continue_at(
+                            task,
+                            now + costs::API_OVERHEAD + cycles,
+                            ActionResult::Message(value),
+                        );
+                    }
+                    RecvOutcome::Blocked { cycles } => {
+                        self.block_task(task, now + costs::API_OVERHEAD + cycles);
+                    }
+                }
+                StepFlow::Yielded
+            }
+            Action::EventSet(ev, mask) => {
+                let (_, woken) = self.ipc.event_set(ev, mask);
+                let cost = costs::API_OVERHEAD + 40;
+                for w in woken {
+                    let gen = self.tasks[w.index()].generation;
+                    self.queue.schedule(
+                        now + cost + costs::SW_LOCK_WAKE,
+                        Ev::Resume {
+                            task: w,
+                            gen,
+                            result: ActionResult::Done,
+                        },
+                    );
+                }
+                self.continue_at(task, now + cost, ActionResult::Done);
+                StepFlow::Yielded
+            }
+            Action::EventWait(ev, mask) => {
+                match self.ipc.event_wait(ev, mask, task) {
+                    crate::ipc::EventOutcome::Taken { cycles } => {
+                        self.continue_at(
+                            task,
+                            now + costs::API_OVERHEAD + cycles,
+                            ActionResult::Done,
+                        );
+                    }
+                    crate::ipc::EventOutcome::Blocked { cycles } => {
+                        self.block_task(task, now + costs::API_OVERHEAD + cycles);
+                    }
+                }
+                StepFlow::Yielded
+            }
+            Action::SuspendSelf => {
+                let tcb = &mut self.tasks[task.index()];
+                tcb.suspended = true;
+                tcb.state = TaskState::Ready;
+                tcb.pending_result = Some(ActionResult::Done);
+                let pe_i = tcb.pe.index();
+                self.stats.incr("sched.suspensions");
+                self.trace(
+                    "sched",
+                    format!("{} suspended", self.tasks[task.index()].name),
+                );
+                self.running[pe_i] = None;
+                self.release_pe_at(pe_i, now + costs::API_OVERHEAD);
+                StepFlow::Yielded
+            }
+            Action::ResumeTask(target) => {
+                assert!(target.index() < self.tasks.len(), "resume of unknown task");
+                let ttcb = &mut self.tasks[target.index()];
+                if ttcb.suspended {
+                    ttcb.suspended = false;
+                    ttcb.ready_since = now;
+                    let tpe = ttcb.pe.index();
+                    self.stats.incr("sched.resumptions");
+                    self.trace(
+                        "sched",
+                        format!("{} resumed", self.tasks[target.index()].name),
+                    );
+                    // The target's PE reconsiders once this service ends.
+                    self.sched(tpe);
+                }
+                self.continue_at(task, now + costs::API_OVERHEAD, ActionResult::Done);
+                StepFlow::Yielded
+            }
+            Action::Alloc(bytes) => {
+                let out = self.mem.alloc(pe, bytes);
+                let (result, cycles) = match out {
+                    AllocOutcome::Ok { addr, cycles } => (ActionResult::Allocated(addr), cycles),
+                    AllocOutcome::Failed { cycles } => (ActionResult::AllocFailed, cycles),
+                };
+                self.stats
+                    .add("mem.mgmt_cycles", costs::MEM_API_OVERHEAD + cycles);
+                self.stats.incr("mem.ops");
+                self.continue_at(task, now + costs::MEM_API_OVERHEAD + cycles, result);
+                StepFlow::Yielded
+            }
+            Action::Free(addr) => {
+                let cycles = self.mem.free(pe, addr);
+                self.stats
+                    .add("mem.mgmt_cycles", costs::MEM_API_OVERHEAD + cycles);
+                self.stats.incr("mem.ops");
+                self.continue_at(
+                    task,
+                    now + costs::MEM_API_OVERHEAD + cycles,
+                    ActionResult::Done,
+                );
+                StepFlow::Yielded
+            }
+            Action::Delay(n) => {
+                let gen = self.tasks[task.index()].generation;
+                self.block_task(task, now + costs::API_OVERHEAD);
+                self.queue.schedule(
+                    now + costs::API_OVERHEAD + n,
+                    Ev::Resume {
+                        task,
+                        gen,
+                        result: ActionResult::Done,
+                    },
+                );
+                StepFlow::Yielded
+            }
+            Action::End => {
+                self.finish_task(task, now);
+                StepFlow::Yielded
+            }
+        }
+    }
+
+    /// Waits for the kernel resource-table guard, returning the cycles
+    /// spent queued behind other PEs' resource commands.
+    fn acquire_res_guard(&mut self, now: SimTime) -> u64 {
+        let wait = self.res_guard_until.cycles_since(now);
+        if wait > 0 {
+            self.stats.add("res.guard_wait", wait);
+        }
+        wait
+    }
+
+    /// Issues one or two resource requests for `task`, blocking it until
+    /// all are granted.
+    fn do_requests(&mut self, task: TaskId, resources: &[ResIdx]) {
+        let now = self.now();
+        let mut cost = costs::API_OVERHEAD + self.acquire_res_guard(now);
+        let mut deadlock = false;
+        for &r in resources {
+            let resp = self
+                .res
+                .as_mut()
+                .expect("run() builds the service")
+                .request(task, r)
+                .unwrap_or_else(|e| panic!("{task} request q{}: {e}", r + 1));
+            cost += resp.cycles;
+            self.trace(
+                "rag",
+                format!(
+                    "{} requests q{} -> {:?}",
+                    self.tasks[task.index()].name,
+                    r + 1,
+                    resp.outcome
+                ),
+            );
+            match resp.outcome {
+                ResOutcome::Granted => {}
+                ResOutcome::Pending => self.awaiting[task.index()].push(r),
+                ResOutcome::Released { .. } => unreachable!("request cannot release"),
+            }
+            deadlock |= resp.deadlock_detected;
+            let at = now + cost;
+            self.process_res_response(&resp, r, at);
+        }
+        let at = now + cost;
+        self.res_guard_until = at;
+        if deadlock {
+            self.flag_deadlock(at);
+        }
+        if self.awaiting[task.index()].is_empty() {
+            let last = *resources.last().expect("non-empty");
+            self.continue_at(task, at, ActionResult::ResourceGranted(last));
+        } else {
+            self.stats.incr("res.blocks");
+            self.block_task(task, at);
+        }
+    }
+
+    /// Handles grants/give-ups triggered by a resource-service response.
+    fn process_res_response(
+        &mut self,
+        resp: &crate::resman::ResResponse,
+        res: ResIdx,
+        at: SimTime,
+    ) {
+        if let ResOutcome::Released {
+            granted_to: Some(w),
+        } = resp.outcome
+        {
+            self.grant_resource(w, res, at);
+        }
+        if let Some((target, resources)) = &resp.give_up {
+            self.queue.schedule(
+                at + costs::GIVE_UP_DELAY,
+                Ev::ForcedRelease {
+                    task: *target,
+                    resources: resources.clone(),
+                },
+            );
+            self.stats.incr("res.giveup_asks");
+            self.trace(
+                "rag",
+                format!(
+                    "DAU asks {} to give up {:?}",
+                    self.tasks[target.index()].name,
+                    resources.iter().map(|r| r + 1).collect::<Vec<_>>()
+                ),
+            );
+        }
+    }
+
+    /// Routes a resource grant to a waiting (or reacquiring) task.
+    fn grant_resource(&mut self, w: TaskId, res: ResIdx, at: SimTime) {
+        self.trace(
+            "rag",
+            format!("q{} granted to {}", res + 1, self.tasks[w.index()].name),
+        );
+        if let Some(pos) = self.reacquiring[w.index()].iter().position(|&r| r == res) {
+            // Silent re-acquisition after a forced give-up.
+            self.reacquiring[w.index()].remove(pos);
+            return;
+        }
+        if let Some(pos) = self.awaiting[w.index()].iter().position(|&r| r == res) {
+            self.awaiting[w.index()].remove(pos);
+            if self.awaiting[w.index()].is_empty() {
+                let gen = self.tasks[w.index()].generation;
+                if let Some(since) = self.tasks[w.index()].blocked_since {
+                    self.stats.sample_hist("res.wait", at.cycles_since(since));
+                }
+                if let Some((res, cycles)) = self.pending_use[w.index()].take() {
+                    // A deferred UseResource: run the job now and wake
+                    // the task at its completion interrupt.
+                    let done = self.soc.resource_mut(res).start_job(at, cycles);
+                    self.queue.schedule(
+                        done + deltaos_mpsoc::interrupt::IRQ_DELIVERY_CYCLES,
+                        Ev::Resume {
+                            task: w,
+                            gen,
+                            result: ActionResult::Done,
+                        },
+                    );
+                } else {
+                    self.queue.schedule(
+                        at,
+                        Ev::Resume {
+                            task: w,
+                            gen,
+                            result: ActionResult::ResourceGranted(res),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Executes a give-up ask on behalf of `task` (Assumption 3): release
+    /// the resources, then re-request each so the task regains them
+    /// later.
+    fn forced_release(&mut self, task: TaskId, resources: Vec<ResIdx>) {
+        let keep: Vec<ResIdx> = {
+            let tcb = &mut self.tasks[task.index()];
+            tcb.body.on_give_up(&resources)
+        };
+        let now = self.now();
+        for r in keep {
+            let owner = self.res.as_ref().and_then(|rs| rs.owner(r));
+            if owner != Some(task) {
+                continue; // already released meanwhile
+            }
+            let resp = self
+                .res
+                .as_mut()
+                .expect("service present")
+                .release(task, r)
+                .expect("forced release of a held resource");
+            self.trace(
+                "rag",
+                format!("{} gives up q{}", self.tasks[task.index()].name, r + 1),
+            );
+            self.stats.incr("res.giveups_executed");
+            self.process_res_response(&resp, r, now);
+            // Re-request: the task still needs the resource to finish
+            // ("p2 has to request q2 again").
+            let resp2 = self
+                .res
+                .as_mut()
+                .expect("service present")
+                .request(task, r)
+                .expect("re-request after give-up");
+            match resp2.outcome {
+                ResOutcome::Granted => {}
+                ResOutcome::Pending => self.reacquiring[task.index()].push(r),
+                ResOutcome::Released { .. } => unreachable!(),
+            }
+            self.process_res_response(&resp2, r, now);
+            if resp2.deadlock_detected {
+                // A residual cycle (multi-cycle deadlock or an unlucky
+                // re-request): trigger another recovery round.
+                self.flag_deadlock(now);
+            }
+        }
+    }
+
+    /// Boosts `owner`'s effective priority to at least `prio` and follows
+    /// the blocking chain (transitive priority inheritance): if the owner
+    /// is itself blocked on a lock, that lock's owner inherits too.
+    fn boost_chain(&mut self, owner: TaskId, prio: Priority) {
+        let mut cur = owner;
+        for _ in 0..self.tasks.len() {
+            let tcb = &mut self.tasks[cur.index()];
+            if prio.is_higher_than(tcb.effective_priority) {
+                tcb.effective_priority = prio;
+                self.stats.incr("lock.inheritance_boosts");
+                let pe = tcb.pe.index();
+                self.sched(pe);
+            }
+            let Some(l) = self.tasks[cur.index()].waiting_lock else {
+                break;
+            };
+            match self.locks.owner(l) {
+                Some(next) if next != cur => cur = next,
+                _ => break,
+            }
+        }
+    }
+
+    /// Recomputes a task's effective priority from its base priority and
+    /// currently held locks (inheritance: highest blocked waiter; IPCP:
+    /// highest ceiling of held locks).
+    fn recompute_priority(&mut self, task: TaskId) {
+        let mut prio = self.tasks[task.index()].base_priority;
+        let protocol = self.locks.protocol();
+        for &l in &self.held_locks[task.index()] {
+            match protocol {
+                crate::lock::LockProtocol::Inheritance => {
+                    if let Some(w) = self.locks.max_waiter_priority(l) {
+                        prio = prio.higher_of(w);
+                    }
+                }
+                crate::lock::LockProtocol::ImmediateCeiling => {
+                    prio = prio.higher_of(self.locks.ceiling(l));
+                }
+            }
+        }
+        let tcb = &mut self.tasks[task.index()];
+        tcb.effective_priority = prio;
+        let pe = tcb.pe.index();
+        self.sched(pe);
+    }
+
+    fn flag_deadlock(&mut self, at: SimTime) {
+        if self.cfg.recover_on_deadlock {
+            // Detect-and-recover: preempt the lowest-priority cycle
+            // participant through the give-up machinery instead of
+            // halting.
+            let rs = self.res.as_ref().expect("service present");
+            if let Some(victim) = rs.recovery_victim() {
+                let held = rs.held_by(victim);
+                self.stats.incr("res.recoveries");
+                self.trace(
+                    "rag",
+                    format!(
+                        "DEADLOCK detected: recovering by preempting {}",
+                        self.tasks[victim.index()].name
+                    ),
+                );
+                self.queue.schedule(
+                    at + costs::GIVE_UP_DELAY,
+                    Ev::ForcedRelease {
+                        task: victim,
+                        resources: held,
+                    },
+                );
+            }
+            return;
+        }
+        if self.deadlock_at.is_none() {
+            self.deadlock_at = Some(at);
+            self.trace("rag", "DEADLOCK detected".to_string());
+            self.stats.incr("res.deadlocks_detected");
+        }
+    }
+}
+
+enum StepFlow {
+    Continue(ActionResult),
+    Yielded,
+}

@@ -1,0 +1,61 @@
+//! # deltaos-rtos — an Atalanta-like multiprocessor RTOS model
+//!
+//! A behavioural model of the Atalanta v0.3 shared-memory multiprocessor
+//! RTOS (Section 2.1 of the paper): all PEs execute the same kernel over
+//! shared memory, with
+//!
+//! * per-PE **preemptive priority scheduling** (FIFO among equals) and
+//!   context-switch costs,
+//! * **IPC primitives**: counting semaphores, mailboxes/queues, event
+//!   flags ([`ipc`]),
+//! * **lock-based synchronization** with priority inheritance in
+//!   software or the SoCLC with IPCP in hardware ([`lock`]),
+//! * **dynamic memory management** via a real metered free-list
+//!   allocator or the SoCDMMU ([`mem`]),
+//! * a **resource manager** with the paper's five deadlock policies
+//!   ([`resman`]): none, software/hardware detection (PDDA/DDU),
+//!   software/hardware avoidance (DAA/DAU).
+//!
+//! Pick a configuration with [`kernel::KernelConfig`], spawn
+//! [`task::TaskBody`] state machines, and [`kernel::Kernel::run`] the
+//! whole MPSoC deterministically.
+//!
+//! # Example
+//!
+//! ```
+//! use deltaos_core::Priority;
+//! use deltaos_mpsoc::pe::PeId;
+//! use deltaos_mpsoc::platform::PlatformConfig;
+//! use deltaos_rtos::kernel::{Kernel, KernelConfig};
+//! use deltaos_rtos::resman::ResPolicy;
+//! use deltaos_rtos::task::{Action, Script};
+//! use deltaos_sim::SimTime;
+//!
+//! // An RTOS4-style system: hardware deadlock avoidance.
+//! let mut k = Kernel::new(KernelConfig {
+//!     platform: PlatformConfig::small(),
+//!     res_policy: ResPolicy::AvoidHw,
+//!     ..Default::default()
+//! });
+//! k.spawn("producer", PeId(0), Priority::new(1), SimTime::ZERO,
+//!     Box::new(Script::new(vec![
+//!         Action::Request(0),
+//!         Action::UseResource { res: 0, cycles: Some(500) },
+//!         Action::Release(0),
+//!         Action::End,
+//!     ])));
+//! let report = k.run(None);
+//! assert!(report.all_finished);
+//! ```
+
+pub mod costs;
+pub mod ipc;
+pub mod kernel;
+pub mod lock;
+pub mod mem;
+pub mod resman;
+pub mod task;
+
+pub use kernel::{Kernel, KernelConfig, LockSetup, MemSetup, RunReport};
+pub use resman::ResPolicy;
+pub use task::{Action, ActionResult, Script, TaskBody, TaskId};

@@ -1,0 +1,457 @@
+//! Lock-based synchronization: software locks with priority inheritance
+//! (RTOS5) vs the SoCLC with the immediate priority ceiling protocol
+//! (RTOS6).
+//!
+//! Both backends expose one API to the kernel; they differ in
+//!
+//! * **mechanism cost** — the software path test-and-sets a lock word in
+//!   shared memory and manipulates waiter queues and inheritance records
+//!   under a kernel semaphore (every touch a bus access), while the SoCLC
+//!   path is a pair of memory-mapped accesses answered by the unit in a
+//!   clock;
+//! * **priority protocol** — the software backend implements classic
+//!   priority inheritance (the owner inherits a blocked higher-priority
+//!   waiter's priority); the SoCLC backend implements IPCP (the owner is
+//!   raised to the lock's ceiling immediately on acquire), which is what
+//!   prevents `task_2` from preempting `task_3` in Figure 20;
+//! * **hand-off** — the SoCLC picks the next owner in hardware and
+//!   interrupts its PE; the software path scans the waiter queue and
+//!   sends an IPI.
+
+use deltaos_core::cost::{CostModel, Meter};
+use deltaos_core::Priority;
+use deltaos_hwunits::soclc::{self, Soclc, TaskToken};
+use deltaos_mpsoc::bus::FIRST_WORD_CYCLES;
+use deltaos_mpsoc::pe::PeId;
+
+use crate::task::TaskId;
+
+pub use deltaos_hwunits::soclc::LockId;
+
+/// Which priority protocol the lock service applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockProtocol {
+    /// Classic priority inheritance (Atalanta's software protocol).
+    Inheritance,
+    /// Immediate priority ceiling (the SoCLC hardware protocol).
+    ImmediateCeiling,
+}
+
+/// Outcome of an acquire attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AcquireOutcome {
+    /// Granted. `raise_to` carries the IPCP ceiling when the protocol
+    /// mandates an immediate priority raise.
+    Granted {
+        /// Mechanism cycles consumed (excluding kernel API overhead).
+        cycles: u64,
+        /// Priority the acquirer must run at, if the protocol raises it.
+        raise_to: Option<Priority>,
+    },
+    /// Lock busy: the caller must block. `boost_owner` asks the kernel to
+    /// raise the owner's effective priority (priority inheritance).
+    Blocked {
+        /// Mechanism cycles consumed.
+        cycles: u64,
+        /// Current owner of the lock.
+        owner: TaskId,
+        /// Inheritance boost to apply to the owner.
+        boost_owner: Option<Priority>,
+    },
+}
+
+/// Outcome of a release.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockReleaseOutcome {
+    /// Mechanism cycles consumed.
+    pub cycles: u64,
+    /// Next owner (already granted the lock), with the priority it should
+    /// be raised to under IPCP.
+    pub handed_to: Option<(TaskId, Option<Priority>)>,
+}
+
+#[derive(Debug, Clone)]
+struct SwLock {
+    owner: Option<TaskId>,
+    waiters: Vec<(TaskId, Priority, u64)>, // (task, prio, arrival seq)
+    ceiling: Priority,
+}
+
+/// The lock service with its two interchangeable backends.
+#[derive(Debug)]
+pub enum LockService {
+    /// Software locks in shared memory (priority inheritance).
+    Software {
+        /// Lock table (lives in kernel shared memory).
+        locks: Vec<SwLockView>,
+        /// Arrival counter for FIFO tie-breaks.
+        seq: u64,
+    },
+    /// SoCLC-backed locks (immediate priority ceiling).
+    Soclc {
+        /// The hardware unit.
+        unit: Soclc,
+    },
+}
+
+/// Public view of a software lock's state (owner + waiters), kept simple
+/// so the kernel can introspect for scheduling decisions.
+#[derive(Debug, Clone)]
+pub struct SwLockView {
+    inner: SwLock,
+}
+
+impl LockService {
+    /// Creates the software backend with `count` locks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn software(count: u16) -> Self {
+        assert!(count > 0, "at least one lock required");
+        LockService::Software {
+            locks: (0..count)
+                .map(|_| SwLockView {
+                    inner: SwLock {
+                        owner: None,
+                        waiters: Vec::new(),
+                        ceiling: Priority::HIGHEST,
+                    },
+                })
+                .collect(),
+            seq: 0,
+        }
+    }
+
+    /// Creates the SoCLC backend (`short` + `long` locks, as the
+    /// generator parameterizes it).
+    pub fn soclc(short: u16, long: u16) -> Self {
+        LockService::Soclc {
+            unit: Soclc::generate(short, long),
+        }
+    }
+
+    /// The protocol this backend applies.
+    pub fn protocol(&self) -> LockProtocol {
+        match self {
+            LockService::Software { .. } => LockProtocol::Inheritance,
+            LockService::Soclc { .. } => LockProtocol::ImmediateCeiling,
+        }
+    }
+
+    /// Number of locks.
+    pub fn lock_count(&self) -> usize {
+        match self {
+            LockService::Software { locks, .. } => locks.len(),
+            LockService::Soclc { unit } => unit.lock_count(),
+        }
+    }
+
+    /// Programs a lock's ceiling priority (IPCP) — ignored by the
+    /// inheritance backend except for introspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is out of range.
+    pub fn set_ceiling(&mut self, lock: LockId, ceiling: Priority) {
+        match self {
+            LockService::Software { locks, .. } => {
+                locks[lock.0 as usize].inner.ceiling = ceiling;
+            }
+            LockService::Soclc { unit } => unit.set_ceiling(lock, ceiling),
+        }
+    }
+
+    /// Mechanism cost of an uncontended software acquire: disable
+    /// interrupts, test-and-set the lock word over the bus, record
+    /// ownership, PI bookkeeping init, re-enable. Derived from the op
+    /// counts of the equivalent C implementation.
+    fn sw_acquire_cost(contended: bool) -> u64 {
+        let mut m = Meter::new();
+        if contended {
+            // Lock word RMW + owner lookup + waiter enqueue (head/tail,
+            // node links) + inheritance record + priority compare.
+            m.load(24);
+            m.store(18);
+            m.op(52);
+            m.branch(18);
+        } else {
+            // Lock word RMW + owner store + holder-list insert.
+            m.load(14);
+            m.store(10);
+            m.op(36);
+            m.branch(12);
+        }
+        CostModel::MPC755_SHARED.cycles(&m)
+    }
+
+    /// Mechanism cost of a software release (waiter scan of length `k`,
+    /// hand-off bookkeeping, priority restore, IPI).
+    fn sw_release_cost(waiters: u64) -> u64 {
+        let mut m = Meter::new();
+        m.load(12 + 4 * waiters);
+        m.store(10);
+        m.op(30 + 4 * waiters);
+        m.branch(10 + 2 * waiters);
+        CostModel::MPC755_SHARED.cycles(&m)
+    }
+
+    /// Mechanism cost of a SoCLC operation: one memory-mapped access
+    /// (first-word bus timing) + the unit's clock + status decode.
+    fn hw_op_cost() -> u64 {
+        FIRST_WORD_CYCLES + soclc::UNIT_CYCLES + 4
+    }
+
+    /// Attempts to acquire `lock` for `task` on `pe` at base priority
+    /// `prio`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is out of range or on re-acquisition by the
+    /// owner (locks are non-recursive, as in Atalanta).
+    pub fn acquire(
+        &mut self,
+        lock: LockId,
+        task: TaskId,
+        pe: PeId,
+        prio: Priority,
+    ) -> AcquireOutcome {
+        match self {
+            LockService::Software { locks, seq } => {
+                let l = &mut locks[lock.0 as usize].inner;
+                match l.owner {
+                    None => {
+                        l.owner = Some(task);
+                        AcquireOutcome::Granted {
+                            cycles: Self::sw_acquire_cost(false),
+                            raise_to: None, // PI raises only on contention
+                        }
+                    }
+                    Some(owner) => {
+                        assert!(owner != task, "non-recursive lock re-acquired");
+                        *seq += 1;
+                        l.waiters.push((task, prio, *seq));
+                        AcquireOutcome::Blocked {
+                            cycles: Self::sw_acquire_cost(true),
+                            owner,
+                            // Priority inheritance: the owner inherits the
+                            // blocked waiter's priority if higher.
+                            boost_owner: Some(prio),
+                        }
+                    }
+                }
+            }
+            LockService::Soclc { unit } => {
+                let token = TaskToken(task.0);
+                match unit.acquire(deltaos_sim::SimTime::ZERO, lock, token, pe, prio) {
+                    soclc::AcquireResult::Granted { ceiling } => AcquireOutcome::Granted {
+                        cycles: Self::hw_op_cost(),
+                        raise_to: Some(ceiling),
+                    },
+                    soclc::AcquireResult::Queued { owner } => AcquireOutcome::Blocked {
+                        cycles: Self::hw_op_cost(),
+                        owner: TaskId(owner.0),
+                        boost_owner: None, // IPCP already bounds blocking
+                    },
+                }
+            }
+        }
+    }
+
+    /// Releases `lock`; hands it to the best waiter per the backend's
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` does not own `lock`.
+    pub fn release(
+        &mut self,
+        lock: LockId,
+        task: TaskId,
+        interrupts: &mut deltaos_mpsoc::interrupt::InterruptController,
+        now: deltaos_sim::SimTime,
+    ) -> LockReleaseOutcome {
+        match self {
+            LockService::Software { locks, .. } => {
+                let l = &mut locks[lock.0 as usize].inner;
+                assert_eq!(l.owner, Some(task), "release by non-owner");
+                let waiters = l.waiters.len() as u64;
+                if l.waiters.is_empty() {
+                    l.owner = None;
+                    return LockReleaseOutcome {
+                        cycles: Self::sw_release_cost(0),
+                        handed_to: None,
+                    };
+                }
+                let best = l
+                    .waiters
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (_, p, s))| (*p, *s))
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                let (t, _, _) = l.waiters.remove(best);
+                l.owner = Some(t);
+                LockReleaseOutcome {
+                    cycles: Self::sw_release_cost(waiters),
+                    handed_to: Some((t, None)),
+                }
+            }
+            LockService::Soclc { unit } => {
+                // IPCP: the new owner runs at the lock's ceiling.
+                let ceiling = unit.ceiling(lock);
+                let r = unit.release(now, lock, TaskToken(task.0), interrupts);
+                LockReleaseOutcome {
+                    cycles: Self::hw_op_cost(),
+                    handed_to: r.handed_to.map(|(t, _)| (TaskId(t.0), Some(ceiling))),
+                }
+            }
+        }
+    }
+
+    /// The current owner of `lock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is out of range.
+    pub fn owner(&self, lock: LockId) -> Option<TaskId> {
+        match self {
+            LockService::Software { locks, .. } => locks[lock.0 as usize].inner.owner,
+            LockService::Soclc { unit } => unit.owner(lock).map(|t| TaskId(t.0)),
+        }
+    }
+
+    /// The programmed ceiling of `lock` (IPCP recomputation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is out of range.
+    pub fn ceiling(&self, lock: LockId) -> Priority {
+        match self {
+            LockService::Software { locks, .. } => locks[lock.0 as usize].inner.ceiling,
+            LockService::Soclc { unit } => unit.ceiling(lock),
+        }
+    }
+
+    /// Highest priority among tasks currently waiting on `lock` (for
+    /// inheritance recomputation after release).
+    pub fn max_waiter_priority(&self, lock: LockId) -> Option<Priority> {
+        match self {
+            LockService::Software { locks, .. } => locks[lock.0 as usize]
+                .inner
+                .waiters
+                .iter()
+                .map(|(_, p, _)| *p)
+                .min(), // numerically smallest = highest
+            LockService::Soclc { .. } => None, // IPCP needs no inheritance
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltaos_mpsoc::interrupt::InterruptController;
+    use deltaos_sim::SimTime;
+
+    fn ints() -> InterruptController {
+        InterruptController::new(4)
+    }
+
+    #[test]
+    fn software_uncontended_acquire_costs_hundreds() {
+        let mut svc = LockService::software(2);
+        match svc.acquire(LockId(0), TaskId(0), PeId(0), Priority::new(2)) {
+            AcquireOutcome::Granted { cycles, raise_to } => {
+                assert!(cycles > 80 && cycles < 400, "got {cycles}");
+                assert_eq!(raise_to, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn soclc_acquire_is_an_order_cheaper() {
+        let mut sw = LockService::software(1);
+        let mut hw = LockService::soclc(1, 0);
+        let swc = match sw.acquire(LockId(0), TaskId(0), PeId(0), Priority::new(2)) {
+            AcquireOutcome::Granted { cycles, .. } => cycles,
+            _ => unreachable!(),
+        };
+        let hwc = match hw.acquire(LockId(0), TaskId(0), PeId(0), Priority::new(2)) {
+            AcquireOutcome::Granted { cycles, .. } => cycles,
+            _ => unreachable!(),
+        };
+        assert!(swc > 5 * hwc, "sw {swc} vs hw {hwc}");
+    }
+
+    #[test]
+    fn soclc_grant_returns_ceiling() {
+        let mut hw = LockService::soclc(1, 0);
+        hw.set_ceiling(LockId(0), Priority::new(1));
+        match hw.acquire(LockId(0), TaskId(0), PeId(0), Priority::new(4)) {
+            AcquireOutcome::Granted { raise_to, .. } => {
+                assert_eq!(raise_to, Some(Priority::new(1)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(hw.protocol(), LockProtocol::ImmediateCeiling);
+    }
+
+    #[test]
+    fn software_contention_asks_for_inheritance() {
+        let mut svc = LockService::software(1);
+        svc.acquire(LockId(0), TaskId(3), PeId(0), Priority::new(5));
+        match svc.acquire(LockId(0), TaskId(1), PeId(1), Priority::new(1)) {
+            AcquireOutcome::Blocked {
+                owner, boost_owner, ..
+            } => {
+                assert_eq!(owner, TaskId(3));
+                assert_eq!(boost_owner, Some(Priority::new(1)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(svc.max_waiter_priority(LockId(0)), Some(Priority::new(1)));
+    }
+
+    #[test]
+    fn software_release_hands_to_highest_priority() {
+        let mut svc = LockService::software(1);
+        let mut ic = ints();
+        svc.acquire(LockId(0), TaskId(0), PeId(0), Priority::new(1));
+        svc.acquire(LockId(0), TaskId(1), PeId(1), Priority::new(4));
+        svc.acquire(LockId(0), TaskId(2), PeId(2), Priority::new(2));
+        let out = svc.release(LockId(0), TaskId(0), &mut ic, SimTime::ZERO);
+        assert_eq!(out.handed_to, Some((TaskId(2), None)));
+        assert_eq!(svc.owner(LockId(0)), Some(TaskId(2)));
+    }
+
+    #[test]
+    fn release_cost_grows_with_waiters() {
+        let a = LockService::sw_release_cost(0);
+        let b = LockService::sw_release_cost(4);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn soclc_release_raises_wakeup_interrupt_for_long_locks() {
+        let mut svc = LockService::soclc(0, 1);
+        let mut ic = ints();
+        svc.acquire(LockId(0), TaskId(0), PeId(0), Priority::new(1));
+        svc.acquire(LockId(0), TaskId(1), PeId(2), Priority::new(2));
+        let out = svc.release(LockId(0), TaskId(0), &mut ic, SimTime::ZERO);
+        assert_eq!(out.handed_to, Some((TaskId(1), Some(Priority::HIGHEST))));
+        let ready = ic.take_ready(SimTime::from_cycles(5));
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].pe, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-owner")]
+    fn release_by_non_owner_panics() {
+        let mut svc = LockService::software(1);
+        let mut ic = ints();
+        svc.acquire(LockId(0), TaskId(0), PeId(0), Priority::new(1));
+        svc.release(LockId(0), TaskId(5), &mut ic, SimTime::ZERO);
+    }
+}

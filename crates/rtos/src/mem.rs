@@ -1,0 +1,519 @@
+//! Dynamic memory management: software `malloc`/`free` (the glibc
+//! stand-in of Table 11) vs the SoCDMMU (Table 12).
+//!
+//! [`SwAllocator`] is a real free-list allocator — headers, first-fit
+//! search, splitting, address-ordered coalescing — whose cycle cost is
+//! *metered from the work it actually does*: every free-list node visited
+//! is a couple of shared-memory loads, every split/merge a handful of
+//! stores. That is what makes the SPLASH-2 memory-management shares in
+//! the Table 11 reproduction emerge from execution instead of being
+//! constants. The [`SocdmmuAllocator`] wraps the hardware unit: two
+//! memory-mapped accesses and a fixed unit latency, independent of heap
+//! state.
+
+use deltaos_core::cost::{CostModel, Meter};
+use deltaos_hwunits::socdmmu::{Socdmmu, SocdmmuError};
+use deltaos_mpsoc::bus::FIRST_WORD_CYCLES;
+use deltaos_mpsoc::memory::MemoryMap;
+use deltaos_mpsoc::pe::PeId;
+use deltaos_sim::Stats;
+
+use std::collections::BTreeMap;
+
+/// Allocation fit policy for the software allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FitPolicy {
+    /// Take the first hole that fits (glibc-like).
+    #[default]
+    FirstFit,
+    /// Scan all holes, take the tightest fit (ablation study).
+    BestFit,
+}
+
+/// Header bytes per allocation (size + status words, as in dlmalloc-style
+/// allocators).
+pub const HEADER_BYTES: u32 = 8;
+
+/// Minimum split remainder worth keeping as a free block.
+const MIN_SPLIT: u32 = 16;
+
+/// Result of an allocation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocOutcome {
+    /// Success: usable address (past the header).
+    Ok {
+        /// The address handed to the task.
+        addr: u32,
+        /// Service cycles.
+        cycles: u64,
+    },
+    /// Out of memory.
+    Failed {
+        /// Service cycles spent discovering the failure.
+        cycles: u64,
+    },
+}
+
+/// The software allocator.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_rtos::mem::{AllocOutcome, SwAllocator};
+///
+/// let mut heap = SwAllocator::new(0x1000, 64 * 1024, Default::default());
+/// let a = match heap.malloc(100) {
+///     AllocOutcome::Ok { addr, .. } => addr,
+///     _ => unreachable!(),
+/// };
+/// let cycles = heap.free(a);
+/// assert!(cycles > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SwAllocator {
+    base: u32,
+    size: u32,
+    policy: FitPolicy,
+    /// Free holes: address → size, address-ordered (for coalescing).
+    holes: BTreeMap<u32, u32>,
+    /// Live allocations: user address → block size (header included).
+    live: BTreeMap<u32, u32>,
+    stats: Stats,
+}
+
+impl SwAllocator {
+    /// Creates an allocator over `[base, base + size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is too small to hold a single header.
+    pub fn new(base: u32, size: u32, policy: FitPolicy) -> Self {
+        assert!(size > HEADER_BYTES + MIN_SPLIT, "heap too small");
+        let mut holes = BTreeMap::new();
+        holes.insert(base, size);
+        SwAllocator {
+            base,
+            size,
+            policy,
+            holes,
+            live: BTreeMap::new(),
+            stats: Stats::new(),
+        }
+    }
+
+    /// An allocator over the platform's global heap.
+    pub fn platform_heap(policy: FitPolicy) -> Self {
+        Self::new(MemoryMap::HEAP_BASE, MemoryMap::HEAP_SIZE, policy)
+    }
+
+    /// Bytes currently free (sum of holes).
+    pub fn free_bytes(&self) -> u32 {
+        self.holes.values().sum()
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of free holes (fragmentation indicator).
+    pub fn hole_count(&self) -> usize {
+        self.holes.len()
+    }
+
+    fn round(bytes: u32) -> u32 {
+        (bytes + HEADER_BYTES + 7) & !7
+    }
+
+    /// Allocates `bytes`; returns the outcome with the metered cycle
+    /// cost of the search + split + header writes.
+    pub fn malloc(&mut self, bytes: u32) -> AllocOutcome {
+        let need = Self::round(bytes.max(1));
+        let mut meter = Meter::new();
+        // Entry bookkeeping: arena lock acquisition (RMW over the bus),
+        // size-class/bin computation, boundary-tag checks — dlmalloc-era
+        // work over shared memory.
+        meter.load(10);
+        meter.store(2);
+        meter.op(26);
+        meter.branch(8);
+
+        let mut chosen: Option<(u32, u32)> = None;
+        for (&addr, &sz) in &self.holes {
+            // Each node visit: load header link + size, compare.
+            meter.load(2);
+            meter.op(2);
+            meter.branch(1);
+            if sz >= need {
+                match self.policy {
+                    FitPolicy::FirstFit => {
+                        chosen = Some((addr, sz));
+                        break;
+                    }
+                    FitPolicy::BestFit => {
+                        if chosen.is_none_or(|(_, csz)| sz < csz) {
+                            chosen = Some((addr, sz));
+                        }
+                    }
+                }
+            }
+        }
+
+        let Some((addr, sz)) = chosen else {
+            self.stats.incr("mem.alloc_failures");
+            return AllocOutcome::Failed {
+                cycles: CostModel::MPC755_SHARED.cycles(&meter),
+            };
+        };
+
+        self.holes.remove(&addr);
+        let remainder = sz - need;
+        if remainder >= MIN_SPLIT {
+            // Split: write the new hole's header.
+            self.holes.insert(addr + need, remainder);
+            meter.store(2);
+            meter.op(4);
+        }
+        let user = addr + HEADER_BYTES;
+        self.live
+            .insert(user, if remainder >= MIN_SPLIT { need } else { sz });
+        // Boundary-tag writes (header + footer), free-list unlink, arena
+        // unlock.
+        meter.store(6);
+        meter.load(3);
+        meter.op(14);
+        meter.branch(3);
+        self.stats.incr("mem.allocs");
+        self.stats
+            .sample("mem.alloc_search_len", self.holes.len() as u64 + 1);
+        AllocOutcome::Ok {
+            addr: user,
+            cycles: CostModel::MPC755_SHARED.cycles(&meter),
+        }
+    }
+
+    /// Frees the allocation at `addr`, coalescing with adjacent holes.
+    /// Returns the metered cycle cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free or a pointer that was never allocated —
+    /// heap corruption is a model bug, not a recoverable condition.
+    pub fn free(&mut self, addr: u32) -> u64 {
+        let size = self
+            .live
+            .remove(&addr)
+            .unwrap_or_else(|| panic!("free of unallocated address {addr:#x}"));
+        let block = addr - HEADER_BYTES;
+        let mut meter = Meter::new();
+        // Header + footer reads, sanity checks, arena lock.
+        meter.load(8);
+        meter.store(2);
+        meter.op(18);
+        meter.branch(6);
+
+        let mut start = block;
+        let mut len = size;
+        // Coalesce with predecessor (find the hole just below).
+        if let Some((&paddr, &psz)) = self.holes.range(..block).next_back() {
+            meter.load(2);
+            meter.branch(1);
+            if paddr + psz == block {
+                self.holes.remove(&paddr);
+                start = paddr;
+                len += psz;
+                meter.store(2);
+                meter.op(4);
+            }
+        }
+        // Coalesce with successor.
+        if let Some((&naddr, &nsz)) = self.holes.range(start + len..).next() {
+            meter.load(2);
+            meter.branch(1);
+            if naddr == start + len {
+                self.holes.remove(&naddr);
+                len += nsz;
+                meter.store(2);
+                meter.op(4);
+            }
+        }
+        self.holes.insert(start, len);
+        // Free-list insert (bin head/links), boundary tags, unlock.
+        meter.store(5);
+        meter.load(3);
+        meter.op(12);
+        meter.branch(2);
+        self.stats.incr("mem.frees");
+        debug_assert!(start >= self.base && start + len <= self.base + self.size);
+        CostModel::MPC755_SHARED.cycles(&meter)
+    }
+
+    /// Allocation counters and search-length samples.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+/// The SoCDMMU-backed allocator: deterministic hardware allocation.
+#[derive(Debug, Clone)]
+pub struct SocdmmuAllocator {
+    unit: Socdmmu,
+}
+
+impl SocdmmuAllocator {
+    /// Wraps a generated unit.
+    pub fn new(unit: Socdmmu) -> Self {
+        SocdmmuAllocator { unit }
+    }
+
+    /// Fixed service cost: command write (MMIO), unit execution, status
+    /// read (MMIO).
+    pub fn op_cost() -> u64 {
+        FIRST_WORD_CYCLES + deltaos_hwunits::socdmmu::UNIT_CYCLES + FIRST_WORD_CYCLES
+    }
+
+    /// Allocates via the hardware unit.
+    pub fn alloc(&mut self, pe: PeId, bytes: u32) -> AllocOutcome {
+        match self.unit.alloc(pe, bytes) {
+            Ok(a) => AllocOutcome::Ok {
+                addr: a.addr,
+                cycles: Self::op_cost(),
+            },
+            Err(_) => AllocOutcome::Failed {
+                cycles: Self::op_cost(),
+            },
+        }
+    }
+
+    /// Deallocates via the hardware unit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the unit's protection/validity errors.
+    pub fn free(&mut self, pe: PeId, addr: u32) -> Result<u64, SocdmmuError> {
+        self.unit.dealloc(pe, addr)?;
+        Ok(Self::op_cost())
+    }
+
+    /// The wrapped unit.
+    pub fn unit(&self) -> &Socdmmu {
+        &self.unit
+    }
+}
+
+/// The kernel's memory service: one of the two backends.
+#[derive(Debug)]
+pub enum MemService {
+    /// Software allocator (RTOS5 and every configuration without the
+    /// SoCDMMU).
+    Software(SwAllocator),
+    /// SoCDMMU hardware unit (RTOS7).
+    Socdmmu(SocdmmuAllocator),
+}
+
+impl MemService {
+    /// Allocates `bytes` on behalf of a task running on `pe`.
+    pub fn alloc(&mut self, pe: PeId, bytes: u32) -> AllocOutcome {
+        match self {
+            MemService::Software(a) => a.malloc(bytes),
+            MemService::Socdmmu(a) => a.alloc(pe, bytes),
+        }
+    }
+
+    /// Frees `addr`; returns the service cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid frees (heap corruption is a model bug).
+    pub fn free(&mut self, pe: PeId, addr: u32) -> u64 {
+        match self {
+            MemService::Software(a) => a.free(addr),
+            MemService::Socdmmu(a) => a.free(pe, addr).expect("invalid SoCDMMU free"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> SwAllocator {
+        SwAllocator::new(0x1000, 64 * 1024, FitPolicy::FirstFit)
+    }
+
+    #[test]
+    fn malloc_returns_aligned_nonoverlapping_blocks() {
+        let mut h = heap();
+        let mut addrs = Vec::new();
+        for _ in 0..10 {
+            match h.malloc(100) {
+                AllocOutcome::Ok { addr, .. } => addrs.push(addr),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        for w in addrs.windows(2) {
+            assert!(w[1] >= w[0] + 100, "blocks overlap");
+        }
+        for a in &addrs {
+            assert_eq!(a % 8, 0, "unaligned address {a:#x}");
+        }
+        assert_eq!(h.live_count(), 10);
+    }
+
+    #[test]
+    fn free_restores_capacity_via_coalescing() {
+        let mut h = heap();
+        let before = h.free_bytes();
+        let mut addrs = Vec::new();
+        for _ in 0..20 {
+            if let AllocOutcome::Ok { addr, .. } = h.malloc(512) {
+                addrs.push(addr);
+            }
+        }
+        for a in addrs {
+            h.free(a);
+        }
+        assert_eq!(
+            h.free_bytes(),
+            before,
+            "full coalescing must restore the heap"
+        );
+        assert_eq!(h.hole_count(), 1, "all holes must merge back to one");
+    }
+
+    #[test]
+    fn out_of_memory_reported_not_panicked() {
+        let mut h = SwAllocator::new(0, 1024, FitPolicy::FirstFit);
+        let mut got = 0;
+        loop {
+            match h.malloc(100) {
+                AllocOutcome::Ok { .. } => got += 1,
+                AllocOutcome::Failed { cycles } => {
+                    assert!(cycles > 0);
+                    break;
+                }
+            }
+            assert!(got < 100, "runaway");
+        }
+        assert!(got >= 8, "expected ~9 blocks out of 1 KB, got {got}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn double_free_panics() {
+        let mut h = heap();
+        let AllocOutcome::Ok { addr, .. } = h.malloc(64) else {
+            unreachable!()
+        };
+        h.free(addr);
+        h.free(addr);
+    }
+
+    #[test]
+    fn first_fit_cost_grows_with_fragmentation() {
+        let mut h = heap();
+        // Fragment: allocate many, free every other one.
+        let addrs: Vec<u32> = (0..40)
+            .filter_map(|_| match h.malloc(256) {
+                AllocOutcome::Ok { addr, .. } => Some(addr),
+                _ => None,
+            })
+            .collect();
+        for a in addrs.iter().step_by(2) {
+            h.free(*a);
+        }
+        // A large request now walks past many small holes.
+        let frag_cost = match h.malloc(2048) {
+            AllocOutcome::Ok { cycles, .. } => cycles,
+            AllocOutcome::Failed { cycles } => cycles,
+        };
+        let fresh_cost = match heap().malloc(2048) {
+            AllocOutcome::Ok { cycles, .. } => cycles,
+            _ => unreachable!(),
+        };
+        assert!(
+            frag_cost > fresh_cost,
+            "fragmented search {frag_cost} should exceed fresh {fresh_cost}"
+        );
+    }
+
+    #[test]
+    fn best_fit_picks_tightest_hole() {
+        let alloc = |h: &mut SwAllocator, n: u32| match h.malloc(n) {
+            AllocOutcome::Ok { addr, .. } => addr,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Layout: [big][guard][tight][guard][wilderness]; free big and
+        // tight so two non-adjacent holes exist.
+        let mut best = SwAllocator::new(0, 64 * 1024, FitPolicy::BestFit);
+        let big = alloc(&mut best, 2000);
+        let _g1 = alloc(&mut best, 16);
+        let tight = alloc(&mut best, 100);
+        let _g2 = alloc(&mut best, 16);
+        best.free(big);
+        best.free(tight);
+        assert_eq!(
+            alloc(&mut best, 100),
+            tight,
+            "best fit must reuse the tight hole"
+        );
+        // Same layout under first fit takes the big (earlier) hole.
+        let mut first = SwAllocator::new(0, 64 * 1024, FitPolicy::FirstFit);
+        let big = alloc(&mut first, 2000);
+        let _g1 = alloc(&mut first, 16);
+        let tight = alloc(&mut first, 100);
+        let _g2 = alloc(&mut first, 16);
+        first.free(big);
+        first.free(tight);
+        assert_eq!(
+            alloc(&mut first, 100),
+            big,
+            "first fit must take the earlier hole"
+        );
+    }
+
+    #[test]
+    fn socdmmu_backend_is_constant_cost() {
+        let mut svc = MemService::Socdmmu(SocdmmuAllocator::new(Socdmmu::generate(32, 4096)));
+        let c1 = match svc.alloc(PeId(0), 100) {
+            AllocOutcome::Ok { cycles, .. } => cycles,
+            _ => unreachable!(),
+        };
+        // Fragment heavily; cost must not change.
+        let mut addrs = Vec::new();
+        for _ in 0..10 {
+            if let AllocOutcome::Ok { addr, .. } = svc.alloc(PeId(0), 4096) {
+                addrs.push(addr);
+            }
+        }
+        for a in addrs.iter().step_by(2) {
+            svc.free(PeId(0), *a);
+        }
+        let c2 = match svc.alloc(PeId(0), 100) {
+            AllocOutcome::Ok { cycles, .. } => cycles,
+            _ => unreachable!(),
+        };
+        assert_eq!(c1, c2, "hardware allocation must be state-independent");
+        assert!(c1 <= 16, "SoCDMMU ops are a few cycles, got {c1}");
+    }
+
+    #[test]
+    fn sw_cost_exceeds_hw_cost_substantially() {
+        let mut sw = heap();
+        let sw_cost = match sw.malloc(4096) {
+            AllocOutcome::Ok { cycles, .. } => cycles,
+            _ => unreachable!(),
+        };
+        assert!(
+            sw_cost > 5 * SocdmmuAllocator::op_cost(),
+            "sw {sw_cost} vs hw {}",
+            SocdmmuAllocator::op_cost()
+        );
+    }
+
+    #[test]
+    fn platform_heap_spans_the_map() {
+        let h = SwAllocator::platform_heap(FitPolicy::FirstFit);
+        assert_eq!(h.free_bytes(), MemoryMap::HEAP_SIZE);
+    }
+}

@@ -1,0 +1,318 @@
+//! Tasks: control blocks, the action protocol and the task-body trait.
+//!
+//! Application code runs as [`TaskBody`] state machines. Each scheduling
+//! step the kernel hands the body the result of its previous action and
+//! receives the next [`Action`] to execute. This mirrors how the paper's
+//! applications sit on top of Atalanta system calls: every action is one
+//! RTOS API invocation (or a stretch of pure computation), and all timing
+//! is charged by the kernel, so identical task bodies run unmodified on
+//! every RTOS1–RTOS7 configuration.
+
+use deltaos_core::Priority;
+use deltaos_mpsoc::pe::PeId;
+use deltaos_sim::SimTime;
+
+use crate::ipc::{MboxId, SemId};
+use crate::lock::LockId;
+
+/// Task identifier (index into the kernel's task table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Zero-based index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task{}", self.0 + 1)
+    }
+}
+
+/// Index of a shared hardware resource on the platform (q1 = 0).
+pub type ResIdx = usize;
+
+/// One RTOS interaction (or computation stretch) a task performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Execute for `0` cycles — immediately step again. Useful as a
+    /// state-machine no-op.
+    Nop,
+    /// Busy computation on the PE for the given cycles (preemptible).
+    Compute(u64),
+    /// Ask the resource manager for a shared hardware resource.
+    Request(ResIdx),
+    /// Ask for two resources at once (the paper's tasks request e.g.
+    /// "IDCT and VI" in one event); the task blocks until both are held.
+    RequestPair(ResIdx, ResIdx),
+    /// Release a held resource.
+    Release(ResIdx),
+    /// Run a job on a held resource and wait for its completion
+    /// interrupt. `cycles` overrides the resource's default latency.
+    UseResource {
+        /// Which resource (must be held).
+        res: ResIdx,
+        /// Job duration override.
+        cycles: Option<u64>,
+    },
+    /// Acquire a lock (blocking).
+    Lock(LockId),
+    /// Release a lock.
+    Unlock(LockId),
+    /// Wait on a counting semaphore.
+    SemWait(SemId),
+    /// Signal a counting semaphore.
+    SemPost(SemId),
+    /// Send a message to a mailbox (non-blocking; fails when full).
+    MboxSend(MboxId, u32),
+    /// Receive from a mailbox (blocking when empty).
+    MboxRecv(MboxId),
+    /// Set flags in an event group (wakes satisfied waiters).
+    EventSet(crate::ipc::EventId, u32),
+    /// Wait until all the masked flags are set, consuming them.
+    EventWait(crate::ipc::EventId, u32),
+    /// Suspend this task until another task resumes it (Atalanta task
+    /// management).
+    SuspendSelf,
+    /// Resume a suspended task.
+    ResumeTask(TaskId),
+    /// Allocate `bytes` of global memory.
+    Alloc(u32),
+    /// Free the allocation starting at the address.
+    Free(u32),
+    /// Sleep for the given cycles without occupying the PE.
+    Delay(u64),
+    /// Terminate the task.
+    End,
+}
+
+/// What the kernel reports back to the body before asking for the next
+/// action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActionResult {
+    /// First activation: no previous action.
+    Started,
+    /// The previous action completed (compute, release, unlock, post,
+    /// send, free, delay, resource job).
+    Done,
+    /// The requested resource was granted (for [`Action::RequestPair`],
+    /// delivered once when the *last* of the two arrives).
+    ResourceGranted(ResIdx),
+    /// The lock was acquired.
+    LockAcquired(LockId),
+    /// A mailbox message arrived.
+    Message(u32),
+    /// Allocation succeeded at the given address.
+    Allocated(u32),
+    /// Allocation failed (out of memory).
+    AllocFailed,
+}
+
+/// The execution state of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Created but not yet started (start time in the future).
+    New,
+    /// Runnable, waiting for its PE.
+    Ready,
+    /// Executing (or mid kernel service) on its PE.
+    Running,
+    /// Waiting for a resource, lock, semaphore, message or timer.
+    Blocked,
+    /// Finished.
+    Done,
+}
+
+/// Application logic: a resumable state machine.
+///
+/// # Example
+///
+/// A task that computes, takes a resource, uses it and finishes:
+///
+/// ```
+/// use deltaos_rtos::task::{Action, ActionResult, TaskBody};
+///
+/// struct Worker {
+///     step: usize,
+/// }
+///
+/// impl TaskBody for Worker {
+///     fn step(&mut self, _last: &ActionResult) -> Action {
+///         let action = match self.step {
+///             0 => Action::Compute(100),
+///             1 => Action::Request(0),
+///             2 => Action::UseResource { res: 0, cycles: None },
+///             3 => Action::Release(0),
+///             _ => Action::End,
+///         };
+///         self.step += 1;
+///         action
+///     }
+/// }
+/// ```
+pub trait TaskBody {
+    /// Returns the next action given the previous action's result.
+    fn step(&mut self, last: &ActionResult) -> Action;
+
+    /// Called when the avoider asks the task to give up resources; the
+    /// body returns the resources it will release, in release order.
+    /// The default complies fully (Assumption 3: the RTOS can ask any
+    /// resource back).
+    fn on_give_up(&mut self, asked: &[ResIdx]) -> Vec<ResIdx> {
+        asked.to_vec()
+    }
+}
+
+/// A scripted task body: plays a fixed list of actions. Handy for tests
+/// and the paper's event-sequence scenarios.
+#[derive(Debug, Clone)]
+pub struct Script {
+    actions: Vec<Action>,
+    next: usize,
+}
+
+impl Script {
+    /// Builds a script; an implicit [`Action::End`] is appended.
+    pub fn new(actions: Vec<Action>) -> Self {
+        Script { actions, next: 0 }
+    }
+}
+
+impl TaskBody for Script {
+    fn step(&mut self, _last: &ActionResult) -> Action {
+        let a = self.actions.get(self.next).copied().unwrap_or(Action::End);
+        self.next += 1;
+        a
+    }
+}
+
+/// Task control block.
+pub struct Tcb {
+    /// The task's id.
+    pub id: TaskId,
+    /// Human-readable name for traces.
+    pub name: String,
+    /// The PE this task is pinned to (Atalanta binds tasks to PEs).
+    pub pe: PeId,
+    /// Assigned (base) priority.
+    pub base_priority: Priority,
+    /// Effective priority after inheritance / ceiling.
+    pub effective_priority: Priority,
+    /// Current state.
+    pub state: TaskState,
+    /// Suspended by [`Action::SuspendSelf`]; not schedulable until a
+    /// [`Action::ResumeTask`] clears it.
+    pub suspended: bool,
+    /// When the task becomes ready for the first time.
+    pub start_at: SimTime,
+    /// The application logic.
+    pub body: Box<dyn TaskBody>,
+    /// Cancellation generation for in-flight timer events.
+    pub generation: u64,
+    /// Remaining cycles of a preempted [`Action::Compute`].
+    pub remaining_compute: u64,
+    /// Scheduled end of the in-flight [`Action::Compute`], if any.
+    pub compute_ends_at: Option<SimTime>,
+    /// Lock this task is currently blocked on (for transitive priority
+    /// inheritance).
+    pub waiting_lock: Option<LockId>,
+    /// Result to deliver on next activation.
+    pub pending_result: Option<ActionResult>,
+    /// Completion time, once finished.
+    pub finished_at: Option<SimTime>,
+    /// Ready-queue arrival stamp (FIFO tie-break among equal priorities).
+    pub ready_since: SimTime,
+    /// Cycles spent blocked (for the Table 10 lock-delay metric).
+    pub blocked_cycles: u64,
+    /// When the current blocking started.
+    pub blocked_since: Option<SimTime>,
+}
+
+impl std::fmt::Debug for Tcb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Tcb({} on {} {:?} {:?})",
+            self.name, self.pe, self.state, self.effective_priority
+        )
+    }
+}
+
+impl Tcb {
+    /// Creates a TCB in the [`TaskState::New`] state.
+    pub fn new(
+        id: TaskId,
+        name: impl Into<String>,
+        pe: PeId,
+        priority: Priority,
+        start_at: SimTime,
+        body: Box<dyn TaskBody>,
+    ) -> Self {
+        Tcb {
+            id,
+            name: name.into(),
+            pe,
+            base_priority: priority,
+            effective_priority: priority,
+            state: TaskState::New,
+            suspended: false,
+            start_at,
+            body,
+            generation: 0,
+            remaining_compute: 0,
+            compute_ends_at: None,
+            waiting_lock: None,
+            pending_result: None,
+            finished_at: None,
+            ready_since: SimTime::ZERO,
+            blocked_cycles: 0,
+            blocked_since: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_plays_in_order_then_ends() {
+        let mut s = Script::new(vec![Action::Compute(5), Action::End]);
+        assert_eq!(s.step(&ActionResult::Started), Action::Compute(5));
+        assert_eq!(s.step(&ActionResult::Done), Action::End);
+        assert_eq!(
+            s.step(&ActionResult::Done),
+            Action::End,
+            "exhausted scripts keep ending"
+        );
+    }
+
+    #[test]
+    fn default_give_up_complies_fully() {
+        let mut s = Script::new(vec![]);
+        assert_eq!(s.on_give_up(&[1, 3]), vec![1, 3]);
+    }
+
+    #[test]
+    fn tcb_starts_new_with_base_priority() {
+        let tcb = Tcb::new(
+            TaskId(0),
+            "t",
+            PeId(0),
+            Priority::new(3),
+            SimTime::ZERO,
+            Box::new(Script::new(vec![])),
+        );
+        assert_eq!(tcb.state, TaskState::New);
+        assert_eq!(tcb.effective_priority, Priority::new(3));
+        assert_eq!(tcb.finished_at, None);
+    }
+
+    #[test]
+    fn task_id_display_is_one_based() {
+        assert_eq!(TaskId(0).to_string(), "task1");
+    }
+}

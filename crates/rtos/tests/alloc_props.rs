@@ -1,0 +1,88 @@
+//! Property tests of the software allocator against a range oracle.
+
+use deltaos_rtos::mem::{AllocOutcome, FitPolicy, SwAllocator, HEADER_BYTES};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u32),
+    FreeNth(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u32..4_000).prop_map(Op::Alloc),
+            (0usize..64).prop_map(Op::FreeNth),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    /// Allocations never overlap, stay inside the heap, and freeing
+    /// everything coalesces back to one full-size hole.
+    #[test]
+    fn allocator_respects_ranges(ops in arb_ops(), best_fit in any::<bool>()) {
+        const BASE: u32 = 0x1000;
+        const SIZE: u32 = 128 * 1024;
+        let policy = if best_fit { FitPolicy::BestFit } else { FitPolicy::FirstFit };
+        let mut h = SwAllocator::new(BASE, SIZE, policy);
+        // Oracle: user address -> requested size.
+        let mut live: BTreeMap<u32, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Alloc(bytes) => {
+                    if let AllocOutcome::Ok { addr, .. } = h.malloc(bytes) {
+                        // Inside the heap (leaving room for the header).
+                        prop_assert!(addr >= BASE + HEADER_BYTES);
+                        prop_assert!(addr + bytes <= BASE + SIZE);
+                        // No overlap with any live allocation.
+                        if let Some((&pa, &ps)) = live.range(..=addr).next_back() {
+                            prop_assert!(
+                                pa + ps <= addr - HEADER_BYTES,
+                                "overlaps predecessor {pa:#x}+{ps}"
+                            );
+                        }
+                        if let Some((&na, _)) = live.range(addr..).next() {
+                            prop_assert!(
+                                addr + bytes <= na - HEADER_BYTES,
+                                "overlaps successor {na:#x}"
+                            );
+                        }
+                        live.insert(addr, bytes);
+                    }
+                }
+                Op::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let key = *live.keys().nth(n % live.len()).unwrap();
+                        live.remove(&key);
+                        h.free(key);
+                    }
+                }
+            }
+            prop_assert_eq!(h.live_count(), live.len());
+        }
+        // Drain and verify total coalescing.
+        for key in live.keys().copied().collect::<Vec<_>>() {
+            h.free(key);
+        }
+        prop_assert_eq!(h.free_bytes(), SIZE, "heap must be whole again");
+        prop_assert_eq!(h.hole_count(), 1, "full coalescing");
+    }
+
+    /// Both fit policies satisfy the same requests when memory is ample
+    /// (policy changes placement, not feasibility).
+    #[test]
+    fn policies_agree_on_feasibility_when_ample(sizes in proptest::collection::vec(1u32..2_000, 0..40)) {
+        let mut first = SwAllocator::new(0, 1 << 20, FitPolicy::FirstFit);
+        let mut best = SwAllocator::new(0, 1 << 20, FitPolicy::BestFit);
+        for &s in &sizes {
+            let a = matches!(first.malloc(s), AllocOutcome::Ok { .. });
+            let b = matches!(best.malloc(s), AllocOutcome::Ok { .. });
+            prop_assert_eq!(a, b);
+            prop_assert!(a, "1 MB heap must satisfy small allocations");
+        }
+    }
+}

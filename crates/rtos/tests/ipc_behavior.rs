@@ -1,0 +1,334 @@
+//! Kernel-level IPC behaviour: semaphores and mailboxes across PEs.
+
+use deltaos_core::Priority;
+use deltaos_mpsoc::pe::PeId;
+use deltaos_mpsoc::platform::PlatformConfig;
+use deltaos_rtos::ipc::{MboxId, SemId};
+use deltaos_rtos::kernel::{Kernel, KernelConfig};
+use deltaos_rtos::resman::ResPolicy;
+use deltaos_rtos::task::{Action, ActionResult, Script, TaskBody};
+use deltaos_sim::SimTime;
+
+fn kernel() -> Kernel {
+    Kernel::new(KernelConfig {
+        platform: PlatformConfig::small(),
+        res_policy: ResPolicy::NoDeadlockSupport,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn semaphore_serializes_critical_work_across_pes() {
+    let mut k = kernel();
+    let s = k.ipc_mut().add_semaphore(1);
+    for pe in 0..3u8 {
+        k.spawn(
+            format!("t{pe}"),
+            PeId(pe),
+            Priority::new(pe + 1),
+            SimTime::from_cycles(pe as u64 * 10),
+            Box::new(Script::new(vec![
+                Action::SemWait(s),
+                Action::Compute(2_000),
+                Action::SemPost(s),
+                Action::End,
+            ])),
+        );
+    }
+    let r = k.run(None);
+    assert!(r.all_finished);
+    // Three serialized 2000-cycle sections.
+    assert!(
+        r.app_time().cycles() >= 6_000,
+        "sections must serialize: {}",
+        r.app_time()
+    );
+}
+
+#[test]
+fn semaphore_post_wakes_highest_priority_waiter_first() {
+    let mut k = kernel();
+    let s = k.ipc_mut().add_semaphore(0); // starts unavailable
+    let hi = k.spawn(
+        "hi",
+        PeId(0),
+        Priority::new(1),
+        SimTime::from_cycles(100),
+        Box::new(Script::new(vec![
+            Action::SemWait(s),
+            Action::Compute(500),
+            Action::End,
+        ])),
+    );
+    let lo = k.spawn(
+        "lo",
+        PeId(1),
+        Priority::new(5),
+        SimTime::ZERO,
+        Box::new(Script::new(vec![
+            Action::SemWait(s),
+            Action::Compute(500),
+            Action::End,
+        ])),
+    );
+    k.spawn(
+        "poster",
+        PeId(2),
+        Priority::new(3),
+        SimTime::from_cycles(2_000),
+        Box::new(Script::new(vec![
+            Action::SemPost(s),
+            Action::Compute(100),
+            Action::SemPost(s),
+            Action::End,
+        ])),
+    );
+    let r = k.run(None);
+    assert!(r.all_finished, "{r:?}");
+    let t_hi = r.finished.iter().find(|(t, _)| *t == hi).unwrap().1;
+    let t_lo = r.finished.iter().find(|(t, _)| *t == lo).unwrap().1;
+    assert!(t_hi < t_lo, "first post must wake hi, not the earlier lo");
+}
+
+/// Producer/consumer over a mailbox, checking message payloads arrive in
+/// order.
+#[derive(Debug)]
+struct Consumer {
+    mbox: MboxId,
+    expect: Vec<u32>,
+    got: usize,
+}
+
+impl TaskBody for Consumer {
+    fn step(&mut self, last: &ActionResult) -> Action {
+        if let ActionResult::Message(v) = last {
+            assert_eq!(*v, self.expect[self.got], "out-of-order message");
+            self.got += 1;
+        }
+        if self.got == self.expect.len() {
+            Action::End
+        } else {
+            Action::MboxRecv(self.mbox)
+        }
+    }
+}
+
+#[test]
+fn mailbox_producer_consumer_in_order() {
+    let mut k = kernel();
+    let m = k.ipc_mut().add_mailbox(4);
+    k.spawn(
+        "producer",
+        PeId(0),
+        Priority::new(2),
+        SimTime::ZERO,
+        Box::new(Script::new(vec![
+            Action::Compute(500),
+            Action::MboxSend(m, 10),
+            Action::Compute(500),
+            Action::MboxSend(m, 20),
+            Action::Compute(500),
+            Action::MboxSend(m, 30),
+            Action::End,
+        ])),
+    );
+    k.spawn(
+        "consumer",
+        PeId(1),
+        Priority::new(1),
+        SimTime::ZERO,
+        Box::new(Consumer {
+            mbox: m,
+            expect: vec![10, 20, 30],
+            got: 0,
+        }),
+    );
+    let r = k.run(None);
+    assert!(r.all_finished, "{r:?}");
+}
+
+#[test]
+fn consumer_blocks_until_first_message() {
+    let mut k = kernel();
+    let m = k.ipc_mut().add_mailbox(2);
+    let consumer = k.spawn(
+        "consumer",
+        PeId(0),
+        Priority::new(1),
+        SimTime::ZERO,
+        Box::new(Consumer {
+            mbox: m,
+            expect: vec![7],
+            got: 0,
+        }),
+    );
+    k.spawn(
+        "late-producer",
+        PeId(1),
+        Priority::new(2),
+        SimTime::from_cycles(5_000),
+        Box::new(Script::new(vec![Action::MboxSend(m, 7), Action::End])),
+    );
+    let r = k.run(None);
+    assert!(r.all_finished);
+    let t_c = r.finished.iter().find(|(t, _)| *t == consumer).unwrap().1;
+    assert!(
+        t_c.cycles() > 5_000,
+        "consumer must have waited for the producer: {t_c}"
+    );
+}
+
+#[test]
+fn delay_suspends_without_holding_the_pe() {
+    let mut k = kernel();
+    let sleeper = k.spawn(
+        "sleeper",
+        PeId(0),
+        Priority::new(1),
+        SimTime::ZERO,
+        Box::new(Script::new(vec![Action::Delay(8_000), Action::End])),
+    );
+    let worker = k.spawn(
+        "worker",
+        PeId(0),
+        Priority::new(2),
+        SimTime::ZERO,
+        Box::new(Script::new(vec![Action::Compute(3_000), Action::End])),
+    );
+    let r = k.run(None);
+    assert!(r.all_finished);
+    let t_w = r.finished.iter().find(|(t, _)| *t == worker).unwrap().1;
+    let t_s = r.finished.iter().find(|(t, _)| *t == sleeper).unwrap().1;
+    assert!(
+        t_w.cycles() < 4_500,
+        "worker must run while the sleeper sleeps: {t_w}"
+    );
+    assert!(t_s.cycles() >= 8_000);
+}
+
+#[test]
+fn sem_count_roundtrip_via_ipc_handle() {
+    let mut k = kernel();
+    let s = k.ipc_mut().add_semaphore(2);
+    assert_eq!(k.ipc_mut().sem_count(SemId(s.0)), 2);
+}
+
+#[test]
+fn event_flags_synchronize_two_stage_pipeline() {
+    let mut k = kernel();
+    let e = k.ipc_mut().add_event_group();
+    // Two producers each set one flag; the consumer waits for both.
+    k.spawn(
+        "sensor-a",
+        PeId(0),
+        Priority::new(2),
+        SimTime::ZERO,
+        Box::new(Script::new(vec![
+            Action::Compute(2_000),
+            Action::EventSet(e, 0b01),
+            Action::End,
+        ])),
+    );
+    k.spawn(
+        "sensor-b",
+        PeId(1),
+        Priority::new(3),
+        SimTime::ZERO,
+        Box::new(Script::new(vec![
+            Action::Compute(4_000),
+            Action::EventSet(e, 0b10),
+            Action::End,
+        ])),
+    );
+    let fuser = k.spawn(
+        "fuser",
+        PeId(2),
+        Priority::new(1),
+        SimTime::ZERO,
+        Box::new(Script::new(vec![
+            Action::EventWait(e, 0b11),
+            Action::Compute(1_000),
+            Action::End,
+        ])),
+    );
+    let r = k.run(None);
+    assert!(r.all_finished, "{r:?}");
+    let t_f = r.finished.iter().find(|(t, _)| *t == fuser).unwrap().1;
+    assert!(
+        t_f.cycles() > 5_000,
+        "fuser waits for the slower sensor: {t_f}"
+    );
+}
+
+#[test]
+fn suspend_and_resume_roundtrip() {
+    let mut k = kernel();
+    let sleeper = k.spawn(
+        "sleeper",
+        PeId(0),
+        Priority::new(1),
+        SimTime::ZERO,
+        Box::new(Script::new(vec![
+            Action::Compute(500),
+            Action::SuspendSelf,
+            Action::Compute(500),
+            Action::End,
+        ])),
+    );
+    k.spawn(
+        "waker",
+        PeId(1),
+        Priority::new(2),
+        SimTime::ZERO,
+        Box::new(Script::new(vec![
+            Action::Compute(6_000),
+            Action::ResumeTask(deltaos_rtos::task::TaskId(0)),
+            Action::End,
+        ])),
+    );
+    let r = k.run(None);
+    assert!(r.all_finished, "{r:?}");
+    let t_s = r.finished.iter().find(|(t, _)| *t == sleeper).unwrap().1;
+    assert!(
+        t_s.cycles() > 6_000,
+        "sleeper can only finish after the waker resumes it: {t_s}"
+    );
+    assert_eq!(k.stats().counter("sched.suspensions"), 1);
+    assert_eq!(k.stats().counter("sched.resumptions"), 1);
+}
+
+#[test]
+fn suspended_task_frees_its_pe_for_lower_priorities() {
+    let mut k = kernel();
+    k.spawn(
+        "hi-suspends",
+        PeId(0),
+        Priority::new(1),
+        SimTime::ZERO,
+        Box::new(Script::new(vec![Action::SuspendSelf, Action::End])),
+    );
+    let lo = k.spawn(
+        "lo-works",
+        PeId(0),
+        Priority::new(9),
+        SimTime::ZERO,
+        Box::new(Script::new(vec![Action::Compute(2_000), Action::End])),
+    );
+    k.spawn(
+        "waker",
+        PeId(1),
+        Priority::new(2),
+        SimTime::from_cycles(10_000),
+        Box::new(Script::new(vec![
+            Action::ResumeTask(deltaos_rtos::task::TaskId(0)),
+            Action::End,
+        ])),
+    );
+    let r = k.run(None);
+    assert!(r.all_finished, "{r:?}");
+    let t_lo = r.finished.iter().find(|(t, _)| *t == lo).unwrap().1;
+    assert!(
+        t_lo.cycles() < 4_000,
+        "the suspended high-priority task must not hold the PE: {t_lo}"
+    );
+}

@@ -1,0 +1,185 @@
+//! Property-based tests of the whole kernel: random well-formed
+//! workloads across the deadlock policies.
+
+use deltaos_core::Priority;
+use deltaos_mpsoc::pe::PeId;
+use deltaos_mpsoc::platform::PlatformConfig;
+use deltaos_rtos::kernel::{Kernel, KernelConfig};
+use deltaos_rtos::resman::ResPolicy;
+use deltaos_rtos::task::{Action, Script};
+use deltaos_sim::SimTime;
+use proptest::prelude::*;
+
+/// One random task spec: which resources it takes (nested), its compute
+/// stretches and start offset.
+#[derive(Debug, Clone)]
+struct TaskSpec {
+    resources: Vec<usize>,
+    computes: Vec<u64>,
+    start: u64,
+}
+
+fn arb_task() -> impl Strategy<Value = TaskSpec> {
+    (
+        proptest::sample::subsequence(vec![0usize, 1, 2, 3, 4], 1..=3),
+        proptest::collection::vec(100u64..3_000, 4),
+        0u64..4_000,
+    )
+        .prop_map(|(resources, computes, start)| TaskSpec {
+            resources,
+            computes,
+            start,
+        })
+}
+
+fn build(specs: &[TaskSpec], policy: ResPolicy) -> Kernel {
+    let mut k = Kernel::new(KernelConfig {
+        platform: PlatformConfig::small(),
+        res_policy: policy,
+        ..Default::default()
+    });
+    for (i, spec) in specs.iter().enumerate() {
+        let mut actions = Vec::new();
+        for (j, &r) in spec.resources.iter().enumerate() {
+            actions.push(Action::Compute(spec.computes[j % spec.computes.len()]));
+            actions.push(Action::Request(r));
+        }
+        actions.push(Action::Compute(
+            spec.computes[spec.resources.len() % spec.computes.len()],
+        ));
+        // Release in reverse order (nested), which still deadlocks
+        // cross-task when acquisition orders differ.
+        for &r in spec.resources.iter().rev() {
+            actions.push(Action::Release(r));
+        }
+        actions.push(Action::End);
+        k.spawn(
+            format!("t{i}"),
+            PeId((i % 4) as u8),
+            Priority::new(i as u8 + 1),
+            SimTime::from_cycles(spec.start),
+            Box::new(Script::new(actions)),
+        );
+    }
+    k
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The paper's core promise: under avoidance (software or hardware),
+    /// every well-formed workload completes — no deadlock, no livelock.
+    #[test]
+    fn avoidance_completes_every_workload(specs in proptest::collection::vec(arb_task(), 1..=4)) {
+        for policy in [ResPolicy::AvoidSw, ResPolicy::AvoidHw] {
+            let mut k = build(&specs, policy);
+            let r = k.run(Some(50_000_000));
+            prop_assert!(r.all_finished, "{policy:?} left tasks stuck: {r:?}");
+            prop_assert_eq!(r.deadlock_at, None);
+        }
+    }
+
+    /// Under detection, a workload either completes or the detector
+    /// flags the deadlock — never a silent hang.
+    #[test]
+    fn detection_flags_or_completes(specs in proptest::collection::vec(arb_task(), 1..=4)) {
+        let mut k = build(&specs, ResPolicy::DetectHw);
+        let r = k.run(Some(50_000_000));
+        prop_assert!(
+            r.all_finished || r.deadlock_at.is_some(),
+            "hung without a diagnosis: {r:?}"
+        );
+    }
+
+    /// Detect-and-recover completes every workload, like avoidance does.
+    #[test]
+    fn detection_with_recovery_completes(specs in proptest::collection::vec(arb_task(), 1..=4)) {
+        let mut k = {
+            let mut cfg = KernelConfig {
+                platform: PlatformConfig::small(),
+                res_policy: ResPolicy::DetectHw,
+                recover_on_deadlock: true,
+                ..Default::default()
+            };
+            cfg.halt_on_deadlock = false;
+            let mut k = Kernel::new(cfg);
+            for (i, spec) in specs.iter().enumerate() {
+                let mut actions = Vec::new();
+                for (j, &r) in spec.resources.iter().enumerate() {
+                    actions.push(Action::Compute(spec.computes[j % spec.computes.len()]));
+                    actions.push(Action::Request(r));
+                }
+                actions.push(Action::Compute(
+                    spec.computes[spec.resources.len() % spec.computes.len()],
+                ));
+                for &r in spec.resources.iter().rev() {
+                    actions.push(Action::Release(r));
+                }
+                actions.push(Action::End);
+                k.spawn(
+                    format!("t{i}"),
+                    PeId((i % 4) as u8),
+                    Priority::new(i as u8 + 1),
+                    SimTime::from_cycles(spec.start),
+                    Box::new(Script::new(actions)),
+                );
+            }
+            k
+        };
+        let r = k.run(Some(100_000_000));
+        prop_assert!(r.all_finished, "recovery left tasks stuck: {r:?}");
+    }
+
+    /// Hardware and software detection agree on whether a workload
+    /// deadlocks (the engines are decision-identical).
+    #[test]
+    fn sw_and_hw_detection_agree(specs in proptest::collection::vec(arb_task(), 1..=4)) {
+        let mut sw = build(&specs, ResPolicy::DetectSw);
+        let mut hw = build(&specs, ResPolicy::DetectHw);
+        let rs = sw.run(Some(50_000_000));
+        let rh = hw.run(Some(50_000_000));
+        prop_assert_eq!(rs.deadlock_at.is_some(), rh.deadlock_at.is_some());
+    }
+
+    /// Compute is conserved on a single PE: total time covers the sum of
+    /// all compute stretches plus bounded overhead.
+    #[test]
+    fn compute_conservation_single_pe(computes in proptest::collection::vec(200u64..5_000, 1..=5)) {
+        let mut k = Kernel::new(KernelConfig {
+            platform: PlatformConfig::small(),
+            res_policy: ResPolicy::NoDeadlockSupport,
+            ..Default::default()
+        });
+        for (i, &c) in computes.iter().enumerate() {
+            k.spawn(
+                format!("t{i}"),
+                PeId(0),
+                Priority::new(i as u8 + 1),
+                SimTime::ZERO,
+                Box::new(Script::new(vec![Action::Compute(c), Action::End])),
+            );
+        }
+        let r = k.run(None);
+        prop_assert!(r.all_finished);
+        let total: u64 = computes.iter().sum();
+        prop_assert!(r.app_time().cycles() >= total);
+        // Overhead: one dispatch (context switch) per task + slack.
+        let bound = total + computes.len() as u64 * 500 + 500;
+        prop_assert!(
+            r.app_time().cycles() <= bound,
+            "app {} exceeds bound {bound}",
+            r.app_time()
+        );
+    }
+
+    /// Whole-kernel determinism over random workloads.
+    #[test]
+    fn runs_are_deterministic(specs in proptest::collection::vec(arb_task(), 1..=3)) {
+        let once = |policy| {
+            let mut k = build(&specs, policy);
+            let r = k.run(Some(50_000_000));
+            (r.app_time(), r.finished.clone(), r.deadlock_at)
+        };
+        prop_assert_eq!(once(ResPolicy::AvoidHw), once(ResPolicy::AvoidHw));
+    }
+}

@@ -1,0 +1,46 @@
+//! Discrete-event simulation kernel for the `deltaos` MPSoC models.
+//!
+//! This crate is the stand-in for the proprietary co-simulation backbone the
+//! paper used (Mentor Graphics Seamless CVE driving instruction-accurate
+//! MPC755 models and a Verilog simulator). It provides:
+//!
+//! * [`SimTime`] — a monotonic simulated clock counted in **bus-clock
+//!   cycles** (the paper's master clock: 10 ns period, 100 MHz),
+//! * [`EventQueue`] — a deterministic time-ordered event queue with stable
+//!   FIFO tie-breaking for simultaneous events,
+//! * [`Stats`] — named counters and min/max/sum aggregates used by every
+//!   experiment harness,
+//! * [`Tracer`] — an optional event trace, used to print the paper's
+//!   "events RAG" figures (Figures 15, 16, 17) and the Figure 20 schedule
+//!   trace as text.
+//!
+//! Determinism is a hard requirement: two runs with the same inputs must
+//! produce bit-identical traces, otherwise the paper's cycle-count tables
+//! would not be reproducible. The queue therefore never relies on hash
+//! ordering, and ties are broken by insertion sequence number.
+//!
+//! # Example
+//!
+//! ```
+//! use deltaos_sim::{EventQueue, SimTime};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::from_cycles(10), "timer");
+//! q.schedule(SimTime::ZERO, "reset");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (SimTime::ZERO, "reset"));
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (SimTime::from_cycles(10), "timer"));
+//! ```
+
+mod event;
+mod histogram;
+mod stats;
+mod time;
+mod trace;
+
+pub use event::{EventQueue, ScheduledEvent};
+pub use histogram::Histogram;
+pub use stats::{Aggregate, Stats};
+pub use time::SimTime;
+pub use trace::{TraceRecord, Tracer};

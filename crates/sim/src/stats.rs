@@ -1,0 +1,282 @@
+//! Named counters and aggregates for experiment harnesses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::Histogram;
+
+/// Running aggregate of a sampled quantity (min / max / sum / count).
+///
+/// # Example
+///
+/// ```
+/// use deltaos_sim::Aggregate;
+///
+/// let mut a = Aggregate::new();
+/// a.record(10);
+/// a.record(4);
+/// a.record(16);
+/// assert_eq!(a.min(), Some(4));
+/// assert_eq!(a.max(), Some(16));
+/// assert_eq!(a.sum(), 30);
+/// assert_eq!(a.count(), 3);
+/// assert!((a.mean().unwrap() - 10.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Aggregate {
+    count: u64,
+    sum: u64,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl Aggregate {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Aggregate::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` if no samples were recorded.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest sample, or `None` if no samples were recorded.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Arithmetic mean, or `None` if no samples were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(mean) => write!(
+                f,
+                "n={} mean={:.2} min={} max={} sum={}",
+                self.count,
+                mean,
+                self.min.unwrap_or(0),
+                self.max.unwrap_or(0),
+                self.sum
+            ),
+            None => write!(f, "n=0"),
+        }
+    }
+}
+
+/// A string-keyed collection of counters and aggregates.
+///
+/// Uses `BTreeMap` so iteration (and therefore report output) is in a
+/// stable, deterministic order.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_sim::Stats;
+///
+/// let mut s = Stats::new();
+/// s.incr("bus.transactions");
+/// s.add("bus.cycles", 3);
+/// s.sample("lock.latency", 318);
+/// assert_eq!(s.counter("bus.transactions"), 1);
+/// assert_eq!(s.counter("bus.cycles"), 3);
+/// assert_eq!(s.aggregate("lock.latency").unwrap().max(), Some(318));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+    aggregates: BTreeMap<String, Aggregate>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Stats {
+    /// Creates an empty statistics table.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Increments counter `key` by one.
+    pub fn incr(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Adds `amount` to counter `key`, creating it at zero if absent.
+    pub fn add(&mut self, key: &str, amount: u64) {
+        *self.counters.entry(key.to_owned()).or_insert(0) += amount;
+    }
+
+    /// Current value of counter `key` (0 if never touched).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Records a sample into aggregate `key`.
+    pub fn sample(&mut self, key: &str, value: u64) {
+        self.aggregates
+            .entry(key.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    /// The aggregate for `key`, if any samples were recorded.
+    pub fn aggregate(&self, key: &str) -> Option<&Aggregate> {
+        self.aggregates.get(key)
+    }
+
+    /// Records a sample into both the aggregate *and* a log-bucket
+    /// histogram under `key` (for percentile reporting).
+    pub fn sample_hist(&mut self, key: &str, value: u64) {
+        self.sample(key, value);
+        self.histograms
+            .entry(key.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    /// The histogram for `key`, if sampled via [`Stats::sample_hist`].
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Iterates counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates aggregates in key order.
+    pub fn aggregates(&self) -> impl Iterator<Item = (&str, &Aggregate)> {
+        self.aggregates.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges another statistics table into this one (counters add,
+    /// aggregates merge sample-by-sample equivalently).
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+        for (k, a) in &other.aggregates {
+            let dst = self.aggregates.entry(k.clone()).or_default();
+            dst.count += a.count;
+            dst.sum += a.sum;
+            dst.min = match (dst.min, a.min) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, y) => x.or(y),
+            };
+            dst.max = match (dst.max, a.max) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (x, y) => x.or(y),
+            };
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k}: {v}")?;
+        }
+        for (k, a) in &self.aggregates {
+            writeln!(f, "{k}: {a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.incr("x");
+        s.add("x", 4);
+        assert_eq!(s.counter("x"), 5);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn aggregates_track_extremes() {
+        let mut s = Stats::new();
+        for v in [5, 1, 9] {
+            s.sample("a", v);
+        }
+        let a = s.aggregate("a").unwrap();
+        assert_eq!(
+            (a.min(), a.max(), a.sum(), a.count()),
+            (Some(1), Some(9), 15, 3)
+        );
+    }
+
+    #[test]
+    fn empty_aggregate_has_no_mean() {
+        let a = Aggregate::new();
+        assert_eq!(a.mean(), None);
+        assert_eq!(a.min(), None);
+        assert_eq!(format!("{a}"), "n=0");
+    }
+
+    #[test]
+    fn merge_combines_both_kinds() {
+        let mut a = Stats::new();
+        a.add("c", 2);
+        a.sample("s", 10);
+        let mut b = Stats::new();
+        b.add("c", 3);
+        b.sample("s", 2);
+        b.sample("t", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 5);
+        let s = a.aggregate("s").unwrap();
+        assert_eq!((s.min(), s.max(), s.count()), (Some(2), Some(10), 2));
+        assert_eq!(a.aggregate("t").unwrap().sum(), 7);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut s = Stats::new();
+        s.incr("zeta");
+        s.incr("alpha");
+        let keys: Vec<&str> = s.counters().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn display_mentions_every_key() {
+        let mut s = Stats::new();
+        s.incr("events");
+        s.sample("lat", 3);
+        let out = format!("{s}");
+        assert!(out.contains("events") && out.contains("lat"));
+    }
+}

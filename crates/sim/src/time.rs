@@ -1,0 +1,168 @@
+//! Simulated time, counted in bus-clock cycles.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in bus-clock cycles.
+///
+/// The paper's base MPSoC runs its bus at 100 MHz (10 ns period), and every
+/// table in the evaluation reports times "in bus clocks". `SimTime` is a
+/// thin newtype over `u64` cycles so that cycle counts cannot be confused
+/// with other integers (gate counts, byte sizes, …).
+///
+/// # Example
+///
+/// ```
+/// use deltaos_sim::SimTime;
+///
+/// let t = SimTime::from_cycles(100);
+/// assert_eq!(t + SimTime::from_cycles(23), SimTime::from_cycles(123));
+/// assert_eq!(t.as_nanos_at_100mhz(), 1_000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero: the start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a `SimTime` from a raw cycle count.
+    #[inline]
+    pub const fn from_cycles(cycles: u64) -> Self {
+        SimTime(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn cycles(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to nanoseconds assuming the paper's 100 MHz bus clock
+    /// (10 ns per cycle).
+    #[inline]
+    pub const fn as_nanos_at_100mhz(self) -> u64 {
+        self.0 * 10
+    }
+
+    /// Saturating difference in cycles (`self - earlier`, or 0 if
+    /// `earlier` is later than `self`).
+    #[inline]
+    pub fn cycles_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Returns the later of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({} cyc)", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for SimTime {
+    fn from(cycles: u64) -> Self {
+        SimTime(cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        assert_eq!(SimTime::ZERO.cycles(), 0);
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = SimTime::from_cycles(40);
+        let b = SimTime::from_cycles(2);
+        assert_eq!((a + b).cycles(), 42);
+        assert_eq!((a - b).cycles(), 38);
+        assert_eq!((a + 2u64).cycles(), 42);
+        let mut c = a;
+        c += 2;
+        assert_eq!(c.cycles(), 42);
+    }
+
+    #[test]
+    fn cycles_since_saturates() {
+        let a = SimTime::from_cycles(5);
+        let b = SimTime::from_cycles(9);
+        assert_eq!(b.cycles_since(a), 4);
+        assert_eq!(a.cycles_since(b), 0);
+    }
+
+    #[test]
+    fn max_picks_later() {
+        let a = SimTime::from_cycles(5);
+        let b = SimTime::from_cycles(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn nanos_conversion_matches_100mhz() {
+        assert_eq!(SimTime::from_cycles(3).as_nanos_at_100mhz(), 30);
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let t = SimTime::from_cycles(7);
+        assert_eq!(format!("{t}"), "7");
+        assert!(format!("{t:?}").contains("7"));
+    }
+
+    #[test]
+    fn ordering_follows_cycles() {
+        assert!(SimTime::from_cycles(1) < SimTime::from_cycles(2));
+    }
+}

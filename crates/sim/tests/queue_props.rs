@@ -1,0 +1,51 @@
+//! Property tests of the event queue's determinism guarantees.
+
+use deltaos_sim::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Pops come out sorted by time, and simultaneous events preserve
+    /// insertion order (stable FIFO) — the property whole-system
+    /// determinism rests on.
+    #[test]
+    fn pops_are_time_sorted_and_fifo_stable(times in proptest::collection::vec(0u64..50, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_cycles(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, id)) = q.pop() {
+            if let Some((lt, lid)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                if t == lt {
+                    prop_assert!(id > lid, "FIFO violated for simultaneous events");
+                }
+            }
+            prop_assert_eq!(q.now(), t);
+            last = Some((t, id));
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// Interleaved schedule/pop keeps causality: an event scheduled
+    /// relative to `now` never pops before events already due.
+    #[test]
+    fn schedule_in_respects_now(delays in proptest::collection::vec(1u64..100, 1..50)) {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, usize::MAX);
+        let mut popped = 0usize;
+        for (i, &d) in delays.iter().enumerate() {
+            q.schedule_in(d, i);
+            if i % 3 == 0 {
+                if let Some((t, _)) = q.pop() {
+                    popped += 1;
+                    prop_assert!(t >= q.now() || t == q.now());
+                }
+            }
+        }
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, delays.len() + 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! The paper's two avoidance scenarios end-to-end on the simulated
+//! RTOS/MPSoC: grant deadlock (Table 6 / Figure 16) and request
+//! deadlock (Table 8 / Figure 17), each under RTOS3 (software DAA) and
+//! RTOS4 (hardware DAU).
+//!
+//! ```text
+//! cargo run --example deadlock_avoidance
+//! ```
+
+use deltaos::apps::{gdl, rdl};
+use deltaos::framework::{RtosPreset, SystemConfig};
+use deltaos::rtos::kernel::Kernel;
+
+fn run(name: &str, preset: RtosPreset, install: fn(&mut Kernel)) {
+    let mut cfg = SystemConfig::preset_small(preset).kernel_config();
+    cfg.trace = true;
+    let mut k = Kernel::new(cfg);
+    install(&mut k);
+    let report = k.run(Some(100_000_000));
+    let (inv, cyc) = k
+        .resource_service()
+        .map(|r| r.algo_stats())
+        .unwrap_or((0, 0));
+    println!("--- {name} under {preset} ---");
+    for rec in k.tracer().by_category("rag") {
+        println!("  {rec}");
+    }
+    println!(
+        "  => finished={} app_time={} cycles, {} avoidance runs, {} algorithm cycles\n",
+        report.all_finished,
+        report.app_time(),
+        inv,
+        cyc
+    );
+    assert!(report.all_finished, "avoidance must complete the workload");
+}
+
+fn main() {
+    println!("=== Grant-deadlock scenario (application example I) ===\n");
+    run("G-dl", RtosPreset::Rtos3, gdl::install);
+    run("G-dl", RtosPreset::Rtos4, gdl::install);
+
+    println!("=== Request-deadlock scenario (application example II) ===\n");
+    run("R-dl", RtosPreset::Rtos3, rdl::install);
+    run("R-dl", RtosPreset::Rtos4, rdl::install);
+
+    println!("Both scenarios complete deadlock-free under software and hardware avoidance.");
+}

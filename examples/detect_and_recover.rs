@@ -1,0 +1,101 @@
+//! Detection's missing half: recovery. The paper notes deadlock
+//! detection "usually requires a recovery once a deadlock is detected"
+//! (Section 3.3.1). This example runs the same circular-wait workload
+//! three ways:
+//!
+//! 1. RTOS2 (DDU detection, halt)  — diagnoses the deadlock and stops;
+//! 2. RTOS2 + recovery             — preempts the lowest-priority cycle
+//!    participant and completes;
+//! 3. RTOS4 (DAU avoidance)        — never lets the cycle form at all.
+//!
+//! ```text
+//! cargo run --example detect_and_recover
+//! ```
+
+use deltaos::core::Priority;
+use deltaos::framework::{RtosPreset, SystemConfig};
+use deltaos::mpsoc::pe::PeId;
+use deltaos::rtos::kernel::Kernel;
+use deltaos::rtos::task::{Action, Script};
+use deltaos::sim::SimTime;
+
+fn install(k: &mut Kernel) {
+    // Two tasks acquiring {q1, q2} in opposite orders: the classic trap.
+    k.spawn(
+        "urgent",
+        PeId(0),
+        Priority::new(1),
+        SimTime::ZERO,
+        Box::new(Script::new(vec![
+            Action::Request(0),
+            Action::Compute(1_000),
+            Action::Request(1),
+            Action::Compute(1_000),
+            Action::Release(0),
+            Action::Release(1),
+            Action::End,
+        ])),
+    );
+    k.spawn(
+        "lazy",
+        PeId(1),
+        Priority::new(5),
+        SimTime::from_cycles(50),
+        Box::new(Script::new(vec![
+            Action::Request(1),
+            Action::Compute(1_000),
+            Action::Request(0),
+            Action::Compute(1_000),
+            Action::Release(1),
+            Action::Release(0),
+            Action::End,
+        ])),
+    );
+}
+
+fn main() {
+    // 1. Detection, halting.
+    let cfg = SystemConfig::preset_small(RtosPreset::Rtos2).kernel_config();
+    let mut k = Kernel::new(cfg);
+    install(&mut k);
+    let r = k.run(Some(10_000_000));
+    println!(
+        "RTOS2 (detect, halt):     deadlock flagged at {:?}, finished = {}",
+        r.deadlock_at.map(|t| t.cycles()),
+        r.all_finished
+    );
+    assert!(r.deadlock_at.is_some());
+
+    // 2. Detection with recovery.
+    let mut cfg = SystemConfig::preset_small(RtosPreset::Rtos2).kernel_config();
+    cfg.recover_on_deadlock = true;
+    cfg.trace = true;
+    let mut k = Kernel::new(cfg);
+    install(&mut k);
+    let r = k.run(Some(10_000_000));
+    println!(
+        "RTOS2 + recovery:         finished = {} in {} cycles, {} recovery round(s)",
+        r.all_finished,
+        r.app_time(),
+        k.stats().counter("res.recoveries")
+    );
+    for rec in k.tracer().by_category("rag") {
+        if rec.message.contains("recovering") || rec.message.contains("gives up") {
+            println!("    {rec}");
+        }
+    }
+    assert!(r.all_finished);
+
+    // 3. Avoidance: the cycle never forms.
+    let cfg = SystemConfig::preset_small(RtosPreset::Rtos4).kernel_config();
+    let mut k = Kernel::new(cfg);
+    install(&mut k);
+    let r = k.run(Some(10_000_000));
+    println!(
+        "RTOS4 (DAU avoidance):    finished = {} in {} cycles, {} give-up ask(s)",
+        r.all_finished,
+        r.app_time(),
+        k.stats().counter("res.giveup_asks")
+    );
+    assert!(r.all_finished);
+}

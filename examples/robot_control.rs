@@ -1,0 +1,46 @@
+//! The robot-control + MPEG application (Section 5.5) under software
+//! priority-inheritance locks (RTOS5) vs the SoCLC with IPCP (RTOS6).
+//!
+//! ```text
+//! cargo run --example robot_control
+//! ```
+
+use deltaos::apps::robot;
+use deltaos::framework::{RtosPreset, SystemConfig};
+use deltaos::rtos::kernel::{Kernel, LockSetup};
+
+fn main() {
+    // RTOS5: everything in software.
+    let mut sw_cfg = SystemConfig::preset_small(RtosPreset::Rtos5).kernel_config();
+    sw_cfg.locks = LockSetup::Software { count: 4 };
+    let sw = robot::run_and_measure(Kernel::new(sw_cfg));
+
+    // RTOS6: SoCLC with the immediate priority ceiling protocol.
+    let hw_cfg = SystemConfig::preset_small(RtosPreset::Rtos6).kernel_config();
+    let mut k = Kernel::new(hw_cfg);
+    robot::set_ceilings(&mut k);
+    let hw = robot::run_and_measure(k);
+
+    println!("robot application, 5 tasks on 4 PEs, two contested locks\n");
+    println!("metric               RTOS5 (software PI)   RTOS6 (SoCLC+IPCP)   speed-up");
+    println!(
+        "lock latency (cyc)   {:>19.0}   {:>18.0}   {:>7.2}x",
+        sw.lock_latency,
+        hw.lock_latency,
+        sw.lock_latency / hw.lock_latency
+    );
+    println!(
+        "lock delay (cyc)     {:>19.0}   {:>18.0}   {:>7.2}x",
+        sw.lock_delay,
+        hw.lock_delay,
+        sw.lock_delay / hw.lock_delay
+    );
+    println!(
+        "overall exec (cyc)   {:>19}   {:>18}   {:>7.2}x",
+        sw.overall,
+        hw.overall,
+        sw.overall as f64 / hw.overall as f64
+    );
+    println!("\npaper (Table 10): 570/318 = 1.79x, 6701/3834 = 1.75x, 112170/78226 = 1.43x");
+    assert!(hw.overall < sw.overall);
+}

@@ -1,0 +1,94 @@
+//! Cross-crate integration: configuration files → generated systems →
+//! simulated workloads, plus whole-stack determinism.
+
+use deltaos::apps::{gdl, rdl};
+use deltaos::framework::{generate, parse, RtosPreset, SystemConfig};
+use deltaos::rtl::archi_gen::EXTERNAL_IP;
+use deltaos::rtos::kernel::Kernel;
+
+#[test]
+fn every_preset_generates_lintable_rtl_and_runs_the_gdl_workload() {
+    for preset in RtosPreset::all() {
+        let cfg = SystemConfig::preset_small(preset);
+        let mut system = generate(&cfg);
+        assert!(
+            system.rtl.lint(EXTERNAL_IP).is_empty(),
+            "{preset}: generated RTL must lint clean"
+        );
+        gdl::install(&mut system.kernel);
+        let report = system.kernel.run(Some(100_000_000));
+        match preset {
+            // Avoidance configurations complete the workload.
+            RtosPreset::Rtos3 | RtosPreset::Rtos4 => {
+                assert!(report.all_finished, "{preset}: {report:?}")
+            }
+            // Detection configurations stop at the diagnosed deadlock.
+            RtosPreset::Rtos1 | RtosPreset::Rtos2 => {
+                assert!(report.deadlock_at.is_some(), "{preset} must flag deadlock")
+            }
+            // The rest hang on the undetected deadlock (tasks unfinished,
+            // no diagnosis) — which is the paper's motivation.
+            _ => assert!(!report.all_finished && report.deadlock_at.is_none()),
+        }
+    }
+}
+
+#[test]
+fn config_file_roundtrip_drives_the_same_system() {
+    let cfg = SystemConfig::preset_small(RtosPreset::Rtos4);
+    let text = deltaos::framework::render(&cfg);
+    let reparsed = parse(&text).unwrap();
+    assert_eq!(reparsed, cfg);
+    let sys = generate(&reparsed);
+    assert!(sys.rtl.verilog.contains("module dau_5x5"));
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = |install: fn(&mut Kernel)| {
+        let mut cfg = SystemConfig::preset_small(RtosPreset::Rtos4).kernel_config();
+        cfg.trace = true;
+        let mut k = Kernel::new(cfg);
+        install(&mut k);
+        let report = k.run(Some(100_000_000));
+        (report.app_time(), k.tracer().render())
+    };
+    assert_eq!(run(gdl::install), run(gdl::install));
+    assert_eq!(run(rdl::install), run(rdl::install));
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The facade crate exposes every layer; a user can mix them without
+    // touching the member crates directly.
+    use deltaos::core::Priority;
+    use deltaos::mpsoc::pe::PeId;
+    use deltaos::rtos::task::{Action, Script};
+    use deltaos::sim::SimTime;
+
+    let mut cfg = SystemConfig::preset_small(RtosPreset::Rtos5).kernel_config();
+    cfg.trace = false;
+    let mut k = Kernel::new(cfg);
+    k.spawn(
+        "hello",
+        PeId(0),
+        Priority::new(1),
+        SimTime::ZERO,
+        Box::new(Script::new(vec![Action::Compute(1_000), Action::End])),
+    );
+    let r = k.run(None);
+    assert!(r.all_finished);
+}
+
+#[test]
+fn exploration_report_covers_all_presets() {
+    let rows = deltaos::framework::explore::explore(&RtosPreset::all(), gdl::install);
+    assert_eq!(rows.len(), 7);
+    // Hardware avoidance is the fastest configuration that finishes.
+    let finished_best = rows
+        .iter()
+        .filter(|r| r.finished)
+        .min_by_key(|r| r.app_time)
+        .unwrap();
+    assert_eq!(finished_best.preset, RtosPreset::Rtos4);
+}

@@ -1,0 +1,137 @@
+//! Integration tests asserting the *shape* of every quantitative claim
+//! in the paper's evaluation (Section 5): who wins, in which direction,
+//! and by roughly what magnitude. EXPERIMENTS.md records the measured
+//! numbers these tests guard.
+
+use deltaos_bench::experiments;
+
+/// Table 1: DDU synthesis trends — lines and area grow with the array;
+/// worst-case steps grow linearly with min(m, n), not with the area.
+#[test]
+fn table1_ddu_synthesis_trends() {
+    let rows = experiments::table1();
+    assert_eq!(rows.len(), 5);
+    for w in rows.windows(2) {
+        assert!(w[1].lines > w[0].lines);
+        assert!(w[1].area > w[0].area);
+        assert!(w[1].worst_steps >= w[0].worst_steps);
+    }
+    let r5 = &rows[1]; // 5x5
+    let r50 = &rows[4]; // 50x50
+                        // Area grows ~quadratically (cell array), steps ~linearly.
+    assert!(r50.area / r5.area > 20.0);
+    assert!(r50.worst_steps <= 12 * r5.worst_steps);
+    assert!(r50.worst_steps <= 2 * 50 + 1, "O(min(m,n)) bound");
+}
+
+/// Table 2: the DAU is a vanishing fraction of the MPSoC (paper:
+/// 0.005 %), and its control plane outweighs the DDU core.
+#[test]
+fn table2_dau_is_tiny_versus_mpsoc() {
+    let t = experiments::table2();
+    assert!(t.pct_of_mpsoc < 0.05, "{}% is not tiny", t.pct_of_mpsoc);
+    assert!(t.others_area > t.ddu_area);
+    assert!(
+        t.avoid_steps < 100,
+        "worst-case avoidance stays a few dozen steps"
+    );
+}
+
+/// Table 5: the DDU accelerates detection by orders of magnitude and
+/// the application by tens of percent; invocation counts match across
+/// configurations.
+#[test]
+fn table5_detection_speedups() {
+    let t = experiments::table5();
+    assert!(
+        t.algo_speedup() > 100.0,
+        "algorithm speed-up {} should be 2-3 orders",
+        t.algo_speedup()
+    );
+    assert!(
+        t.app_speedup_pct() > 10.0,
+        "application speed-up {}% should be tens of percent",
+        t.app_speedup_pct()
+    );
+    assert_eq!(t.invocations.0, t.invocations.1);
+    assert!((5..=15).contains(&t.invocations.0), "paper reports 10");
+}
+
+/// Tables 7 and 9: the DAU beats software DAA on both scenarios, the
+/// G-dl run takes 12 invocations and the R-dl run 14, as in the paper.
+#[test]
+fn tables7_9_avoidance_speedups() {
+    let t7 = experiments::table7();
+    assert_eq!(t7.invocations, (12, 12), "Table 7 reports 12 invocations");
+    assert!(t7.algo_speedup() > 20.0);
+    assert!(t7.app_speedup_pct() > 8.0);
+
+    let t9 = experiments::table9();
+    assert_eq!(t9.invocations, (14, 14), "Table 9 reports 14 invocations");
+    assert!(t9.algo_speedup() > 20.0);
+    assert!(t9.app_speedup_pct() > 8.0);
+}
+
+/// Table 10: the SoCLC improves lock latency, lock delay and overall
+/// execution, in the paper's 1.4–1.9× band.
+#[test]
+fn table10_soclc_speedups() {
+    let t = experiments::table10();
+    let (lat, delay, overall) = t.speedups();
+    assert!((1.3..3.0).contains(&lat), "latency {lat}");
+    assert!((1.2..2.5).contains(&delay), "delay {delay}");
+    assert!((1.1..2.0).contains(&overall), "overall {overall}");
+}
+
+/// Tables 11/12: software memory management eats a two-digit share of
+/// FFT/RADIX (LU high-single-digit); the SoCDMMU reduces memory
+/// management by >80 % and total time by roughly the malloc share.
+#[test]
+fn tables11_12_socdmmu_reductions() {
+    let sw = experiments::table11();
+    let hw = experiments::table12();
+    for (s, h) in sw.iter().zip(&hw) {
+        assert!(
+            s.result.mem_share_pct() > 5.0,
+            "{}: software share {:.1}%",
+            s.name,
+            s.result.mem_share_pct()
+        );
+        let mem_reduction = 1.0 - h.result.mem_mgmt_cycles as f64 / s.result.mem_mgmt_cycles as f64;
+        assert!(
+            mem_reduction > 0.8,
+            "{}: mem reduction {:.2}",
+            s.name,
+            mem_reduction
+        );
+        let exe_reduction = 1.0 - h.result.total_cycles as f64 / s.result.total_cycles as f64;
+        let share = s.result.mem_share_pct() / 100.0;
+        assert!(
+            (exe_reduction - share).abs() < 0.08,
+            "{}: execution reduction {:.3} should track the malloc share {:.3}",
+            s.name,
+            exe_reduction,
+            share
+        );
+    }
+}
+
+/// The Figures 15/16/17 event traces contain the paper's pivotal
+/// events.
+#[test]
+fn figures_event_traces() {
+    let t4 = experiments::event_trace("table4");
+    assert!(t4.contains("p1 requests q4"), "e1 (IDCT request): {t4}");
+    assert!(t4.contains("DEADLOCK"), "e5 must end in deadlock");
+
+    let t6 = experiments::event_trace("table6");
+    assert!(
+        t6.contains("q2 granted to p3"),
+        "the G-dl dodge at t5: {t6}"
+    );
+    assert!(!t6.contains("DEADLOCK"));
+
+    let t8 = experiments::event_trace("table8");
+    assert!(t8.contains("gives up"), "the R-dl give-up at t7: {t8}");
+    assert!(!t8.contains("DEADLOCK"));
+}
