@@ -1,8 +1,9 @@
-//! Criterion micro-benchmarks of the deadlock algorithms, backing the
-//! scaling claims of Sections 4.2/4.3 and the bit-plane ablation called
-//! out in DESIGN.md.
+//! Micro-benchmarks of the deadlock algorithms, backing the scaling
+//! claims of Sections 4.2/4.3 and the bit-plane ablation called out in
+//! DESIGN.md. Built on the dependency-free harness in
+//! `deltaos_bench::microbench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deltaos_bench::microbench::{bench, bench_with_setup};
 use deltaos_core::cost::Meter;
 use deltaos_core::dau::{Command, Dau};
 use deltaos_core::ddu::Ddu;
@@ -72,131 +73,128 @@ fn naive_reduction(rag: &Rag) -> bool {
     cells.iter().any(|&c| c != 0)
 }
 
-fn bench_detection_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("detection_scaling");
+fn bench_detection_scaling() {
+    println!("\n-- detection_scaling --");
     for k in [5usize, 10, 25, 50] {
         let rag = chain_rag(k);
-        group.bench_with_input(BenchmarkId::new("pdda_bitplane", k), &rag, |b, r| {
-            b.iter(|| pdda::detect(std::hint::black_box(r)))
+        bench(&format!("pdda_bitplane/{k}"), || {
+            pdda::detect(std::hint::black_box(&rag));
         });
-        group.bench_with_input(BenchmarkId::new("naive_cells", k), &rag, |b, r| {
-            b.iter(|| naive_reduction(std::hint::black_box(r)))
+        bench(&format!("pdda_cold_rebuild/{k}"), || {
+            pdda::detect_cold(std::hint::black_box(&rag));
         });
-        group.bench_with_input(BenchmarkId::new("dfs_oracle", k), &rag, |b, r| {
-            b.iter(|| std::hint::black_box(r).has_cycle())
+        bench(&format!("naive_cells/{k}"), || {
+            naive_reduction(std::hint::black_box(&rag));
+        });
+        bench(&format!("dfs_oracle/{k}"), || {
+            std::hint::black_box(&rag).has_cycle();
         });
         // The Section 3.3 baseline: Leibfried's O(k³) matrix powers.
-        group.bench_with_input(BenchmarkId::new("leibfried_matrix", k), &rag, |b, r| {
-            b.iter(|| deltaos_core::baselines::leibfried_detect(std::hint::black_box(r)))
+        bench(&format!("leibfried_matrix/{k}"), || {
+            deltaos_core::baselines::leibfried_detect(std::hint::black_box(&rag));
         });
     }
-    group.finish();
 }
 
-fn bench_avoidance_baselines(c: &mut Criterion) {
+fn bench_avoidance_baselines() {
     use deltaos_core::avoid::{Avoider, FastProbe};
     use deltaos_core::baselines::Banker;
-    let mut group = c.benchmark_group("avoidance_decision");
-    group.bench_function("daa_request_cycle", |b| {
-        b.iter_batched(
-            || {
-                let mut av = Avoider::new(5, 5);
-                for i in 0..5 {
-                    av.set_priority(ProcId(i), Priority::new(i as u8 + 1));
+    println!("\n-- avoidance_decision --");
+    bench_with_setup(
+        "daa_request_cycle",
+        || {
+            let mut av = Avoider::new(5, 5);
+            for i in 0..5 {
+                av.set_priority(ProcId(i), Priority::new(i as u8 + 1));
+            }
+            av
+        },
+        |mut av| {
+            av.request(ProcId(0), ResId(0), &mut FastProbe).unwrap();
+            av.request(ProcId(1), ResId(0), &mut FastProbe).unwrap();
+            av.release(ProcId(0), ResId(0), &mut FastProbe).unwrap();
+        },
+    );
+    bench_with_setup(
+        "banker_request_cycle",
+        || {
+            let mut bank = Banker::new(5, 5);
+            for p in 0..5u16 {
+                for q in 0..5u16 {
+                    bank.set_claim(ProcId(p), ResId(q));
                 }
-                av
-            },
-            |mut av| {
-                av.request(ProcId(0), ResId(0), &mut FastProbe).unwrap();
-                av.request(ProcId(1), ResId(0), &mut FastProbe).unwrap();
-                av.release(ProcId(0), ResId(0), &mut FastProbe).unwrap()
-            },
-            criterion::BatchSize::SmallInput,
-        )
-    });
-    group.bench_function("banker_request_cycle", |b| {
-        b.iter_batched(
-            || {
-                let mut bank = Banker::new(5, 5);
-                for p in 0..5u16 {
-                    for q in 0..5u16 {
-                        bank.set_claim(ProcId(p), ResId(q));
-                    }
-                }
-                bank
-            },
-            |mut bank| {
-                bank.request(ProcId(0), ResId(0));
-                bank.request(ProcId(1), ResId(1));
-                bank.release(ProcId(0), ResId(0)).unwrap()
-            },
-            criterion::BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+            }
+            bank
+        },
+        |mut bank| {
+            bank.request(ProcId(0), ResId(0));
+            bank.request(ProcId(1), ResId(1));
+            bank.release(ProcId(0), ResId(0)).unwrap();
+        },
+    );
 }
 
-fn bench_metered_software_pdda(c: &mut Criterion) {
+fn bench_metered_software_pdda() {
+    println!("\n-- metered software PDDA --");
     let rag = chain_rag(5);
-    c.bench_function("pdda_metered_5x5", |b| {
-        b.iter(|| {
-            let mut meter = Meter::new();
-            pdda::detect_metered(std::hint::black_box(&rag), &mut meter)
-        })
+    bench("pdda_metered_5x5", || {
+        let mut meter = Meter::new();
+        pdda::detect_metered(std::hint::black_box(&rag), &mut meter);
     });
 }
 
-fn bench_reduction_in_place(c: &mut Criterion) {
+fn bench_reduction_in_place() {
+    println!("\n-- reduction --");
     let rag = chain_rag(50);
-    c.bench_function("terminal_reduction_50x50", |b| {
-        b.iter_batched(
-            || StateMatrix::from_rag(&rag),
-            |mut m| terminal_reduction(&mut m),
-            criterion::BatchSize::SmallInput,
-        )
-    });
+    bench_with_setup(
+        "terminal_reduction_50x50",
+        || StateMatrix::from_rag(&rag),
+        |mut m| {
+            terminal_reduction(&mut m);
+        },
+    );
 }
 
-fn bench_ddu_detect(c: &mut Criterion) {
+fn bench_ddu_detect() {
+    println!("\n-- DDU --");
     let mut ddu = Ddu::new(5, 5);
     ddu.load_rag(&chain_rag(5));
-    c.bench_function("ddu_detect_5x5", |b| b.iter(|| ddu.detect()));
-}
-
-fn bench_dau_command_cycle(c: &mut Criterion) {
-    c.bench_function("dau_request_release_pair", |b| {
-        b.iter_batched(
-            || {
-                let mut dau = Dau::new(5, 5);
-                for i in 0..5 {
-                    dau.set_priority(ProcId(i), Priority::new(i as u8 + 1));
-                }
-                dau
-            },
-            |mut dau| {
-                dau.execute(Command::Request {
-                    process: ProcId(0),
-                    resource: ResId(0),
-                })
-                .unwrap();
-                dau.execute(Command::Release {
-                    process: ProcId(0),
-                    resource: ResId(0),
-                })
-                .unwrap()
-            },
-            criterion::BatchSize::SmallInput,
-        )
+    bench("ddu_detect_5x5", || {
+        ddu.detect();
     });
 }
 
-criterion_group!(
-    benches,
-    bench_detection_scaling,
-    bench_avoidance_baselines,
-    bench_metered_software_pdda,
-    bench_reduction_in_place,
-    bench_ddu_detect,
-    bench_dau_command_cycle
-);
-criterion_main!(benches);
+fn bench_dau_command_cycle() {
+    println!("\n-- DAU --");
+    bench_with_setup(
+        "dau_request_release_pair",
+        || {
+            let mut dau = Dau::new(5, 5);
+            for i in 0..5 {
+                dau.set_priority(ProcId(i), Priority::new(i as u8 + 1));
+            }
+            dau
+        },
+        |mut dau| {
+            dau.execute(Command::Request {
+                process: ProcId(0),
+                resource: ResId(0),
+            })
+            .unwrap();
+            dau.execute(Command::Release {
+                process: ProcId(0),
+                resource: ResId(0),
+            })
+            .unwrap();
+        },
+    );
+}
+
+fn main() {
+    bench_detection_scaling();
+    bench_avoidance_baselines();
+    bench_metered_software_pdda();
+    bench_reduction_in_place();
+    bench_ddu_detect();
+    bench_dau_command_cycle();
+}

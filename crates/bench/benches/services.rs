@@ -1,8 +1,9 @@
-//! Criterion benchmarks of the RTOS service models: allocators, lock
+//! Micro-benchmarks of the RTOS service models: allocators, lock
 //! backends and whole-scenario simulation throughput — plus the
-//! first-fit vs best-fit ablation from DESIGN.md.
+//! first-fit vs best-fit ablation from DESIGN.md. Built on the
+//! dependency-free harness in `deltaos_bench::microbench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deltaos_bench::microbench::bench_with_setup;
 use deltaos_core::Priority;
 use deltaos_hwunits::socdmmu::Socdmmu;
 use deltaos_mpsoc::pe::PeId;
@@ -11,126 +12,116 @@ use deltaos_rtos::lock::{LockId, LockService};
 use deltaos_rtos::mem::{AllocOutcome, FitPolicy, SwAllocator};
 use deltaos_rtos::task::TaskId;
 
-fn bench_allocators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("allocator_ops");
+fn bench_allocators() {
+    println!("\n-- allocator_ops --");
     for policy in [FitPolicy::FirstFit, FitPolicy::BestFit] {
-        group.bench_with_input(
-            BenchmarkId::new("sw_malloc_free", format!("{policy:?}")),
-            &policy,
-            |b, &p| {
-                b.iter_batched(
-                    || SwAllocator::new(0, 1 << 20, p),
-                    |mut h| {
-                        let mut addrs = Vec::with_capacity(64);
-                        for i in 0..64u32 {
-                            if let AllocOutcome::Ok { addr, .. } = h.malloc(64 + i * 8) {
-                                addrs.push(addr);
-                            }
-                        }
-                        for a in addrs {
-                            h.free(a);
-                        }
-                    },
-                    criterion::BatchSize::SmallInput,
-                )
-            },
-        );
-    }
-    group.bench_function("socdmmu_alloc_free", |b| {
-        b.iter_batched(
-            || Socdmmu::generate(256, 4096),
-            |mut d| {
+        bench_with_setup(
+            &format!("sw_malloc_free/{policy:?}"),
+            || SwAllocator::new(0, 1 << 20, policy),
+            |mut h| {
                 let mut addrs = Vec::with_capacity(64);
-                for _ in 0..64 {
-                    if let Ok(a) = d.alloc(PeId(0), 4096) {
-                        addrs.push(a.addr);
+                for i in 0..64u32 {
+                    if let AllocOutcome::Ok { addr, .. } = h.malloc(64 + i * 8) {
+                        addrs.push(addr);
                     }
                 }
                 for a in addrs {
-                    d.dealloc(PeId(0), a).unwrap();
+                    h.free(a);
                 }
             },
-            criterion::BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+        );
+    }
+    bench_with_setup(
+        "socdmmu_alloc_free",
+        || Socdmmu::generate(256, 4096),
+        |mut d| {
+            let mut addrs = Vec::with_capacity(64);
+            for _ in 0..64 {
+                if let Ok(a) = d.alloc(PeId(0), 4096) {
+                    addrs.push(a.addr);
+                }
+            }
+            for a in addrs {
+                d.dealloc(PeId(0), a).unwrap();
+            }
+        },
+    );
 }
 
-fn bench_lock_backends(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lock_backends");
-    group.bench_function("software_acquire_release", |b| {
-        b.iter_batched(
-            || {
-                (
-                    LockService::software(4),
-                    deltaos_mpsoc::interrupt::InterruptController::new(4),
-                )
-            },
-            |(mut svc, mut ic)| {
-                svc.acquire(LockId(0), TaskId(0), PeId(0), Priority::new(1));
-                svc.release(LockId(0), TaskId(0), &mut ic, deltaos_sim::SimTime::ZERO)
-            },
-            criterion::BatchSize::SmallInput,
-        )
-    });
-    group.bench_function("soclc_acquire_release", |b| {
-        b.iter_batched(
-            || {
-                (
-                    LockService::soclc(2, 2),
-                    deltaos_mpsoc::interrupt::InterruptController::new(4),
-                )
-            },
-            |(mut svc, mut ic)| {
-                svc.acquire(LockId(0), TaskId(0), PeId(0), Priority::new(1));
-                svc.release(LockId(0), TaskId(0), &mut ic, deltaos_sim::SimTime::ZERO)
-            },
-            criterion::BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+fn bench_lock_backends() {
+    println!("\n-- lock_backends --");
+    bench_with_setup(
+        "software_acquire_release",
+        || {
+            (
+                LockService::software(4),
+                deltaos_mpsoc::interrupt::InterruptController::new(4),
+            )
+        },
+        |(mut svc, mut ic)| {
+            svc.acquire(LockId(0), TaskId(0), PeId(0), Priority::new(1));
+            svc.release(LockId(0), TaskId(0), &mut ic, deltaos_sim::SimTime::ZERO);
+        },
+    );
+    bench_with_setup(
+        "soclc_acquire_release",
+        || {
+            (
+                LockService::soclc(2, 2),
+                deltaos_mpsoc::interrupt::InterruptController::new(4),
+            )
+        },
+        |(mut svc, mut ic)| {
+            svc.acquire(LockId(0), TaskId(0), PeId(0), Priority::new(1));
+            svc.release(LockId(0), TaskId(0), &mut ic, deltaos_sim::SimTime::ZERO);
+        },
+    );
 }
 
-fn bench_full_scenarios(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scenario_simulation");
-    group.sample_size(20);
+fn bench_full_scenarios() {
+    println!("\n-- scenario_simulation --");
     for (name, preset) in [
         ("gdl_rtos3", deltaos_framework::RtosPreset::Rtos3),
         ("gdl_rtos4", deltaos_framework::RtosPreset::Rtos4),
     ] {
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || {
-                    let cfg = deltaos_framework::SystemConfig::preset_small(preset);
-                    let mut k = Kernel::new(cfg.kernel_config());
-                    deltaos_apps::gdl::install(&mut k);
-                    k
-                },
-                |mut k| k.run(Some(1_000_000_000)),
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        bench_with_setup(
+            name,
+            || {
+                let cfg = deltaos_framework::SystemConfig::preset_small(preset);
+                let mut k = Kernel::new(cfg.kernel_config());
+                deltaos_apps::gdl::install(&mut k);
+                k
+            },
+            |mut k| {
+                k.run(Some(1_000_000_000));
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_rtl_generation(c: &mut Criterion) {
-    c.bench_function("generate_ddu_50x50", |b| {
-        b.iter(|| deltaos_rtl::ddu_gen::generate(50, 50))
-    });
-    c.bench_function("generate_top_rtos4", |b| {
-        let cfg =
-            deltaos_framework::SystemConfig::preset_small(deltaos_framework::RtosPreset::Rtos4);
-        let desc = cfg.system_desc();
-        b.iter(|| deltaos_rtl::archi_gen::generate(std::hint::black_box(&desc)))
-    });
+fn bench_rtl_generation() {
+    println!("\n-- rtl_generation --");
+    bench_with_setup(
+        "generate_ddu_50x50",
+        || (),
+        |()| {
+            deltaos_rtl::ddu_gen::generate(50, 50);
+        },
+    );
+    let cfg = deltaos_framework::SystemConfig::preset_small(deltaos_framework::RtosPreset::Rtos4);
+    let desc = cfg.system_desc();
+    bench_with_setup(
+        "generate_top_rtos4",
+        || (),
+        |()| {
+            deltaos_rtl::archi_gen::generate(std::hint::black_box(&desc));
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_allocators,
-    bench_lock_backends,
-    bench_full_scenarios,
-    bench_rtl_generation
-);
-criterion_main!(benches);
+fn main() {
+    bench_allocators();
+    bench_lock_backends();
+    bench_full_scenarios();
+    bench_rtl_generation();
+}

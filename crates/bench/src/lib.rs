@@ -9,11 +9,13 @@
 //! cargo run -p deltaos-bench --bin all_tables
 //! ```
 //!
-//! Criterion micro-benchmarks (in `benches/`) back the scaling claims:
-//! PDDA/DDU step counts vs software scans, DAU command latency,
-//! allocator costs, and the bit-plane-packing ablation.
+//! Micro-benchmarks (in `benches/`, built on the dependency-free
+//! [`microbench`] harness) back the scaling claims: PDDA/DDU step
+//! counts vs software scans, DAU command latency, allocator costs, and
+//! the bit-plane-packing ablation.
 
 pub mod experiments;
+pub mod microbench;
 
 /// Prints a simple fixed-width table: a header row then data rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {

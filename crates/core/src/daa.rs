@@ -20,7 +20,16 @@ struct MeteredProbe<'a> {
 impl DeadlockProbe for MeteredProbe<'_> {
     fn would_deadlock(&mut self, rag: &Rag) -> bool {
         *self.probes += 1;
-        crate::pdda::detect_metered(rag, self.meter).deadlock
+        let deadlock = crate::pdda::detect_metered(rag, self.meter).deadlock;
+        // The metered scan *is* the modeled RTOS3 algorithm and its cost
+        // must stay untouched; the incremental engine rides along in
+        // debug builds as a cross-check that both paths always agree.
+        debug_assert_eq!(
+            deadlock,
+            crate::pdda::detect(rag).deadlock,
+            "metered software PDDA and incremental engine disagree on {rag}"
+        );
+        deadlock
     }
 }
 

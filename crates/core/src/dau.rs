@@ -53,6 +53,12 @@ pub struct Status {
 }
 
 /// Step-counting probe backed by the embedded DDU.
+///
+/// `load_rag` is incremental since the engine rework: between probes the
+/// avoider mutates its RAG by a few edges (a trial grant, an undo), so
+/// each sync replays only those journal deltas into the cell array. The
+/// step accounting (`out.steps`, the Table 2/7/9 hardware cost) is
+/// unchanged — it models the DDU's clocks, not host work.
 struct DduProbe<'a> {
     ddu: &'a mut Ddu,
     steps: &'a mut u64,

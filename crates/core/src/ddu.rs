@@ -15,9 +15,9 @@
 //! reports the deadlock decision and the number of hardware clocks the
 //! engine spent.
 
+use crate::engine::DetectEngine;
 use crate::matrix::StateMatrix;
 use crate::pdda::DetectOutcome;
-use crate::reduction::terminal_reduction;
 use crate::{ProcId, Rag, ResId};
 
 /// Cycle-level model of the Deadlock Detection Unit.
@@ -37,7 +37,7 @@ use crate::{ProcId, Rag, ResId};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Ddu {
-    matrix: StateMatrix,
+    engine: DetectEngine,
     detections: u64,
     total_steps: u64,
 }
@@ -51,7 +51,7 @@ impl Ddu {
     /// Panics if either dimension is zero.
     pub fn new(resources: usize, processes: usize) -> Self {
         Ddu {
-            matrix: StateMatrix::new(resources, processes),
+            engine: DetectEngine::new(resources, processes),
             detections: 0,
             total_steps: 0,
         }
@@ -59,12 +59,12 @@ impl Ddu {
 
     /// Number of resource rows.
     pub fn resources(&self) -> usize {
-        self.matrix.resources()
+        self.engine.resources()
     }
 
     /// Number of process columns.
     pub fn processes(&self) -> usize {
-        self.matrix.processes()
+        self.engine.processes()
     }
 
     /// Writes a request edge into the cell array.
@@ -73,7 +73,7 @@ impl Ddu {
     ///
     /// Panics if ids are out of range for the unit.
     pub fn set_request(&mut self, p: ProcId, q: ResId) {
-        self.matrix.set_request(p, q);
+        self.engine.set_request(p, q);
     }
 
     /// Writes a grant edge into the cell array.
@@ -82,7 +82,7 @@ impl Ddu {
     ///
     /// Panics if ids are out of range for the unit.
     pub fn set_grant(&mut self, q: ResId, p: ProcId) {
-        self.matrix.set_grant(q, p);
+        self.engine.set_grant(q, p);
     }
 
     /// Clears a cell.
@@ -91,40 +91,34 @@ impl Ddu {
     ///
     /// Panics if ids are out of range for the unit.
     pub fn clear(&mut self, q: ResId, p: ProcId) {
-        self.matrix.clear(q, p);
+        self.engine.clear(q, p);
     }
 
-    /// Reloads the whole cell array from a [`Rag`].
+    /// Brings the cell array up to date with a [`Rag`].
+    ///
+    /// Incremental since the engine rework: when the same (journaled)
+    /// graph was loaded before, only the cells that changed are written —
+    /// matching how an RTOS drives the memory-mapped unit with individual
+    /// cell writes rather than a full array reload. Falls back to a full
+    /// reload for an unfamiliar graph or after journal exhaustion.
     ///
     /// # Panics
     ///
     /// Panics if the RAG dimensions exceed the unit's.
     pub fn load_rag(&mut self, rag: &Rag) {
-        assert!(
-            rag.resources() <= self.resources() && rag.processes() <= self.processes(),
-            "RAG {}x{} does not fit DDU {}x{}",
-            rag.resources(),
-            rag.processes(),
-            self.resources(),
-            self.processes()
-        );
-        let mut fresh = StateMatrix::new(self.resources(), self.processes());
-        for qi in 0..rag.resources() {
-            let q = ResId(qi as u16);
-            if let Some(p) = rag.owner(q) {
-                fresh.set_grant(q, p);
-            }
-            for &p in rag.requesters(q) {
-                fresh.set_request(p, q);
-            }
-        }
-        self.matrix = fresh;
+        self.engine.sync_rag(rag);
     }
 
     /// Read-back of the current cell array (for debugging and the RTL
     /// test benches).
     pub fn matrix(&self) -> &StateMatrix {
-        &self.matrix
+        self.engine.mirror()
+    }
+
+    /// Detection statistics of the embedded incremental engine (cache
+    /// hits, delta syncs, full reloads).
+    pub fn engine_stats(&self) -> crate::engine::EngineStats {
+        self.engine.stats()
     }
 
     /// Pulses the detection engine.
@@ -133,9 +127,13 @@ impl Ddu {
     /// contents into its iteration registers so the programmed state
     /// survives detection, and so does ours. `steps` in the returned
     /// outcome is the number of hardware clocks consumed.
+    ///
+    /// The *modeled hardware cost* (`steps`, and the [`Ddu::total_steps`]
+    /// accounting behind Table 5) is produced exactly as before; the
+    /// incremental engine only removes redundant *host-side* work
+    /// (allocation, full matrix rebuilds) from the simulation.
     pub fn detect(&mut self) -> DetectOutcome {
-        let mut work = self.matrix.clone();
-        let outcome: DetectOutcome = terminal_reduction(&mut work).into();
+        let outcome = self.engine.detect_current();
         self.detections += 1;
         self.total_steps += outcome.steps as u64;
         outcome
@@ -232,6 +230,37 @@ mod tests {
         ddu.load_rag(&rag);
         assert_eq!(ddu.matrix().edge_count(), 2);
         assert!(!ddu.detect().deadlock);
+    }
+
+    #[test]
+    fn repeated_load_rag_syncs_by_delta() {
+        let mut rag = Rag::new(3, 3);
+        let mut ddu = Ddu::new(3, 3);
+        ddu.load_rag(&rag);
+        ddu.detect();
+        rag.add_grant(q(0), p(0)).unwrap();
+        rag.add_request(p(1), q(0)).unwrap();
+        ddu.load_rag(&rag);
+        assert!(!ddu.detect().deadlock);
+        let s = ddu.engine_stats();
+        assert_eq!(s.full_rebuilds, 1, "only the first load is a full reload");
+        assert_eq!(s.delta_syncs, 1);
+        assert_eq!(s.deltas_applied, 2);
+    }
+
+    #[test]
+    fn back_to_back_detects_still_accumulate_hardware_clocks() {
+        // A cache-hit probe returns the identical outcome, and the
+        // modeled hardware accounting (Table 5's step counts) still
+        // charges every pulse.
+        let mut ddu = Ddu::new(2, 2);
+        ddu.set_grant(q(0), p(0));
+        let a = ddu.detect();
+        let b = ddu.detect();
+        assert_eq!(a, b);
+        assert_eq!(ddu.detection_count(), 2);
+        assert_eq!(ddu.total_steps(), 2 * a.steps as u64);
+        assert_eq!(ddu.engine_stats().cache_hits, 1);
     }
 
     #[test]

@@ -1,0 +1,589 @@
+//! The incremental, allocation-free deadlock detection engine.
+//!
+//! Every detection entry point in the crate ultimately runs the terminal
+//! reduction `ξ` of Algorithm 1, and historically each probe paid the
+//! full cold-start price: build a fresh [`StateMatrix`] from the RAG,
+//! allocate scratch, reduce, drop everything. Between two probes an RTOS
+//! mutates only a handful of edges, so almost all of that work rebuilds
+//! state that never changed.
+//!
+//! [`DetectEngine`] keeps a persistent **mirror** of the state matrix and
+//! applies RAG *deltas* instead of rebuilding:
+//!
+//! * [`Rag`] stamps every successful mutation with a new epoch and
+//!   journals the cell-level change ([`RagDelta`]). When the engine's
+//!   mirror lags the graph, it replays just the missing deltas;
+//!   [`StateMatrix::from_rag`] remains the cold path, used only when the
+//!   journal no longer reaches back far enough (or the graph identity
+//!   changed).
+//! * Dirty-row / dirty-column sets record which parts of the mirror each
+//!   sync touched; flushing the dirty rows refreshes the `row_nonempty`
+//!   bookkeeping that seeds the reduction worklist, so probe cost tracks
+//!   the *edit* size, not the matrix size.
+//! * The reduction itself runs over an active-row worklist with scratch
+//!   buffers owned by the engine ([`ReduceScratch`]) and a working matrix
+//!   reused probe to probe — zero allocations on the steady-state path.
+//! * An epoch-keyed result cache returns the previous [`DetectOutcome`]
+//!   in O(1) when nothing mutated between probes.
+//!
+//! The engine is *bit-for-bit equivalent* to the cold path: verdict,
+//! `iterations` and `steps` all match [`crate::pdda::detect_cold`] (the
+//! worklist skips only rows that are provably empty, which can never be
+//! terminal and contribute nothing to the column BWO trees). The
+//! instruction-metered software PDDA ([`crate::pdda::detect_metered`]) is
+//! untouched: the paper's Table 5 models a C implementation that rebuilds
+//! kernel tables on every invocation, and its costs must not shift.
+
+use crate::matrix::StateMatrix;
+use crate::pdda::DetectOutcome;
+use crate::rag::RagDelta;
+use crate::reduction::{reduce_core, ReduceScratch};
+use crate::{ProcId, Rag, ResId};
+
+/// Operation counters exposed for tests, benches and DESIGN.md claims.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Detection probes requested.
+    pub probes: u64,
+    /// Probes answered from the epoch-keyed result cache (no reduction).
+    pub cache_hits: u64,
+    /// Syncs satisfied by replaying journal deltas.
+    pub delta_syncs: u64,
+    /// Individual deltas applied across all delta syncs.
+    pub deltas_applied: u64,
+    /// Syncs that fell back to a full [`StateMatrix::from_rag`]-style
+    /// rebuild (cold path).
+    pub full_rebuilds: u64,
+    /// Terminal reductions actually executed.
+    pub reductions: u64,
+}
+
+/// What state the mirror currently reflects — either a specific
+/// `(id, epoch)` of some [`Rag`], or a locally-edited state numbered by
+/// the engine's own edit counter (the DDU's direct cell writes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Version {
+    Rag { id: u64, epoch: u64 },
+    Local { edits: u64 },
+}
+
+/// Incremental deadlock detection engine: persistent matrix mirror,
+/// delta sync, worklist reduction, result cache.
+///
+/// # Example
+///
+/// ```
+/// use deltaos_core::engine::DetectEngine;
+/// use deltaos_core::{ProcId, Rag, ResId};
+///
+/// # fn main() -> Result<(), deltaos_core::CoreError> {
+/// let mut rag = Rag::new(2, 2);
+/// let mut engine = DetectEngine::new(2, 2);
+/// rag.add_grant(ResId(0), ProcId(0))?;
+/// rag.add_grant(ResId(1), ProcId(1))?;
+/// rag.add_request(ProcId(0), ResId(1))?;
+/// assert!(!engine.probe(&rag).deadlock);
+/// rag.add_request(ProcId(1), ResId(0))?;
+/// // Only the one new edge is applied to the mirror before reducing.
+/// assert!(engine.probe(&rag).deadlock);
+/// assert_eq!(engine.stats().delta_syncs, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetectEngine {
+    /// Persistent image of the current graph state.
+    mirror: StateMatrix,
+    /// Working copy the reduction destroys each probe.
+    work: StateMatrix,
+    /// Reusable reduction scratch (col masks, BWO accumulators, worklist).
+    scratch: ReduceScratch,
+    /// `row_nonempty[s]` ⟺ mirror row `s` carries at least one edge.
+    /// Maintained lazily through the dirty-row set.
+    row_nonempty: Vec<bool>,
+    /// Dense list of the non-empty mirror rows — the reduction's seed
+    /// worklist, maintained incrementally by [`DetectEngine::flush_dirty`]
+    /// so a probe never scans all `m` rows.
+    live_rows: Vec<u32>,
+    /// `live_pos[s]` = index of row `s` in `live_rows` (`u32::MAX` when
+    /// the row is empty); makes membership updates O(1) via swap-remove.
+    live_pos: Vec<u32>,
+    /// Rows the last reduction left non-empty in `work` (the irreducible
+    /// residue). Clearing exactly these restores `work` to all-zeros, so
+    /// the next probe copies only the live rows instead of the whole
+    /// mirror.
+    work_residue: Vec<u32>,
+    /// Rows touched since the last flush (set + dense list).
+    dirty_rows: Vec<bool>,
+    dirty_row_list: Vec<u32>,
+    /// Columns touched since the last flush. Row flushing drives the
+    /// worklist today; the column set is maintained symmetrically as the
+    /// hook for the column-sided worklist tracked in ROADMAP.md.
+    dirty_cols: Vec<bool>,
+    dirty_col_list: Vec<u32>,
+    /// What the mirror currently holds.
+    version: Version,
+    /// Monotonic counter for direct (DDU-style) cell edits.
+    edits: u64,
+    /// Last outcome, keyed by the version it was computed at.
+    cache: Option<(Version, DetectOutcome)>,
+    stats: EngineStats,
+}
+
+impl DetectEngine {
+    /// Creates an engine sized for `resources` × `processes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero (same contract as
+    /// [`StateMatrix::new`]).
+    pub fn new(resources: usize, processes: usize) -> Self {
+        DetectEngine {
+            mirror: StateMatrix::new(resources, processes),
+            work: StateMatrix::new(resources, processes),
+            scratch: ReduceScratch::new(),
+            row_nonempty: vec![false; resources],
+            live_rows: Vec::with_capacity(resources),
+            live_pos: vec![u32::MAX; resources],
+            work_residue: Vec::with_capacity(resources),
+            dirty_rows: vec![false; resources],
+            dirty_row_list: Vec::new(),
+            dirty_cols: vec![false; processes],
+            dirty_col_list: Vec::new(),
+            version: Version::Local { edits: 0 },
+            edits: 0,
+            cache: None,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Number of resource rows.
+    pub fn resources(&self) -> usize {
+        self.mirror.resources()
+    }
+
+    /// Number of process columns.
+    pub fn processes(&self) -> usize {
+        self.mirror.processes()
+    }
+
+    /// The persistent mirror (read-only; the DDU exposes this as its cell
+    /// array read-back).
+    pub fn mirror(&self) -> &StateMatrix {
+        &self.mirror
+    }
+
+    /// Operation counters since construction (or [`DetectEngine::reset_stats`]).
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Zeroes the operation counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Reallocates for a new shape, discarding the mirror. Cheap no-op
+    /// when the shape already matches.
+    pub fn ensure_dims(&mut self, resources: usize, processes: usize) {
+        if self.resources() == resources && self.processes() == processes {
+            return;
+        }
+        *self = DetectEngine {
+            stats: self.stats,
+            edits: self.edits,
+            ..DetectEngine::new(resources, processes)
+        };
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, q: ResId, p: ProcId) {
+        if !self.dirty_rows[q.index()] {
+            self.dirty_rows[q.index()] = true;
+            self.dirty_row_list.push(q.index() as u32);
+        }
+        if !self.dirty_cols[p.index()] {
+            self.dirty_cols[p.index()] = true;
+            self.dirty_col_list.push(p.index() as u32);
+        }
+    }
+
+    /// Refreshes `row_nonempty` and the `live_rows` worklist for the rows
+    /// touched since the last flush, then forgets the dirty sets.
+    fn flush_dirty(&mut self) {
+        while let Some(s) = self.dirty_row_list.pop() {
+            let s = s as usize;
+            self.dirty_rows[s] = false;
+            let nonempty = !self.mirror.row_is_empty(s);
+            if nonempty == self.row_nonempty[s] {
+                continue;
+            }
+            self.row_nonempty[s] = nonempty;
+            if nonempty {
+                self.live_pos[s] = self.live_rows.len() as u32;
+                self.live_rows.push(s as u32);
+            } else {
+                let i = self.live_pos[s] as usize;
+                self.live_pos[s] = u32::MAX;
+                self.live_rows.swap_remove(i);
+                if let Some(&moved) = self.live_rows.get(i) {
+                    self.live_pos[moved as usize] = i as u32;
+                }
+            }
+        }
+        while let Some(t) = self.dirty_col_list.pop() {
+            self.dirty_cols[t as usize] = false;
+        }
+    }
+
+    fn bump_local(&mut self) {
+        self.edits += 1;
+        self.version = Version::Local { edits: self.edits };
+    }
+
+    /// Direct cell write (the DDU's bus interface): request edge `p → q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are out of range.
+    pub fn set_request(&mut self, p: ProcId, q: ResId) {
+        self.mirror.set_request(p, q);
+        self.mark_dirty(q, p);
+        self.bump_local();
+    }
+
+    /// Direct cell write: grant edge `q → p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are out of range.
+    pub fn set_grant(&mut self, q: ResId, p: ProcId) {
+        self.mirror.set_grant(q, p);
+        self.mark_dirty(q, p);
+        self.bump_local();
+    }
+
+    /// Direct cell write: clear cell `(q, p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are out of range.
+    pub fn clear(&mut self, q: ResId, p: ProcId) {
+        self.mirror.clear(q, p);
+        self.mark_dirty(q, p);
+        self.bump_local();
+    }
+
+    fn apply_delta(&mut self, delta: RagDelta) {
+        let (p, q) = match delta {
+            RagDelta::Request { p, q } => {
+                self.mirror.set_request(p, q);
+                (p, q)
+            }
+            RagDelta::Grant { p, q } => {
+                self.mirror.set_grant(q, p);
+                (p, q)
+            }
+            RagDelta::Clear { p, q } => {
+                self.mirror.clear(q, p);
+                (p, q)
+            }
+        };
+        self.mark_dirty(q, p);
+    }
+
+    /// Rebuilds the whole mirror from `rag` into the existing buffers —
+    /// the cold path, with no allocation beyond what the engine owns.
+    fn full_rebuild(&mut self, rag: &Rag) {
+        self.mirror.fill_empty();
+        for qi in 0..rag.resources() {
+            let q = ResId(qi as u16);
+            if let Some(p) = rag.owner(q) {
+                self.mirror.set_grant(q, p);
+            }
+            for &p in rag.requesters(q) {
+                self.mirror.set_request(p, q);
+            }
+        }
+        // Everything moved: recompute row occupancy wholesale and drop
+        // any finer-grained dirty tracking.
+        self.live_rows.clear();
+        for s in 0..self.resources() {
+            let nonempty = !self.mirror.row_is_empty(s);
+            self.row_nonempty[s] = nonempty;
+            if nonempty {
+                self.live_pos[s] = self.live_rows.len() as u32;
+                self.live_rows.push(s as u32);
+            } else {
+                self.live_pos[s] = u32::MAX;
+            }
+        }
+        self.dirty_rows.fill(false);
+        self.dirty_row_list.clear();
+        self.dirty_cols.fill(false);
+        self.dirty_col_list.clear();
+        self.stats.full_rebuilds += 1;
+    }
+
+    /// Brings the mirror up to date with `rag`, by delta replay when the
+    /// journal allows it, else by full rebuild.
+    ///
+    /// The RAG must fit the engine (`rag.resources() <= resources()` and
+    /// likewise for processes): the DDU loads smaller graphs into a wider
+    /// cell array. Use [`DetectEngine::ensure_dims`] first for an exact
+    /// fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the RAG does not fit the engine's dimensions.
+    pub fn sync_rag(&mut self, rag: &Rag) {
+        assert!(
+            rag.resources() <= self.resources() && rag.processes() <= self.processes(),
+            "RAG {}x{} does not fit engine {}x{}",
+            rag.resources(),
+            rag.processes(),
+            self.resources(),
+            self.processes()
+        );
+        let target = Version::Rag {
+            id: rag.id(),
+            epoch: rag.epoch(),
+        };
+        if self.version == target {
+            return;
+        }
+        match self.version {
+            Version::Rag { id, epoch } if id == rag.id() && rag.journal_covers(epoch) => {
+                for delta in rag.deltas_since(epoch) {
+                    self.apply_delta(delta);
+                    self.stats.deltas_applied += 1;
+                }
+                self.stats.delta_syncs += 1;
+            }
+            _ => self.full_rebuild(rag),
+        }
+        self.version = target;
+        debug_assert_eq!(
+            self.mirror,
+            {
+                let mut full = StateMatrix::new(self.resources(), self.processes());
+                for qi in 0..rag.resources() {
+                    let q = ResId(qi as u16);
+                    if let Some(p) = rag.owner(q) {
+                        full.set_grant(q, p);
+                    }
+                    for &p in rag.requesters(q) {
+                        full.set_request(p, q);
+                    }
+                }
+                full
+            },
+            "delta-synced mirror diverged from the graph"
+        );
+    }
+
+    /// Reduces the current mirror state, consulting the result cache.
+    pub fn detect_current(&mut self) -> DetectOutcome {
+        self.stats.probes += 1;
+        if let Some((version, outcome)) = self.cache {
+            if version == self.version {
+                self.stats.cache_hits += 1;
+                return outcome;
+            }
+        }
+        self.flush_dirty();
+        // `work` is all-zero outside the residue rows the previous
+        // reduction left behind; clear those, then image only the live
+        // rows — O(residue + live) row copies, never a full-matrix one.
+        for &s in &self.work_residue {
+            self.work.clear_row(s as usize);
+        }
+        self.work_residue.clear();
+        for &s in &self.live_rows {
+            self.work.copy_row_from(&self.mirror, s as usize);
+        }
+        let report = reduce_core(&mut self.work, &mut self.scratch, Some(&self.live_rows));
+        self.work_residue.extend_from_slice(self.scratch.residue());
+        self.stats.reductions += 1;
+        let outcome: DetectOutcome = report.into();
+        self.cache = Some((self.version, outcome));
+        outcome
+    }
+
+    /// Full probe: sync the mirror to `rag` and detect. This is the
+    /// engine's main entry point — [`crate::pdda::detect`] routes here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the RAG does not fit the engine's dimensions.
+    pub fn probe(&mut self, rag: &Rag) -> DetectOutcome {
+        self.sync_rag(rag);
+        self.detect_current()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdda::detect_cold;
+
+    fn p(i: u16) -> ProcId {
+        ProcId(i)
+    }
+    fn q(i: u16) -> ResId {
+        ResId(i)
+    }
+
+    fn cycle_rag() -> Rag {
+        let mut rag = Rag::new(2, 2);
+        rag.add_grant(q(0), p(0)).unwrap();
+        rag.add_grant(q(1), p(1)).unwrap();
+        rag.add_request(p(0), q(1)).unwrap();
+        rag.add_request(p(1), q(0)).unwrap();
+        rag
+    }
+
+    #[test]
+    fn first_probe_is_a_full_rebuild() {
+        let rag = cycle_rag();
+        let mut engine = DetectEngine::new(2, 2);
+        assert!(engine.probe(&rag).deadlock);
+        assert_eq!(engine.stats().full_rebuilds, 1);
+        assert_eq!(engine.stats().delta_syncs, 0);
+    }
+
+    #[test]
+    fn second_probe_after_edit_uses_deltas() {
+        let mut rag = cycle_rag();
+        let mut engine = DetectEngine::new(2, 2);
+        engine.probe(&rag);
+        rag.remove_request(p(1), q(0));
+        let out = engine.probe(&rag);
+        assert!(!out.deadlock);
+        assert_eq!(engine.stats().full_rebuilds, 1);
+        assert_eq!(engine.stats().delta_syncs, 1);
+        assert_eq!(engine.stats().deltas_applied, 1);
+        assert_eq!(out, detect_cold(&rag));
+    }
+
+    #[test]
+    fn unchanged_probe_hits_the_cache() {
+        let rag = cycle_rag();
+        let mut engine = DetectEngine::new(2, 2);
+        let a = engine.probe(&rag);
+        let b = engine.probe(&rag);
+        assert_eq!(a, b);
+        assert_eq!(engine.stats().probes, 2);
+        assert_eq!(engine.stats().cache_hits, 1);
+        assert_eq!(engine.stats().reductions, 1, "second probe must not reduce");
+    }
+
+    #[test]
+    fn journal_overflow_falls_back_to_rebuild() {
+        let mut rag = Rag::new(1, 1);
+        let mut engine = DetectEngine::new(1, 1);
+        engine.probe(&rag);
+        for _ in 0..300 {
+            rag.add_request(p(0), q(0)).unwrap();
+            assert!(rag.remove_request(p(0), q(0)));
+        }
+        engine.probe(&rag);
+        assert_eq!(engine.stats().full_rebuilds, 2);
+        assert_eq!(engine.stats().delta_syncs, 0);
+    }
+
+    #[test]
+    fn different_rag_identity_forces_rebuild() {
+        let rag1 = cycle_rag();
+        let rag2 = Rag::new(2, 2);
+        let mut engine = DetectEngine::new(2, 2);
+        assert!(engine.probe(&rag1).deadlock);
+        assert!(!engine.probe(&rag2).deadlock);
+        assert_eq!(engine.stats().full_rebuilds, 2);
+    }
+
+    #[test]
+    fn clone_of_rag_is_probed_safely() {
+        // A clone keeps the journal but gets a new id, so the engine must
+        // not delta-sync across the identity change.
+        let mut rag = cycle_rag();
+        let mut engine = DetectEngine::new(2, 2);
+        engine.probe(&rag);
+        let copy = rag.clone();
+        rag.remove_request(p(1), q(0));
+        assert!(engine.probe(&copy).deadlock);
+        assert!(!engine.probe(&rag).deadlock);
+    }
+
+    #[test]
+    fn direct_edits_mirror_the_ddu_interface() {
+        let mut engine = DetectEngine::new(2, 2);
+        engine.set_grant(q(0), p(0));
+        engine.set_grant(q(1), p(1));
+        engine.set_request(p(0), q(1));
+        engine.set_request(p(1), q(0));
+        assert!(engine.detect_current().deadlock);
+        let hit = engine.detect_current();
+        assert!(hit.deadlock);
+        assert_eq!(engine.stats().cache_hits, 1);
+        engine.clear(q(1), p(0));
+        assert!(!engine.detect_current().deadlock);
+        assert_eq!(engine.mirror().edge_count(), 3, "detection preserves cells");
+    }
+
+    #[test]
+    fn smaller_rag_fits_wider_engine() {
+        let mut chain = Rag::new(3, 3);
+        chain.add_grant(q(0), p(0)).unwrap();
+        chain.add_request(p(1), q(0)).unwrap();
+        let mut exact = DetectEngine::new(3, 3);
+        let mut wide = DetectEngine::new(8, 64);
+        assert_eq!(exact.probe(&chain), wide.probe(&chain));
+    }
+
+    #[test]
+    fn ensure_dims_reshapes_and_rebuilds() {
+        let mut engine = DetectEngine::new(2, 2);
+        engine.probe(&cycle_rag());
+        engine.ensure_dims(5, 5);
+        assert_eq!(engine.resources(), 5);
+        let rag = Rag::new(5, 5);
+        assert!(!engine.probe(&rag).deadlock);
+        assert_eq!(engine.stats().full_rebuilds, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_rag_rejected() {
+        DetectEngine::new(2, 2).probe(&Rag::new(3, 3));
+    }
+
+    #[test]
+    fn outcome_matches_cold_path_across_paper_table4_sequence() {
+        let mut rag = Rag::new(5, 5);
+        let mut engine = DetectEngine::new(5, 5);
+        let check = |rag: &Rag, engine: &mut DetectEngine| {
+            assert_eq!(engine.probe(rag), detect_cold(rag));
+        };
+        rag.add_grant(q(1), p(0)).unwrap();
+        rag.add_grant(q(0), p(0)).unwrap();
+        check(&rag, &mut engine);
+        rag.add_grant(q(3), p(2)).unwrap();
+        rag.add_request(p(2), q(1)).unwrap();
+        check(&rag, &mut engine);
+        rag.add_request(p(1), q(1)).unwrap();
+        rag.add_request(p(1), q(3)).unwrap();
+        check(&rag, &mut engine);
+        rag.remove_grant(q(1), p(0)).unwrap();
+        check(&rag, &mut engine);
+        rag.remove_request(p(1), q(1));
+        rag.add_grant(q(1), p(1)).unwrap();
+        check(&rag, &mut engine);
+        assert!(engine.probe(&rag).deadlock);
+        assert_eq!(
+            engine.stats().full_rebuilds,
+            1,
+            "only the first probe rebuilds"
+        );
+    }
+}

@@ -12,6 +12,11 @@
 //!   Definition 6, packed so reductions run word-parallel like the DDU's
 //!   cell array.
 //! * [`reduction`] — the terminal reduction sequence `ξ` (Algorithm 1).
+//! * [`engine::DetectEngine`] — the incremental, allocation-free
+//!   detection engine: a persistent matrix mirror kept in sync with the
+//!   RAG by delta replay, a worklist reduction over reusable scratch and
+//!   an epoch-keyed result cache. All functional detection entry points
+//!   route through it.
 //! * [`pdda`] — the Parallel Deadlock Detection Algorithm (Algorithm 2),
 //!   in both the word-parallel form and the instruction-metered
 //!   *software* form the paper benchmarks as RTOS1.
@@ -57,6 +62,7 @@ pub mod cost;
 pub mod daa;
 pub mod dau;
 pub mod ddu;
+pub mod engine;
 mod error;
 mod ids;
 pub mod matrix;
@@ -68,4 +74,4 @@ pub mod worst_case;
 
 pub use error::CoreError;
 pub use ids::{Priority, ProcId, ResId};
-pub use rag::Rag;
+pub use rag::{Rag, RagDelta};

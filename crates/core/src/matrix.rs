@@ -92,8 +92,15 @@ impl StateMatrix {
     }
 
     /// Builds the matrix from a [`Rag`] (lines 2–6 of Algorithm 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either RAG dimension is zero, exactly like
+    /// [`StateMatrix::new`] — an earlier version silently clamped
+    /// degenerate graphs to a 1×1 matrix, hiding configuration bugs that
+    /// `new` was designed to reject.
     pub fn from_rag(rag: &Rag) -> Self {
-        let mut mat = StateMatrix::new(rag.resources().max(1), rag.processes().max(1));
+        let mut mat = StateMatrix::new(rag.resources(), rag.processes());
         for qi in 0..rag.resources() {
             let q = ResId(qi as u16);
             if let Some(p) = rag.owner(q) {
@@ -262,6 +269,103 @@ impl StateMatrix {
             ga |= self.g[i];
         }
         (ra != 0, ga != 0)
+    }
+
+    /// `true` if row `s` holds no edge in either plane.
+    #[inline]
+    pub fn row_is_empty(&self, s: usize) -> bool {
+        let (ra, ga) = self.row_bwo(s);
+        !ra && !ga
+    }
+
+    /// ORs row `s` of both planes into the accumulators (the incremental
+    /// engine's allocation-free form of [`StateMatrix::column_bwo`],
+    /// applied row by row over an active-row worklist). Both slices must
+    /// have `words_per_row` words.
+    #[inline]
+    pub fn accumulate_row_bwo(&self, s: usize, cr: &mut [u64], cg: &mut [u64]) {
+        debug_assert!(cr.len() == self.words && cg.len() == self.words);
+        for w in 0..self.words {
+            let i = self.idx(s, w);
+            cr[w] |= self.r[i];
+            cg[w] |= self.g[i];
+        }
+    }
+
+    /// Copies row `s` (both bit-planes) from `src`, which must have the
+    /// same shape — the engine's row-sliced alternative to
+    /// [`StateMatrix::copy_from`] when only a few rows are live.
+    #[inline]
+    pub fn copy_row_from(&mut self, src: &StateMatrix, s: usize) {
+        debug_assert!(
+            self.resources() == src.resources() && self.processes() == src.processes(),
+            "row copy between mismatched shapes"
+        );
+        for w in 0..self.words {
+            let i = self.idx(s, w);
+            self.r[i] = src.r[i];
+            self.g[i] = src.g[i];
+        }
+    }
+
+    /// One fused reduction scan of row `s`: ORs the row into the column
+    /// BWO accumulators *and* returns the row's own
+    /// `(any_request, any_grant)` pair, reading each word exactly once —
+    /// the per-pass hot loop of the worklist reduction, where
+    /// [`StateMatrix::column_bwo`] followed by [`StateMatrix::row_bwo`]
+    /// would touch every word twice.
+    #[inline]
+    pub fn row_scan(&self, s: usize, cr: &mut [u64], cg: &mut [u64]) -> (bool, bool) {
+        debug_assert!(cr.len() == self.words && cg.len() == self.words);
+        let mut ra = 0u64;
+        let mut ga = 0u64;
+        for w in 0..self.words {
+            let i = self.idx(s, w);
+            let r = self.r[i];
+            let g = self.g[i];
+            cr[w] |= r;
+            cg[w] |= g;
+            ra |= r;
+            ga |= g;
+        }
+        (ra != 0, ga != 0)
+    }
+
+    /// Clears the masked columns in row `s` only — the worklist engine's
+    /// form of [`StateMatrix::clear_columns`], which skips rows known to
+    /// be empty. `mask` must have `words_per_row` words.
+    #[inline]
+    pub fn clear_columns_in_row(&mut self, s: usize, mask: &[u64]) {
+        debug_assert_eq!(mask.len(), self.words);
+        for (w, &m) in mask.iter().enumerate().take(self.words) {
+            let i = self.idx(s, w);
+            self.r[i] &= !m;
+            self.g[i] &= !m;
+        }
+    }
+
+    /// Zeroes every cell without reallocating.
+    pub fn fill_empty(&mut self) {
+        self.r.fill(0);
+        self.g.fill(0);
+    }
+
+    /// Overwrites this matrix with `src`'s contents without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn copy_from(&mut self, src: &StateMatrix) {
+        assert!(
+            self.m == src.m && self.n == src.n,
+            "cannot copy {}x{} matrix into {}x{}",
+            src.m,
+            src.n,
+            self.m,
+            self.n
+        );
+        self.r.copy_from_slice(&src.r);
+        self.g.copy_from_slice(&src.g);
     }
 
     /// Total number of non-empty entries.
@@ -452,6 +556,61 @@ mod tests {
         assert_eq!(m.cell(ResId(0), ProcId(0)), Cell::Grant);
         assert_eq!(m.cell(ResId(0), ProcId(1)), Cell::Request);
         assert_eq!(m.edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn from_rag_rejects_zero_dimensions() {
+        // Regression: `from_rag` used to clamp zero dimensions to 1,
+        // contradicting `StateMatrix::new`'s panic contract and silently
+        // accepting degenerate system configurations.
+        StateMatrix::from_rag(&Rag::new(0, 3));
+    }
+
+    #[test]
+    fn incremental_helpers_match_bulk_forms() {
+        let mut m = StateMatrix::new(3, 70);
+        m.set_grant(ResId(0), ProcId(69));
+        m.set_request(ProcId(1), ResId(0));
+        m.set_request(ProcId(68), ResId(2));
+        assert!(!m.row_is_empty(0));
+        assert!(m.row_is_empty(1));
+
+        // Row-accumulated column BWO over the non-empty rows equals the
+        // whole-matrix column BWO.
+        let (cr, cg) = m.column_bwo();
+        let mut acr = vec![0u64; m.words_per_row()];
+        let mut acg = vec![0u64; m.words_per_row()];
+        for s in 0..3 {
+            if !m.row_is_empty(s) {
+                m.accumulate_row_bwo(s, &mut acr, &mut acg);
+            }
+        }
+        assert_eq!((acr, acg), (cr, cg));
+
+        // Per-row column clearing over every row equals clear_columns.
+        let mut a = m.clone();
+        let mut b = m.clone();
+        let mask = vec![1u64 << 1, 1u64 << (68 - 64)];
+        a.clear_columns(&mask);
+        for s in 0..3 {
+            b.clear_columns_in_row(s, &mask);
+        }
+        assert_eq!(a, b);
+
+        // copy_from / fill_empty round-trip without reallocation.
+        let mut dst = StateMatrix::new(3, 70);
+        dst.copy_from(&m);
+        assert_eq!(dst, m);
+        dst.fill_empty();
+        assert!(dst.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot copy")]
+    fn copy_from_rejects_dimension_mismatch() {
+        let mut dst = StateMatrix::new(2, 2);
+        dst.copy_from(&StateMatrix::new(2, 3));
     }
 
     #[test]

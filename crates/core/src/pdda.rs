@@ -16,7 +16,10 @@
 //! Both implementations are property-tested to agree with each other and
 //! with the DFS cycle oracle [`Rag::has_cycle`].
 
+use std::cell::RefCell;
+
 use crate::cost::Meter;
+use crate::engine::DetectEngine;
 use crate::matrix::StateMatrix;
 use crate::reduction::{terminal_reduction, ReductionReport};
 use crate::Rag;
@@ -62,6 +65,42 @@ impl From<ReductionReport> for DetectOutcome {
 /// # }
 /// ```
 pub fn detect(rag: &Rag) -> DetectOutcome {
+    if rag.resources() == 0 || rag.processes() == 0 {
+        return TRIVIAL;
+    }
+    ENGINE.with(|engine| {
+        let mut engine = engine.borrow_mut();
+        engine.ensure_dims(rag.resources(), rag.processes());
+        engine.probe(rag)
+    })
+}
+
+thread_local! {
+    /// Per-thread incremental engine backing [`detect`]. Thread-local so
+    /// the free-function API stays `&Rag`-only while consecutive probes
+    /// of the same (journaled) graph pay only the delta-sync cost.
+    static ENGINE: RefCell<DetectEngine> = RefCell::new(DetectEngine::new(1, 1));
+}
+
+/// The outcome for a degenerate zero-dimension system: no processes or
+/// no resources means no edges and no deadlock; the engine still
+/// "spends" the one step that observes the empty matrix.
+const TRIVIAL: DetectOutcome = DetectOutcome {
+    deadlock: false,
+    iterations: 0,
+    steps: 1,
+};
+
+/// The cold, stateless detection path: builds a fresh [`StateMatrix`]
+/// from the RAG and reduces it, allocating working storage every call.
+///
+/// Kept public as the reference implementation the incremental engine
+/// is property-tested against, and as the baseline the
+/// `detect_incremental` benchmark compares to.
+pub fn detect_cold(rag: &Rag) -> DetectOutcome {
+    if rag.resources() == 0 || rag.processes() == 0 {
+        return TRIVIAL;
+    }
     let mut matrix = StateMatrix::from_rag(rag);
     terminal_reduction(&mut matrix).into()
 }
@@ -240,6 +279,30 @@ mod tests {
         rag.add_request(p(0), q(1)).unwrap();
         rag.add_request(p(1), q(0)).unwrap();
         rag
+    }
+
+    #[test]
+    fn zero_dimension_rag_is_trivially_deadlock_free() {
+        for rag in [Rag::new(0, 5), Rag::new(5, 0), Rag::new(0, 0)] {
+            let out = detect(&rag);
+            assert!(!out.deadlock);
+            assert_eq!(out.steps, 1);
+            assert_eq!(out, detect_cold(&rag));
+        }
+    }
+
+    #[test]
+    fn detect_matches_cold_path_while_dimensions_change() {
+        // The thread-local engine reshapes between differently-sized
+        // graphs without contaminating results.
+        let small = cycle_rag();
+        let mut large = Rag::new(9, 9);
+        large.add_grant(q(8), p(8)).unwrap();
+        large.add_request(p(7), q(8)).unwrap();
+        for _ in 0..3 {
+            assert_eq!(detect(&small), detect_cold(&small));
+            assert_eq!(detect(&large), detect_cold(&large));
+        }
     }
 
     #[test]

@@ -12,9 +12,44 @@
 //! ([`crate::pdda`]) is property-tested: the paper proves PDDA detects
 //! deadlock iff the RAG contains a cycle.
 
+use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::{CoreError, ProcId, ResId};
+
+/// Process-wide source of unique RAG identities. Detection engines key
+/// their cached mirrors on `(id, epoch)`, so two distinct graphs must
+/// never share an id even across threads.
+static NEXT_RAG_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_rag_id() -> u64 {
+    NEXT_RAG_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// How many recent [`RagDelta`]s a [`Rag`] retains. A detection engine
+/// that last synced within this many mutations can catch up by replaying
+/// deltas; older engines fall back to a full rebuild. 256 covers many
+/// OS scheduling quanta between detector invocations while keeping the
+/// journal's memory bounded.
+const JOURNAL_CAP: usize = 256;
+
+/// One cell-level state change, as the DDU's cell array would see it.
+///
+/// Every successful [`Rag`] mutation appends exactly one delta: the
+/// request/grant/empty value the matrix cell `(q, p)` now holds.
+/// (A grant that consumes a pending request is a single delta — the
+/// cell transitions `r → g` atomically, exactly like
+/// [`crate::matrix::StateMatrix::set_grant`].)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RagDelta {
+    /// Cell `(q, p)` became a request edge `p → q`.
+    Request { p: ProcId, q: ResId },
+    /// Cell `(q, p)` became a grant edge `q → p`.
+    Grant { p: ProcId, q: ResId },
+    /// Cell `(q, p)` became empty.
+    Clear { p: ProcId, q: ResId },
+}
 
 /// The system state as an explicit request/grant edge set.
 ///
@@ -35,7 +70,7 @@ use crate::{CoreError, ProcId, ResId};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct Rag {
     resources: usize,
     processes: usize,
@@ -44,6 +79,45 @@ pub struct Rag {
     /// `requests[q]` = processes with a request edge `p → q`, in insertion
     /// order (deterministic iteration).
     requests: Vec<Vec<ProcId>>,
+    /// Unique graph identity (see [`Rag::id`]); a [`Clone`] gets a fresh
+    /// one so engine caches never confuse two diverging copies.
+    id: u64,
+    /// Mutation counter: bumped once per successful edge change.
+    epoch: u64,
+    /// The last up-to-[`JOURNAL_CAP`] deltas, oldest first; entry `k`
+    /// from the back took the graph from epoch `epoch - k - 1` to
+    /// `epoch - k`.
+    journal: VecDeque<RagDelta>,
+}
+
+/// Equality is structural — two RAGs are equal when they encode the same
+/// edge set — so identity, epoch and journal are deliberately excluded.
+impl PartialEq for Rag {
+    fn eq(&self, other: &Self) -> bool {
+        self.resources == other.resources
+            && self.processes == other.processes
+            && self.owner == other.owner
+            && self.requests == other.requests
+    }
+}
+
+impl Eq for Rag {}
+
+/// A clone keeps the full edge state, epoch and journal but receives a
+/// fresh [`Rag::id`]: the copy may diverge from the original, and the
+/// incremental detection engine keys its mirror on `(id, epoch)`.
+impl Clone for Rag {
+    fn clone(&self) -> Self {
+        Rag {
+            resources: self.resources,
+            processes: self.processes,
+            owner: self.owner.clone(),
+            requests: self.requests.clone(),
+            id: fresh_rag_id(),
+            epoch: self.epoch,
+            journal: self.journal.clone(),
+        }
+    }
 }
 
 impl Rag {
@@ -55,6 +129,9 @@ impl Rag {
             processes,
             owner: vec![None; resources],
             requests: vec![Vec::new(); resources],
+            id: fresh_rag_id(),
+            epoch: 0,
+            journal: VecDeque::new(),
         }
     }
 
@@ -66,6 +143,57 @@ impl Rag {
     /// Number of processes `n`.
     pub fn processes(&self) -> usize {
         self.processes
+    }
+
+    /// This graph's unique identity. Never reused within a process; a
+    /// [`Clone`] gets its own.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Mutation epoch: the number of successful edge changes since
+    /// construction. `(id, epoch)` uniquely names a graph *state*, which
+    /// is what [`crate::engine::DetectEngine`] keys its mirror and its
+    /// result cache on.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// `true` if the journal still holds every delta after `since_epoch`,
+    /// i.e. a mirror synced at `since_epoch` can catch up by replay.
+    pub fn journal_covers(&self, since_epoch: u64) -> bool {
+        since_epoch <= self.epoch && (self.epoch - since_epoch) as usize <= self.journal.len()
+    }
+
+    /// The deltas that took the graph from `since_epoch` to the current
+    /// epoch, oldest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the journal no longer covers `since_epoch` (check with
+    /// [`Rag::journal_covers`] first).
+    pub fn deltas_since(&self, since_epoch: u64) -> impl Iterator<Item = RagDelta> + '_ {
+        assert!(
+            self.journal_covers(since_epoch),
+            "journal does not reach back to epoch {since_epoch} (now {}, {} entries)",
+            self.epoch,
+            self.journal.len()
+        );
+        let missing = (self.epoch - since_epoch) as usize;
+        self.journal
+            .iter()
+            .skip(self.journal.len() - missing)
+            .copied()
+    }
+
+    /// Records one successful mutation: bumps the epoch and appends the
+    /// delta, evicting the oldest entry once the journal is full.
+    fn record(&mut self, delta: RagDelta) {
+        self.epoch += 1;
+        if self.journal.len() == JOURNAL_CAP {
+            self.journal.pop_front();
+        }
+        self.journal.push_back(delta);
     }
 
     fn check_ids(&self, p: ProcId, q: ResId) -> Result<(), CoreError> {
@@ -102,6 +230,7 @@ impl Rag {
             });
         }
         self.requests[q.index()].push(p);
+        self.record(RagDelta::Request { p, q });
         Ok(())
     }
 
@@ -126,6 +255,7 @@ impl Rag {
         }
         self.requests[q.index()].retain(|&r| r != p);
         self.owner[q.index()] = Some(p);
+        self.record(RagDelta::Grant { p, q });
         Ok(())
     }
 
@@ -138,7 +268,11 @@ impl Rag {
         let reqs = &mut self.requests[q.index()];
         let before = reqs.len();
         reqs.retain(|&r| r != p);
-        reqs.len() != before
+        let removed = reqs.len() != before;
+        if removed {
+            self.record(RagDelta::Clear { p, q });
+        }
+        removed
     }
 
     /// Removes the grant edge `q → p`.
@@ -156,6 +290,7 @@ impl Rag {
             });
         }
         self.owner[q.index()] = None;
+        self.record(RagDelta::Clear { p, q });
         Ok(())
     }
 
@@ -453,6 +588,74 @@ mod tests {
         let s = rag.to_string();
         assert!(s.contains("q1->p1"));
         assert!(s.contains("p2->q1"));
+    }
+
+    #[test]
+    fn epoch_counts_only_successful_mutations() {
+        let mut rag = Rag::new(2, 2);
+        assert_eq!(rag.epoch(), 0);
+        rag.add_request(p(0), q(0)).unwrap();
+        assert_eq!(rag.epoch(), 1);
+        assert!(rag.add_request(p(0), q(0)).is_err(), "duplicate");
+        assert_eq!(rag.epoch(), 1, "failed mutation must not bump the epoch");
+        assert!(!rag.remove_request(p(1), q(0)));
+        assert_eq!(rag.epoch(), 1, "no-op removal must not bump the epoch");
+        rag.add_grant(q(0), p(0)).unwrap();
+        rag.remove_grant(q(0), p(0)).unwrap();
+        assert_eq!(rag.epoch(), 3);
+    }
+
+    #[test]
+    fn journal_replays_recent_history() {
+        let mut rag = Rag::new(2, 2);
+        rag.add_request(p(0), q(0)).unwrap();
+        rag.add_grant(q(0), p(0)).unwrap();
+        rag.remove_grant(q(0), p(0)).unwrap();
+        assert!(rag.journal_covers(0));
+        let deltas: Vec<RagDelta> = rag.deltas_since(0).collect();
+        assert_eq!(
+            deltas,
+            vec![
+                RagDelta::Request { p: p(0), q: q(0) },
+                RagDelta::Grant { p: p(0), q: q(0) },
+                RagDelta::Clear { p: p(0), q: q(0) },
+            ]
+        );
+        assert_eq!(rag.deltas_since(2).count(), 1);
+        assert_eq!(rag.deltas_since(3).count(), 0);
+    }
+
+    #[test]
+    fn journal_is_bounded_and_reports_exhaustion() {
+        let mut rag = Rag::new(1, 1);
+        for _ in 0..300 {
+            rag.add_request(p(0), q(0)).unwrap();
+            assert!(rag.remove_request(p(0), q(0)));
+        }
+        assert_eq!(rag.epoch(), 600);
+        assert!(!rag.journal_covers(0), "600 mutations exceed the journal");
+        assert!(rag.journal_covers(rag.epoch() - 10));
+        assert!(
+            !rag.journal_covers(rag.epoch() + 1),
+            "future epochs never covered"
+        );
+    }
+
+    #[test]
+    fn clone_gets_fresh_id_but_equal_state() {
+        let mut rag = Rag::new(2, 2);
+        rag.add_grant(q(0), p(0)).unwrap();
+        let copy = rag.clone();
+        assert_ne!(rag.id(), copy.id());
+        assert_eq!(rag.epoch(), copy.epoch());
+        assert_eq!(rag, copy, "equality is structural, not identity");
+        rag.add_request(p(1), q(0)).unwrap();
+        assert_ne!(rag, copy);
+    }
+
+    #[test]
+    fn distinct_rags_have_distinct_ids() {
+        assert_ne!(Rag::new(1, 1).id(), Rag::new(1, 1).id());
     }
 
     #[test]

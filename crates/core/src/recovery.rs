@@ -25,6 +25,9 @@ pub struct DeadlockCore {
 /// Runs the reduction and returns the deadlock core, or `None` when the
 /// state is deadlock-free.
 pub fn deadlock_core(rag: &Rag) -> Option<DeadlockCore> {
+    if rag.resources() == 0 || rag.processes() == 0 {
+        return None; // no edges possible, never a deadlock
+    }
     let mut m = StateMatrix::from_rag(rag);
     let report = terminal_reduction(&mut m);
     if report.complete {

@@ -30,9 +30,167 @@ pub struct ReductionReport {
     pub complete: bool,
 }
 
+/// Reusable working storage for [`reduce_core`].
+///
+/// Owning one of these (as [`crate::engine::DetectEngine`] does) makes a
+/// reduction pass allocation-free: the column masks, column BWO
+/// accumulators, terminal-row flags and the active-row worklist all live
+/// here and are resized only when the matrix shape grows.
+#[derive(Debug, Clone, Default)]
+pub struct ReduceScratch {
+    /// Terminal flag per resource row (indexed by row id; only entries
+    /// for active rows are meaningful within a pass).
+    terminal_rows: Vec<bool>,
+    /// Per-word terminal-column mask (Equation 4's `τ^c`).
+    col_mask: Vec<u64>,
+    /// Column BWO accumulators (Equation 3's `BWO^c`), request/grant.
+    col_r: Vec<u64>,
+    col_g: Vec<u64>,
+    /// Worklist of rows that still carry edges.
+    active: Vec<u32>,
+}
+
+impl ReduceScratch {
+    /// Creates empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        ReduceScratch::default()
+    }
+
+    /// Rows still non-empty when the last [`reduce_core`] run stopped —
+    /// the irreducible residue. The engine uses this to restore its work
+    /// matrix to all-zeros without a full-matrix pass.
+    pub(crate) fn residue(&self) -> &[u32] {
+        &self.active
+    }
+
+    fn ensure(&mut self, rows: usize, words: usize) {
+        if self.terminal_rows.len() < rows {
+            self.terminal_rows.resize(rows, false);
+        }
+        if self.col_mask.len() < words {
+            self.col_mask.resize(words, 0);
+            self.col_r.resize(words, 0);
+            self.col_g.resize(words, 0);
+        }
+    }
+}
+
+/// The terminal reduction engine shared by [`terminal_reduction`] (cold
+/// path: scans all rows) and the incremental [`crate::engine::DetectEngine`]
+/// (hot path: seeds the worklist from its dirty-row bookkeeping).
+///
+/// `seed` is the initial active-row worklist. It must contain **every**
+/// non-empty row (extra empty rows are harmless); `None` scans the matrix
+/// to build it. Rows outside the worklist are skipped entirely — empty
+/// rows contribute nothing to the column BWO trees and can never be
+/// terminal, so the verdict, `iterations` and `steps` are identical to a
+/// full scan, pass for pass.
+pub(crate) fn reduce_core(
+    matrix: &mut StateMatrix,
+    scratch: &mut ReduceScratch,
+    seed: Option<&[u32]>,
+) -> ReductionReport {
+    let m = matrix.resources();
+    let words = matrix.words_per_row();
+    let mut iterations = 0u32;
+    let mut steps = 0u32;
+
+    // Mask of valid column bits in the last word, so phantom columns
+    // beyond `n` can never appear terminal.
+    let tail_bits = matrix.processes() % 64;
+    let tail_mask = if tail_bits == 0 {
+        u64::MAX
+    } else {
+        (1u64 << tail_bits) - 1
+    };
+
+    scratch.ensure(m, words);
+    scratch.active.clear();
+    match seed {
+        Some(rows) => scratch.active.extend_from_slice(rows),
+        None => {
+            for s in 0..m {
+                if !matrix.row_is_empty(s) {
+                    scratch.active.push(s as u32);
+                }
+            }
+        }
+    }
+    #[cfg(debug_assertions)]
+    for s in 0..m {
+        debug_assert!(
+            scratch.active.contains(&(s as u32)) || matrix.row_is_empty(s),
+            "worklist seed is missing non-empty row {s}"
+        );
+    }
+
+    let complete;
+    loop {
+        steps += 1;
+
+        // Equation 3/4, both sides in one fused scan: each live row is
+        // read exactly once, feeding the column BWO accumulators *and*
+        // producing its own `(any-request, any-grant)` pair. Empty rows
+        // have `ra ^ ga == false`, so restricting to the worklist loses
+        // nothing.
+        scratch.col_r[..words].fill(0);
+        scratch.col_g[..words].fill(0);
+        let mut any_terminal = false;
+        for &s in &scratch.active {
+            let (ra, ga) = matrix.row_scan(s as usize, &mut scratch.col_r, &mut scratch.col_g);
+            let flag = ra ^ ga;
+            scratch.terminal_rows[s as usize] = flag;
+            any_terminal |= flag;
+        }
+        for w in 0..words {
+            let valid = if w + 1 == words { tail_mask } else { u64::MAX };
+            // τ_ct = r-any XOR g-any, per column, restricted to columns
+            // that actually have edges (XOR of two zero bits is zero, so
+            // empty columns are naturally excluded).
+            scratch.col_mask[w] = (scratch.col_r[w] ^ scratch.col_g[w]) & valid;
+            any_terminal |= scratch.col_mask[w] != 0;
+        }
+
+        // Equation 5: T_iter == 0 → irreducible, stop. The final pass's
+        // BWO accumulators already summarize every live edge, so the
+        // matrix is empty iff both trees collapsed to zero — no
+        // whole-matrix scan needed.
+        if !any_terminal {
+            complete = scratch.col_r[..words].iter().all(|&w| w == 0)
+                && scratch.col_g[..words].iter().all(|&w| w == 0);
+            break;
+        }
+        iterations += 1;
+
+        // The removal half of ε (lines 8–9 of Algorithm 1), rows and
+        // columns "in parallel": both removals are computed from the same
+        // pre-removal snapshot, exactly like the hardware.
+        for i in 0..scratch.active.len() {
+            let s = scratch.active[i] as usize;
+            if scratch.terminal_rows[s] {
+                matrix.clear_row(s);
+            } else {
+                matrix.clear_columns_in_row(s, &scratch.col_mask[..words]);
+            }
+        }
+        // Drop rows that just went empty from the worklist.
+        scratch.active.retain(|&s| !matrix.row_is_empty(s as usize));
+    }
+
+    debug_assert_eq!(complete, matrix.is_empty());
+    ReductionReport {
+        iterations,
+        steps,
+        complete,
+    }
+}
+
 /// Runs the terminal reduction sequence `ξ` in place, returning the report.
 ///
 /// After the call, `matrix` holds the irreducible matrix `M_{i,j+k}`.
+/// This is the cold, self-contained entry point — it allocates its own
+/// scratch; the incremental engine reuses scratch across probes via
+/// [`reduce_core`].
 ///
 /// # Example
 ///
@@ -54,71 +212,8 @@ pub struct ReductionReport {
 /// assert!(m.is_empty());
 /// ```
 pub fn terminal_reduction(matrix: &mut StateMatrix) -> ReductionReport {
-    let m = matrix.resources();
-    let words = matrix.words_per_row();
-    let mut iterations = 0u32;
-    let mut steps = 0u32;
-
-    // Mask of valid column bits in the last word, so phantom columns
-    // beyond `n` can never appear terminal.
-    let tail_bits = matrix.processes() % 64;
-    let tail_mask = if tail_bits == 0 {
-        u64::MAX
-    } else {
-        (1u64 << tail_bits) - 1
-    };
-
-    let mut terminal_rows: Vec<bool> = vec![false; m];
-    let mut col_mask: Vec<u64> = vec![0; words];
-
-    loop {
-        steps += 1;
-
-        // Equation 3/4 column side: BWO over rows, then XOR.
-        let (cr, cg) = matrix.column_bwo();
-        let mut any_terminal = false;
-        for w in 0..words {
-            let valid = if w + 1 == words { tail_mask } else { u64::MAX };
-            // τ_ct = r-any XOR g-any, per column, restricted to columns
-            // that actually have edges (XOR of two zero bits is zero, so
-            // empty columns are naturally excluded).
-            col_mask[w] = (cr[w] ^ cg[w]) & valid;
-            if col_mask[w] != 0 {
-                any_terminal = true;
-            }
-        }
-
-        // Equation 3/4 row side.
-        for (s, flag) in terminal_rows.iter_mut().enumerate() {
-            let (ra, ga) = matrix.row_bwo(s);
-            *flag = ra ^ ga;
-            if *flag {
-                any_terminal = true;
-            }
-        }
-
-        // Equation 5: T_iter == 0 → irreducible, stop.
-        if !any_terminal {
-            break;
-        }
-        iterations += 1;
-
-        // The removal half of ε (lines 8–9 of Algorithm 1), rows and
-        // columns "in parallel": both removals are computed from the same
-        // pre-removal snapshot, exactly like the hardware.
-        for (s, flag) in terminal_rows.iter().enumerate() {
-            if *flag {
-                matrix.clear_row(s);
-            }
-        }
-        matrix.clear_columns(&col_mask);
-    }
-
-    ReductionReport {
-        iterations,
-        steps,
-        complete: matrix.is_empty(),
-    }
+    let mut scratch = ReduceScratch::new();
+    reduce_core(matrix, &mut scratch, None)
 }
 
 /// Upper bound on reduction steps proven in the paper's technical report:

@@ -206,11 +206,18 @@ impl ResourceService {
     fn run_detection(&mut self) -> (bool, u64) {
         let (deadlock, cycles) = match &mut self.engine {
             Engine::DetectSw { rag } => {
+                // RTOS1 models a C implementation that rebuilds its
+                // tables every invocation — the metered scan stays the
+                // cold path by design so Table 5's costs are faithful.
                 let mut meter = Meter::new();
                 let out = pdda::detect_metered(rag, &mut meter);
                 (out.deadlock, CostModel::MPC755_SHARED.cycles(&meter))
             }
             Engine::DetectHw { rag, ddu } => {
+                // Incremental: the DDU's engine replays the RAG's journal
+                // deltas since the previous event instead of reloading
+                // the whole cell array. The modeled hardware cost
+                // (`out.steps`) is unchanged.
                 ddu.load_rag(rag);
                 let out = ddu.detect();
                 (out.deadlock, out.steps as u64)

@@ -1,0 +1,3 @@
+//! Intentionally empty: this crate exists to host the property-based
+//! integration tests under `tests/`, which need the registry `proptest`
+//! crate and therefore cannot live in the offline-buildable workspace.
