@@ -33,6 +33,8 @@
 //! "the DAU asks one of the processes involved in the livelock to release
 //! resource(s)" (Section 4.1).
 
+use crate::engine::{DetectEngine, EngineStats};
+use crate::pdda::DetectOutcome;
 use crate::{CoreError, Priority, ProcId, Rag, ResId};
 
 /// Engine answering "does this state contain a deadlock?".
@@ -52,6 +54,58 @@ pub struct FastProbe;
 impl DeadlockProbe for FastProbe {
     fn would_deadlock(&mut self, rag: &Rag) -> bool {
         crate::pdda::detect(rag).deadlock
+    }
+}
+
+/// A non-metered probe that **owns** a persistent [`DetectEngine`], so an
+/// avoider's tentative-edit probes ride the engine's delta journal and
+/// result cache instead of rebuilding scratch state per decision — the
+/// ROADMAP's engine-backed avoidance fast path.
+///
+/// Unlike [`FastProbe`] (which shares a thread-local engine with every
+/// other `pdda::detect` caller on the thread, and therefore thrashes that
+/// engine's mirror whenever callers alternate between graphs), an
+/// `EngineProbe` is dedicated to its owner: consecutive probes of the
+/// same avoider's RAG are pure delta syncs. The decisions are identical —
+/// both paths run the same word-parallel reduction — and the metered
+/// configurations ([`crate::daa::SwDaa`], `dau`) are untouched, so the
+/// Table 7/9 cycle counts cannot shift.
+#[derive(Debug, Clone)]
+pub struct EngineProbe {
+    engine: DetectEngine,
+}
+
+impl EngineProbe {
+    /// Creates a probe sized for `resources` × `processes`; the engine
+    /// reshapes automatically if a differently-sized RAG shows up.
+    pub fn new(resources: usize, processes: usize) -> Self {
+        EngineProbe {
+            engine: DetectEngine::new(resources.max(1), processes.max(1)),
+        }
+    }
+
+    /// Full detection outcome for `rag` (verdict plus iteration/step
+    /// counts), served through the persistent engine.
+    pub fn outcome(&mut self, rag: &Rag) -> DetectOutcome {
+        if rag.resources() == 0 || rag.processes() == 0 {
+            return crate::pdda::TRIVIAL;
+        }
+        if rag.resources() > self.engine.resources() || rag.processes() > self.engine.processes() {
+            self.engine.ensure_dims(rag.resources(), rag.processes());
+        }
+        self.engine.probe(rag)
+    }
+
+    /// The owned engine's operation counters (probes, cache hits, delta
+    /// syncs, rebuilds).
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+}
+
+impl DeadlockProbe for EngineProbe {
+    fn would_deadlock(&mut self, rag: &Rag) -> bool {
+        self.outcome(rag).deadlock
     }
 }
 

@@ -294,6 +294,62 @@ mod tests {
     }
 
     #[test]
+    fn engine_probe_decisions_match_and_metered_costs_stay_byte_identical() {
+        use crate::avoid::EngineProbe;
+        // A trace covering grant, pending, R-dl (owner ask + requester
+        // shed), release hand-off and G-dl dodge paths.
+        let trace: Vec<(bool, u16, u16)> = vec![
+            (true, 1, 1),
+            (true, 0, 0),
+            (true, 1, 0),
+            (true, 0, 1), // R-dl: parked
+            (false, 1, 1),
+            (true, 2, 3),
+            (true, 2, 1),
+            (true, 1, 3),
+            (false, 0, 1),
+            (false, 0, 0),
+            (false, 2, 3),
+        ];
+        let mut sw = daa();
+        let mut plain = Avoider::new(5, 5);
+        for i in 0..5 {
+            plain.set_priority(p(i), Priority::new(i as u8 + 1));
+        }
+        let mut probe = EngineProbe::new(5, 5);
+        let mut cycles = Vec::new();
+        for &(is_req, pi, qi) in &trace {
+            if is_req {
+                let rep = sw.request(p(pi), q(qi)).unwrap();
+                let b = plain.request(p(pi), q(qi), &mut probe).unwrap();
+                assert_eq!(rep.outcome, b, "EngineProbe decision diverged on request");
+                cycles.push(rep.cycles);
+            } else {
+                let rep = sw.release(p(pi), q(qi)).unwrap();
+                let b = plain.release(p(pi), q(qi), &mut probe).unwrap();
+                assert_eq!(rep.outcome, b, "EngineProbe decision diverged on release");
+                cycles.push(rep.cycles);
+            }
+            assert_eq!(sw.rag(), plain.rag(), "tracked states diverged");
+        }
+        assert!(
+            probe.stats().probes > 0 && probe.stats().delta_syncs > 0,
+            "the persistent engine must actually serve delta-synced probes: {:?}",
+            probe.stats()
+        );
+        // Golden per-command cycle counts for the MPC755 shared-memory
+        // model. The engine-backed fast path must never shift the paper's
+        // Table 7/9 metered costs — these are deterministic instruction
+        // counts, stable across platforms.
+        const GOLDEN_CYCLES: &[u64] =
+            &[104, 104, 1289, 665, 975, 104, 1334, 1334, 1038, 1326, 1030];
+        assert_eq!(
+            cycles, GOLDEN_CYCLES,
+            "metered software DAA cycles shifted — Table 7/9 regression"
+        );
+    }
+
+    #[test]
     fn decisions_match_plain_avoider() {
         use crate::avoid::FastProbe;
         // Replay a command trace through both and compare decisions.

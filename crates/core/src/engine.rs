@@ -17,9 +17,10 @@
 //!   journal no longer reaches back far enough (or the graph identity
 //!   changed).
 //! * Dirty-row / dirty-column sets record which parts of the mirror each
-//!   sync touched; flushing the dirty rows refreshes the `row_nonempty`
-//!   bookkeeping that seeds the reduction worklist, so probe cost tracks
-//!   the *edit* size, not the matrix size.
+//!   sync touched; flushing them refreshes the `row_nonempty` bookkeeping
+//!   that seeds the reduction's row worklist *and* the non-empty
+//!   column-word list that lets the terminal-column mask skip all-empty
+//!   words, so probe cost tracks the *edit* size, not the matrix size.
 //! * The reduction itself runs over an active-row worklist with scratch
 //!   buffers owned by the engine ([`ReduceScratch`]) and a working matrix
 //!   reused probe to probe — zero allocations on the steady-state path.
@@ -56,6 +57,10 @@ pub struct EngineStats {
     pub full_rebuilds: u64,
     /// Terminal reductions actually executed.
     pub reductions: u64,
+    /// Row-word × pass combinations the column-sided worklist removed
+    /// from the terminal-column mask scan (words whose columns were all
+    /// empty at probe time).
+    pub col_words_skipped: u64,
 }
 
 /// What state the mirror currently reflects — either a specific
@@ -116,11 +121,22 @@ pub struct DetectEngine {
     /// Rows touched since the last flush (set + dense list).
     dirty_rows: Vec<bool>,
     dirty_row_list: Vec<u32>,
-    /// Columns touched since the last flush. Row flushing drives the
-    /// worklist today; the column set is maintained symmetrically as the
-    /// hook for the column-sided worklist tracked in ROADMAP.md.
+    /// Columns touched since the last flush (set + dense list), the
+    /// column-sided twin of the dirty-row set.
     dirty_cols: Vec<bool>,
     dirty_col_list: Vec<u32>,
+    /// `col_nonempty[t]` ⟺ mirror column `t` carries at least one edge.
+    /// Maintained lazily through the dirty-column set.
+    col_nonempty: Vec<bool>,
+    /// Per row-word count of non-empty columns packed into that word.
+    word_col_count: Vec<u32>,
+    /// Dense list of row-words with ≥1 non-empty column — the
+    /// column-sided worklist fed to the reduction so the terminal-column
+    /// mask never scans words that are provably all-empty.
+    live_col_words: Vec<u32>,
+    /// `live_col_word_pos[w]` = index of word `w` in `live_col_words`
+    /// (`u32::MAX` when absent); O(1) membership via swap-remove.
+    live_col_word_pos: Vec<u32>,
     /// What the mirror currently holds.
     version: Version,
     /// Monotonic counter for direct (DDU-style) cell edits.
@@ -138,6 +154,7 @@ impl DetectEngine {
     /// Panics if either dimension is zero (same contract as
     /// [`StateMatrix::new`]).
     pub fn new(resources: usize, processes: usize) -> Self {
+        let words = processes.div_ceil(64);
         DetectEngine {
             mirror: StateMatrix::new(resources, processes),
             work: StateMatrix::new(resources, processes),
@@ -150,6 +167,10 @@ impl DetectEngine {
             dirty_row_list: Vec::new(),
             dirty_cols: vec![false; processes],
             dirty_col_list: Vec::new(),
+            col_nonempty: vec![false; processes],
+            word_col_count: vec![0; words],
+            live_col_words: Vec::with_capacity(words),
+            live_col_word_pos: vec![u32::MAX; words],
             version: Version::Local { edits: 0 },
             edits: 0,
             cache: None,
@@ -232,7 +253,31 @@ impl DetectEngine {
             }
         }
         while let Some(t) = self.dirty_col_list.pop() {
-            self.dirty_cols[t as usize] = false;
+            let t = t as usize;
+            self.dirty_cols[t] = false;
+            let nonempty = !self.mirror.col_is_empty(t);
+            if nonempty == self.col_nonempty[t] {
+                continue;
+            }
+            self.col_nonempty[t] = nonempty;
+            let w = t / 64;
+            if nonempty {
+                self.word_col_count[w] += 1;
+                if self.word_col_count[w] == 1 {
+                    self.live_col_word_pos[w] = self.live_col_words.len() as u32;
+                    self.live_col_words.push(w as u32);
+                }
+            } else {
+                self.word_col_count[w] -= 1;
+                if self.word_col_count[w] == 0 {
+                    let i = self.live_col_word_pos[w] as usize;
+                    self.live_col_word_pos[w] = u32::MAX;
+                    self.live_col_words.swap_remove(i);
+                    if let Some(&moved) = self.live_col_words.get(i) {
+                        self.live_col_word_pos[moved as usize] = i as u32;
+                    }
+                }
+            }
         }
     }
 
@@ -305,8 +350,8 @@ impl DetectEngine {
                 self.mirror.set_request(p, q);
             }
         }
-        // Everything moved: recompute row occupancy wholesale and drop
-        // any finer-grained dirty tracking.
+        // Everything moved: recompute row and column occupancy wholesale
+        // and drop any finer-grained dirty tracking.
         self.live_rows.clear();
         for s in 0..self.resources() {
             let nonempty = !self.mirror.row_is_empty(s);
@@ -316,6 +361,21 @@ impl DetectEngine {
                 self.live_rows.push(s as u32);
             } else {
                 self.live_pos[s] = u32::MAX;
+            }
+        }
+        self.live_col_words.clear();
+        self.live_col_word_pos.fill(u32::MAX);
+        self.word_col_count.fill(0);
+        for t in 0..self.processes() {
+            let nonempty = !self.mirror.col_is_empty(t);
+            self.col_nonempty[t] = nonempty;
+            if nonempty {
+                let w = t / 64;
+                self.word_col_count[w] += 1;
+                if self.word_col_count[w] == 1 {
+                    self.live_col_word_pos[w] = self.live_col_words.len() as u32;
+                    self.live_col_words.push(w as u32);
+                }
             }
         }
         self.dirty_rows.fill(false);
@@ -402,9 +462,17 @@ impl DetectEngine {
         for &s in &self.live_rows {
             self.work.copy_row_from(&self.mirror, s as usize);
         }
-        let report = reduce_core(&mut self.work, &mut self.scratch, Some(&self.live_rows));
+        let report = reduce_core(
+            &mut self.work,
+            &mut self.scratch,
+            Some(&self.live_rows),
+            Some(&self.live_col_words),
+        );
         self.work_residue.extend_from_slice(self.scratch.residue());
         self.stats.reductions += 1;
+        let words = self.mirror.words_per_row();
+        self.stats.col_words_skipped +=
+            (words - self.live_col_words.len()) as u64 * u64::from(report.steps);
         let outcome: DetectOutcome = report.into();
         self.cache = Some((self.version, outcome));
         outcome

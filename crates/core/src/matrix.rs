@@ -278,6 +278,26 @@ impl StateMatrix {
         !ra && !ga
     }
 
+    /// `true` if process column `t` carries no edge in any row. Scans one
+    /// bit of every row word — the column-sided twin of
+    /// [`StateMatrix::row_is_empty`], used by the incremental engine to
+    /// maintain its column-word worklist.
+    pub fn col_is_empty(&self, t: usize) -> bool {
+        assert!(
+            t < self.n,
+            "column {t} out of range for {} processes",
+            self.n
+        );
+        let (w, bit) = Self::bit(t);
+        for s in 0..self.m {
+            let i = self.idx(s, w);
+            if (self.r[i] | self.g[i]) & bit != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
     /// ORs row `s` of both planes into the accumulators (the incremental
     /// engine's allocation-free form of [`StateMatrix::column_bwo`],
     /// applied row by row over an active-row worklist). Both slices must

@@ -85,7 +85,7 @@ thread_local! {
 /// The outcome for a degenerate zero-dimension system: no processes or
 /// no resources means no edges and no deadlock; the engine still
 /// "spends" the one step that observes the empty matrix.
-const TRIVIAL: DetectOutcome = DetectOutcome {
+pub(crate) const TRIVIAL: DetectOutcome = DetectOutcome {
     deadlock: false,
     iterations: 0,
     steps: 1,

@@ -48,6 +48,9 @@ pub struct ReduceScratch {
     col_g: Vec<u64>,
     /// Worklist of rows that still carry edges.
     active: Vec<u32>,
+    /// Worklist of row-words that can contain a non-empty column — either
+    /// every word (cold path) or the caller's column-word seed.
+    word_list: Vec<u32>,
 }
 
 impl ReduceScratch {
@@ -85,10 +88,20 @@ impl ReduceScratch {
 /// rows contribute nothing to the column BWO trees and can never be
 /// terminal, so the verdict, `iterations` and `steps` are identical to a
 /// full scan, pass for pass.
+///
+/// `col_words` is the column-sided worklist: the row-words (column
+/// indices / 64) that contain at least one non-empty column. It must
+/// cover **every** word with an edge anywhere in the matrix (extra words
+/// are harmless); `None` means all words. The terminal-column mask of a
+/// word with no edges is identically zero — both BWO accumulators stay
+/// zero — so skipping such words changes neither the mask, `T_iter`, nor
+/// the completeness check, pass for pass. Columns only ever *lose* edges
+/// during a reduction, so a seed valid at entry stays valid throughout.
 pub(crate) fn reduce_core(
     matrix: &mut StateMatrix,
     scratch: &mut ReduceScratch,
     seed: Option<&[u32]>,
+    col_words: Option<&[u32]>,
 ) -> ReductionReport {
     let m = matrix.resources();
     let words = matrix.words_per_row();
@@ -124,6 +137,27 @@ pub(crate) fn reduce_core(
         );
     }
 
+    scratch.word_list.clear();
+    match col_words {
+        Some(ws) => scratch.word_list.extend_from_slice(ws),
+        None => scratch.word_list.extend(0..words as u32),
+    }
+    #[cfg(debug_assertions)]
+    for t in 0..matrix.processes() {
+        debug_assert!(
+            scratch.word_list.contains(&((t / 64) as u32)) || matrix.col_is_empty(t),
+            "column-word seed is missing word {} of non-empty column {t}",
+            t / 64
+        );
+    }
+    // The scratch is reused across probes with possibly different word
+    // lists; words outside this probe's list must read as all-zero in the
+    // accumulators and the mask (they carry no edges, so the per-pass
+    // restricted clears below keep them zero).
+    scratch.col_mask[..words].fill(0);
+    scratch.col_r[..words].fill(0);
+    scratch.col_g[..words].fill(0);
+
     let complete;
     loop {
         steps += 1;
@@ -133,8 +167,11 @@ pub(crate) fn reduce_core(
         // producing its own `(any-request, any-grant)` pair. Empty rows
         // have `ra ^ ga == false`, so restricting to the worklist loses
         // nothing.
-        scratch.col_r[..words].fill(0);
-        scratch.col_g[..words].fill(0);
+        for i in 0..scratch.word_list.len() {
+            let w = scratch.word_list[i] as usize;
+            scratch.col_r[w] = 0;
+            scratch.col_g[w] = 0;
+        }
         let mut any_terminal = false;
         for &s in &scratch.active {
             let (ra, ga) = matrix.row_scan(s as usize, &mut scratch.col_r, &mut scratch.col_g);
@@ -142,7 +179,8 @@ pub(crate) fn reduce_core(
             scratch.terminal_rows[s as usize] = flag;
             any_terminal |= flag;
         }
-        for w in 0..words {
+        for i in 0..scratch.word_list.len() {
+            let w = scratch.word_list[i] as usize;
             let valid = if w + 1 == words { tail_mask } else { u64::MAX };
             // τ_ct = r-any XOR g-any, per column, restricted to columns
             // that actually have edges (XOR of two zero bits is zero, so
@@ -213,7 +251,7 @@ pub(crate) fn reduce_core(
 /// ```
 pub fn terminal_reduction(matrix: &mut StateMatrix) -> ReductionReport {
     let mut scratch = ReduceScratch::new();
-    reduce_core(matrix, &mut scratch, None)
+    reduce_core(matrix, &mut scratch, None, None)
 }
 
 /// Upper bound on reduction steps proven in the paper's technical report:

@@ -122,6 +122,70 @@ fn engine_survives_journal_overflow_and_clones() {
 }
 
 #[test]
+fn wide_matrices_exercise_the_column_word_worklist() {
+    // The 8×8 sequences above always fit one row-word, so the
+    // column-sided worklist never skips anything there. Use ≥3 words of
+    // columns with edits clustered in one word: the engine must agree
+    // with the cold path while provably skipping the empty column words.
+    for seq in 0..128u64 {
+        let mut rng = Lcg::new(0xBEEF ^ seq);
+        let m = 1 + rng.below(6) as usize;
+        let n = 130 + rng.below(60) as usize; // 3 words of columns
+        let mut rag = Rag::new(m, n);
+        let mut engine = DetectEngine::new(m, n);
+        // Cluster edits in one 64-column word (sometimes the tail word),
+        // leaving the other words provably empty.
+        let base = [0u64, 64, 128][rng.below(3) as usize];
+        let span = (n as u64 - base).min(64);
+        let ops = 8 + rng.below(24) as usize;
+        for op in 0..ops {
+            let p = ProcId((base + rng.below(span)) as u16);
+            let q = ResId(rng.below(m as u64) as u16);
+            match rng.below(4) {
+                0 => {
+                    let _ = rag.add_request(p, q);
+                }
+                1 => {
+                    let _ = rag.add_grant(q, p);
+                }
+                2 => {
+                    let _ = rag.remove_request(p, q);
+                }
+                _ => {
+                    let _ = rag.remove_grant(q, p);
+                }
+            }
+            if rng.below(3) != 0 {
+                assert_agrees(&mut engine, &rag, seq, op);
+            }
+        }
+        assert_agrees(&mut engine, &rag, seq, ops);
+        let stats = engine.stats();
+        assert!(
+            stats.col_words_skipped >= 2 * (stats.reductions - stats.full_rebuilds),
+            "clustered edits must leave ≥2 of 3 column words skippable: {stats:?}"
+        );
+    }
+
+    // And a mixed sequence spreading edits over all words: correctness
+    // must hold when the live word set grows and shrinks.
+    for seq in 0..64u64 {
+        let mut rng = Lcg::new(0xD00D ^ seq);
+        let m = 1 + rng.below(5) as usize;
+        let n = 100 + rng.below(100) as usize;
+        let mut rag = Rag::new(m, n);
+        let mut engine = DetectEngine::new(m, n);
+        for op in 0..40 {
+            random_edit(&mut rag, &mut rng);
+            if rng.below(2) == 0 {
+                assert_agrees(&mut engine, &rag, seq, op);
+            }
+        }
+        assert_agrees(&mut engine, &rag, seq, 40);
+    }
+}
+
+#[test]
 fn probes_at_the_same_epoch_reduce_once() {
     let mut rag = Rag::new(4, 4);
     rag.add_grant(ResId(0), ProcId(0)).unwrap();

@@ -1,0 +1,51 @@
+//! # deltaos-service — sharded multi-session deadlock service
+//!
+//! The paper's DDU/DAU is a *shared* unit: one hardware block arbitrates
+//! deadlock questions for every PE in the SoC. This crate is the
+//! software analogue at fleet scale — one service owning many
+//! independent RAG **sessions**, sharded across a fixed worker-thread
+//! pool, each session backed by its own persistent incremental
+//! [`DetectEngine`](deltaos_core::engine::DetectEngine) so the PR-1
+//! epoch/journal/result-cache machinery pays off across batches.
+//!
+//! Layering:
+//!
+//! * [`session`] — one RAG + engine, applying [`proto::Event`]s in order.
+//! * [`shard`] — the worker pool: bounded queues, `Busy` backpressure,
+//!   admission control, graceful drain-on-shutdown, per-shard
+//!   [`deltaos_sim::Stats`].
+//! * [`proto`] — the length-prefixed binary wire protocol with a total,
+//!   panic-free decoder.
+//! * [`tcp`] — a blocking `std::net` server/client pair over [`proto`].
+//!
+//! ```
+//! use deltaos_service::{Event, Service, ServiceConfig};
+//! use deltaos_core::{ProcId, ResId};
+//!
+//! let service = Service::start(ServiceConfig::default());
+//! let client = service.client();
+//! let sid = client.open(8, 8).unwrap();
+//! client
+//!     .batch(
+//!         sid,
+//!         vec![
+//!             Event::Grant { q: ResId(0), p: ProcId(0) },
+//!             Event::WouldDeadlock { p: ProcId(1), q: ResId(0) },
+//!         ],
+//!     )
+//!     .unwrap();
+//! service.shutdown();
+//! ```
+
+pub mod proto;
+pub mod session;
+pub mod shard;
+pub mod tcp;
+
+pub use proto::{
+    ErrorCode, Event, EventResult, RejectReason, Request, Response, SessionId, ShardStats,
+    WireError, MAX_BATCH, MAX_FRAME,
+};
+pub use session::Session;
+pub use shard::{Client, Service, ServiceConfig, ServiceError};
+pub use tcp::{TcpClient, TcpServer};

@@ -1,0 +1,811 @@
+//! Wire protocol: session events, request/response messages and the
+//! length-prefixed binary framing used over TCP.
+//!
+//! Every frame is a little-endian `u32` payload length followed by the
+//! payload; payloads are a one-byte tag plus fixed-width little-endian
+//! fields. The decoder is total: any byte sequence either decodes or
+//! returns a typed [`WireError`] — it never panics on a slice index and
+//! never allocates proportionally to an attacker-controlled count beyond
+//! the [`MAX_BATCH`]/[`MAX_FRAME`] bounds.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use deltaos_core::pdda::DetectOutcome;
+use deltaos_core::{CoreError, ProcId, ResId};
+
+/// Hard upper bound on a frame payload. Anything larger is rejected
+/// before allocation — a corrupt or hostile length prefix must not
+/// become an OOM.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Hard upper bound on events per batch at the wire level (the service
+/// applies its own, possibly tighter, admission-control cap).
+pub const MAX_BATCH: usize = 4096;
+
+/// Identifies one RAG session owned by the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One resource event applied to a session's RAG, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Process `p` requests resource `q` (queued; no grant implied).
+    Request {
+        /// Requesting process.
+        p: ProcId,
+        /// Requested resource.
+        q: ResId,
+    },
+    /// Resource `q` is granted to process `p`.
+    Grant {
+        /// Granted resource.
+        q: ResId,
+        /// Receiving process.
+        p: ProcId,
+    },
+    /// Process `p` releases its grant on `q`, or withdraws its pending
+    /// request for `q` when it is not the owner.
+    Release {
+        /// Released resource.
+        q: ResId,
+        /// Releasing process.
+        p: ProcId,
+    },
+    /// Run deadlock detection on the session's current state.
+    Probe,
+    /// Avoidance query: would admitting the request edge `p → q`
+    /// deadlock? The edge is applied tentatively, probed through the
+    /// session's persistent engine, and removed — the session state is
+    /// unchanged afterwards.
+    WouldDeadlock {
+        /// Hypothetical requester.
+        p: ProcId,
+        /// Hypothetical resource.
+        q: ResId,
+    },
+}
+
+/// Why an event was rejected (mirrors [`CoreError`] without payloads the
+/// wire does not need).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Process or resource id out of range for the session.
+    UnknownId,
+    /// The request edge already exists.
+    DuplicateEdge,
+    /// Grant on a resource that already has an owner.
+    ResourceBusy,
+    /// Release/grant bookkeeping by a non-owner.
+    NotOwner,
+    /// A holder re-requesting a resource it owns.
+    RequestWhileHolding,
+    /// Release of an edge that does not exist.
+    NoSuchEdge,
+}
+
+impl From<&CoreError> for RejectReason {
+    fn from(e: &CoreError) -> Self {
+        match e {
+            CoreError::UnknownProcess(_) | CoreError::UnknownResource(_) => RejectReason::UnknownId,
+            CoreError::DuplicateEdge { .. } => RejectReason::DuplicateEdge,
+            CoreError::ResourceBusy { .. } => RejectReason::ResourceBusy,
+            CoreError::RequestWhileHolding { .. } => RejectReason::RequestWhileHolding,
+            // `CoreError` is non_exhaustive; NotOwner and any future
+            // variant map to the closest wire reason.
+            _ => RejectReason::NotOwner,
+        }
+    }
+}
+
+/// Per-event reply, positionally matching the submitted batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventResult {
+    /// Edit applied.
+    Ack,
+    /// Detection outcome for `Probe` / `WouldDeadlock`.
+    Outcome(DetectOutcome),
+    /// Edit refused; session state unchanged.
+    Rejected(RejectReason),
+}
+
+/// Service-level failures reported over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// No session with that id on this shard.
+    UnknownSession,
+    /// Admission control: the shard's session table is full.
+    TooManySessions,
+    /// Admission control: batch longer than the configured cap.
+    BatchTooLarge,
+    /// Open with zero or over-cap dimensions.
+    BadDimensions,
+    /// The service has shut down.
+    Shutdown,
+    /// The frame decoded but was not a valid request in context.
+    BadRequest,
+}
+
+/// A client → service message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Create a session with an empty `resources` × `processes` RAG.
+    Open {
+        /// Resource-row count.
+        resources: u16,
+        /// Process-column count.
+        processes: u16,
+    },
+    /// Apply `events` to `session` in order.
+    Batch {
+        /// Target session.
+        session: SessionId,
+        /// Events, applied in order.
+        events: Vec<Event>,
+    },
+    /// Destroy `session`, folding its engine counters into shard stats.
+    Close {
+        /// Session to close.
+        session: SessionId,
+    },
+    /// Fetch per-shard counters.
+    Stats,
+}
+
+/// Key per-shard counters serialized in a [`Response::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: u16,
+    /// Events ingested (every event of every accepted batch).
+    pub events: u64,
+    /// Probes served (`Probe` + `WouldDeadlock`).
+    pub probes: u64,
+    /// Engine result-cache hits across the shard's sessions.
+    pub cache_hits: u64,
+    /// Maximum observed in-flight jobs (queued + the one executing);
+    /// bounded by `queue_cap + 1`.
+    pub max_queue_depth: u64,
+}
+
+/// A service → client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Session created.
+    Opened(SessionId),
+    /// Per-event results for a batch, in submission order.
+    Batch(Vec<EventResult>),
+    /// Session closed.
+    Closed,
+    /// Backpressure: the target shard's queue is full — retry later.
+    /// Nothing was applied.
+    Busy,
+    /// Per-shard counters.
+    Stats(Vec<ShardStats>),
+    /// Request failed.
+    Error(ErrorCode),
+}
+
+/// Typed decode/framing failure. Total over arbitrary input: malformed
+/// bytes produce one of these, never a panic.
+#[derive(Debug)]
+pub enum WireError {
+    /// Payload ended before the message did.
+    Truncated,
+    /// Length prefix exceeds [`MAX_FRAME`].
+    Oversized {
+        /// The claimed payload length.
+        len: u64,
+    },
+    /// Unknown tag byte for the given message kind.
+    UnknownTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// Message decoded but bytes remain.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// Batch/stats element count above the wire cap.
+    CountTooLarge {
+        /// The claimed element count.
+        count: u32,
+    },
+    /// Clean end-of-stream before a frame began.
+    Closed,
+    /// Underlying transport failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated mid-message"),
+            WireError::Oversized { len } => {
+                write!(f, "frame length {len} exceeds cap {MAX_FRAME}")
+            }
+            WireError::UnknownTag { what, tag } => {
+                write!(f, "unknown {what} tag {tag:#04x}")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after message")
+            }
+            WireError::CountTooLarge { count } => {
+                write!(f, "element count {count} exceeds wire cap")
+            }
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_event(out: &mut Vec<u8>, ev: &Event) {
+    match *ev {
+        Event::Request { p, q } => {
+            out.push(0x10);
+            put_u16(out, p.0);
+            put_u16(out, q.0);
+        }
+        Event::Grant { q, p } => {
+            out.push(0x11);
+            put_u16(out, q.0);
+            put_u16(out, p.0);
+        }
+        Event::Release { q, p } => {
+            out.push(0x12);
+            put_u16(out, q.0);
+            put_u16(out, p.0);
+        }
+        Event::Probe => out.push(0x13),
+        Event::WouldDeadlock { p, q } => {
+            out.push(0x14);
+            put_u16(out, p.0);
+            put_u16(out, q.0);
+        }
+    }
+}
+
+fn reject_code(r: RejectReason) -> u8 {
+    match r {
+        RejectReason::UnknownId => 1,
+        RejectReason::DuplicateEdge => 2,
+        RejectReason::ResourceBusy => 3,
+        RejectReason::NotOwner => 4,
+        RejectReason::RequestWhileHolding => 5,
+        RejectReason::NoSuchEdge => 6,
+    }
+}
+
+fn error_code(e: ErrorCode) -> u8 {
+    match e {
+        ErrorCode::UnknownSession => 1,
+        ErrorCode::TooManySessions => 2,
+        ErrorCode::BatchTooLarge => 3,
+        ErrorCode::BadDimensions => 4,
+        ErrorCode::Shutdown => 5,
+        ErrorCode::BadRequest => 6,
+    }
+}
+
+/// Serializes a request payload (no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Open {
+            resources,
+            processes,
+        } => {
+            out.push(0x01);
+            put_u16(&mut out, *resources);
+            put_u16(&mut out, *processes);
+        }
+        Request::Batch { session, events } => {
+            out.push(0x02);
+            put_u64(&mut out, session.0);
+            put_u32(&mut out, events.len() as u32);
+            for ev in events {
+                put_event(&mut out, ev);
+            }
+        }
+        Request::Close { session } => {
+            out.push(0x03);
+            put_u64(&mut out, session.0);
+        }
+        Request::Stats => out.push(0x04),
+    }
+    out
+}
+
+/// Serializes a response payload (no length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Opened(id) => {
+            out.push(0x81);
+            put_u64(&mut out, id.0);
+        }
+        Response::Batch(results) => {
+            out.push(0x82);
+            put_u32(&mut out, results.len() as u32);
+            for r in results {
+                match r {
+                    EventResult::Ack => out.push(0x20),
+                    EventResult::Outcome(o) => {
+                        out.push(0x21);
+                        out.push(u8::from(o.deadlock));
+                        put_u32(&mut out, o.iterations);
+                        put_u32(&mut out, o.steps);
+                    }
+                    EventResult::Rejected(reason) => {
+                        out.push(0x22);
+                        out.push(reject_code(*reason));
+                    }
+                }
+            }
+        }
+        Response::Closed => out.push(0x83),
+        Response::Busy => out.push(0x84),
+        Response::Stats(shards) => {
+            out.push(0x85);
+            put_u16(&mut out, shards.len() as u16);
+            for s in shards {
+                put_u16(&mut out, s.shard);
+                put_u64(&mut out, s.events);
+                put_u64(&mut out, s.probes);
+                put_u64(&mut out, s.cache_hits);
+                put_u64(&mut out, s.max_queue_depth);
+            }
+        }
+        Response::Error(code) => {
+            out.push(0x86);
+            out.push(error_code(*code));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// Bounds-checked little-endian reader over a payload slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::TrailingBytes {
+                extra: self.buf.len() - self.pos,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn read_event(r: &mut Reader<'_>) -> Result<Event, WireError> {
+    match r.u8()? {
+        0x10 => Ok(Event::Request {
+            p: ProcId(r.u16()?),
+            q: ResId(r.u16()?),
+        }),
+        0x11 => Ok(Event::Grant {
+            q: ResId(r.u16()?),
+            p: ProcId(r.u16()?),
+        }),
+        0x12 => Ok(Event::Release {
+            q: ResId(r.u16()?),
+            p: ProcId(r.u16()?),
+        }),
+        0x13 => Ok(Event::Probe),
+        0x14 => Ok(Event::WouldDeadlock {
+            p: ProcId(r.u16()?),
+            q: ResId(r.u16()?),
+        }),
+        tag => Err(WireError::UnknownTag { what: "event", tag }),
+    }
+}
+
+fn read_reject(code: u8) -> Result<RejectReason, WireError> {
+    Ok(match code {
+        1 => RejectReason::UnknownId,
+        2 => RejectReason::DuplicateEdge,
+        3 => RejectReason::ResourceBusy,
+        4 => RejectReason::NotOwner,
+        5 => RejectReason::RequestWhileHolding,
+        6 => RejectReason::NoSuchEdge,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "reject reason",
+                tag,
+            })
+        }
+    })
+}
+
+fn read_error_code(code: u8) -> Result<ErrorCode, WireError> {
+    Ok(match code {
+        1 => ErrorCode::UnknownSession,
+        2 => ErrorCode::TooManySessions,
+        3 => ErrorCode::BatchTooLarge,
+        4 => ErrorCode::BadDimensions,
+        5 => ErrorCode::Shutdown,
+        6 => ErrorCode::BadRequest,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "error code",
+                tag,
+            })
+        }
+    })
+}
+
+/// Decodes a request payload (no length prefix).
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncated, oversized-count, unknown-tag or
+/// trailing-byte payloads.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(payload);
+    let req = match r.u8()? {
+        0x01 => Request::Open {
+            resources: r.u16()?,
+            processes: r.u16()?,
+        },
+        0x02 => {
+            let session = SessionId(r.u64()?);
+            let count = r.u32()?;
+            if count as usize > MAX_BATCH {
+                return Err(WireError::CountTooLarge { count });
+            }
+            let mut events = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                events.push(read_event(&mut r)?);
+            }
+            Request::Batch { session, events }
+        }
+        0x03 => Request::Close {
+            session: SessionId(r.u64()?),
+        },
+        0x04 => Request::Stats,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "request",
+                tag,
+            })
+        }
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Decodes a response payload (no length prefix).
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncated, oversized-count, unknown-tag or
+/// trailing-byte payloads.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader::new(payload);
+    let resp = match r.u8()? {
+        0x81 => Response::Opened(SessionId(r.u64()?)),
+        0x82 => {
+            let count = r.u32()?;
+            if count as usize > MAX_BATCH {
+                return Err(WireError::CountTooLarge { count });
+            }
+            let mut results = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                results.push(match r.u8()? {
+                    0x20 => EventResult::Ack,
+                    0x21 => EventResult::Outcome(DetectOutcome {
+                        deadlock: r.u8()? != 0,
+                        iterations: r.u32()?,
+                        steps: r.u32()?,
+                    }),
+                    0x22 => {
+                        let code = r.u8()?;
+                        EventResult::Rejected(read_reject(code)?)
+                    }
+                    tag => {
+                        return Err(WireError::UnknownTag {
+                            what: "event result",
+                            tag,
+                        })
+                    }
+                });
+            }
+            Response::Batch(results)
+        }
+        0x83 => Response::Closed,
+        0x84 => Response::Busy,
+        0x85 => {
+            let count = r.u16()?;
+            if count as usize > 1024 {
+                return Err(WireError::CountTooLarge {
+                    count: u32::from(count),
+                });
+            }
+            let mut shards = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                shards.push(ShardStats {
+                    shard: r.u16()?,
+                    events: r.u64()?,
+                    probes: r.u64()?,
+                    cache_hits: r.u64()?,
+                    max_queue_depth: r.u64()?,
+                });
+            }
+            Response::Stats(shards)
+        }
+        0x86 => {
+            let code = r.u8()?;
+            Response::Error(read_error_code(code)?)
+        }
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "response",
+                tag,
+            })
+        }
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] if the payload exceeds [`MAX_FRAME`];
+/// [`WireError::Io`] on transport failure.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME {
+        return Err(WireError::Oversized {
+            len: payload.len() as u64,
+        });
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame, returning the payload.
+///
+/// # Errors
+///
+/// [`WireError::Closed`] on clean end-of-stream before the prefix;
+/// [`WireError::Truncated`] if the stream ends mid-frame;
+/// [`WireError::Oversized`] if the prefix exceeds [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 {
+                    WireError::Closed
+                } else {
+                    WireError::Truncated
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized { len: len as u64 });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let bytes = encode_request(&req);
+        assert_eq!(decode_request(&bytes).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let bytes = encode_response(&resp);
+        assert_eq!(decode_response(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Open {
+            resources: 64,
+            processes: 64,
+        });
+        roundtrip_request(Request::Batch {
+            session: SessionId(42),
+            events: vec![
+                Event::Request {
+                    p: ProcId(1),
+                    q: ResId(2),
+                },
+                Event::Grant {
+                    q: ResId(3),
+                    p: ProcId(4),
+                },
+                Event::Release {
+                    q: ResId(3),
+                    p: ProcId(4),
+                },
+                Event::Probe,
+                Event::WouldDeadlock {
+                    p: ProcId(9),
+                    q: ResId(8),
+                },
+            ],
+        });
+        roundtrip_request(Request::Close {
+            session: SessionId(7),
+        });
+        roundtrip_request(Request::Stats);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_response(Response::Opened(SessionId(11)));
+        roundtrip_response(Response::Batch(vec![
+            EventResult::Ack,
+            EventResult::Outcome(DetectOutcome {
+                deadlock: true,
+                iterations: 3,
+                steps: 4,
+            }),
+            EventResult::Rejected(RejectReason::ResourceBusy),
+        ]));
+        roundtrip_response(Response::Closed);
+        roundtrip_response(Response::Busy);
+        roundtrip_response(Response::Stats(vec![ShardStats {
+            shard: 2,
+            events: 100,
+            probes: 10,
+            cache_hits: 5,
+            max_queue_depth: 3,
+        }]));
+        roundtrip_response(Response::Error(ErrorCode::BatchTooLarge));
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_typed_errors() {
+        let full = encode_request(&Request::Batch {
+            session: SessionId(1),
+            events: vec![Event::Probe, Event::Probe],
+        });
+        for cut in 0..full.len() {
+            match decode_request(&full[..cut]) {
+                Err(WireError::Truncated) => {}
+                other => panic!("prefix of len {cut} gave {other:?}"),
+            }
+        }
+        let mut extended = full.clone();
+        extended.push(0);
+        assert!(matches!(
+            decode_request(&extended),
+            Err(WireError::TrailingBytes { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn hostile_batch_count_rejected_before_allocation() {
+        let mut bytes = vec![0x02];
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_request(&bytes),
+            Err(WireError::CountTooLarge { count: u32::MAX })
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_by_reader_and_writer() {
+        let mut stream: &[u8] = &[0xFF, 0xFF, 0xFF, 0x7F];
+        assert!(matches!(
+            read_frame(&mut stream),
+            Err(WireError::Oversized { .. })
+        ));
+        let big = vec![0u8; MAX_FRAME + 1];
+        let mut sink = Vec::new();
+        assert!(matches!(
+            write_frame(&mut sink, &big),
+            Err(WireError::Oversized { .. })
+        ));
+        assert!(sink.is_empty(), "oversized frame must not be half-written");
+    }
+
+    #[test]
+    fn frame_roundtrip_and_clean_close() {
+        let payload = encode_request(&Request::Stats);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut stream: &[u8] = &buf;
+        assert_eq!(read_frame(&mut stream).unwrap(), payload);
+        assert!(matches!(read_frame(&mut stream), Err(WireError::Closed)));
+    }
+}

@@ -1,0 +1,643 @@
+//! The sharded service: a fixed pool of worker threads, each owning the
+//! sessions whose ids hash to it, fed through bounded queues.
+//!
+//! Design points, mirroring the DDU/DAU's role as a shared arbitration
+//! unit serving many PEs:
+//!
+//! * **Sharding** — `session_id % shards` pins every session to exactly
+//!   one worker, so a session's events are applied in submission order
+//!   with no locks around the RAG or engine.
+//! * **Backpressure** — each shard's queue is a bounded
+//!   `mpsc::sync_channel(queue_cap)`; submission uses `try_send` and
+//!   surfaces a full queue as [`ServiceError::Busy`] immediately instead
+//!   of buffering unboundedly. Memory is bounded by construction.
+//! * **Graceful shutdown** — [`Service::shutdown`] enqueues a marker
+//!   *behind* all accepted work; workers drain everything before
+//!   exiting, so every accepted batch gets its reply.
+//! * **Stats** — per-shard counters (events ingested, probes served,
+//!   engine cache hits, max observed queue depth) reported as
+//!   [`deltaos_sim::Stats`] so they merge with the rest of the
+//!   simulator's counter plumbing.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use deltaos_sim::Stats;
+
+use crate::proto::{ErrorCode, Event, EventResult, SessionId};
+use crate::session::Session;
+
+/// Service construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads (and queues); sessions are pinned by
+    /// `session_id % shards`.
+    pub shards: usize,
+    /// Bounded queue capacity per shard; a full queue answers
+    /// [`ServiceError::Busy`].
+    pub queue_cap: usize,
+    /// Admission control: maximum live sessions per shard.
+    pub max_sessions_per_shard: usize,
+    /// Admission control: maximum events per batch.
+    pub max_batch: usize,
+    /// Admission control: maximum session dimension (rows or columns).
+    pub max_dim: u16,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            queue_cap: 64,
+            max_sessions_per_shard: 1024,
+            max_batch: crate::proto::MAX_BATCH,
+            max_dim: 4096,
+        }
+    }
+}
+
+/// Typed in-process service failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The target shard's queue is full — retry later. Nothing was
+    /// applied.
+    Busy,
+    /// No such session (never opened, closed, or routed elsewhere).
+    UnknownSession,
+    /// The shard's session table is at `max_sessions_per_shard`.
+    TooManySessions,
+    /// Batch longer than `max_batch`.
+    BatchTooLarge,
+    /// Open with a zero or over-`max_dim` dimension.
+    BadDimensions,
+    /// The service has shut down.
+    Shutdown,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Busy => write!(f, "shard queue full, retry"),
+            ServiceError::UnknownSession => write!(f, "unknown session"),
+            ServiceError::TooManySessions => write!(f, "shard session table full"),
+            ServiceError::BatchTooLarge => write!(f, "batch exceeds configured cap"),
+            ServiceError::BadDimensions => write!(f, "bad session dimensions"),
+            ServiceError::Shutdown => write!(f, "service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<ServiceError> for ErrorCode {
+    fn from(e: ServiceError) -> Self {
+        match e {
+            // Busy is a distinct wire response; mapping it here keeps the
+            // conversion total for error paths that reach it anyway.
+            ServiceError::Busy => ErrorCode::BadRequest,
+            ServiceError::UnknownSession => ErrorCode::UnknownSession,
+            ServiceError::TooManySessions => ErrorCode::TooManySessions,
+            ServiceError::BatchTooLarge => ErrorCode::BatchTooLarge,
+            ServiceError::BadDimensions => ErrorCode::BadDimensions,
+            ServiceError::Shutdown => ErrorCode::Shutdown,
+        }
+    }
+}
+
+/// In-flight job meter: `depth` counts jobs enqueued but not yet fully
+/// processed (the queue plus at most the one job the worker is
+/// executing), `max_depth` its high-water mark. Because the increment
+/// happens only *after* a successful bounded `try_send`, the observed
+/// maximum can never exceed `queue_cap + 1`.
+#[derive(Debug, Default)]
+struct ShardMeter {
+    depth: AtomicI64,
+    max_depth: AtomicI64,
+}
+
+impl ShardMeter {
+    fn enqueued(&self) {
+        let now = self.depth.fetch_add(1, Ordering::AcqRel) + 1;
+        self.max_depth.fetch_max(now, Ordering::AcqRel);
+    }
+
+    fn finished(&self) {
+        self.depth.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn max(&self) -> u64 {
+        self.max_depth.load(Ordering::Acquire).max(0) as u64
+    }
+}
+
+enum Job {
+    Open {
+        session: SessionId,
+        resources: u16,
+        processes: u16,
+        reply: Sender<Result<SessionId, ServiceError>>,
+    },
+    Batch {
+        session: SessionId,
+        events: Vec<Event>,
+        reply: Sender<Result<Vec<EventResult>, ServiceError>>,
+    },
+    Close {
+        session: SessionId,
+        reply: Sender<Result<(), ServiceError>>,
+    },
+    Stats {
+        reply: Sender<Stats>,
+    },
+    /// Shutdown marker: enqueued behind all accepted work by
+    /// [`Service::shutdown`], so processing it means the queue drained.
+    Shutdown,
+}
+
+struct Shared {
+    txs: Vec<SyncSender<Job>>,
+    meters: Vec<Arc<ShardMeter>>,
+    next_session: AtomicU64,
+    config: ServiceConfig,
+}
+
+/// The running service. Create with [`Service::start`], talk to it via
+/// [`Service::client`] handles, stop it with [`Service::shutdown`].
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<Stats>>,
+}
+
+/// Cheap, cloneable in-process handle. All methods are safe to call from
+/// any thread; blocking methods wait only for their own reply.
+#[derive(Clone)]
+pub struct Client {
+    shared: Arc<Shared>,
+}
+
+impl Service {
+    /// Spawns the worker pool and returns the running service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` or `config.queue_cap` is zero.
+    pub fn start(config: ServiceConfig) -> Service {
+        assert!(config.shards > 0, "need at least one shard");
+        assert!(config.queue_cap > 0, "need a non-zero queue capacity");
+        let mut txs = Vec::with_capacity(config.shards);
+        let mut meters = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard_id in 0..config.shards {
+            let (tx, rx) = mpsc::sync_channel(config.queue_cap);
+            let meter = Arc::new(ShardMeter::default());
+            txs.push(tx);
+            meters.push(Arc::clone(&meter));
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("deltaos-shard-{shard_id}"))
+                    .spawn(move || run_worker(shard_id, rx, meter, config))
+                    .expect("spawn shard worker"),
+            );
+        }
+        Service {
+            shared: Arc::new(Shared {
+                txs,
+                meters,
+                next_session: AtomicU64::new(0),
+                config,
+            }),
+            workers,
+        }
+    }
+
+    /// A new client handle.
+    pub fn client(&self) -> Client {
+        Client {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> ServiceConfig {
+        self.shared.config
+    }
+
+    /// Graceful shutdown: enqueues a drain marker behind all accepted
+    /// work on every shard, waits for the workers to finish it, and
+    /// returns each shard's final [`Stats`] (index = shard id). Every
+    /// batch accepted before the call is fully processed and replied to;
+    /// submissions racing the shutdown fail with
+    /// [`ServiceError::Shutdown`] (or [`ServiceError::Busy`]) rather
+    /// than being dropped silently.
+    pub fn shutdown(self) -> Vec<Stats> {
+        for (tx, meter) in self.shared.txs.iter().zip(&self.shared.meters) {
+            // Blocking send: waits for queue space behind the accepted
+            // backlog instead of failing, preserving FIFO drain order.
+            if tx.send(Job::Shutdown).is_ok() {
+                meter.enqueued();
+            }
+        }
+        self.workers
+            .into_iter()
+            .map(|w| w.join().expect("shard worker panicked"))
+            .collect()
+    }
+}
+
+impl fmt::Debug for Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Service")
+            .field("config", &self.shared.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client")
+            .field("shards", &self.shared.config.shards)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    fn shard_of(&self, session: SessionId) -> usize {
+        (session.0 % self.shared.config.shards as u64) as usize
+    }
+
+    /// Bounded enqueue: full queues surface as `Busy`, a stopped service
+    /// as `Shutdown`. The meter is bumped only after the queue accepted
+    /// the job, so `max_queue_depth` stays ≤ `queue_cap + 1`.
+    fn enqueue(&self, shard: usize, job: Job) -> Result<(), ServiceError> {
+        match self.shared.txs[shard].try_send(job) {
+            Ok(()) => {
+                self.shared.meters[shard].enqueued();
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => Err(ServiceError::Busy),
+            Err(TrySendError::Disconnected(_)) => Err(ServiceError::Shutdown),
+        }
+    }
+
+    /// Opens a session, blocking for the shard's reply.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::BadDimensions`] for zero/over-cap dimensions,
+    /// [`ServiceError::TooManySessions`] when the shard is full,
+    /// [`ServiceError::Busy`] under backpressure.
+    pub fn open(&self, resources: u16, processes: u16) -> Result<SessionId, ServiceError> {
+        let cap = self.shared.config.max_dim;
+        if resources == 0 || processes == 0 || resources > cap || processes > cap {
+            return Err(ServiceError::BadDimensions);
+        }
+        let session = SessionId(self.shared.next_session.fetch_add(1, Ordering::Relaxed));
+        let (reply, rx) = mpsc::channel();
+        self.enqueue(
+            self.shard_of(session),
+            Job::Open {
+                session,
+                resources,
+                processes,
+                reply,
+            },
+        )?;
+        rx.recv().map_err(|_| ServiceError::Shutdown)?
+    }
+
+    /// Applies a batch, blocking for the per-event results.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::batch_async`].
+    pub fn batch(
+        &self,
+        session: SessionId,
+        events: Vec<Event>,
+    ) -> Result<Vec<EventResult>, ServiceError> {
+        let rx = self.batch_async(session, events)?;
+        rx.recv().map_err(|_| ServiceError::Shutdown)?
+    }
+
+    /// Submits a batch without waiting; the returned channel yields the
+    /// results once the owning shard processed the batch. Lets one
+    /// client pipeline work across shards (and lets tests drive a shard
+    /// into backpressure deterministically).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Busy`] when the shard queue is full (nothing was
+    /// applied), [`ServiceError::BatchTooLarge`] above the admission
+    /// cap, [`ServiceError::Shutdown`] after shutdown.
+    pub fn batch_async(
+        &self,
+        session: SessionId,
+        events: Vec<Event>,
+    ) -> Result<Receiver<Result<Vec<EventResult>, ServiceError>>, ServiceError> {
+        if events.len() > self.shared.config.max_batch {
+            return Err(ServiceError::BatchTooLarge);
+        }
+        let (reply, rx) = mpsc::channel();
+        self.enqueue(
+            self.shard_of(session),
+            Job::Batch {
+                session,
+                events,
+                reply,
+            },
+        )?;
+        Ok(rx)
+    }
+
+    /// Closes a session, folding its engine counters into shard stats.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] if it does not exist.
+    pub fn close(&self, session: SessionId) -> Result<(), ServiceError> {
+        let (reply, rx) = mpsc::channel();
+        self.enqueue(self.shard_of(session), Job::Close { session, reply })?;
+        rx.recv().map_err(|_| ServiceError::Shutdown)?
+    }
+
+    /// Snapshot of every shard's counters (index = shard id).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Busy`] / [`ServiceError::Shutdown`] as for any
+    /// submission.
+    pub fn stats(&self) -> Result<Vec<Stats>, ServiceError> {
+        let mut receivers = Vec::with_capacity(self.shared.config.shards);
+        for shard in 0..self.shared.config.shards {
+            let (reply, rx) = mpsc::channel();
+            self.enqueue(shard, Job::Stats { reply })?;
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .map(|rx| rx.recv().map_err(|_| ServiceError::Shutdown))
+            .collect()
+    }
+
+    /// Merged counters across all shards.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::stats`].
+    pub fn stats_merged(&self) -> Result<Stats, ServiceError> {
+        let mut merged = Stats::new();
+        for s in self.stats()? {
+            merged.merge(&s);
+        }
+        Ok(merged)
+    }
+}
+
+/// Per-worker counter state, folded into a [`Stats`] on demand.
+#[derive(Default)]
+struct WorkerCounters {
+    events: u64,
+    batches: u64,
+    probes: u64,
+    rejected: u64,
+    sessions_opened: u64,
+    sessions_closed: u64,
+    /// Engine counters of already-closed sessions, so cache-hit totals
+    /// survive session teardown.
+    retired_cache_hits: u64,
+    retired_reductions: u64,
+}
+
+fn run_worker(
+    shard_id: usize,
+    rx: Receiver<Job>,
+    meter: Arc<ShardMeter>,
+    config: ServiceConfig,
+) -> Stats {
+    let mut sessions: HashMap<u64, Session> = HashMap::new();
+    let mut counters = WorkerCounters::default();
+    // `recv` until the drain marker (or every sender dropped): accepted
+    // work is always fully processed before the worker exits.
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Open {
+                session,
+                resources,
+                processes,
+                reply,
+            } => {
+                let result = if sessions.len() >= config.max_sessions_per_shard {
+                    Err(ServiceError::TooManySessions)
+                } else {
+                    sessions.insert(session.0, Session::new(resources, processes));
+                    counters.sessions_opened += 1;
+                    Ok(session)
+                };
+                let _ = reply.send(result);
+            }
+            Job::Batch {
+                session,
+                events,
+                reply,
+            } => {
+                let result = match sessions.get_mut(&session.0) {
+                    None => Err(ServiceError::UnknownSession),
+                    Some(sess) => {
+                        counters.batches += 1;
+                        let mut results = Vec::with_capacity(events.len());
+                        for ev in events {
+                            counters.events += 1;
+                            if matches!(ev, Event::Probe | Event::WouldDeadlock { .. }) {
+                                counters.probes += 1;
+                            }
+                            let r = sess.apply(ev);
+                            if matches!(r, EventResult::Rejected(_)) {
+                                counters.rejected += 1;
+                            }
+                            results.push(r);
+                        }
+                        Ok(results)
+                    }
+                };
+                let _ = reply.send(result);
+            }
+            Job::Close { session, reply } => {
+                let result = match sessions.remove(&session.0) {
+                    None => Err(ServiceError::UnknownSession),
+                    Some(sess) => {
+                        let es = sess.engine_stats();
+                        counters.retired_cache_hits += es.cache_hits;
+                        counters.retired_reductions += es.reductions;
+                        counters.sessions_closed += 1;
+                        Ok(())
+                    }
+                };
+                let _ = reply.send(result);
+            }
+            Job::Stats { reply } => {
+                let _ = reply.send(report(shard_id, &counters, &sessions, &meter));
+            }
+            Job::Shutdown => {
+                meter.finished();
+                break;
+            }
+        }
+        meter.finished();
+    }
+    report(shard_id, &counters, &sessions, &meter)
+}
+
+fn report(
+    shard_id: usize,
+    counters: &WorkerCounters,
+    sessions: &HashMap<u64, Session>,
+    meter: &ShardMeter,
+) -> Stats {
+    let mut cache_hits = counters.retired_cache_hits;
+    let mut reductions = counters.retired_reductions;
+    for sess in sessions.values() {
+        let es = sess.engine_stats();
+        cache_hits += es.cache_hits;
+        reductions += es.reductions;
+    }
+    let mut s = Stats::new();
+    s.add("service.shard_id", shard_id as u64);
+    s.add("service.events", counters.events);
+    s.add("service.batches", counters.batches);
+    s.add("service.probes", counters.probes);
+    s.add("service.rejected_events", counters.rejected);
+    s.add("service.cache_hits", cache_hits);
+    s.add("service.reductions", reductions);
+    s.add("service.sessions_opened", counters.sessions_opened);
+    s.add("service.sessions_closed", counters.sessions_closed);
+    s.add("service.sessions_open", sessions.len() as u64);
+    s.add("service.queue_depth_max", meter.max());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltaos_core::{ProcId, ResId};
+
+    fn p(i: u16) -> ProcId {
+        ProcId(i)
+    }
+    fn q(i: u16) -> ResId {
+        ResId(i)
+    }
+
+    fn small() -> ServiceConfig {
+        ServiceConfig {
+            shards: 2,
+            queue_cap: 8,
+            max_sessions_per_shard: 4,
+            max_batch: 16,
+            max_dim: 64,
+        }
+    }
+
+    #[test]
+    fn open_batch_probe_close_roundtrip() {
+        let service = Service::start(small());
+        let client = service.client();
+        let sid = client.open(2, 2).unwrap();
+        let results = client
+            .batch(
+                sid,
+                vec![
+                    Event::Grant { q: q(0), p: p(0) },
+                    Event::Grant { q: q(1), p: p(1) },
+                    Event::Request { p: p(0), q: q(1) },
+                    Event::Request { p: p(1), q: q(0) },
+                    Event::Probe,
+                ],
+            )
+            .unwrap();
+        assert_eq!(results.len(), 5);
+        match results[4] {
+            EventResult::Outcome(o) => assert!(o.deadlock),
+            other => panic!("unexpected {other:?}"),
+        }
+        client.close(sid).unwrap();
+        assert_eq!(
+            client.batch(sid, vec![Event::Probe]),
+            Err(ServiceError::UnknownSession)
+        );
+        let stats = service.shutdown();
+        let merged = {
+            let mut m = Stats::new();
+            for s in &stats {
+                m.merge(s);
+            }
+            m
+        };
+        // The post-close batch was refused before ingestion, so only the
+        // accepted 5-event batch counts.
+        assert_eq!(merged.counter("service.events"), 5);
+        assert_eq!(merged.counter("service.probes"), 1);
+        assert_eq!(merged.counter("service.sessions_closed"), 1);
+    }
+
+    #[test]
+    fn sessions_spread_across_shards_and_ids_are_unique() {
+        let service = Service::start(small());
+        let client = service.client();
+        let ids: Vec<SessionId> = (0..8).map(|_| client.open(4, 4).unwrap()).collect();
+        let mut unique = ids.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), ids.len());
+        let per_shard = client.stats().unwrap();
+        assert_eq!(per_shard.len(), 2);
+        for s in &per_shard {
+            assert_eq!(s.counter("service.sessions_open"), 4);
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn admission_control_rejects_bad_opens_and_big_batches() {
+        let service = Service::start(small());
+        let client = service.client();
+        assert_eq!(client.open(0, 4), Err(ServiceError::BadDimensions));
+        assert_eq!(client.open(4, 65), Err(ServiceError::BadDimensions));
+        // Shard capacity: 4 per shard × 2 shards; the 9th (round-robin)
+        // open must hit a full shard.
+        let mut hit_cap = false;
+        for _ in 0..9 {
+            match client.open(2, 2) {
+                Ok(_) => {}
+                Err(ServiceError::TooManySessions) => {
+                    hit_cap = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(hit_cap, "per-shard session cap must engage");
+        let sid = SessionId(0);
+        assert_eq!(
+            client.batch(sid, vec![Event::Probe; 17]),
+            Err(ServiceError::BatchTooLarge)
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn submissions_after_shutdown_fail_typed() {
+        let service = Service::start(small());
+        let client = service.client();
+        let sid = client.open(2, 2).unwrap();
+        service.shutdown();
+        assert_eq!(
+            client.batch(sid, vec![Event::Probe]),
+            Err(ServiceError::Shutdown)
+        );
+        assert_eq!(client.open(2, 2), Err(ServiceError::Shutdown));
+    }
+}

@@ -1,0 +1,187 @@
+//! Blocking TCP transport: a thread-per-connection server wrapping an
+//! in-process [`Client`], and a matching blocking [`TcpClient`].
+//!
+//! Each connection is a strict request/response loop over the
+//! length-prefixed frames of [`crate::proto`]. Malformed frames answer
+//! with [`Response::Error`] where the stream is still framed (bad tag,
+//! trailing bytes) and drop the connection where it is not (truncated or
+//! oversized frames — the reader can no longer find the next boundary).
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::proto::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    ErrorCode, Request, Response, ShardStats, WireError,
+};
+use crate::shard::{Client, ServiceError};
+
+/// A running TCP front-end for a service [`Client`].
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections, each served on its own thread through
+    /// `client`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, client: Client) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("deltaos-tcp-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let conn_client = client.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("deltaos-tcp-conn".into())
+                        .spawn(move || {
+                            let _ = serve_conn(stream, &conn_client);
+                        });
+                }
+            })?;
+        Ok(TcpServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// Connections already being served run until their peer disconnects.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // The accept loop blocks in `incoming()`; poke it with a
+        // throwaway connection so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.halt();
+        }
+    }
+}
+
+fn service_response(client: &Client, req: Request) -> Response {
+    match req {
+        Request::Open {
+            resources,
+            processes,
+        } => match client.open(resources, processes) {
+            Ok(id) => Response::Opened(id),
+            Err(ServiceError::Busy) => Response::Busy,
+            Err(e) => Response::Error(e.into()),
+        },
+        Request::Batch { session, events } => match client.batch(session, events) {
+            Ok(results) => Response::Batch(results),
+            Err(ServiceError::Busy) => Response::Busy,
+            Err(e) => Response::Error(e.into()),
+        },
+        Request::Close { session } => match client.close(session) {
+            Ok(()) => Response::Closed,
+            Err(ServiceError::Busy) => Response::Busy,
+            Err(e) => Response::Error(e.into()),
+        },
+        Request::Stats => match client.stats() {
+            Ok(per_shard) => Response::Stats(
+                per_shard
+                    .iter()
+                    .map(|s| ShardStats {
+                        shard: s.counter("service.shard_id") as u16,
+                        events: s.counter("service.events"),
+                        probes: s.counter("service.probes"),
+                        cache_hits: s.counter("service.cache_hits"),
+                        max_queue_depth: s.counter("service.queue_depth_max"),
+                    })
+                    .collect(),
+            ),
+            Err(ServiceError::Busy) => Response::Busy,
+            Err(e) => Response::Error(e.into()),
+        },
+    }
+}
+
+/// Serves one connection until the peer closes or the stream breaks.
+fn serve_conn(stream: TcpStream, client: &Client) -> Result<(), WireError> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(p) => p,
+            Err(WireError::Closed) => return Ok(()),
+            // Framing is lost: the next bytes cannot be trusted to be a
+            // length prefix, so drop the connection.
+            Err(e) => return Err(e),
+        };
+        let response = match decode_request(&payload) {
+            Ok(req) => service_response(client, req),
+            // Frame boundaries are intact; answer in-band and keep going.
+            Err(_) => Response::Error(ErrorCode::BadRequest),
+        };
+        write_frame(&mut writer, &encode_response(&response))?;
+    }
+}
+
+/// Blocking TCP client speaking the service wire protocol.
+#[derive(Debug)]
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl TcpClient {
+    /// Connects to a [`TcpServer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: SocketAddr) -> io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] from framing, transport or decoding.
+    pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        write_frame(&mut self.writer, &encode_request(req))?;
+        let payload = read_frame(&mut self.reader)?;
+        decode_response(&payload)
+    }
+}

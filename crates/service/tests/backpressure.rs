@@ -1,0 +1,120 @@
+//! Backpressure contract: a full shard queue answers `Busy` immediately,
+//! in-flight work never exceeds `queue_cap + 1` jobs (the bounded queue
+//! plus the one the worker is executing), and shutdown drains every
+//! accepted batch before the workers exit.
+
+use deltaos_core::{ProcId, ResId};
+use deltaos_service::{Event, Service, ServiceConfig, ServiceError};
+
+#[test]
+fn flooding_a_tiny_queue_yields_busy_and_bounded_depth() {
+    const QUEUE_CAP: usize = 2;
+    let service = Service::start(ServiceConfig {
+        shards: 1,
+        queue_cap: QUEUE_CAP,
+        ..ServiceConfig::default()
+    });
+    let client = service.client();
+    let sid = client.open(32, 32).unwrap();
+
+    // Meaty batches keep the single worker busy long enough for the
+    // flood to pile into the 2-slot queue.
+    let mut heavy = Vec::new();
+    for i in 0..31u16 {
+        heavy.push(Event::Grant {
+            q: ResId(i),
+            p: ProcId(i),
+        });
+        heavy.push(Event::Request {
+            p: ProcId(i),
+            q: ResId(i + 1),
+        });
+        heavy.push(Event::WouldDeadlock {
+            p: ProcId(i + 1),
+            q: ResId(0),
+        });
+    }
+
+    let mut accepted = Vec::new();
+    let mut busy = 0u32;
+    for _ in 0..400 {
+        match client.batch_async(sid, heavy.clone()) {
+            Ok(rx) => accepted.push(rx),
+            Err(ServiceError::Busy) => busy += 1,
+            Err(e) => panic!("unexpected {e:?}"),
+        }
+    }
+    assert!(
+        busy > 0,
+        "a {QUEUE_CAP}-slot queue flooded with 400 async batches must refuse some"
+    );
+    assert!(!accepted.is_empty(), "some batches must get through");
+
+    // Every accepted batch completes — including those still queued when
+    // shutdown begins (drain-on-shutdown).
+    let expected_events = (accepted.len() * heavy.len()) as u64;
+    let stats = service.shutdown();
+    for rx in accepted {
+        let results = rx
+            .recv()
+            .expect("accepted batch dropped")
+            .expect("accepted batch failed");
+        assert_eq!(results.len(), heavy.len());
+    }
+
+    let shard = &stats[0];
+    assert_eq!(shard.counter("service.events"), expected_events);
+    let max_depth = shard.counter("service.queue_depth_max");
+    assert!(
+        max_depth <= (QUEUE_CAP + 1) as u64,
+        "in-flight jobs exceeded the queue bound: {max_depth} > {} (cap {QUEUE_CAP} + 1 executing)",
+        QUEUE_CAP + 1
+    );
+    assert!(max_depth >= 2, "the flood should have filled the queue");
+}
+
+#[test]
+fn busy_rejections_apply_nothing() {
+    let service = Service::start(ServiceConfig {
+        shards: 1,
+        queue_cap: 1,
+        ..ServiceConfig::default()
+    });
+    let client = service.client();
+    let sid = client.open(4, 4).unwrap();
+
+    let batch = vec![
+        Event::Grant {
+            q: ResId(0),
+            p: ProcId(0),
+        },
+        Event::Probe,
+    ];
+    let mut accepted = Vec::new();
+    for _ in 0..200 {
+        if let Ok(rx) = client.batch_async(sid, batch.clone()) {
+            accepted.push(rx);
+        }
+    }
+    let mut acks = 0u64;
+    let mut grant_rejects = 0u64;
+    for rx in &accepted {
+        let results = rx.recv().unwrap().unwrap();
+        match results[0] {
+            deltaos_service::EventResult::Ack => acks += 1,
+            deltaos_service::EventResult::Rejected(_) => grant_rejects += 1,
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+    // Exactly one grant of q0 can ever succeed; re-grants are rejected
+    // *by the session*, while Busy batches never reached it at all.
+    assert_eq!(acks, 1);
+    assert_eq!(grant_rejects, accepted.len() as u64 - 1);
+
+    let stats = service.shutdown();
+    assert_eq!(
+        stats[0].counter("service.events"),
+        2 * accepted.len() as u64,
+        "only accepted batches may be ingested"
+    );
+}

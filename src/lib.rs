@@ -20,6 +20,9 @@
 //! * [`apps`] — the paper's application workloads.
 //! * [`rtl`] — parameterized Verilog generators and the NAND2 area
 //!   estimator.
+//! * [`service`] — sharded multi-session deadlock detection/avoidance
+//!   service: session-per-RAG incremental engines behind bounded worker
+//!   queues, an in-process client and a length-prefixed TCP protocol.
 //! * [`framework`] — the δ framework: configuration, RTOS1–RTOS7 presets,
 //!   system generation and design-space exploration.
 //!
@@ -47,4 +50,5 @@ pub use deltaos_hwunits as hwunits;
 pub use deltaos_mpsoc as mpsoc;
 pub use deltaos_rtl as rtl;
 pub use deltaos_rtos as rtos;
+pub use deltaos_service as service;
 pub use deltaos_sim as sim;
