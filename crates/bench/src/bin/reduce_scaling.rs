@@ -1,0 +1,250 @@
+//! Parallel sharded reduction scaling sweep.
+//!
+//! Reduces LCG-populated matrices at {256², 512², 1024²} across
+//! {1, 2, 4, 8} shards, plus a tall 4096×64 case that exercises the
+//! column-major variant, timing [`terminal_reduction_with`] with a
+//! fresh matrix clone per iteration. Before anything is timed, every
+//! configuration's parallel result (final matrix *and*
+//! [`ReductionReport`]) is asserted bit-identical to the serial one —
+//! the determinism guarantee is checked in the same binary that reports
+//! the speedups.
+//!
+//! Emits `BENCH_reduce_scaling.json` at the repository root with the
+//! acceptance check (≥2× at 1024² on 4 threads). The throughput gate is
+//! conditional on the host actually having ≥4 CPUs — on smaller hosts
+//! the sweep still runs and the JSON records the speedups and
+//! `host_cpus` honestly, with the gate marked skipped (equivalence is
+//! always enforced).
+//!
+//! `--smoke` runs 256² at 1–2 threads (debug builds allowed, no JSON,
+//! no perf gate) for CI.
+
+use deltaos_bench::microbench::time_with_setup;
+use deltaos_core::matrix::StateMatrix;
+use deltaos_core::par::{ParConfig, WorkerPool};
+use deltaos_core::reduction::{terminal_reduction_with, ReductionReport};
+use deltaos_core::{ProcId, ResId};
+
+/// Deterministic peel workload: one long grant/request chain — row `s`
+/// granted to process `s mod n`, waited on by process `(s+1) mod n` —
+/// ending in an open tail so the reduction peels from the far end, a
+/// couple of rows per pass. The live worklist shrinks by O(1) per pass
+/// while every pass scans all surviving rows, so a k-row matrix does
+/// Θ(k²) row scans: the fused-scan work the shards split, with enough
+/// passes that per-pass gating decisions matter.
+fn workload(m: usize, n: usize) -> StateMatrix {
+    let mut mat = StateMatrix::new(m, n);
+    for s in 0..m {
+        mat.set_grant(ResId(s as u16), ProcId((s % n) as u16));
+        if s + 1 < m {
+            mat.set_request(ProcId(((s + 1) % n) as u16), ResId(s as u16));
+        }
+    }
+    mat
+}
+
+/// Serial reference config: one shard, column-major disabled, so the
+/// baseline is always the plain row-major path.
+fn serial_cfg() -> ParConfig {
+    ParConfig {
+        threads: 1,
+        colmajor_ratio: 0,
+        ..ParConfig::default()
+    }
+}
+
+/// The benchmarked config for `threads` shards. Square cases keep the
+/// default gates (big enough to shard); the tall case keeps the default
+/// column-major ratio so 4096×64 transposes.
+fn par_cfg(threads: usize) -> ParConfig {
+    ParConfig::with_threads(threads)
+}
+
+fn reduce(
+    mat: &StateMatrix,
+    pool: Option<&WorkerPool>,
+    cfg: ParConfig,
+) -> (StateMatrix, ReductionReport) {
+    let mut work = mat.clone();
+    let report = terminal_reduction_with(&mut work, pool, cfg);
+    (work, report)
+}
+
+/// Asserts the parallel/column-major reduction of `mat` is bit-identical
+/// to the serial one, and returns the serial report.
+fn assert_equivalent(
+    label: &str,
+    mat: &StateMatrix,
+    pool: &WorkerPool,
+    cfg: ParConfig,
+) -> ReductionReport {
+    let (serial_m, serial_r) = reduce(mat, None, serial_cfg());
+    let (par_m, par_r) = reduce(mat, Some(pool), cfg);
+    assert_eq!(serial_r, par_r, "{label}: report diverged from serial");
+    assert!(
+        serial_m == par_m,
+        "{label}: final matrix diverged from serial"
+    );
+    serial_r
+}
+
+struct Row {
+    m: usize,
+    n: usize,
+    threads: usize,
+    ns: f64,
+    serial_ns: f64,
+    steps: u32,
+    colmajor: bool,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.serial_ns / self.ns
+    }
+}
+
+fn bench_case(m: usize, n: usize, threads: &[usize], rows: &mut Vec<Row>) {
+    let mat = workload(m, n);
+    // Mirrors ParConfig::wants_colmajor (pub(crate) in core).
+    let g = par_cfg(1);
+    let colmajor = g.colmajor_ratio > 0 && m >= g.colmajor_ratio * n && m * n >= g.min_area;
+    let serial = time_with_setup(
+        || mat.clone(),
+        |mut w| {
+            std::hint::black_box(terminal_reduction_with(&mut w, None, serial_cfg()));
+        },
+    );
+    for &t in threads {
+        let pool = WorkerPool::new(t);
+        let cfg = par_cfg(t);
+        let report = assert_equivalent(&format!("{m}x{n} t={t}"), &mat, &pool, cfg);
+        let timed = time_with_setup(
+            || mat.clone(),
+            |mut w| {
+                std::hint::black_box(terminal_reduction_with(&mut w, Some(&pool), cfg));
+            },
+        );
+        let row = Row {
+            m,
+            n,
+            threads: t,
+            ns: timed.median_ns,
+            serial_ns: serial.median_ns,
+            steps: report.steps,
+            colmajor,
+        };
+        println!(
+            "{:>4}x{:<4} threads={:<2} {:>12.1} ns (serial {:>12.1} ns)  speedup {:>5.2}x  steps {:>4}{}",
+            row.m,
+            row.n,
+            row.threads,
+            row.ns,
+            row.serial_ns,
+            row.speedup(),
+            row.steps,
+            if colmajor { "  [colmajor]" } else { "" }
+        );
+        rows.push(row);
+    }
+}
+
+fn to_json(rows: &[Row], host_cpus: usize) -> String {
+    let accept = rows
+        .iter()
+        .find(|r| r.m == 1024 && r.n == 1024 && r.threads == 4)
+        .expect("1024x1024 4-thread row present");
+    let gated = host_cpus >= 4;
+    let pass_field = if gated {
+        format!("{}", accept.speedup() >= 2.0)
+    } else {
+        "null".to_string()
+    };
+    let mut out = String::from("{\n  \"bench\": \"reduce_scaling\",\n");
+    out.push_str("  \"unit\": \"ns_per_reduction_median\",\n");
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str("  \"equivalence\": {\"serial_vs_parallel_bit_identical\": true},\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"m\": {}, \"n\": {}, \"threads\": {}, \"ns\": {:.1}, \"serial_ns\": {:.1}, \"speedup\": {:.3}, \"steps\": {}, \"colmajor\": {}}}{}\n",
+            r.m,
+            r.n,
+            r.threads,
+            r.ns,
+            r.serial_ns,
+            r.speedup(),
+            r.steps,
+            r.colmajor,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"acceptance\": {{\"m\": 1024, \"n\": 1024, \"threads\": 4, \"speedup\": {:.3}, \"required\": 2.0, \"gate_requires_cpus\": 4, \"gate_skipped_insufficient_cpus\": {}, \"pass\": {}}}\n}}\n",
+        accept.speedup(),
+        !gated,
+        pass_field
+    ));
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        let mut rows = Vec::new();
+        bench_case(256, 256, &[1, 2], &mut rows);
+        // Equivalence on the column-major shape too, untimed.
+        let tall = workload(2048, 64);
+        let pool = WorkerPool::new(2);
+        assert_equivalent("2048x64 t=2 (smoke)", &tall, &pool, par_cfg(2));
+        println!("smoke ok");
+        return;
+    }
+
+    if cfg!(debug_assertions) {
+        // Debug timings would corrupt the tracked BENCH_reduce_scaling.json.
+        eprintln!("reduce_scaling: debug build — rerun with --release (or use --smoke)");
+        std::process::exit(2);
+    }
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("=== reduce_scaling: sharded reduction sweep ({host_cpus} host CPUs) ===");
+    let mut rows = Vec::new();
+    for k in [256usize, 512, 1024] {
+        bench_case(k, k, &[1, 2, 4, 8], &mut rows);
+    }
+    // Tall case: the column-major variant (m >= 8n transposes first).
+    bench_case(4096, 64, &[1, 4], &mut rows);
+
+    let json = to_json(&rows, host_cpus);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_reduce_scaling.json"
+    );
+    std::fs::write(path, &json).expect("write BENCH_reduce_scaling.json");
+    println!("wrote {path}");
+
+    let accept = rows
+        .iter()
+        .find(|r| r.m == 1024 && r.threads == 4)
+        .expect("acceptance row");
+    if host_cpus >= 4 {
+        println!(
+            "acceptance: 1024x1024 4-thread speedup {:.2}x (required >= 2x)",
+            accept.speedup()
+        );
+        assert!(
+            accept.speedup() >= 2.0,
+            "sharded reduction must be >= 2x at 1024x1024 on 4 threads \
+             (got {:.2}x on a {host_cpus}-CPU host)",
+            accept.speedup()
+        );
+    } else {
+        println!(
+            "acceptance: gate skipped — host has {host_cpus} CPU(s) < 4; \
+             measured 1024x1024 4-thread speedup {:.2}x recorded ungated",
+            accept.speedup()
+        );
+    }
+}

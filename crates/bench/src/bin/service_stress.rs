@@ -4,9 +4,10 @@
 //! in-process [`Client`], mixing edits, detection probes and avoidance
 //! queries — the fleet-scale version of the paper's shared DDU/DAU
 //! serving many PEs. Reports aggregate throughput (events/sec across all
-//! shards) and probe round-trip latency (p50/p99 from the sim crate's
-//! power-of-two histogram), and writes `BENCH_service.json` at the
-//! repository root.
+//! shards) and probe round-trip latency (p50/p99 plus the raw bucket
+//! distribution from the sim crate's log-linear histogram — four
+//! sub-buckets per octave, so tail figures resolve to ±25% instead of
+//! ±2×), and writes `BENCH_service.json` at the repository root.
 //!
 //! `--smoke` runs a seconds-free miniature of the same drive (debug
 //! builds allowed, no JSON, no perf gate) for CI.
@@ -112,14 +113,24 @@ struct Outcome {
     busy_retries: u64,
     max_queue_depth: u64,
     elapsed_secs: f64,
-    p50_ns: u64,
-    p99_ns: u64,
-    samples: u64,
+    latencies: Histogram,
 }
 
 impl Outcome {
     fn events_per_sec(&self) -> f64 {
         self.events as f64 / self.elapsed_secs
+    }
+
+    fn p50_ns(&self) -> u64 {
+        self.latencies.percentile(0.50)
+    }
+
+    fn p99_ns(&self) -> u64 {
+        self.latencies.percentile(0.99)
+    }
+
+    fn samples(&self) -> u64 {
+        self.latencies.count()
     }
 }
 
@@ -172,9 +183,7 @@ fn run(drive: &Drive) -> Outcome {
         busy_retries,
         max_queue_depth,
         elapsed_secs,
-        p50_ns: latencies.percentile(0.50),
-        p99_ns: latencies.percentile(0.99),
-        samples: latencies.count(),
+        latencies,
     }
 }
 
@@ -191,12 +200,26 @@ fn report(label: &str, drive: &Drive, o: &Outcome) {
     );
     println!(
         "  probes {} (cache hits {}), probe latency p50 {} ns p99 {} ns ({} samples)",
-        o.probes, o.cache_hits, o.p50_ns, o.p99_ns, o.samples
+        o.probes,
+        o.cache_hits,
+        o.p50_ns(),
+        o.p99_ns(),
+        o.samples()
     );
     println!(
         "  busy retries {}, max queue depth {} (cap 64 + 1)",
         o.busy_retries, o.max_queue_depth
     );
+}
+
+/// The non-empty latency buckets as a JSON array of
+/// `{"lo": …, "hi": …, "samples": …}` (inclusive nanosecond bounds).
+fn buckets_json(h: &Histogram) -> String {
+    let entries: Vec<String> = h
+        .buckets()
+        .map(|(lo, hi, samples)| format!("{{\"lo\": {lo}, \"hi\": {hi}, \"samples\": {samples}}}"))
+        .collect();
+    format!("[{}]", entries.join(", "))
 }
 
 fn to_json(drive: &Drive, o: &Outcome, pass: bool) -> String {
@@ -213,7 +236,8 @@ fn to_json(drive: &Drive, o: &Outcome, pass: bool) -> String {
             "  \"cache_hits\": {},\n",
             "  \"busy_retries\": {},\n",
             "  \"max_queue_depth\": {},\n",
-            "  \"probe_latency_ns\": {{\"p50\": {}, \"p99\": {}, \"samples\": {}}},\n",
+            "  \"probe_latency_ns\": {{\"p50\": {}, \"p99\": {}, \"samples\": {},\n",
+            "    \"buckets\": {}}},\n",
             "  \"acceptance\": {{\"required_events_per_sec\": 100000, \"pass\": {}}}\n",
             "}}\n"
         ),
@@ -230,9 +254,10 @@ fn to_json(drive: &Drive, o: &Outcome, pass: bool) -> String {
         o.cache_hits,
         o.busy_retries,
         o.max_queue_depth,
-        o.p50_ns,
-        o.p99_ns,
-        o.samples,
+        o.p50_ns(),
+        o.p99_ns(),
+        o.samples(),
+        buckets_json(&o.latencies),
         pass
     )
 }
@@ -242,7 +267,7 @@ fn main() {
     if smoke {
         let o = run(&SMOKE);
         report("service_stress --smoke", &SMOKE, &o);
-        assert!(o.events > 0 && o.probes > 0 && o.samples > 0);
+        assert!(o.events > 0 && o.probes > 0 && o.samples() > 0);
         println!("smoke ok");
         return;
     }

@@ -35,10 +35,13 @@
 //! untouched: the paper's Table 5 models a C implementation that rebuilds
 //! kernel tables on every invocation, and its costs must not shift.
 
+use std::sync::Arc;
+
 use crate::matrix::StateMatrix;
+use crate::par::{ParConfig, WorkerPool};
 use crate::pdda::DetectOutcome;
 use crate::rag::RagDelta;
-use crate::reduction::{reduce_core, ReduceScratch};
+use crate::reduction::{reduce_core, ParExec, ReduceScratch};
 use crate::{ProcId, Rag, ResId};
 
 /// Operation counters exposed for tests, benches and DESIGN.md claims.
@@ -137,6 +140,39 @@ pub struct DetectEngine {
     /// `live_col_word_pos[w]` = index of word `w` in `live_col_words`
     /// (`u32::MAX` when absent); O(1) membership via swap-remove.
     live_col_word_pos: Vec<u32>,
+    /// Dense list of the non-empty mirror columns — the transposed
+    /// reduction's row worklist when the column-major path is active.
+    /// Maintained unconditionally (transitions are O(1)) so flipping the
+    /// path on never needs a rescan.
+    live_cols: Vec<u32>,
+    /// `live_col_pos[t]` = index of column `t` in `live_cols`
+    /// (`u32::MAX` when empty).
+    live_col_pos: Vec<u32>,
+    /// Per column-word (rows / 64) count of non-empty rows packed into
+    /// that word — the transposed twin of `word_col_count`, feeding the
+    /// column-word seed of the transposed reduction.
+    word_row_count: Vec<u32>,
+    /// Dense list of column-words with ≥1 non-empty row.
+    live_row_words: Vec<u32>,
+    /// `live_row_word_pos[w]` = index of word `w` in `live_row_words`.
+    live_row_word_pos: Vec<u32>,
+    /// Shared worker pool for the sharded reduction path, if any. One
+    /// pool serves many engines (e.g. every session of a service shard).
+    par_pool: Option<Arc<WorkerPool>>,
+    /// Gates for the parallel and column-major paths.
+    par_cfg: ParConfig,
+    /// `true` when this engine reduces the transposed mirror (tall
+    /// matrices, `m >= colmajor_ratio * n`). Fixed by shape + config, so
+    /// it never flips between probes.
+    colmajor: bool,
+    /// Persistent transposed mirror (`n × m`), kept cell-for-cell in sync
+    /// with `mirror` by the same O(1) delta writes. Only allocated when
+    /// `colmajor` is set.
+    mirror_t: Option<StateMatrix>,
+    /// Working copy of `mirror_t` plus its residue rows and scratch.
+    work_t: Option<StateMatrix>,
+    work_t_residue: Vec<u32>,
+    scratch_t: ReduceScratch,
     /// What the mirror currently holds.
     version: Version,
     /// Monotonic counter for direct (DDU-style) cell edits.
@@ -154,7 +190,21 @@ impl DetectEngine {
     /// Panics if either dimension is zero (same contract as
     /// [`StateMatrix::new`]).
     pub fn new(resources: usize, processes: usize) -> Self {
+        Self::with_parallel(resources, processes, None, ParConfig::default())
+    }
+
+    /// Creates an engine with an explicit [`ParConfig`] and optional
+    /// shared [`WorkerPool`]. With the default config (or no pool and
+    /// `colmajor_ratio == 0`) this is exactly [`DetectEngine::new`].
+    pub fn with_parallel(
+        resources: usize,
+        processes: usize,
+        pool: Option<Arc<WorkerPool>>,
+        cfg: ParConfig,
+    ) -> Self {
         let words = processes.div_ceil(64);
+        let row_words = resources.div_ceil(64);
+        let colmajor = cfg.wants_colmajor(resources, processes);
         DetectEngine {
             mirror: StateMatrix::new(resources, processes),
             work: StateMatrix::new(resources, processes),
@@ -171,11 +221,55 @@ impl DetectEngine {
             word_col_count: vec![0; words],
             live_col_words: Vec::with_capacity(words),
             live_col_word_pos: vec![u32::MAX; words],
+            live_cols: Vec::with_capacity(processes),
+            live_col_pos: vec![u32::MAX; processes],
+            word_row_count: vec![0; row_words],
+            live_row_words: Vec::with_capacity(row_words),
+            live_row_word_pos: vec![u32::MAX; row_words],
+            par_pool: pool,
+            par_cfg: cfg,
+            colmajor,
+            mirror_t: colmajor.then(|| StateMatrix::new(processes, resources)),
+            work_t: colmajor.then(|| StateMatrix::new(processes, resources)),
+            work_t_residue: Vec::new(),
+            scratch_t: ReduceScratch::new(),
             version: Version::Local { edits: 0 },
             edits: 0,
             cache: None,
             stats: EngineStats::default(),
         }
+    }
+
+    /// Replaces the parallel configuration (and pool) in place. The
+    /// column-major decision is re-evaluated for the engine's shape; if
+    /// the transposed mirror becomes live it is built from the current
+    /// mirror, so no resync is needed and no cached result is lost.
+    pub fn set_parallel(&mut self, pool: Option<Arc<WorkerPool>>, cfg: ParConfig) {
+        self.par_pool = pool;
+        self.par_cfg = cfg;
+        let colmajor = cfg.wants_colmajor(self.resources(), self.processes());
+        if colmajor && !self.colmajor {
+            let mut t = StateMatrix::new(self.processes(), self.resources());
+            self.mirror.transpose_into(&mut t);
+            self.mirror_t = Some(t);
+            self.work_t = Some(StateMatrix::new(self.processes(), self.resources()));
+            self.work_t_residue.clear();
+        } else if !colmajor {
+            self.mirror_t = None;
+            self.work_t = None;
+            self.work_t_residue.clear();
+        }
+        self.colmajor = colmajor;
+    }
+
+    /// The active parallel configuration.
+    pub fn par_config(&self) -> ParConfig {
+        self.par_cfg
+    }
+
+    /// `true` when this engine reduces column-major (tall shapes).
+    pub fn is_colmajor(&self) -> bool {
+        self.colmajor
     }
 
     /// Number of resource rows.
@@ -213,7 +307,7 @@ impl DetectEngine {
         *self = DetectEngine {
             stats: self.stats,
             edits: self.edits,
-            ..DetectEngine::new(resources, processes)
+            ..DetectEngine::with_parallel(resources, processes, self.par_pool.take(), self.par_cfg)
         };
     }
 
@@ -240,15 +334,30 @@ impl DetectEngine {
                 continue;
             }
             self.row_nonempty[s] = nonempty;
+            let w = s / 64;
             if nonempty {
                 self.live_pos[s] = self.live_rows.len() as u32;
                 self.live_rows.push(s as u32);
+                self.word_row_count[w] += 1;
+                if self.word_row_count[w] == 1 {
+                    self.live_row_word_pos[w] = self.live_row_words.len() as u32;
+                    self.live_row_words.push(w as u32);
+                }
             } else {
                 let i = self.live_pos[s] as usize;
                 self.live_pos[s] = u32::MAX;
                 self.live_rows.swap_remove(i);
                 if let Some(&moved) = self.live_rows.get(i) {
                     self.live_pos[moved as usize] = i as u32;
+                }
+                self.word_row_count[w] -= 1;
+                if self.word_row_count[w] == 0 {
+                    let i = self.live_row_word_pos[w] as usize;
+                    self.live_row_word_pos[w] = u32::MAX;
+                    self.live_row_words.swap_remove(i);
+                    if let Some(&moved) = self.live_row_words.get(i) {
+                        self.live_row_word_pos[moved as usize] = i as u32;
+                    }
                 }
             }
         }
@@ -260,6 +369,17 @@ impl DetectEngine {
                 continue;
             }
             self.col_nonempty[t] = nonempty;
+            if nonempty {
+                self.live_col_pos[t] = self.live_cols.len() as u32;
+                self.live_cols.push(t as u32);
+            } else {
+                let i = self.live_col_pos[t] as usize;
+                self.live_col_pos[t] = u32::MAX;
+                self.live_cols.swap_remove(i);
+                if let Some(&moved) = self.live_cols.get(i) {
+                    self.live_col_pos[moved as usize] = i as u32;
+                }
+            }
             let w = t / 64;
             if nonempty {
                 self.word_col_count[w] += 1;
@@ -286,14 +406,34 @@ impl DetectEngine {
         self.version = Version::Local { edits: self.edits };
     }
 
+    /// Writes one cell into the mirror — and, when the column-major path
+    /// is live, the transposed cell into `mirror_t` (same O(1) cost; the
+    /// axes swap, so the id wrappers swap roles too).
+    #[inline]
+    fn write_cell(&mut self, q: ResId, p: ProcId, delta: RagDelta) {
+        match delta {
+            RagDelta::Request { .. } => self.mirror.set_request(p, q),
+            RagDelta::Grant { .. } => self.mirror.set_grant(q, p),
+            RagDelta::Clear { .. } => self.mirror.clear(q, p),
+        }
+        if let Some(t) = self.mirror_t.as_mut() {
+            let (tq, tp) = (ResId(p.0), ProcId(q.0));
+            match delta {
+                RagDelta::Request { .. } => t.set_request(tp, tq),
+                RagDelta::Grant { .. } => t.set_grant(tq, tp),
+                RagDelta::Clear { .. } => t.clear(tq, tp),
+            }
+        }
+        self.mark_dirty(q, p);
+    }
+
     /// Direct cell write (the DDU's bus interface): request edge `p → q`.
     ///
     /// # Panics
     ///
     /// Panics if ids are out of range.
     pub fn set_request(&mut self, p: ProcId, q: ResId) {
-        self.mirror.set_request(p, q);
-        self.mark_dirty(q, p);
+        self.write_cell(q, p, RagDelta::Request { p, q });
         self.bump_local();
     }
 
@@ -303,8 +443,7 @@ impl DetectEngine {
     ///
     /// Panics if ids are out of range.
     pub fn set_grant(&mut self, q: ResId, p: ProcId) {
-        self.mirror.set_grant(q, p);
-        self.mark_dirty(q, p);
+        self.write_cell(q, p, RagDelta::Grant { p, q });
         self.bump_local();
     }
 
@@ -314,27 +453,17 @@ impl DetectEngine {
     ///
     /// Panics if ids are out of range.
     pub fn clear(&mut self, q: ResId, p: ProcId) {
-        self.mirror.clear(q, p);
-        self.mark_dirty(q, p);
+        self.write_cell(q, p, RagDelta::Clear { p, q });
         self.bump_local();
     }
 
     fn apply_delta(&mut self, delta: RagDelta) {
         let (p, q) = match delta {
-            RagDelta::Request { p, q } => {
-                self.mirror.set_request(p, q);
-                (p, q)
-            }
-            RagDelta::Grant { p, q } => {
-                self.mirror.set_grant(q, p);
-                (p, q)
-            }
-            RagDelta::Clear { p, q } => {
-                self.mirror.clear(q, p);
+            RagDelta::Request { p, q } | RagDelta::Grant { p, q } | RagDelta::Clear { p, q } => {
                 (p, q)
             }
         };
-        self.mark_dirty(q, p);
+        self.write_cell(q, p, delta);
     }
 
     /// Rebuilds the whole mirror from `rag` into the existing buffers —
@@ -350,15 +479,27 @@ impl DetectEngine {
                 self.mirror.set_request(p, q);
             }
         }
+        if let Some(t) = self.mirror_t.as_mut() {
+            self.mirror.transpose_into(t);
+        }
         // Everything moved: recompute row and column occupancy wholesale
         // and drop any finer-grained dirty tracking.
         self.live_rows.clear();
+        self.live_row_words.clear();
+        self.live_row_word_pos.fill(u32::MAX);
+        self.word_row_count.fill(0);
         for s in 0..self.resources() {
             let nonempty = !self.mirror.row_is_empty(s);
             self.row_nonempty[s] = nonempty;
             if nonempty {
                 self.live_pos[s] = self.live_rows.len() as u32;
                 self.live_rows.push(s as u32);
+                let w = s / 64;
+                self.word_row_count[w] += 1;
+                if self.word_row_count[w] == 1 {
+                    self.live_row_word_pos[w] = self.live_row_words.len() as u32;
+                    self.live_row_words.push(w as u32);
+                }
             } else {
                 self.live_pos[s] = u32::MAX;
             }
@@ -366,10 +507,14 @@ impl DetectEngine {
         self.live_col_words.clear();
         self.live_col_word_pos.fill(u32::MAX);
         self.word_col_count.fill(0);
+        self.live_cols.clear();
+        self.live_col_pos.fill(u32::MAX);
         for t in 0..self.processes() {
             let nonempty = !self.mirror.col_is_empty(t);
             self.col_nonempty[t] = nonempty;
             if nonempty {
+                self.live_col_pos[t] = self.live_cols.len() as u32;
+                self.live_cols.push(t as u32);
                 let w = t / 64;
                 self.word_col_count[w] += 1;
                 if self.word_col_count[w] == 1 {
@@ -452,27 +597,91 @@ impl DetectEngine {
             }
         }
         self.flush_dirty();
-        // `work` is all-zero outside the residue rows the previous
-        // reduction left behind; clear those, then image only the live
-        // rows — O(residue + live) row copies, never a full-matrix one.
-        for &s in &self.work_residue {
-            self.work.clear_row(s as usize);
-        }
-        self.work_residue.clear();
-        for &s in &self.live_rows {
-            self.work.copy_row_from(&self.mirror, s as usize);
-        }
-        let report = reduce_core(
-            &mut self.work,
-            &mut self.scratch,
-            Some(&self.live_rows),
-            Some(&self.live_col_words),
-        );
-        self.work_residue.extend_from_slice(self.scratch.residue());
+        let par = self.par_pool.as_ref().and_then(|pool| {
+            self.par_cfg
+                .area_allows(self.mirror.resources(), self.mirror.processes())
+                .then_some(ParExec {
+                    pool: pool.as_ref(),
+                    threads: self.par_cfg.threads,
+                    min_live_rows: self.par_cfg.min_live_rows,
+                })
+        });
+        let report = if self.colmajor {
+            // Column-major path for tall shapes: reduce the transposed
+            // mirror. The reduction is self-dual under transposition (see
+            // `reduction::terminal_reduction_with`), so verdict,
+            // `iterations` and `steps` are identical — but each pass
+            // walks `n` short rows instead of `m` tall ones.
+            #[cfg(debug_assertions)]
+            {
+                let mut t = StateMatrix::new(self.processes(), self.resources());
+                self.mirror.transpose_into(&mut t);
+                let maintained = self.mirror_t.as_ref().expect("colmajor without mirror_t");
+                if &t != maintained {
+                    for ti in 0..t.resources() {
+                        for si in 0..t.processes() {
+                            let (q, p) = (crate::ResId(ti as u16), crate::ProcId(si as u16));
+                            if t.cell(q, p) != maintained.cell(q, p) {
+                                panic!(
+                                    "transposed mirror diverged at t-cell ({ti},{si}): \
+                                     expected {:?}, maintained {:?}",
+                                    t.cell(q, p),
+                                    maintained.cell(q, p)
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            let mirror_t = self.mirror_t.as_ref().expect("colmajor without mirror_t");
+            let work_t = self.work_t.as_mut().expect("colmajor without work_t");
+            for &t in &self.work_t_residue {
+                work_t.clear_row(t as usize);
+            }
+            self.work_t_residue.clear();
+            for &t in &self.live_cols {
+                work_t.copy_row_from(mirror_t, t as usize);
+            }
+            // Seeds transpose along with the matrix: live columns become
+            // the row worklist, live row-words the column-word worklist.
+            let report = reduce_core(
+                work_t,
+                &mut self.scratch_t,
+                Some(&self.live_cols),
+                Some(&self.live_row_words),
+                par.as_ref(),
+            );
+            self.work_t_residue
+                .extend_from_slice(self.scratch_t.residue());
+            let words_t = self.resources().div_ceil(64);
+            self.stats.col_words_skipped +=
+                (words_t - self.live_row_words.len()) as u64 * u64::from(report.steps);
+            report
+        } else {
+            // `work` is all-zero outside the residue rows the previous
+            // reduction left behind; clear those, then image only the live
+            // rows — O(residue + live) row copies, never a full-matrix one.
+            for &s in &self.work_residue {
+                self.work.clear_row(s as usize);
+            }
+            self.work_residue.clear();
+            for &s in &self.live_rows {
+                self.work.copy_row_from(&self.mirror, s as usize);
+            }
+            let report = reduce_core(
+                &mut self.work,
+                &mut self.scratch,
+                Some(&self.live_rows),
+                Some(&self.live_col_words),
+                par.as_ref(),
+            );
+            self.work_residue.extend_from_slice(self.scratch.residue());
+            let words = self.mirror.words_per_row();
+            self.stats.col_words_skipped +=
+                (words - self.live_col_words.len()) as u64 * u64::from(report.steps);
+            report
+        };
         self.stats.reductions += 1;
-        let words = self.mirror.words_per_row();
-        self.stats.col_words_skipped +=
-            (words - self.live_col_words.len()) as u64 * u64::from(report.steps);
         let outcome: DetectOutcome = report.into();
         self.cache = Some((self.version, outcome));
         outcome

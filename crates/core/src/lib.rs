@@ -66,6 +66,7 @@ pub mod engine;
 mod error;
 mod ids;
 pub mod matrix;
+pub mod par;
 pub mod pdda;
 mod rag;
 pub mod recovery;

@@ -1,0 +1,278 @@
+//! Serial-vs-parallel reduction equivalence.
+//!
+//! The sharded row scan, the OR-merge of per-shard accumulators and the
+//! column-major transposed variant must all be **bit-identical** to the
+//! serial reduction: same final matrix, same [`ReductionReport`], same
+//! [`EngineStats`] pass counts, at every thread count. These tests force
+//! the parallel gates open (`min_live_rows`/`min_area` dropped to 1) so
+//! even small matrices shard, and sweep thread counts 1–8 — including
+//! counts that leave shards empty and chunk boundaries mid-word.
+//!
+//! `DELTAOS_TEST_THREADS=k` pins the sweep to one thread count (the CI
+//! matrix runs k ∈ {1, 2, 8}); unset, all of 1–8 are tested.
+//!
+//! Randomness is the suite's deterministic MMIX LCG — failures replay.
+
+use deltaos_core::engine::DetectEngine;
+use deltaos_core::matrix::StateMatrix;
+use deltaos_core::par::{ParConfig, WorkerPool};
+use deltaos_core::reduction::terminal_reduction_with;
+use deltaos_core::{pdda, ProcId, Rag, ResId};
+use std::sync::Arc;
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        (self.next() >> 16) % bound
+    }
+}
+
+/// Thread counts under test: all of 1–8, or the single count pinned by
+/// `DELTAOS_TEST_THREADS` (the CI parallel matrix).
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("DELTAOS_TEST_THREADS") {
+        Ok(v) => vec![v
+            .parse()
+            .expect("DELTAOS_TEST_THREADS must be a thread count")],
+        Err(_) => (1..=8).collect(),
+    }
+}
+
+/// Gates forced open so every pass of any live size shards; column-major
+/// disabled so the row-major shard path itself is what's compared.
+fn forced(threads: usize) -> ParConfig {
+    ParConfig {
+        threads,
+        min_live_rows: 1,
+        min_area: 1,
+        colmajor_ratio: 0,
+    }
+}
+
+fn serial_reduce(mat: &StateMatrix) -> (StateMatrix, deltaos_core::reduction::ReductionReport) {
+    let mut w = mat.clone();
+    let r = terminal_reduction_with(&mut w, None, forced(1));
+    (w, r)
+}
+
+/// Asserts reduction of `mat` under `cfg`+pool is bit-identical to serial.
+fn assert_bit_identical(label: &str, mat: &StateMatrix, pool: &WorkerPool, cfg: ParConfig) {
+    let (sm, sr) = serial_reduce(mat);
+    let mut w = mat.clone();
+    let pr = terminal_reduction_with(&mut w, Some(pool), cfg);
+    assert_eq!(sr, pr, "{label}: report diverged");
+    assert!(sm == w, "{label}: final matrix diverged");
+}
+
+fn random_matrix(rng: &mut Lcg, m: usize, n: usize, edits: usize) -> StateMatrix {
+    let mut mat = StateMatrix::new(m, n);
+    for _ in 0..edits {
+        let s = ResId(rng.below(m as u64) as u16);
+        let t = ProcId(rng.below(n as u64) as u16);
+        if rng.below(3) == 0 {
+            mat.set_grant(s, t);
+        } else {
+            mat.set_request(t, s);
+        }
+    }
+    mat
+}
+
+/// The scaling bench's peel chain: Θ(m) passes with a slowly shrinking
+/// live worklist, so shard boundaries are exercised at many live sizes.
+fn peel_chain(m: usize, n: usize) -> StateMatrix {
+    let mut mat = StateMatrix::new(m, n);
+    for s in 0..m {
+        mat.set_grant(ResId(s as u16), ProcId((s % n) as u16));
+        if s + 1 < m {
+            mat.set_request(ProcId(((s + 1) % n) as u16), ResId(s as u16));
+        }
+    }
+    mat
+}
+
+#[test]
+fn sharded_reduction_matches_serial_on_random_256x256() {
+    for t in thread_counts() {
+        let pool = WorkerPool::new(t);
+        for seq in 0..6u64 {
+            let mut rng = Lcg::new(0xA11CE ^ seq);
+            let edits = 400 + rng.below(4000) as usize;
+            let mat = random_matrix(&mut rng, 256, 256, edits);
+            assert_bit_identical(
+                &format!("random 256x256 t={t} seq={seq}"),
+                &mat,
+                &pool,
+                forced(t),
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_and_sparse_worklists_shard_correctly() {
+    for t in thread_counts() {
+        let pool = WorkerPool::new(t);
+        // All-empty: the worklist is empty in the very first pass.
+        let empty = StateMatrix::new(256, 256);
+        assert_bit_identical(&format!("empty t={t}"), &empty, &pool, forced(t));
+
+        // Fewer live rows than shards: trailing shards get zero rows.
+        let mut sparse = StateMatrix::new(300, 300);
+        sparse.set_grant(ResId(0), ProcId(0));
+        sparse.set_request(ProcId(1), ResId(137));
+        sparse.set_grant(ResId(299), ProcId(299));
+        assert_bit_identical(&format!("3-live-rows t={t}"), &sparse, &pool, forced(t));
+
+        // One live row: exactly one non-empty shard.
+        let mut single = StateMatrix::new(300, 300);
+        single.set_request(ProcId(42), ResId(150));
+        assert_bit_identical(&format!("1-live-row t={t}"), &single, &pool, forced(t));
+    }
+}
+
+#[test]
+fn chunk_boundaries_mid_word_match_serial() {
+    // 300 active rows over 8 shards → 38-row chunks, never word-aligned;
+    // the peel keeps shrinking the worklist so boundaries move each pass.
+    for t in thread_counts() {
+        let pool = WorkerPool::new(t);
+        let mat = peel_chain(300, 300);
+        assert_bit_identical(&format!("peel 300x300 t={t}"), &mat, &pool, forced(t));
+    }
+}
+
+#[test]
+fn engine_with_pool_matches_cold_path() {
+    for t in thread_counts() {
+        let pool = Arc::new(WorkerPool::new(t));
+        let mut rng = Lcg::new(0xE2619E ^ t as u64);
+        let mut rag = Rag::new(256, 256);
+        let mut engine = DetectEngine::with_parallel(256, 256, Some(pool), forced(t));
+        for op in 0..300 {
+            let p = ProcId(rng.below(256) as u16);
+            let q = ResId(rng.below(256) as u16);
+            match rng.below(4) {
+                0 => {
+                    let _ = rag.add_request(p, q);
+                }
+                1 => {
+                    let _ = rag.add_grant(q, p);
+                }
+                2 => {
+                    let _ = rag.remove_request(p, q);
+                }
+                _ => {
+                    let _ = rag.remove_grant(q, p);
+                }
+            }
+            if rng.below(8) == 0 {
+                let fast = engine.probe(&rag);
+                let cold = pdda::detect_cold(&rag);
+                assert_eq!(fast, cold, "t={t} op={op}: pooled engine diverged");
+            }
+        }
+        assert_eq!(engine.probe(&rag), pdda::detect_cold(&rag));
+    }
+}
+
+#[test]
+fn colmajor_engine_matches_cold_path_on_tall_matrices() {
+    // 512×64 with ratio 8 and area gate open → the engine maintains the
+    // transposed mirror and reduces column-major; the cold path stays
+    // row-major, so agreement certifies the self-duality argument.
+    for t in thread_counts() {
+        let cfg = ParConfig {
+            threads: t,
+            min_live_rows: 1,
+            min_area: 1,
+            colmajor_ratio: 8,
+        };
+        let pool = Arc::new(WorkerPool::new(t));
+        let mut engine = DetectEngine::with_parallel(512, 64, Some(pool), cfg);
+        assert!(
+            engine.is_colmajor(),
+            "512x64 at ratio 8 must go column-major"
+        );
+        let mut rng = Lcg::new(0x7A11 ^ t as u64);
+        let mut rag = Rag::new(512, 64);
+        for op in 0..300 {
+            let p = ProcId(rng.below(64) as u16);
+            let q = ResId(rng.below(512) as u16);
+            match rng.below(4) {
+                0 => {
+                    let _ = rag.add_request(p, q);
+                }
+                1 => {
+                    let _ = rag.add_grant(q, p);
+                }
+                2 => {
+                    let _ = rag.remove_request(p, q);
+                }
+                _ => {
+                    let _ = rag.remove_grant(q, p);
+                }
+            }
+            if rng.below(8) == 0 {
+                let fast = engine.probe(&rag);
+                let cold = pdda::detect_cold(&rag);
+                assert_eq!(fast, cold, "t={t} op={op}: colmajor engine diverged");
+            }
+        }
+        assert_eq!(engine.probe(&rag), pdda::detect_cold(&rag));
+    }
+}
+
+#[test]
+fn stats_are_identical_across_thread_counts() {
+    // The same edit/probe script through engines at every thread count
+    // must produce identical outcomes AND identical EngineStats — pass
+    // counts included. (Per-pass shard gating depends only on live-row
+    // counts, never on the thread count, so reductions/steps agree.)
+    let script = |t: usize| {
+        let pool = Arc::new(WorkerPool::new(t));
+        let mut engine = DetectEngine::with_parallel(256, 256, Some(pool), forced(t));
+        let mut rng = Lcg::new(0x57A7);
+        let mut rag = Rag::new(256, 256);
+        let mut outcomes = Vec::new();
+        for _ in 0..200 {
+            let p = ProcId(rng.below(256) as u16);
+            let q = ResId(rng.below(256) as u16);
+            match rng.below(3) {
+                0 => {
+                    let _ = rag.add_request(p, q);
+                }
+                1 => {
+                    let _ = rag.add_grant(q, p);
+                }
+                _ => {
+                    let _ = rag.remove_grant(q, p);
+                }
+            }
+            if rng.below(4) == 0 {
+                outcomes.push(engine.probe(&rag));
+            }
+        }
+        (outcomes, engine.stats())
+    };
+    let (base_outcomes, base_stats) = script(1);
+    assert!(!base_outcomes.is_empty());
+    for t in thread_counts() {
+        let (outcomes, stats) = script(t);
+        assert_eq!(outcomes, base_outcomes, "t={t}: outcomes diverged");
+        assert_eq!(stats, base_stats, "t={t}: EngineStats diverged");
+    }
+}

@@ -16,7 +16,11 @@
 //! hand-off interrupt); the generator parameterizes how many of each to
 //! synthesize.
 
-use deltaos_core::Priority;
+use std::collections::HashMap;
+
+use deltaos_core::engine::DetectEngine;
+use deltaos_core::pdda::DetectOutcome;
+use deltaos_core::{Priority, ProcId, ResId};
 use deltaos_mpsoc::interrupt::{InterruptController, IrqSource};
 use deltaos_mpsoc::pe::PeId;
 use deltaos_sim::{SimTime, Stats};
@@ -72,6 +76,37 @@ pub struct ReleaseResult {
     pub handed_to: Option<(TaskToken, PeId)>,
 }
 
+/// Opt-in deadlock watcher bolted onto the lock cache: a persistent
+/// [`DetectEngine`] whose cell array mirrors the lock/owner/waiter state,
+/// kept current by O(1) direct cell writes on every acquire, release and
+/// hand-off (the paper's "DDU shares the bus with the SoCLC" deployment).
+/// Locks are engine rows, tasks are engine columns; the column map grows
+/// on first sight of each distinct [`TaskToken`].
+#[derive(Debug, Clone)]
+struct Detection {
+    engine: DetectEngine,
+    /// `TaskToken.0` → engine column, assigned in first-sight order.
+    columns: HashMap<u32, u16>,
+    max_tasks: usize,
+}
+
+impl Detection {
+    /// The engine column for `task`, allocating one on first sight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `max_tasks` distinct tasks touch the unit.
+    fn column(&mut self, task: TaskToken) -> ProcId {
+        let next = self.columns.len();
+        let max = self.max_tasks;
+        let col = *self.columns.entry(task.0).or_insert_with(|| {
+            assert!(next < max, "SoCLC detection sized for {max} tasks saw more");
+            next as u16
+        });
+        ProcId(col)
+    }
+}
+
 #[derive(Debug, Clone)]
 struct HwLock {
     kind: LockKind,
@@ -106,6 +141,11 @@ pub struct Soclc {
     locks: Vec<HwLock>,
     short_count: u16,
     stats: Stats,
+    /// `None` (the default) leaves the unit exactly as generated — the
+    /// Table 10 runs never pay for detection they did not ask for.
+    /// Boxed so the opt-in engine doesn't bloat every `Soclc` (and the
+    /// enums embedding one) by `Detection`'s full size.
+    detection: Option<Box<Detection>>,
 }
 
 impl Soclc {
@@ -136,7 +176,65 @@ impl Soclc {
             locks,
             short_count: short,
             stats: Stats::new(),
+            detection: None,
         }
+    }
+
+    /// Attaches a persistent [`DetectEngine`] that mirrors lock ownership
+    /// and wait queues (locks = rows, tasks = columns, at most
+    /// `max_tasks` distinct tasks). Subsequent acquires/releases keep the
+    /// engine current with O(1) direct cell writes, so
+    /// [`Soclc::probe_deadlock`] answers from the incremental engine
+    /// instead of rebuilding a resource-allocation graph per query.
+    ///
+    /// Can be enabled mid-run: the current owners and waiters are loaded
+    /// into the fresh engine here. Detection is strictly opt-in; a unit
+    /// without it behaves byte-identically to one that never heard of
+    /// deadlock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_tasks` is zero.
+    pub fn enable_detection(&mut self, max_tasks: usize) {
+        assert!(max_tasks > 0, "detection needs at least one task column");
+        let mut det = Box::new(Detection {
+            engine: DetectEngine::new(self.locks.len(), max_tasks),
+            columns: HashMap::new(),
+            max_tasks,
+        });
+        for (i, l) in self.locks.iter().enumerate() {
+            let q = ResId(i as u16);
+            if let Some((owner, _)) = l.owner {
+                let col = det.column(owner);
+                det.engine.set_grant(q, col);
+            }
+            for &(t, _, _) in &l.waiters {
+                let col = det.column(t);
+                det.engine.set_request(col, q);
+            }
+        }
+        self.detection = Some(det);
+    }
+
+    /// Whether [`Soclc::enable_detection`] has been called.
+    pub fn detection_enabled(&self) -> bool {
+        self.detection.is_some()
+    }
+
+    /// Asks the embedded engine whether the current lock/waiter state
+    /// deadlocks. Returns `None` when detection was never enabled.
+    ///
+    /// Consecutive probes with no intervening lock traffic hit the
+    /// engine's result cache; traffic in between costs one delta-sized
+    /// reduction, never a graph rebuild.
+    pub fn probe_deadlock(&mut self) -> Option<DetectOutcome> {
+        self.detection.as_mut().map(|d| d.engine.detect_current())
+    }
+
+    /// Operation counters of the embedded engine ([`None`] when detection
+    /// is disabled) — lets callers confirm probes ride the cache.
+    pub fn detection_stats(&self) -> Option<deltaos_core::engine::EngineStats> {
+        self.detection.as_ref().map(|d| d.engine.stats())
     }
 
     /// Total number of locks.
@@ -191,7 +289,7 @@ impl Soclc {
         prio: Priority,
     ) -> AcquireResult {
         let l = &mut self.locks[lock.0 as usize];
-        match l.owner {
+        let result = match l.owner {
             None => {
                 l.owner = Some((task, pe));
                 self.stats.incr("soclc.grants");
@@ -203,7 +301,15 @@ impl Soclc {
                 self.stats.incr("soclc.queued");
                 AcquireResult::Queued { owner }
             }
+        };
+        if let Some(det) = self.detection.as_mut() {
+            let col = det.column(task);
+            match result {
+                AcquireResult::Granted { .. } => det.engine.set_grant(ResId(lock.0), col),
+                AcquireResult::Queued { .. } => det.engine.set_request(col, ResId(lock.0)),
+            }
         }
+        result
     }
 
     /// Releases `lock`, handing it to the highest-priority waiter if any.
@@ -228,6 +334,10 @@ impl Soclc {
         self.stats.incr("soclc.releases");
         if l.waiters.is_empty() {
             l.owner = None;
+            if let Some(det) = self.detection.as_mut() {
+                let col = det.column(task);
+                det.engine.clear(ResId(lock.0), col);
+            }
             return ReleaseResult { handed_to: None };
         }
         // Highest priority wins; stable over arrival order among equals.
@@ -243,6 +353,15 @@ impl Soclc {
         self.stats.incr("soclc.handoffs");
         if l.kind == LockKind::Long {
             interrupts.raise(now, pe.index(), IrqSource::LockGrant);
+        }
+        if let Some(det) = self.detection.as_mut() {
+            let q = ResId(lock.0);
+            let old = det.column(task);
+            det.engine.clear(q, old);
+            // `set_grant` overwrites the new owner's request bit in the
+            // same cell — the hand-off is two direct writes, no rebuild.
+            let new = det.column(t);
+            det.engine.set_grant(q, new);
         }
         ReleaseResult {
             handed_to: Some((t, pe)),
@@ -265,6 +384,17 @@ impl Soclc {
     /// Panics if `lock` is out of range.
     pub fn waiter_count(&self, lock: LockId) -> usize {
         self.locks[lock.0 as usize].waiters.len()
+    }
+
+    /// The queued waiters of `lock` in arrival order, as
+    /// `(task, pe, priority)` — the ground truth detection equivalence
+    /// tests rebuild a resource-allocation graph from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is out of range.
+    pub fn waiters(&self, lock: LockId) -> &[(TaskToken, PeId, Priority)] {
+        &self.locks[lock.0 as usize].waiters
     }
 
     /// Grant/queue/hand-off counters.
@@ -472,6 +602,175 @@ mod tests {
         assert_eq!(s.kind(LockId(7)), LockKind::Short);
         assert_eq!(s.kind(LockId(8)), LockKind::Long);
         assert_eq!(s.short_count(), 8);
+    }
+
+    /// Rebuilds a RAG from the unit's owner/waiter state, mapping
+    /// `TaskToken(t)` straight to `ProcId(t)` (tests keep tokens small).
+    /// Column numbering differs from the embedded engine's first-sight
+    /// map, but `DetectOutcome` is invariant under column permutation:
+    /// rows are fixed, and both the terminal-row test and the column
+    /// removal step are per-row/per-column properties that relabeling
+    /// cannot change.
+    fn rag_from_locks(s: &Soclc, tasks: usize) -> deltaos_core::Rag {
+        let mut rag = deltaos_core::Rag::new(s.lock_count(), tasks);
+        for i in 0..s.lock_count() {
+            let id = LockId(i as u16);
+            if let Some(owner) = s.owner(id) {
+                rag.add_grant(
+                    deltaos_core::ResId(i as u16),
+                    deltaos_core::ProcId(owner.0 as u16),
+                )
+                .unwrap();
+            }
+            for &(t, _, _) in s.waiters(id) {
+                rag.add_request(
+                    deltaos_core::ProcId(t.0 as u16),
+                    deltaos_core::ResId(i as u16),
+                )
+                .unwrap();
+            }
+        }
+        rag
+    }
+
+    /// Asserts the embedded engine, a detection enabled fresh on a clone
+    /// (the mid-run rebuild path), and the cold detector on a rebuilt
+    /// RAG all agree exactly.
+    fn check_detection(s: &Soclc, tasks: usize) -> DetectOutcome {
+        let mut live = s.clone();
+        let incremental = live.probe_deadlock().expect("detection enabled");
+        let mut rebuilt = s.clone();
+        rebuilt.enable_detection(tasks);
+        assert_eq!(
+            rebuilt.probe_deadlock(),
+            Some(incremental),
+            "incremental engine diverged from a mid-run rebuild"
+        );
+        let cold = deltaos_core::pdda::detect_cold(&rag_from_locks(s, tasks));
+        assert_eq!(cold, incremental, "engine diverged from cold RAG detect");
+        incremental
+    }
+
+    #[test]
+    fn detection_is_off_by_default() {
+        let mut s = Soclc::generate(2, 2);
+        assert!(!s.detection_enabled());
+        assert_eq!(s.probe_deadlock(), None);
+        assert_eq!(s.detection_stats(), None);
+    }
+
+    #[test]
+    fn detection_follows_acquire_release_and_handoff() {
+        let mut s = Soclc::generate(2, 1);
+        let mut ints = ic();
+        s.enable_detection(4);
+        let t = |i| TaskToken(i);
+
+        // t0 owns L0, t1 owns L1 — grants only, trivially reducible.
+        s.acquire(SimTime::ZERO, LockId(0), t(0), PeId(0), Priority::new(1));
+        s.acquire(SimTime::ZERO, LockId(1), t(1), PeId(1), Priority::new(2));
+        assert!(!check_detection(&s, 4).deadlock);
+
+        // t0 waits on L1: a chain, still no cycle.
+        s.acquire(SimTime::ZERO, LockId(1), t(0), PeId(0), Priority::new(1));
+        assert!(!check_detection(&s, 4).deadlock);
+
+        // t1 waits on L0: request/grant cycle → deadlock.
+        s.acquire(SimTime::ZERO, LockId(0), t(1), PeId(1), Priority::new(2));
+        assert!(check_detection(&s, 4).deadlock);
+
+        // t1 gives up L1 (the unit permits it; an RTOS would do this via
+        // recovery): hand-off turns t0's request cell into a grant and
+        // the cycle is gone.
+        let r = s.release(SimTime::ZERO, LockId(1), t(1), &mut ints);
+        assert_eq!(r.handed_to, Some((t(0), PeId(0))));
+        assert!(!check_detection(&s, 4).deadlock);
+
+        // Drain everything: empty matrix reduces completely.
+        s.release(SimTime::ZERO, LockId(1), t(0), &mut ints);
+        let r = s.release(SimTime::ZERO, LockId(0), t(0), &mut ints);
+        assert_eq!(r.handed_to, Some((t(1), PeId(1))));
+        s.release(SimTime::ZERO, LockId(0), t(1), &mut ints);
+        assert!(!check_detection(&s, 4).deadlock);
+        assert_eq!(s.owner(LockId(0)), None);
+        assert_eq!(s.owner(LockId(1)), None);
+    }
+
+    #[test]
+    fn detection_enabled_mid_run_loads_existing_state() {
+        let mut s = Soclc::generate(1, 1);
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(3),
+            PeId(0),
+            Priority::new(1),
+        );
+        s.acquire(
+            SimTime::ZERO,
+            LockId(1),
+            TaskToken(4),
+            PeId(1),
+            Priority::new(2),
+        );
+        s.acquire(
+            SimTime::ZERO,
+            LockId(1),
+            TaskToken(3),
+            PeId(0),
+            Priority::new(1),
+        );
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(4),
+            PeId(1),
+            Priority::new(2),
+        );
+        s.enable_detection(2);
+        let out = s.probe_deadlock().expect("enabled");
+        assert!(out.deadlock, "pre-existing cycle must be loaded");
+    }
+
+    #[test]
+    fn repeat_probes_hit_the_engine_cache() {
+        let mut s = Soclc::generate(1, 0);
+        s.enable_detection(2);
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(1),
+            PeId(0),
+            Priority::new(1),
+        );
+        s.probe_deadlock();
+        s.probe_deadlock();
+        s.probe_deadlock();
+        let stats = s.detection_stats().expect("enabled");
+        assert_eq!(stats.probes, 3);
+        assert_eq!(stats.cache_hits, 2, "no traffic between probes → cache");
+        assert_eq!(stats.full_rebuilds, 0, "direct writes never rebuild");
+    }
+
+    #[test]
+    #[should_panic(expected = "sized for 1 tasks")]
+    fn detection_rejects_task_overflow() {
+        let mut s = Soclc::generate(1, 0);
+        s.enable_detection(1);
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(1),
+            PeId(0),
+            Priority::new(1),
+        );
+        s.acquire(
+            SimTime::ZERO,
+            LockId(0),
+            TaskToken(2),
+            PeId(1),
+            Priority::new(2),
+        );
     }
 
     #[test]

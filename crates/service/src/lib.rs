@@ -42,6 +42,7 @@ pub mod session;
 pub mod shard;
 pub mod tcp;
 
+pub use deltaos_core::par::{ParConfig, WorkerPool};
 pub use proto::{
     ErrorCode, Event, EventResult, RejectReason, Request, Response, SessionId, ShardStats,
     WireError, MAX_BATCH, MAX_FRAME,

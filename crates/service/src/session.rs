@@ -8,7 +8,10 @@
 //! `Session` yields byte-identical results (the determinism the
 //! concurrent-sessions test asserts).
 
+use std::sync::Arc;
+
 use deltaos_core::engine::{DetectEngine, EngineStats};
+use deltaos_core::par::{ParConfig, WorkerPool};
 use deltaos_core::Rag;
 
 use crate::proto::{Event, EventResult};
@@ -31,6 +34,23 @@ impl Session {
         Session {
             rag: Rag::new(resources as usize, processes as usize),
             engine: DetectEngine::new(resources as usize, processes as usize),
+        }
+    }
+
+    /// Creates a session whose engine shares the shard worker's
+    /// [`WorkerPool`] for large-matrix reductions. Results are
+    /// bit-identical to [`Session::new`] at any thread count; the pool is
+    /// shared per shard worker, never per session, so thread count stays
+    /// `shards × par.threads` regardless of session count.
+    pub fn with_parallel(
+        resources: u16,
+        processes: u16,
+        pool: Option<Arc<WorkerPool>>,
+        cfg: ParConfig,
+    ) -> Self {
+        Session {
+            rag: Rag::new(resources as usize, processes as usize),
+            engine: DetectEngine::with_parallel(resources as usize, processes as usize, pool, cfg),
         }
     }
 

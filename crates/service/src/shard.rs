@@ -26,6 +26,7 @@ use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
+use deltaos_core::par::{ParConfig, WorkerPool};
 use deltaos_sim::Stats;
 
 use crate::proto::{ErrorCode, Event, EventResult, SessionId};
@@ -46,6 +47,12 @@ pub struct ServiceConfig {
     pub max_batch: usize,
     /// Admission control: maximum session dimension (rows or columns).
     pub max_dim: u16,
+    /// Parallel reduction configuration applied to every session engine.
+    /// With `par.threads > 1` each shard worker owns one
+    /// [`deltaos_core::par::WorkerPool`] shared by all of its sessions
+    /// (total threads stay `shards × par.threads`); the default keeps
+    /// every reduction serial. Results are bit-identical either way.
+    pub par: ParConfig,
 }
 
 impl Default for ServiceConfig {
@@ -56,6 +63,7 @@ impl Default for ServiceConfig {
             max_sessions_per_shard: 1024,
             max_batch: crate::proto::MAX_BATCH,
             max_dim: 4096,
+            par: ParConfig::default(),
         }
     }
 }
@@ -420,6 +428,10 @@ fn run_worker(
 ) -> Stats {
     let mut sessions: HashMap<u64, Session> = HashMap::new();
     let mut counters = WorkerCounters::default();
+    // One reduction pool per shard worker, shared by every session housed
+    // here — opening a thousand sessions must not spawn a thousand pools.
+    let pool: Option<Arc<WorkerPool>> =
+        (config.par.threads > 1).then(|| Arc::new(WorkerPool::new(config.par.threads)));
     // `recv` until the drain marker (or every sender dropped): accepted
     // work is always fully processed before the worker exits.
     while let Ok(job) = rx.recv() {
@@ -433,7 +445,10 @@ fn run_worker(
                 let result = if sessions.len() >= config.max_sessions_per_shard {
                     Err(ServiceError::TooManySessions)
                 } else {
-                    sessions.insert(session.0, Session::new(resources, processes));
+                    sessions.insert(
+                        session.0,
+                        Session::with_parallel(resources, processes, pool.clone(), config.par),
+                    );
                     counters.sessions_opened += 1;
                     Ok(session)
                 };
@@ -538,6 +553,7 @@ mod tests {
             max_sessions_per_shard: 4,
             max_batch: 16,
             max_dim: 64,
+            par: ParConfig::default(),
         }
     }
 

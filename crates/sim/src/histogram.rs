@@ -1,12 +1,25 @@
-//! Log-bucketed histograms for latency distributions.
+//! Log-linear-bucketed histograms for latency distributions.
 //!
 //! [`Aggregate`](crate::Aggregate) keeps min/mean/max; real-time work
 //! also cares about the *tail* (the paper sells the SoCLC on
-//! predictability, not just means). [`Histogram`] buckets samples by
-//! powers of two so percentile queries stay O(#buckets) with bounded
-//! memory.
+//! predictability, not just means). [`Histogram`] buckets samples
+//! log-linearly — each power-of-two octave is split into four
+//! equal-width sub-buckets — so percentile queries stay O(#buckets)
+//! with bounded memory while the reported bound is never more than 25%
+//! above the true quantile (a plain power-of-two histogram is off by up
+//! to 2×, which is too coarse to compare probe-latency tails between
+//! configurations).
 
-/// A power-of-two-bucketed histogram of `u64` samples.
+/// Sub-buckets per power-of-two octave.
+const SUBS: usize = 4;
+
+/// Bucket count: indices 0–3 hold the exact values 0–3; each octave
+/// `[2^o, 2^(o+1))` for `o in 2..=63` contributes [`SUBS`] buckets at
+/// `4*(o-1)..4*o`, so the top index is `4*62 + 3 = 251`.
+const BUCKETS: usize = 4 * 62 + SUBS;
+
+/// A log-linear-bucketed histogram of `u64` samples: four sub-buckets
+/// per octave, exact below 4.
 ///
 /// # Example
 ///
@@ -23,16 +36,14 @@
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
-    /// `buckets[i]` counts samples in `[2^(i-1), 2^i)`, with bucket 0 for
-    /// the value 0.
-    buckets: [u64; 65],
+    buckets: [u64; BUCKETS],
     count: u64,
 }
 
 impl Default for Histogram {
     fn default() -> Self {
         Histogram {
-            buckets: [0; 65],
+            buckets: [0; BUCKETS],
             count: 0,
         }
     }
@@ -45,10 +56,26 @@ impl Histogram {
     }
 
     fn bucket_of(value: u64) -> usize {
-        if value == 0 {
-            0
+        if value < 4 {
+            value as usize
         } else {
-            (64 - value.leading_zeros()) as usize
+            let o = 63 - value.leading_zeros() as usize; // floor(log2), ≥ 2
+            let sub = ((value >> (o - 2)) & 3) as usize;
+            SUBS * (o - 1) + sub
+        }
+    }
+
+    /// `(lower, upper)` sample bounds of bucket `idx`, inclusive. The
+    /// buckets partition `0..=u64::MAX` contiguously.
+    fn bounds(idx: usize) -> (u64, u64) {
+        if idx < 4 {
+            (idx as u64, idx as u64)
+        } else {
+            let o = idx / SUBS + 1;
+            let sub = (idx % SUBS) as u64;
+            let width = 1u64 << (o - 2);
+            let lower = (4 + sub) << (o - 2);
+            (lower, lower + (width - 1))
         }
     }
 
@@ -63,8 +90,23 @@ impl Histogram {
         self.count
     }
 
+    /// The non-empty buckets in ascending order, as
+    /// `(lower, upper, samples)` with inclusive sample bounds — the raw
+    /// distribution benches serialize next to the percentile summary.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bounds(i);
+                (lo, hi, c)
+            })
+    }
+
     /// Upper bound of the bucket containing the `q`-quantile
-    /// (`0.0 ..= 1.0`); 0 when empty.
+    /// (`0.0 ..= 1.0`); 0 when empty. At most 25% above the true
+    /// quantile (exact for values below 4).
     ///
     /// # Panics
     ///
@@ -79,11 +121,7 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return match i {
-                    0 => 0,
-                    64.. => u64::MAX,
-                    _ => 1u64 << i,
-                };
+                return Self::bounds(i).1;
             }
         }
         u64::MAX
@@ -110,6 +148,39 @@ mod tests {
     }
 
     #[test]
+    fn buckets_partition_the_u64_range() {
+        let mut next = 0u64;
+        for i in 0..BUCKETS {
+            let (lo, hi) = Histogram::bounds(i);
+            assert_eq!(lo, next, "bucket {i} must start where {} ended", i - 1);
+            assert!(hi >= lo);
+            assert_eq!(Histogram::bucket_of(lo), i);
+            assert_eq!(Histogram::bucket_of(hi), i);
+            next = hi.wrapping_add(1);
+        }
+        assert_eq!(
+            Histogram::bounds(BUCKETS - 1).1,
+            u64::MAX,
+            "the last bucket must end at u64::MAX"
+        );
+    }
+
+    #[test]
+    fn sub_buckets_resolve_within_an_octave() {
+        // 4..8 is the first split octave: each value gets its own bucket.
+        for v in 4..8u64 {
+            let mut h = Histogram::new();
+            h.record(v);
+            assert_eq!(h.percentile(1.0), v);
+        }
+        // 1000 lives in [896, 1023]: a power-of-two histogram would
+        // report 1024 (2.4% high is fine; 2x was not).
+        let mut h = Histogram::new();
+        h.record(1000);
+        assert_eq!(h.percentile(1.0), 1023);
+    }
+
+    #[test]
     fn percentiles_bracket_the_samples() {
         let mut h = Histogram::new();
         for v in 1..=1000u64 {
@@ -117,9 +188,9 @@ mod tests {
         }
         let p50 = h.percentile(0.5);
         let p99 = h.percentile(0.99);
-        assert!((256..=1024).contains(&p50), "p50 bucket {p50}");
+        assert!((500..=625).contains(&p50), "p50 bucket {p50}");
         assert!(p99 >= p50);
-        assert!(p99 <= 1024);
+        assert!((990..=1237).contains(&p99), "p99 bucket {p99}");
     }
 
     #[test]
@@ -128,6 +199,17 @@ mod tests {
         h.record(0);
         h.record(0);
         assert_eq!(h.percentile(1.0), 0);
+    }
+
+    #[test]
+    fn bucket_iterator_reports_counts_and_bounds() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        h.record(1000);
+        let got: Vec<_> = h.buckets().collect();
+        assert_eq!(got, vec![(0, 0, 1), (5, 5, 2), (896, 1023, 1)]);
     }
 
     #[test]
@@ -152,6 +234,6 @@ mod tests {
         let mut h = Histogram::new();
         h.record(u64::MAX);
         assert_eq!(h.count(), 1);
-        assert!(h.percentile(1.0) > 0);
+        assert_eq!(h.percentile(1.0), u64::MAX);
     }
 }
