@@ -1,0 +1,416 @@
+//! TCP front-end scaling sweep: thread-per-connection vs event loop.
+//!
+//! Drives 256 concurrent connections, each pipelining small batches to
+//! its own session, against the same sharded service behind (a) the
+//! blocking thread-per-connection [`TcpServer`] and (b) the `poll(2)`
+//! event-loop [`EvServer`]. With the per-event work deliberately cheap,
+//! the drive is transport-bound — exactly the regime where a stack and
+//! a scheduler entity per connection stop scaling and the fixed loop
+//! threads with coalesced reads/writes pull ahead.
+//!
+//! Before any number is reported, every connection's full event log is
+//! replayed through a fresh in-process [`Session`] and the wire results
+//! asserted bit-identical — pipelining and out-of-order shard completion
+//! must never reorder or perturb per-session results.
+//!
+//! Emits `BENCH_frontend.json` at the repository root with aggregate
+//! events/sec, round-trip p50/p99 (log-linear histogram) per mode, and
+//! the acceptance check (event loop ≥2× thread-per-connection at 256
+//! pipelined connections). The throughput gate is conditional on the
+//! host actually having ≥4 CPUs; smaller hosts run the same sweep and
+//! record `host_cpus` honestly with the gate marked skipped (replay
+//! identity is always enforced).
+//!
+//! `--smoke` runs a 16-connection miniature of both modes (debug builds
+//! allowed, no JSON, no perf gate) for CI.
+
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use deltaos_core::{ProcId, ResId};
+use deltaos_service::{
+    EvConfig, EvServer, Event, EventResult, Request, Response, Service, ServiceConfig, Session,
+    SessionId, TcpClient, TcpServer,
+};
+use deltaos_sim::Histogram;
+use rand::{Rng, SeedableRng, StdRng};
+
+#[derive(Clone, Copy)]
+struct Drive {
+    /// Total concurrent connections (= sessions).
+    conns: usize,
+    /// Client threads; each owns `conns / client_threads` connections.
+    client_threads: usize,
+    /// Batch frames in flight per connection before reading replies.
+    pipeline: usize,
+    /// Pipelined rounds per connection.
+    rounds: usize,
+    /// Events per batch frame — small, so transport dominates.
+    events_per_batch: usize,
+    dims: u16,
+    shards: usize,
+}
+
+const FULL: Drive = Drive {
+    conns: 256,
+    client_threads: 16,
+    pipeline: 4,
+    rounds: 30,
+    events_per_batch: 8,
+    dims: 24,
+    shards: 4,
+};
+
+const SMOKE: Drive = Drive {
+    conns: 16,
+    client_threads: 4,
+    pipeline: 2,
+    rounds: 3,
+    events_per_batch: 4,
+    dims: 8,
+    shards: 2,
+};
+
+impl Drive {
+    /// Queue capacity at which shard-level `Busy` is impossible by
+    /// construction: every session on a shard may have its whole
+    /// pipeline outstanding at once.
+    fn queue_cap(&self) -> usize {
+        (self.conns / self.shards) * self.pipeline * 2
+    }
+
+    fn service_config(&self) -> ServiceConfig {
+        ServiceConfig {
+            shards: self.shards,
+            queue_cap: self.queue_cap(),
+            max_sessions_per_shard: self.conns,
+            ..ServiceConfig::default()
+        }
+    }
+}
+
+/// Cheap deterministic edit mix (no probes — the reduction is not what
+/// this bench measures).
+fn random_event(rng: &mut StdRng, dims: u16) -> Event {
+    let p = ProcId(rng.gen_range(0..dims));
+    let q = ResId(rng.gen_range(0..dims));
+    match rng.gen_range(0..6u32) {
+        0..=2 => Event::Request { p, q },
+        3 | 4 => Event::Grant { q, p },
+        _ => Event::Release { q, p },
+    }
+}
+
+struct ConnLog {
+    events: Vec<Event>,
+    results: Vec<EventResult>,
+}
+
+struct ThreadReport {
+    rtts: Histogram,
+    logs: Vec<ConnLog>,
+}
+
+/// Drives `conns_per_thread` connections through `rounds` pipelined
+/// rounds: write `pipeline` batch frames, then read the `pipeline`
+/// replies, timing each round's full turnaround.
+fn drive_thread(addr: SocketAddr, thread_id: usize, drive: &Drive) -> ThreadReport {
+    let per_thread = drive.conns / drive.client_threads;
+    let mut rng = StdRng::seed_from_u64(0xF0F0 ^ thread_id as u64);
+    let mut conns: Vec<(TcpClient, SessionId, ConnLog)> = (0..per_thread)
+        .map(|_| {
+            let mut cli = TcpClient::connect(addr).expect("connect");
+            let sid = match cli
+                .call(&Request::Open {
+                    resources: drive.dims,
+                    processes: drive.dims,
+                })
+                .expect("open call")
+            {
+                Response::Opened(sid) => sid,
+                other => panic!("open answered {other:?}"),
+            };
+            (
+                cli,
+                sid,
+                ConnLog {
+                    events: Vec::new(),
+                    results: Vec::new(),
+                },
+            )
+        })
+        .collect();
+
+    let mut rtts = Histogram::new();
+    for _ in 0..drive.rounds {
+        for (cli, sid, log) in conns.iter_mut() {
+            let t0 = Instant::now();
+            for _ in 0..drive.pipeline {
+                let batch: Vec<Event> = (0..drive.events_per_batch)
+                    .map(|_| random_event(&mut rng, drive.dims))
+                    .collect();
+                cli.send(&Request::Batch {
+                    session: *sid,
+                    events: batch.clone(),
+                })
+                .expect("pipelined send");
+                log.events.extend_from_slice(&batch);
+            }
+            for _ in 0..drive.pipeline {
+                match cli.recv().expect("pipelined recv") {
+                    Response::Batch(mut r) => log.results.append(&mut r),
+                    other => panic!("batch answered {other:?} (sizing must preclude Busy)"),
+                }
+            }
+            rtts.record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    for (cli, sid, _) in conns.iter_mut() {
+        match cli.call(&Request::Close { session: *sid }).expect("close") {
+            Response::Closed => {}
+            other => panic!("close answered {other:?}"),
+        }
+    }
+    ThreadReport {
+        rtts,
+        logs: conns.into_iter().map(|(_, _, log)| log).collect(),
+    }
+}
+
+struct Outcome {
+    events: u64,
+    elapsed_secs: f64,
+    rtts: Histogram,
+}
+
+impl Outcome {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.elapsed_secs
+    }
+}
+
+enum Mode {
+    ThreadPerConn,
+    EventLoop,
+}
+
+impl Mode {
+    fn label(&self) -> &'static str {
+        match self {
+            Mode::ThreadPerConn => "thread_per_conn",
+            Mode::EventLoop => "event_loop",
+        }
+    }
+}
+
+/// Runs one full drive against a fresh service behind the given
+/// front-end, asserts replay identity for every connection, and returns
+/// the aggregate outcome.
+fn run(mode: &Mode, drive: &Drive) -> Outcome {
+    assert_eq!(drive.conns % drive.client_threads, 0);
+    let service = Service::start(drive.service_config());
+
+    enum Server {
+        Tpc(TcpServer),
+        Ev(EvServer),
+    }
+    let server = match mode {
+        Mode::ThreadPerConn => Server::Tpc(
+            TcpServer::bind("127.0.0.1:0", service.client()).expect("bind thread-per-conn"),
+        ),
+        Mode::EventLoop => Server::Ev(
+            EvServer::bind(
+                "127.0.0.1:0",
+                service.client(),
+                EvConfig {
+                    max_pipeline: drive.pipeline * 4,
+                    ..EvConfig::default()
+                },
+            )
+            .expect("bind event loop"),
+        ),
+    };
+    let addr = match &server {
+        Server::Tpc(s) => s.local_addr(),
+        Server::Ev(s) => s.local_addr(),
+    };
+
+    let start = Instant::now();
+    let reports: Vec<ThreadReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..drive.client_threads)
+            .map(|t| scope.spawn(move || drive_thread(addr, t, drive)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let elapsed_secs = start.elapsed().as_secs_f64();
+
+    if let Server::Ev(s) = &server {
+        let fs = s.stats();
+        assert_eq!(fs.desynced, 0, "well-formed traffic must never desync");
+        assert_eq!(
+            fs.busy_replies, 0,
+            "pipeline sized under the cap; Busy would skew the comparison"
+        );
+    }
+    match server {
+        Server::Tpc(s) => s.stop(),
+        Server::Ev(s) => s.stop(),
+    }
+    service.shutdown();
+
+    // Replay identity: the wire results of every connection must be
+    // bit-identical to an in-process single-threaded replay of its log.
+    let mut events = 0u64;
+    let mut rtts = Histogram::new();
+    for r in &reports {
+        rtts.merge(&r.rtts);
+        for log in &r.logs {
+            assert_eq!(log.events.len(), log.results.len());
+            events += log.events.len() as u64;
+            let mut session = Session::new(drive.dims, drive.dims);
+            let expected: Vec<EventResult> =
+                log.events.iter().map(|&ev| session.apply(ev)).collect();
+            assert_eq!(
+                log.results,
+                expected,
+                "{} diverged from in-process replay",
+                mode.label()
+            );
+        }
+    }
+
+    Outcome {
+        events,
+        elapsed_secs,
+        rtts,
+    }
+}
+
+fn report(mode: &Mode, drive: &Drive, o: &Outcome) {
+    println!(
+        "{:>15}: {} conns x {} rounds, pipeline {}, {} events/batch",
+        mode.label(),
+        drive.conns,
+        drive.rounds,
+        drive.pipeline,
+        drive.events_per_batch
+    );
+    println!(
+        "  {} events in {:.3}s -> {:.0} events/sec; round RTT p50 {} ns p99 {} ns ({} samples)",
+        o.events,
+        o.elapsed_secs,
+        o.events_per_sec(),
+        o.rtts.percentile(0.50),
+        o.rtts.percentile(0.99),
+        o.rtts.count()
+    );
+}
+
+fn mode_json(mode: &Mode, o: &Outcome) -> String {
+    format!(
+        concat!(
+            "    {{\"mode\": \"{}\", \"events\": {}, \"elapsed_secs\": {:.3}, ",
+            "\"events_per_sec\": {:.0}, ",
+            "\"round_rtt_ns\": {{\"p50\": {}, \"p99\": {}, \"samples\": {}}}}}"
+        ),
+        mode.label(),
+        o.events,
+        o.elapsed_secs,
+        o.events_per_sec(),
+        o.rtts.percentile(0.50),
+        o.rtts.percentile(0.99),
+        o.rtts.count()
+    )
+}
+
+fn to_json(drive: &Drive, tpc: &Outcome, ev: &Outcome, host_cpus: usize) -> String {
+    let speedup = ev.events_per_sec() / tpc.events_per_sec();
+    let gated = host_cpus >= 4;
+    let pass_field = if gated {
+        format!("{}", speedup >= 2.0)
+    } else {
+        "null".to_string()
+    };
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"frontend_scaling\",\n",
+            "  \"host_cpus\": {},\n",
+            "  \"config\": {{\"conns\": {}, \"client_threads\": {}, \"pipeline\": {}, ",
+            "\"rounds\": {}, \"events_per_batch\": {}, \"dims\": {}, \"shards\": {}}},\n",
+            "  \"replay_identity\": {{\"wire_vs_in_process_bit_identical\": true}},\n",
+            "  \"modes\": [\n{},\n{}\n  ],\n",
+            "  \"acceptance\": {{\"speedup_event_loop_vs_thread_per_conn\": {:.3}, ",
+            "\"required\": 2.0, \"gate_requires_cpus\": 4, ",
+            "\"gate_skipped_insufficient_cpus\": {}, \"pass\": {}}}\n",
+            "}}\n"
+        ),
+        host_cpus,
+        drive.conns,
+        drive.client_threads,
+        drive.pipeline,
+        drive.rounds,
+        drive.events_per_batch,
+        drive.dims,
+        drive.shards,
+        mode_json(&Mode::ThreadPerConn, tpc),
+        mode_json(&Mode::EventLoop, ev),
+        speedup,
+        !gated,
+        pass_field
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        let tpc = run(&Mode::ThreadPerConn, &SMOKE);
+        report(&Mode::ThreadPerConn, &SMOKE, &tpc);
+        let ev = run(&Mode::EventLoop, &SMOKE);
+        report(&Mode::EventLoop, &SMOKE, &ev);
+        assert!(tpc.events > 0 && ev.events > 0);
+        assert_eq!(tpc.events, ev.events, "both modes drive the same load");
+        println!("smoke ok");
+        return;
+    }
+
+    if cfg!(debug_assertions) {
+        // Debug throughput is meaningless against the 2x gate and would
+        // corrupt the tracked BENCH_frontend.json.
+        eprintln!("frontend_scaling: debug build — rerun with --release (or use --smoke)");
+        std::process::exit(2);
+    }
+
+    let host_cpus = deltaos_core::par::host_cpus();
+    println!("=== frontend_scaling: 256-connection pipelined front-end sweep ({host_cpus} host CPUs) ===");
+    let tpc = run(&Mode::ThreadPerConn, &FULL);
+    report(&Mode::ThreadPerConn, &FULL, &tpc);
+    let ev = run(&Mode::EventLoop, &FULL);
+    report(&Mode::EventLoop, &FULL, &ev);
+    let speedup = ev.events_per_sec() / tpc.events_per_sec();
+    println!("  event loop vs thread-per-conn: {speedup:.2}x");
+
+    let json = to_json(&FULL, &tpc, &ev, host_cpus);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_frontend.json");
+    std::fs::write(path, &json).expect("write BENCH_frontend.json");
+    println!("wrote {path}");
+
+    if host_cpus >= 4 {
+        println!("acceptance: event-loop speedup {speedup:.2}x (required >= 2x)");
+        assert!(
+            speedup >= 2.0,
+            "event-loop front-end must be >= 2x thread-per-connection at {} pipelined \
+             connections (got {speedup:.2}x on a {host_cpus}-CPU host)",
+            FULL.conns
+        );
+    } else {
+        println!(
+            "acceptance: gate skipped — host has {host_cpus} CPU(s) < 4; \
+             measured speedup {speedup:.2}x recorded ungated"
+        );
+    }
+}

@@ -19,6 +19,54 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+/// Number of CPUs the host reports, with a floor of 1 when the query
+/// fails. The single source for every auto-sizing decision (shard
+/// counts, per-shard pool widths, event-loop thread counts), so a
+/// cgroup/affinity-limited host is respected consistently.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Best-effort round-robin CPU-affinity hint: pins the calling thread to
+/// `cpu % host_cpus()`. Returns `true` if the kernel accepted the mask.
+///
+/// Linux-only (`sched_setaffinity` on the current thread); on other
+/// platforms this is a no-op returning `false`. A hint, not a
+/// guarantee — callers must behave identically whether or not the pin
+/// took effect (it only shifts *where* threads run, never *what* they
+/// compute, so the determinism contract is untouched).
+pub fn pin_current_thread(cpu: usize) -> bool {
+    affinity::pin(cpu % host_cpus())
+}
+
+#[cfg(target_os = "linux")]
+mod affinity {
+    /// One `cpu_set_t` worth of mask words (1024 bits, glibc's default).
+    const MASK_WORDS: usize = 1024 / (8 * std::mem::size_of::<usize>());
+
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const usize) -> i32;
+    }
+
+    pub fn pin(cpu: usize) -> bool {
+        let mut mask = [0usize; MASK_WORDS];
+        let bits = 8 * std::mem::size_of::<usize>();
+        if cpu / bits >= MASK_WORDS {
+            return false;
+        }
+        mask[cpu / bits] |= 1usize << (cpu % bits);
+        // pid 0 = the calling thread.
+        unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod affinity {
+    pub fn pin(_cpu: usize) -> bool {
+        false
+    }
+}
+
 /// Tuning knobs for the parallel/column-major reduction paths.
 ///
 /// All gates are functions of the matrix shape and live-row count alone,
@@ -61,6 +109,16 @@ impl ParConfig {
             threads: threads.max(1),
             ..ParConfig::default()
         }
+    }
+
+    /// Auto-sizes the per-pool thread count for `pools` co-resident
+    /// pools from [`host_cpus`]: the CPUs are divided evenly so the
+    /// total thread count never oversubscribes the host, with a floor
+    /// of 1 (serial) and a ceiling of 8 per pool. The shape/live-row
+    /// gates stay at their defaults, so paper-scale work remains serial
+    /// regardless of host size.
+    pub fn auto_for_shards(pools: usize) -> Self {
+        ParConfig::with_threads((host_cpus() / pools.max(1)).clamp(1, 8))
     }
 
     /// `true` if a matrix of this shape may use the sharded row path.
@@ -125,6 +183,20 @@ impl WorkerPool {
     /// the calling thread. `threads <= 1` spawns nothing and makes `run`
     /// a plain inline call.
     pub fn new(threads: usize) -> Self {
+        Self::spawn(threads, None)
+    }
+
+    /// Like [`WorkerPool::new`], but each spawned worker `i` (shard
+    /// indices `1..threads`) additionally pins itself to CPU
+    /// `first_cpu + i` round-robin over [`host_cpus`] — an affinity
+    /// *hint* via [`pin_current_thread`]; results are identical whether
+    /// or not the pins take. The caller (shard 0) is not pinned here:
+    /// it owns its own placement.
+    pub fn new_pinned(threads: usize, first_cpu: usize) -> Self {
+        Self::spawn(threads, Some(first_cpu))
+    }
+
+    fn spawn(threads: usize, first_cpu: Option<usize>) -> Self {
         let threads = threads.max(1);
         let inner = Arc::new(Inner {
             state: Mutex::new(PoolState {
@@ -140,7 +212,12 @@ impl WorkerPool {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("deltaos-par-{shard}"))
-                    .spawn(move || worker_loop(&inner, shard))
+                    .spawn(move || {
+                        if let Some(base) = first_cpu {
+                            pin_current_thread(base + shard);
+                        }
+                        worker_loop(&inner, shard)
+                    })
                     .expect("spawn reduction worker")
             })
             .collect();
@@ -316,6 +393,36 @@ mod tests {
                 assert_eq!(covered, len, "len {len} shards {shards}");
             }
         }
+    }
+
+    #[test]
+    fn host_sizing_has_a_floor_and_a_ceiling() {
+        assert!(host_cpus() >= 1);
+        for pools in 1..=16 {
+            let cfg = ParConfig::auto_for_shards(pools);
+            assert!((1..=8).contains(&cfg.threads), "pools {pools}");
+            // The pools together never oversubscribe the host (beyond
+            // the serial floor of one caller thread each).
+            assert!(cfg.threads == 1 || pools * cfg.threads <= host_cpus());
+        }
+    }
+
+    #[test]
+    fn pinned_pool_runs_every_shard_and_pinning_is_a_hint() {
+        // Whether or not the affinity syscall succeeds, the pool must
+        // behave identically to an unpinned one.
+        let pool = WorkerPool::new_pinned(3, 0);
+        let hits: Vec<AtomicU64> = (0..3).map(|_| AtomicU64::new(0)).collect();
+        for _ in 0..50 {
+            pool.run(&|k| {
+                hits[k].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 50);
+        }
+        // Out-of-range CPUs wrap via the modulo rather than erroring.
+        let _ = pin_current_thread(usize::MAX);
     }
 
     #[test]

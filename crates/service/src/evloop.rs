@@ -1,0 +1,987 @@
+//! Event-loop TCP front-end: a std-only, non-blocking, `poll(2)`-driven
+//! server replacing thread-per-connection at scale.
+//!
+//! The paper's point is that deadlock detection itself is cheap —
+//! O(min(m,n)) in the DDU — so at fleet scale the *transport* must not
+//! reintroduce the overhead the hardware removed. A thread per
+//! connection costs a stack and a scheduler entity per client; this
+//! front-end serves any number of connections with **one acceptor plus a
+//! small fixed set of event-loop threads** (auto-sized from
+//! [`available_parallelism`](std::thread::available_parallelism)),
+//! connections distributed round-robin across them.
+//!
+//! Per connection, a state machine drives:
+//!
+//! * **Incremental zero-copy framing** — a growable read buffer owns the
+//!   bytes; complete frames are decoded in place from the filled region
+//!   ([`decode_request`] over a slice, no per-frame payload `Vec`), and
+//!   partial frames simply stay buffered until the next readable event.
+//! * **Pipelining** — every complete frame is submitted immediately via
+//!   the shard layer's `*_async` paths ([`Client::batch_async`] and
+//!   friends), so many requests per connection are in flight at once.
+//!   Replies complete out of order across shards but are written back in
+//!   submission order through a per-connection FIFO, preserving the
+//!   request/response contract a blocking client relies on.
+//! * **Bounded buffering → `Busy`** — a connection may have at most
+//!   [`EvConfig::max_pipeline`] requests in flight; overflow answers the
+//!   wire-level [`Response::Busy`] immediately instead of queueing. A
+//!   write backlog past [`EvConfig::max_write_buf`] pauses reading from
+//!   that socket until the peer drains it. Memory per connection is
+//!   bounded by construction, exactly like the shard queues behind it.
+//! * **Coalesced writes** — ready replies are encoded back-to-back into
+//!   one write buffer ([`encode_response_into`]'s append contract) and
+//!   flushed with as few `write(2)` calls as the socket accepts.
+//! * **Slow-loris guards** — a connection that goes quiet is reaped
+//!   after [`EvConfig::idle_timeout`], and one that parks a *partial*
+//!   frame (half a length prefix, then silence) is reaped after the
+//!   stricter [`EvConfig::partial_frame_deadline`]. Both count into
+//!   [`FrontendStats::connections_reaped`].
+//!
+//! Event-loop threads never block on a shard: submissions use bounded
+//! `try_send` and replies are drained with `try_recv` — when replies are
+//! outstanding the `poll` timeout drops to 1 ms, and incoming traffic
+//! (the common case under load) wakes the loop immediately anyway.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use deltaos_core::par;
+use deltaos_sim::Stats;
+
+use crate::proto::{
+    decode_request, encode_response_into, ErrorCode, EventResult, Request, Response, SessionId,
+    WireError, MAX_FRAME,
+};
+use crate::shard::{Client, ServiceError};
+use crate::tcp::stats_rows;
+
+/// Raw `poll(2)` binding — the only non-std surface this crate touches,
+/// and still libc-free: std already links the platform C library, so a
+/// direct `extern "C"` declaration suffices.
+mod sys {
+    use std::io;
+    use std::os::raw::{c_int, c_short};
+
+    #[cfg(target_os = "macos")]
+    type Nfds = u32;
+    #[cfg(not(target_os = "macos"))]
+    type Nfds = std::os::raw::c_ulong;
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+    pub const POLLNVAL: c_short = 0x020;
+
+    /// `struct pollfd` — identical layout on every supported unix.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: Nfds, timeout: c_int) -> c_int;
+    }
+
+    /// Blocks until an fd is ready or `timeout_ms` elapses (`-1` waits
+    /// forever), retrying on `EINTR`.
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as Nfds, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// Bytes asked of the socket per `read(2)` when filling a frame buffer.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Event-loop front-end construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvConfig {
+    /// Event-loop threads; `0` auto-sizes to half the host CPUs
+    /// (clamped to 1..=8), leaving the rest for the shard workers.
+    pub event_loops: usize,
+    /// Maximum in-flight (submitted, not yet replied) requests per
+    /// connection; further frames answer [`Response::Busy`] in-band.
+    pub max_pipeline: usize,
+    /// Write-backlog bytes at which the loop stops *reading* from a
+    /// connection until the peer drains its replies.
+    pub max_write_buf: usize,
+    /// A connection with no outstanding work and no traffic for this
+    /// long is reaped.
+    pub idle_timeout: Duration,
+    /// A connection holding an *incomplete* frame with no further bytes
+    /// for this long is reaped (slow-loris guard) — much stricter than
+    /// the idle timeout because a partial frame is never a valid
+    /// resting state.
+    pub partial_frame_deadline: Duration,
+    /// Round-robin CPU-affinity hint for the loop threads (loop `i` →
+    /// CPU `i` mod host CPUs). A placement hint only.
+    pub pin_cpus: bool,
+}
+
+impl Default for EvConfig {
+    fn default() -> Self {
+        EvConfig {
+            event_loops: 0,
+            max_pipeline: 64,
+            max_write_buf: 256 * 1024,
+            idle_timeout: Duration::from_secs(60),
+            partial_frame_deadline: Duration::from_secs(10),
+            pin_cpus: false,
+        }
+    }
+}
+
+impl EvConfig {
+    /// The actual loop-thread count `bind` will spawn: the configured
+    /// value, or `host_cpus() / 2` clamped to 1..=8 when `event_loops`
+    /// is 0.
+    pub fn resolved_loops(&self) -> usize {
+        if self.event_loops > 0 {
+            self.event_loops
+        } else {
+            (par::host_cpus() / 2).clamp(1, 8)
+        }
+    }
+}
+
+/// Monotonic front-end counters, shared by the acceptor and every loop.
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    closed: AtomicU64,
+    reaped_idle: AtomicU64,
+    reaped_partial: AtomicU64,
+    desynced: AtomicU64,
+    frames_in: AtomicU64,
+    replies_out: AtomicU64,
+    busy_replies: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+/// Snapshot of the front-end counters ([`EvServer::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Connections accepted since bind.
+    pub accepted: u64,
+    /// Connections currently registered with a loop.
+    pub active: u64,
+    /// Connections closed for any reason (EOF, error, reaped).
+    pub closed: u64,
+    /// Connections reaped by the idle timeout.
+    pub reaped_idle: u64,
+    /// Connections reaped by the partial-frame (slow-loris) deadline.
+    pub reaped_partial: u64,
+    /// Connections dropped because framing was lost (oversized prefix).
+    pub desynced: u64,
+    /// Complete request frames processed.
+    pub frames_in: u64,
+    /// Response frames encoded (including in-band errors and `Busy`).
+    pub replies_out: u64,
+    /// `Busy` replies produced by the per-connection pipeline cap.
+    pub busy_replies: u64,
+    /// Payload + prefix bytes read.
+    pub bytes_in: u64,
+    /// Payload + prefix bytes written.
+    pub bytes_out: u64,
+}
+
+impl FrontendStats {
+    /// Total connections reaped by either guard.
+    pub fn connections_reaped(&self) -> u64 {
+        self.reaped_idle + self.reaped_partial
+    }
+}
+
+// ---------------------------------------------------------------------
+// Incremental frame reassembly
+// ---------------------------------------------------------------------
+
+/// Incremental reassembly over a growable buffer: bytes land at the
+/// tail, complete frames are consumed from `pos`, and [`compact`]
+/// reclaims the consumed prefix between poll iterations. The buffer
+/// owns the bytes; frame payloads are borrowed slices of it — no
+/// per-frame allocation or copy.
+///
+/// [`compact`]: FrameBuf::compact
+#[derive(Debug, Default)]
+struct FrameBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+/// What one readable event yielded.
+enum ReadOutcome {
+    /// Bytes appended (possibly 0 if the socket was already drained);
+    /// `true` when the peer also half-closed.
+    Progress(usize, bool),
+    /// Transport error; the connection is unusable.
+    Broken,
+}
+
+impl FrameBuf {
+    /// Appends raw bytes (test seam; the live path reads straight from
+    /// the socket via [`FrameBuf::fill_from`]).
+    #[cfg(test)]
+    fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Reads from `stream` until it would block (or EOF/error),
+    /// appending to the tail.
+    fn fill_from(&mut self, stream: &mut TcpStream) -> ReadOutcome {
+        let mut total = 0usize;
+        loop {
+            let old = self.buf.len();
+            self.buf.resize(old + READ_CHUNK, 0);
+            match stream.read(&mut self.buf[old..]) {
+                Ok(0) => {
+                    self.buf.truncate(old);
+                    return ReadOutcome::Progress(total, true);
+                }
+                Ok(n) => {
+                    self.buf.truncate(old + n);
+                    total += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.buf.truncate(old);
+                    return ReadOutcome::Progress(total, false);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    self.buf.truncate(old);
+                }
+                Err(_) => {
+                    self.buf.truncate(old);
+                    return ReadOutcome::Broken;
+                }
+            }
+        }
+    }
+
+    /// Pops the next complete frame as a payload range into the buffer,
+    /// `Ok(None)` while the head frame is still partial.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`] when the length prefix exceeds
+    /// [`MAX_FRAME`] — framing is lost and the stream must be dropped.
+    fn next_frame(&mut self) -> Result<Option<(usize, usize)>, WireError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let prefix: [u8; 4] = self.buf[self.pos..self.pos + 4].try_into().unwrap();
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::Oversized { len: len as u64 });
+        }
+        if avail - 4 < len {
+            return Ok(None);
+        }
+        let start = self.pos + 4;
+        self.pos = start + len;
+        Ok(Some((start, start + len)))
+    }
+
+    /// The payload bytes of a range returned by [`FrameBuf::next_frame`].
+    fn slice(&self, (a, b): (usize, usize)) -> &[u8] {
+        &self.buf[a..b]
+    }
+
+    /// Drops the consumed prefix so the buffer only holds the (at most
+    /// one) partial frame at its head.
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.copy_within(self.pos.., 0);
+            let keep = self.buf.len() - self.pos;
+            self.buf.truncate(keep);
+            self.pos = 0;
+        }
+    }
+
+    /// `true` while an incomplete frame (or stray bytes) sits in the
+    /// buffer — the state the slow-loris deadline polices.
+    fn has_partial(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-connection state machine
+// ---------------------------------------------------------------------
+
+/// One submitted-but-unanswered request, in submission order.
+enum Pending {
+    /// Answer known immediately (in-band error, `Busy`, decode failure).
+    Ready(Response),
+    Open(Receiver<Result<SessionId, ServiceError>>),
+    Batch(Receiver<Result<Vec<EventResult>, ServiceError>>),
+    Close(Receiver<Result<(), ServiceError>>),
+    /// One receiver per shard; the reply is assembled when all arrive.
+    Stats(Vec<Receiver<Stats>>, Vec<Option<Stats>>),
+}
+
+struct Conn {
+    stream: TcpStream,
+    rbuf: FrameBuf,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    pending: VecDeque<Pending>,
+    last_activity: Instant,
+    partial_since: Option<Instant>,
+    peer_closed: bool,
+    dead: bool,
+}
+
+/// Maps a synchronous service error to its wire response.
+fn error_response(e: ServiceError) -> Response {
+    match e {
+        ServiceError::Busy => Response::Busy,
+        other => Response::Error(other.into()),
+    }
+}
+
+impl Conn {
+    fn new(stream: TcpStream, now: Instant) -> Conn {
+        Conn {
+            stream,
+            rbuf: FrameBuf::default(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            pending: VecDeque::new(),
+            last_activity: now,
+            partial_since: None,
+            peer_closed: false,
+            dead: false,
+        }
+    }
+
+    /// Unflushed reply bytes.
+    fn backlog(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// `true` if any pending entry is still waiting on a shard.
+    fn has_waiting(&self) -> bool {
+        self.pending.iter().any(|p| !matches!(p, Pending::Ready(_)))
+    }
+
+    /// Appends one length-prefixed response frame to the write buffer.
+    fn push_response(&mut self, resp: &Response, counters: &Counters) {
+        let at = self.wbuf.len();
+        self.wbuf.extend_from_slice(&[0u8; 4]);
+        encode_response_into(resp, &mut self.wbuf);
+        let len = self.wbuf.len() - at - 4;
+        debug_assert!(len <= MAX_FRAME, "server response exceeds MAX_FRAME");
+        self.wbuf[at..at + 4].copy_from_slice(&(len as u32).to_le_bytes());
+        counters.replies_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consumes every complete frame in the read buffer: decode
+    /// in place, submit through the non-blocking client paths, and
+    /// append the pending-reply slot. Called after every read.
+    fn process_frames(&mut self, client: &Client, cfg: &EvConfig, counters: &Counters) {
+        loop {
+            match self.rbuf.next_frame() {
+                Err(_) => {
+                    // Framing lost — nothing after this byte can be
+                    // trusted to be a length prefix.
+                    counters.desynced.fetch_add(1, Ordering::Relaxed);
+                    self.dead = true;
+                    return;
+                }
+                Ok(None) => break,
+                Ok(Some(range)) => {
+                    counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                    let over_depth = self.pending.len() >= cfg.max_pipeline;
+                    let slot = match decode_request(self.rbuf.slice(range)) {
+                        // Frame boundaries intact: answer in-band.
+                        Err(_) => Pending::Ready(Response::Error(ErrorCode::BadRequest)),
+                        Ok(_) if over_depth => {
+                            counters.busy_replies.fetch_add(1, Ordering::Relaxed);
+                            Pending::Ready(Response::Busy)
+                        }
+                        Ok(Request::Open {
+                            resources,
+                            processes,
+                        }) => match client.open_async(resources, processes) {
+                            Ok(rx) => Pending::Open(rx),
+                            Err(e) => Pending::Ready(error_response(e)),
+                        },
+                        Ok(Request::Batch { session, events }) => {
+                            match client.batch_async(session, events) {
+                                Ok(rx) => Pending::Batch(rx),
+                                Err(e) => Pending::Ready(error_response(e)),
+                            }
+                        }
+                        Ok(Request::Close { session }) => match client.close_async(session) {
+                            Ok(rx) => Pending::Close(rx),
+                            Err(e) => Pending::Ready(error_response(e)),
+                        },
+                        Ok(Request::Stats) => match client.stats_async() {
+                            Ok(rxs) => {
+                                let slots = vec![None; rxs.len()];
+                                Pending::Stats(rxs, slots)
+                            }
+                            Err(e) => Pending::Ready(error_response(e)),
+                        },
+                    };
+                    self.pending.push_back(slot);
+                }
+            }
+        }
+        self.rbuf.compact();
+        self.partial_since = if self.rbuf.has_partial() {
+            self.partial_since.or(Some(Instant::now()))
+        } else {
+            None
+        };
+    }
+
+    /// Moves completed replies, in submission order, from the pending
+    /// FIFO into the write buffer. Stops at the first reply whose shard
+    /// has not answered yet — later completions wait their turn, which
+    /// is what keeps pipelined responses positionally matched.
+    fn pump_replies(&mut self, counters: &Counters) {
+        while let Some(front) = self.pending.front_mut() {
+            let done: Option<Response> = match front {
+                Pending::Ready(_) => {
+                    let Some(Pending::Ready(resp)) = self.pending.pop_front() else {
+                        unreachable!("front was Ready");
+                    };
+                    self.push_response(&resp, counters);
+                    continue;
+                }
+                Pending::Open(rx) => match rx.try_recv() {
+                    Ok(Ok(id)) => Some(Response::Opened(id)),
+                    Ok(Err(e)) => Some(error_response(e)),
+                    Err(TryRecvError::Empty) => None,
+                    Err(TryRecvError::Disconnected) => Some(Response::Error(ErrorCode::Shutdown)),
+                },
+                Pending::Batch(rx) => match rx.try_recv() {
+                    Ok(Ok(results)) => Some(Response::Batch(results)),
+                    Ok(Err(e)) => Some(error_response(e)),
+                    Err(TryRecvError::Empty) => None,
+                    Err(TryRecvError::Disconnected) => Some(Response::Error(ErrorCode::Shutdown)),
+                },
+                Pending::Close(rx) => match rx.try_recv() {
+                    Ok(Ok(())) => Some(Response::Closed),
+                    Ok(Err(e)) => Some(error_response(e)),
+                    Err(TryRecvError::Empty) => None,
+                    Err(TryRecvError::Disconnected) => Some(Response::Error(ErrorCode::Shutdown)),
+                },
+                Pending::Stats(rxs, got) => {
+                    let mut shutdown = false;
+                    for (rx, slot) in rxs.iter().zip(got.iter_mut()) {
+                        if slot.is_none() {
+                            match rx.try_recv() {
+                                Ok(s) => *slot = Some(s),
+                                Err(TryRecvError::Empty) => {}
+                                Err(TryRecvError::Disconnected) => shutdown = true,
+                            }
+                        }
+                    }
+                    if shutdown {
+                        Some(Response::Error(ErrorCode::Shutdown))
+                    } else if got.iter().all(Option::is_some) {
+                        let per_shard: Vec<Stats> =
+                            got.iter_mut().map(|s| s.take().unwrap()).collect();
+                        Some(Response::Stats(stats_rows(&per_shard)))
+                    } else {
+                        None
+                    }
+                }
+            };
+            match done {
+                None => break,
+                Some(resp) => {
+                    self.pending.pop_front();
+                    self.push_response(&resp, counters);
+                }
+            }
+        }
+    }
+
+    /// Writes as much of the backlog as the socket accepts; one
+    /// `write(2)` typically carries many coalesced replies.
+    fn flush(&mut self, counters: &Counters) {
+        let mut progressed = false;
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.wpos += n;
+                    progressed = true;
+                    counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos >= READ_CHUNK {
+            self.wbuf.copy_within(self.wpos.., 0);
+            let keep = self.wbuf.len() - self.wpos;
+            self.wbuf.truncate(keep);
+            self.wpos = 0;
+        }
+        if progressed {
+            self.last_activity = Instant::now();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The loops and the server handle
+// ---------------------------------------------------------------------
+
+struct LoopCtx {
+    index: usize,
+    client: Client,
+    cfg: EvConfig,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    /// Read end of the wake pipe (non-blocking).
+    wake_rx: UnixStream,
+    /// New connections from the acceptor.
+    conn_rx: Receiver<TcpStream>,
+}
+
+/// Smallest remaining time until any reap deadline, as a poll timeout.
+fn reap_timeout_ms(conns: &[Conn], cfg: &EvConfig, now: Instant) -> i32 {
+    let mut best: Option<Duration> = None;
+    let mut consider = |d: Duration| {
+        best = Some(best.map_or(d, |b| b.min(d)));
+    };
+    for c in conns {
+        if c.pending.is_empty() {
+            consider(cfg.idle_timeout.saturating_sub(now - c.last_activity));
+        }
+        if let Some(t) = c.partial_since {
+            consider(cfg.partial_frame_deadline.saturating_sub(now - t));
+        }
+    }
+    match best {
+        None => -1,
+        // +1 rounds up so we never spin on a sub-millisecond remainder.
+        Some(d) => (d.as_millis().min(1000) as i32) + 1,
+    }
+}
+
+fn run_loop(ctx: LoopCtx) {
+    if ctx.cfg.pin_cpus {
+        par::pin_current_thread(ctx.index);
+    }
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut fds: Vec<sys::PollFd> = Vec::new();
+    let mut wake_rx = ctx.wake_rx;
+    let counters = &*ctx.counters;
+    loop {
+        if ctx.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let now = Instant::now();
+        // Adopt newly accepted connections.
+        while let Ok(stream) = ctx.conn_rx.try_recv() {
+            conns.push(Conn::new(stream, now));
+        }
+        // Complete what the shards have answered, then flush.
+        let mut waiting = false;
+        for c in conns.iter_mut() {
+            c.pump_replies(counters);
+            if c.backlog() > 0 {
+                c.flush(counters);
+            }
+            waiting |= c.has_waiting();
+        }
+        // Reap and drop in one pass.
+        conns.retain(|c| {
+            let drained = c.pending.is_empty() && c.backlog() == 0;
+            let mut reap = c.dead || (c.peer_closed && drained);
+            if !reap {
+                if let Some(t) = c.partial_since {
+                    if now - t >= ctx.cfg.partial_frame_deadline {
+                        counters.reaped_partial.fetch_add(1, Ordering::Relaxed);
+                        reap = true;
+                    }
+                }
+            }
+            if !reap && c.pending.is_empty() && now - c.last_activity >= ctx.cfg.idle_timeout {
+                counters.reaped_idle.fetch_add(1, Ordering::Relaxed);
+                reap = true;
+            }
+            if reap {
+                counters.closed.fetch_add(1, Ordering::Relaxed);
+            }
+            !reap
+        });
+        // Register interest: the wake pipe, then one slot per conn.
+        fds.clear();
+        fds.push(sys::PollFd {
+            fd: wake_rx.as_raw_fd(),
+            events: sys::POLLIN,
+            revents: 0,
+        });
+        for c in &conns {
+            let mut events = 0;
+            // Read-side backpressure: past the write cap, let TCP flow
+            // control push back instead of buffering more replies.
+            if !c.peer_closed && c.backlog() < ctx.cfg.max_write_buf {
+                events |= sys::POLLIN;
+            }
+            if c.backlog() > 0 {
+                events |= sys::POLLOUT;
+            }
+            fds.push(sys::PollFd {
+                fd: c.stream.as_raw_fd(),
+                events,
+                revents: 0,
+            });
+        }
+        // With shard replies outstanding poll must tick: the reply
+        // channels are not fds. 1 ms bounds added latency; under load
+        // socket readiness wakes the loop far sooner.
+        let timeout = if waiting {
+            1
+        } else {
+            reap_timeout_ms(&conns, &ctx.cfg, now)
+        };
+        if sys::poll_fds(&mut fds, timeout).is_err() {
+            break;
+        }
+        // Drain wake bytes (coalesced; one byte per notification).
+        if fds[0].revents != 0 {
+            let mut sink = [0u8; 64];
+            while matches!(wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+        }
+        // Serve readable/writable sockets.
+        for (i, c) in conns.iter_mut().enumerate() {
+            let re = fds[1 + i].revents;
+            if re == 0 {
+                continue;
+            }
+            if re & sys::POLLNVAL != 0 {
+                c.dead = true;
+                continue;
+            }
+            // POLLERR/POLLHUP may coincide with readable buffered data;
+            // attempt the read — EOF or a broken read marks the conn.
+            if re & (sys::POLLIN | sys::POLLHUP | sys::POLLERR) != 0 {
+                match c.rbuf.fill_from(&mut c.stream) {
+                    ReadOutcome::Progress(n, eof) => {
+                        if n > 0 {
+                            counters.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                            c.last_activity = Instant::now();
+                            c.process_frames(&ctx.client, &ctx.cfg, counters);
+                        }
+                        if eof {
+                            c.peer_closed = true;
+                        }
+                        if n == 0 && !eof && re & sys::POLLERR != 0 {
+                            c.dead = true;
+                        }
+                    }
+                    ReadOutcome::Broken => c.dead = true,
+                }
+            }
+            // Eager turnaround: a fast shard often answered while we
+            // were still in this iteration.
+            c.pump_replies(counters);
+            if c.backlog() > 0 {
+                c.flush(counters);
+            }
+        }
+    }
+    // Loop teardown drops every connection (sockets close with it).
+    let n = conns.len() as u64;
+    counters.closed.fetch_add(n, Ordering::Relaxed);
+}
+
+/// A running event-loop TCP front-end for a service [`Client`].
+///
+/// Construction: [`EvServer::bind`]. Lifecycle mirrors
+/// [`crate::tcp::TcpServer`]: dropping the handle stops the acceptor
+/// and joins every loop thread.
+pub struct EvServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    accept_thread: Option<JoinHandle<()>>,
+    loop_threads: Vec<JoinHandle<()>>,
+    wakes: Vec<UnixStream>,
+}
+
+impl EvServer {
+    /// Binds `addr` (port 0 for ephemeral) and spawns the acceptor plus
+    /// [`EvConfig::resolved_loops`] event-loop threads serving through
+    /// `client`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/pipe/spawn failures.
+    pub fn bind(addr: &str, client: Client, cfg: EvConfig) -> io::Result<EvServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let loops = cfg.resolved_loops();
+
+        let mut loop_threads = Vec::with_capacity(loops);
+        let mut wakes = Vec::with_capacity(loops);
+        let mut acceptor_lanes = Vec::with_capacity(loops);
+        for index in 0..loops {
+            let (wake_rx, wake_tx) = UnixStream::pair()?;
+            wake_rx.set_nonblocking(true)?;
+            wake_tx.set_nonblocking(true)?;
+            let (conn_tx, conn_rx) = mpsc::channel();
+            let ctx = LoopCtx {
+                index,
+                client: client.clone(),
+                cfg,
+                stop: Arc::clone(&stop),
+                counters: Arc::clone(&counters),
+                wake_rx,
+                conn_rx,
+            };
+            loop_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("deltaos-evloop-{index}"))
+                    .spawn(move || run_loop(ctx))?,
+            );
+            acceptor_lanes.push((conn_tx, wake_tx.try_clone()?));
+            wakes.push(wake_tx);
+        }
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_counters = Arc::clone(&counters);
+        let accept_thread = std::thread::Builder::new()
+            .name("deltaos-ev-accept".into())
+            .spawn(move || {
+                let mut next = 0usize;
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    accept_counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    // Round-robin distribution; a send can only fail
+                    // after stop, when the loop has already exited.
+                    let (conn_tx, wake_tx) = &mut acceptor_lanes[next];
+                    let _ = conn_tx.send(stream);
+                    let _ = wake_tx.write(&[1]);
+                    next = (next + 1) % acceptor_lanes.len();
+                }
+            })?;
+
+        Ok(EvServer {
+            addr: local,
+            stop,
+            counters,
+            accept_thread: Some(accept_thread),
+            loop_threads,
+            wakes,
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the front-end counters.
+    pub fn stats(&self) -> FrontendStats {
+        let c = &self.counters;
+        let accepted = c.accepted.load(Ordering::Relaxed);
+        let closed = c.closed.load(Ordering::Relaxed);
+        FrontendStats {
+            accepted,
+            active: accepted.saturating_sub(closed),
+            closed,
+            reaped_idle: c.reaped_idle.load(Ordering::Relaxed),
+            reaped_partial: c.reaped_partial.load(Ordering::Relaxed),
+            desynced: c.desynced.load(Ordering::Relaxed),
+            frames_in: c.frames_in.load(Ordering::Relaxed),
+            replies_out: c.replies_out.load(Ordering::Relaxed),
+            busy_replies: c.busy_replies.load(Ordering::Relaxed),
+            bytes_in: c.bytes_in.load(Ordering::Relaxed),
+            bytes_out: c.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, wakes every loop, and joins all threads. Open
+    /// connections are dropped (in-flight shard work still completes
+    /// inside the service; only the transport goes away).
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for w in &mut self.wakes {
+            let _ = w.write(&[1]);
+        }
+        // The acceptor blocks in `incoming()`; poke it awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.loop_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for EvServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.halt();
+        }
+    }
+}
+
+impl std::fmt::Debug for EvServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvServer")
+            .field("addr", &self.addr)
+            .field("loops", &self.loop_threads.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{encode_request, write_frame};
+
+    /// Three representative frames, length-prefixed, as one byte stream.
+    fn frame_stream() -> (Vec<u8>, Vec<Vec<u8>>) {
+        let payloads = vec![
+            encode_request(&Request::Stats),
+            encode_request(&Request::Open {
+                resources: 7,
+                processes: 9,
+            }),
+            encode_request(&Request::Batch {
+                session: SessionId(3),
+                events: vec![crate::proto::Event::Probe; 5],
+            }),
+        ];
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        (wire, payloads)
+    }
+
+    /// Collects every currently-complete frame payload (owned, for
+    /// comparison only — the live path borrows).
+    fn drain(fb: &mut FrameBuf) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(range) = fb.next_frame().unwrap() {
+            out.push(fb.slice(range).to_vec());
+        }
+        fb.compact();
+        out
+    }
+
+    #[test]
+    fn reassembles_one_byte_at_a_time() {
+        let (wire, payloads) = frame_stream();
+        let mut fb = FrameBuf::default();
+        let mut got = Vec::new();
+        for &b in &wire {
+            fb.extend(&[b]);
+            got.extend(drain(&mut fb));
+            // Compaction never strands bytes: buffer holds at most the
+            // partial head frame.
+            assert!(fb.buf.len() < 4 + payloads.iter().map(Vec::len).max().unwrap() + 1);
+        }
+        assert_eq!(got, payloads);
+        assert!(!fb.has_partial(), "no residue after the final byte");
+    }
+
+    #[test]
+    fn reassembles_across_every_split_point() {
+        let (wire, payloads) = frame_stream();
+        for cut in 0..=wire.len() {
+            let mut fb = FrameBuf::default();
+            let mut got = Vec::new();
+            fb.extend(&wire[..cut]);
+            got.extend(drain(&mut fb));
+            fb.extend(&wire[cut..]);
+            got.extend(drain(&mut fb));
+            assert_eq!(got, payloads, "split at byte {cut}");
+        }
+    }
+
+    #[test]
+    fn whole_stream_in_one_chunk_yields_all_frames() {
+        let (wire, payloads) = frame_stream();
+        let mut fb = FrameBuf::default();
+        fb.extend(&wire);
+        assert_eq!(drain(&mut fb), payloads);
+    }
+
+    #[test]
+    fn oversized_prefix_is_a_framing_error() {
+        let mut fb = FrameBuf::default();
+        fb.extend(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert!(matches!(fb.next_frame(), Err(WireError::Oversized { .. })));
+    }
+
+    #[test]
+    fn partial_flag_tracks_the_head_frame() {
+        let (wire, _) = frame_stream();
+        let mut fb = FrameBuf::default();
+        assert!(!fb.has_partial());
+        fb.extend(&wire[..2]); // half a length prefix
+        assert!(fb.next_frame().unwrap().is_none());
+        assert!(fb.has_partial());
+        fb.extend(&wire[2..]);
+        let _ = drain(&mut fb);
+        assert!(!fb.has_partial());
+    }
+
+    #[test]
+    fn auto_sizing_stays_in_bounds() {
+        let auto = EvConfig::default();
+        assert!((1..=8).contains(&auto.resolved_loops()));
+        let fixed = EvConfig {
+            event_loops: 3,
+            ..EvConfig::default()
+        };
+        assert_eq!(fixed.resolved_loops(), 3);
+    }
+}

@@ -17,6 +17,10 @@
 //! * [`proto`] — the length-prefixed binary wire protocol with a total,
 //!   panic-free decoder.
 //! * [`tcp`] — a blocking `std::net` server/client pair over [`proto`].
+//! * [`evloop`] (unix) — the `poll(2)` event-loop front-end: a fixed
+//!   set of non-blocking loop threads with zero-copy framing, request
+//!   pipelining and bounded write queues, replacing thread-per-connection
+//!   at scale.
 //!
 //! ```
 //! use deltaos_service::{Event, Service, ServiceConfig};
@@ -37,16 +41,20 @@
 //! service.shutdown();
 //! ```
 
+#[cfg(unix)]
+pub mod evloop;
 pub mod proto;
 pub mod session;
 pub mod shard;
 pub mod tcp;
 
 pub use deltaos_core::par::{ParConfig, WorkerPool};
+#[cfg(unix)]
+pub use evloop::{EvConfig, EvServer, FrontendStats};
 pub use proto::{
     ErrorCode, Event, EventResult, RejectReason, Request, Response, SessionId, ShardStats,
     WireError, MAX_BATCH, MAX_FRAME,
 };
-pub use session::Session;
+pub use session::{BatchTally, Session};
 pub use shard::{Client, Service, ServiceConfig, ServiceError};
 pub use tcp::{TcpClient, TcpServer};

@@ -321,53 +321,74 @@ fn error_code(e: ErrorCode) -> u8 {
 }
 
 /// Serializes a request payload (no length prefix).
+///
+/// Thin wrapper over [`encode_request_into`]; hot paths should hold a
+/// reusable buffer and call that directly.
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut out = Vec::new();
+    encode_request_into(req, &mut out);
+    out
+}
+
+/// Serializes a request payload (no length prefix), **appending** to
+/// `out`. The buffer is deliberately not cleared: callers reuse one
+/// allocation across frames (clearing between them) or append several
+/// frames back to back (the event-loop front-end's coalesced writes).
+pub fn encode_request_into(req: &Request, out: &mut Vec<u8>) {
     match req {
         Request::Open {
             resources,
             processes,
         } => {
             out.push(0x01);
-            put_u16(&mut out, *resources);
-            put_u16(&mut out, *processes);
+            put_u16(out, *resources);
+            put_u16(out, *processes);
         }
         Request::Batch { session, events } => {
             out.push(0x02);
-            put_u64(&mut out, session.0);
-            put_u32(&mut out, events.len() as u32);
+            put_u64(out, session.0);
+            put_u32(out, events.len() as u32);
             for ev in events {
-                put_event(&mut out, ev);
+                put_event(out, ev);
             }
         }
         Request::Close { session } => {
             out.push(0x03);
-            put_u64(&mut out, session.0);
+            put_u64(out, session.0);
         }
         Request::Stats => out.push(0x04),
     }
-    out
 }
 
 /// Serializes a response payload (no length prefix).
+///
+/// Thin wrapper over [`encode_response_into`]; hot paths should hold a
+/// reusable buffer and call that directly.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut out = Vec::new();
+    encode_response_into(resp, &mut out);
+    out
+}
+
+/// Serializes a response payload (no length prefix), **appending** to
+/// `out` (see [`encode_request_into`] for the append rationale).
+pub fn encode_response_into(resp: &Response, out: &mut Vec<u8>) {
     match resp {
         Response::Opened(id) => {
             out.push(0x81);
-            put_u64(&mut out, id.0);
+            put_u64(out, id.0);
         }
         Response::Batch(results) => {
             out.push(0x82);
-            put_u32(&mut out, results.len() as u32);
+            put_u32(out, results.len() as u32);
             for r in results {
                 match r {
                     EventResult::Ack => out.push(0x20),
                     EventResult::Outcome(o) => {
                         out.push(0x21);
                         out.push(u8::from(o.deadlock));
-                        put_u32(&mut out, o.iterations);
-                        put_u32(&mut out, o.steps);
+                        put_u32(out, o.iterations);
+                        put_u32(out, o.steps);
                     }
                     EventResult::Rejected(reason) => {
                         out.push(0x22);
@@ -380,13 +401,13 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Busy => out.push(0x84),
         Response::Stats(shards) => {
             out.push(0x85);
-            put_u16(&mut out, shards.len() as u16);
+            put_u16(out, shards.len() as u16);
             for s in shards {
-                put_u16(&mut out, s.shard);
-                put_u64(&mut out, s.events);
-                put_u64(&mut out, s.probes);
-                put_u64(&mut out, s.cache_hits);
-                put_u64(&mut out, s.max_queue_depth);
+                put_u16(out, s.shard);
+                put_u64(out, s.events);
+                put_u64(out, s.probes);
+                put_u64(out, s.cache_hits);
+                put_u64(out, s.max_queue_depth);
             }
         }
         Response::Error(code) => {
@@ -394,7 +415,6 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.push(error_code(*code));
         }
     }
-    out
 }
 
 // ---------------------------------------------------------------------
@@ -643,12 +663,28 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> 
 
 /// Reads one length-prefixed frame, returning the payload.
 ///
+/// Thin wrapper over [`read_frame_into`]; hot paths should hold a
+/// reusable buffer and call that directly.
+///
 /// # Errors
 ///
 /// [`WireError::Closed`] on clean end-of-stream before the prefix;
 /// [`WireError::Truncated`] if the stream ends mid-frame;
 /// [`WireError::Oversized`] if the prefix exceeds [`MAX_FRAME`].
 pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut payload = Vec::new();
+    read_frame_into(r, &mut payload)?;
+    Ok(payload)
+}
+
+/// Reads one length-prefixed frame into a caller-supplied reusable
+/// buffer, which is cleared and resized to the payload length —
+/// steady-state framing without a per-frame allocation.
+///
+/// # Errors
+///
+/// As for [`read_frame`].
+pub fn read_frame_into(r: &mut impl Read, payload: &mut Vec<u8>) -> Result<(), WireError> {
     let mut prefix = [0u8; 4];
     let mut got = 0usize;
     while got < 4 {
@@ -669,15 +705,16 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
     if len > MAX_FRAME {
         return Err(WireError::Oversized { len: len as u64 });
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload).map_err(|e| {
+    payload.clear();
+    payload.resize(len, 0);
+    r.read_exact(payload).map_err(|e| {
         if e.kind() == io::ErrorKind::UnexpectedEof {
             WireError::Truncated
         } else {
             WireError::Io(e)
         }
     })?;
-    Ok(payload)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -797,6 +834,34 @@ mod tests {
             Err(WireError::Oversized { .. })
         ));
         assert!(sink.is_empty(), "oversized frame must not be half-written");
+    }
+
+    #[test]
+    fn into_encoders_append_and_match_the_wrappers() {
+        let req = Request::Batch {
+            session: SessionId(3),
+            events: vec![Event::Probe],
+        };
+        let resp = Response::Busy;
+        // Appending both messages to one buffer concatenates their
+        // standalone encodings — the coalesced-write contract.
+        let mut buf = Vec::new();
+        encode_request_into(&req, &mut buf);
+        let split = buf.len();
+        encode_response_into(&resp, &mut buf);
+        assert_eq!(&buf[..split], encode_request(&req).as_slice());
+        assert_eq!(&buf[split..], encode_response(&resp).as_slice());
+
+        // A reused read buffer shrinks to each frame exactly.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_request(&req)).unwrap();
+        write_frame(&mut wire, &encode_response(&resp)).unwrap();
+        let mut stream: &[u8] = &wire;
+        let mut payload = vec![0xAA; 64];
+        read_frame_into(&mut stream, &mut payload).unwrap();
+        assert_eq!(decode_request(&payload).unwrap(), req);
+        read_frame_into(&mut stream, &mut payload).unwrap();
+        assert_eq!(decode_response(&payload).unwrap(), resp);
     }
 
     #[test]

@@ -23,6 +23,18 @@ pub struct Session {
     engine: DetectEngine,
 }
 
+/// Per-batch tallies from [`Session::apply_batch`], folded into the
+/// owning shard's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchTally {
+    /// Events applied (all of them — the batch length).
+    pub events: u64,
+    /// `Probe` + `WouldDeadlock` events.
+    pub probes: u64,
+    /// Events refused with [`EventResult::Rejected`].
+    pub rejected: u64,
+}
+
 impl Session {
     /// Creates an empty `resources` × `processes` session.
     ///
@@ -62,6 +74,28 @@ impl Session {
     /// The session engine's operation counters.
     pub fn engine_stats(&self) -> EngineStats {
         self.engine.stats()
+    }
+
+    /// Applies a whole batch in submission order, appending one result
+    /// per event to `out` and returning the tallies. This is the single
+    /// ingestion path shared by the shard workers and the replay checks
+    /// (the e2e tests feed a connection's event log through a fresh
+    /// session via this method and demand bit-identical results).
+    pub fn apply_batch(&mut self, events: &[Event], out: &mut Vec<EventResult>) -> BatchTally {
+        let mut tally = BatchTally::default();
+        out.reserve(events.len());
+        for &ev in events {
+            tally.events += 1;
+            if matches!(ev, Event::Probe | Event::WouldDeadlock { .. }) {
+                tally.probes += 1;
+            }
+            let r = self.apply(ev);
+            if matches!(r, EventResult::Rejected(_)) {
+                tally.rejected += 1;
+            }
+            out.push(r);
+        }
+        tally
     }
 
     /// Applies one event, returning its result. Edits that violate the
@@ -197,6 +231,32 @@ mod tests {
             EventResult::Rejected(RejectReason::UnknownId)
         );
         assert_eq!(s.rag().owner(q(0)), Some(p(0)));
+    }
+
+    #[test]
+    fn apply_batch_matches_event_by_event_application_and_tallies() {
+        let events = vec![
+            Event::Grant { q: q(0), p: p(0) },
+            Event::Grant { q: q(0), p: p(1) }, // rejected: busy
+            Event::Request { p: p(1), q: q(0) },
+            Event::Probe,
+            Event::WouldDeadlock { p: p(0), q: q(1) },
+        ];
+        let mut batched = Session::new(2, 2);
+        let mut got = Vec::new();
+        let tally = batched.apply_batch(&events, &mut got);
+        let mut single = Session::new(2, 2);
+        let expect: Vec<EventResult> = events.iter().map(|&ev| single.apply(ev)).collect();
+        assert_eq!(got, expect);
+        assert_eq!(
+            tally,
+            BatchTally {
+                events: 5,
+                probes: 2,
+                rejected: 1
+            }
+        );
+        assert_eq!(batched.rag(), single.rag());
     }
 
     #[test]

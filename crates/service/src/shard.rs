@@ -53,6 +53,11 @@ pub struct ServiceConfig {
     /// (total threads stay `shards × par.threads`); the default keeps
     /// every reduction serial. Results are bit-identical either way.
     pub par: ParConfig,
+    /// Round-robin CPU-affinity hint: when set, shard worker `k` pins
+    /// itself to CPU `k * par.threads` and its pool workers to the CPUs
+    /// after it, modulo [`deltaos_core::par::host_cpus`]. A placement
+    /// hint only — results are identical whether or not pins take.
+    pub pin_cpus: bool,
 }
 
 impl Default for ServiceConfig {
@@ -64,6 +69,24 @@ impl Default for ServiceConfig {
             max_batch: crate::proto::MAX_BATCH,
             max_dim: 4096,
             par: ParConfig::default(),
+            pin_cpus: false,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Auto-sizes the worker topology from
+    /// [`std::thread::available_parallelism`]: one shard per CPU up to
+    /// 8, and per-shard reduction pools splitting whatever CPUs remain
+    /// (via [`ParConfig::auto_for_shards`], so `shards × par.threads`
+    /// never oversubscribes the host). Everything else keeps the
+    /// defaults; sizing is a deployment decision, determinism is not.
+    pub fn auto_sized() -> ServiceConfig {
+        let shards = deltaos_core::par::host_cpus().clamp(1, 8);
+        ServiceConfig {
+            shards,
+            par: ParConfig::auto_for_shards(shards),
+            ..ServiceConfig::default()
         }
     }
 }
@@ -299,6 +322,25 @@ impl Client {
     /// [`ServiceError::TooManySessions`] when the shard is full,
     /// [`ServiceError::Busy`] under backpressure.
     pub fn open(&self, resources: u16, processes: u16) -> Result<SessionId, ServiceError> {
+        let rx = self.open_async(resources, processes)?;
+        rx.recv().map_err(|_| ServiceError::Shutdown)?
+    }
+
+    /// Submits an open without waiting; the returned channel yields the
+    /// new session id once the owning shard admitted it. Admission
+    /// checks that need no shard state (dimension caps) still fail
+    /// synchronously. This is what lets the event-loop front-end serve
+    /// opens without ever blocking a loop thread on a shard.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::open`], minus the deferred
+    /// [`ServiceError::TooManySessions`] which arrives on the channel.
+    pub fn open_async(
+        &self,
+        resources: u16,
+        processes: u16,
+    ) -> Result<Receiver<Result<SessionId, ServiceError>>, ServiceError> {
         let cap = self.shared.config.max_dim;
         if resources == 0 || processes == 0 || resources > cap || processes > cap {
             return Err(ServiceError::BadDimensions);
@@ -314,7 +356,7 @@ impl Client {
                 reply,
             },
         )?;
-        rx.recv().map_err(|_| ServiceError::Shutdown)?
+        Ok(rx)
     }
 
     /// Applies a batch, blocking for the per-event results.
@@ -367,9 +409,24 @@ impl Client {
     ///
     /// [`ServiceError::UnknownSession`] if it does not exist.
     pub fn close(&self, session: SessionId) -> Result<(), ServiceError> {
+        let rx = self.close_async(session)?;
+        rx.recv().map_err(|_| ServiceError::Shutdown)?
+    }
+
+    /// Submits a close without waiting; the returned channel yields the
+    /// result once the owning shard tore the session down.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Busy`] / [`ServiceError::Shutdown`] from the
+    /// enqueue; [`ServiceError::UnknownSession`] arrives on the channel.
+    pub fn close_async(
+        &self,
+        session: SessionId,
+    ) -> Result<Receiver<Result<(), ServiceError>>, ServiceError> {
         let (reply, rx) = mpsc::channel();
         self.enqueue(self.shard_of(session), Job::Close { session, reply })?;
-        rx.recv().map_err(|_| ServiceError::Shutdown)?
+        Ok(rx)
     }
 
     /// Snapshot of every shard's counters (index = shard id).
@@ -379,16 +436,30 @@ impl Client {
     /// [`ServiceError::Busy`] / [`ServiceError::Shutdown`] as for any
     /// submission.
     pub fn stats(&self) -> Result<Vec<Stats>, ServiceError> {
+        self.stats_async()?
+            .into_iter()
+            .map(|rx| rx.recv().map_err(|_| ServiceError::Shutdown))
+            .collect()
+    }
+
+    /// Submits a stats snapshot to every shard without waiting; the
+    /// returned receivers (index = shard id) each yield that shard's
+    /// counters. If a later shard's queue is full the earlier shards
+    /// still process their (side-effect-free) snapshot jobs; the replies
+    /// are simply dropped with the receivers.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Busy`] / [`ServiceError::Shutdown`] as for any
+    /// submission.
+    pub fn stats_async(&self) -> Result<Vec<Receiver<Stats>>, ServiceError> {
         let mut receivers = Vec::with_capacity(self.shared.config.shards);
         for shard in 0..self.shared.config.shards {
             let (reply, rx) = mpsc::channel();
             self.enqueue(shard, Job::Stats { reply })?;
             receivers.push(rx);
         }
-        receivers
-            .into_iter()
-            .map(|rx| rx.recv().map_err(|_| ServiceError::Shutdown))
-            .collect()
+        Ok(receivers)
     }
 
     /// Merged counters across all shards.
@@ -428,10 +499,21 @@ fn run_worker(
 ) -> Stats {
     let mut sessions: HashMap<u64, Session> = HashMap::new();
     let mut counters = WorkerCounters::default();
+    // Round-robin affinity hint: shard k and its pool workers occupy the
+    // contiguous CPU stripe starting at k * par.threads (mod host CPUs).
+    let first_cpu = shard_id * config.par.threads.max(1);
+    if config.pin_cpus {
+        deltaos_core::par::pin_current_thread(first_cpu);
+    }
     // One reduction pool per shard worker, shared by every session housed
     // here — opening a thousand sessions must not spawn a thousand pools.
-    let pool: Option<Arc<WorkerPool>> =
-        (config.par.threads > 1).then(|| Arc::new(WorkerPool::new(config.par.threads)));
+    let pool: Option<Arc<WorkerPool>> = (config.par.threads > 1).then(|| {
+        Arc::new(if config.pin_cpus {
+            WorkerPool::new_pinned(config.par.threads, first_cpu)
+        } else {
+            WorkerPool::new(config.par.threads)
+        })
+    });
     // `recv` until the drain marker (or every sender dropped): accepted
     // work is always fully processed before the worker exits.
     while let Ok(job) = rx.recv() {
@@ -463,18 +545,11 @@ fn run_worker(
                     None => Err(ServiceError::UnknownSession),
                     Some(sess) => {
                         counters.batches += 1;
-                        let mut results = Vec::with_capacity(events.len());
-                        for ev in events {
-                            counters.events += 1;
-                            if matches!(ev, Event::Probe | Event::WouldDeadlock { .. }) {
-                                counters.probes += 1;
-                            }
-                            let r = sess.apply(ev);
-                            if matches!(r, EventResult::Rejected(_)) {
-                                counters.rejected += 1;
-                            }
-                            results.push(r);
-                        }
+                        let mut results = Vec::new();
+                        let tally = sess.apply_batch(&events, &mut results);
+                        counters.events += tally.events;
+                        counters.probes += tally.probes;
+                        counters.rejected += tally.rejected;
                         Ok(results)
                     }
                 };
@@ -554,7 +629,33 @@ mod tests {
             max_batch: 16,
             max_dim: 64,
             par: ParConfig::default(),
+            pin_cpus: false,
         }
+    }
+
+    #[test]
+    fn auto_sized_respects_the_host() {
+        let cfg = ServiceConfig::auto_sized();
+        assert!((1..=8).contains(&cfg.shards));
+        let total = cfg.shards * cfg.par.threads;
+        assert!(
+            cfg.par.threads == 1 || total <= deltaos_core::par::host_cpus(),
+            "{} shards x {} pool threads oversubscribes",
+            cfg.shards,
+            cfg.par.threads
+        );
+        // A pinned service behaves like an unpinned one.
+        let service = Service::start(ServiceConfig {
+            pin_cpus: true,
+            ..small()
+        });
+        let client = service.client();
+        let sid = client.open(2, 2).unwrap();
+        assert!(matches!(
+            client.batch(sid, vec![Event::Probe]).unwrap()[0],
+            EventResult::Outcome(_)
+        ));
+        service.shutdown();
     }
 
     #[test]

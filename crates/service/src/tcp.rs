@@ -13,9 +13,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use deltaos_sim::Stats;
+
 use crate::proto::{
-    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    ErrorCode, Request, Response, ShardStats, WireError,
+    decode_request, decode_response, encode_request_into, encode_response_into, read_frame_into,
+    write_frame, ErrorCode, Request, Response, ShardStats, WireError,
 };
 use crate::shard::{Client, ServiceError};
 
@@ -92,6 +94,21 @@ impl Drop for TcpServer {
     }
 }
 
+/// Maps per-shard [`Stats`] snapshots to the wire's [`ShardStats`] rows.
+/// Shared by the blocking server and the event-loop front-end.
+pub(crate) fn stats_rows(per_shard: &[Stats]) -> Vec<ShardStats> {
+    per_shard
+        .iter()
+        .map(|s| ShardStats {
+            shard: s.counter("service.shard_id") as u16,
+            events: s.counter("service.events"),
+            probes: s.counter("service.probes"),
+            cache_hits: s.counter("service.cache_hits"),
+            max_queue_depth: s.counter("service.queue_depth_max"),
+        })
+        .collect()
+}
+
 fn service_response(client: &Client, req: Request) -> Response {
     match req {
         Request::Open {
@@ -113,18 +130,7 @@ fn service_response(client: &Client, req: Request) -> Response {
             Err(e) => Response::Error(e.into()),
         },
         Request::Stats => match client.stats() {
-            Ok(per_shard) => Response::Stats(
-                per_shard
-                    .iter()
-                    .map(|s| ShardStats {
-                        shard: s.counter("service.shard_id") as u16,
-                        events: s.counter("service.events"),
-                        probes: s.counter("service.probes"),
-                        cache_hits: s.counter("service.cache_hits"),
-                        max_queue_depth: s.counter("service.queue_depth_max"),
-                    })
-                    .collect(),
-            ),
+            Ok(per_shard) => Response::Stats(stats_rows(&per_shard)),
             Err(ServiceError::Busy) => Response::Busy,
             Err(e) => Response::Error(e.into()),
         },
@@ -132,35 +138,53 @@ fn service_response(client: &Client, req: Request) -> Response {
 }
 
 /// Serves one connection until the peer closes or the stream breaks.
+/// The frame payload and response encoding reuse two scratch buffers
+/// across the whole connection — zero steady-state allocation in the
+/// framing layer (the decoded `Request` still owns its events).
 fn serve_conn(stream: TcpStream, client: &Client) -> Result<(), WireError> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+    let mut payload = Vec::new();
+    let mut out = Vec::new();
     loop {
-        let payload = match read_frame(&mut reader) {
-            Ok(p) => p,
+        match read_frame_into(&mut reader, &mut payload) {
+            Ok(()) => {}
             Err(WireError::Closed) => return Ok(()),
             // Framing is lost: the next bytes cannot be trusted to be a
             // length prefix, so drop the connection.
             Err(e) => return Err(e),
-        };
+        }
         let response = match decode_request(&payload) {
             Ok(req) => service_response(client, req),
             // Frame boundaries are intact; answer in-band and keep going.
             Err(_) => Response::Error(ErrorCode::BadRequest),
         };
-        write_frame(&mut writer, &encode_response(&response))?;
+        out.clear();
+        encode_response_into(&response, &mut out);
+        write_frame(&mut writer, &out)?;
     }
 }
 
 /// Blocking TCP client speaking the service wire protocol.
+///
+/// [`TcpClient::call`] is the strict request/response path;
+/// [`TcpClient::send`] / [`TcpClient::recv`] split it so a caller can
+/// **pipeline** — write several requests before reading the replies,
+/// which arrive in submission order. Both the event-loop and the
+/// thread-per-connection servers preserve that order, so the k-th
+/// response always answers the k-th request.
 #[derive(Debug)]
 pub struct TcpClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Reusable encode scratch — no allocation per sent frame.
+    wscratch: Vec<u8>,
+    /// Reusable frame-payload scratch — no allocation per received frame.
+    rscratch: Vec<u8>,
 }
 
 impl TcpClient {
-    /// Connects to a [`TcpServer`].
+    /// Connects to a server speaking the service wire protocol.
     ///
     /// # Errors
     ///
@@ -171,6 +195,8 @@ impl TcpClient {
         Ok(TcpClient {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            wscratch: Vec::new(),
+            rscratch: Vec::new(),
         })
     }
 
@@ -180,8 +206,30 @@ impl TcpClient {
     ///
     /// Any [`WireError`] from framing, transport or decoding.
     pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
-        write_frame(&mut self.writer, &encode_request(req))?;
-        let payload = read_frame(&mut self.reader)?;
-        decode_response(&payload)
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Writes (and flushes) one request frame without waiting for the
+    /// response; pair with [`TcpClient::recv`], one recv per send, in
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] from framing or transport.
+    pub fn send(&mut self, req: &Request) -> Result<(), WireError> {
+        self.wscratch.clear();
+        encode_request_into(req, &mut self.wscratch);
+        write_frame(&mut self.writer, &self.wscratch)
+    }
+
+    /// Blocks for the next response frame.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] from framing, transport or decoding.
+    pub fn recv(&mut self) -> Result<Response, WireError> {
+        read_frame_into(&mut self.reader, &mut self.rscratch)?;
+        decode_response(&self.rscratch)
     }
 }
