@@ -1,0 +1,412 @@
+//! Durability cost and recovery speed of the `deltaos-store` subsystem.
+//!
+//! Three questions, answered against the same multi-client drive the
+//! service stress bench uses:
+//!
+//! 1. **What does the WAL cost?** Aggregate throughput with durability
+//!    off versus on under each [`FsyncPolicy`] (`Os`, group-commit
+//!    `EveryN(32)`, `Always`). The acceptance gate requires group commit
+//!    to keep ≥ 50% of the WAL-off throughput — armed only on hosts
+//!    with ≥ 4 CPUs (below that the ratio is recorded but not enforced,
+//!    since client threads and shard workers fight for cores).
+//! 2. **How fast is recovery?** Cold-start time and replayed-record
+//!    counts for the same workload at different checkpoint intervals —
+//!    from "pure WAL replay" down to tight compaction.
+//! 3. **Is recovery exact?** Every restart is checked bit-identical:
+//!    the recovered service's deterministic counters must equal the
+//!    final counters the live run reported at shutdown.
+//!
+//! Full mode writes `BENCH_persist.json` at the repository root;
+//! `--smoke` runs a miniature (debug builds allowed, no JSON, no gate).
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use deltaos_core::{ProcId, ResId};
+use deltaos_service::{DurabilityConfig, Event, FsyncPolicy, Service, ServiceConfig, ServiceError};
+use deltaos_sim::Stats;
+use rand::{Rng, SeedableRng, StdRng};
+
+struct Drive {
+    shards: usize,
+    sessions: usize,
+    clients: usize,
+    dims: u16,
+    rounds: usize,
+    edits_per_round: usize,
+}
+
+const FULL: Drive = Drive {
+    shards: 4,
+    sessions: 32,
+    clients: 4,
+    dims: 32,
+    rounds: 60,
+    edits_per_round: 15,
+};
+
+const SMOKE: Drive = Drive {
+    shards: 2,
+    sessions: 4,
+    clients: 2,
+    dims: 8,
+    rounds: 4,
+    edits_per_round: 5,
+};
+
+/// The counters a deterministic replay must reproduce exactly
+/// (timing-dependent ones — queue depth, store I/O tallies — excluded).
+const DETERMINISTIC_KEYS: &[&str] = &[
+    "service.events",
+    "service.batches",
+    "service.probes",
+    "service.rejected_events",
+    "service.cache_hits",
+    "service.reductions",
+    "service.sessions_opened",
+    "service.sessions_closed",
+    "service.sessions_open",
+];
+
+fn deterministic(stats: &Stats) -> Vec<u64> {
+    DETERMINISTIC_KEYS
+        .iter()
+        .map(|k| stats.counter(k))
+        .collect()
+}
+
+fn random_event(rng: &mut StdRng, dims: u16) -> Event {
+    let p = ProcId(rng.gen_range(0..dims));
+    let q = ResId(rng.gen_range(0..dims));
+    match rng.gen_range(0..8u32) {
+        0..=2 => Event::Request { p, q },
+        3 | 4 => Event::Grant { q, p },
+        5 => Event::Release { q, p },
+        6 => Event::Probe,
+        _ => Event::WouldDeadlock { p, q },
+    }
+}
+
+/// Drives the workload through `clients` threads; returns wall seconds.
+fn drive_clients(service: &Service, drive: &Drive) -> f64 {
+    assert_eq!(drive.sessions % drive.clients, 0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..drive.clients {
+            let client = service.client();
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x9E85 ^ t as u64);
+                let per_thread = drive.sessions / drive.clients;
+                let sids: Vec<_> = (0..per_thread)
+                    .map(|_| client.open(drive.dims, drive.dims).expect("open session"))
+                    .collect();
+                for _ in 0..drive.rounds {
+                    for &sid in &sids {
+                        let batch: Vec<Event> = (0..drive.edits_per_round)
+                            .map(|_| random_event(&mut rng, drive.dims))
+                            .collect();
+                        loop {
+                            match client.batch(sid, batch.clone()) {
+                                Ok(_) => break,
+                                Err(ServiceError::Busy) => std::thread::yield_now(),
+                                Err(e) => panic!("batch failed: {e}"),
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+struct RunOut {
+    events: u64,
+    elapsed_secs: f64,
+    wal_records: u64,
+    commits: u64,
+    fsyncs: u64,
+    /// Per-shard deterministic counter vectors at shutdown.
+    final_counters: Vec<Vec<u64>>,
+}
+
+impl RunOut {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.elapsed_secs
+    }
+}
+
+fn run(config: ServiceConfig, drive: &Drive) -> RunOut {
+    let service = Service::start(config);
+    let elapsed_secs = drive_clients(&service, drive);
+    let per_shard = service.shutdown();
+    let mut events = 0;
+    let mut wal_records = 0;
+    let mut commits = 0;
+    let mut fsyncs = 0;
+    for s in &per_shard {
+        events += s.counter("service.events");
+        wal_records += s.counter("store.wal_records");
+        commits += s.counter("store.commits");
+        fsyncs += s.counter("store.fsyncs");
+    }
+    RunOut {
+        events,
+        elapsed_secs,
+        wal_records,
+        commits,
+        fsyncs,
+        final_counters: per_shard.iter().map(deterministic).collect(),
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "deltaos-persist-bench-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(drive: &Drive, dir: &Path, fsync: FsyncPolicy, ckpt_every: u64) -> ServiceConfig {
+    ServiceConfig {
+        shards: drive.shards,
+        durability: Some(DurabilityConfig {
+            dir: dir.to_path_buf(),
+            fsync,
+            checkpoint_every_records: ckpt_every,
+            // Keep the WAL at shutdown so the recovery measurement
+            // actually replays it.
+            checkpoint_on_shutdown: false,
+        }),
+        ..ServiceConfig::default()
+    }
+}
+
+/// Restarts a service over `dir`, times the cold start, and asserts the
+/// recovered counters are bit-identical to the live run's final ones.
+struct Recovered {
+    recovery_secs: f64,
+    replayed_records: u64,
+    recovered_sessions: u64,
+}
+
+fn restart_and_verify(config: ServiceConfig, live: &RunOut) -> Recovered {
+    let t0 = Instant::now();
+    let service = Service::start(config);
+    let recovery_secs = t0.elapsed().as_secs_f64();
+    let replayed_records = service.recovery().iter().map(|r| r.replayed_records).sum();
+    let recovered_sessions = service.recovery().iter().map(|r| r.live_sessions).sum();
+    let per_shard = service.client().stats().expect("stats after recovery");
+    for (shard, stats) in per_shard.iter().enumerate() {
+        assert_eq!(
+            deterministic(stats),
+            live.final_counters[shard],
+            "shard {shard}: recovery is not bit-identical to the live run"
+        );
+    }
+    service.shutdown();
+    Recovered {
+        recovery_secs,
+        replayed_records,
+        recovered_sessions,
+    }
+}
+
+struct PolicyRow {
+    mode: &'static str,
+    out: RunOut,
+}
+
+fn policy_label(p: FsyncPolicy) -> &'static str {
+    match p {
+        FsyncPolicy::Os => "wal_os",
+        FsyncPolicy::EveryN(_) => "wal_group32",
+        FsyncPolicy::Always => "wal_always",
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let drive = if smoke { &SMOKE } else { &FULL };
+
+    if !smoke && cfg!(debug_assertions) {
+        eprintln!("persist_bench: debug build — rerun with --release (or use --smoke)");
+        std::process::exit(2);
+    }
+
+    println!("=== persist_bench: WAL cost + snapshot/restore recovery ===");
+
+    // --- 1. Throughput: WAL off, then each fsync policy. -------------
+    let baseline = run(
+        ServiceConfig {
+            shards: drive.shards,
+            ..ServiceConfig::default()
+        },
+        drive,
+    );
+    println!(
+        "wal_off: {} events in {:.3}s -> {:.0} events/sec",
+        baseline.events,
+        baseline.elapsed_secs,
+        baseline.events_per_sec()
+    );
+
+    let mut rows: Vec<PolicyRow> = Vec::new();
+    for policy in [
+        FsyncPolicy::Os,
+        FsyncPolicy::EveryN(32),
+        FsyncPolicy::Always,
+    ] {
+        let label = policy_label(policy);
+        let dir = fresh_dir(label);
+        let out = run(durable_config(drive, &dir, policy, u64::MAX), drive);
+        println!(
+            "{label}: {} events in {:.3}s -> {:.0} events/sec ({} records, {} commits, {} fsyncs)",
+            out.events,
+            out.elapsed_secs,
+            out.events_per_sec(),
+            out.wal_records,
+            out.commits,
+            out.fsyncs
+        );
+        // Determinism check rides along on every durable run.
+        let rec = restart_and_verify(durable_config(drive, &dir, policy, u64::MAX), &out);
+        println!(
+            "  recovery: {} records, {} sessions in {:.4}s (bit-identical)",
+            rec.replayed_records, rec.recovered_sessions, rec.recovery_secs
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        rows.push(PolicyRow { mode: label, out });
+    }
+
+    // --- 2. Recovery time vs checkpoint interval. --------------------
+    struct RecoveryRow {
+        checkpoint_every: u64,
+        wal_records_at_rest: u64,
+        rec: Recovered,
+    }
+    let mut sweep: Vec<RecoveryRow> = Vec::new();
+    let intervals = if smoke {
+        vec![u64::MAX, 16]
+    } else {
+        vec![u64::MAX, 256, 64]
+    };
+    for every in intervals {
+        let tag = if every == u64::MAX {
+            "ckpt-none".to_string()
+        } else {
+            format!("ckpt-{every}")
+        };
+        let dir = fresh_dir(&tag);
+        let out = run(
+            durable_config(drive, &dir, FsyncPolicy::EveryN(32), every),
+            drive,
+        );
+        let rec = restart_and_verify(
+            durable_config(drive, &dir, FsyncPolicy::EveryN(32), every),
+            &out,
+        );
+        println!(
+            "{tag}: replayed {} of {} records, {} sessions, recovery {:.4}s (bit-identical)",
+            rec.replayed_records, out.wal_records, rec.recovered_sessions, rec.recovery_secs
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        sweep.push(RecoveryRow {
+            checkpoint_every: every,
+            wal_records_at_rest: out.wal_records,
+            rec,
+        });
+    }
+
+    // --- 3. Acceptance. ----------------------------------------------
+    let group = rows
+        .iter()
+        .find(|r| r.mode == "wal_group32")
+        .expect("group-commit row");
+    let ratio = group.out.events_per_sec() / baseline.events_per_sec();
+    let host_cpus = deltaos_core::par::host_cpus();
+    let armed = host_cpus >= 4;
+    let pass = !armed || ratio >= 0.5;
+    println!(
+        "group-commit throughput ratio {ratio:.3} (gate: >= 0.5, {} on {host_cpus} CPUs)",
+        if armed { "armed" } else { "recorded only" }
+    );
+
+    if smoke {
+        assert!(baseline.events > 0 && group.out.wal_records > 0);
+        println!("smoke ok");
+        return;
+    }
+
+    // --- JSON emission. ----------------------------------------------
+    let throughput_rows: Vec<String> = std::iter::once(format!(
+        "    {{\"mode\": \"wal_off\", \"events\": {}, \"elapsed_secs\": {:.3}, \"events_per_sec\": {:.0}}}",
+        baseline.events,
+        baseline.elapsed_secs,
+        baseline.events_per_sec()
+    ))
+    .chain(rows.iter().map(|r| {
+        format!(
+            "    {{\"mode\": \"{}\", \"events\": {}, \"elapsed_secs\": {:.3}, \"events_per_sec\": {:.0}, \"wal_records\": {}, \"commits\": {}, \"fsyncs\": {}}}",
+            r.mode,
+            r.out.events,
+            r.out.elapsed_secs,
+            r.out.events_per_sec(),
+            r.out.wal_records,
+            r.out.commits,
+            r.out.fsyncs
+        )
+    }))
+    .collect();
+    let recovery_rows: Vec<String> = sweep
+        .iter()
+        .map(|row| {
+            let every = if row.checkpoint_every == u64::MAX {
+                "null".to_string()
+            } else {
+                row.checkpoint_every.to_string()
+            };
+            format!(
+                "    {{\"checkpoint_every_records\": {every}, \"wal_records_at_rest\": {}, \"replayed_records\": {}, \"recovered_sessions\": {}, \"recovery_secs\": {:.6}, \"bit_identical\": true}}",
+                row.wal_records_at_rest,
+                row.rec.replayed_records,
+                row.rec.recovered_sessions,
+                row.rec.recovery_secs
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"persist_bench\",\n",
+            "  \"config\": {{\"shards\": {}, \"sessions\": {}, \"clients\": {}, ",
+            "\"dims\": {}, \"rounds\": {}, \"edits_per_round\": {}}},\n",
+            "  \"throughput\": [\n{}\n  ],\n",
+            "  \"recovery\": [\n{}\n  ],\n",
+            "  \"acceptance\": {{\"ratio_group32_vs_off\": {:.3}, \"required_ratio\": 0.5, ",
+            "\"gate_requires_cpus\": 4, \"host_cpus\": {}, \"armed\": {}, \"pass\": {}}}\n",
+            "}}\n"
+        ),
+        drive.shards,
+        drive.sessions,
+        drive.clients,
+        drive.dims,
+        drive.rounds,
+        drive.edits_per_round,
+        throughput_rows.join(",\n"),
+        recovery_rows.join(",\n"),
+        ratio,
+        host_cpus,
+        armed,
+        pass
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_persist.json");
+    std::fs::write(path, &json).expect("write BENCH_persist.json");
+    println!("wrote {path}");
+    assert!(
+        pass,
+        "group-commit throughput ratio {ratio:.3} below the 0.5 acceptance floor"
+    );
+}

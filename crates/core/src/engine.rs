@@ -697,6 +697,43 @@ impl DetectEngine {
         self.sync_rag(rag);
         self.detect_current()
     }
+
+    /// The cached [`DetectOutcome`] **for `rag`'s current state**, if the
+    /// result cache holds one: the last probe ran against this exact
+    /// `(id, epoch)` and nothing mutated since. This is the snapshot
+    /// export hook — persisting the outcome alongside the graph lets a
+    /// restored engine answer its first unchanged probe from cache, so
+    /// `cache_hits`/`reductions` counters replay bit-identically across
+    /// a crash/restore boundary.
+    pub fn cached_outcome_for(&self, rag: &Rag) -> Option<DetectOutcome> {
+        let current = Version::Rag {
+            id: rag.id(),
+            epoch: rag.epoch(),
+        };
+        match self.cache {
+            Some((version, outcome)) if version == current => Some(outcome),
+            _ => None,
+        }
+    }
+
+    /// Restore hook: rebuilds the mirror from `rag`, overwrites the
+    /// operation counters with `stats` (the values captured at snapshot
+    /// time), and — when `cached` is given — primes the result cache so
+    /// the next probe against an unchanged `rag` is a cache hit, exactly
+    /// as it would have been in the uninterrupted run.
+    ///
+    /// The rebuild performed here is *not* counted in the restored
+    /// stats: counters land exactly on the snapshot's values, because
+    /// the uninterrupted run never paid for a restore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the RAG does not fit the engine's dimensions.
+    pub fn restore(&mut self, rag: &Rag, stats: EngineStats, cached: Option<DetectOutcome>) {
+        self.sync_rag(rag);
+        self.stats = stats;
+        self.cache = cached.map(|outcome| (self.version, outcome));
+    }
 }
 
 #[cfg(test)]
@@ -833,6 +870,62 @@ mod tests {
     #[should_panic(expected = "does not fit")]
     fn oversized_rag_rejected() {
         DetectEngine::new(2, 2).probe(&Rag::new(3, 3));
+    }
+
+    #[test]
+    fn cached_outcome_export_tracks_the_rag_state() {
+        let mut rag = cycle_rag();
+        let mut engine = DetectEngine::new(2, 2);
+        assert_eq!(engine.cached_outcome_for(&rag), None, "no probe yet");
+        let out = engine.probe(&rag);
+        assert_eq!(engine.cached_outcome_for(&rag), Some(out));
+        rag.remove_request(p(1), q(0));
+        assert_eq!(
+            engine.cached_outcome_for(&rag),
+            None,
+            "mutation invalidates the exported cache"
+        );
+    }
+
+    #[test]
+    fn restore_primes_stats_and_cache() {
+        // Run an "uninterrupted" engine: probe, edit, probe, probe.
+        let mut rag = cycle_rag();
+        let mut live = DetectEngine::new(2, 2);
+        live.probe(&rag);
+        rag.remove_request(p(1), q(0));
+        let out = live.probe(&rag);
+        live.probe(&rag); // cache hit in the live engine
+
+        // Snapshot after the second probe, restore into a fresh engine
+        // backed by a freshly rebuilt RAG (new id, epoch 0), then repeat
+        // the trailing probe: counters must land where the live engine's
+        // did.
+        let mut snap_stats = live.stats();
+        snap_stats.cache_hits -= 1; // state as of the snapshot point
+        snap_stats.probes -= 1;
+        let mut restored_rag = Rag::new(2, 2);
+        restored_rag.add_grant(q(0), p(0)).unwrap();
+        restored_rag.add_grant(q(1), p(1)).unwrap();
+        restored_rag.add_request(p(0), q(1)).unwrap();
+        let mut restored = DetectEngine::new(2, 2);
+        restored.restore(&restored_rag, snap_stats, Some(out));
+        assert_eq!(restored.probe(&restored_rag), out, "first probe hits cache");
+        assert_eq!(restored.stats().cache_hits, live.stats().cache_hits);
+        assert_eq!(restored.stats().probes, live.stats().probes);
+        assert_eq!(restored.stats().reductions, live.stats().reductions);
+    }
+
+    #[test]
+    fn restore_without_cached_outcome_reduces_on_first_probe() {
+        let rag = cycle_rag();
+        let mut engine = DetectEngine::new(2, 2);
+        engine.restore(&rag, EngineStats::default(), None);
+        let out = engine.probe(&rag);
+        assert!(out.deadlock);
+        assert_eq!(engine.stats().cache_hits, 0);
+        assert_eq!(engine.stats().reductions, 1);
+        assert_eq!(out, detect_cold(&rag));
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Durability glue between the shard workers and `deltaos-store`.
+//!
+//! With a [`DurabilityConfig`] set on
+//! [`ServiceConfig`](crate::ServiceConfig), every shard worker owns a
+//! [`ShardStore`]: state-mutating jobs (`Open`/`Batch`/`Close`/
+//! `Restore`) are appended to the shard's WAL and committed **before**
+//! they are applied or replied to — write-ahead in the literal sense, so
+//! anything a client saw acknowledged is re-creatable. On startup the
+//! worker loads its latest checkpoint, replays the surviving WAL suffix
+//! through the exact same [`Session::apply_batch`] path the live service
+//! uses, and then serves — which is why recovered sessions are
+//! *bit-identical* to an uninterrupted run: same code, same order, same
+//! counters.
+//!
+//! Probe-only batches are logged too. Probes mutate no RAG edges, but
+//! they advance engine counters (`probes`, `cache_hits`, `reductions`)
+//! that the service reports through `sim::Stats`; skipping them would
+//! make recovery observably different.
+//!
+//! Durability I/O failures panic the shard worker. The alternative —
+//! acknowledging work that was not logged — silently breaks the
+//! recovery contract; fail-stop is the honest behavior for a WAL.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use deltaos_core::par::{ParConfig, WorkerPool};
+use deltaos_store::wal::WalEvent;
+use deltaos_store::{
+    FsyncPolicy, SessionSnapshot, ShardCheckpoint, ShardCounters, ShardStore, WalOp,
+};
+
+use crate::proto::Event;
+use crate::session::Session;
+
+/// Durability settings carried in
+/// [`ServiceConfig`](crate::ServiceConfig). Absent (`None`), the service
+/// runs memory-only exactly as before — the store is default-off.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Store directory (created if missing). Holds `store.meta`, one
+    /// `wal-<shard>.log` and one `checkpoint-<shard>.snap` per shard.
+    pub dir: PathBuf,
+    /// When the WAL fsyncs relative to commits.
+    pub fsync: FsyncPolicy,
+    /// Write a checkpoint (and truncate the WAL) after this many logged
+    /// records per shard. Bounds both disk growth and recovery time.
+    pub checkpoint_every_records: u64,
+    /// Write a final checkpoint during graceful shutdown, so the next
+    /// start recovers from the checkpoint alone with an empty WAL.
+    pub checkpoint_on_shutdown: bool,
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `dir` with the balanced defaults: group
+    /// commit every 32 commits, checkpoint every 4096 records, final
+    /// checkpoint on shutdown.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::EveryN(32),
+            checkpoint_every_records: 4096,
+            checkpoint_on_shutdown: true,
+        }
+    }
+}
+
+/// What one shard recovered at startup, surfaced through
+/// [`Service::recovery`](crate::Service::recovery) and as `store.*`
+/// counters in shard stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Shard index.
+    pub shard: usize,
+    /// Sessions restored from the checkpoint.
+    pub checkpoint_sessions: u64,
+    /// WAL records replayed after the checkpoint.
+    pub replayed_records: u64,
+    /// Torn-tail bytes truncated from the WAL.
+    pub torn_bytes: u64,
+    /// Highest recovered WAL sequence number.
+    pub last_seq: u64,
+    /// Lowest session id this shard has never used (0 when it never
+    /// opened one) — the service seeds its id allocator at the maximum
+    /// across shards so live ids are never reissued.
+    pub next_session: u64,
+    /// Sessions live after recovery.
+    pub live_sessions: u64,
+}
+
+pub(crate) fn wal_event(ev: &Event) -> WalEvent {
+    match *ev {
+        Event::Request { p, q } => WalEvent::Request { p, q },
+        Event::Grant { q, p } => WalEvent::Grant { q, p },
+        Event::Release { q, p } => WalEvent::Release { q, p },
+        Event::Probe => WalEvent::Probe,
+        Event::WouldDeadlock { p, q } => WalEvent::WouldDeadlock { p, q },
+    }
+}
+
+pub(crate) fn proto_event(ev: &WalEvent) -> Event {
+    match *ev {
+        WalEvent::Request { p, q } => Event::Request { p, q },
+        WalEvent::Grant { q, p } => Event::Grant { q, p },
+        WalEvent::Release { q, p } => Event::Release { q, p },
+        WalEvent::Probe => Event::Probe,
+        WalEvent::WouldDeadlock { p, q } => Event::WouldDeadlock { p, q },
+    }
+}
+
+/// One shard worker's persistence handle: the open [`ShardStore`] plus
+/// the knobs and recovery info the worker needs at serve time.
+pub(crate) struct ShardPersist {
+    pub store: ShardStore,
+    pub checkpoint_every: u64,
+    pub checkpoint_on_shutdown: bool,
+    pub info: RecoveryInfo,
+}
+
+impl ShardPersist {
+    /// Appends `op` and commits it per the fsync policy. Called before
+    /// the op is applied; a failure here panics (fail-stop, see module
+    /// docs).
+    pub fn log(&mut self, op: &WalOp) {
+        self.store.append(op);
+        self.store
+            .commit()
+            .unwrap_or_else(|e| panic!("WAL commit failed: {e}"));
+    }
+
+    /// Writes a checkpoint if `checkpoint_every` records accumulated
+    /// since the last one (`force` skips the threshold — shutdown path).
+    pub fn maybe_checkpoint(
+        &mut self,
+        shard: usize,
+        counters: ShardCounters,
+        next_session: u64,
+        sessions: &HashMap<u64, Session>,
+        force: bool,
+    ) {
+        if !force && self.store.records_since_checkpoint() < self.checkpoint_every {
+            return;
+        }
+        let mut snaps: Vec<SessionSnapshot> = sessions
+            .iter()
+            .map(|(&id, sess)| sess.snapshot(id))
+            .collect();
+        // HashMap iteration order is arbitrary; checkpoint bytes should
+        // not be.
+        snaps.sort_by_key(|s| s.session);
+        let ckpt = ShardCheckpoint {
+            shard: shard as u32,
+            last_seq: 0, // overwritten by ShardStore::checkpoint
+            next_session,
+            counters,
+            sessions: snaps,
+        };
+        self.store
+            .checkpoint(ckpt)
+            .unwrap_or_else(|e| panic!("checkpoint failed: {e}"));
+    }
+}
+
+/// Result of [`open_shard`]: the persistence handle plus the recovered
+/// session table and counter state the worker starts from.
+pub(crate) struct RecoveredShard {
+    pub persist: ShardPersist,
+    pub sessions: HashMap<u64, Session>,
+    pub counters: ShardCounters,
+    pub next_session: u64,
+}
+
+/// Opens shard `shard`'s store and rebuilds its state: checkpoint
+/// sessions first, then the WAL suffix replayed through
+/// [`Session::apply_batch`] — the same ingestion path as live serving.
+///
+/// # Panics
+///
+/// Panics on storage failure or a corrupt (CRC-valid but semantically
+/// invalid) checkpoint — both are fail-stop conditions for a WAL.
+pub(crate) fn open_shard(
+    cfg: &DurabilityConfig,
+    shard: usize,
+    pool: Option<Arc<WorkerPool>>,
+    par: ParConfig,
+) -> RecoveredShard {
+    let (store, recovery) = ShardStore::open(&cfg.dir, shard as u32, cfg.fsync)
+        .unwrap_or_else(|e| panic!("shard {shard}: store open failed: {e}"));
+    let mut sessions: HashMap<u64, Session> = HashMap::new();
+    let mut counters = ShardCounters::default();
+    let mut next_session = 0u64;
+    let mut checkpoint_sessions = 0u64;
+    if let Some(ckpt) = &recovery.checkpoint {
+        counters = ckpt.counters;
+        next_session = ckpt.next_session;
+        checkpoint_sessions = ckpt.sessions.len() as u64;
+        for snap in &ckpt.sessions {
+            let sess = Session::restore_from(snap, pool.clone(), par)
+                .unwrap_or_else(|e| panic!("shard {shard}: checkpoint session restore: {e}"));
+            sessions.insert(snap.session, sess);
+        }
+    }
+    let replayed_records = recovery.wal_ops.len() as u64;
+    let mut results = Vec::new();
+    for (_seq, op) in &recovery.wal_ops {
+        match op {
+            WalOp::Open {
+                session,
+                resources,
+                processes,
+            } => {
+                sessions.insert(
+                    *session,
+                    Session::with_parallel(*resources, *processes, pool.clone(), par),
+                );
+                counters.sessions_opened += 1;
+                next_session = next_session.max(*session + 1);
+            }
+            WalOp::Batch { session, events } => {
+                // A logged batch always follows a logged open/restore of
+                // its session; a miss would mean the log was forged.
+                let Some(sess) = sessions.get_mut(session) else {
+                    panic!("shard {shard}: WAL batch for unknown session {session}");
+                };
+                let events: Vec<Event> = events.iter().map(proto_event).collect();
+                results.clear();
+                let tally = sess.apply_batch(&events, &mut results);
+                counters.batches += 1;
+                counters.events += tally.events;
+                counters.probes += tally.probes;
+                counters.rejected += tally.rejected;
+            }
+            WalOp::Close { session } => {
+                if let Some(sess) = sessions.remove(session) {
+                    let es = sess.engine_stats();
+                    counters.retired_cache_hits += es.cache_hits;
+                    counters.retired_reductions += es.reductions;
+                    counters.sessions_closed += 1;
+                }
+            }
+            WalOp::Restore { snapshot } => {
+                let sess = Session::restore_from(snapshot, pool.clone(), par)
+                    .unwrap_or_else(|e| panic!("shard {shard}: WAL session restore: {e}"));
+                sessions.insert(snapshot.session, sess);
+                counters.sessions_opened += 1;
+                next_session = next_session.max(snapshot.session + 1);
+            }
+        }
+    }
+    let info = RecoveryInfo {
+        shard,
+        checkpoint_sessions,
+        replayed_records,
+        torn_bytes: recovery.torn_bytes,
+        last_seq: store.last_seq(),
+        next_session,
+        live_sessions: sessions.len() as u64,
+    };
+    RecoveredShard {
+        persist: ShardPersist {
+            store,
+            checkpoint_every: cfg.checkpoint_every_records.max(1),
+            checkpoint_on_shutdown: cfg.checkpoint_on_shutdown,
+            info,
+        },
+        sessions,
+        counters,
+        next_session,
+    }
+}

@@ -57,8 +57,8 @@ use deltaos_core::par;
 use deltaos_sim::Stats;
 
 use crate::proto::{
-    decode_request, encode_response_into, ErrorCode, EventResult, Request, Response, SessionId,
-    WireError, MAX_FRAME,
+    decode_request, encode_response_into, ErrorCode, EventResult, FrontendStats, Request, Response,
+    SessionId, WireError, MAX_FRAME,
 };
 use crate::shard::{Client, ServiceError};
 use crate::tcp::stats_rows;
@@ -179,37 +179,25 @@ struct Counters {
     bytes_out: AtomicU64,
 }
 
-/// Snapshot of the front-end counters ([`EvServer::stats`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FrontendStats {
-    /// Connections accepted since bind.
-    pub accepted: u64,
-    /// Connections currently registered with a loop.
-    pub active: u64,
-    /// Connections closed for any reason (EOF, error, reaped).
-    pub closed: u64,
-    /// Connections reaped by the idle timeout.
-    pub reaped_idle: u64,
-    /// Connections reaped by the partial-frame (slow-loris) deadline.
-    pub reaped_partial: u64,
-    /// Connections dropped because framing was lost (oversized prefix).
-    pub desynced: u64,
-    /// Complete request frames processed.
-    pub frames_in: u64,
-    /// Response frames encoded (including in-band errors and `Busy`).
-    pub replies_out: u64,
-    /// `Busy` replies produced by the per-connection pipeline cap.
-    pub busy_replies: u64,
-    /// Payload + prefix bytes read.
-    pub bytes_in: u64,
-    /// Payload + prefix bytes written.
-    pub bytes_out: u64,
-}
-
-impl FrontendStats {
-    /// Total connections reaped by either guard.
-    pub fn connections_reaped(&self) -> u64 {
-        self.reaped_idle + self.reaped_partial
+impl Counters {
+    /// Snapshot as the wire-visible [`FrontendStats`] (also served
+    /// in-band through the `Stats` response).
+    fn snapshot(&self) -> FrontendStats {
+        let accepted = self.accepted.load(Ordering::Relaxed);
+        let closed = self.closed.load(Ordering::Relaxed);
+        FrontendStats {
+            accepted,
+            active: accepted.saturating_sub(closed),
+            closed,
+            reaped_idle: self.reaped_idle.load(Ordering::Relaxed),
+            reaped_partial: self.reaped_partial.load(Ordering::Relaxed),
+            desynced: self.desynced.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            replies_out: self.replies_out.load(Ordering::Relaxed),
+            busy_replies: self.busy_replies.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -339,6 +327,8 @@ enum Pending {
     Close(Receiver<Result<(), ServiceError>>),
     /// One receiver per shard; the reply is assembled when all arrive.
     Stats(Vec<Receiver<Stats>>, Vec<Option<Stats>>),
+    Snapshot(Receiver<Result<Vec<u8>, ServiceError>>),
+    Restore(Receiver<Result<SessionId, ServiceError>>),
 }
 
 struct Conn {
@@ -445,6 +435,14 @@ impl Conn {
                             }
                             Err(e) => Pending::Ready(error_response(e)),
                         },
+                        Ok(Request::Snapshot { session }) => match client.snapshot_async(session) {
+                            Ok(rx) => Pending::Snapshot(rx),
+                            Err(e) => Pending::Ready(error_response(e)),
+                        },
+                        Ok(Request::Restore { snapshot }) => match client.restore_async(snapshot) {
+                            Ok(rx) => Pending::Restore(rx),
+                            Err(e) => Pending::Ready(error_response(e)),
+                        },
                     };
                     self.pending.push_back(slot);
                 }
@@ -506,11 +504,26 @@ impl Conn {
                     } else if got.iter().all(Option::is_some) {
                         let per_shard: Vec<Stats> =
                             got.iter_mut().map(|s| s.take().unwrap()).collect();
-                        Some(Response::Stats(stats_rows(&per_shard)))
+                        Some(Response::Stats {
+                            shards: stats_rows(&per_shard),
+                            frontend: Some(counters.snapshot()),
+                        })
                     } else {
                         None
                     }
                 }
+                Pending::Snapshot(rx) => match rx.try_recv() {
+                    Ok(Ok(bytes)) => Some(Response::Snapshot(bytes)),
+                    Ok(Err(e)) => Some(error_response(e)),
+                    Err(TryRecvError::Empty) => None,
+                    Err(TryRecvError::Disconnected) => Some(Response::Error(ErrorCode::Shutdown)),
+                },
+                Pending::Restore(rx) => match rx.try_recv() {
+                    Ok(Ok(id)) => Some(Response::Opened(id)),
+                    Ok(Err(e)) => Some(error_response(e)),
+                    Err(TryRecvError::Empty) => None,
+                    Err(TryRecvError::Disconnected) => Some(Response::Error(ErrorCode::Shutdown)),
+                },
             };
             match done {
                 None => break,
@@ -822,22 +835,7 @@ impl EvServer {
 
     /// Snapshot of the front-end counters.
     pub fn stats(&self) -> FrontendStats {
-        let c = &self.counters;
-        let accepted = c.accepted.load(Ordering::Relaxed);
-        let closed = c.closed.load(Ordering::Relaxed);
-        FrontendStats {
-            accepted,
-            active: accepted.saturating_sub(closed),
-            closed,
-            reaped_idle: c.reaped_idle.load(Ordering::Relaxed),
-            reaped_partial: c.reaped_partial.load(Ordering::Relaxed),
-            desynced: c.desynced.load(Ordering::Relaxed),
-            frames_in: c.frames_in.load(Ordering::Relaxed),
-            replies_out: c.replies_out.load(Ordering::Relaxed),
-            busy_replies: c.busy_replies.load(Ordering::Relaxed),
-            bytes_in: c.bytes_in.load(Ordering::Relaxed),
-            bytes_out: c.bytes_out.load(Ordering::Relaxed),
-        }
+        self.counters.snapshot()
     }
 
     /// Stops accepting, wakes every loop, and joins all threads. Open

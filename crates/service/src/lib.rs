@@ -41,6 +41,7 @@
 //! service.shutdown();
 //! ```
 
+pub mod durable;
 #[cfg(unix)]
 pub mod evloop;
 pub mod proto;
@@ -49,11 +50,13 @@ pub mod shard;
 pub mod tcp;
 
 pub use deltaos_core::par::{ParConfig, WorkerPool};
+pub use deltaos_store::FsyncPolicy;
+pub use durable::{DurabilityConfig, RecoveryInfo};
 #[cfg(unix)]
-pub use evloop::{EvConfig, EvServer, FrontendStats};
+pub use evloop::{EvConfig, EvServer};
 pub use proto::{
-    ErrorCode, Event, EventResult, RejectReason, Request, Response, SessionId, ShardStats,
-    WireError, MAX_BATCH, MAX_FRAME,
+    ErrorCode, Event, EventResult, FrontendStats, RejectReason, Request, Response, SessionId,
+    ShardStats, WireError, MAX_BATCH, MAX_FRAME,
 };
 pub use session::{BatchTally, Session};
 pub use shard::{Client, Service, ServiceConfig, ServiceError};

@@ -130,6 +130,11 @@ pub enum ErrorCode {
     Shutdown,
     /// The frame decoded but was not a valid request in context.
     BadRequest,
+    /// A `Restore` payload did not decode as a valid session snapshot,
+    /// or violated the service's dimension/session limits.
+    InvalidSnapshot,
+    /// A `Snapshot` of this session would not fit in one wire frame.
+    SnapshotTooLarge,
 }
 
 /// A client → service message.
@@ -156,6 +161,19 @@ pub enum Request {
     },
     /// Fetch per-shard counters.
     Stats,
+    /// Capture `session` as a durable snapshot (RAG edges + engine
+    /// counters), returned opaque in [`Response::Snapshot`].
+    Snapshot {
+        /// Session to capture.
+        session: SessionId,
+    },
+    /// Recreate a session from a snapshot previously returned by
+    /// [`Response::Snapshot`]. The restored session gets a fresh id
+    /// (returned in [`Response::Opened`]); the embedded id is ignored.
+    Restore {
+        /// Opaque snapshot bytes (`deltaos-store` session encoding).
+        snapshot: Vec<u8>,
+    },
 }
 
 /// Key per-shard counters serialized in a [`Response::Stats`].
@@ -174,6 +192,44 @@ pub struct ShardStats {
     pub max_queue_depth: u64,
 }
 
+/// Front-end (event-loop) health counters, serialized in a
+/// [`Response::Stats`] when the serving front-end is the event loop —
+/// operators see reap/busy/backlog health over the wire without process
+/// introspection. The blocking thread-per-connection front-end reports
+/// `None`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Connections accepted since bind.
+    pub accepted: u64,
+    /// Currently open connections.
+    pub active: u64,
+    /// Connections closed for any reason (EOF, error, reaped).
+    pub closed: u64,
+    /// Connections reaped by the idle timeout.
+    pub reaped_idle: u64,
+    /// Connections reaped by the partial-frame (slow-loris) deadline.
+    pub reaped_partial: u64,
+    /// Connections dropped after an undecodable frame (desync).
+    pub desynced: u64,
+    /// Frames decoded and dispatched.
+    pub frames_in: u64,
+    /// Replies written back.
+    pub replies_out: u64,
+    /// `Busy` replies sent under shard backpressure.
+    pub busy_replies: u64,
+    /// Payload + framing bytes read.
+    pub bytes_in: u64,
+    /// Payload + framing bytes written.
+    pub bytes_out: u64,
+}
+
+impl FrontendStats {
+    /// Total connections reaped by either guard.
+    pub fn connections_reaped(&self) -> u64 {
+        self.reaped_idle + self.reaped_partial
+    }
+}
+
 /// A service → client message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -186,8 +242,16 @@ pub enum Response {
     /// Backpressure: the target shard's queue is full — retry later.
     /// Nothing was applied.
     Busy,
-    /// Per-shard counters.
-    Stats(Vec<ShardStats>),
+    /// Per-shard counters plus front-end health (when the serving
+    /// front-end tracks it).
+    Stats {
+        /// Per-shard counters.
+        shards: Vec<ShardStats>,
+        /// Front-end counters; `None` from front-ends without them.
+        frontend: Option<FrontendStats>,
+    },
+    /// Opaque durable image of one session.
+    Snapshot(Vec<u8>),
     /// Request failed.
     Error(ErrorCode),
 }
@@ -317,7 +381,25 @@ fn error_code(e: ErrorCode) -> u8 {
         ErrorCode::BadDimensions => 4,
         ErrorCode::Shutdown => 5,
         ErrorCode::BadRequest => 6,
+        ErrorCode::InvalidSnapshot => 7,
+        ErrorCode::SnapshotTooLarge => 8,
     }
+}
+
+fn frontend_fields(f: &FrontendStats) -> [u64; 11] {
+    [
+        f.accepted,
+        f.active,
+        f.closed,
+        f.reaped_idle,
+        f.reaped_partial,
+        f.desynced,
+        f.frames_in,
+        f.replies_out,
+        f.busy_replies,
+        f.bytes_in,
+        f.bytes_out,
+    ]
 }
 
 /// Serializes a request payload (no length prefix).
@@ -357,6 +439,15 @@ pub fn encode_request_into(req: &Request, out: &mut Vec<u8>) {
             put_u64(out, session.0);
         }
         Request::Stats => out.push(0x04),
+        Request::Snapshot { session } => {
+            out.push(0x05);
+            put_u64(out, session.0);
+        }
+        Request::Restore { snapshot } => {
+            out.push(0x06);
+            put_u32(out, snapshot.len() as u32);
+            out.extend_from_slice(snapshot);
+        }
     }
 }
 
@@ -399,7 +490,7 @@ pub fn encode_response_into(resp: &Response, out: &mut Vec<u8>) {
         }
         Response::Closed => out.push(0x83),
         Response::Busy => out.push(0x84),
-        Response::Stats(shards) => {
+        Response::Stats { shards, frontend } => {
             out.push(0x85);
             put_u16(out, shards.len() as u16);
             for s in shards {
@@ -409,6 +500,20 @@ pub fn encode_response_into(resp: &Response, out: &mut Vec<u8>) {
                 put_u64(out, s.cache_hits);
                 put_u64(out, s.max_queue_depth);
             }
+            match frontend {
+                None => out.push(0),
+                Some(f) => {
+                    out.push(1);
+                    for v in frontend_fields(f) {
+                        put_u64(out, v);
+                    }
+                }
+            }
+        }
+        Response::Snapshot(bytes) => {
+            out.push(0x87);
+            put_u32(out, bytes.len() as u32);
+            out.extend_from_slice(bytes);
         }
         Response::Error(code) => {
             out.push(0x86);
@@ -516,6 +621,8 @@ fn read_error_code(code: u8) -> Result<ErrorCode, WireError> {
         4 => ErrorCode::BadDimensions,
         5 => ErrorCode::Shutdown,
         6 => ErrorCode::BadRequest,
+        7 => ErrorCode::InvalidSnapshot,
+        8 => ErrorCode::SnapshotTooLarge,
         tag => {
             return Err(WireError::UnknownTag {
                 what: "error code",
@@ -554,6 +661,20 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             session: SessionId(r.u64()?),
         },
         0x04 => Request::Stats,
+        0x05 => Request::Snapshot {
+            session: SessionId(r.u64()?),
+        },
+        0x06 => {
+            let len = r.u32()?;
+            if len as usize > MAX_FRAME {
+                return Err(WireError::Oversized {
+                    len: u64::from(len),
+                });
+            }
+            Request::Restore {
+                snapshot: r.take(len as usize)?.to_vec(),
+            }
+        }
         tag => {
             return Err(WireError::UnknownTag {
                 what: "request",
@@ -622,11 +743,42 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                     max_queue_depth: r.u64()?,
                 });
             }
-            Response::Stats(shards)
+            let frontend = match r.u8()? {
+                0 => None,
+                1 => Some(FrontendStats {
+                    accepted: r.u64()?,
+                    active: r.u64()?,
+                    closed: r.u64()?,
+                    reaped_idle: r.u64()?,
+                    reaped_partial: r.u64()?,
+                    desynced: r.u64()?,
+                    frames_in: r.u64()?,
+                    replies_out: r.u64()?,
+                    busy_replies: r.u64()?,
+                    bytes_in: r.u64()?,
+                    bytes_out: r.u64()?,
+                }),
+                tag => {
+                    return Err(WireError::UnknownTag {
+                        what: "frontend stats flag",
+                        tag,
+                    })
+                }
+            };
+            Response::Stats { shards, frontend }
         }
         0x86 => {
             let code = r.u8()?;
             Response::Error(read_error_code(code)?)
+        }
+        0x87 => {
+            let len = r.u32()?;
+            if len as usize > MAX_FRAME {
+                return Err(WireError::Oversized {
+                    len: u64::from(len),
+                });
+            }
+            Response::Snapshot(r.take(len as usize)?.to_vec())
         }
         tag => {
             return Err(WireError::UnknownTag {
@@ -763,6 +915,15 @@ mod tests {
             session: SessionId(7),
         });
         roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Snapshot {
+            session: SessionId(9),
+        });
+        roundtrip_request(Request::Restore {
+            snapshot: vec![0xDE, 0xAD, 0xBE, 0xEF],
+        });
+        roundtrip_request(Request::Restore {
+            snapshot: Vec::new(),
+        });
     }
 
     #[test]
@@ -779,14 +940,37 @@ mod tests {
         ]));
         roundtrip_response(Response::Closed);
         roundtrip_response(Response::Busy);
-        roundtrip_response(Response::Stats(vec![ShardStats {
+        let rows = vec![ShardStats {
             shard: 2,
             events: 100,
             probes: 10,
             cache_hits: 5,
             max_queue_depth: 3,
-        }]));
+        }];
+        roundtrip_response(Response::Stats {
+            shards: rows.clone(),
+            frontend: None,
+        });
+        roundtrip_response(Response::Stats {
+            shards: rows,
+            frontend: Some(FrontendStats {
+                accepted: 12,
+                active: 3,
+                closed: 9,
+                reaped_idle: 1,
+                reaped_partial: 2,
+                desynced: 0,
+                frames_in: 500,
+                replies_out: 499,
+                busy_replies: 7,
+                bytes_in: 12_000,
+                bytes_out: 9_000,
+            }),
+        });
+        roundtrip_response(Response::Snapshot(vec![1, 2, 3]));
         roundtrip_response(Response::Error(ErrorCode::BatchTooLarge));
+        roundtrip_response(Response::Error(ErrorCode::InvalidSnapshot));
+        roundtrip_response(Response::Error(ErrorCode::SnapshotTooLarge));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use deltaos_core::engine::{DetectEngine, EngineStats};
 use deltaos_core::par::{ParConfig, WorkerPool};
 use deltaos_core::Rag;
+use deltaos_store::{SessionSnapshot, StoreError};
 
 use crate::proto::{Event, EventResult};
 
@@ -64,6 +65,36 @@ impl Session {
             rag: Rag::new(resources as usize, processes as usize),
             engine: DetectEngine::with_parallel(resources as usize, processes as usize, pool, cfg),
         }
+    }
+
+    /// Captures this session as a durable [`SessionSnapshot`] labeled
+    /// with the service-wide `session` id: the RAG's edges, the engine's
+    /// lifetime counters, and the engine's cached detection outcome when
+    /// it is still valid — everything needed to restore a session that
+    /// behaves (and counts) exactly like this one.
+    pub fn snapshot(&self, session: u64) -> SessionSnapshot {
+        SessionSnapshot::capture(session, &self.rag, &self.engine)
+    }
+
+    /// Rebuilds a session from a snapshot. The restored session's next
+    /// probe takes the same path (cache hit / delta sync / rebuild) the
+    /// original's would have, so detection results *and* engine counters
+    /// continue bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Invalid`] if the snapshot's edges violate RAG
+    /// invariants (possible only for forged or cross-version snapshots —
+    /// captures of a live session always restore).
+    pub fn restore_from(
+        snap: &SessionSnapshot,
+        pool: Option<Arc<WorkerPool>>,
+        cfg: ParConfig,
+    ) -> Result<Self, StoreError> {
+        let rag = snap.restore_rag()?;
+        let mut engine = DetectEngine::with_parallel(rag.resources(), rag.processes(), pool, cfg);
+        engine.restore(&rag, snap.engine, snap.cached);
+        Ok(Session { rag, engine })
     }
 
     /// The tracked graph.

@@ -28,12 +28,14 @@ use std::thread::JoinHandle;
 
 use deltaos_core::par::{ParConfig, WorkerPool};
 use deltaos_sim::Stats;
+use deltaos_store::{SessionSnapshot, WalOp};
 
-use crate::proto::{ErrorCode, Event, EventResult, SessionId};
+use crate::durable::{self, DurabilityConfig, RecoveryInfo};
+use crate::proto::{ErrorCode, Event, EventResult, SessionId, MAX_FRAME};
 use crate::session::Session;
 
 /// Service construction parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Worker threads (and queues); sessions are pinned by
     /// `session_id % shards`.
@@ -58,6 +60,12 @@ pub struct ServiceConfig {
     /// after it, modulo [`deltaos_core::par::host_cpus`]. A placement
     /// hint only — results are identical whether or not pins take.
     pub pin_cpus: bool,
+    /// Durability: `Some` gives every shard a write-ahead log +
+    /// checkpoint store under [`DurabilityConfig::dir`] and makes
+    /// [`Service::start`] recover whatever a previous incarnation left
+    /// there. `None` (the default) is the memory-only service, byte-
+    /// and allocation-identical to before the store existed.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -70,6 +78,7 @@ impl Default for ServiceConfig {
             max_dim: 4096,
             par: ParConfig::default(),
             pin_cpus: false,
+            durability: None,
         }
     }
 }
@@ -107,6 +116,11 @@ pub enum ServiceError {
     BadDimensions,
     /// The service has shut down.
     Shutdown,
+    /// A `restore` payload did not decode as a session snapshot, or its
+    /// content violated RAG invariants.
+    InvalidSnapshot,
+    /// A `snapshot` of this session would not fit in one wire frame.
+    SnapshotTooLarge,
 }
 
 impl fmt::Display for ServiceError {
@@ -118,6 +132,8 @@ impl fmt::Display for ServiceError {
             ServiceError::BatchTooLarge => write!(f, "batch exceeds configured cap"),
             ServiceError::BadDimensions => write!(f, "bad session dimensions"),
             ServiceError::Shutdown => write!(f, "service is shut down"),
+            ServiceError::InvalidSnapshot => write!(f, "invalid session snapshot"),
+            ServiceError::SnapshotTooLarge => write!(f, "session snapshot exceeds frame cap"),
         }
     }
 }
@@ -135,6 +151,8 @@ impl From<ServiceError> for ErrorCode {
             ServiceError::BatchTooLarge => ErrorCode::BatchTooLarge,
             ServiceError::BadDimensions => ErrorCode::BadDimensions,
             ServiceError::Shutdown => ErrorCode::Shutdown,
+            ServiceError::InvalidSnapshot => ErrorCode::InvalidSnapshot,
+            ServiceError::SnapshotTooLarge => ErrorCode::SnapshotTooLarge,
         }
     }
 }
@@ -184,6 +202,15 @@ enum Job {
     Stats {
         reply: Sender<Stats>,
     },
+    Snapshot {
+        session: SessionId,
+        reply: Sender<Result<Vec<u8>, ServiceError>>,
+    },
+    Restore {
+        session: SessionId,
+        snapshot: Vec<u8>,
+        reply: Sender<Result<SessionId, ServiceError>>,
+    },
     /// Shutdown marker: enqueued behind all accepted work by
     /// [`Service::shutdown`], so processing it means the queue drained.
     Shutdown,
@@ -201,6 +228,7 @@ struct Shared {
 pub struct Service {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<Stats>>,
+    recovery: Vec<RecoveryInfo>,
 }
 
 /// Cheap, cloneable in-process handle. All methods are safe to call from
@@ -211,14 +239,26 @@ pub struct Client {
 }
 
 impl Service {
-    /// Spawns the worker pool and returns the running service.
+    /// Spawns the worker pool and returns the running service. With
+    /// durability configured, initializes the store directory, waits for
+    /// every shard to finish recovery (checkpoint load + WAL replay),
+    /// and seeds the session-id allocator above every recovered id —
+    /// recovered sessions are addressable under their original ids the
+    /// moment this returns.
     ///
     /// # Panics
     ///
-    /// Panics if `config.shards` or `config.queue_cap` is zero.
+    /// Panics if `config.shards` or `config.queue_cap` is zero, and on
+    /// any durability storage failure (fail-stop: a service that cannot
+    /// log must not acknowledge work).
     pub fn start(config: ServiceConfig) -> Service {
         assert!(config.shards > 0, "need at least one shard");
         assert!(config.queue_cap > 0, "need a non-zero queue capacity");
+        if let Some(d) = &config.durability {
+            deltaos_store::init_dir(&d.dir, config.shards as u32)
+                .unwrap_or_else(|e| panic!("store init failed: {e}"));
+        }
+        let (ready_tx, ready_rx) = mpsc::channel::<RecoveryInfo>();
         let mut txs = Vec::with_capacity(config.shards);
         let mut meters = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
@@ -227,21 +267,37 @@ impl Service {
             let meter = Arc::new(ShardMeter::default());
             txs.push(tx);
             meters.push(Arc::clone(&meter));
+            let worker_config = config.clone();
+            let ready = config.durability.is_some().then(|| ready_tx.clone());
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("deltaos-shard-{shard_id}"))
-                    .spawn(move || run_worker(shard_id, rx, meter, config))
+                    .spawn(move || run_worker(shard_id, rx, meter, worker_config, ready))
                     .expect("spawn shard worker"),
             );
         }
+        drop(ready_tx);
+        let mut recovery = Vec::new();
+        if config.durability.is_some() {
+            // Recovery handshake: serve only after every shard replayed.
+            // A worker that panics during recovery drops its sender and
+            // surfaces here instead of hanging the start.
+            for _ in 0..config.shards {
+                let info = ready_rx.recv().expect("shard worker died during recovery");
+                recovery.push(info);
+            }
+            recovery.sort_by_key(|r| r.shard);
+        }
+        let next = recovery.iter().map(|r| r.next_session).max().unwrap_or(0);
         Service {
             shared: Arc::new(Shared {
                 txs,
                 meters,
-                next_session: AtomicU64::new(0),
+                next_session: AtomicU64::new(next),
                 config,
             }),
             workers,
+            recovery,
         }
     }
 
@@ -254,7 +310,13 @@ impl Service {
 
     /// The construction parameters.
     pub fn config(&self) -> ServiceConfig {
-        self.shared.config
+        self.shared.config.clone()
+    }
+
+    /// Per-shard recovery summaries from this start (index = shard id).
+    /// Empty when the service runs without durability.
+    pub fn recovery(&self) -> &[RecoveryInfo] {
+        &self.recovery
     }
 
     /// Graceful shutdown: enqueues a drain marker behind all accepted
@@ -462,6 +524,77 @@ impl Client {
         Ok(receivers)
     }
 
+    /// Serializes a live session into a portable snapshot blob (the
+    /// `deltaos-store` checkpoint encoding), blocking for the reply. The
+    /// session keeps running; the snapshot is a consistent copy taken
+    /// between batches.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] if it does not exist,
+    /// [`ServiceError::SnapshotTooLarge`] if the encoding would not fit
+    /// in one wire frame.
+    pub fn snapshot(&self, session: SessionId) -> Result<Vec<u8>, ServiceError> {
+        let rx = self.snapshot_async(session)?;
+        rx.recv().map_err(|_| ServiceError::Shutdown)?
+    }
+
+    /// Submits a snapshot request without waiting.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Busy`] / [`ServiceError::Shutdown`] from the
+    /// enqueue; session errors arrive on the channel.
+    pub fn snapshot_async(
+        &self,
+        session: SessionId,
+    ) -> Result<Receiver<Result<Vec<u8>, ServiceError>>, ServiceError> {
+        let (reply, rx) = mpsc::channel();
+        self.enqueue(self.shard_of(session), Job::Snapshot { session, reply })?;
+        Ok(rx)
+    }
+
+    /// Materializes a new session from a snapshot blob produced by
+    /// [`Client::snapshot`] (possibly by another service instance),
+    /// blocking for the new session id. Counters, cached detection
+    /// results, and RAG edges all carry over — a probe on the restored
+    /// session answers exactly as it would have on the original.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidSnapshot`] if the blob does not decode or
+    /// violates RAG invariants, [`ServiceError::BadDimensions`] if it
+    /// exceeds `max_dim`, [`ServiceError::TooManySessions`] when the
+    /// target shard is full.
+    pub fn restore(&self, snapshot: Vec<u8>) -> Result<SessionId, ServiceError> {
+        let rx = self.restore_async(snapshot)?;
+        rx.recv().map_err(|_| ServiceError::Shutdown)?
+    }
+
+    /// Submits a restore without waiting; the returned channel yields the
+    /// freshly assigned session id once the owning shard installed it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Busy`] / [`ServiceError::Shutdown`] from the
+    /// enqueue; decode/admission errors arrive on the channel.
+    pub fn restore_async(
+        &self,
+        snapshot: Vec<u8>,
+    ) -> Result<Receiver<Result<SessionId, ServiceError>>, ServiceError> {
+        let session = SessionId(self.shared.next_session.fetch_add(1, Ordering::Relaxed));
+        let (reply, rx) = mpsc::channel();
+        self.enqueue(
+            self.shard_of(session),
+            Job::Restore {
+                session,
+                snapshot,
+                reply,
+            },
+        )?;
+        Ok(rx)
+    }
+
     /// Merged counters across all shards.
     ///
     /// # Errors
@@ -491,14 +624,41 @@ struct WorkerCounters {
     retired_reductions: u64,
 }
 
+impl WorkerCounters {
+    fn from_store(c: deltaos_store::ShardCounters) -> Self {
+        WorkerCounters {
+            events: c.events,
+            batches: c.batches,
+            probes: c.probes,
+            rejected: c.rejected,
+            sessions_opened: c.sessions_opened,
+            sessions_closed: c.sessions_closed,
+            retired_cache_hits: c.retired_cache_hits,
+            retired_reductions: c.retired_reductions,
+        }
+    }
+
+    fn to_store(&self) -> deltaos_store::ShardCounters {
+        deltaos_store::ShardCounters {
+            events: self.events,
+            batches: self.batches,
+            probes: self.probes,
+            rejected: self.rejected,
+            sessions_opened: self.sessions_opened,
+            sessions_closed: self.sessions_closed,
+            retired_cache_hits: self.retired_cache_hits,
+            retired_reductions: self.retired_reductions,
+        }
+    }
+}
+
 fn run_worker(
     shard_id: usize,
     rx: Receiver<Job>,
     meter: Arc<ShardMeter>,
     config: ServiceConfig,
+    ready: Option<Sender<RecoveryInfo>>,
 ) -> Stats {
-    let mut sessions: HashMap<u64, Session> = HashMap::new();
-    let mut counters = WorkerCounters::default();
     // Round-robin affinity hint: shard k and its pool workers occupy the
     // contiguous CPU stripe starting at k * par.threads (mod host CPUs).
     let first_cpu = shard_id * config.par.threads.max(1);
@@ -514,6 +674,30 @@ fn run_worker(
             WorkerPool::new(config.par.threads)
         })
     });
+    // Durability: recover before serving, then tell Service::start.
+    let mut sessions: HashMap<u64, Session>;
+    let mut counters: WorkerCounters;
+    let mut next_session: u64;
+    let mut persist = match &config.durability {
+        None => {
+            sessions = HashMap::new();
+            counters = WorkerCounters::default();
+            next_session = 0;
+            None
+        }
+        Some(d) => {
+            let recovered = durable::open_shard(d, shard_id, pool.clone(), config.par);
+            sessions = recovered.sessions;
+            counters = WorkerCounters::from_store(recovered.counters);
+            next_session = recovered.next_session;
+            let mut persist = recovered.persist;
+            persist.info.next_session = next_session;
+            if let Some(ready) = &ready {
+                let _ = ready.send(persist.info);
+            }
+            Some(persist)
+        }
+    };
     // `recv` until the drain marker (or every sender dropped): accepted
     // work is always fully processed before the worker exits.
     while let Ok(job) = rx.recv() {
@@ -527,11 +711,20 @@ fn run_worker(
                 let result = if sessions.len() >= config.max_sessions_per_shard {
                     Err(ServiceError::TooManySessions)
                 } else {
+                    // Write-ahead: the open is durable before it exists.
+                    if let Some(p) = persist.as_mut() {
+                        p.log(&WalOp::Open {
+                            session: session.0,
+                            resources,
+                            processes,
+                        });
+                    }
                     sessions.insert(
                         session.0,
                         Session::with_parallel(resources, processes, pool.clone(), config.par),
                     );
                     counters.sessions_opened += 1;
+                    next_session = next_session.max(session.0 + 1);
                     Ok(session)
                 };
                 let _ = reply.send(result);
@@ -544,6 +737,15 @@ fn run_worker(
                 let result = match sessions.get_mut(&session.0) {
                     None => Err(ServiceError::UnknownSession),
                     Some(sess) => {
+                        // Every accepted batch is logged — probe-only ones
+                        // too, because probes advance the engine counters
+                        // recovery must reproduce.
+                        if let Some(p) = persist.as_mut() {
+                            p.log(&WalOp::Batch {
+                                session: session.0,
+                                events: events.iter().map(durable::wal_event).collect(),
+                            });
+                        }
                         counters.batches += 1;
                         let mut results = Vec::new();
                         let tally = sess.apply_batch(&events, &mut results);
@@ -556,29 +758,125 @@ fn run_worker(
                 let _ = reply.send(result);
             }
             Job::Close { session, reply } => {
-                let result = match sessions.remove(&session.0) {
-                    None => Err(ServiceError::UnknownSession),
-                    Some(sess) => {
-                        let es = sess.engine_stats();
-                        counters.retired_cache_hits += es.cache_hits;
-                        counters.retired_reductions += es.reductions;
-                        counters.sessions_closed += 1;
-                        Ok(())
+                let result = if !sessions.contains_key(&session.0) {
+                    Err(ServiceError::UnknownSession)
+                } else {
+                    if let Some(p) = persist.as_mut() {
+                        p.log(&WalOp::Close { session: session.0 });
                     }
+                    let sess = sessions.remove(&session.0).expect("checked above");
+                    let es = sess.engine_stats();
+                    counters.retired_cache_hits += es.cache_hits;
+                    counters.retired_reductions += es.reductions;
+                    counters.sessions_closed += 1;
+                    Ok(())
                 };
                 let _ = reply.send(result);
             }
             Job::Stats { reply } => {
-                let _ = reply.send(report(shard_id, &counters, &sessions, &meter));
+                let _ = reply.send(report(
+                    shard_id,
+                    &counters,
+                    &sessions,
+                    &meter,
+                    persist.as_ref(),
+                ));
+            }
+            Job::Snapshot { session, reply } => {
+                let result = match sessions.get(&session.0) {
+                    None => Err(ServiceError::UnknownSession),
+                    Some(sess) => {
+                        let bytes = sess.snapshot(session.0).encode();
+                        // Leave header room so the reply still frames.
+                        if bytes.len() > MAX_FRAME - 16 {
+                            Err(ServiceError::SnapshotTooLarge)
+                        } else {
+                            Ok(bytes)
+                        }
+                    }
+                };
+                let _ = reply.send(result);
+            }
+            Job::Restore {
+                session,
+                snapshot,
+                reply,
+            } => {
+                let result = restore_session(
+                    session,
+                    &snapshot,
+                    &mut sessions,
+                    &mut counters,
+                    persist.as_mut(),
+                    pool.clone(),
+                    &config,
+                );
+                if result.is_ok() {
+                    next_session = next_session.max(session.0 + 1);
+                }
+                let _ = reply.send(result);
             }
             Job::Shutdown => {
                 meter.finished();
                 break;
             }
         }
+        // Compaction: checkpoint + WAL truncation once enough records
+        // accumulated since the last one.
+        if let Some(p) = persist.as_mut() {
+            p.maybe_checkpoint(
+                shard_id,
+                counters.to_store(),
+                next_session,
+                &sessions,
+                false,
+            );
+        }
         meter.finished();
     }
-    report(shard_id, &counters, &sessions, &meter)
+    if let Some(p) = persist.as_mut() {
+        if p.checkpoint_on_shutdown {
+            p.maybe_checkpoint(shard_id, counters.to_store(), next_session, &sessions, true);
+        } else {
+            // Graceful shutdown still flushes the log: under `EveryN`/`Os`
+            // nothing acknowledged may be lost to a clean stop.
+            p.store
+                .sync()
+                .unwrap_or_else(|e| panic!("WAL sync failed: {e}"));
+        }
+    }
+    report(shard_id, &counters, &sessions, &meter, persist.as_ref())
+}
+
+/// The `Restore` job body: validate, write-ahead, install.
+fn restore_session(
+    session: SessionId,
+    snapshot: &[u8],
+    sessions: &mut HashMap<u64, Session>,
+    counters: &mut WorkerCounters,
+    persist: Option<&mut durable::ShardPersist>,
+    pool: Option<Arc<WorkerPool>>,
+    config: &ServiceConfig,
+) -> Result<SessionId, ServiceError> {
+    if sessions.len() >= config.max_sessions_per_shard {
+        return Err(ServiceError::TooManySessions);
+    }
+    let mut snap = SessionSnapshot::decode(snapshot).map_err(|_| ServiceError::InvalidSnapshot)?;
+    let cap = config.max_dim;
+    if snap.resources > cap || snap.processes > cap {
+        return Err(ServiceError::BadDimensions);
+    }
+    // The restored session lives under the freshly assigned id, not
+    // whatever id it had in its previous life.
+    snap.session = session.0;
+    let sess = Session::restore_from(&snap, pool, config.par)
+        .map_err(|_| ServiceError::InvalidSnapshot)?;
+    if let Some(p) = persist {
+        p.log(&WalOp::Restore { snapshot: snap });
+    }
+    sessions.insert(session.0, sess);
+    counters.sessions_opened += 1;
+    Ok(session)
 }
 
 fn report(
@@ -586,6 +884,7 @@ fn report(
     counters: &WorkerCounters,
     sessions: &HashMap<u64, Session>,
     meter: &ShardMeter,
+    persist: Option<&durable::ShardPersist>,
 ) -> Stats {
     let mut cache_hits = counters.retired_cache_hits;
     let mut reductions = counters.retired_reductions;
@@ -606,6 +905,16 @@ fn report(
     s.add("service.sessions_closed", counters.sessions_closed);
     s.add("service.sessions_open", sessions.len() as u64);
     s.add("service.queue_depth_max", meter.max());
+    if let Some(p) = persist {
+        s.add("store.last_seq", p.store.last_seq());
+        s.add("store.wal_records", p.store.wal_records());
+        s.add("store.commits", p.store.commits());
+        s.add("store.fsyncs", p.store.fsyncs());
+        s.add("store.checkpoints", p.store.checkpoints());
+        s.add("store.recovered_sessions", p.info.live_sessions);
+        s.add("store.replayed_records", p.info.replayed_records);
+        s.add("store.torn_bytes", p.info.torn_bytes);
+    }
     s
 }
 
@@ -630,6 +939,7 @@ mod tests {
             max_dim: 64,
             par: ParConfig::default(),
             pin_cpus: false,
+            durability: None,
         }
     }
 
@@ -741,6 +1051,48 @@ mod tests {
         assert_eq!(
             client.batch(sid, vec![Event::Probe; 17]),
             Err(ServiceError::BatchTooLarge)
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn snapshot_restore_clones_a_live_session() {
+        let service = Service::start(small());
+        let client = service.client();
+        let sid = client.open(4, 4).unwrap();
+        let results = client
+            .batch(
+                sid,
+                vec![
+                    Event::Grant { q: q(0), p: p(0) },
+                    Event::Grant { q: q(1), p: p(1) },
+                    Event::Request { p: p(0), q: q(1) },
+                    Event::Request { p: p(1), q: q(0) },
+                    Event::Probe,
+                ],
+            )
+            .unwrap();
+        let EventResult::Outcome(orig) = results[4] else {
+            panic!("probe must yield an outcome");
+        };
+        let blob = client.snapshot(sid).unwrap();
+        let copy = client.restore(blob.clone()).unwrap();
+        assert_ne!(copy, sid, "restore allocates a fresh id");
+        // The clone answers probes exactly as the original would.
+        let probe = client.batch(copy, vec![Event::Probe]).unwrap();
+        assert_eq!(probe[0], EventResult::Outcome(orig));
+        // And both sessions stay independently live.
+        client.close(sid).unwrap();
+        let probe = client.batch(copy, vec![Event::Probe]).unwrap();
+        assert_eq!(probe[0], EventResult::Outcome(orig));
+        // Garbage is refused with a typed error.
+        assert_eq!(
+            client.restore(vec![0xAB; 10]),
+            Err(ServiceError::InvalidSnapshot)
+        );
+        assert_eq!(
+            client.snapshot(SessionId(9999)),
+            Err(ServiceError::UnknownSession)
         );
         service.shutdown();
     }

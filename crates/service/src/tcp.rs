@@ -130,7 +130,21 @@ fn service_response(client: &Client, req: Request) -> Response {
             Err(e) => Response::Error(e.into()),
         },
         Request::Stats => match client.stats() {
-            Ok(per_shard) => Response::Stats(stats_rows(&per_shard)),
+            // The blocking server has no event-loop counters to report.
+            Ok(per_shard) => Response::Stats {
+                shards: stats_rows(&per_shard),
+                frontend: None,
+            },
+            Err(ServiceError::Busy) => Response::Busy,
+            Err(e) => Response::Error(e.into()),
+        },
+        Request::Snapshot { session } => match client.snapshot(session) {
+            Ok(bytes) => Response::Snapshot(bytes),
+            Err(ServiceError::Busy) => Response::Busy,
+            Err(e) => Response::Error(e.into()),
+        },
+        Request::Restore { snapshot } => match client.restore(snapshot) {
+            Ok(id) => Response::Opened(id),
             Err(ServiceError::Busy) => Response::Busy,
             Err(e) => Response::Error(e.into()),
         },

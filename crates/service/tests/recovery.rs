@@ -1,0 +1,365 @@
+//! Crash-recovery fault injection: a durable service is driven with a
+//! deterministic workload, its store directory is damaged at randomized
+//! points (including mid-record WAL truncations, the torn-write case),
+//! and a restarted service must be **bit-identical** to an independent
+//! replay of the surviving prefix — same detection outcomes, same
+//! `sim::Stats` counters, down to engine cache hits.
+//!
+//! The driver is fully synchronous (blocking client calls), so per-shard
+//! op order — and therefore every counter this test compares — is
+//! deterministic. Timing-dependent counters (`queue_depth_max`, the
+//! `store.*` I/O tallies) are deliberately excluded.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use deltaos_core::par::ParConfig;
+use deltaos_core::{ProcId, ResId};
+use deltaos_service::{
+    DurabilityConfig, Event, EventResult, FsyncPolicy, Service, ServiceConfig, Session, SessionId,
+};
+use deltaos_sim::Stats;
+use deltaos_store::wal::{scan, WalEvent};
+use deltaos_store::{ShardCheckpoint, ShardCounters, WalOp};
+use rand::{Rng, SeedableRng, StdRng};
+
+const SHARDS: usize = 2;
+
+/// The deterministic counters recovery must reproduce exactly.
+const KEYS: &[&str] = &[
+    "service.events",
+    "service.batches",
+    "service.probes",
+    "service.rejected_events",
+    "service.cache_hits",
+    "service.reductions",
+    "service.sessions_opened",
+    "service.sessions_closed",
+    "service.sessions_open",
+];
+
+fn deterministic(stats: &Stats) -> Vec<u64> {
+    KEYS.iter().map(|k| stats.counter(k)).collect()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("deltaos-recovery-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(dir: &Path, fsync: FsyncPolicy, checkpoint_every: u64) -> ServiceConfig {
+    ServiceConfig {
+        shards: SHARDS,
+        durability: Some(DurabilityConfig {
+            dir: dir.to_path_buf(),
+            fsync,
+            checkpoint_every_records: checkpoint_every,
+            checkpoint_on_shutdown: false,
+        }),
+        ..ServiceConfig::default()
+    }
+}
+
+/// Drives a seeded workload through a blocking client; returns the still
+/// open session ids.
+fn drive(service: &Service, seed: u64, ops: usize) -> Vec<SessionId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let client = service.client();
+    let mut open: Vec<SessionId> = Vec::new();
+    for _ in 0..ops {
+        let roll = rng.gen_range(0..10u32);
+        if open.is_empty() || roll == 0 {
+            open.push(client.open(8, 8).unwrap());
+        } else if roll == 1 && open.len() > 1 {
+            let sid = open.swap_remove(rng.gen_range(0..open.len()));
+            client.close(sid).unwrap();
+        } else {
+            let sid = open[rng.gen_range(0..open.len())];
+            let n = rng.gen_range(1..8usize);
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                let p = ProcId(rng.gen_range(0..8u16));
+                let q = ResId(rng.gen_range(0..8u16));
+                events.push(match rng.gen_range(0..6u32) {
+                    0 | 1 => Event::Grant { q, p },
+                    2 => Event::Request { p, q },
+                    3 => Event::Release { q, p },
+                    4 => Event::WouldDeadlock { p, q },
+                    _ => Event::Probe,
+                });
+            }
+            client.batch(sid, events).unwrap();
+        }
+    }
+    open.sort();
+    open
+}
+
+fn wal_event_to_proto(ev: &WalEvent) -> Event {
+    match *ev {
+        WalEvent::Request { p, q } => Event::Request { p, q },
+        WalEvent::Grant { q, p } => Event::Grant { q, p },
+        WalEvent::Release { q, p } => Event::Release { q, p },
+        WalEvent::Probe => Event::Probe,
+        WalEvent::WouldDeadlock { p, q } => Event::WouldDeadlock { p, q },
+    }
+}
+
+/// One shard's state rebuilt *independently* of the service's recovery
+/// code: checkpoint load + WAL scan + replay through plain [`Session`]s.
+struct RefShard {
+    counters: ShardCounters,
+    sessions: HashMap<u64, Session>,
+}
+
+impl RefShard {
+    /// The deterministic counter vector this shard's stats must show.
+    fn expected(&self) -> Vec<u64> {
+        let mut cache_hits = self.counters.retired_cache_hits;
+        let mut reductions = self.counters.retired_reductions;
+        for sess in self.sessions.values() {
+            let es = sess.engine_stats();
+            cache_hits += es.cache_hits;
+            reductions += es.reductions;
+        }
+        vec![
+            self.counters.events,
+            self.counters.batches,
+            self.counters.probes,
+            self.counters.rejected,
+            cache_hits,
+            reductions,
+            self.counters.sessions_opened,
+            self.counters.sessions_closed,
+            self.sessions.len() as u64,
+        ]
+    }
+}
+
+/// Replays the surviving prefix of each shard's store. `wal_bytes` are
+/// the (possibly damaged) WAL contents as read from disk — passed in so
+/// the reference sees exactly what the service will.
+fn replay_reference(dir: &Path, wal_bytes: &[Vec<u8>]) -> Vec<RefShard> {
+    (0..SHARDS)
+        .map(|shard| {
+            let ckpt =
+                ShardCheckpoint::load(&dir.join(format!("checkpoint-{shard}.snap"))).unwrap();
+            let mut sessions: HashMap<u64, Session> = HashMap::new();
+            let mut counters = ShardCounters::default();
+            let mut floor = 0u64;
+            if let Some(c) = &ckpt {
+                counters = c.counters;
+                floor = c.last_seq;
+                for snap in &c.sessions {
+                    let sess = Session::restore_from(snap, None, ParConfig::default()).unwrap();
+                    sessions.insert(snap.session, sess);
+                }
+            }
+            let mut results = Vec::new();
+            for (seq, op) in scan(&wal_bytes[shard]).records {
+                if seq <= floor {
+                    continue;
+                }
+                match op {
+                    WalOp::Open {
+                        session,
+                        resources,
+                        processes,
+                    } => {
+                        sessions.insert(session, Session::new(resources, processes));
+                        counters.sessions_opened += 1;
+                    }
+                    WalOp::Batch { session, events } => {
+                        let sess = sessions.get_mut(&session).expect("batch for live session");
+                        let events: Vec<Event> = events.iter().map(wal_event_to_proto).collect();
+                        results.clear();
+                        let tally = sess.apply_batch(&events, &mut results);
+                        counters.batches += 1;
+                        counters.events += tally.events;
+                        counters.probes += tally.probes;
+                        counters.rejected += tally.rejected;
+                    }
+                    WalOp::Close { session } => {
+                        let sess = sessions.remove(&session).expect("close of live session");
+                        let es = sess.engine_stats();
+                        counters.retired_cache_hits += es.cache_hits;
+                        counters.retired_reductions += es.reductions;
+                        counters.sessions_closed += 1;
+                    }
+                    WalOp::Restore { snapshot } => {
+                        let sess =
+                            Session::restore_from(&snapshot, None, ParConfig::default()).unwrap();
+                        sessions.insert(snapshot.session, sess);
+                        counters.sessions_opened += 1;
+                    }
+                }
+            }
+            RefShard { counters, sessions }
+        })
+        .collect()
+}
+
+/// Asserts a freshly started service over `dir` matches the reference:
+/// per-shard deterministic counters first, then a probe on every live
+/// session (advanced identically on both sides).
+fn assert_recovery_matches(dir: &Path, reference: &mut [RefShard], fsync: FsyncPolicy) {
+    let service = Service::start(config(dir, fsync, u64::MAX));
+    let client = service.client();
+    let per_shard = client.stats().unwrap();
+    for (shard, stats) in per_shard.iter().enumerate() {
+        assert_eq!(
+            deterministic(stats),
+            reference[shard].expected(),
+            "shard {shard} counters diverge from the reference replay"
+        );
+    }
+    for (shard, rs) in reference.iter_mut().enumerate() {
+        let mut ids: Vec<u64> = rs.sessions.keys().copied().collect();
+        ids.sort();
+        for id in ids {
+            let got = client.batch(SessionId(id), vec![Event::Probe]).unwrap();
+            let want = rs.sessions.get_mut(&id).unwrap().apply(Event::Probe);
+            assert_eq!(
+                got[0], want,
+                "shard {shard} session {id}: probe outcome diverges after recovery"
+            );
+        }
+    }
+    service.shutdown();
+}
+
+#[test]
+fn graceful_restart_is_bit_identical() {
+    for (name, checkpoint_every) in [("nockpt", u64::MAX), ("ckpt", 16)] {
+        let dir = tmp(&format!("graceful-{name}"));
+        {
+            let service = Service::start(config(&dir, FsyncPolicy::EveryN(4), checkpoint_every));
+            assert!(service.recovery().iter().all(|r| r.live_sessions == 0));
+            drive(&service, 0xFEED, 300);
+            service.shutdown();
+        }
+        let wal_bytes: Vec<Vec<u8>> = (0..SHARDS)
+            .map(|s| fs::read(dir.join(format!("wal-{s}.log"))).unwrap_or_default())
+            .collect();
+        let mut reference = replay_reference(&dir, &wal_bytes);
+        // A graceful shutdown loses nothing: the reference covers the
+        // full workload and the restarted service must match it.
+        assert_recovery_matches(&dir, &mut reference, FsyncPolicy::EveryN(4));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn crash_at_randomized_wal_points_recovers_the_surviving_prefix() {
+    let pristine = tmp("crash-pristine");
+    {
+        let service = Service::start(config(&pristine, FsyncPolicy::Os, u64::MAX));
+        drive(&service, 0xC0FFEE, 250);
+        service.shutdown();
+    }
+    let pristine_wals: Vec<Vec<u8>> = (0..SHARDS)
+        .map(|s| fs::read(pristine.join(format!("wal-{s}.log"))).unwrap())
+        .collect();
+    assert!(
+        pristine_wals.iter().all(|w| w.len() > 64),
+        "workload must leave a meaty WAL to damage"
+    );
+
+    let mut rng = StdRng::seed_from_u64(0xDEAD);
+    for round in 0..8 {
+        let dir = tmp(&format!("crash-{round}"));
+        fs::create_dir_all(&dir).unwrap();
+        fs::copy(pristine.join("store.meta"), dir.join("store.meta")).unwrap();
+        // Crash simulation: each shard's log is cut at an arbitrary byte
+        // offset — usually mid-record, the torn-write case fsync never
+        // protects against.
+        let damaged: Vec<Vec<u8>> = pristine_wals
+            .iter()
+            .map(|w| {
+                let cut = rng.gen_range(0..=w.len());
+                w[..cut].to_vec()
+            })
+            .collect();
+        for (s, bytes) in damaged.iter().enumerate() {
+            fs::write(dir.join(format!("wal-{s}.log")), bytes).unwrap();
+        }
+        let mut reference = replay_reference(&dir, &damaged);
+        let survived: u64 = damaged.iter().map(|w| scan(w).records.len() as u64).sum();
+        let total: u64 = pristine_wals
+            .iter()
+            .map(|w| scan(w).records.len() as u64)
+            .sum();
+        assert!(survived <= total);
+        assert_recovery_matches(&dir, &mut reference, FsyncPolicy::Os);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+    fs::remove_dir_all(&pristine).unwrap();
+}
+
+#[test]
+fn recovery_reports_and_session_ids_never_collide() {
+    let dir = tmp("info");
+    let open_after_restart;
+    {
+        let service = Service::start(config(&dir, FsyncPolicy::Always, u64::MAX));
+        let open = drive(&service, 0xAB1E, 120);
+        assert!(!open.is_empty());
+        service.shutdown();
+        open_after_restart = open;
+    }
+    let service = Service::start(config(&dir, FsyncPolicy::Always, u64::MAX));
+    let infos = service.recovery();
+    assert_eq!(infos.len(), SHARDS);
+    let live: u64 = infos.iter().map(|r| r.live_sessions).sum();
+    assert_eq!(live, open_after_restart.len() as u64);
+    assert!(infos.iter().all(|r| r.shard < SHARDS));
+    // Fresh ids must start above everything ever used, even sessions
+    // that were closed before the restart.
+    let client = service.client();
+    let fresh = client.open(4, 4).unwrap();
+    assert!(
+        fresh.0 >= infos.iter().map(|r| r.next_session).max().unwrap(),
+        "fresh id {fresh:?} collides with the recovered id space"
+    );
+    assert!(!open_after_restart.contains(&fresh));
+    // Recovered sessions answer under their original ids.
+    for sid in &open_after_restart {
+        assert!(matches!(
+            client.batch(*sid, vec![Event::Probe]).unwrap()[0],
+            EventResult::Outcome(_)
+        ));
+    }
+    service.shutdown();
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_compaction_truncates_the_wal() {
+    let dir = tmp("compaction");
+    {
+        let service = Service::start(config(&dir, FsyncPolicy::EveryN(8), 8));
+        drive(&service, 0x5EED, 200);
+        let merged = service.client().stats_merged().unwrap();
+        assert!(
+            merged.counter("store.checkpoints") > 0,
+            "threshold of 8 records over 200 ops must checkpoint"
+        );
+        service.shutdown();
+    }
+    // After compaction the WAL holds only the post-checkpoint suffix.
+    for s in 0..SHARDS {
+        let wal = fs::read(dir.join(format!("wal-{s}.log"))).unwrap_or_default();
+        let records = scan(&wal).records.len() as u64;
+        assert!(records <= 8 + 1, "shard {s}: WAL kept {records} records");
+        assert!(dir.join(format!("checkpoint-{s}.snap")).exists());
+    }
+    // And the compacted store still restarts bit-identically.
+    let wal_bytes: Vec<Vec<u8>> = (0..SHARDS)
+        .map(|s| fs::read(dir.join(format!("wal-{s}.log"))).unwrap_or_default())
+        .collect();
+    let mut reference = replay_reference(&dir, &wal_bytes);
+    assert_recovery_matches(&dir, &mut reference, FsyncPolicy::EveryN(8));
+    fs::remove_dir_all(&dir).unwrap();
+}

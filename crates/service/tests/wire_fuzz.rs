@@ -7,17 +7,28 @@ use deltaos_core::pdda::DetectOutcome;
 use deltaos_core::{ProcId, ResId};
 use deltaos_service::proto::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    ErrorCode, Event, EventResult, RejectReason, Request, Response, SessionId, ShardStats,
-    WireError, MAX_FRAME,
+    ErrorCode, Event, EventResult, FrontendStats, RejectReason, Request, Response, SessionId,
+    ShardStats, WireError, MAX_FRAME,
 };
 use rand::{Rng, SeedableRng, StdRng};
 
 fn sample_requests(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0..4u32) {
+    match rng.gen_range(0..6u32) {
         0 => Request::Open {
             resources: rng.gen_range(1..128u16),
             processes: rng.gen_range(1..128u16),
         },
+        4 => Request::Snapshot {
+            session: SessionId(rng.gen_range(0..1000u64)),
+        },
+        5 => {
+            let n = rng.gen_range(0..64usize);
+            let mut snapshot = vec![0u8; n];
+            for b in &mut snapshot {
+                *b = rng.gen_range(0..=255u32) as u8;
+            }
+            Request::Restore { snapshot }
+        }
         1 => {
             let n = rng.gen_range(0..32usize);
             let mut events = Vec::with_capacity(n);
@@ -45,8 +56,16 @@ fn sample_requests(rng: &mut StdRng) -> Request {
 }
 
 fn sample_responses(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0..6u32) {
+    match rng.gen_range(0..7u32) {
         0 => Response::Opened(SessionId(rng.gen_range(0..1000u64))),
+        6 => {
+            let n = rng.gen_range(0..64usize);
+            let mut blob = vec![0u8; n];
+            for b in &mut blob {
+                *b = rng.gen_range(0..=255u32) as u8;
+            }
+            Response::Snapshot(blob)
+        }
         1 => {
             let n = rng.gen_range(0..32usize);
             let mut results = Vec::with_capacity(n);
@@ -65,13 +84,28 @@ fn sample_responses(rng: &mut StdRng) -> Response {
         }
         2 => Response::Closed,
         3 => Response::Busy,
-        4 => Response::Stats(vec![ShardStats {
-            shard: rng.gen_range(0..16u16),
-            events: rng.gen_range(0..u64::MAX),
-            probes: rng.gen_range(0..u64::MAX),
-            cache_hits: rng.gen_range(0..u64::MAX),
-            max_queue_depth: rng.gen_range(0..100u64),
-        }]),
+        4 => Response::Stats {
+            shards: vec![ShardStats {
+                shard: rng.gen_range(0..16u16),
+                events: rng.gen_range(0..u64::MAX),
+                probes: rng.gen_range(0..u64::MAX),
+                cache_hits: rng.gen_range(0..u64::MAX),
+                max_queue_depth: rng.gen_range(0..100u64),
+            }],
+            frontend: rng.gen_bool(0.5).then(|| FrontendStats {
+                accepted: rng.gen_range(0..u64::MAX),
+                active: rng.gen_range(0..u64::MAX),
+                closed: rng.gen_range(0..u64::MAX),
+                reaped_idle: rng.gen_range(0..u64::MAX),
+                reaped_partial: rng.gen_range(0..u64::MAX),
+                desynced: rng.gen_range(0..u64::MAX),
+                frames_in: rng.gen_range(0..u64::MAX),
+                replies_out: rng.gen_range(0..u64::MAX),
+                busy_replies: rng.gen_range(0..u64::MAX),
+                bytes_in: rng.gen_range(0..u64::MAX),
+                bytes_out: rng.gen_range(0..u64::MAX),
+            }),
+        },
         _ => Response::Error(ErrorCode::Shutdown),
     }
 }

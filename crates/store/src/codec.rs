@@ -1,0 +1,127 @@
+//! Bounds-checked little-endian primitives shared by the WAL and
+//! snapshot codecs. Same discipline as the service's wire `proto`
+//! reader: every read checks remaining length first, so decoding
+//! arbitrary bytes can fail but never panic or over-read.
+
+use crate::error::StoreError;
+
+/// Cursor over an immutable byte slice with checked reads.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, StoreError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, StoreError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, StoreError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `u32` element count and rejects it before any allocation
+    /// if the payload could not possibly hold `count` elements of
+    /// `elem_size` bytes — bounds attacker-controlled allocations by the
+    /// input length itself.
+    pub(crate) fn count(&mut self, elem_size: usize) -> Result<u32, StoreError> {
+        let count = self.u32()?;
+        match (count as usize).checked_mul(elem_size) {
+            Some(need) if need <= self.remaining() => Ok(count),
+            _ => Err(StoreError::CountTooLarge { count }),
+        }
+    }
+
+    /// Fails with [`StoreError::TrailingBytes`] unless the buffer was
+    /// consumed exactly.
+    pub(crate) fn finish(self) -> Result<(), StoreError> {
+        if self.remaining() != 0 {
+            return Err(StoreError::TrailingBytes {
+                extra: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_are_bounds_checked() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.u16().unwrap(), 0x0201);
+        assert!(matches!(r.u32(), Err(StoreError::Truncated)));
+        assert_eq!(r.u8().unwrap(), 3);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn count_rejects_impossible_lengths() {
+        // Claims 1000 four-byte elements with 2 bytes remaining.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1000);
+        put_u16(&mut buf, 0);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            r.count(4),
+            Err(StoreError::CountTooLarge { count: 1000 })
+        ));
+    }
+
+    #[test]
+    fn finish_reports_leftovers() {
+        let r = Reader::new(&[0; 5]);
+        assert!(matches!(
+            r.finish(),
+            Err(StoreError::TrailingBytes { extra: 5 })
+        ));
+    }
+}

@@ -1,0 +1,120 @@
+//! The typed failure surface of the store: every decoder in this crate
+//! is **total** — arbitrary bytes either decode or produce a
+//! [`StoreError`], never a panic (the store-fuzz suite enforces this the
+//! same way the wire-fuzz suite enforces it for `deltaos-service`'s
+//! protocol decoder).
+
+use std::fmt;
+use std::io;
+
+/// Typed store failure: I/O, framing, checksum or content errors from
+/// the WAL and snapshot codecs.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// Bytes ended before the message did.
+    Truncated,
+    /// A file did not start with the expected magic.
+    BadMagic {
+        /// What was being opened.
+        what: &'static str,
+    },
+    /// A file's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// The on-disk version.
+        version: u16,
+    },
+    /// Stored CRC32 does not match the payload.
+    ChecksumMismatch {
+        /// CRC recorded on disk.
+        stored: u32,
+        /// CRC computed over the payload read.
+        computed: u32,
+    },
+    /// Length field exceeds the hard cap for its container.
+    Oversized {
+        /// The claimed length.
+        len: u64,
+    },
+    /// Element count above the decode cap (rejected before allocation).
+    CountTooLarge {
+        /// The claimed element count.
+        count: u32,
+    },
+    /// Unknown tag byte for the given entity.
+    UnknownTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// Message decoded but bytes remain.
+    TrailingBytes {
+        /// Leftover byte count.
+        extra: usize,
+    },
+    /// Decoded cleanly but violates a semantic invariant (zero
+    /// dimension, out-of-range edge, duplicate grant, …).
+    Invalid {
+        /// Which invariant failed.
+        what: &'static str,
+    },
+    /// The store directory was written by a service with a different
+    /// shard count; session→shard pinning would silently change.
+    ShardCountMismatch {
+        /// Shard count recorded in the manifest.
+        stored: u32,
+        /// Shard count of the opening service.
+        expected: u32,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Truncated => write!(f, "store payload truncated mid-message"),
+            StoreError::BadMagic { what } => write!(f, "{what}: bad magic"),
+            StoreError::UnsupportedVersion { version } => {
+                write!(f, "unsupported store format version {version}")
+            }
+            StoreError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            StoreError::Oversized { len } => write!(f, "length {len} exceeds store cap"),
+            StoreError::CountTooLarge { count } => {
+                write!(f, "element count {count} exceeds store cap")
+            }
+            StoreError::UnknownTag { what, tag } => write!(f, "unknown {what} tag {tag:#04x}"),
+            StoreError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after store message")
+            }
+            StoreError::Invalid { what } => write!(f, "invalid store content: {what}"),
+            StoreError::ShardCountMismatch { stored, expected } => {
+                write!(
+                    f,
+                    "store directory has {stored} shards, service expects {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

@@ -1,0 +1,41 @@
+//! # deltaos-store — durability for the deadlock service
+//!
+//! A per-shard **write-ahead log** plus **session snapshot / checkpoint**
+//! subsystem, the persistence layer behind `deltaos-service`'s crash
+//! recovery. The paper's detection engine is an in-memory structure; this
+//! crate gives the service around it the standard checkpoint-plus-log
+//! shape so session RAGs and their engine counters survive a restart
+//! **bit-identically** — recovered sessions return the same detection
+//! results and the same `sim::Stats` counters as an uninterrupted run.
+//!
+//! Three layers, bottom-up:
+//!
+//! * [`wal`] — length-prefixed, CRC32-checksummed records
+//!   ([`WalOp`]/[`WalEvent`]) with group commit and a configurable
+//!   [`FsyncPolicy`]; torn tails are detected and truncated on open.
+//! * [`snapshot`] — [`SessionSnapshot`] (one session's RAG edges +
+//!   engine counters + cached outcome) and [`ShardCheckpoint`] (every
+//!   live session plus shard counters), written atomically.
+//! * [`store`] — [`ShardStore`] ties the two together per shard:
+//!   append/commit during serving, checkpoint-then-truncate compaction,
+//!   and recovery on open (checkpoint + WAL suffix with
+//!   already-covered sequence numbers filtered out).
+//!
+//! Every decoder is total: arbitrary bytes produce a typed
+//! [`StoreError`], never a panic — enforced by the `store_fuzz` test
+//! suite, mirroring the service's wire-protocol fuzz discipline.
+//!
+//! No dependencies beyond `deltaos-core` and `std`; the CRC32 is
+//! hand-rolled ([`crc::crc32`]) to keep the offline, registry-free build.
+
+mod codec;
+pub mod crc;
+pub mod error;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use error::StoreError;
+pub use snapshot::{SessionSnapshot, ShardCheckpoint, ShardCounters};
+pub use store::{init_dir, ShardRecovery, ShardStore};
+pub use wal::{FsyncPolicy, WalEvent, WalOp, WalScan, WalTail, MAX_RECORD};

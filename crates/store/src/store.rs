@@ -1,0 +1,360 @@
+//! One shard's durable state: a WAL, a checkpoint file, and a
+//! directory-level manifest.
+//!
+//! Layout inside the store directory:
+//!
+//! ```text
+//! store.meta          — manifest: format version + shard count
+//! wal-<shard>.log     — the shard's write-ahead log
+//! checkpoint-<shard>.snap — the shard's latest checkpoint (atomic)
+//! ```
+//!
+//! The manifest pins the shard count: sessions are pinned to shards by
+//! `session_id % shards`, so reopening a store directory with a
+//! different shard count would silently re-route sessions; that is
+//! rejected with [`StoreError::ShardCountMismatch`] instead.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::codec::{put_u16, put_u32};
+use crate::crc::crc32;
+use crate::error::StoreError;
+use crate::snapshot::ShardCheckpoint;
+use crate::wal::{sync_dir, FsyncPolicy, WalOp, WalTail, WalWriter};
+
+/// Magic prefix of the store manifest.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"DLSM";
+/// Manifest format version.
+pub const MANIFEST_VERSION: u16 = 1;
+
+/// Creates the store directory (if needed) and writes or validates its
+/// manifest. Call once per service start, before opening shard stores.
+pub fn init_dir(dir: &Path, shards: u32) -> Result<(), StoreError> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join("store.meta");
+    match File::open(&path) {
+        Ok(mut f) => {
+            let mut bytes = Vec::new();
+            f.read_to_end(&mut bytes)?;
+            let stored = decode_manifest(&bytes)?;
+            if stored != shards {
+                return Err(StoreError::ShardCountMismatch {
+                    stored,
+                    expected: shards,
+                });
+            }
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)?;
+            f.write_all(&encode_manifest(shards))?;
+            f.sync_all()?;
+            drop(f);
+            sync_dir(dir)?;
+            Ok(())
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+fn encode_manifest(shards: u32) -> Vec<u8> {
+    let mut body = Vec::new();
+    put_u16(&mut body, MANIFEST_VERSION);
+    put_u32(&mut body, shards);
+    let mut out = Vec::with_capacity(body.len() + 8);
+    out.extend_from_slice(&MANIFEST_MAGIC);
+    put_u32(&mut out, crc32(&body));
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decodes a manifest, returning its shard count.
+pub fn decode_manifest(bytes: &[u8]) -> Result<u32, StoreError> {
+    if bytes.len() < 8 {
+        return Err(StoreError::Truncated);
+    }
+    if bytes[..4] != MANIFEST_MAGIC {
+        return Err(StoreError::BadMagic {
+            what: "store manifest",
+        });
+    }
+    let stored = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    let body = &bytes[8..];
+    let computed = crc32(body);
+    if computed != stored {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+    let mut r = crate::codec::Reader::new(body);
+    let version = r.u16()?;
+    if version != MANIFEST_VERSION {
+        return Err(StoreError::UnsupportedVersion { version });
+    }
+    let shards = r.u32()?;
+    r.finish()?;
+    if shards == 0 {
+        return Err(StoreError::Invalid {
+            what: "zero shard count",
+        });
+    }
+    Ok(shards)
+}
+
+/// What [`ShardStore::open`] recovered from disk. The caller restores
+/// sessions from `checkpoint`, then replays `wal_ops` in order
+/// (sequence numbers ≤ `checkpoint.last_seq` are already filtered out).
+#[derive(Debug)]
+pub struct ShardRecovery {
+    /// Latest valid checkpoint, if any.
+    pub checkpoint: Option<ShardCheckpoint>,
+    /// WAL suffix to replay, in log order.
+    pub wal_ops: Vec<(u64, WalOp)>,
+    /// Torn-tail bytes truncated from the WAL on open.
+    pub torn_bytes: u64,
+}
+
+/// Live handle to one shard's durable state.
+pub struct ShardStore {
+    wal: WalWriter,
+    ckpt_path: PathBuf,
+    last_seq: u64,
+    records_since_checkpoint: u64,
+    checkpoints: u64,
+}
+
+impl ShardStore {
+    /// Opens shard `shard`'s WAL + checkpoint inside `dir` (which must
+    /// have passed [`init_dir`]), recovering whatever is on disk.
+    pub fn open(
+        dir: &Path,
+        shard: u32,
+        policy: FsyncPolicy,
+    ) -> Result<(Self, ShardRecovery), StoreError> {
+        let ckpt_path = dir.join(format!("checkpoint-{shard}.snap"));
+        let checkpoint = ShardCheckpoint::load(&ckpt_path)?;
+        if let Some(c) = &checkpoint {
+            if c.shard != shard {
+                return Err(StoreError::Invalid {
+                    what: "checkpoint shard id",
+                });
+            }
+        }
+        let wal_path = dir.join(format!("wal-{shard}.log"));
+        let (mut wal, scan) = WalWriter::open(&wal_path, policy)?;
+        let floor = checkpoint.as_ref().map(|c| c.last_seq).unwrap_or(0);
+        wal.reserve_seq(floor + 1);
+        let torn_bytes = match scan.tail {
+            WalTail::Clean => 0,
+            WalTail::Torn { dropped } => dropped,
+        };
+        // Skip records the checkpoint already covers (present only when
+        // a crash landed between checkpoint rename and WAL truncation).
+        let wal_ops: Vec<(u64, WalOp)> = scan
+            .records
+            .into_iter()
+            .filter(|&(seq, _)| seq > floor)
+            .collect();
+        let last_seq = wal.next_seq() - 1;
+        let store = ShardStore {
+            wal,
+            ckpt_path,
+            last_seq,
+            records_since_checkpoint: wal_ops.len() as u64,
+            checkpoints: 0,
+        };
+        Ok((
+            store,
+            ShardRecovery {
+                checkpoint,
+                wal_ops,
+                torn_bytes,
+            },
+        ))
+    }
+
+    /// Stages `op`; durable after the next [`commit`](Self::commit).
+    pub fn append(&mut self, op: &WalOp) -> u64 {
+        let seq = self.wal.append(op);
+        self.last_seq = seq;
+        self.records_since_checkpoint += 1;
+        seq
+    }
+
+    /// Commits staged records per the fsync policy.
+    pub fn commit(&mut self) -> Result<(), StoreError> {
+        self.wal.commit()
+    }
+
+    /// Flush + forced fsync (shutdown barrier).
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.wal.sync()
+    }
+
+    /// Writes `checkpoint` atomically, then truncates the WAL it covers.
+    /// The checkpoint's `last_seq` is forced to the store's current
+    /// sequence so the compaction point is exactly "everything logged so
+    /// far".
+    pub fn checkpoint(&mut self, mut checkpoint: ShardCheckpoint) -> Result<(), StoreError> {
+        checkpoint.last_seq = self.last_seq;
+        // Barrier: everything the checkpoint claims to cover must be on
+        // disk before the old log becomes unreachable.
+        self.wal.sync()?;
+        checkpoint.write_atomic(&self.ckpt_path)?;
+        self.wal.truncate_all()?;
+        self.records_since_checkpoint = 0;
+        self.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Sequence number of the last appended / recovered record (0 when
+    /// the shard has never logged).
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Records appended since the last checkpoint (or open).
+    pub fn records_since_checkpoint(&self) -> u64 {
+        self.records_since_checkpoint
+    }
+
+    /// Records appended since open.
+    pub fn wal_records(&self) -> u64 {
+        self.wal.records()
+    }
+
+    /// Commits since open.
+    pub fn commits(&self) -> u64 {
+        self.wal.commits()
+    }
+
+    /// Fsyncs since open.
+    pub fn fsyncs(&self) -> u64 {
+        self.wal.fsyncs()
+    }
+
+    /// Checkpoints written since open.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::ShardCounters;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("deltaos-store-dir-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn empty_ckpt(shard: u32) -> ShardCheckpoint {
+        ShardCheckpoint {
+            shard,
+            last_seq: 0,
+            next_session: 0,
+            counters: ShardCounters::default(),
+            sessions: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn manifest_pins_shard_count() {
+        let dir = tmp("manifest");
+        init_dir(&dir, 4).unwrap();
+        init_dir(&dir, 4).unwrap();
+        assert!(matches!(
+            init_dir(&dir, 8),
+            Err(StoreError::ShardCountMismatch {
+                stored: 4,
+                expected: 8
+            })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn log_checkpoint_compacts_and_seq_stays_monotonic() {
+        let dir = tmp("compact");
+        init_dir(&dir, 1).unwrap();
+        let op = WalOp::Open {
+            session: 0,
+            resources: 2,
+            processes: 2,
+        };
+        {
+            let (mut s, r) = ShardStore::open(&dir, 0, FsyncPolicy::Os).unwrap();
+            assert!(r.checkpoint.is_none() && r.wal_ops.is_empty());
+            assert_eq!(s.append(&op), 1);
+            assert_eq!(s.append(&WalOp::Close { session: 0 }), 2);
+            s.commit().unwrap();
+            s.checkpoint(empty_ckpt(0)).unwrap();
+            assert_eq!(s.records_since_checkpoint(), 0);
+            // Post-checkpoint appends continue the sequence.
+            assert_eq!(s.append(&op), 3);
+            s.commit().unwrap();
+        }
+        let (s, r) = ShardStore::open(&dir, 0, FsyncPolicy::Os).unwrap();
+        let c = r.checkpoint.expect("checkpoint present");
+        assert_eq!(c.last_seq, 2);
+        assert_eq!(
+            r.wal_ops.len(),
+            1,
+            "only the post-checkpoint record replays"
+        );
+        assert_eq!(r.wal_ops[0].0, 3);
+        assert_eq!(s.last_seq(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_checkpoint_and_truncate_is_filtered() {
+        let dir = tmp("rename-crash");
+        init_dir(&dir, 1).unwrap();
+        let op = WalOp::Open {
+            session: 0,
+            resources: 2,
+            processes: 2,
+        };
+        {
+            let (mut s, _) = ShardStore::open(&dir, 0, FsyncPolicy::Os).unwrap();
+            s.append(&op);
+            s.append(&WalOp::Close { session: 0 });
+            s.commit().unwrap();
+            s.sync().unwrap();
+        }
+        // Simulate the crash window: checkpoint covering seq 2 exists
+        // but the WAL was never truncated.
+        let mut c = empty_ckpt(0);
+        c.last_seq = 2;
+        c.write_atomic(&dir.join("checkpoint-0.snap")).unwrap();
+        let (s, r) = ShardStore::open(&dir, 0, FsyncPolicy::Os).unwrap();
+        assert!(r.wal_ops.is_empty(), "covered records must not replay");
+        assert_eq!(s.last_seq(), 2);
+        let (_, r2) = ShardStore::open(&dir, 0, FsyncPolicy::Os).unwrap();
+        assert!(r2.wal_ops.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_shard_checkpoint_is_rejected() {
+        let dir = tmp("wrong-shard");
+        init_dir(&dir, 2).unwrap();
+        empty_ckpt(1)
+            .write_atomic(&dir.join("checkpoint-0.snap"))
+            .unwrap();
+        assert!(matches!(
+            ShardStore::open(&dir, 0, FsyncPolicy::Os),
+            Err(StoreError::Invalid {
+                what: "checkpoint shard id"
+            })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

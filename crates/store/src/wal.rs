@@ -1,0 +1,648 @@
+//! Per-shard write-ahead log.
+//!
+//! On-disk format is a stream of records:
+//!
+//! ```text
+//! [len: u32 LE] [crc: u32 LE = crc32(payload)] [payload: len bytes]
+//! payload = [seq: u64 LE] [op bytes]
+//! ```
+//!
+//! Sequence numbers are strictly increasing and never reset (a
+//! checkpoint records `last_seq` instead of rewinding, so WAL records
+//! surviving a crash between checkpoint-rename and log-truncation are
+//! recognized and skipped on replay). Opening the log scans it from the
+//! start and stops at the first record that is short, oversized,
+//! checksum-mismatched, undecodable, or out of sequence — everything
+//! after that point is a torn tail from an interrupted write and is
+//! truncated away.
+//!
+//! Writes go through a group-commit buffer: [`WalWriter::append`]
+//! stages records, [`WalWriter::commit`] hands them to the OS in one
+//! write and applies the [`FsyncPolicy`].
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use deltaos_core::{ProcId, ResId};
+
+use crate::codec::{put_u16, put_u32, put_u64, put_u8, Reader};
+use crate::crc::crc32;
+use crate::error::StoreError;
+use crate::snapshot::SessionSnapshot;
+
+/// Hard cap on one record's payload (matches the service's wire-frame
+/// cap so anything a client can send fits in one record).
+pub const MAX_RECORD: usize = 1 << 20;
+
+/// When the WAL writer calls `fsync` relative to commits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every commit. Maximum durability: nothing
+    /// acknowledged is ever lost, at the cost of one device flush per
+    /// commit.
+    Always,
+    /// `fdatasync` once every `n` commits (group durability). A crash
+    /// can lose at most the last `n − 1` acknowledged commits; torn-tail
+    /// truncation keeps the log consistent regardless.
+    EveryN(u32),
+    /// Never `fsync`; leave flushing to the OS page cache. Survives
+    /// process crashes (the data is in the kernel) but not power loss.
+    Os,
+}
+
+/// One event inside a [`WalOp::Batch`] — mirrors the service wire
+/// events using core ids so the store stays independent of the wire
+/// crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalEvent {
+    /// Process `p` requests resource `q`.
+    Request {
+        /// Requesting process.
+        p: ProcId,
+        /// Requested resource.
+        q: ResId,
+    },
+    /// Resource `q` granted to process `p`.
+    Grant {
+        /// Granted resource.
+        q: ResId,
+        /// Receiving process.
+        p: ProcId,
+    },
+    /// Process `p` releases / withdraws on `q`.
+    Release {
+        /// Released resource.
+        q: ResId,
+        /// Releasing process.
+        p: ProcId,
+    },
+    /// Detection probe (mutates engine counters and the result cache,
+    /// so it is logged to keep recovery bit-identical).
+    Probe,
+    /// Avoidance query for edge `p → q` (also logged: it advances
+    /// engine counters).
+    WouldDeadlock {
+        /// Hypothetical requester.
+        p: ProcId,
+        /// Hypothetical resource.
+        q: ResId,
+    },
+}
+
+const EV_REQUEST: u8 = 1;
+const EV_GRANT: u8 = 2;
+const EV_RELEASE: u8 = 3;
+const EV_PROBE: u8 = 4;
+const EV_WOULD_DEADLOCK: u8 = 5;
+
+impl WalEvent {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            WalEvent::Request { p, q } => {
+                put_u8(out, EV_REQUEST);
+                put_u16(out, p.0);
+                put_u16(out, q.0);
+            }
+            WalEvent::Grant { q, p } => {
+                put_u8(out, EV_GRANT);
+                put_u16(out, p.0);
+                put_u16(out, q.0);
+            }
+            WalEvent::Release { q, p } => {
+                put_u8(out, EV_RELEASE);
+                put_u16(out, p.0);
+                put_u16(out, q.0);
+            }
+            WalEvent::Probe => put_u8(out, EV_PROBE),
+            WalEvent::WouldDeadlock { p, q } => {
+                put_u8(out, EV_WOULD_DEADLOCK);
+                put_u16(out, p.0);
+                put_u16(out, q.0);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        let tag = r.u8()?;
+        if tag == EV_PROBE {
+            return Ok(WalEvent::Probe);
+        }
+        let p = ProcId(r.u16()?);
+        let q = ResId(r.u16()?);
+        match tag {
+            EV_REQUEST => Ok(WalEvent::Request { p, q }),
+            EV_GRANT => Ok(WalEvent::Grant { q, p }),
+            EV_RELEASE => Ok(WalEvent::Release { q, p }),
+            EV_WOULD_DEADLOCK => Ok(WalEvent::WouldDeadlock { p, q }),
+            tag => Err(StoreError::UnknownTag {
+                what: "wal event",
+                tag,
+            }),
+        }
+    }
+}
+
+/// One logged state-mutating operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Session opened with an empty `resources` × `processes` RAG.
+    Open {
+        /// Session id.
+        session: u64,
+        /// Resource dimension.
+        resources: u16,
+        /// Process dimension.
+        processes: u16,
+    },
+    /// Batch of events applied to a session. Every *accepted* batch is
+    /// logged — including probe-only ones — because probes advance
+    /// engine counters that recovery must reproduce exactly.
+    Batch {
+        /// Session id.
+        session: u64,
+        /// The events, in wire order.
+        events: Vec<WalEvent>,
+    },
+    /// Session closed (retires its counters into the shard's).
+    Close {
+        /// Session id.
+        session: u64,
+    },
+    /// Session restored from a client-supplied snapshot (the wire
+    /// `Restore` op); the snapshot itself is embedded so replay can
+    /// rebuild the session without any other source.
+    Restore {
+        /// The embedded session image (carries its own session id).
+        snapshot: SessionSnapshot,
+    },
+}
+
+const OP_OPEN: u8 = 1;
+const OP_BATCH: u8 = 2;
+const OP_CLOSE: u8 = 3;
+const OP_RESTORE: u8 = 4;
+
+impl WalOp {
+    /// Appends the op encoding (tag + fields) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            WalOp::Open {
+                session,
+                resources,
+                processes,
+            } => {
+                put_u8(out, OP_OPEN);
+                put_u64(out, *session);
+                put_u16(out, *resources);
+                put_u16(out, *processes);
+            }
+            WalOp::Batch { session, events } => {
+                put_u8(out, OP_BATCH);
+                put_u64(out, *session);
+                put_u32(out, events.len() as u32);
+                for ev in events {
+                    ev.encode_into(out);
+                }
+            }
+            WalOp::Close { session } => {
+                put_u8(out, OP_CLOSE);
+                put_u64(out, *session);
+            }
+            WalOp::Restore { snapshot } => {
+                put_u8(out, OP_RESTORE);
+                snapshot.encode_into(out);
+            }
+        }
+    }
+
+    /// Decodes an op, requiring exact consumption of `bytes`.
+    pub fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
+        let mut r = Reader::new(bytes);
+        let op = match r.u8()? {
+            OP_OPEN => {
+                let session = r.u64()?;
+                let resources = r.u16()?;
+                let processes = r.u16()?;
+                if resources == 0 || processes == 0 {
+                    return Err(StoreError::Invalid {
+                        what: "zero open dimension",
+                    });
+                }
+                WalOp::Open {
+                    session,
+                    resources,
+                    processes,
+                }
+            }
+            OP_BATCH => {
+                let session = r.u64()?;
+                let count = r.count(1)?;
+                let mut events = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    events.push(WalEvent::decode_from(&mut r)?);
+                }
+                WalOp::Batch { session, events }
+            }
+            OP_CLOSE => WalOp::Close { session: r.u64()? },
+            OP_RESTORE => WalOp::Restore {
+                snapshot: SessionSnapshot::decode_from(&mut r)?,
+            },
+            tag => {
+                return Err(StoreError::UnknownTag {
+                    what: "wal op",
+                    tag,
+                })
+            }
+        };
+        r.finish()?;
+        Ok(op)
+    }
+}
+
+/// What the opening scan found at the end of the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalTail {
+    /// The log ended exactly on a record boundary.
+    Clean,
+    /// Trailing bytes did not form a valid record (interrupted write or
+    /// corruption) and were truncated away.
+    Torn {
+        /// Bytes dropped.
+        dropped: u64,
+    },
+}
+
+/// Result of scanning a WAL byte stream.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Valid records in log order.
+    pub records: Vec<(u64, WalOp)>,
+    /// Byte length of the valid prefix.
+    pub valid_len: u64,
+    /// Tail condition.
+    pub tail: WalTail,
+}
+
+/// Scans `bytes` as a WAL stream, returning every valid record and the
+/// length of the valid prefix. Never fails: an invalid record simply
+/// ends the valid prefix (that is the crash-recovery contract — a torn
+/// tail is data that was never acknowledged under `FsyncPolicy::Always`
+/// or was covered by the group-commit loss window otherwise).
+pub fn scan(bytes: &[u8]) -> WalScan {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut prev_seq: Option<u64> = None;
+    while bytes.len() - pos >= 8 {
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        let stored = u32::from_le_bytes([
+            bytes[pos + 4],
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+        ]);
+        if !(8..=MAX_RECORD).contains(&len) || bytes.len() - pos - 8 < len {
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != stored {
+            break;
+        }
+        let seq = u64::from_le_bytes([
+            payload[0], payload[1], payload[2], payload[3], payload[4], payload[5], payload[6],
+            payload[7],
+        ]);
+        if prev_seq.is_some_and(|p| seq <= p) {
+            break;
+        }
+        let Ok(op) = WalOp::decode(&payload[8..]) else {
+            break;
+        };
+        records.push((seq, op));
+        prev_seq = Some(seq);
+        pos += 8 + len;
+    }
+    let valid_len = pos as u64;
+    let tail = if pos == bytes.len() {
+        WalTail::Clean
+    } else {
+        WalTail::Torn {
+            dropped: (bytes.len() - pos) as u64,
+        }
+    };
+    WalScan {
+        records,
+        valid_len,
+        tail,
+    }
+}
+
+/// Append-side of one shard's WAL with group commit.
+pub struct WalWriter {
+    file: File,
+    buf: Vec<u8>,
+    scratch: Vec<u8>,
+    next_seq: u64,
+    policy: FsyncPolicy,
+    unsynced_commits: u32,
+    records: u64,
+    commits: u64,
+    fsyncs: u64,
+}
+
+impl WalWriter {
+    /// Opens (creating if absent) the WAL at `path`, scans it, truncates
+    /// any torn tail, and positions the writer after the last valid
+    /// record. Returns the writer and the scan (whose records the caller
+    /// replays).
+    pub fn open(path: &Path, policy: FsyncPolicy) -> Result<(Self, WalScan), StoreError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            // Existing contents are scanned and any torn tail truncated
+            // just below — never blindly truncate a log on open.
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let scan = scan(&bytes);
+        if scan.valid_len < bytes.len() as u64 {
+            file.set_len(scan.valid_len)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(scan.valid_len))?;
+        let next_seq = scan.records.last().map(|(s, _)| s + 1).unwrap_or(1);
+        let writer = WalWriter {
+            file,
+            buf: Vec::new(),
+            scratch: Vec::new(),
+            next_seq,
+            policy,
+            unsynced_commits: 0,
+            records: 0,
+            commits: 0,
+            fsyncs: 0,
+        };
+        Ok((writer, scan))
+    }
+
+    /// Lowest sequence number the *next* appended record will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Forces the next record's sequence number to be at least `seq`
+    /// (used after loading a checkpoint whose `last_seq` is ahead of the
+    /// surviving log).
+    pub fn reserve_seq(&mut self, seq: u64) {
+        self.next_seq = self.next_seq.max(seq);
+    }
+
+    /// Stages one record in the group-commit buffer; returns its
+    /// sequence number. Not durable until [`commit`](Self::commit).
+    pub fn append(&mut self, op: &WalOp) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scratch.clear();
+        put_u64(&mut self.scratch, seq);
+        op.encode_into(&mut self.scratch);
+        debug_assert!(self.scratch.len() <= MAX_RECORD);
+        put_u32(&mut self.buf, self.scratch.len() as u32);
+        put_u32(&mut self.buf, crc32(&self.scratch));
+        self.buf.extend_from_slice(&self.scratch);
+        self.records += 1;
+        seq
+    }
+
+    /// Writes all staged records in one `write` and applies the fsync
+    /// policy. No-op when nothing is staged.
+    pub fn commit(&mut self) -> Result<(), StoreError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(&self.buf)?;
+        self.buf.clear();
+        self.commits += 1;
+        match self.policy {
+            FsyncPolicy::Always => {
+                self.file.sync_data()?;
+                self.fsyncs += 1;
+            }
+            FsyncPolicy::EveryN(n) => {
+                self.unsynced_commits += 1;
+                if self.unsynced_commits >= n.max(1) {
+                    self.file.sync_data()?;
+                    self.fsyncs += 1;
+                    self.unsynced_commits = 0;
+                }
+            }
+            FsyncPolicy::Os => {}
+        }
+        Ok(())
+    }
+
+    /// Flushes staged records and forces an fsync regardless of policy
+    /// (shutdown / pre-checkpoint barrier).
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+            self.commits += 1;
+        }
+        self.file.sync_data()?;
+        self.fsyncs += 1;
+        self.unsynced_commits = 0;
+        Ok(())
+    }
+
+    /// Discards the log's contents after a checkpoint made them
+    /// redundant. Sequence numbering continues monotonically.
+    pub fn truncate_all(&mut self) -> Result<(), StoreError> {
+        self.buf.clear();
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.sync_all()?;
+        self.unsynced_commits = 0;
+        Ok(())
+    }
+
+    /// Records appended since open.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Commits since open.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Fsyncs issued since open.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
+}
+
+/// Fsyncs a directory so a rename/create inside it is durable. On
+/// non-unix targets this is a no-op (the repo's service front-end is
+/// unix-only anyway).
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), StoreError> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops() -> Vec<WalOp> {
+        vec![
+            WalOp::Open {
+                session: 4,
+                resources: 8,
+                processes: 6,
+            },
+            WalOp::Batch {
+                session: 4,
+                events: vec![
+                    WalEvent::Grant {
+                        q: ResId(0),
+                        p: ProcId(1),
+                    },
+                    WalEvent::Request {
+                        p: ProcId(2),
+                        q: ResId(0),
+                    },
+                    WalEvent::Probe,
+                    WalEvent::WouldDeadlock {
+                        p: ProcId(3),
+                        q: ResId(1),
+                    },
+                    WalEvent::Release {
+                        q: ResId(0),
+                        p: ProcId(1),
+                    },
+                ],
+            },
+            WalOp::Close { session: 4 },
+        ]
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("deltaos-store-wal-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal-0.log")
+    }
+
+    #[test]
+    fn ops_roundtrip() {
+        for op in sample_ops() {
+            let mut bytes = Vec::new();
+            op.encode_into(&mut bytes);
+            assert_eq!(WalOp::decode(&bytes).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn append_commit_reopen_replays() {
+        let path = tmp("roundtrip");
+        let ops = sample_ops();
+        {
+            let (mut w, scan) = WalWriter::open(&path, FsyncPolicy::Always).unwrap();
+            assert!(scan.records.is_empty());
+            for op in &ops {
+                w.append(op);
+            }
+            w.commit().unwrap();
+        }
+        let (w, scan) = WalWriter::open(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(scan.tail, WalTail::Clean);
+        let replayed: Vec<WalOp> = scan.records.iter().map(|(_, op)| op.clone()).collect();
+        assert_eq!(replayed, ops);
+        let seqs: Vec<u64> = scan.records.iter().map(|&(s, _)| s).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        assert_eq!(w.next_seq(), 4);
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = tmp("torn");
+        {
+            let (mut w, _) = WalWriter::open(&path, FsyncPolicy::Os).unwrap();
+            for op in sample_ops() {
+                w.append(&op);
+            }
+            w.sync().unwrap();
+        }
+        // Tear the last record in half.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let (w, scan) = WalWriter::open(&path, FsyncPolicy::Os).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert!(matches!(scan.tail, WalTail::Torn { dropped } if dropped > 0));
+        assert_eq!(w.next_seq(), 3);
+        // The truncation is persistent.
+        assert_eq!(std::fs::read(&path).unwrap().len() as u64, scan.valid_len);
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn corrupt_byte_cuts_the_log_at_that_record() {
+        let path = tmp("corrupt");
+        {
+            let (mut w, _) = WalWriter::open(&path, FsyncPolicy::Os).unwrap();
+            for op in sample_ops() {
+                w.append(&op);
+            }
+            w.sync().unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        // Flip a byte inside the second record's payload.
+        let first_len = u32::from_le_bytes([full[0], full[1], full[2], full[3]]) as usize + 8;
+        let mut broken = full.clone();
+        broken[first_len + 12] ^= 0xFF;
+        std::fs::write(&path, &broken).unwrap();
+        let (_, scan) = WalWriter::open(&path, FsyncPolicy::Os).unwrap();
+        assert_eq!(
+            scan.records.len(),
+            1,
+            "records after the corrupt one are dropped too"
+        );
+        assert!(matches!(scan.tail, WalTail::Torn { .. }));
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn scan_never_panics_on_mutations() {
+        let mut bytes = Vec::new();
+        {
+            let mut payload = Vec::new();
+            for (i, op) in sample_ops().iter().enumerate() {
+                payload.clear();
+                put_u64(&mut payload, i as u64 + 1);
+                op.encode_into(&mut payload);
+                put_u32(&mut bytes, payload.len() as u32);
+                put_u32(&mut bytes, crc32(&payload));
+                bytes.extend_from_slice(&payload);
+            }
+        }
+        for cut in 0..bytes.len() {
+            let _ = scan(&bytes[..cut]);
+        }
+        for i in 0..bytes.len() {
+            let mut m = bytes.clone();
+            m[i] = m[i].wrapping_add(1);
+            let _ = scan(&m);
+        }
+    }
+}

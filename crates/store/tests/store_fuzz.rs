@@ -1,0 +1,292 @@
+//! Robustness fuzz over every store decoder: WAL scans, session
+//! snapshots, shard checkpoints, and the manifest.
+//!
+//! The contract under test is *totality*: any byte mutation, any
+//! truncation (every split point), and pure garbage must come back as a
+//! typed [`StoreError`] — or as `Ok` when the damage happens to keep
+//! the input valid — and must never panic or allocate unboundedly.
+//! Driven by the vendored deterministic PRNG so failures replay from
+//! their seed.
+
+use deltaos_core::engine::EngineStats;
+use deltaos_core::pdda::DetectOutcome;
+use deltaos_core::{ProcId, ResId};
+use deltaos_store::wal::{scan, WalEvent, WalTail};
+use deltaos_store::{SessionSnapshot, ShardCheckpoint, ShardCounters, StoreError, WalOp};
+use rand::{Rng, SeedableRng, StdRng};
+
+fn sample_snapshot(session: u64) -> SessionSnapshot {
+    SessionSnapshot {
+        session,
+        resources: 8,
+        processes: 6,
+        grants: vec![(0, 1), (2, 3), (5, 0)],
+        requests: vec![(0, 2), (1, 4), (2, 1)],
+        engine: EngineStats {
+            probes: 11,
+            cache_hits: 4,
+            reductions: 7,
+            ..EngineStats::default()
+        },
+        cached: Some(DetectOutcome {
+            deadlock: true,
+            iterations: 3,
+            steps: 17,
+        }),
+    }
+}
+
+fn sample_checkpoint() -> ShardCheckpoint {
+    ShardCheckpoint {
+        shard: 2,
+        last_seq: 40,
+        next_session: 9,
+        counters: ShardCounters {
+            events: 123,
+            batches: 17,
+            probes: 11,
+            ..ShardCounters::default()
+        },
+        sessions: vec![sample_snapshot(2), sample_snapshot(6)],
+    }
+}
+
+fn sample_wal_stream() -> Vec<u8> {
+    let ops = [
+        WalOp::Open {
+            session: 0,
+            resources: 8,
+            processes: 6,
+        },
+        WalOp::Batch {
+            session: 0,
+            events: vec![
+                WalEvent::Grant {
+                    q: ResId(0),
+                    p: ProcId(1),
+                },
+                WalEvent::Request {
+                    p: ProcId(2),
+                    q: ResId(0),
+                },
+                WalEvent::Probe,
+                WalEvent::WouldDeadlock {
+                    p: ProcId(3),
+                    q: ResId(1),
+                },
+                WalEvent::Release {
+                    q: ResId(0),
+                    p: ProcId(1),
+                },
+            ],
+        },
+        WalOp::Restore {
+            snapshot: sample_snapshot(4),
+        },
+        WalOp::Close { session: 0 },
+    ];
+    let mut bytes = Vec::new();
+    let mut payload = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        payload.clear();
+        payload.extend_from_slice(&(i as u64 + 1).to_le_bytes());
+        op.encode_into(&mut payload);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&deltaos_store::crc::crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+    }
+    bytes
+}
+
+/// Every split point of a valid WAL stream scans cleanly: the valid
+/// prefix is exactly the records whose bytes survived, the remainder is
+/// a torn tail, and a re-scan of the valid prefix is clean.
+#[test]
+fn wal_every_truncation_yields_a_valid_prefix() {
+    let bytes = sample_wal_stream();
+    let full = scan(&bytes);
+    assert_eq!(full.records.len(), 4);
+    assert_eq!(full.tail, WalTail::Clean);
+    for cut in 0..bytes.len() {
+        let s = scan(&bytes[..cut]);
+        assert!(s.valid_len <= cut as u64, "cut {cut}");
+        assert!(s.records.len() <= full.records.len());
+        // The surviving records are a strict prefix of the originals.
+        for (got, want) in s.records.iter().zip(full.records.iter()) {
+            assert_eq!(got, want, "cut {cut}");
+        }
+        let rescan = scan(&bytes[..s.valid_len as usize]);
+        assert_eq!(rescan.tail, WalTail::Clean, "cut {cut}");
+        assert_eq!(rescan.records.len(), s.records.len(), "cut {cut}");
+    }
+}
+
+/// Random multi-byte mutations of a valid WAL stream never panic the
+/// scanner, and whatever it accepts is internally consistent.
+#[test]
+fn wal_mutations_never_panic() {
+    let bytes = sample_wal_stream();
+    let mut rng = StdRng::seed_from_u64(0x5709E);
+    for _ in 0..2000 {
+        let mut m = bytes.clone();
+        for _ in 0..rng.gen_range(1..6u32) {
+            let i = rng.gen_range(0..m.len());
+            m[i] ^= 1 << rng.gen_range(0..8u32);
+        }
+        let s = scan(&m);
+        assert!(s.valid_len <= m.len() as u64);
+        let mut prev = 0u64;
+        for &(seq, _) in &s.records {
+            assert!(seq > prev, "sequence numbers stay strictly increasing");
+            prev = seq;
+        }
+    }
+    // Pure garbage too.
+    for _ in 0..500 {
+        let len = rng.gen_range(0..512usize);
+        let mut soup = vec![0u8; len];
+        for b in &mut soup {
+            *b = rng.gen_range(0..=255u32) as u8;
+        }
+        let _ = scan(&soup);
+    }
+}
+
+/// Session snapshots: every truncation and mutation decodes to a typed
+/// error or a valid message; round-trips are exact.
+#[test]
+fn snapshot_decoder_is_total() {
+    let snap = sample_snapshot(7);
+    let bytes = snap.encode();
+    assert_eq!(SessionSnapshot::decode(&bytes).unwrap(), snap);
+    assert!(matches!(
+        SessionSnapshot::decode(&[]),
+        Err(StoreError::Truncated)
+    ));
+    // Trailing bytes are rejected, not ignored.
+    let mut extended = bytes.clone();
+    extended.push(0);
+    assert!(matches!(
+        SessionSnapshot::decode(&extended),
+        Err(StoreError::TrailingBytes { .. })
+    ));
+    for cut in 0..bytes.len() {
+        let _ = SessionSnapshot::decode(&bytes[..cut]);
+    }
+    let mut rng = StdRng::seed_from_u64(0x54A9);
+    for _ in 0..2000 {
+        let mut m = bytes.clone();
+        for _ in 0..rng.gen_range(1..4u32) {
+            let i = rng.gen_range(0..m.len());
+            m[i] ^= 1 << rng.gen_range(0..8u32);
+        }
+        if let Ok(decoded) = SessionSnapshot::decode(&m) {
+            // A mutation that still decodes must re-encode canonically.
+            assert_eq!(decoded.encode().len(), m.len());
+        }
+    }
+}
+
+/// A snapshot whose edges violate RAG invariants is rejected by
+/// `restore_rag` with a typed error instead of panicking the engine.
+#[test]
+fn invalid_snapshot_content_is_rejected() {
+    let mut snap = sample_snapshot(1);
+    snap.grants.push((200, 1)); // resource out of range for 8×6
+    assert!(matches!(
+        snap.restore_rag(),
+        Err(StoreError::Invalid { .. })
+    ));
+    let mut snap = sample_snapshot(1);
+    snap.grants.push((0, 5)); // second owner for resource 0
+    assert!(matches!(
+        snap.restore_rag(),
+        Err(StoreError::Invalid { .. })
+    ));
+}
+
+/// Checkpoint files: header damage maps to the matching typed error,
+/// body damage to a checksum mismatch, and all truncations are typed.
+#[test]
+fn checkpoint_file_decoder_is_total() {
+    let ckpt = sample_checkpoint();
+    let bytes = ckpt.encode_file();
+    assert_eq!(ShardCheckpoint::decode_file(&bytes).unwrap(), ckpt);
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(
+        ShardCheckpoint::decode_file(&bad_magic),
+        Err(StoreError::BadMagic { .. })
+    ));
+    // Any payload bit flip trips the checksum before the body decoder
+    // ever runs.
+    let mut bad_body = bytes.clone();
+    let last = bad_body.len() - 1;
+    bad_body[last] ^= 0x10;
+    assert!(matches!(
+        ShardCheckpoint::decode_file(&bad_body),
+        Err(StoreError::ChecksumMismatch { .. })
+    ));
+    for cut in 0..bytes.len() {
+        assert!(
+            ShardCheckpoint::decode_file(&bytes[..cut]).is_err(),
+            "cut {cut} must not decode"
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(0xC4EC);
+    for _ in 0..2000 {
+        let mut m = bytes.clone();
+        for _ in 0..rng.gen_range(1..4u32) {
+            let i = rng.gen_range(0..m.len());
+            m[i] ^= 1 << rng.gen_range(0..8u32);
+        }
+        let _ = ShardCheckpoint::decode_file(&m);
+    }
+}
+
+/// A hostile length claim (huge session count) is rejected before any
+/// allocation happens — the count pre-check against remaining bytes.
+#[test]
+fn hostile_counts_do_not_allocate() {
+    let ckpt = sample_checkpoint();
+    let mut body = ckpt.encode_body();
+    // The session count lives right before the first session's bytes;
+    // find it by encoding a zero-session checkpoint and diffing lengths.
+    let empty = ShardCheckpoint {
+        sessions: Vec::new(),
+        ..sample_checkpoint()
+    }
+    .encode_body();
+    let count_at = empty.len() - 4;
+    body[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        ShardCheckpoint::decode_body(&body),
+        Err(StoreError::CountTooLarge { .. })
+    ));
+}
+
+/// The manifest decoder is total over truncations, mutations and soup.
+#[test]
+fn manifest_decoder_is_total() {
+    use deltaos_store::store::decode_manifest;
+    let dir = std::env::temp_dir().join(format!("deltaos-fuzz-manifest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    deltaos_store::init_dir(&dir, 4).unwrap();
+    let bytes = std::fs::read(dir.join("store.meta")).unwrap();
+    assert_eq!(decode_manifest(&bytes).unwrap(), 4);
+    for cut in 0..bytes.len() {
+        assert!(decode_manifest(&bytes[..cut]).is_err());
+    }
+    let mut rng = StdRng::seed_from_u64(0x3A71F);
+    for _ in 0..1000 {
+        let mut m = bytes.clone();
+        let i = rng.gen_range(0..m.len());
+        m[i] ^= 1 << rng.gen_range(0..8u32);
+        assert!(
+            decode_manifest(&m).is_err(),
+            "a single-bit flip anywhere must be caught"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

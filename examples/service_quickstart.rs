@@ -84,7 +84,7 @@ fn main() {
     }
 
     // Per-shard counters over the wire.
-    if let Response::Stats(shards) = tcp.call(&Request::Stats).expect("stats over tcp") {
+    if let Response::Stats { shards, .. } = tcp.call(&Request::Stats).expect("stats over tcp") {
         let events: u64 = shards.iter().map(|s| s.events).sum();
         println!("{} shards ingested {events} events total", shards.len());
     }

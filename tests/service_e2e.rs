@@ -84,7 +84,7 @@ fn tcp_round_trip_detects_deadlock_and_reports_stats() {
 
     // Stats reflect the session's traffic.
     match client.call(&Request::Stats).unwrap() {
-        Response::Stats(shards) => {
+        Response::Stats { shards, .. } => {
             assert_eq!(shards.len(), ServiceConfig::default().shards);
             let events: u64 = shards.iter().map(|s| s.events).sum();
             let probes: u64 = shards.iter().map(|s| s.probes).sum();
@@ -106,6 +106,96 @@ fn tcp_round_trip_detects_deadlock_and_reports_stats() {
         .map(|s| s.counter("service.sessions_closed"))
         .sum();
     assert_eq!(closed, 1);
+}
+
+#[test]
+fn tcp_snapshot_restore_roundtrip() {
+    let service = Service::start(ServiceConfig::default());
+    let server = TcpServer::bind("127.0.0.1:0", service.client()).unwrap();
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+
+    let sid = match client
+        .call(&Request::Open {
+            resources: 4,
+            processes: 4,
+        })
+        .unwrap()
+    {
+        Response::Opened(sid) => sid,
+        other => panic!("unexpected {other:?}"),
+    };
+    let probe_outcome = |client: &mut TcpClient, sid| match client
+        .call(&Request::Batch {
+            session: sid,
+            events: vec![Event::Probe],
+        })
+        .unwrap()
+    {
+        Response::Batch(results) => match results[0] {
+            EventResult::Outcome(o) => o,
+            ref other => panic!("unexpected {other:?}"),
+        },
+        other => panic!("unexpected {other:?}"),
+    };
+    client
+        .call(&Request::Batch {
+            session: sid,
+            events: vec![
+                Event::Grant {
+                    q: ResId(0),
+                    p: ProcId(0),
+                },
+                Event::Grant {
+                    q: ResId(1),
+                    p: ProcId(1),
+                },
+                Event::Request {
+                    p: ProcId(0),
+                    q: ResId(1),
+                },
+                Event::Request {
+                    p: ProcId(1),
+                    q: ResId(0),
+                },
+            ],
+        })
+        .unwrap();
+    let original = probe_outcome(&mut client, sid);
+    assert!(original.deadlock);
+
+    // Snapshot over the wire, restore it as a new session, and check the
+    // clone answers exactly like the original.
+    let blob = match client.call(&Request::Snapshot { session: sid }).unwrap() {
+        Response::Snapshot(blob) => blob,
+        other => panic!("unexpected {other:?}"),
+    };
+    let copy = match client.call(&Request::Restore { snapshot: blob }).unwrap() {
+        Response::Opened(copy) => copy,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_ne!(copy, sid);
+    assert_eq!(probe_outcome(&mut client, copy), original);
+
+    // Error paths stay typed over the wire.
+    assert_eq!(
+        client
+            .call(&Request::Snapshot {
+                session: SessionId(424242)
+            })
+            .unwrap(),
+        Response::Error(ErrorCode::UnknownSession)
+    );
+    assert_eq!(
+        client
+            .call(&Request::Restore {
+                snapshot: vec![0xEE; 32]
+            })
+            .unwrap(),
+        Response::Error(ErrorCode::InvalidSnapshot)
+    );
+
+    server.stop();
+    service.shutdown();
 }
 
 #[test]
@@ -142,7 +232,7 @@ fn malformed_frames_get_in_band_errors_and_never_kill_the_service() {
     raw.read_exact(&mut payload).unwrap();
     assert!(matches!(
         deltaos::service::proto::decode_response(&payload).unwrap(),
-        Response::Stats(_)
+        Response::Stats { .. }
     ));
 
     // A fresh client still works too — the service survived the abuse.
