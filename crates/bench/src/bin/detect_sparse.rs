@@ -1,0 +1,293 @@
+//! Dense-vs-sparse detection scaling sweep.
+//!
+//! Drives identical incremental edit+probe loops through a forced-dense
+//! and a forced-sparse [`DetectEngine`] at {1k, 10k, 100k} graph nodes
+//! (nodes = resources + processes) across edge densities, timing the
+//! per-probe median. The dense path's cost is dominated by the matrix
+//! area (its work copy and worklist setup scale with m·n); the sparse
+//! adjacency-list path scales with the live-edge count — so the gap
+//! widens with size and narrows with density, and this sweep records
+//! the crossover empirically next to the hybrid dispatcher's threshold.
+//!
+//! Before anything is timed, probe outcomes of both engines are
+//! asserted equal on the same stream (and against the cold path at the
+//! smallest size) — the equivalence guarantee is checked in the same
+//! binary that reports the speedups.
+//!
+//! One extra row is *dense-infeasible by construction*: a 1M×1M graph
+//! (2M nodes). The dense bitmap pair alone would need ~250 GB and the
+//! `u16` process/resource ids of the matrix engine cannot even address
+//! it; [`SparseState`]'s usize API detects on it in microseconds. The
+//! row is recorded with `"dense_feasible": false`.
+//!
+//! Emits `BENCH_sparse.json` at the repository root with the acceptance
+//! gate: sparse ≥10× over dense at 100k nodes, ≤1% density. The gate is
+//! algorithmic (single-threaded on both sides), so it is armed on every
+//! host. `--smoke` runs the 1k-node case only (debug builds allowed, no
+//! JSON, no gate) for CI.
+
+use deltaos_bench::microbench::time;
+use deltaos_core::engine::DetectEngine;
+use deltaos_core::sparse::{SparseConfig, SparseState};
+use deltaos_core::{pdda, ProcId, Rag, ResId};
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        (self.next() >> 16) % bound
+    }
+}
+
+/// Populates `rag` with `target` random edges (grants and requests in a
+/// 1:2 mix, rejected duplicates retried) — the steady-state graph the
+/// probe loop perturbs.
+fn populate(rag: &mut Rag, rng: &mut Lcg, target: usize) {
+    let (m, n) = (rag.resources() as u64, rag.processes() as u64);
+    let mut guard = 0usize;
+    while rag.edge_count() < target {
+        let p = ProcId(rng.below(n) as u16);
+        let q = ResId(rng.below(m) as u16);
+        if rng.below(3) == 0 {
+            let _ = rag.add_grant(q, p);
+        } else {
+            let _ = rag.add_request(p, q);
+        }
+        guard += 1;
+        assert!(guard < target * 40 + 1000, "edge population stalled");
+    }
+}
+
+/// Per-probe median through `engine`: each iteration toggles one
+/// request edge (so the result cache never short-circuits) and probes.
+fn probe_ns(engine: &mut DetectEngine, rag: &mut Rag) -> f64 {
+    let p = ProcId(0);
+    let q = ResId((rag.resources() - 1) as u16);
+    let _ = rag.remove_request(p, q);
+    let mut on = false;
+    let m = time(|| {
+        if on {
+            let _ = rag.remove_request(p, q);
+        } else {
+            let _ = rag.add_request(p, q);
+        }
+        on = !on;
+        std::hint::black_box(engine.probe(rag));
+    });
+    if on {
+        let _ = rag.remove_request(p, q);
+    }
+    m.median_ns
+}
+
+struct Row {
+    nodes: usize,
+    m: usize,
+    n: usize,
+    edges: usize,
+    density_pct: f64,
+    dense_ns: Option<f64>,
+    sparse_ns: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> Option<f64> {
+        self.dense_ns.map(|d| d / self.sparse_ns)
+    }
+}
+
+/// Builds the graph for one (nodes, density) cell, checks dense/sparse
+/// probe equivalence on a shared edit stream, then times both engines.
+fn bench_cell(nodes: usize, density_pct: f64, check_cold: bool) -> Row {
+    let (m, n) = (nodes / 2, nodes / 2);
+    let edges = ((nodes as f64) * density_pct / 100.0).round() as usize;
+    let mut rng = Lcg::new((nodes as u64) << 16 | (density_pct * 100.0) as u64);
+    let mut rag = Rag::new(m, n);
+    populate(&mut rag, &mut rng, edges);
+
+    let mut dense = DetectEngine::new(m, n);
+    dense.set_sparse(SparseConfig::disabled());
+    let mut sparse = DetectEngine::new(m, n);
+    sparse.set_sparse(SparseConfig::always());
+
+    // Equivalence on a perturbation stream before timing anything.
+    let checks = if nodes <= 10_000 { 32 } else { 5 };
+    for i in 0..checks {
+        let p = ProcId(rng.below(n as u64) as u16);
+        let q = ResId(rng.below(m as u64) as u16);
+        if rng.below(2) == 0 {
+            let _ = rag.add_request(p, q);
+        } else {
+            let _ = rag.remove_request(p, q);
+        }
+        let d = dense.probe(&rag);
+        let s = sparse.probe(&rag);
+        assert_eq!(d, s, "nodes={nodes} density={density_pct}% check={i}");
+        if check_cold {
+            assert_eq!(s, pdda::detect_cold(&rag), "vs cold, check={i}");
+        }
+    }
+
+    let dense_ns = probe_ns(&mut dense, &mut rag);
+    let sparse_ns = probe_ns(&mut sparse, &mut rag);
+    let row = Row {
+        nodes,
+        m,
+        n,
+        edges: rag.edge_count(),
+        density_pct,
+        dense_ns: Some(dense_ns),
+        sparse_ns,
+    };
+    println!(
+        "{:>8} nodes ({:>6}x{:<6}) {:>6} edges ({:>4.1}%)  dense {:>14.1} ns  sparse {:>12.1} ns  speedup {:>8.1}x",
+        row.nodes,
+        row.m,
+        row.n,
+        row.edges,
+        row.density_pct,
+        dense_ns,
+        sparse_ns,
+        row.speedup().unwrap()
+    );
+    row
+}
+
+/// The dense-infeasible row: 1M×1M via the sparse usize API. The dense
+/// engine cannot represent it (u16 ids top out at 65536 and the bitmap
+/// pair would need ~250 GB), so only the sparse side is timed.
+fn bench_infeasible() -> Row {
+    let (m, n) = (1_000_000usize, 1_000_000usize);
+    let mut sp = SparseState::new(m, n);
+    let mut rng = Lcg::new(0x1AF6E);
+    let edges = 10_000usize;
+    while (sp.live_edges() as usize) < edges {
+        let p = rng.below(n as u64) as usize;
+        let q = rng.below(m as u64) as usize;
+        if rng.below(3) == 0 {
+            sp.set_grant(q, p);
+        } else {
+            sp.set_request(p, q);
+        }
+    }
+    let mut on = false;
+    let measured = time(|| {
+        if on {
+            sp.clear(m - 1, 0);
+        } else {
+            sp.set_request(0, m - 1);
+        }
+        on = !on;
+        std::hint::black_box(sp.detect());
+    });
+    let row = Row {
+        nodes: m + n,
+        m,
+        n,
+        edges: sp.live_edges() as usize,
+        density_pct: 100.0 * edges as f64 / (m + n) as f64,
+        dense_ns: None,
+        sparse_ns: measured.median_ns,
+    };
+    println!(
+        "{:>8} nodes ({:>6}x{:<6}) {:>6} edges ({:>4.1}%)  dense     INFEASIBLE     sparse {:>12.1} ns",
+        row.nodes, row.m, row.n, row.edges, row.density_pct, row.sparse_ns
+    );
+    row
+}
+
+fn to_json(rows: &[Row], host_cpus: usize) -> String {
+    let accept = rows
+        .iter()
+        .find(|r| r.nodes == 100_000 && r.density_pct <= 1.0)
+        .expect("100k-node <=1%-density row present");
+    let speedup = accept.speedup().expect("acceptance row is dense-feasible");
+    let mut out = String::from("{\n  \"bench\": \"detect_sparse\",\n");
+    out.push_str("  \"unit\": \"ns_per_probe_median\",\n");
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str(
+        "  \"equivalence\": {\"dense_vs_sparse_probe_outcomes_identical\": true},\n",
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let dense = r
+            .dense_ns
+            .map_or("null".to_string(), |d| format!("{d:.1}"));
+        let speed = r
+            .speedup()
+            .map_or("null".to_string(), |s| format!("{s:.1}"));
+        out.push_str(&format!(
+            "    {{\"nodes\": {}, \"m\": {}, \"n\": {}, \"edges\": {}, \"density_pct\": {:.2}, \"dense_feasible\": {}, \"dense_ns\": {}, \"sparse_ns\": {:.1}, \"speedup\": {}}}{}\n",
+            r.nodes,
+            r.m,
+            r.n,
+            r.edges,
+            r.density_pct,
+            r.dense_ns.is_some(),
+            dense,
+            r.sparse_ns,
+            speed,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"acceptance\": {{\"nodes\": 100000, \"max_density_pct\": 1.0, \"speedup\": {:.1}, \"required\": 10.0, \"pass\": {}}}\n}}\n",
+        speedup,
+        speedup >= 10.0
+    ));
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        bench_cell(1_000, 1.0, true);
+        println!("smoke ok");
+        return;
+    }
+
+    if cfg!(debug_assertions) {
+        // Debug timings would corrupt the tracked BENCH_sparse.json.
+        eprintln!("detect_sparse: debug build — rerun with --release (or use --smoke)");
+        std::process::exit(2);
+    }
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("=== detect_sparse: dense vs sparse detection sweep ({host_cpus} host CPUs) ===");
+    let mut rows = Vec::new();
+    for nodes in [1_000usize, 10_000, 100_000] {
+        for density_pct in [1.0f64, 10.0] {
+            rows.push(bench_cell(nodes, density_pct, nodes == 1_000));
+        }
+    }
+    rows.push(bench_infeasible());
+
+    let json = to_json(&rows, host_cpus);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sparse.json");
+    std::fs::write(path, &json).expect("write BENCH_sparse.json");
+    println!("wrote {path}");
+
+    let accept = rows
+        .iter()
+        .find(|r| r.nodes == 100_000 && r.density_pct <= 1.0)
+        .expect("acceptance row");
+    let speedup = accept.speedup().expect("acceptance row is dense-feasible");
+    println!("acceptance: 100k-node 1%-density sparse speedup {speedup:.1}x (required >= 10x)");
+    assert!(
+        speedup >= 10.0,
+        "sparse must be >= 10x over dense at 100k nodes, <= 1% density (got {speedup:.1}x)"
+    );
+}

@@ -37,11 +37,12 @@
 
 use std::sync::Arc;
 
-use crate::matrix::StateMatrix;
+use crate::matrix::{Cell, StateMatrix};
 use crate::par::{ParConfig, WorkerPool};
 use crate::pdda::DetectOutcome;
 use crate::rag::RagDelta;
 use crate::reduction::{reduce_core, ParExec, ReduceScratch};
+use crate::sparse::{SparseConfig, SparseState};
 use crate::{ProcId, Rag, ResId};
 
 /// Operation counters exposed for tests, benches and DESIGN.md claims.
@@ -64,6 +65,18 @@ pub struct EngineStats {
     /// from the terminal-column mask scan (words whose columns were all
     /// empty at probe time).
     pub col_words_skipped: u64,
+    /// Reductions served by the dense word-parallel engine (row- or
+    /// column-major). `dense_reductions + sparse_reductions ==
+    /// reductions`.
+    pub dense_reductions: u64,
+    /// Reductions served by the sparse adjacency-list engine
+    /// ([`crate::sparse::SparseState`]).
+    pub sparse_reductions: u64,
+    /// Live edges in the mirror at read time (a gauge, not a counter).
+    pub live_edges: u64,
+    /// `live_edges * 1000 / (m * n)` at read time — the density the
+    /// hybrid dispatcher gates on (a gauge, not a counter).
+    pub density_permille: u64,
 }
 
 /// What state the mirror currently reflects — either a specific
@@ -173,6 +186,23 @@ pub struct DetectEngine {
     work_t: Option<StateMatrix>,
     work_t_residue: Vec<u32>,
     scratch_t: ReduceScratch,
+    /// Gates for the hybrid dense/sparse dispatch.
+    sparse_cfg: SparseConfig,
+    /// Adjacency-list mirror, kept cell-for-cell in sync with `mirror`
+    /// by the same O(degree) delta writes. Allocated only when the shape
+    /// is large enough that the sparse path could ever be selected.
+    sparse: Option<Box<SparseState>>,
+    /// Live edges in the mirror, maintained O(1) per cell write — the
+    /// density input of the hybrid dispatch.
+    live_edges: u64,
+    /// Per-row and per-column edge counts, maintained O(1) per cell
+    /// write. These make the row/column occupancy transitions in
+    /// [`DetectEngine::flush_dirty`] O(1) lookups — the bitmap scans
+    /// (`col_is_empty` walks one bit of all `m` rows) would otherwise
+    /// put an O(m) cache-hostile stride on every probe that touched a
+    /// column, dwarfing the sparse reduction itself at large shapes.
+    row_edges: Vec<u32>,
+    col_edges: Vec<u32>,
     /// What the mirror currently holds.
     version: Version,
     /// Monotonic counter for direct (DDU-style) cell edits.
@@ -205,6 +235,10 @@ impl DetectEngine {
         let words = processes.div_ceil(64);
         let row_words = resources.div_ceil(64);
         let colmajor = cfg.wants_colmajor(resources, processes);
+        let sparse_cfg = SparseConfig::default();
+        let sparse = sparse_cfg
+            .covers_shape(resources * processes)
+            .then(|| Box::new(SparseState::new(resources, processes)));
         DetectEngine {
             mirror: StateMatrix::new(resources, processes),
             work: StateMatrix::new(resources, processes),
@@ -233,6 +267,11 @@ impl DetectEngine {
             work_t: colmajor.then(|| StateMatrix::new(processes, resources)),
             work_t_residue: Vec::new(),
             scratch_t: ReduceScratch::new(),
+            sparse_cfg,
+            sparse,
+            live_edges: 0,
+            row_edges: vec![0; resources],
+            col_edges: vec![0; processes],
             version: Version::Local { edits: 0 },
             edits: 0,
             cache: None,
@@ -288,9 +327,52 @@ impl DetectEngine {
         &self.mirror
     }
 
-    /// Operation counters since construction (or [`DetectEngine::reset_stats`]).
+    /// Operation counters since construction (or [`DetectEngine::reset_stats`]),
+    /// with the live-edge and density gauges filled in at read time.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        let mut s = self.stats;
+        s.live_edges = self.live_edges;
+        s.density_permille = self.density_permille();
+        s
+    }
+
+    /// Live edges currently in the mirror.
+    pub fn live_edges(&self) -> u64 {
+        self.live_edges
+    }
+
+    /// Current mirror density in thousandths of the matrix area — the
+    /// quantity the hybrid dispatcher compares against
+    /// [`SparseConfig::max_density_permille`].
+    pub fn density_permille(&self) -> u64 {
+        let area = (self.resources() * self.processes()) as u64;
+        if area == 0 {
+            0
+        } else {
+            self.live_edges.saturating_mul(1000) / area
+        }
+    }
+
+    /// The active sparse-dispatch configuration.
+    pub fn sparse_config(&self) -> SparseConfig {
+        self.sparse_cfg
+    }
+
+    /// Replaces the sparse-dispatch configuration in place. If the new
+    /// gates make the sparse mirror live for this shape it is built from
+    /// the current dense mirror (no resync, no cache loss); if they rule
+    /// it out the mirror is dropped.
+    pub fn set_sparse(&mut self, cfg: SparseConfig) {
+        self.sparse_cfg = cfg;
+        if cfg.covers_shape(self.resources() * self.processes()) {
+            if self.sparse.is_none() {
+                let mut sp = Box::new(SparseState::new(self.resources(), self.processes()));
+                sp.rebuild_from_matrix(&self.mirror);
+                self.sparse = Some(sp);
+            }
+        } else {
+            self.sparse = None;
+        }
     }
 
     /// Zeroes the operation counters.
@@ -304,11 +386,15 @@ impl DetectEngine {
         if self.resources() == resources && self.processes() == processes {
             return;
         }
+        let sparse_cfg = self.sparse_cfg;
         *self = DetectEngine {
             stats: self.stats,
             edits: self.edits,
             ..DetectEngine::with_parallel(resources, processes, self.par_pool.take(), self.par_cfg)
         };
+        if sparse_cfg != SparseConfig::default() {
+            self.set_sparse(sparse_cfg);
+        }
     }
 
     #[inline]
@@ -329,7 +415,8 @@ impl DetectEngine {
         while let Some(s) = self.dirty_row_list.pop() {
             let s = s as usize;
             self.dirty_rows[s] = false;
-            let nonempty = !self.mirror.row_is_empty(s);
+            let nonempty = self.row_edges[s] > 0;
+            debug_assert_eq!(nonempty, !self.mirror.row_is_empty(s));
             if nonempty == self.row_nonempty[s] {
                 continue;
             }
@@ -364,7 +451,8 @@ impl DetectEngine {
         while let Some(t) = self.dirty_col_list.pop() {
             let t = t as usize;
             self.dirty_cols[t] = false;
-            let nonempty = !self.mirror.col_is_empty(t);
+            let nonempty = self.col_edges[t] > 0;
+            debug_assert_eq!(nonempty, !self.mirror.col_is_empty(t));
             if nonempty == self.col_nonempty[t] {
                 continue;
             }
@@ -408,13 +496,34 @@ impl DetectEngine {
 
     /// Writes one cell into the mirror — and, when the column-major path
     /// is live, the transposed cell into `mirror_t` (same O(1) cost; the
-    /// axes swap, so the id wrappers swap roles too).
+    /// axes swap, so the id wrappers swap roles too). The live-edge
+    /// count and the sparse adjacency mirror ride the same choke point,
+    /// so every write path (delta sync, DDU cell writes, rebuilds'
+    /// per-edge inserts) keeps them current.
     #[inline]
     fn write_cell(&mut self, q: ResId, p: ProcId, delta: RagDelta) {
+        let had = self.mirror.cell(q, p) != Cell::Empty;
         match delta {
             RagDelta::Request { .. } => self.mirror.set_request(p, q),
             RagDelta::Grant { .. } => self.mirror.set_grant(q, p),
             RagDelta::Clear { .. } => self.mirror.clear(q, p),
+        }
+        let has = !matches!(delta, RagDelta::Clear { .. });
+        match (had, has) {
+            (false, true) => {
+                self.live_edges += 1;
+                self.row_edges[q.0 as usize] += 1;
+                self.col_edges[p.0 as usize] += 1;
+            }
+            (true, false) => {
+                self.live_edges -= 1;
+                self.row_edges[q.0 as usize] -= 1;
+                self.col_edges[p.0 as usize] -= 1;
+            }
+            _ => {}
+        }
+        if let Some(sp) = self.sparse.as_mut() {
+            sp.apply_delta(delta);
         }
         if let Some(t) = self.mirror_t.as_mut() {
             let (tq, tp) = (ResId(p.0), ProcId(q.0));
@@ -482,14 +591,40 @@ impl DetectEngine {
         if let Some(t) = self.mirror_t.as_mut() {
             self.mirror.transpose_into(t);
         }
+        if let Some(sp) = self.sparse.as_mut() {
+            sp.rebuild_from_rag(rag);
+        }
         // Everything moved: recompute row and column occupancy wholesale
-        // and drop any finer-grained dirty tracking.
+        // and drop any finer-grained dirty tracking. One word pass over
+        // the mirror refreshes the edge counts — O(area/64 + edges), not
+        // the O(n·m) a per-column bitmap scan would cost.
+        self.row_edges.fill(0);
+        self.col_edges.fill(0);
+        self.live_edges = 0;
+        for s in 0..self.resources() {
+            let (rw, gw) = (self.mirror.row_r(s), self.mirror.row_g(s));
+            let mut row_count = 0u32;
+            for (w, (&r, &g)) in rw.iter().zip(gw.iter()).enumerate() {
+                // Request and grant bits are disjoint per cell (writes
+                // replace), so one OR covers both planes.
+                let mut bits = r | g;
+                row_count += bits.count_ones();
+                while bits != 0 {
+                    let t = w * 64 + bits.trailing_zeros() as usize;
+                    self.col_edges[t] += 1;
+                    bits &= bits - 1;
+                }
+            }
+            self.row_edges[s] = row_count;
+            self.live_edges += u64::from(row_count);
+        }
+        debug_assert_eq!(self.live_edges, self.mirror.edge_count() as u64);
         self.live_rows.clear();
         self.live_row_words.clear();
         self.live_row_word_pos.fill(u32::MAX);
         self.word_row_count.fill(0);
         for s in 0..self.resources() {
-            let nonempty = !self.mirror.row_is_empty(s);
+            let nonempty = self.row_edges[s] > 0;
             self.row_nonempty[s] = nonempty;
             if nonempty {
                 self.live_pos[s] = self.live_rows.len() as u32;
@@ -510,7 +645,7 @@ impl DetectEngine {
         self.live_cols.clear();
         self.live_col_pos.fill(u32::MAX);
         for t in 0..self.processes() {
-            let nonempty = !self.mirror.col_is_empty(t);
+            let nonempty = self.col_edges[t] > 0;
             self.col_nonempty[t] = nonempty;
             if nonempty {
                 self.live_col_pos[t] = self.live_cols.len() as u32;
@@ -597,12 +732,44 @@ impl DetectEngine {
             }
         }
         self.flush_dirty();
+        // Hybrid dispatch: above the area gate and below the density
+        // gate the adjacency-list engine wins; everything else — always
+        // including paper scale — stays on the proven dense engine. The
+        // decision depends only on shape and live-edge count, so it is
+        // identical at every thread count.
+        let area = self.resources() * self.processes();
+        if self.sparse.is_some() && self.sparse_cfg.prefers_sparse(area, self.live_edges) {
+            #[cfg(debug_assertions)]
+            {
+                let sp = self.sparse.as_ref().expect("sparse gate without state");
+                debug_assert_eq!(
+                    sp.live_edges(),
+                    self.live_edges,
+                    "sparse mirror edge count diverged from the engine's"
+                );
+                debug_assert_eq!(
+                    self.live_edges,
+                    self.mirror.edge_count() as u64,
+                    "engine live-edge count diverged from the mirror"
+                );
+            }
+            let report = self
+                .sparse
+                .as_mut()
+                .expect("sparse gate without state")
+                .reduce();
+            self.stats.sparse_reductions += 1;
+            self.stats.reductions += 1;
+            let outcome: DetectOutcome = report.into();
+            self.cache = Some((self.version, outcome));
+            return outcome;
+        }
         let par = self.par_pool.as_ref().and_then(|pool| {
             self.par_cfg
                 .area_allows(self.mirror.resources(), self.mirror.processes())
                 .then_some(ParExec {
                     pool: pool.as_ref(),
-                    threads: self.par_cfg.threads,
+                    threads: self.par_cfg.effective_threads(),
                     min_live_rows: self.par_cfg.min_live_rows,
                 })
         });
@@ -681,6 +848,7 @@ impl DetectEngine {
                 (words - self.live_col_words.len()) as u64 * u64::from(report.steps);
             report
         };
+        self.stats.dense_reductions += 1;
         self.stats.reductions += 1;
         let outcome: DetectOutcome = report.into();
         self.cache = Some((self.version, outcome));
@@ -926,6 +1094,50 @@ mod tests {
         assert_eq!(engine.stats().cache_hits, 0);
         assert_eq!(engine.stats().reductions, 1);
         assert_eq!(out, detect_cold(&rag));
+    }
+
+    #[test]
+    fn hybrid_dispatch_records_path_and_matches_dense() {
+        let mut rag = cycle_rag();
+        let mut dense = DetectEngine::new(2, 2);
+        dense.set_sparse(SparseConfig::disabled());
+        let mut sparse = DetectEngine::new(2, 2);
+        sparse.set_sparse(SparseConfig::always());
+        assert_eq!(dense.probe(&rag), sparse.probe(&rag));
+        assert_eq!(dense.stats().dense_reductions, 1);
+        assert_eq!(dense.stats().sparse_reductions, 0);
+        assert_eq!(sparse.stats().sparse_reductions, 1);
+        assert_eq!(sparse.stats().dense_reductions, 0);
+        rag.remove_request(p(1), q(0));
+        assert_eq!(dense.probe(&rag), sparse.probe(&rag));
+        assert_eq!(dense.stats().live_edges, 3);
+        assert_eq!(sparse.stats().live_edges, 3);
+        assert_eq!(dense.stats().density_permille, 750);
+    }
+
+    #[test]
+    fn sparse_engine_tracks_direct_cell_writes() {
+        let mut e = DetectEngine::new(4, 4);
+        e.set_sparse(SparseConfig::always());
+        e.set_grant(q(0), p(0));
+        e.set_grant(q(1), p(1));
+        e.set_request(p(0), q(1));
+        e.set_request(p(1), q(0));
+        assert!(e.detect_current().deadlock);
+        e.clear(q(1), p(0));
+        assert!(!e.detect_current().deadlock);
+        assert_eq!(e.stats().sparse_reductions, 2);
+        assert_eq!(e.stats().dense_reductions, 0);
+        assert_eq!(e.live_edges(), 3);
+    }
+
+    #[test]
+    fn default_config_keeps_paper_scale_dense() {
+        let mut e = DetectEngine::new(5, 5);
+        assert!(!e.sparse_config().covers_shape(25));
+        e.probe(&Rag::new(5, 5));
+        assert_eq!(e.stats().dense_reductions, 1);
+        assert_eq!(e.stats().sparse_reductions, 0);
     }
 
     #[test]

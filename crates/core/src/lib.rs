@@ -17,6 +17,10 @@
 //!   RAG by delta replay, a worklist reduction over reusable scratch and
 //!   an epoch-keyed result cache. All functional detection entry points
 //!   route through it.
+//! * [`sparse::SparseState`] — the adjacency-list twin of the matrix for
+//!   large, mostly-empty graphs: O(degree) edge deltas, O(edges) probes,
+//!   bit-identical reduction reports. [`engine::DetectEngine`] dispatches
+//!   between dense and sparse per probe via [`sparse::SparseConfig`].
 //! * [`pdda`] — the Parallel Deadlock Detection Algorithm (Algorithm 2),
 //!   in both the word-parallel form and the instruction-metered
 //!   *software* form the paper benchmarks as RTOS1.
@@ -71,6 +75,7 @@ pub mod pdda;
 mod rag;
 pub mod recovery;
 pub mod reduction;
+pub mod sparse;
 pub mod worst_case;
 
 pub use error::CoreError;

@@ -82,13 +82,26 @@ pub struct ParConfig {
     /// below this stay serial (shard dispatch costs more than it saves).
     pub min_live_rows: usize,
     /// Minimum matrix area (`m * n`) before a reduction considers the
-    /// parallel path at all. The default keeps everything below 256×256
-    /// — including every paper-scale case — strictly serial.
+    /// parallel path at all. `BENCH_reduce_scaling.json` measured the
+    /// sharded path *losing* to serial at 512² (0.26–0.59×) and 1024²
+    /// (0.44–0.87×), so the default keeps everything below 2048² —
+    /// including every paper-scale case — strictly serial.
     pub min_area: usize,
     /// Row/column aspect ratio (`m >= ratio * n`) at which tall matrices
     /// switch to the column-major reduction variant. `0` disables the
     /// column-major path entirely.
     pub colmajor_ratio: usize,
+    /// Minimum matrix area before the column-major variant is
+    /// considered. Separate from `min_area`: column-major is a serial
+    /// layout decision (measured faster at 4096×64), not a sharding one,
+    /// so raising the sharding gate must not switch it off.
+    pub colmajor_min_area: usize,
+    /// When `true` (the default), the effective shard count is capped at
+    /// the measured [`host_cpus`], so a config asking for more threads
+    /// than the host has never auto-selects the (measured-slower)
+    /// oversubscribed path. Benches and equivalence tests that must
+    /// exercise the sharded code on small hosts opt out.
+    pub cap_to_host: bool,
 }
 
 impl Default for ParConfig {
@@ -96,8 +109,10 @@ impl Default for ParConfig {
         ParConfig {
             threads: 1,
             min_live_rows: 256,
-            min_area: 256 * 256,
+            min_area: 2048 * 2048,
             colmajor_ratio: 8,
+            colmajor_min_area: 256 * 256,
+            cap_to_host: true,
         }
     }
 }
@@ -121,14 +136,28 @@ impl ParConfig {
         ParConfig::with_threads((host_cpus() / pools.max(1)).clamp(1, 8))
     }
 
+    /// The shard count actually used: `threads`, capped at the measured
+    /// [`host_cpus`] when `cap_to_host` is set (floor 1). Host width is
+    /// fixed for a process lifetime, so this is still a deterministic
+    /// gate — two runs on the same host decide identically at any
+    /// requested thread count.
+    pub fn effective_threads(&self) -> usize {
+        let t = self.threads.max(1);
+        if self.cap_to_host {
+            t.min(host_cpus())
+        } else {
+            t
+        }
+    }
+
     /// `true` if a matrix of this shape may use the sharded row path.
-    pub(crate) fn area_allows(&self, m: usize, n: usize) -> bool {
-        self.threads > 1 && m * n >= self.min_area
+    pub fn area_allows(&self, m: usize, n: usize) -> bool {
+        self.effective_threads() > 1 && m * n >= self.min_area
     }
 
     /// `true` if a matrix of this shape should reduce column-major.
-    pub(crate) fn wants_colmajor(&self, m: usize, n: usize) -> bool {
-        self.colmajor_ratio > 0 && m >= self.colmajor_ratio * n && m * n >= self.min_area
+    pub fn wants_colmajor(&self, m: usize, n: usize) -> bool {
+        self.colmajor_ratio > 0 && m >= self.colmajor_ratio * n && m * n >= self.colmajor_min_area
     }
 }
 
@@ -427,10 +456,24 @@ mod tests {
 
     #[test]
     fn default_gates_keep_paper_scale_serial() {
-        let cfg = ParConfig::with_threads(8);
+        // Shape gates, independent of host width.
+        let cfg = ParConfig {
+            cap_to_host: false,
+            ..ParConfig::with_threads(8)
+        };
         assert!(!cfg.area_allows(50, 50));
-        assert!(cfg.area_allows(256, 256));
+        // 512² and 1024² measured slower than serial under sharding
+        // (BENCH_reduce_scaling.json): the area gate keeps them serial.
+        assert!(!cfg.area_allows(512, 512));
+        assert!(!cfg.area_allows(1024, 1024));
+        assert!(cfg.area_allows(2048, 2048));
         assert!(!cfg.wants_colmajor(64, 64));
         assert!(cfg.wants_colmajor(4096, 64));
+        // The default caps shards at the host's measured width, so a
+        // narrow host never runs the oversubscribed path.
+        let capped = ParConfig::with_threads(8);
+        assert!(capped.cap_to_host);
+        assert!(capped.effective_threads() <= host_cpus());
+        assert!(capped.effective_threads() >= 1);
     }
 }

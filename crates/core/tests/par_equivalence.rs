@@ -59,6 +59,8 @@ fn forced(threads: usize) -> ParConfig {
         min_live_rows: 1,
         min_area: 1,
         colmajor_ratio: 0,
+        colmajor_min_area: 1,
+        cap_to_host: false,
     }
 }
 
@@ -200,6 +202,8 @@ fn colmajor_engine_matches_cold_path_on_tall_matrices() {
             min_live_rows: 1,
             min_area: 1,
             colmajor_ratio: 8,
+            colmajor_min_area: 1,
+            cap_to_host: false,
         };
         let pool = Arc::new(WorkerPool::new(t));
         let mut engine = DetectEngine::with_parallel(512, 64, Some(pool), cfg);
@@ -234,6 +238,34 @@ fn colmajor_engine_matches_cold_path_on_tall_matrices() {
         }
         assert_eq!(engine.probe(&rag), pdda::detect_cold(&rag));
     }
+}
+
+#[test]
+fn auto_gates_exclude_measured_slowdowns() {
+    // BENCH_reduce_scaling.json measured the sharded path at 0.26–0.59×
+    // of serial at 512² and 0.44–0.87× at 1024². The default gates must
+    // never auto-select the parallel path at those shapes — regardless
+    // of requested thread count and independent of host width.
+    for t in [2usize, 4, 8] {
+        let cfg = ParConfig {
+            cap_to_host: false,
+            ..ParConfig::with_threads(t)
+        };
+        assert!(!cfg.area_allows(512, 512), "512² must stay serial (t={t})");
+        assert!(
+            !cfg.area_allows(1024, 1024),
+            "1024² must stay serial (t={t})"
+        );
+        assert!(cfg.area_allows(2048, 2048), "2048² may shard (t={t})");
+        // The measured-faster tall column-major case stays enabled.
+        assert!(cfg.wants_colmajor(4096, 64), "4096×64 colmajor (t={t})");
+    }
+    // With the host cap on (the default), the effective shard count
+    // never exceeds the measured CPU count, so a 1-CPU host is always
+    // serial no matter how many threads a config requests.
+    let capped = ParConfig::with_threads(64);
+    assert!(capped.cap_to_host);
+    assert!(capped.effective_threads() <= deltaos_core::par::host_cpus());
 }
 
 #[test]

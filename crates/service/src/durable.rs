@@ -236,6 +236,8 @@ pub(crate) fn open_shard(
                     let es = sess.engine_stats();
                     counters.retired_cache_hits += es.cache_hits;
                     counters.retired_reductions += es.reductions;
+                    counters.retired_dense_reductions += es.dense_reductions;
+                    counters.retired_sparse_reductions += es.sparse_reductions;
                     counters.sessions_closed += 1;
                 }
             }

@@ -190,6 +190,16 @@ pub struct ShardStats {
     /// Maximum observed in-flight jobs (queued + the one executing);
     /// bounded by `queue_cap + 1`.
     pub max_queue_depth: u64,
+    /// Reductions served by the dense matrix path (live + retired).
+    pub dense_reductions: u64,
+    /// Reductions served by the sparse adjacency-list path (live +
+    /// retired).
+    pub sparse_reductions: u64,
+    /// Live edges summed across the shard's open sessions (gauge).
+    pub live_edges: u64,
+    /// Shard-wide RAG density in permille over the combined area of the
+    /// shard's open sessions (gauge).
+    pub density_permille: u64,
 }
 
 /// Front-end (event-loop) health counters, serialized in a
@@ -499,6 +509,10 @@ pub fn encode_response_into(resp: &Response, out: &mut Vec<u8>) {
                 put_u64(out, s.probes);
                 put_u64(out, s.cache_hits);
                 put_u64(out, s.max_queue_depth);
+                put_u64(out, s.dense_reductions);
+                put_u64(out, s.sparse_reductions);
+                put_u64(out, s.live_edges);
+                put_u64(out, s.density_permille);
             }
             match frontend {
                 None => out.push(0),
@@ -741,6 +755,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                     probes: r.u64()?,
                     cache_hits: r.u64()?,
                     max_queue_depth: r.u64()?,
+                    dense_reductions: r.u64()?,
+                    sparse_reductions: r.u64()?,
+                    live_edges: r.u64()?,
+                    density_permille: r.u64()?,
                 });
             }
             let frontend = match r.u8()? {
@@ -946,6 +964,10 @@ mod tests {
             probes: 10,
             cache_hits: 5,
             max_queue_depth: 3,
+            dense_reductions: 6,
+            sparse_reductions: 4,
+            live_edges: 17,
+            density_permille: 2,
         }];
         roundtrip_response(Response::Stats {
             shards: rows.clone(),

@@ -622,6 +622,8 @@ struct WorkerCounters {
     /// survive session teardown.
     retired_cache_hits: u64,
     retired_reductions: u64,
+    retired_dense_reductions: u64,
+    retired_sparse_reductions: u64,
 }
 
 impl WorkerCounters {
@@ -635,6 +637,8 @@ impl WorkerCounters {
             sessions_closed: c.sessions_closed,
             retired_cache_hits: c.retired_cache_hits,
             retired_reductions: c.retired_reductions,
+            retired_dense_reductions: c.retired_dense_reductions,
+            retired_sparse_reductions: c.retired_sparse_reductions,
         }
     }
 
@@ -648,6 +652,8 @@ impl WorkerCounters {
             sessions_closed: self.sessions_closed,
             retired_cache_hits: self.retired_cache_hits,
             retired_reductions: self.retired_reductions,
+            retired_dense_reductions: self.retired_dense_reductions,
+            retired_sparse_reductions: self.retired_sparse_reductions,
         }
     }
 }
@@ -768,6 +774,8 @@ fn run_worker(
                     let es = sess.engine_stats();
                     counters.retired_cache_hits += es.cache_hits;
                     counters.retired_reductions += es.reductions;
+                    counters.retired_dense_reductions += es.dense_reductions;
+                    counters.retired_sparse_reductions += es.sparse_reductions;
                     counters.sessions_closed += 1;
                     Ok(())
                 };
@@ -888,11 +896,27 @@ fn report(
 ) -> Stats {
     let mut cache_hits = counters.retired_cache_hits;
     let mut reductions = counters.retired_reductions;
+    let mut dense_reductions = counters.retired_dense_reductions;
+    let mut sparse_reductions = counters.retired_sparse_reductions;
+    // Live-graph gauges: summed edges and the shard-wide density over the
+    // combined area of all open sessions (permille, like the engine's).
+    let mut live_edges = 0u64;
+    let mut live_area = 0u64;
     for sess in sessions.values() {
         let es = sess.engine_stats();
         cache_hits += es.cache_hits;
         reductions += es.reductions;
+        dense_reductions += es.dense_reductions;
+        sparse_reductions += es.sparse_reductions;
+        live_edges += es.live_edges;
+        let rag = sess.rag();
+        live_area += (rag.resources() as u64).saturating_mul(rag.processes() as u64);
     }
+    let density_permille = if live_area == 0 {
+        0
+    } else {
+        live_edges.saturating_mul(1000) / live_area
+    };
     let mut s = Stats::new();
     s.add("service.shard_id", shard_id as u64);
     s.add("service.events", counters.events);
@@ -901,6 +925,10 @@ fn report(
     s.add("service.rejected_events", counters.rejected);
     s.add("service.cache_hits", cache_hits);
     s.add("service.reductions", reductions);
+    s.add("service.dense_reductions", dense_reductions);
+    s.add("service.sparse_reductions", sparse_reductions);
+    s.add("service.live_edges", live_edges);
+    s.add("service.density_permille", density_permille);
     s.add("service.sessions_opened", counters.sessions_opened);
     s.add("service.sessions_closed", counters.sessions_closed);
     s.add("service.sessions_open", sessions.len() as u64);

@@ -34,6 +34,10 @@ const KEYS: &[&str] = &[
     "service.rejected_events",
     "service.cache_hits",
     "service.reductions",
+    "service.dense_reductions",
+    "service.sparse_reductions",
+    "service.live_edges",
+    "service.density_permille",
     "service.sessions_opened",
     "service.sessions_closed",
     "service.sessions_open",
@@ -119,11 +123,25 @@ impl RefShard {
     fn expected(&self) -> Vec<u64> {
         let mut cache_hits = self.counters.retired_cache_hits;
         let mut reductions = self.counters.retired_reductions;
+        let mut dense_reductions = self.counters.retired_dense_reductions;
+        let mut sparse_reductions = self.counters.retired_sparse_reductions;
+        let mut live_edges = 0u64;
+        let mut live_area = 0u64;
         for sess in self.sessions.values() {
             let es = sess.engine_stats();
             cache_hits += es.cache_hits;
             reductions += es.reductions;
+            dense_reductions += es.dense_reductions;
+            sparse_reductions += es.sparse_reductions;
+            live_edges += es.live_edges;
+            let rag = sess.rag();
+            live_area += (rag.resources() as u64) * (rag.processes() as u64);
         }
+        let density_permille = if live_area == 0 {
+            0
+        } else {
+            live_edges * 1000 / live_area
+        };
         vec![
             self.counters.events,
             self.counters.batches,
@@ -131,6 +149,10 @@ impl RefShard {
             self.counters.rejected,
             cache_hits,
             reductions,
+            dense_reductions,
+            sparse_reductions,
+            live_edges,
+            density_permille,
             self.counters.sessions_opened,
             self.counters.sessions_closed,
             self.sessions.len() as u64,
@@ -186,6 +208,8 @@ fn replay_reference(dir: &Path, wal_bytes: &[Vec<u8>]) -> Vec<RefShard> {
                         let es = sess.engine_stats();
                         counters.retired_cache_hits += es.cache_hits;
                         counters.retired_reductions += es.reductions;
+                        counters.retired_dense_reductions += es.dense_reductions;
+                        counters.retired_sparse_reductions += es.sparse_reductions;
                         counters.sessions_closed += 1;
                     }
                     WalOp::Restore { snapshot } => {

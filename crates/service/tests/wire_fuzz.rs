@@ -91,6 +91,10 @@ fn sample_responses(rng: &mut StdRng) -> Response {
                 probes: rng.gen_range(0..u64::MAX),
                 cache_hits: rng.gen_range(0..u64::MAX),
                 max_queue_depth: rng.gen_range(0..100u64),
+                dense_reductions: rng.gen_range(0..u64::MAX),
+                sparse_reductions: rng.gen_range(0..u64::MAX),
+                live_edges: rng.gen_range(0..u64::MAX),
+                density_permille: rng.gen_range(0..u64::MAX),
             }],
             frontend: rng.gen_bool(0.5).then(|| FrontendStats {
                 accepted: rng.gen_range(0..u64::MAX),

@@ -32,8 +32,11 @@ use crate::wal::sync_dir;
 
 /// Magic prefix of a checkpoint file.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"DLSS";
-/// Checkpoint format version this build reads and writes.
-pub const CHECKPOINT_VERSION: u16 = 1;
+/// Checkpoint format version this build reads and writes. Version 2
+/// extended the engine stats block from 7 to 11 counters (the hybrid
+/// dense/sparse path split and the live-edge/density gauges) and the
+/// shard counters from 8 to 10 (retired path-split reductions).
+pub const CHECKPOINT_VERSION: u16 = 2;
 /// Hard cap on a checkpoint body (64 MiB) — rejects absurd length
 /// fields before any allocation.
 pub const MAX_CHECKPOINT: usize = 1 << 26;
@@ -108,6 +111,10 @@ impl SessionSnapshot {
             s.full_rebuilds,
             s.reductions,
             s.col_words_skipped,
+            s.dense_reductions,
+            s.sparse_reductions,
+            s.live_edges,
+            s.density_permille,
         ] {
             put_u64(out, v);
         }
@@ -160,7 +167,7 @@ impl SessionSnapshot {
             let p = r.u16()?;
             requests.push((q, p));
         }
-        let mut vals = [0u64; 7];
+        let mut vals = [0u64; 11];
         for v in vals.iter_mut() {
             *v = r.u64()?;
         }
@@ -172,6 +179,10 @@ impl SessionSnapshot {
             full_rebuilds: vals[4],
             reductions: vals[5],
             col_words_skipped: vals[6],
+            dense_reductions: vals[7],
+            sparse_reductions: vals[8],
+            live_edges: vals[9],
+            density_permille: vals[10],
         };
         let cached = match r.u8()? {
             0 => None,
@@ -261,6 +272,10 @@ pub struct ShardCounters {
     pub retired_cache_hits: u64,
     /// Reductions retired with closed sessions.
     pub retired_reductions: u64,
+    /// Dense-path reductions retired with closed sessions.
+    pub retired_dense_reductions: u64,
+    /// Sparse-path reductions retired with closed sessions.
+    pub retired_sparse_reductions: u64,
 }
 
 /// One shard's complete durable state at a point in the WAL.
@@ -299,6 +314,8 @@ impl ShardCheckpoint {
             c.sessions_closed,
             c.retired_cache_hits,
             c.retired_reductions,
+            c.retired_dense_reductions,
+            c.retired_sparse_reductions,
         ] {
             put_u64(&mut out, v);
         }
@@ -315,7 +332,7 @@ impl ShardCheckpoint {
         let shard = r.u32()?;
         let last_seq = r.u64()?;
         let next_session = r.u64()?;
-        let mut vals = [0u64; 8];
+        let mut vals = [0u64; 10];
         for v in vals.iter_mut() {
             *v = r.u64()?;
         }
@@ -328,6 +345,8 @@ impl ShardCheckpoint {
             sessions_closed: vals[5],
             retired_cache_hits: vals[6],
             retired_reductions: vals[7],
+            retired_dense_reductions: vals[8],
+            retired_sparse_reductions: vals[9],
         };
         // A session snapshot is ≥ 70 bytes; 13 is the cheap lower bound
         // used purely to reject absurd counts before allocation.
