@@ -217,14 +217,10 @@ fn to_json(rows: &[Row], host_cpus: usize) -> String {
     let mut out = String::from("{\n  \"bench\": \"detect_sparse\",\n");
     out.push_str("  \"unit\": \"ns_per_probe_median\",\n");
     out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
-    out.push_str(
-        "  \"equivalence\": {\"dense_vs_sparse_probe_outcomes_identical\": true},\n",
-    );
+    out.push_str("  \"equivalence\": {\"dense_vs_sparse_probe_outcomes_identical\": true},\n");
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
-        let dense = r
-            .dense_ns
-            .map_or("null".to_string(), |d| format!("{d:.1}"));
+        let dense = r.dense_ns.map_or("null".to_string(), |d| format!("{d:.1}"));
         let speed = r
             .speedup()
             .map_or("null".to_string(), |s| format!("{s:.1}"));

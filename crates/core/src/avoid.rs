@@ -126,6 +126,14 @@ impl EngineProbe {
     pub fn stats(&self) -> EngineStats {
         self.engine.stats()
     }
+
+    /// Seeds the owned engine from a recovered snapshot (counters +
+    /// optional cached outcome for `rag`), so a restored avoidance
+    /// session's next probe takes the same path — cache hit, delta sync,
+    /// or rebuild — the uninterrupted one would have.
+    pub fn restore(&mut self, rag: &Rag, stats: EngineStats, cached: Option<DetectOutcome>) {
+        self.engine.restore(rag, stats, cached);
+    }
 }
 
 impl DeadlockProbe for EngineProbe {
@@ -263,6 +271,12 @@ pub struct Avoider {
     outstanding: Vec<GiveUpAsk>,
     livelock_events: u64,
     rdl_policy: RdlVictimPolicy,
+    /// Fixed grants recorded since the last [`Avoider::take_grants`], in
+    /// decision order. A broker layered above the avoider drains this
+    /// after every command to learn which blocked waiters to wake —
+    /// including grants that fall out of `recheck_parked`, which no
+    /// command outcome otherwise reports.
+    grant_log: Vec<(ProcId, ResId)>,
 }
 
 impl Avoider {
@@ -276,7 +290,50 @@ impl Avoider {
             outstanding: Vec::new(),
             livelock_events: 0,
             rdl_policy: RdlVictimPolicy::default(),
+            grant_log: Vec::new(),
         }
+    }
+
+    /// Rebuilds an avoider from previously captured state (a durable
+    /// snapshot). The caller supplies the tracked RAG with its edges in
+    /// original insertion order plus the side tables; the result behaves
+    /// identically to the avoider the state was captured from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priorities` does not match the RAG's process dimension.
+    pub fn from_parts(
+        rag: Rag,
+        priorities: Vec<Priority>,
+        parked: Vec<(ProcId, ResId)>,
+        outstanding: Vec<GiveUpAsk>,
+        livelock_events: u64,
+    ) -> Self {
+        assert_eq!(
+            priorities.len(),
+            rag.processes(),
+            "priority table must cover every process"
+        );
+        Avoider {
+            rag,
+            priorities,
+            parked,
+            outstanding,
+            livelock_events,
+            rdl_policy: RdlVictimPolicy::default(),
+            grant_log: Vec::new(),
+        }
+    }
+
+    /// The full priority table, indexed by process.
+    pub fn priorities(&self) -> &[Priority] {
+        &self.priorities
+    }
+
+    /// Drains the fixed grants recorded since the last call, in decision
+    /// order.
+    pub fn take_grants(&mut self) -> Vec<(ProcId, ResId)> {
+        std::mem::take(&mut self.grant_log)
     }
 
     /// Overrides the R-dl victim selection (ablation studies).
@@ -368,6 +425,7 @@ impl Avoider {
             // has no request edges into it, so this cannot close a cycle.)
             None => {
                 self.rag.add_grant(q, p)?;
+                self.grant_log.push((p, q));
                 Ok(RequestOutcome::Granted)
             }
             Some(owner) => {
@@ -467,6 +525,7 @@ impl Avoider {
                 if was_parked {
                     self.parked.retain(|&(pp, qq)| (pp, qq) != (w, q));
                 }
+                self.grant_log.push((w, q));
                 self.recheck_parked(probe);
                 return Ok(ReleaseOutcome::GrantedTo {
                     process: w,
@@ -514,6 +573,7 @@ impl Avoider {
                             let _ = self.rag.remove_grant(qq, pp);
                             false
                         } else {
+                            self.grant_log.push((pp, qq));
                             true
                         }
                     }
@@ -827,6 +887,56 @@ mod tests {
         av.request(p(1), q(0), &mut FastProbe).unwrap();
         av.request(p(0), q(1), &mut FastProbe).unwrap(); // parked
         assert_eq!(av.waiting_on(p(0)), vec![q(1)]);
+    }
+
+    #[test]
+    fn grant_log_records_every_fixed_grant() {
+        let mut av = avoider();
+        av.request(p(0), q(0), &mut FastProbe).unwrap();
+        assert_eq!(av.take_grants(), vec![(p(0), q(0))]);
+        av.request(p(1), q(0), &mut FastProbe).unwrap(); // pending: not a grant
+        assert!(av.take_grants().is_empty());
+        av.release(p(0), q(0), &mut FastProbe).unwrap();
+        assert_eq!(av.take_grants(), vec![(p(1), q(0))]);
+        assert!(av.take_grants().is_empty(), "take drains the log");
+    }
+
+    #[test]
+    fn grant_log_covers_parked_requests_served_on_release() {
+        // Same flow as parked_request_served_on_release: the parked
+        // request's grant must show up in the log.
+        let mut av = avoider();
+        av.request(p(1), q(1), &mut FastProbe).unwrap();
+        av.request(p(0), q(0), &mut FastProbe).unwrap();
+        av.request(p(1), q(0), &mut FastProbe).unwrap();
+        av.request(p(0), q(1), &mut FastProbe).unwrap(); // R-dl, parked
+        av.take_grants();
+        av.release(p(1), q(1), &mut FastProbe).unwrap();
+        assert_eq!(av.take_grants(), vec![(p(0), q(1))]);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_behavior() {
+        let mut av = avoider();
+        av.request(p(1), q(1), &mut FastProbe).unwrap();
+        av.request(p(0), q(0), &mut FastProbe).unwrap();
+        av.request(p(1), q(0), &mut FastProbe).unwrap();
+        av.request(p(0), q(1), &mut FastProbe).unwrap(); // parked + ask
+        av.take_grants();
+        let rebuilt = Avoider::from_parts(
+            av.rag().clone(),
+            av.priorities().to_vec(),
+            av.parked_requests().to_vec(),
+            av.outstanding_giveups().to_vec(),
+            av.livelock_events(),
+        );
+        let mut live = av.clone();
+        let mut restored = rebuilt;
+        let a = live.release(p(1), q(1), &mut FastProbe).unwrap();
+        let b = restored.release(p(1), q(1), &mut FastProbe).unwrap();
+        assert_eq!(a, b, "restored avoider must decide identically");
+        assert_eq!(live.rag(), restored.rag());
+        assert_eq!(live.take_grants(), restored.take_grants());
     }
 
     #[test]

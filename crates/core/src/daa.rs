@@ -107,6 +107,23 @@ impl SwDaa {
         &self.avoider
     }
 
+    /// Drains the decision engine's fixed-grant log (see
+    /// [`Avoider::take_grants`]).
+    pub fn take_grants(&mut self) -> Vec<(ProcId, ResId)> {
+        self.avoider.take_grants()
+    }
+
+    /// Rebuilds a metered DAA around a restored decision engine, carrying
+    /// the lifetime cycle/command totals forward (durable recovery).
+    pub fn from_parts(avoider: Avoider, total_cycles: u64, commands: u64) -> Self {
+        SwDaa {
+            avoider,
+            cost_model: CostModel::MPC755_SHARED,
+            total_cycles,
+            commands,
+        }
+    }
+
     /// Bookkeeping a software request performs around the detection
     /// probe: take the kernel guard semaphore, look up the owner entry,
     /// walk/update the waiter queue, read both priorities, and maintain

@@ -346,11 +346,10 @@ impl DetectEngine {
     /// [`SparseConfig::max_density_permille`].
     pub fn density_permille(&self) -> u64 {
         let area = (self.resources() * self.processes()) as u64;
-        if area == 0 {
-            0
-        } else {
-            self.live_edges.saturating_mul(1000) / area
-        }
+        self.live_edges
+            .saturating_mul(1000)
+            .checked_div(area)
+            .unwrap_or(0)
     }
 
     /// The active sparse-dispatch configuration.
@@ -738,26 +737,19 @@ impl DetectEngine {
         // decision depends only on shape and live-edge count, so it is
         // identical at every thread count.
         let area = self.resources() * self.processes();
-        if self.sparse.is_some() && self.sparse_cfg.prefers_sparse(area, self.live_edges) {
-            #[cfg(debug_assertions)]
-            {
-                let sp = self.sparse.as_ref().expect("sparse gate without state");
-                debug_assert_eq!(
-                    sp.live_edges(),
-                    self.live_edges,
-                    "sparse mirror edge count diverged from the engine's"
-                );
-                debug_assert_eq!(
-                    self.live_edges,
-                    self.mirror.edge_count() as u64,
-                    "engine live-edge count diverged from the mirror"
-                );
-            }
-            let report = self
-                .sparse
-                .as_mut()
-                .expect("sparse gate without state")
-                .reduce();
+        let prefers_sparse = self.sparse_cfg.prefers_sparse(area, self.live_edges);
+        if let Some(sp) = self.sparse.as_mut().filter(|_| prefers_sparse) {
+            debug_assert_eq!(
+                sp.live_edges(),
+                self.live_edges,
+                "sparse mirror edge count diverged from the engine's"
+            );
+            debug_assert_eq!(
+                self.live_edges,
+                self.mirror.edge_count() as u64,
+                "engine live-edge count diverged from the mirror"
+            );
+            let report = sp.reduce();
             self.stats.sparse_reductions += 1;
             self.stats.reductions += 1;
             let outcome: DetectOutcome = report.into();

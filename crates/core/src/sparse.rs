@@ -181,7 +181,10 @@ impl SparseState {
     ///
     /// Panics if either dimension is zero or does not fit `u32`.
     pub fn new(resources: usize, processes: usize) -> Self {
-        assert!(resources > 0 && processes > 0, "dimensions must be non-zero");
+        assert!(
+            resources > 0 && processes > 0,
+            "dimensions must be non-zero"
+        );
         assert!(
             resources <= u32::MAX as usize && processes <= u32::MAX as usize,
             "dimensions must fit u32 ids"
@@ -442,8 +445,8 @@ impl SparseState {
             // Removal against the same pre-removal snapshot the flags
             // were computed from: terminal rows drop whole rows,
             // non-terminal rows drop only their terminal-column cells.
-            for i in 0..active.len() {
-                let su = active[i] as usize;
+            for &s in active.iter() {
+                let su = s as usize;
                 if row_terminal[su] {
                     for &t in &work_req[su] {
                         cnt_req[t as usize] -= 1;

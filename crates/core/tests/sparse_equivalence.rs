@@ -103,7 +103,8 @@ fn identical_streams_through_dense_and_sparse_are_bit_identical() {
     for t in thread_counts() {
         let pool = Arc::new(WorkerPool::new(t));
         for seq in 0..4u64 {
-            let mut dense = DetectEngine::with_parallel(256, 256, Some(pool.clone()), forced_par(t));
+            let mut dense =
+                DetectEngine::with_parallel(256, 256, Some(pool.clone()), forced_par(t));
             dense.set_sparse(SparseConfig::disabled());
             let mut sparse = DetectEngine::with_parallel(256, 256, None, ParConfig::default());
             sparse.set_sparse(SparseConfig::always());

@@ -1,0 +1,621 @@
+//! Per-session deadlock-avoidance broker: Algorithm 3 behind the wire.
+//!
+//! A [`Broker`] wraps one session's decision engine — either the metered
+//! software DAA ([`SwDaa`], MPC755 shared-memory cost model, so replies
+//! carry the paper's Table 7/9 cycle accounting) or the fast path (an
+//! [`Avoider`] probing an [`EngineProbe`]; identical decisions, zero
+//! reported cycles). Every brokered command returns both the wire
+//! [`Response`] for the caller *and* the list of `(process, resource)`
+//! grants the command fixed as a side effect, drained from the avoider's
+//! grant log. The shard worker uses that list to wake blocked `Acquire`
+//! reply slots — the broker itself stays connection-agnostic and fully
+//! deterministic, which is what makes WAL replay reconstruct it
+//! bit-identically.
+//!
+//! Invariants inherited from [`Avoider`]: the tracked RAG is always
+//! acyclic, a parked request always has an outstanding give-up ask
+//! naming a process that can unblock it, and grant arbitration is
+//! priority-directed (smaller level = higher priority).
+
+use std::sync::Arc;
+
+use deltaos_core::avoid::{Avoider, EngineProbe, ReleaseOutcome, RequestOutcome};
+use deltaos_core::daa::SwDaa;
+use deltaos_core::engine::EngineStats;
+use deltaos_core::par::{ParConfig, WorkerPool};
+use deltaos_core::{Priority, ProcId, Rag, ResId};
+use deltaos_store::{BrokerSnapshot, SessionSnapshot, StoreError};
+
+use crate::proto::{AvoidanceMode, Response};
+
+/// Lifetime counters of one broker, reported through shard stats and
+/// persisted in the checkpoint's broker section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerCounters {
+    /// Resources granted (immediate + woken waiters).
+    pub grants: u64,
+    /// Acquires deferred (queued or parked).
+    pub deferrals: u64,
+    /// Give-up asks issued (R-dl + livelock).
+    pub give_ups: u64,
+}
+
+/// The decision engine variants behind a broker.
+enum Engine {
+    /// Fast path: avoider + dedicated engine probe, no cycle accounting.
+    Fast {
+        avoider: Avoider,
+        /// Boxed: the probe owns matrix mirrors, far larger than the
+        /// metered variant.
+        probe: Box<EngineProbe>,
+    },
+    /// Metered software DAA with the MPC755 shared-memory cost model.
+    Metered(SwDaa),
+}
+
+/// One session's avoidance broker.
+pub struct Broker {
+    engine: Engine,
+    counters: BrokerCounters,
+}
+
+impl Broker {
+    /// Creates a broker for a `resources` × `processes` session.
+    /// `metered` picks the software-DAA engine; otherwise the fast path
+    /// shares the shard worker's reduction pool like any detect engine.
+    pub fn new(
+        resources: u16,
+        processes: u16,
+        metered: bool,
+        pool: Option<Arc<WorkerPool>>,
+        cfg: ParConfig,
+    ) -> Self {
+        let engine = if metered {
+            Engine::Metered(SwDaa::new(resources as usize, processes as usize))
+        } else {
+            Engine::Fast {
+                avoider: Avoider::new(resources as usize, processes as usize),
+                probe: Box::new(EngineProbe::with_parallel(
+                    resources as usize,
+                    processes as usize,
+                    pool,
+                    cfg,
+                )),
+            }
+        };
+        Broker {
+            engine,
+            counters: BrokerCounters::default(),
+        }
+    }
+
+    /// The wire mode this broker serves.
+    pub fn mode(&self) -> AvoidanceMode {
+        match self.engine {
+            Engine::Fast { .. } => AvoidanceMode::FastPath,
+            Engine::Metered(_) => AvoidanceMode::Metered,
+        }
+    }
+
+    fn avoider(&self) -> &Avoider {
+        match &self.engine {
+            Engine::Fast { avoider, .. } => avoider,
+            Engine::Metered(daa) => daa.avoider(),
+        }
+    }
+
+    /// The tracked (always-acyclic) graph.
+    pub fn rag(&self) -> &Rag {
+        self.avoider().rag()
+    }
+
+    /// Lifetime broker counters.
+    pub fn counters(&self) -> BrokerCounters {
+        self.counters
+    }
+
+    /// Livelock resolutions fired so far.
+    pub fn livelock_events(&self) -> u64 {
+        self.avoider().livelock_events()
+    }
+
+    /// Currently waiting acquires: matrix-queued request edges plus
+    /// parked (R-dl-refused) ones — the shard's `broker_waiters` gauge.
+    pub fn waiter_depth(&self) -> u64 {
+        let rag = self.rag();
+        let queued: usize = (0..rag.resources())
+            .map(|q| rag.requesters(ResId(q as u16)).len())
+            .sum();
+        (queued + self.avoider().parked_requests().len()) as u64
+    }
+
+    /// The fast-path probe engine's counters (zeros for the metered
+    /// engine, which probes through its own scratch meter instead).
+    pub fn engine_stats(&self) -> EngineStats {
+        match &self.engine {
+            Engine::Fast { probe, .. } => probe.stats(),
+            Engine::Metered(_) => EngineStats::default(),
+        }
+    }
+
+    /// `true` when `p` is already waiting on `q` (queued or parked) —
+    /// the shard re-attaches such acquires to a reply slot instead of
+    /// re-running the command.
+    pub fn is_waiting(&self, p: ProcId, q: ResId) -> bool {
+        p.index() < self.rag().processes() && self.avoider().waiting_on(p).contains(&q)
+    }
+
+    /// Sets `p`'s arbitration priority.
+    pub fn set_priority(&mut self, p: ProcId, priority: Priority) -> Response {
+        if p.index() >= self.rag().processes() {
+            return Response::Rejected(crate::proto::RejectReason::UnknownId);
+        }
+        match &mut self.engine {
+            Engine::Fast { avoider, .. } => avoider.set_priority(p, priority),
+            Engine::Metered(daa) => daa.set_priority(p, priority),
+        }
+        Response::Ack
+    }
+
+    /// Runs the Algorithm-3 request command for `(p, q)`, returning the
+    /// wire decision and the grants it fixed (including, for an
+    /// immediately granted acquire, the `(p, q)` grant itself).
+    pub fn acquire(&mut self, p: ProcId, q: ResId) -> (Response, Vec<(ProcId, ResId)>) {
+        let (outcome, cycles, probes) = match &mut self.engine {
+            Engine::Fast { avoider, probe } => match avoider.request(p, q, probe.as_mut()) {
+                Ok(o) => (o, 0, 0),
+                Err(e) => return (Response::Rejected((&e).into()), Vec::new()),
+            },
+            Engine::Metered(daa) => match daa.request(p, q) {
+                Ok(r) => (r.outcome, r.cycles, r.probes),
+                Err(e) => return (Response::Rejected((&e).into()), Vec::new()),
+            },
+        };
+        let resp = match outcome {
+            RequestOutcome::Granted => Response::Granted { cycles, probes },
+            RequestOutcome::Pending => {
+                self.counters.deferrals += 1;
+                Response::Deferred { cycles, probes }
+            }
+            RequestOutcome::PendingOwnerAsked(ask) | RequestOutcome::PendingRequesterAsked(ask) => {
+                self.counters.deferrals += 1;
+                self.counters.give_ups += 1;
+                Response::GiveUp {
+                    ask,
+                    cycles,
+                    probes,
+                }
+            }
+        };
+        (resp, self.drain_grants())
+    }
+
+    /// Runs the Algorithm-3 release command for `(p, q)`: hand-off
+    /// arbitration over the waiters, G-dl bypasses, livelock resolution.
+    pub fn release(&mut self, p: ProcId, q: ResId) -> (Response, Vec<(ProcId, ResId)>) {
+        let (outcome, cycles, probes) = match &mut self.engine {
+            Engine::Fast { avoider, probe } => match avoider.release(p, q, probe.as_mut()) {
+                Ok(o) => (o, 0, 0),
+                Err(e) => return (Response::Rejected((&e).into()), Vec::new()),
+            },
+            Engine::Metered(daa) => match daa.release(p, q) {
+                Ok(r) => (r.outcome, r.cycles, r.probes),
+                Err(e) => return (Response::Rejected((&e).into()), Vec::new()),
+            },
+        };
+        if matches!(outcome, ReleaseOutcome::Livelock { ask: Some(_) }) {
+            self.counters.give_ups += 1;
+        }
+        let resp = Response::Resolved {
+            outcome,
+            livelock_rounds: self.livelock_events(),
+            cycles,
+            probes,
+        };
+        (resp, self.drain_grants())
+    }
+
+    /// Honors every outstanding give-up ask targeting `p`: releases each
+    /// asked resource through the release command, in ask order. Replies
+    /// with the *final* release's decision; cycles and probes are summed
+    /// over all of them (the whole acknowledgement is one client action).
+    pub fn give_up_ack(&mut self, p: ProcId) -> (Response, Vec<(ProcId, ResId)>) {
+        let shed: Vec<ResId> = self
+            .avoider()
+            .outstanding_giveups()
+            .iter()
+            .filter(|a| a.target == p)
+            .flat_map(|a| a.resources.iter().copied())
+            .collect();
+        if shed.is_empty() {
+            return (
+                Response::Rejected(crate::proto::RejectReason::NoSuchEdge),
+                Vec::new(),
+            );
+        }
+        let mut grants = Vec::new();
+        let mut total_cycles = 0u64;
+        let mut total_probes = 0u32;
+        let mut last = None;
+        for q in shed {
+            // An earlier release in this acknowledgement may have
+            // re-granted (or even satisfied) a later ask; skip resources
+            // `p` no longer holds instead of failing half-way through.
+            if self.rag().owner(q) != Some(p) {
+                continue;
+            }
+            let (resp, g) = self.release(p, q);
+            grants.extend(g);
+            match resp {
+                Response::Resolved {
+                    outcome,
+                    livelock_rounds,
+                    cycles,
+                    probes,
+                } => {
+                    total_cycles += cycles;
+                    total_probes += probes;
+                    last = Some((outcome, livelock_rounds));
+                }
+                other => return (other, grants),
+            }
+        }
+        match last {
+            Some((outcome, livelock_rounds)) => (
+                Response::Resolved {
+                    outcome,
+                    livelock_rounds,
+                    cycles: total_cycles,
+                    probes: total_probes,
+                },
+                grants,
+            ),
+            // Every asked resource was already released along the way.
+            None => (
+                Response::Resolved {
+                    outcome: ReleaseOutcome::NoWaiters,
+                    livelock_rounds: self.livelock_events(),
+                    cycles: total_cycles,
+                    probes: total_probes,
+                },
+                grants,
+            ),
+        }
+    }
+
+    /// Drains the avoider's grant log, counting every fixed grant.
+    fn drain_grants(&mut self) -> Vec<(ProcId, ResId)> {
+        let grants = match &mut self.engine {
+            Engine::Fast { avoider, .. } => avoider.take_grants(),
+            Engine::Metered(daa) => daa.take_grants(),
+        };
+        self.counters.grants += grants.len() as u64;
+        grants
+    }
+
+    /// Captures this broker session as a checkpoint-v3
+    /// [`SessionSnapshot`]: the avoider's RAG as the session graph, the
+    /// fast-path probe's engine counters, and the broker section.
+    pub fn snapshot(&self, session: u64) -> SessionSnapshot {
+        let rag = self.rag();
+        let mut grants = Vec::new();
+        let mut requests = Vec::new();
+        for qi in 0..rag.resources() {
+            let q = ResId(qi as u16);
+            if let Some(p) = rag.owner(q) {
+                grants.push((q.0, p.0));
+            }
+            for &p in rag.requesters(q) {
+                requests.push((q.0, p.0));
+            }
+        }
+        let avoider = self.avoider();
+        let (metered, total_cycles, commands) = match &self.engine {
+            Engine::Fast { .. } => (false, 0, 0),
+            Engine::Metered(daa) => (true, daa.total_cycles(), daa.command_count()),
+        };
+        SessionSnapshot {
+            session,
+            resources: rag.resources() as u16,
+            processes: rag.processes() as u16,
+            grants,
+            requests,
+            engine: self.engine_stats(),
+            cached: None,
+            broker: Some(BrokerSnapshot {
+                metered,
+                priorities: avoider.priorities().to_vec(),
+                parked: avoider
+                    .parked_requests()
+                    .iter()
+                    .map(|&(p, q)| (p.0, q.0))
+                    .collect(),
+                outstanding: avoider.outstanding_giveups().to_vec(),
+                livelock_events: avoider.livelock_events(),
+                total_cycles,
+                commands,
+                grants: self.counters.grants,
+                deferrals: self.counters.deferrals,
+                give_ups: self.counters.give_ups,
+            }),
+        }
+    }
+
+    /// Rebuilds a broker from a checkpoint-v3 snapshot. The restored
+    /// broker's next command arbitrates exactly as the captured one
+    /// would have: same RAG (including request-queue order), same
+    /// priorities, same parked waiters and outstanding asks, same cycle
+    /// totals.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Invalid`] when the snapshot has no broker section,
+    /// its edges violate RAG invariants, or its broker fields are out of
+    /// range for the session's dimensions.
+    pub fn restore_from(
+        snap: &SessionSnapshot,
+        pool: Option<Arc<WorkerPool>>,
+        cfg: ParConfig,
+    ) -> Result<Self, StoreError> {
+        let b = snap.broker.as_ref().ok_or(StoreError::Invalid {
+            what: "snapshot without broker section",
+        })?;
+        let rag = snap.restore_rag()?;
+        if b.priorities.len() != rag.processes() {
+            return Err(StoreError::Invalid {
+                what: "broker priority count",
+            });
+        }
+        for &(p, q) in &b.parked {
+            if p as usize >= rag.processes() || q as usize >= rag.resources() {
+                return Err(StoreError::Invalid {
+                    what: "broker parked edge",
+                });
+            }
+        }
+        for ask in &b.outstanding {
+            if ask.target.index() >= rag.processes()
+                || ask.resources.iter().any(|r| r.index() >= rag.resources())
+            {
+                return Err(StoreError::Invalid {
+                    what: "broker give-up ask",
+                });
+            }
+        }
+        let resources = rag.resources();
+        let processes = rag.processes();
+        let avoider = Avoider::from_parts(
+            rag,
+            b.priorities.clone(),
+            b.parked
+                .iter()
+                .map(|&(p, q)| (ProcId(p), ResId(q)))
+                .collect(),
+            b.outstanding.clone(),
+            b.livelock_events,
+        );
+        let engine = if b.metered {
+            Engine::Metered(SwDaa::from_parts(avoider, b.total_cycles, b.commands))
+        } else {
+            let mut probe = Box::new(EngineProbe::with_parallel(resources, processes, pool, cfg));
+            // No cached outcome is persisted for brokers: the avoider's
+            // tentative-edit probes always run against a just-mutated
+            // RAG, so a capture-time cache entry could never be valid
+            // for the next probe anyway.
+            probe.restore(avoider.rag(), snap.engine, None);
+            Engine::Fast { avoider, probe }
+        };
+        Ok(Broker {
+            engine,
+            counters: BrokerCounters {
+                grants: b.grants,
+                deferrals: b.deferrals,
+                give_ups: b.give_ups,
+            },
+        })
+    }
+}
+
+impl std::fmt::Debug for Broker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Broker")
+            .field("mode", &self.mode())
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deltaos_core::avoid::{GiveUpAsk, GiveUpReason};
+
+    fn p(i: u16) -> ProcId {
+        ProcId(i)
+    }
+    fn q(i: u16) -> ResId {
+        ResId(i)
+    }
+
+    fn prioritized(metered: bool) -> Broker {
+        let mut b = Broker::new(4, 4, metered, None, ParConfig::default());
+        for i in 0..4 {
+            b.set_priority(p(i), Priority::new(i as u8 + 1));
+        }
+        b
+    }
+
+    #[test]
+    fn immediate_grant_and_deferral() {
+        for metered in [false, true] {
+            let mut b = prioritized(metered);
+            let (r, g) = b.acquire(p(0), q(0));
+            assert!(matches!(r, Response::Granted { .. }));
+            assert_eq!(g, vec![(p(0), q(0))]);
+            let (r, g) = b.acquire(p(1), q(0));
+            assert!(matches!(r, Response::Deferred { .. }));
+            assert!(g.is_empty());
+            assert_eq!(b.waiter_depth(), 1);
+            assert_eq!(b.counters().grants, 1);
+            assert_eq!(b.counters().deferrals, 1);
+        }
+    }
+
+    #[test]
+    fn release_wakes_the_highest_priority_waiter() {
+        for metered in [false, true] {
+            let mut b = prioritized(metered);
+            b.acquire(p(0), q(0));
+            b.acquire(p(2), q(0));
+            b.acquire(p(1), q(0));
+            let (r, g) = b.release(p(0), q(0));
+            match r {
+                Response::Resolved {
+                    outcome: ReleaseOutcome::GrantedTo { process, .. },
+                    ..
+                } => assert_eq!(process, p(1), "priority order, not arrival order"),
+                other => panic!("unexpected {other:?}"),
+            }
+            assert_eq!(g, vec![(p(1), q(0))]);
+        }
+    }
+
+    #[test]
+    fn rdl_acquire_asks_and_give_up_ack_unblocks() {
+        for metered in [false, true] {
+            let mut b = prioritized(metered);
+            b.acquire(p(0), q(0));
+            b.acquire(p(1), q(1));
+            b.acquire(p(1), q(0)); // deferred behind p0
+                                   // p0 → q1 closes the cycle: R-dl; p0 outranks p1, so the
+                                   // owner (p1) is asked to shed q1.
+            let (r, _) = b.acquire(p(0), q(1));
+            let ask = match r {
+                Response::GiveUp { ask, .. } => ask,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(
+                ask,
+                GiveUpAsk {
+                    target: p(1),
+                    resources: vec![q(1)],
+                    reason: GiveUpReason::RequestDeadlock,
+                }
+            );
+            assert_eq!(b.counters().give_ups, 1);
+            // The ack releases q1 through arbitration; parked p0 gets it.
+            let (r, g) = b.give_up_ack(p(1));
+            assert!(matches!(r, Response::Resolved { .. }));
+            assert!(g.contains(&(p(0), q(1))), "grants: {g:?}");
+            assert!(!b.is_waiting(p(0), q(1)));
+        }
+    }
+
+    #[test]
+    fn metered_and_fast_path_decide_identically() {
+        let mut fast = prioritized(false);
+        let mut slow = prioritized(true);
+        let script = [
+            (true, 0u16, 0u16),
+            (true, 1, 1),
+            (true, 1, 0),
+            (true, 0, 1),
+            (false, 1, 1),
+            (true, 2, 3),
+            (false, 0, 0),
+        ];
+        for (is_req, pi, qi) in script {
+            let (rf, gf) = if is_req {
+                fast.acquire(p(pi), q(qi))
+            } else {
+                fast.release(p(pi), q(qi))
+            };
+            let (rs, gs) = if is_req {
+                slow.acquire(p(pi), q(qi))
+            } else {
+                slow.release(p(pi), q(qi))
+            };
+            // Same decision shape and same grants; only the metered
+            // cycle counts differ.
+            assert_eq!(gf, gs);
+            match (&rf, &rs) {
+                (Response::Granted { cycles: 0, .. }, Response::Granted { .. }) => {}
+                (Response::Deferred { cycles: 0, .. }, Response::Deferred { .. }) => {}
+                (Response::GiveUp { ask: a, .. }, Response::GiveUp { ask: b, .. }) => {
+                    assert_eq!(a, b)
+                }
+                (Response::Resolved { outcome: a, .. }, Response::Resolved { outcome: b, .. }) => {
+                    assert_eq!(a, b)
+                }
+                other => panic!("decisions diverged: {other:?}"),
+            }
+        }
+        assert_eq!(fast.counters(), slow.counters());
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        for metered in [false, true] {
+            let mut b = prioritized(metered);
+            b.acquire(p(0), q(0));
+            b.acquire(p(1), q(1));
+            b.acquire(p(1), q(0));
+            b.acquire(p(0), q(1)); // parks + asks
+            let snap = b.snapshot(9);
+            let mut restored = Broker::restore_from(&snap, None, ParConfig::default()).unwrap();
+            let mut replayed = Broker::restore_from(&snap, None, ParConfig::default()).unwrap();
+            // A live snapshot can catch the probe's delta mirror
+            // mid-stride (last synced during a probe whose request edge
+            // was then parked out of the RAG), and restore re-syncs the
+            // mirror — so the re-encoded snapshot matches on everything
+            // the broker owns, and is a true fixed point from the
+            // second generation on.
+            let resnap = restored.snapshot(9);
+            assert_eq!(resnap.broker, snap.broker);
+            assert_eq!(resnap.grants, snap.grants);
+            assert_eq!(resnap.requests, snap.requests);
+            assert_eq!(
+                Broker::restore_from(&resnap, None, ParConfig::default())
+                    .unwrap()
+                    .snapshot(9),
+                resnap
+            );
+            assert_eq!(restored.counters(), b.counters());
+            assert_eq!(restored.waiter_depth(), b.waiter_depth());
+            // The next command decides identically on the live broker
+            // and on both restored copies, and the two restored copies
+            // stay bit-identical — the same relation recovery depends
+            // on between the live restart and the reference replay.
+            // (Raw engine-sync counters may lag on the live broker: a
+            // snapshot can catch its delta mirror mid-stride, while
+            // restore always rebuilds in sync.)
+            let (ra, ga) = b.give_up_ack(p(1));
+            let (rb, gb) = restored.give_up_ack(p(1));
+            let (rc, gc) = replayed.give_up_ack(p(1));
+            assert_eq!(&ra, &rb);
+            assert_eq!(&ga, &gb);
+            assert_eq!(&rb, &rc);
+            assert_eq!(&gb, &gc);
+            assert_eq!(restored.snapshot(9), replayed.snapshot(9));
+        }
+    }
+
+    #[test]
+    fn invalid_ops_reject_without_state_change() {
+        let mut b = prioritized(true);
+        b.acquire(p(0), q(0));
+        let before = b.snapshot(1);
+        let (r, g) = b.acquire(p(0), q(0));
+        assert!(matches!(r, Response::Rejected(_)), "re-acquire of held");
+        assert!(g.is_empty());
+        let (r, _) = b.release(p(1), q(0));
+        assert!(matches!(r, Response::Rejected(_)), "release by non-owner");
+        let (r, _) = b.give_up_ack(p(2));
+        assert!(matches!(r, Response::Rejected(_)), "ack without asks");
+        assert!(matches!(
+            b.set_priority(p(9), Priority::new(1)),
+            Response::Rejected(_)
+        ));
+        assert_eq!(b.snapshot(1), before);
+    }
+}

@@ -3,7 +3,8 @@
 //! With a [`DurabilityConfig`] set on
 //! [`ServiceConfig`](crate::ServiceConfig), every shard worker owns a
 //! [`ShardStore`]: state-mutating jobs (`Open`/`Batch`/`Close`/
-//! `Restore`) are appended to the shard's WAL and committed **before**
+//! `Restore` and the broker commands) are appended to the shard's WAL
+//! and committed **before**
 //! they are applied or replied to — write-ahead in the literal sense, so
 //! anything a client saw acknowledged is re-creatable. On startup the
 //! worker loads its latest checkpoint, replays the surviving WAL suffix
@@ -28,9 +29,10 @@ use std::sync::Arc;
 use deltaos_core::par::{ParConfig, WorkerPool};
 use deltaos_store::wal::WalEvent;
 use deltaos_store::{
-    FsyncPolicy, SessionSnapshot, ShardCheckpoint, ShardCounters, ShardStore, WalOp,
+    BrokerWalOp, FsyncPolicy, SessionSnapshot, ShardCheckpoint, ShardCounters, ShardStore, WalOp,
 };
 
+use crate::broker::Broker;
 use crate::proto::Event;
 use crate::session::Session;
 
@@ -137,6 +139,7 @@ impl ShardPersist {
         counters: ShardCounters,
         next_session: u64,
         sessions: &HashMap<u64, Session>,
+        brokers: &HashMap<u64, Broker>,
         force: bool,
     ) {
         if !force && self.store.records_since_checkpoint() < self.checkpoint_every {
@@ -145,6 +148,7 @@ impl ShardPersist {
         let mut snaps: Vec<SessionSnapshot> = sessions
             .iter()
             .map(|(&id, sess)| sess.snapshot(id))
+            .chain(brokers.iter().map(|(&id, b)| b.snapshot(id)))
             .collect();
         // HashMap iteration order is arbitrary; checkpoint bytes should
         // not be.
@@ -167,6 +171,7 @@ impl ShardPersist {
 pub(crate) struct RecoveredShard {
     pub persist: ShardPersist,
     pub sessions: HashMap<u64, Session>,
+    pub brokers: HashMap<u64, Broker>,
     pub counters: ShardCounters,
     pub next_session: u64,
 }
@@ -188,6 +193,7 @@ pub(crate) fn open_shard(
     let (store, recovery) = ShardStore::open(&cfg.dir, shard as u32, cfg.fsync)
         .unwrap_or_else(|e| panic!("shard {shard}: store open failed: {e}"));
     let mut sessions: HashMap<u64, Session> = HashMap::new();
+    let mut brokers: HashMap<u64, Broker> = HashMap::new();
     let mut counters = ShardCounters::default();
     let mut next_session = 0u64;
     let mut checkpoint_sessions = 0u64;
@@ -196,9 +202,15 @@ pub(crate) fn open_shard(
         next_session = ckpt.next_session;
         checkpoint_sessions = ckpt.sessions.len() as u64;
         for snap in &ckpt.sessions {
-            let sess = Session::restore_from(snap, pool.clone(), par)
-                .unwrap_or_else(|e| panic!("shard {shard}: checkpoint session restore: {e}"));
-            sessions.insert(snap.session, sess);
+            if snap.broker.is_some() {
+                let b = Broker::restore_from(snap, pool.clone(), par)
+                    .unwrap_or_else(|e| panic!("shard {shard}: checkpoint broker restore: {e}"));
+                brokers.insert(snap.session, b);
+            } else {
+                let sess = Session::restore_from(snap, pool.clone(), par)
+                    .unwrap_or_else(|e| panic!("shard {shard}: checkpoint session restore: {e}"));
+                sessions.insert(snap.session, sess);
+            }
         }
     }
     let replayed_records = recovery.wal_ops.len() as u64;
@@ -239,15 +251,74 @@ pub(crate) fn open_shard(
                     counters.retired_dense_reductions += es.dense_reductions;
                     counters.retired_sparse_reductions += es.sparse_reductions;
                     counters.sessions_closed += 1;
+                } else if let Some(b) = brokers.remove(session) {
+                    let es = b.engine_stats();
+                    counters.retired_cache_hits += es.cache_hits;
+                    counters.retired_reductions += es.reductions;
+                    counters.retired_dense_reductions += es.dense_reductions;
+                    counters.retired_sparse_reductions += es.sparse_reductions;
+                    let bc = b.counters();
+                    counters.retired_broker_grants += bc.grants;
+                    counters.retired_broker_deferrals += bc.deferrals;
+                    counters.retired_broker_give_ups += bc.give_ups;
+                    counters.retired_broker_livelocks += b.livelock_events();
+                    counters.sessions_closed += 1;
                 }
             }
             WalOp::Restore { snapshot } => {
-                let sess = Session::restore_from(snapshot, pool.clone(), par)
-                    .unwrap_or_else(|e| panic!("shard {shard}: WAL session restore: {e}"));
-                sessions.insert(snapshot.session, sess);
+                if snapshot.broker.is_some() {
+                    let b = Broker::restore_from(snapshot, pool.clone(), par)
+                        .unwrap_or_else(|e| panic!("shard {shard}: WAL broker restore: {e}"));
+                    brokers.insert(snapshot.session, b);
+                } else {
+                    let sess = Session::restore_from(snapshot, pool.clone(), par)
+                        .unwrap_or_else(|e| panic!("shard {shard}: WAL session restore: {e}"));
+                    sessions.insert(snapshot.session, sess);
+                }
                 counters.sessions_opened += 1;
                 next_session = next_session.max(snapshot.session + 1);
             }
+            WalOp::Broker { session, op } => match op {
+                // Broker commands are logged, not their decisions:
+                // replaying the command against identical state re-derives
+                // the identical decision (including rejections), and the
+                // broker's own grant/deferral/give-up counters advance
+                // exactly as they did live. Woken waiters need no replay —
+                // a grant is broker state, and the reply slots died with
+                // the connections.
+                BrokerWalOp::Open {
+                    resources,
+                    processes,
+                    metered,
+                } => {
+                    brokers.insert(
+                        *session,
+                        Broker::new(*resources, *processes, *metered, pool.clone(), par),
+                    );
+                    counters.sessions_opened += 1;
+                    next_session = next_session.max(*session + 1);
+                }
+                op => {
+                    let Some(b) = brokers.get_mut(session) else {
+                        panic!("shard {shard}: WAL broker op for unknown session {session}");
+                    };
+                    match *op {
+                        BrokerWalOp::Open { .. } => unreachable!("handled above"),
+                        BrokerWalOp::SetPriority { p, priority } => {
+                            b.set_priority(p, priority);
+                        }
+                        BrokerWalOp::Acquire { p, q } => {
+                            b.acquire(p, q);
+                        }
+                        BrokerWalOp::Release { p, q } => {
+                            b.release(p, q);
+                        }
+                        BrokerWalOp::GiveUpAck { p } => {
+                            b.give_up_ack(p);
+                        }
+                    }
+                }
+            },
         }
     }
     let info = RecoveryInfo {
@@ -257,7 +328,7 @@ pub(crate) fn open_shard(
         torn_bytes: recovery.torn_bytes,
         last_seq: store.last_seq(),
         next_session,
-        live_sessions: sessions.len() as u64,
+        live_sessions: (sessions.len() + brokers.len()) as u64,
     };
     RecoveredShard {
         persist: ShardPersist {
@@ -267,6 +338,7 @@ pub(crate) fn open_shard(
             info,
         },
         sessions,
+        brokers,
         counters,
         next_session,
     }

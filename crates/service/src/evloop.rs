@@ -329,6 +329,12 @@ enum Pending {
     Stats(Vec<Receiver<Stats>>, Vec<Option<Stats>>),
     Snapshot(Receiver<Result<Vec<u8>, ServiceError>>),
     Restore(Receiver<Result<SessionId, ServiceError>>),
+    /// A brokered avoidance command; the shard sends the wire response
+    /// directly. For a `wait`ing Acquire the channel may stay silent
+    /// until another connection's release grants the edge — the slot
+    /// simply rides the pending FIFO until then, and the pipelined-reply
+    /// path delivers the grant like any other in-order response.
+    Broker(Receiver<Result<Response, ServiceError>>),
 }
 
 struct Conn {
@@ -443,6 +449,43 @@ impl Conn {
                             Ok(rx) => Pending::Restore(rx),
                             Err(e) => Pending::Ready(error_response(e)),
                         },
+                        Ok(Request::OpenAvoid {
+                            resources,
+                            processes,
+                            mode,
+                        }) => match client.open_avoid_async(resources, processes, mode) {
+                            Ok(rx) => Pending::Open(rx),
+                            Err(e) => Pending::Ready(error_response(e)),
+                        },
+                        Ok(Request::SetPriority {
+                            session,
+                            p,
+                            priority,
+                        }) => match client.set_priority_async(session, p, priority) {
+                            Ok(rx) => Pending::Broker(rx),
+                            Err(e) => Pending::Ready(error_response(e)),
+                        },
+                        Ok(Request::Acquire {
+                            session,
+                            p,
+                            q,
+                            wait,
+                        }) => match client.acquire_async(session, p, q, wait) {
+                            Ok(rx) => Pending::Broker(rx),
+                            Err(e) => Pending::Ready(error_response(e)),
+                        },
+                        Ok(Request::BrokerRelease { session, p, q }) => {
+                            match client.broker_release_async(session, p, q) {
+                                Ok(rx) => Pending::Broker(rx),
+                                Err(e) => Pending::Ready(error_response(e)),
+                            }
+                        }
+                        Ok(Request::GiveUpAck { session, p }) => {
+                            match client.give_up_ack_async(session, p) {
+                                Ok(rx) => Pending::Broker(rx),
+                                Err(e) => Pending::Ready(error_response(e)),
+                            }
+                        }
                     };
                     self.pending.push_back(slot);
                 }
@@ -520,6 +563,12 @@ impl Conn {
                 },
                 Pending::Restore(rx) => match rx.try_recv() {
                     Ok(Ok(id)) => Some(Response::Opened(id)),
+                    Ok(Err(e)) => Some(error_response(e)),
+                    Err(TryRecvError::Empty) => None,
+                    Err(TryRecvError::Disconnected) => Some(Response::Error(ErrorCode::Shutdown)),
+                },
+                Pending::Broker(rx) => match rx.try_recv() {
+                    Ok(Ok(resp)) => Some(resp),
                     Ok(Err(e)) => Some(error_response(e)),
                     Err(TryRecvError::Empty) => None,
                     Err(TryRecvError::Disconnected) => Some(Response::Error(ErrorCode::Shutdown)),

@@ -11,6 +11,9 @@
 //! Layering:
 //!
 //! * [`session`] — one RAG + engine, applying [`proto::Event`]s in order.
+//! * [`broker`] — per-session deadlock-*avoidance* sessions: clients
+//!   acquire/release through the wire and the Algorithm-3 avoider decides,
+//!   deferring (blocking) conflicting acquires until a release frees them.
 //! * [`shard`] — the worker pool: bounded queues, `Busy` backpressure,
 //!   admission control, graceful drain-on-shutdown, per-shard
 //!   [`deltaos_sim::Stats`].
@@ -41,6 +44,7 @@
 //! service.shutdown();
 //! ```
 
+pub mod broker;
 pub mod durable;
 #[cfg(unix)]
 pub mod evloop;
@@ -49,14 +53,15 @@ pub mod session;
 pub mod shard;
 pub mod tcp;
 
+pub use broker::{Broker, BrokerCounters};
 pub use deltaos_core::par::{ParConfig, WorkerPool};
 pub use deltaos_store::FsyncPolicy;
 pub use durable::{DurabilityConfig, RecoveryInfo};
 #[cfg(unix)]
 pub use evloop::{EvConfig, EvServer};
 pub use proto::{
-    ErrorCode, Event, EventResult, FrontendStats, RejectReason, Request, Response, SessionId,
-    ShardStats, WireError, MAX_BATCH, MAX_FRAME,
+    AvoidanceMode, ErrorCode, Event, EventResult, FrontendStats, RejectReason, Request, Response,
+    SessionId, ShardStats, WireError, MAX_BATCH, MAX_FRAME,
 };
 pub use session::{BatchTally, Session};
 pub use shard::{Client, Service, ServiceConfig, ServiceError};

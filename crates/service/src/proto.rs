@@ -11,8 +11,9 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 
+use deltaos_core::avoid::{GiveUpAsk, GiveUpReason, ReleaseOutcome};
 use deltaos_core::pdda::DetectOutcome;
-use deltaos_core::{CoreError, ProcId, ResId};
+use deltaos_core::{CoreError, Priority, ProcId, ResId};
 
 /// Hard upper bound on a frame payload. Anything larger is rejected
 /// before allocation — a corrupt or hostile length prefix must not
@@ -135,6 +136,30 @@ pub enum ErrorCode {
     InvalidSnapshot,
     /// A `Snapshot` of this session would not fit in one wire frame.
     SnapshotTooLarge,
+    /// A broker op (`SetPriority`/`Acquire`/`BrokerRelease`/`GiveUpAck`)
+    /// was sent to a session opened without avoidance.
+    AvoidanceOff,
+    /// A raw edit batch was sent to a broker session — its RAG belongs
+    /// to Algorithm 3; direct edits would corrupt the avoider's
+    /// invariants.
+    AvoidanceOn,
+}
+
+/// Per-session avoidance policy chosen at open time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AvoidanceMode {
+    /// No broker: the session is today's probe-only deadlock oracle and
+    /// rejects broker ops with [`ErrorCode::AvoidanceOff`].
+    #[default]
+    Off,
+    /// Broker decisions through an [`deltaos_core::avoid::Avoider`]
+    /// probing an [`deltaos_core::avoid::EngineProbe`] — identical
+    /// decisions to [`AvoidanceMode::Metered`], zero reported cycles.
+    FastPath,
+    /// Broker decisions through the metered software DAA
+    /// ([`deltaos_core::daa::SwDaa`], MPC755 shared-memory cost model);
+    /// replies carry the paper's Table 7/9 cycle accounting.
+    Metered,
 }
 
 /// A client → service message.
@@ -174,6 +199,67 @@ pub enum Request {
         /// Opaque snapshot bytes (`deltaos-store` session encoding).
         snapshot: Vec<u8>,
     },
+    /// Create a session with an avoidance broker attached. `mode`
+    /// selects the decision engine; `Off` behaves exactly like
+    /// [`Request::Open`].
+    OpenAvoid {
+        /// Resource-row count.
+        resources: u16,
+        /// Process-column count.
+        processes: u16,
+        /// Broker decision engine.
+        mode: AvoidanceMode,
+    },
+    /// Broker: set the arbitration priority of process `p` (smaller
+    /// value = higher priority). Answered with [`Response::Ack`].
+    SetPriority {
+        /// Target session.
+        session: SessionId,
+        /// Process whose priority changes.
+        p: ProcId,
+        /// New priority.
+        priority: Priority,
+    },
+    /// Broker: process `p` asks for resource `q` through Algorithm 3.
+    /// With `wait = false` the decision comes back immediately
+    /// ([`Response::Granted`] / [`Response::Deferred`] /
+    /// [`Response::GiveUp`]). With `wait = true` a non-R-dl deferral
+    /// **blocks the reply slot**: the connection's response arrives only
+    /// once a release grants the resource (R-dl still answers
+    /// immediately with [`Response::GiveUp`] — the requester must learn
+    /// the ask).
+    Acquire {
+        /// Target session.
+        session: SessionId,
+        /// Requesting process.
+        p: ProcId,
+        /// Requested resource.
+        q: ResId,
+        /// Block the reply until granted instead of reporting `Deferred`.
+        wait: bool,
+    },
+    /// Broker: process `p` releases resource `q`; the broker re-runs
+    /// grant arbitration over the waiters and answers
+    /// [`Response::Resolved`]. Any waiter granted as a side effect gets
+    /// its blocked [`Request::Acquire`] reply pushed on its own
+    /// connection.
+    BrokerRelease {
+        /// Target session.
+        session: SessionId,
+        /// Releasing process.
+        p: ProcId,
+        /// Released resource.
+        q: ResId,
+    },
+    /// Broker: process `p` honors its outstanding give-up asks,
+    /// releasing every resource the broker asked it to shed in one step.
+    /// Answered with [`Response::Resolved`] for the final release.
+    GiveUpAck {
+        /// Target session.
+        session: SessionId,
+        /// The process shedding its asked resources.
+        p: ProcId,
+    },
 }
 
 /// Key per-shard counters serialized in a [`Response::Stats`].
@@ -200,6 +286,18 @@ pub struct ShardStats {
     /// Shard-wide RAG density in permille over the combined area of the
     /// shard's open sessions (gauge).
     pub density_permille: u64,
+    /// Broker: resources granted (immediate + woken waiters), live +
+    /// retired.
+    pub broker_grants: u64,
+    /// Broker: acquires deferred (queued or parked), live + retired.
+    pub broker_deferrals: u64,
+    /// Broker: give-up asks issued (R-dl + livelock), live + retired.
+    pub broker_give_ups: u64,
+    /// Broker: livelock resolutions fired, live + retired.
+    pub broker_livelocks: u64,
+    /// Broker: currently blocked `Acquire` reply slots across the
+    /// shard's sessions (gauge).
+    pub broker_waiters: u64,
 }
 
 /// Front-end (event-loop) health counters, serialized in a
@@ -264,6 +362,55 @@ pub enum Response {
     Snapshot(Vec<u8>),
     /// Request failed.
     Error(ErrorCode),
+    /// Broker: the acquire's resource is granted — immediately, or (for
+    /// a blocked `wait = true` acquire) pushed once a release freed it.
+    /// `cycles`/`probes` carry the metered cost of the deciding command
+    /// (zero in fast-path mode).
+    Granted {
+        /// Metered bus-clock cycles of the deciding command.
+        cycles: u64,
+        /// Detection probes the decision ran.
+        probes: u32,
+    },
+    /// Broker: the acquire is queued behind the current owner (no
+    /// deadlock risk). Re-evaluated on every release of the resource.
+    Deferred {
+        /// Metered bus-clock cycles of the deciding command.
+        cycles: u64,
+        /// Detection probes the decision ran.
+        probes: u32,
+    },
+    /// Broker: the acquire hit request-deadlock — the request is parked
+    /// and `ask` names who must shed which resources (`ask.reason`
+    /// distinguishes the owner-asked vs requester-sheds R-dl arms).
+    GiveUp {
+        /// The give-up ask issued by Algorithm 3.
+        ask: GiveUpAsk,
+        /// Metered bus-clock cycles of the deciding command.
+        cycles: u64,
+        /// Detection probes the decision ran.
+        probes: u32,
+    },
+    /// Broker: a release (or give-up acknowledgement) was arbitrated.
+    /// `outcome` carries the full DAA decision: hand-off target,
+    /// G-dl-bypassed waiters, or the livelock ask.
+    Resolved {
+        /// The release decision.
+        outcome: ReleaseOutcome,
+        /// Livelock resolutions fired on this session so far (the
+        /// resolution round counter).
+        livelock_rounds: u64,
+        /// Metered bus-clock cycles of the command(s).
+        cycles: u64,
+        /// Detection probes the command(s) ran.
+        probes: u32,
+    },
+    /// Broker: side-effect-only op (e.g. `SetPriority`) applied.
+    Ack,
+    /// Broker: the op violated a protocol assumption (duplicate acquire,
+    /// release by a non-owner, out-of-range id). Session state is
+    /// unchanged.
+    Rejected(RejectReason),
 }
 
 /// Typed decode/framing failure. Total over arbitrary input: malformed
@@ -393,6 +540,60 @@ fn error_code(e: ErrorCode) -> u8 {
         ErrorCode::BadRequest => 6,
         ErrorCode::InvalidSnapshot => 7,
         ErrorCode::SnapshotTooLarge => 8,
+        ErrorCode::AvoidanceOff => 9,
+        ErrorCode::AvoidanceOn => 10,
+    }
+}
+
+fn mode_code(m: AvoidanceMode) -> u8 {
+    match m {
+        AvoidanceMode::Off => 0,
+        AvoidanceMode::FastPath => 1,
+        AvoidanceMode::Metered => 2,
+    }
+}
+
+fn giveup_reason_code(r: GiveUpReason) -> u8 {
+    match r {
+        GiveUpReason::RequestDeadlock => 1,
+        GiveUpReason::RequesterSheds => 2,
+        GiveUpReason::Livelock => 3,
+    }
+}
+
+fn put_ask(out: &mut Vec<u8>, ask: &GiveUpAsk) {
+    put_u16(out, ask.target.0);
+    out.push(giveup_reason_code(ask.reason));
+    put_u16(out, ask.resources.len() as u16);
+    for q in &ask.resources {
+        put_u16(out, q.0);
+    }
+}
+
+fn put_release_outcome(out: &mut Vec<u8>, o: &ReleaseOutcome) {
+    match o {
+        ReleaseOutcome::NoWaiters => out.push(0),
+        ReleaseOutcome::GrantedTo {
+            process,
+            bypassed_gdl,
+        } => {
+            out.push(1);
+            put_u16(out, process.0);
+            put_u16(out, bypassed_gdl.len() as u16);
+            for p in bypassed_gdl {
+                put_u16(out, p.0);
+            }
+        }
+        ReleaseOutcome::Livelock { ask } => {
+            out.push(2);
+            match ask {
+                None => out.push(0),
+                Some(a) => {
+                    out.push(1);
+                    put_ask(out, a);
+                }
+            }
+        }
     }
 }
 
@@ -458,6 +659,49 @@ pub fn encode_request_into(req: &Request, out: &mut Vec<u8>) {
             put_u32(out, snapshot.len() as u32);
             out.extend_from_slice(snapshot);
         }
+        Request::OpenAvoid {
+            resources,
+            processes,
+            mode,
+        } => {
+            out.push(0x07);
+            put_u16(out, *resources);
+            put_u16(out, *processes);
+            out.push(mode_code(*mode));
+        }
+        Request::SetPriority {
+            session,
+            p,
+            priority,
+        } => {
+            out.push(0x08);
+            put_u64(out, session.0);
+            put_u16(out, p.0);
+            out.push(priority.level());
+        }
+        Request::Acquire {
+            session,
+            p,
+            q,
+            wait,
+        } => {
+            out.push(0x09);
+            put_u64(out, session.0);
+            put_u16(out, p.0);
+            put_u16(out, q.0);
+            out.push(u8::from(*wait));
+        }
+        Request::BrokerRelease { session, p, q } => {
+            out.push(0x0A);
+            put_u64(out, session.0);
+            put_u16(out, p.0);
+            put_u16(out, q.0);
+        }
+        Request::GiveUpAck { session, p } => {
+            out.push(0x0B);
+            put_u64(out, session.0);
+            put_u16(out, p.0);
+        }
     }
 }
 
@@ -513,6 +757,11 @@ pub fn encode_response_into(resp: &Response, out: &mut Vec<u8>) {
                 put_u64(out, s.sparse_reductions);
                 put_u64(out, s.live_edges);
                 put_u64(out, s.density_permille);
+                put_u64(out, s.broker_grants);
+                put_u64(out, s.broker_deferrals);
+                put_u64(out, s.broker_give_ups);
+                put_u64(out, s.broker_livelocks);
+                put_u64(out, s.broker_waiters);
             }
             match frontend {
                 None => out.push(0),
@@ -532,6 +781,43 @@ pub fn encode_response_into(resp: &Response, out: &mut Vec<u8>) {
         Response::Error(code) => {
             out.push(0x86);
             out.push(error_code(*code));
+        }
+        Response::Granted { cycles, probes } => {
+            out.push(0x88);
+            put_u64(out, *cycles);
+            put_u32(out, *probes);
+        }
+        Response::Deferred { cycles, probes } => {
+            out.push(0x89);
+            put_u64(out, *cycles);
+            put_u32(out, *probes);
+        }
+        Response::GiveUp {
+            ask,
+            cycles,
+            probes,
+        } => {
+            out.push(0x8A);
+            put_ask(out, ask);
+            put_u64(out, *cycles);
+            put_u32(out, *probes);
+        }
+        Response::Resolved {
+            outcome,
+            livelock_rounds,
+            cycles,
+            probes,
+        } => {
+            out.push(0x8B);
+            put_release_outcome(out, outcome);
+            put_u64(out, *livelock_rounds);
+            put_u64(out, *cycles);
+            put_u32(out, *probes);
+        }
+        Response::Ack => out.push(0x8C),
+        Response::Rejected(reason) => {
+            out.push(0x8D);
+            out.push(reject_code(*reason));
         }
     }
 }
@@ -637,9 +923,96 @@ fn read_error_code(code: u8) -> Result<ErrorCode, WireError> {
         6 => ErrorCode::BadRequest,
         7 => ErrorCode::InvalidSnapshot,
         8 => ErrorCode::SnapshotTooLarge,
+        9 => ErrorCode::AvoidanceOff,
+        10 => ErrorCode::AvoidanceOn,
         tag => {
             return Err(WireError::UnknownTag {
                 what: "error code",
+                tag,
+            })
+        }
+    })
+}
+
+fn read_mode(code: u8) -> Result<AvoidanceMode, WireError> {
+    Ok(match code {
+        0 => AvoidanceMode::Off,
+        1 => AvoidanceMode::FastPath,
+        2 => AvoidanceMode::Metered,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "avoidance mode",
+                tag,
+            })
+        }
+    })
+}
+
+fn read_ask(r: &mut Reader<'_>) -> Result<GiveUpAsk, WireError> {
+    let target = ProcId(r.u16()?);
+    let reason = match r.u8()? {
+        1 => GiveUpReason::RequestDeadlock,
+        2 => GiveUpReason::RequesterSheds,
+        3 => GiveUpReason::Livelock,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "give-up reason",
+                tag,
+            })
+        }
+    };
+    let count = r.u16()?;
+    if count as usize > MAX_BATCH {
+        return Err(WireError::CountTooLarge {
+            count: u32::from(count),
+        });
+    }
+    let mut resources = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        resources.push(ResId(r.u16()?));
+    }
+    Ok(GiveUpAsk {
+        target,
+        resources,
+        reason,
+    })
+}
+
+fn read_release_outcome(r: &mut Reader<'_>) -> Result<ReleaseOutcome, WireError> {
+    Ok(match r.u8()? {
+        0 => ReleaseOutcome::NoWaiters,
+        1 => {
+            let process = ProcId(r.u16()?);
+            let count = r.u16()?;
+            if count as usize > MAX_BATCH {
+                return Err(WireError::CountTooLarge {
+                    count: u32::from(count),
+                });
+            }
+            let mut bypassed_gdl = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                bypassed_gdl.push(ProcId(r.u16()?));
+            }
+            ReleaseOutcome::GrantedTo {
+                process,
+                bypassed_gdl,
+            }
+        }
+        2 => ReleaseOutcome::Livelock {
+            ask: match r.u8()? {
+                0 => None,
+                1 => Some(read_ask(r)?),
+                tag => {
+                    return Err(WireError::UnknownTag {
+                        what: "livelock ask flag",
+                        tag,
+                    })
+                }
+            },
+        },
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "release outcome",
                 tag,
             })
         }
@@ -689,6 +1062,51 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
                 snapshot: r.take(len as usize)?.to_vec(),
             }
         }
+        0x07 => {
+            let resources = r.u16()?;
+            let processes = r.u16()?;
+            let mode = read_mode(r.u8()?)?;
+            Request::OpenAvoid {
+                resources,
+                processes,
+                mode,
+            }
+        }
+        0x08 => Request::SetPriority {
+            session: SessionId(r.u64()?),
+            p: ProcId(r.u16()?),
+            priority: Priority::new(r.u8()?),
+        },
+        0x09 => {
+            let session = SessionId(r.u64()?);
+            let p = ProcId(r.u16()?);
+            let q = ResId(r.u16()?);
+            let wait = match r.u8()? {
+                0 => false,
+                1 => true,
+                tag => {
+                    return Err(WireError::UnknownTag {
+                        what: "acquire wait flag",
+                        tag,
+                    })
+                }
+            };
+            Request::Acquire {
+                session,
+                p,
+                q,
+                wait,
+            }
+        }
+        0x0A => Request::BrokerRelease {
+            session: SessionId(r.u64()?),
+            p: ProcId(r.u16()?),
+            q: ResId(r.u16()?),
+        },
+        0x0B => Request::GiveUpAck {
+            session: SessionId(r.u64()?),
+            p: ProcId(r.u16()?),
+        },
         tag => {
             return Err(WireError::UnknownTag {
                 what: "request",
@@ -759,6 +1177,11 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                     sparse_reductions: r.u64()?,
                     live_edges: r.u64()?,
                     density_permille: r.u64()?,
+                    broker_grants: r.u64()?,
+                    broker_deferrals: r.u64()?,
+                    broker_give_ups: r.u64()?,
+                    broker_livelocks: r.u64()?,
+                    broker_waiters: r.u64()?,
                 });
             }
             let frontend = match r.u8()? {
@@ -797,6 +1220,36 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                 });
             }
             Response::Snapshot(r.take(len as usize)?.to_vec())
+        }
+        0x88 => Response::Granted {
+            cycles: r.u64()?,
+            probes: r.u32()?,
+        },
+        0x89 => Response::Deferred {
+            cycles: r.u64()?,
+            probes: r.u32()?,
+        },
+        0x8A => {
+            let ask = read_ask(&mut r)?;
+            Response::GiveUp {
+                ask,
+                cycles: r.u64()?,
+                probes: r.u32()?,
+            }
+        }
+        0x8B => {
+            let outcome = read_release_outcome(&mut r)?;
+            Response::Resolved {
+                outcome,
+                livelock_rounds: r.u64()?,
+                cycles: r.u64()?,
+                probes: r.u32()?,
+            }
+        }
+        0x8C => Response::Ack,
+        0x8D => {
+            let code = r.u8()?;
+            Response::Rejected(read_reject(code)?)
         }
         tag => {
             return Err(WireError::UnknownTag {
@@ -942,6 +1395,86 @@ mod tests {
         roundtrip_request(Request::Restore {
             snapshot: Vec::new(),
         });
+        for mode in [
+            AvoidanceMode::Off,
+            AvoidanceMode::FastPath,
+            AvoidanceMode::Metered,
+        ] {
+            roundtrip_request(Request::OpenAvoid {
+                resources: 5,
+                processes: 5,
+                mode,
+            });
+        }
+        roundtrip_request(Request::SetPriority {
+            session: SessionId(3),
+            p: ProcId(2),
+            priority: Priority::new(7),
+        });
+        for wait in [false, true] {
+            roundtrip_request(Request::Acquire {
+                session: SessionId(4),
+                p: ProcId(1),
+                q: ResId(2),
+                wait,
+            });
+        }
+        roundtrip_request(Request::BrokerRelease {
+            session: SessionId(4),
+            p: ProcId(1),
+            q: ResId(2),
+        });
+        roundtrip_request(Request::GiveUpAck {
+            session: SessionId(4),
+            p: ProcId(1),
+        });
+    }
+
+    #[test]
+    fn broker_response_roundtrips() {
+        roundtrip_response(Response::Granted {
+            cycles: 104,
+            probes: 0,
+        });
+        roundtrip_response(Response::Deferred {
+            cycles: 1289,
+            probes: 1,
+        });
+        roundtrip_response(Response::GiveUp {
+            ask: GiveUpAsk {
+                target: ProcId(1),
+                resources: vec![ResId(1), ResId(3)],
+                reason: GiveUpReason::RequestDeadlock,
+            },
+            cycles: 665,
+            probes: 1,
+        });
+        for outcome in [
+            ReleaseOutcome::NoWaiters,
+            ReleaseOutcome::GrantedTo {
+                process: ProcId(2),
+                bypassed_gdl: vec![ProcId(1)],
+            },
+            ReleaseOutcome::Livelock { ask: None },
+            ReleaseOutcome::Livelock {
+                ask: Some(GiveUpAsk {
+                    target: ProcId(4),
+                    resources: vec![ResId(0)],
+                    reason: GiveUpReason::Livelock,
+                }),
+            },
+        ] {
+            roundtrip_response(Response::Resolved {
+                outcome,
+                livelock_rounds: 2,
+                cycles: 1030,
+                probes: 3,
+            });
+        }
+        roundtrip_response(Response::Ack);
+        roundtrip_response(Response::Rejected(RejectReason::DuplicateEdge));
+        roundtrip_response(Response::Error(ErrorCode::AvoidanceOff));
+        roundtrip_response(Response::Error(ErrorCode::AvoidanceOn));
     }
 
     #[test]
@@ -968,6 +1501,11 @@ mod tests {
             sparse_reductions: 4,
             live_edges: 17,
             density_permille: 2,
+            broker_grants: 21,
+            broker_deferrals: 8,
+            broker_give_ups: 3,
+            broker_livelocks: 1,
+            broker_waiters: 2,
         }];
         roundtrip_response(Response::Stats {
             shards: rows.clone(),

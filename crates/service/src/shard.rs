@@ -27,11 +27,13 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 use deltaos_core::par::{ParConfig, WorkerPool};
+use deltaos_core::{Priority, ProcId, ResId};
 use deltaos_sim::Stats;
-use deltaos_store::{SessionSnapshot, WalOp};
+use deltaos_store::{BrokerWalOp, SessionSnapshot, WalOp};
 
+use crate::broker::Broker;
 use crate::durable::{self, DurabilityConfig, RecoveryInfo};
-use crate::proto::{ErrorCode, Event, EventResult, SessionId, MAX_FRAME};
+use crate::proto::{AvoidanceMode, ErrorCode, Event, EventResult, Response, SessionId, MAX_FRAME};
 use crate::session::Session;
 
 /// Service construction parameters.
@@ -121,6 +123,12 @@ pub enum ServiceError {
     InvalidSnapshot,
     /// A `snapshot` of this session would not fit in one wire frame.
     SnapshotTooLarge,
+    /// A broker command (`SetPriority`/`Acquire`/`Release`/`GiveUpAck`)
+    /// was sent to a plain detection session.
+    AvoidanceOff,
+    /// A raw edit `Batch` was sent to a broker session, whose graph is
+    /// owned by the avoider.
+    AvoidanceOn,
 }
 
 impl fmt::Display for ServiceError {
@@ -134,6 +142,8 @@ impl fmt::Display for ServiceError {
             ServiceError::Shutdown => write!(f, "service is shut down"),
             ServiceError::InvalidSnapshot => write!(f, "invalid session snapshot"),
             ServiceError::SnapshotTooLarge => write!(f, "session snapshot exceeds frame cap"),
+            ServiceError::AvoidanceOff => write!(f, "broker command on a plain session"),
+            ServiceError::AvoidanceOn => write!(f, "raw batch on a broker session"),
         }
     }
 }
@@ -153,6 +163,8 @@ impl From<ServiceError> for ErrorCode {
             ServiceError::Shutdown => ErrorCode::Shutdown,
             ServiceError::InvalidSnapshot => ErrorCode::InvalidSnapshot,
             ServiceError::SnapshotTooLarge => ErrorCode::SnapshotTooLarge,
+            ServiceError::AvoidanceOff => ErrorCode::AvoidanceOff,
+            ServiceError::AvoidanceOn => ErrorCode::AvoidanceOn,
         }
     }
 }
@@ -211,9 +223,41 @@ enum Job {
         snapshot: Vec<u8>,
         reply: Sender<Result<SessionId, ServiceError>>,
     },
+    OpenAvoid {
+        session: SessionId,
+        resources: u16,
+        processes: u16,
+        mode: AvoidanceMode,
+        reply: Sender<Result<SessionId, ServiceError>>,
+    },
+    /// A brokered avoidance command. The reply slot may outlive the job:
+    /// a `wait`ing Acquire the broker defers parks its sender in the
+    /// shard's waiter table and fills it when a later command grants the
+    /// edge — that is the blocking primitive clients see.
+    Broker {
+        session: SessionId,
+        op: BrokerJob,
+        reply: Sender<Result<Response, ServiceError>>,
+    },
     /// Shutdown marker: enqueued behind all accepted work by
     /// [`Service::shutdown`], so processing it means the queue drained.
     Shutdown,
+}
+
+/// The avoidance commands multiplexed through [`Job::Broker`].
+enum BrokerJob {
+    SetPriority { p: ProcId, priority: Priority },
+    Acquire { p: ProcId, q: ResId, wait: bool },
+    Release { p: ProcId, q: ResId },
+    GiveUpAck { p: ProcId },
+}
+
+/// A blocked `Acquire`'s parked reply slot, filled by the grant a later
+/// `Release`/`GiveUpAck` fixes.
+struct Waiter {
+    p: ProcId,
+    q: ResId,
+    reply: Sender<Result<Response, ServiceError>>,
 }
 
 struct Shared {
@@ -595,6 +639,199 @@ impl Client {
         Ok(rx)
     }
 
+    /// Opens an avoidance-brokered session, blocking for the id. With
+    /// [`AvoidanceMode::Off`] this is literally [`Client::open`] — a
+    /// plain detection session, no broker. The other modes create a
+    /// session whose graph is owned by the Algorithm-3 avoider and
+    /// driven through [`Client::acquire`]/[`Client::broker_release`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::open`].
+    pub fn open_avoid(
+        &self,
+        resources: u16,
+        processes: u16,
+        mode: AvoidanceMode,
+    ) -> Result<SessionId, ServiceError> {
+        let rx = self.open_avoid_async(resources, processes, mode)?;
+        rx.recv().map_err(|_| ServiceError::Shutdown)?
+    }
+
+    /// Submits an avoidance open without waiting.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::open_async`].
+    pub fn open_avoid_async(
+        &self,
+        resources: u16,
+        processes: u16,
+        mode: AvoidanceMode,
+    ) -> Result<Receiver<Result<SessionId, ServiceError>>, ServiceError> {
+        let cap = self.shared.config.max_dim;
+        if resources == 0 || processes == 0 || resources > cap || processes > cap {
+            return Err(ServiceError::BadDimensions);
+        }
+        let session = SessionId(self.shared.next_session.fetch_add(1, Ordering::Relaxed));
+        let (reply, rx) = mpsc::channel();
+        self.enqueue(
+            self.shard_of(session),
+            Job::OpenAvoid {
+                session,
+                resources,
+                processes,
+                mode,
+                reply,
+            },
+        )?;
+        Ok(rx)
+    }
+
+    fn broker_op(
+        &self,
+        session: SessionId,
+        op: BrokerJob,
+    ) -> Result<Receiver<Result<Response, ServiceError>>, ServiceError> {
+        let (reply, rx) = mpsc::channel();
+        self.enqueue(self.shard_of(session), Job::Broker { session, op, reply })?;
+        Ok(rx)
+    }
+
+    /// Sets process `p`'s arbitration priority on a broker session
+    /// (smaller level = higher priority), blocking for the `Ack`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::AvoidanceOff`] on a plain session,
+    /// [`ServiceError::UnknownSession`] if it does not exist.
+    pub fn set_priority(
+        &self,
+        session: SessionId,
+        p: ProcId,
+        priority: Priority,
+    ) -> Result<Response, ServiceError> {
+        let rx = self.set_priority_async(session, p, priority)?;
+        rx.recv().map_err(|_| ServiceError::Shutdown)?
+    }
+
+    /// Submits a priority change without waiting.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Busy`] / [`ServiceError::Shutdown`] from the
+    /// enqueue; session errors arrive on the channel.
+    pub fn set_priority_async(
+        &self,
+        session: SessionId,
+        p: ProcId,
+        priority: Priority,
+    ) -> Result<Receiver<Result<Response, ServiceError>>, ServiceError> {
+        self.broker_op(session, BrokerJob::SetPriority { p, priority })
+    }
+
+    /// Runs the avoidance request command for `(p, q)`, blocking for the
+    /// decision. With `wait` set, a deferred acquire does not answer
+    /// until a later release grants the edge — the call blocks, which is
+    /// the whole point of the broker. With `wait` unset it answers
+    /// [`Response::Deferred`] immediately and the client polls by
+    /// re-issuing the acquire (idempotent: re-polling a still-waiting
+    /// edge defers again, re-polling a granted one answers `Granted`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::AvoidanceOff`] on a plain session,
+    /// [`ServiceError::UnknownSession`] if it does not exist (including
+    /// a session closed while waiting).
+    pub fn acquire(
+        &self,
+        session: SessionId,
+        p: ProcId,
+        q: ResId,
+        wait: bool,
+    ) -> Result<Response, ServiceError> {
+        let rx = self.acquire_async(session, p, q, wait)?;
+        rx.recv().map_err(|_| ServiceError::Shutdown)?
+    }
+
+    /// Submits an acquire without waiting; with `wait` set the returned
+    /// channel stays silent until the edge is granted (or the session
+    /// dies), which is how the event-loop front-end serves blocking
+    /// acquires without blocking a loop thread.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Busy`] / [`ServiceError::Shutdown`] from the
+    /// enqueue; session errors arrive on the channel.
+    pub fn acquire_async(
+        &self,
+        session: SessionId,
+        p: ProcId,
+        q: ResId,
+        wait: bool,
+    ) -> Result<Receiver<Result<Response, ServiceError>>, ServiceError> {
+        self.broker_op(session, BrokerJob::Acquire { p, q, wait })
+    }
+
+    /// Runs the avoidance release command for `(p, q)`, blocking for the
+    /// [`Response::Resolved`] decision (hand-off arbitration, G-dl
+    /// bypasses, livelock resolution). Grants this fixes wake blocked
+    /// acquires on their own connections.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::set_priority`].
+    pub fn broker_release(
+        &self,
+        session: SessionId,
+        p: ProcId,
+        q: ResId,
+    ) -> Result<Response, ServiceError> {
+        let rx = self.broker_release_async(session, p, q)?;
+        rx.recv().map_err(|_| ServiceError::Shutdown)?
+    }
+
+    /// Submits a broker release without waiting.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Busy`] / [`ServiceError::Shutdown`] from the
+    /// enqueue; session errors arrive on the channel.
+    pub fn broker_release_async(
+        &self,
+        session: SessionId,
+        p: ProcId,
+        q: ResId,
+    ) -> Result<Receiver<Result<Response, ServiceError>>, ServiceError> {
+        self.broker_op(session, BrokerJob::Release { p, q })
+    }
+
+    /// Honors every outstanding give-up ask targeting `p` (releasing the
+    /// asked resources through arbitration), blocking for the final
+    /// release's decision.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::set_priority`].
+    pub fn give_up_ack(&self, session: SessionId, p: ProcId) -> Result<Response, ServiceError> {
+        let rx = self.give_up_ack_async(session, p)?;
+        rx.recv().map_err(|_| ServiceError::Shutdown)?
+    }
+
+    /// Submits a give-up acknowledgement without waiting.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Busy`] / [`ServiceError::Shutdown`] from the
+    /// enqueue; session errors arrive on the channel.
+    pub fn give_up_ack_async(
+        &self,
+        session: SessionId,
+        p: ProcId,
+    ) -> Result<Receiver<Result<Response, ServiceError>>, ServiceError> {
+        self.broker_op(session, BrokerJob::GiveUpAck { p })
+    }
+
     /// Merged counters across all shards.
     ///
     /// # Errors
@@ -624,6 +861,11 @@ struct WorkerCounters {
     retired_reductions: u64,
     retired_dense_reductions: u64,
     retired_sparse_reductions: u64,
+    /// Broker counters of already-closed broker sessions.
+    retired_broker_grants: u64,
+    retired_broker_deferrals: u64,
+    retired_broker_give_ups: u64,
+    retired_broker_livelocks: u64,
 }
 
 impl WorkerCounters {
@@ -639,6 +881,10 @@ impl WorkerCounters {
             retired_reductions: c.retired_reductions,
             retired_dense_reductions: c.retired_dense_reductions,
             retired_sparse_reductions: c.retired_sparse_reductions,
+            retired_broker_grants: c.retired_broker_grants,
+            retired_broker_deferrals: c.retired_broker_deferrals,
+            retired_broker_give_ups: c.retired_broker_give_ups,
+            retired_broker_livelocks: c.retired_broker_livelocks,
         }
     }
 
@@ -654,6 +900,10 @@ impl WorkerCounters {
             retired_reductions: self.retired_reductions,
             retired_dense_reductions: self.retired_dense_reductions,
             retired_sparse_reductions: self.retired_sparse_reductions,
+            retired_broker_grants: self.retired_broker_grants,
+            retired_broker_deferrals: self.retired_broker_deferrals,
+            retired_broker_give_ups: self.retired_broker_give_ups,
+            retired_broker_livelocks: self.retired_broker_livelocks,
         }
     }
 }
@@ -682,11 +932,17 @@ fn run_worker(
     });
     // Durability: recover before serving, then tell Service::start.
     let mut sessions: HashMap<u64, Session>;
+    let mut brokers: HashMap<u64, Broker>;
+    // Blocked Acquire reply slots per broker session. Reconstructed
+    // waiting state after recovery lives in the avoiders; slots reappear
+    // as reconnecting clients re-issue (re-attach) their acquires.
+    let mut waiters: HashMap<u64, Vec<Waiter>> = HashMap::new();
     let mut counters: WorkerCounters;
     let mut next_session: u64;
     let mut persist = match &config.durability {
         None => {
             sessions = HashMap::new();
+            brokers = HashMap::new();
             counters = WorkerCounters::default();
             next_session = 0;
             None
@@ -694,6 +950,7 @@ fn run_worker(
         Some(d) => {
             let recovered = durable::open_shard(d, shard_id, pool.clone(), config.par);
             sessions = recovered.sessions;
+            brokers = recovered.brokers;
             counters = WorkerCounters::from_store(recovered.counters);
             next_session = recovered.next_session;
             let mut persist = recovered.persist;
@@ -714,7 +971,7 @@ fn run_worker(
                 processes,
                 reply,
             } => {
-                let result = if sessions.len() >= config.max_sessions_per_shard {
+                let result = if sessions.len() + brokers.len() >= config.max_sessions_per_shard {
                     Err(ServiceError::TooManySessions)
                 } else {
                     // Write-ahead: the open is durable before it exists.
@@ -735,12 +992,72 @@ fn run_worker(
                 };
                 let _ = reply.send(result);
             }
+            Job::OpenAvoid {
+                session,
+                resources,
+                processes,
+                mode,
+                reply,
+            } => {
+                let result = if sessions.len() + brokers.len() >= config.max_sessions_per_shard {
+                    Err(ServiceError::TooManySessions)
+                } else if mode == AvoidanceMode::Off {
+                    // Avoidance off is literally a plain open: a probe-only
+                    // session, logged as one, indistinguishable from it.
+                    if let Some(p) = persist.as_mut() {
+                        p.log(&WalOp::Open {
+                            session: session.0,
+                            resources,
+                            processes,
+                        });
+                    }
+                    sessions.insert(
+                        session.0,
+                        Session::with_parallel(resources, processes, pool.clone(), config.par),
+                    );
+                    counters.sessions_opened += 1;
+                    next_session = next_session.max(session.0 + 1);
+                    Ok(session)
+                } else {
+                    let metered = mode == AvoidanceMode::Metered;
+                    if let Some(p) = persist.as_mut() {
+                        p.log(&WalOp::Broker {
+                            session: session.0,
+                            op: BrokerWalOp::Open {
+                                resources,
+                                processes,
+                                metered,
+                            },
+                        });
+                    }
+                    brokers.insert(
+                        session.0,
+                        Broker::new(resources, processes, metered, pool.clone(), config.par),
+                    );
+                    counters.sessions_opened += 1;
+                    next_session = next_session.max(session.0 + 1);
+                    Ok(session)
+                };
+                let _ = reply.send(result);
+            }
+            Job::Broker { session, op, reply } => {
+                broker_job(
+                    session,
+                    op,
+                    reply,
+                    &mut brokers,
+                    &mut waiters,
+                    &sessions,
+                    persist.as_mut(),
+                );
+            }
             Job::Batch {
                 session,
                 events,
                 reply,
             } => {
                 let result = match sessions.get_mut(&session.0) {
+                    None if brokers.contains_key(&session.0) => Err(ServiceError::AvoidanceOn),
                     None => Err(ServiceError::UnknownSession),
                     Some(sess) => {
                         // Every accepted batch is logged — probe-only ones
@@ -764,9 +1081,7 @@ fn run_worker(
                 let _ = reply.send(result);
             }
             Job::Close { session, reply } => {
-                let result = if !sessions.contains_key(&session.0) {
-                    Err(ServiceError::UnknownSession)
-                } else {
+                let result = if sessions.contains_key(&session.0) {
                     if let Some(p) = persist.as_mut() {
                         p.log(&WalOp::Close { session: session.0 });
                     }
@@ -778,6 +1093,31 @@ fn run_worker(
                     counters.retired_sparse_reductions += es.sparse_reductions;
                     counters.sessions_closed += 1;
                     Ok(())
+                } else if brokers.contains_key(&session.0) {
+                    if let Some(p) = persist.as_mut() {
+                        p.log(&WalOp::Close { session: session.0 });
+                    }
+                    let broker = brokers.remove(&session.0).expect("checked above");
+                    let es = broker.engine_stats();
+                    counters.retired_cache_hits += es.cache_hits;
+                    counters.retired_reductions += es.reductions;
+                    counters.retired_dense_reductions += es.dense_reductions;
+                    counters.retired_sparse_reductions += es.sparse_reductions;
+                    let bc = broker.counters();
+                    counters.retired_broker_grants += bc.grants;
+                    counters.retired_broker_deferrals += bc.deferrals;
+                    counters.retired_broker_give_ups += bc.give_ups;
+                    counters.retired_broker_livelocks += broker.livelock_events();
+                    counters.sessions_closed += 1;
+                    // Blocked acquires on this session can never be
+                    // granted now; fail their slots instead of leaking
+                    // silent hangs.
+                    for w in waiters.remove(&session.0).unwrap_or_default() {
+                        let _ = w.reply.send(Err(ServiceError::UnknownSession));
+                    }
+                    Ok(())
+                } else {
+                    Err(ServiceError::UnknownSession)
                 };
                 let _ = reply.send(result);
             }
@@ -786,23 +1126,26 @@ fn run_worker(
                     shard_id,
                     &counters,
                     &sessions,
+                    &brokers,
                     &meter,
                     persist.as_ref(),
                 ));
             }
             Job::Snapshot { session, reply } => {
-                let result = match sessions.get(&session.0) {
-                    None => Err(ServiceError::UnknownSession),
-                    Some(sess) => {
-                        let bytes = sess.snapshot(session.0).encode();
-                        // Leave header room so the reply still frames.
-                        if bytes.len() > MAX_FRAME - 16 {
-                            Err(ServiceError::SnapshotTooLarge)
-                        } else {
-                            Ok(bytes)
-                        }
-                    }
+                let snap = match (sessions.get(&session.0), brokers.get(&session.0)) {
+                    (Some(sess), _) => Ok(sess.snapshot(session.0)),
+                    (None, Some(b)) => Ok(b.snapshot(session.0)),
+                    (None, None) => Err(ServiceError::UnknownSession),
                 };
+                let result = snap.and_then(|snap| {
+                    let bytes = snap.encode();
+                    // Leave header room so the reply still frames.
+                    if bytes.len() > MAX_FRAME - 16 {
+                        Err(ServiceError::SnapshotTooLarge)
+                    } else {
+                        Ok(bytes)
+                    }
+                });
                 let _ = reply.send(result);
             }
             Job::Restore {
@@ -814,6 +1157,7 @@ fn run_worker(
                     session,
                     &snapshot,
                     &mut sessions,
+                    &mut brokers,
                     &mut counters,
                     persist.as_mut(),
                     pool.clone(),
@@ -837,6 +1181,7 @@ fn run_worker(
                 counters.to_store(),
                 next_session,
                 &sessions,
+                &brokers,
                 false,
             );
         }
@@ -844,7 +1189,14 @@ fn run_worker(
     }
     if let Some(p) = persist.as_mut() {
         if p.checkpoint_on_shutdown {
-            p.maybe_checkpoint(shard_id, counters.to_store(), next_session, &sessions, true);
+            p.maybe_checkpoint(
+                shard_id,
+                counters.to_store(),
+                next_session,
+                &sessions,
+                &brokers,
+                true,
+            );
         } else {
             // Graceful shutdown still flushes the log: under `EveryN`/`Os`
             // nothing acknowledged may be lost to a clean stop.
@@ -853,20 +1205,156 @@ fn run_worker(
                 .unwrap_or_else(|e| panic!("WAL sync failed: {e}"));
         }
     }
-    report(shard_id, &counters, &sessions, &meter, persist.as_ref())
+    report(
+        shard_id,
+        &counters,
+        &sessions,
+        &brokers,
+        &meter,
+        persist.as_ref(),
+    )
 }
 
-/// The `Restore` job body: validate, write-ahead, install.
+/// The [`Job::Broker`] body: route, re-attach or write-ahead + run the
+/// command, wake granted waiters, reply (or park the slot).
+fn broker_job(
+    session: SessionId,
+    op: BrokerJob,
+    reply: Sender<Result<Response, ServiceError>>,
+    brokers: &mut HashMap<u64, Broker>,
+    waiters: &mut HashMap<u64, Vec<Waiter>>,
+    sessions: &HashMap<u64, Session>,
+    persist: Option<&mut durable::ShardPersist>,
+) {
+    let Some(broker) = brokers.get_mut(&session.0) else {
+        let e = if sessions.contains_key(&session.0) {
+            ServiceError::AvoidanceOff
+        } else {
+            ServiceError::UnknownSession
+        };
+        let _ = reply.send(Err(e));
+        return;
+    };
+    if let BrokerJob::Acquire { p, q, wait } = op {
+        // Re-attach: an acquire for an edge already waiting (a client
+        // polling, or reconnecting after its connection died) must not
+        // re-run the command — it just (re)binds a reply slot to the
+        // pending grant. Not logged: no state changes.
+        if broker.is_waiting(p, q) {
+            if wait {
+                waiters
+                    .entry(session.0)
+                    .or_default()
+                    .push(Waiter { p, q, reply });
+            } else {
+                let _ = reply.send(Ok(Response::Deferred {
+                    cycles: 0,
+                    probes: 0,
+                }));
+            }
+            return;
+        }
+        // Likewise idempotent: a grant delivered while the client was
+        // away answers `Granted` on the next poll, not a rejection.
+        if p.index() < broker.rag().processes()
+            && q.index() < broker.rag().resources()
+            && broker.rag().owner(q) == Some(p)
+        {
+            let _ = reply.send(Ok(Response::Granted {
+                cycles: 0,
+                probes: 0,
+            }));
+            return;
+        }
+    }
+    // Write-ahead: the *command* is durable before it runs, not its
+    // decision — replay re-runs it against identical state and
+    // re-derives the identical decision, rejections included.
+    if let Some(persist) = persist {
+        let wal_op = match op {
+            BrokerJob::SetPriority { p, priority } => BrokerWalOp::SetPriority { p, priority },
+            BrokerJob::Acquire { p, q, .. } => BrokerWalOp::Acquire { p, q },
+            BrokerJob::Release { p, q } => BrokerWalOp::Release { p, q },
+            BrokerJob::GiveUpAck { p } => BrokerWalOp::GiveUpAck { p },
+        };
+        persist.log(&WalOp::Broker {
+            session: session.0,
+            op: wal_op,
+        });
+    }
+    match op {
+        BrokerJob::SetPriority { p, priority } => {
+            let _ = reply.send(Ok(broker.set_priority(p, priority)));
+        }
+        BrokerJob::Acquire { p, q, wait } => {
+            let (resp, grants) = broker.acquire(p, q);
+            wake_waiters(waiters, session.0, &grants);
+            if wait && matches!(resp, Response::Deferred { .. }) {
+                // The blocking primitive: the reply slot fills when a
+                // later command's grant names this edge. An R-dl acquire
+                // (`GiveUp`) still answers immediately even with `wait`
+                // set — the client must see the ask to act on it.
+                waiters
+                    .entry(session.0)
+                    .or_default()
+                    .push(Waiter { p, q, reply });
+            } else {
+                let _ = reply.send(Ok(resp));
+            }
+        }
+        BrokerJob::Release { p, q } => {
+            let (resp, grants) = broker.release(p, q);
+            wake_waiters(waiters, session.0, &grants);
+            let _ = reply.send(Ok(resp));
+        }
+        BrokerJob::GiveUpAck { p } => {
+            let (resp, grants) = broker.give_up_ack(p);
+            wake_waiters(waiters, session.0, &grants);
+            let _ = reply.send(Ok(resp));
+        }
+    }
+}
+
+/// Fills any parked reply slots whose `(p, q)` edges a broker command
+/// just granted. Grants with no registered slot (the command's own
+/// immediate grant, or a waiter whose client polls instead of blocking)
+/// are simply broker state — the next re-attach answers `Granted`.
+fn wake_waiters(waiters: &mut HashMap<u64, Vec<Waiter>>, session: u64, grants: &[(ProcId, ResId)]) {
+    if grants.is_empty() {
+        return;
+    }
+    let Some(list) = waiters.get_mut(&session) else {
+        return;
+    };
+    for &(p, q) in grants {
+        while let Some(i) = list.iter().position(|w| w.p == p && w.q == q) {
+            let w = list.remove(i);
+            let _ = w.reply.send(Ok(Response::Granted {
+                cycles: 0,
+                probes: 0,
+            }));
+        }
+    }
+    if list.is_empty() {
+        waiters.remove(&session);
+    }
+}
+
+/// The `Restore` job body: validate, write-ahead, install. (One
+/// parameter per piece of worker state it can install into — a broker
+/// snapshot and a plain one land in different maps.)
+#[allow(clippy::too_many_arguments)]
 fn restore_session(
     session: SessionId,
     snapshot: &[u8],
     sessions: &mut HashMap<u64, Session>,
+    brokers: &mut HashMap<u64, Broker>,
     counters: &mut WorkerCounters,
     persist: Option<&mut durable::ShardPersist>,
     pool: Option<Arc<WorkerPool>>,
     config: &ServiceConfig,
 ) -> Result<SessionId, ServiceError> {
-    if sessions.len() >= config.max_sessions_per_shard {
+    if sessions.len() + brokers.len() >= config.max_sessions_per_shard {
         return Err(ServiceError::TooManySessions);
     }
     let mut snap = SessionSnapshot::decode(snapshot).map_err(|_| ServiceError::InvalidSnapshot)?;
@@ -875,14 +1363,30 @@ fn restore_session(
         return Err(ServiceError::BadDimensions);
     }
     // The restored session lives under the freshly assigned id, not
-    // whatever id it had in its previous life.
+    // whatever id it had in its previous life. A snapshot with a broker
+    // section restores as a broker session — the blob decides the kind,
+    // so a broker snapshotted on one service instance resumes avoiding
+    // on another.
     snap.session = session.0;
-    let sess = Session::restore_from(&snap, pool, config.par)
-        .map_err(|_| ServiceError::InvalidSnapshot)?;
-    if let Some(p) = persist {
-        p.log(&WalOp::Restore { snapshot: snap });
+    if snap.broker.is_some() {
+        let b = Broker::restore_from(&snap, pool, config.par)
+            .map_err(|_| ServiceError::InvalidSnapshot)?;
+        if let Some(p) = persist {
+            p.log(&WalOp::Restore {
+                snapshot: Box::new(snap),
+            });
+        }
+        brokers.insert(session.0, b);
+    } else {
+        let sess = Session::restore_from(&snap, pool, config.par)
+            .map_err(|_| ServiceError::InvalidSnapshot)?;
+        if let Some(p) = persist {
+            p.log(&WalOp::Restore {
+                snapshot: Box::new(snap),
+            });
+        }
+        sessions.insert(session.0, sess);
     }
-    sessions.insert(session.0, sess);
     counters.sessions_opened += 1;
     Ok(session)
 }
@@ -891,6 +1395,7 @@ fn report(
     shard_id: usize,
     counters: &WorkerCounters,
     sessions: &HashMap<u64, Session>,
+    brokers: &HashMap<u64, Broker>,
     meter: &ShardMeter,
     persist: Option<&durable::ShardPersist>,
 ) -> Stats {
@@ -912,11 +1417,38 @@ fn report(
         let rag = sess.rag();
         live_area += (rag.resources() as u64).saturating_mul(rag.processes() as u64);
     }
-    let density_permille = if live_area == 0 {
-        0
-    } else {
-        live_edges.saturating_mul(1000) / live_area
-    };
+    // Broker sessions fold in the same way: their fast-path probes run
+    // through an ordinary detect engine, and their tracked RAGs count
+    // toward the live-graph gauges. The broker-specific counters are
+    // retired totals plus live brokers, like the engine counters.
+    let mut broker_grants = counters.retired_broker_grants;
+    let mut broker_deferrals = counters.retired_broker_deferrals;
+    let mut broker_give_ups = counters.retired_broker_give_ups;
+    let mut broker_livelocks = counters.retired_broker_livelocks;
+    // Logically waiting acquires (queued + parked) across live brokers —
+    // a gauge that survives recovery bit-identically, unlike the parked
+    // reply *slots*, which die with their connections.
+    let mut broker_waiters = 0u64;
+    for b in brokers.values() {
+        let es = b.engine_stats();
+        cache_hits += es.cache_hits;
+        reductions += es.reductions;
+        dense_reductions += es.dense_reductions;
+        sparse_reductions += es.sparse_reductions;
+        let bc = b.counters();
+        broker_grants += bc.grants;
+        broker_deferrals += bc.deferrals;
+        broker_give_ups += bc.give_ups;
+        broker_livelocks += b.livelock_events();
+        broker_waiters += b.waiter_depth();
+        let rag = b.rag();
+        live_edges += rag.edge_count() as u64;
+        live_area += (rag.resources() as u64).saturating_mul(rag.processes() as u64);
+    }
+    let density_permille = live_edges
+        .saturating_mul(1000)
+        .checked_div(live_area)
+        .unwrap_or(0);
     let mut s = Stats::new();
     s.add("service.shard_id", shard_id as u64);
     s.add("service.events", counters.events);
@@ -931,7 +1463,15 @@ fn report(
     s.add("service.density_permille", density_permille);
     s.add("service.sessions_opened", counters.sessions_opened);
     s.add("service.sessions_closed", counters.sessions_closed);
-    s.add("service.sessions_open", sessions.len() as u64);
+    s.add(
+        "service.sessions_open",
+        (sessions.len() + brokers.len()) as u64,
+    );
+    s.add("service.broker_grants", broker_grants);
+    s.add("service.broker_deferrals", broker_deferrals);
+    s.add("service.broker_give_ups", broker_give_ups);
+    s.add("service.broker_livelocks", broker_livelocks);
+    s.add("service.broker_waiters", broker_waiters);
     s.add("service.queue_depth_max", meter.max());
     if let Some(p) = persist {
         s.add("store.last_seq", p.store.last_seq());

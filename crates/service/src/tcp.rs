@@ -109,6 +109,11 @@ pub(crate) fn stats_rows(per_shard: &[Stats]) -> Vec<ShardStats> {
             sparse_reductions: s.counter("service.sparse_reductions"),
             live_edges: s.counter("service.live_edges"),
             density_permille: s.counter("service.density_permille"),
+            broker_grants: s.counter("service.broker_grants"),
+            broker_deferrals: s.counter("service.broker_deferrals"),
+            broker_give_ups: s.counter("service.broker_give_ups"),
+            broker_livelocks: s.counter("service.broker_livelocks"),
+            broker_waiters: s.counter("service.broker_waiters"),
         })
         .collect()
 }
@@ -152,6 +157,42 @@ fn service_response(client: &Client, req: Request) -> Response {
             Err(ServiceError::Busy) => Response::Busy,
             Err(e) => Response::Error(e.into()),
         },
+        Request::OpenAvoid {
+            resources,
+            processes,
+            mode,
+        } => match client.open_avoid(resources, processes, mode) {
+            Ok(id) => Response::Opened(id),
+            Err(ServiceError::Busy) => Response::Busy,
+            Err(e) => Response::Error(e.into()),
+        },
+        // Broker commands answer with the avoider's decision directly;
+        // on this blocking server a `wait`ing Acquire parks the whole
+        // connection thread until the grant — which is exactly what a
+        // blocking client asked for.
+        Request::SetPriority {
+            session,
+            p,
+            priority,
+        } => broker_reply(client.set_priority(session, p, priority)),
+        Request::Acquire {
+            session,
+            p,
+            q,
+            wait,
+        } => broker_reply(client.acquire(session, p, q, wait)),
+        Request::BrokerRelease { session, p, q } => {
+            broker_reply(client.broker_release(session, p, q))
+        }
+        Request::GiveUpAck { session, p } => broker_reply(client.give_up_ack(session, p)),
+    }
+}
+
+fn broker_reply(result: Result<Response, ServiceError>) -> Response {
+    match result {
+        Ok(resp) => resp,
+        Err(ServiceError::Busy) => Response::Busy,
+        Err(e) => Response::Error(e.into()),
     }
 }
 

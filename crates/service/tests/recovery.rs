@@ -15,13 +15,14 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use deltaos_core::par::ParConfig;
-use deltaos_core::{ProcId, ResId};
+use deltaos_core::{Priority, ProcId, ResId};
 use deltaos_service::{
-    DurabilityConfig, Event, EventResult, FsyncPolicy, Service, ServiceConfig, Session, SessionId,
+    AvoidanceMode, Broker, DurabilityConfig, Event, EventResult, FsyncPolicy, Service,
+    ServiceConfig, Session, SessionId,
 };
 use deltaos_sim::Stats;
 use deltaos_store::wal::{scan, WalEvent};
-use deltaos_store::{ShardCheckpoint, ShardCounters, WalOp};
+use deltaos_store::{BrokerWalOp, ShardCheckpoint, ShardCounters, WalOp};
 use rand::{Rng, SeedableRng, StdRng};
 
 const SHARDS: usize = 2;
@@ -41,6 +42,11 @@ const KEYS: &[&str] = &[
     "service.sessions_opened",
     "service.sessions_closed",
     "service.sessions_open",
+    "service.broker_grants",
+    "service.broker_deferrals",
+    "service.broker_give_ups",
+    "service.broker_livelocks",
+    "service.broker_waiters",
 ];
 
 fn deterministic(stats: &Stats) -> Vec<u64> {
@@ -116,6 +122,7 @@ fn wal_event_to_proto(ev: &WalEvent) -> Event {
 struct RefShard {
     counters: ShardCounters,
     sessions: HashMap<u64, Session>,
+    brokers: HashMap<u64, Broker>,
 }
 
 impl RefShard {
@@ -137,11 +144,28 @@ impl RefShard {
             let rag = sess.rag();
             live_area += (rag.resources() as u64) * (rag.processes() as u64);
         }
-        let density_permille = if live_area == 0 {
-            0
-        } else {
-            live_edges * 1000 / live_area
-        };
+        let mut broker_grants = self.counters.retired_broker_grants;
+        let mut broker_deferrals = self.counters.retired_broker_deferrals;
+        let mut broker_give_ups = self.counters.retired_broker_give_ups;
+        let mut broker_livelocks = self.counters.retired_broker_livelocks;
+        let mut broker_waiters = 0u64;
+        for b in self.brokers.values() {
+            let es = b.engine_stats();
+            cache_hits += es.cache_hits;
+            reductions += es.reductions;
+            dense_reductions += es.dense_reductions;
+            sparse_reductions += es.sparse_reductions;
+            let bc = b.counters();
+            broker_grants += bc.grants;
+            broker_deferrals += bc.deferrals;
+            broker_give_ups += bc.give_ups;
+            broker_livelocks += b.livelock_events();
+            broker_waiters += b.waiter_depth();
+            let rag = b.rag();
+            live_edges += rag.edge_count() as u64;
+            live_area += (rag.resources() as u64) * (rag.processes() as u64);
+        }
+        let density_permille = (live_edges * 1000).checked_div(live_area).unwrap_or(0);
         vec![
             self.counters.events,
             self.counters.batches,
@@ -155,7 +179,12 @@ impl RefShard {
             density_permille,
             self.counters.sessions_opened,
             self.counters.sessions_closed,
-            self.sessions.len() as u64,
+            (self.sessions.len() + self.brokers.len()) as u64,
+            broker_grants,
+            broker_deferrals,
+            broker_give_ups,
+            broker_livelocks,
+            broker_waiters,
         ]
     }
 }
@@ -169,14 +198,20 @@ fn replay_reference(dir: &Path, wal_bytes: &[Vec<u8>]) -> Vec<RefShard> {
             let ckpt =
                 ShardCheckpoint::load(&dir.join(format!("checkpoint-{shard}.snap"))).unwrap();
             let mut sessions: HashMap<u64, Session> = HashMap::new();
+            let mut brokers: HashMap<u64, Broker> = HashMap::new();
             let mut counters = ShardCounters::default();
             let mut floor = 0u64;
             if let Some(c) = &ckpt {
                 counters = c.counters;
                 floor = c.last_seq;
                 for snap in &c.sessions {
-                    let sess = Session::restore_from(snap, None, ParConfig::default()).unwrap();
-                    sessions.insert(snap.session, sess);
+                    if snap.broker.is_some() {
+                        let b = Broker::restore_from(snap, None, ParConfig::default()).unwrap();
+                        brokers.insert(snap.session, b);
+                    } else {
+                        let sess = Session::restore_from(snap, None, ParConfig::default()).unwrap();
+                        sessions.insert(snap.session, sess);
+                    }
                 }
             }
             let mut results = Vec::new();
@@ -204,23 +239,80 @@ fn replay_reference(dir: &Path, wal_bytes: &[Vec<u8>]) -> Vec<RefShard> {
                         counters.rejected += tally.rejected;
                     }
                     WalOp::Close { session } => {
-                        let sess = sessions.remove(&session).expect("close of live session");
-                        let es = sess.engine_stats();
-                        counters.retired_cache_hits += es.cache_hits;
-                        counters.retired_reductions += es.reductions;
-                        counters.retired_dense_reductions += es.dense_reductions;
-                        counters.retired_sparse_reductions += es.sparse_reductions;
+                        if let Some(sess) = sessions.remove(&session) {
+                            let es = sess.engine_stats();
+                            counters.retired_cache_hits += es.cache_hits;
+                            counters.retired_reductions += es.reductions;
+                            counters.retired_dense_reductions += es.dense_reductions;
+                            counters.retired_sparse_reductions += es.sparse_reductions;
+                        } else {
+                            let b = brokers.remove(&session).expect("close of live session");
+                            let es = b.engine_stats();
+                            counters.retired_cache_hits += es.cache_hits;
+                            counters.retired_reductions += es.reductions;
+                            counters.retired_dense_reductions += es.dense_reductions;
+                            counters.retired_sparse_reductions += es.sparse_reductions;
+                            let bc = b.counters();
+                            counters.retired_broker_grants += bc.grants;
+                            counters.retired_broker_deferrals += bc.deferrals;
+                            counters.retired_broker_give_ups += bc.give_ups;
+                            counters.retired_broker_livelocks += b.livelock_events();
+                        }
                         counters.sessions_closed += 1;
                     }
                     WalOp::Restore { snapshot } => {
-                        let sess =
-                            Session::restore_from(&snapshot, None, ParConfig::default()).unwrap();
-                        sessions.insert(snapshot.session, sess);
+                        if snapshot.broker.is_some() {
+                            let b = Broker::restore_from(&snapshot, None, ParConfig::default())
+                                .unwrap();
+                            brokers.insert(snapshot.session, b);
+                        } else {
+                            let sess = Session::restore_from(&snapshot, None, ParConfig::default())
+                                .unwrap();
+                            sessions.insert(snapshot.session, sess);
+                        }
                         counters.sessions_opened += 1;
                     }
+                    // The WAL logs broker *commands*; replaying them
+                    // against identical state re-derives identical
+                    // decisions and counters — no decisions on disk.
+                    WalOp::Broker { session, op } => match op {
+                        BrokerWalOp::Open {
+                            resources,
+                            processes,
+                            metered,
+                        } => {
+                            brokers.insert(
+                                session,
+                                Broker::new(
+                                    resources,
+                                    processes,
+                                    metered,
+                                    None,
+                                    ParConfig::default(),
+                                ),
+                            );
+                            counters.sessions_opened += 1;
+                        }
+                        BrokerWalOp::SetPriority { p, priority } => {
+                            brokers.get_mut(&session).unwrap().set_priority(p, priority);
+                        }
+                        BrokerWalOp::Acquire { p, q } => {
+                            brokers.get_mut(&session).unwrap().acquire(p, q);
+                        }
+                        BrokerWalOp::Release { p, q } => {
+                            brokers.get_mut(&session).unwrap().release(p, q);
+                        }
+                        BrokerWalOp::GiveUpAck { p } => {
+                            brokers.get_mut(&session).unwrap().give_up_ack(p);
+                        }
+                    },
                 }
             }
-            RefShard { counters, sessions }
+            RefShard {
+                counters,
+                sessions,
+                brokers,
+            }
         })
         .collect()
 }
@@ -319,6 +411,149 @@ fn crash_at_randomized_wal_points_recovers_the_surviving_prefix() {
         assert_recovery_matches(&dir, &mut reference, FsyncPolicy::Os);
         fs::remove_dir_all(&dir).unwrap();
     }
+    fs::remove_dir_all(&pristine).unwrap();
+}
+
+/// Drives a brokered avoidance workload: sessions opened in both broker
+/// modes, prioritized processes, and a contended acquire/release mix
+/// (few resources, more processes) so waiters queue and R-dl asks fire.
+/// All acquires poll (`wait = false`) — the driver is a single thread.
+fn drive_brokers(service: &Service, seed: u64, ops: usize) -> Vec<SessionId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let client = service.client();
+    let mut open: Vec<SessionId> = Vec::new();
+    for _ in 0..ops {
+        let roll = rng.gen_range(0..12u32);
+        if open.is_empty() || roll == 0 {
+            let mode = if rng.gen_bool(0.5) {
+                AvoidanceMode::Metered
+            } else {
+                AvoidanceMode::FastPath
+            };
+            let sid = client.open_avoid(4, 6, mode).unwrap();
+            for i in 0..6u16 {
+                client
+                    .set_priority(sid, ProcId(i), Priority::new(rng.gen_range(1..8u32) as u8))
+                    .unwrap();
+            }
+            open.push(sid);
+        } else if roll == 1 && open.len() > 1 {
+            let sid = open.swap_remove(rng.gen_range(0..open.len()));
+            client.close(sid).unwrap();
+        } else {
+            let sid = open[rng.gen_range(0..open.len())];
+            let p = ProcId(rng.gen_range(0..6u16));
+            let q = ResId(rng.gen_range(0..4u16));
+            // Rejected responses are part of the workload: they exercise
+            // the logged-but-state-free replay path.
+            match rng.gen_range(0..8u32) {
+                0..=4 => {
+                    client.acquire(sid, p, q, false).unwrap();
+                }
+                5 | 6 => {
+                    client.broker_release(sid, p, q).unwrap();
+                }
+                _ => {
+                    client.give_up_ack(sid, p).unwrap();
+                }
+            }
+        }
+    }
+    open.sort();
+    open
+}
+
+/// The broker chaos case: the service dies at arbitrary WAL byte offsets
+/// (usually mid-record — including mid-`Acquire`, with waiters queued
+/// behind live owners), and the restarted service must re-derive the
+/// waiter state bit-identically: same counters, byte-identical broker
+/// snapshots, and the *same re-grant decisions* as an independent
+/// reference replay when the recovered waiters are finally released.
+#[test]
+fn broker_crash_mid_acquire_regrants_deterministically() {
+    let pristine = tmp("broker-crash-pristine");
+    {
+        let service = Service::start(config(&pristine, FsyncPolicy::Os, u64::MAX));
+        drive_brokers(&service, 0xB40C, 300);
+        service.shutdown();
+    }
+    let pristine_wals: Vec<Vec<u8>> = (0..SHARDS)
+        .map(|s| fs::read(pristine.join(format!("wal-{s}.log"))).unwrap())
+        .collect();
+    assert!(pristine_wals.iter().all(|w| w.len() > 64));
+
+    let mut rng = StdRng::seed_from_u64(0xB4DD);
+    let mut saw_waiters = false;
+    for round in 0..8 {
+        let dir = tmp(&format!("broker-crash-{round}"));
+        fs::create_dir_all(&dir).unwrap();
+        fs::copy(pristine.join("store.meta"), dir.join("store.meta")).unwrap();
+        let damaged: Vec<Vec<u8>> = pristine_wals
+            .iter()
+            .map(|w| {
+                let cut = rng.gen_range(0..=w.len());
+                w[..cut].to_vec()
+            })
+            .collect();
+        for (s, bytes) in damaged.iter().enumerate() {
+            fs::write(dir.join(format!("wal-{s}.log")), bytes).unwrap();
+        }
+        let mut reference = replay_reference(&dir, &damaged);
+        saw_waiters |= reference
+            .iter()
+            .any(|r| r.brokers.values().any(|b| b.waiter_depth() > 0));
+
+        let service = Service::start(config(&dir, FsyncPolicy::Os, u64::MAX));
+        let client = service.client();
+        let per_shard = client.stats().unwrap();
+        for (shard, stats) in per_shard.iter().enumerate() {
+            assert_eq!(
+                deterministic(stats),
+                reference[shard].expected(),
+                "round {round} shard {shard}: broker counters diverge from the reference"
+            );
+        }
+        for rs in reference.iter_mut() {
+            let mut ids: Vec<u64> = rs.brokers.keys().copied().collect();
+            ids.sort();
+            // Byte-identical broker state: priorities, parked waiters,
+            // outstanding asks, cycle totals — everything the snapshot
+            // encodes.
+            for &id in &ids {
+                let got = client.snapshot(SessionId(id)).unwrap();
+                let want = rs.brokers.get(&id).unwrap().snapshot(id).encode();
+                assert_eq!(
+                    got, want,
+                    "round {round} session {id}: recovered broker snapshot diverges"
+                );
+            }
+            // Deterministic re-grant: release the first owned edge on
+            // both sides; arbitration over the recovered waiters must
+            // pick the same process with the same decision shape.
+            for &id in &ids {
+                let b = rs.brokers.get_mut(&id).unwrap();
+                let edge = {
+                    let rag = b.rag();
+                    (0..rag.resources() as u16)
+                        .find_map(|qi| rag.owner(ResId(qi)).map(|p| (p, ResId(qi))))
+                };
+                if let Some((p, q)) = edge {
+                    let (want, _grants) = b.release(p, q);
+                    let got = client.broker_release(SessionId(id), p, q).unwrap();
+                    assert_eq!(
+                        got, want,
+                        "round {round} session {id}: post-recovery re-grant diverges"
+                    );
+                }
+            }
+        }
+        service.shutdown();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+    assert!(
+        saw_waiters,
+        "the chaos workload must cut at least one WAL with waiters still queued"
+    );
     fs::remove_dir_all(&pristine).unwrap();
 }
 

@@ -3,20 +3,64 @@
 //! or allocates unboundedly. Driven by the vendored deterministic PRNG,
 //! so every failure replays from its seed.
 
+use deltaos_core::avoid::{GiveUpAsk, GiveUpReason, ReleaseOutcome};
 use deltaos_core::pdda::DetectOutcome;
-use deltaos_core::{ProcId, ResId};
+use deltaos_core::{Priority, ProcId, ResId};
 use deltaos_service::proto::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    ErrorCode, Event, EventResult, FrontendStats, RejectReason, Request, Response, SessionId,
-    ShardStats, WireError, MAX_FRAME,
+    AvoidanceMode, ErrorCode, Event, EventResult, FrontendStats, RejectReason, Request, Response,
+    SessionId, ShardStats, WireError, MAX_FRAME,
 };
 use rand::{Rng, SeedableRng, StdRng};
 
+fn sample_give_up_ask(rng: &mut StdRng) -> GiveUpAsk {
+    GiveUpAsk {
+        target: ProcId(rng.gen_range(0..64u16)),
+        resources: (0..rng.gen_range(1..5usize))
+            .map(|_| ResId(rng.gen_range(0..64u16)))
+            .collect(),
+        reason: match rng.gen_range(0..3u32) {
+            0 => GiveUpReason::RequestDeadlock,
+            1 => GiveUpReason::RequesterSheds,
+            _ => GiveUpReason::Livelock,
+        },
+    }
+}
+
 fn sample_requests(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0..6u32) {
+    match rng.gen_range(0..11u32) {
         0 => Request::Open {
             resources: rng.gen_range(1..128u16),
             processes: rng.gen_range(1..128u16),
+        },
+        6 => Request::OpenAvoid {
+            resources: rng.gen_range(1..128u16),
+            processes: rng.gen_range(1..128u16),
+            mode: match rng.gen_range(0..3u32) {
+                0 => AvoidanceMode::Off,
+                1 => AvoidanceMode::FastPath,
+                _ => AvoidanceMode::Metered,
+            },
+        },
+        7 => Request::SetPriority {
+            session: SessionId(rng.gen_range(0..1000u64)),
+            p: ProcId(rng.gen_range(0..64u16)),
+            priority: Priority::new(rng.gen_range(0..=255u32) as u8),
+        },
+        8 => Request::Acquire {
+            session: SessionId(rng.gen_range(0..1000u64)),
+            p: ProcId(rng.gen_range(0..64u16)),
+            q: ResId(rng.gen_range(0..64u16)),
+            wait: rng.gen_bool(0.5),
+        },
+        9 => Request::BrokerRelease {
+            session: SessionId(rng.gen_range(0..1000u64)),
+            p: ProcId(rng.gen_range(0..64u16)),
+            q: ResId(rng.gen_range(0..64u16)),
+        },
+        10 => Request::GiveUpAck {
+            session: SessionId(rng.gen_range(0..1000u64)),
+            p: ProcId(rng.gen_range(0..64u16)),
         },
         4 => Request::Snapshot {
             session: SessionId(rng.gen_range(0..1000u64)),
@@ -56,8 +100,48 @@ fn sample_requests(rng: &mut StdRng) -> Request {
 }
 
 fn sample_responses(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0..7u32) {
+    match rng.gen_range(0..13u32) {
         0 => Response::Opened(SessionId(rng.gen_range(0..1000u64))),
+        7 => Response::Granted {
+            cycles: rng.gen_range(0..u64::MAX),
+            probes: rng.gen_range(0..u32::MAX),
+        },
+        8 => Response::Deferred {
+            cycles: rng.gen_range(0..u64::MAX),
+            probes: rng.gen_range(0..u32::MAX),
+        },
+        9 => Response::GiveUp {
+            ask: sample_give_up_ask(rng),
+            cycles: rng.gen_range(0..u64::MAX),
+            probes: rng.gen_range(0..u32::MAX),
+        },
+        10 => Response::Resolved {
+            outcome: match rng.gen_range(0..4u32) {
+                0 => ReleaseOutcome::NoWaiters,
+                1 => ReleaseOutcome::GrantedTo {
+                    process: ProcId(rng.gen_range(0..64u16)),
+                    bypassed_gdl: (0..rng.gen_range(0..4usize))
+                        .map(|_| ProcId(rng.gen_range(0..64u16)))
+                        .collect(),
+                },
+                2 => ReleaseOutcome::Livelock { ask: None },
+                _ => ReleaseOutcome::Livelock {
+                    ask: Some(sample_give_up_ask(rng)),
+                },
+            },
+            livelock_rounds: rng.gen_range(0..u64::MAX),
+            cycles: rng.gen_range(0..u64::MAX),
+            probes: rng.gen_range(0..u32::MAX),
+        },
+        11 => Response::Ack,
+        12 => Response::Rejected(match rng.gen_range(0..6u32) {
+            0 => RejectReason::UnknownId,
+            1 => RejectReason::DuplicateEdge,
+            2 => RejectReason::ResourceBusy,
+            3 => RejectReason::NotOwner,
+            4 => RejectReason::RequestWhileHolding,
+            _ => RejectReason::NoSuchEdge,
+        }),
         6 => {
             let n = rng.gen_range(0..64usize);
             let mut blob = vec![0u8; n];
@@ -95,6 +179,11 @@ fn sample_responses(rng: &mut StdRng) -> Response {
                 sparse_reductions: rng.gen_range(0..u64::MAX),
                 live_edges: rng.gen_range(0..u64::MAX),
                 density_permille: rng.gen_range(0..u64::MAX),
+                broker_grants: rng.gen_range(0..u64::MAX),
+                broker_deferrals: rng.gen_range(0..u64::MAX),
+                broker_give_ups: rng.gen_range(0..u64::MAX),
+                broker_livelocks: rng.gen_range(0..u64::MAX),
+                broker_waiters: rng.gen_range(0..u64::MAX),
             }],
             frontend: rng.gen_bool(0.5).then(|| FrontendStats {
                 accepted: rng.gen_range(0..u64::MAX),

@@ -36,6 +36,6 @@ pub mod store;
 pub mod wal;
 
 pub use error::StoreError;
-pub use snapshot::{SessionSnapshot, ShardCheckpoint, ShardCounters};
+pub use snapshot::{BrokerSnapshot, SessionSnapshot, ShardCheckpoint, ShardCounters};
 pub use store::{init_dir, ShardRecovery, ShardStore};
-pub use wal::{FsyncPolicy, WalEvent, WalOp, WalScan, WalTail, MAX_RECORD};
+pub use wal::{BrokerWalOp, FsyncPolicy, WalEvent, WalOp, WalScan, WalTail, MAX_RECORD};

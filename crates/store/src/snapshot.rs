@@ -21,9 +21,10 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::Path;
 
+use deltaos_core::avoid::{GiveUpAsk, GiveUpReason};
 use deltaos_core::engine::{DetectEngine, EngineStats};
 use deltaos_core::pdda::DetectOutcome;
-use deltaos_core::{ProcId, Rag, ResId};
+use deltaos_core::{Priority, ProcId, Rag, ResId};
 
 use crate::codec::{put_u16, put_u32, put_u64, put_u8, Reader};
 use crate::crc::crc32;
@@ -36,10 +37,151 @@ pub const CHECKPOINT_MAGIC: [u8; 4] = *b"DLSS";
 /// extended the engine stats block from 7 to 11 counters (the hybrid
 /// dense/sparse path split and the live-edge/density gauges) and the
 /// shard counters from 8 to 10 (retired path-split reductions).
-pub const CHECKPOINT_VERSION: u16 = 2;
+/// Version 3 added the per-session avoidance-broker section (priorities,
+/// parked requests, outstanding give-up asks, metered cycle totals) and
+/// four retired broker counters to [`ShardCounters`].
+pub const CHECKPOINT_VERSION: u16 = 3;
 /// Hard cap on a checkpoint body (64 MiB) — rejects absurd length
 /// fields before any allocation.
 pub const MAX_CHECKPOINT: usize = 1 << 26;
+
+/// Durable image of one session's avoidance broker: everything an
+/// [`deltaos_core::avoid::Avoider`] carries beyond the RAG itself, plus
+/// the metered cycle totals and the broker's lifetime counters. Present
+/// only for sessions opened with avoidance on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrokerSnapshot {
+    /// `true` for the metered software-DAA engine, `false` for the
+    /// fast-path engine-probe one.
+    pub metered: bool,
+    /// Arbitration priority per process (exactly `processes` entries).
+    pub priorities: Vec<Priority>,
+    /// R-dl-parked requests as `(p, q)` pairs, in park order (order is
+    /// re-evaluation order, hence structural state).
+    pub parked: Vec<(u16, u16)>,
+    /// Outstanding give-up asks, in issue order.
+    pub outstanding: Vec<GiveUpAsk>,
+    /// Livelock resolutions fired so far.
+    pub livelock_events: u64,
+    /// Metered total cycles (0 for fast-path).
+    pub total_cycles: u64,
+    /// Metered command count (0 for fast-path).
+    pub commands: u64,
+    /// Resources granted by this broker (immediate + woken waiters).
+    pub grants: u64,
+    /// Acquires deferred (queued or parked).
+    pub deferrals: u64,
+    /// Give-up asks issued (R-dl + livelock).
+    pub give_ups: u64,
+}
+
+fn giveup_reason_code(r: GiveUpReason) -> u8 {
+    match r {
+        GiveUpReason::RequestDeadlock => 1,
+        GiveUpReason::RequesterSheds => 2,
+        GiveUpReason::Livelock => 3,
+    }
+}
+
+impl BrokerSnapshot {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u8(out, self.metered as u8);
+        // Priority count is implied by the session's process dimension.
+        for pr in &self.priorities {
+            put_u8(out, pr.level());
+        }
+        put_u32(out, self.parked.len() as u32);
+        for &(p, q) in &self.parked {
+            put_u16(out, p);
+            put_u16(out, q);
+        }
+        put_u32(out, self.outstanding.len() as u32);
+        for ask in &self.outstanding {
+            put_u16(out, ask.target.0);
+            put_u8(out, giveup_reason_code(ask.reason));
+            put_u16(out, ask.resources.len() as u16);
+            for r in &ask.resources {
+                put_u16(out, r.0);
+            }
+        }
+        for v in [
+            self.livelock_events,
+            self.total_cycles,
+            self.commands,
+            self.grants,
+            self.deferrals,
+            self.give_ups,
+        ] {
+            put_u64(out, v);
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>, processes: u16) -> Result<Self, StoreError> {
+        let metered = match r.u8()? {
+            0 => false,
+            1 => true,
+            tag => {
+                return Err(StoreError::UnknownTag {
+                    what: "broker engine kind",
+                    tag,
+                })
+            }
+        };
+        let mut priorities = Vec::with_capacity(processes as usize);
+        for _ in 0..processes {
+            priorities.push(Priority::new(r.u8()?));
+        }
+        let parked_count = r.count(4)?;
+        let mut parked = Vec::with_capacity(parked_count as usize);
+        for _ in 0..parked_count {
+            let p = r.u16()?;
+            let q = r.u16()?;
+            parked.push((p, q));
+        }
+        let ask_count = r.count(5)?;
+        let mut outstanding = Vec::with_capacity(ask_count as usize);
+        for _ in 0..ask_count {
+            let target = ProcId(r.u16()?);
+            let reason = match r.u8()? {
+                1 => GiveUpReason::RequestDeadlock,
+                2 => GiveUpReason::RequesterSheds,
+                3 => GiveUpReason::Livelock,
+                tag => {
+                    return Err(StoreError::UnknownTag {
+                        what: "give-up reason",
+                        tag,
+                    })
+                }
+            };
+            let res_count = r.u16()?;
+            let mut resources = Vec::with_capacity(res_count as usize);
+            for _ in 0..res_count {
+                resources.push(ResId(r.u16()?));
+            }
+            outstanding.push(GiveUpAsk {
+                target,
+                resources,
+                reason,
+            });
+        }
+        let mut vals = [0u64; 6];
+        for v in vals.iter_mut() {
+            *v = r.u64()?;
+        }
+        Ok(BrokerSnapshot {
+            metered,
+            priorities,
+            parked,
+            outstanding,
+            livelock_events: vals[0],
+            total_cycles: vals[1],
+            commands: vals[2],
+            grants: vals[3],
+            deferrals: vals[4],
+            give_ups: vals[5],
+        })
+    }
+}
 
 /// Durable image of one session.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,6 +202,8 @@ pub struct SessionSnapshot {
     /// The engine's cached detection outcome, if it was valid for the
     /// RAG's state at capture time.
     pub cached: Option<DetectOutcome>,
+    /// The avoidance-broker section; `None` for probe-only sessions.
+    pub broker: Option<BrokerSnapshot>,
 }
 
 impl SessionSnapshot {
@@ -84,6 +228,7 @@ impl SessionSnapshot {
             requests,
             engine: engine.stats(),
             cached: engine.cached_outcome_for(rag),
+            broker: None,
         }
     }
 
@@ -125,6 +270,13 @@ impl SessionSnapshot {
                 put_u8(out, o.deadlock as u8);
                 put_u32(out, o.iterations);
                 put_u32(out, o.steps);
+            }
+        }
+        match &self.broker {
+            None => put_u8(out, 0),
+            Some(b) => {
+                put_u8(out, 1);
+                b.encode_into(out);
             }
         }
     }
@@ -212,6 +364,16 @@ impl SessionSnapshot {
                 })
             }
         };
+        let broker = match r.u8()? {
+            0 => None,
+            1 => Some(BrokerSnapshot::decode_from(r, processes)?),
+            tag => {
+                return Err(StoreError::UnknownTag {
+                    what: "broker option",
+                    tag,
+                })
+            }
+        };
         Ok(SessionSnapshot {
             session,
             resources,
@@ -220,6 +382,7 @@ impl SessionSnapshot {
             requests,
             engine,
             cached,
+            broker,
         })
     }
 
@@ -276,6 +439,14 @@ pub struct ShardCounters {
     pub retired_dense_reductions: u64,
     /// Sparse-path reductions retired with closed sessions.
     pub retired_sparse_reductions: u64,
+    /// Broker grants retired with closed sessions.
+    pub retired_broker_grants: u64,
+    /// Broker deferrals retired with closed sessions.
+    pub retired_broker_deferrals: u64,
+    /// Broker give-up asks retired with closed sessions.
+    pub retired_broker_give_ups: u64,
+    /// Broker livelock resolutions retired with closed sessions.
+    pub retired_broker_livelocks: u64,
 }
 
 /// One shard's complete durable state at a point in the WAL.
@@ -316,6 +487,10 @@ impl ShardCheckpoint {
             c.retired_reductions,
             c.retired_dense_reductions,
             c.retired_sparse_reductions,
+            c.retired_broker_grants,
+            c.retired_broker_deferrals,
+            c.retired_broker_give_ups,
+            c.retired_broker_livelocks,
         ] {
             put_u64(&mut out, v);
         }
@@ -332,7 +507,7 @@ impl ShardCheckpoint {
         let shard = r.u32()?;
         let last_seq = r.u64()?;
         let next_session = r.u64()?;
-        let mut vals = [0u64; 10];
+        let mut vals = [0u64; 14];
         for v in vals.iter_mut() {
             *v = r.u64()?;
         }
@@ -347,6 +522,10 @@ impl ShardCheckpoint {
             retired_reductions: vals[7],
             retired_dense_reductions: vals[8],
             retired_sparse_reductions: vals[9],
+            retired_broker_grants: vals[10],
+            retired_broker_deferrals: vals[11],
+            retired_broker_give_ups: vals[12],
+            retired_broker_livelocks: vals[13],
         };
         // A session snapshot is ≥ 70 bytes; 13 is the cheap lower bound
         // used purely to reject absurd counts before allocation.
@@ -500,6 +679,53 @@ mod tests {
         assert_eq!(live.stats(), restored.stats());
     }
 
+    fn sample_broker() -> BrokerSnapshot {
+        BrokerSnapshot {
+            metered: true,
+            priorities: vec![Priority::new(1), Priority::new(2), Priority::new(3)],
+            parked: vec![(2, 1)],
+            outstanding: vec![GiveUpAsk {
+                target: ProcId(1),
+                resources: vec![ResId(1), ResId(0)],
+                reason: GiveUpReason::RequestDeadlock,
+            }],
+            livelock_events: 4,
+            total_cycles: 12345,
+            commands: 17,
+            grants: 9,
+            deferrals: 5,
+            give_ups: 3,
+        }
+    }
+
+    #[test]
+    fn broker_section_roundtrips() {
+        let (rag, engine) = sample_session();
+        let mut snap = SessionSnapshot::capture(3, &rag, &engine);
+        snap.broker = Some(sample_broker());
+        let decoded = SessionSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        // Fast-path brokers (no cycle totals) roundtrip too.
+        let mut fast = snap.clone();
+        let b = fast.broker.as_mut().unwrap();
+        b.metered = false;
+        b.total_cycles = 0;
+        b.commands = 0;
+        assert_eq!(SessionSnapshot::decode(&fast.encode()).unwrap(), fast);
+    }
+
+    #[test]
+    fn broker_section_rejects_bad_tags() {
+        let (rag, engine) = sample_session();
+        let mut snap = SessionSnapshot::capture(3, &rag, &engine);
+        snap.broker = Some(sample_broker());
+        let good = snap.encode();
+        // Every truncation yields a typed error, never a panic.
+        for cut in 0..good.len() {
+            assert!(SessionSnapshot::decode(&good[..cut]).is_err());
+        }
+    }
+
     #[test]
     fn checkpoint_file_roundtrip() {
         let (rag, engine) = sample_session();
@@ -512,10 +738,11 @@ mod tests {
                 probes: 2,
                 ..Default::default()
             },
-            sessions: vec![
-                SessionSnapshot::capture(6, &rag, &engine),
-                SessionSnapshot::capture(10, &rag, &engine),
-            ],
+            sessions: vec![SessionSnapshot::capture(6, &rag, &engine), {
+                let mut s = SessionSnapshot::capture(10, &rag, &engine);
+                s.broker = Some(sample_broker());
+                s
+            }],
         };
         let decoded = ShardCheckpoint::decode_file(&ckpt.encode_file()).unwrap();
         assert_eq!(decoded, ckpt);

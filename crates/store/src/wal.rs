@@ -24,7 +24,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
-use deltaos_core::{ProcId, ResId};
+use deltaos_core::{Priority, ProcId, ResId};
 
 use crate::codec::{put_u16, put_u32, put_u64, put_u8, Reader};
 use crate::crc::crc32;
@@ -173,15 +173,160 @@ pub enum WalOp {
     /// `Restore` op); the snapshot itself is embedded so replay can
     /// rebuild the session without any other source.
     Restore {
-        /// The embedded session image (carries its own session id).
-        snapshot: SessionSnapshot,
+        /// The embedded session image (carries its own session id);
+        /// boxed so the op enum stays small for the common commands.
+        snapshot: Box<SessionSnapshot>,
     },
+    /// One avoidance-broker command. Broker decisions are deterministic
+    /// functions of the session state, so logging the command — not the
+    /// decision — is enough for replay to reconstruct priorities, parked
+    /// waiters, and cycle totals bit-identically.
+    Broker {
+        /// Session id.
+        session: u64,
+        /// The brokered command.
+        op: BrokerWalOp,
+    },
+}
+
+/// One avoidance-broker command inside a [`WalOp::Broker`] record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerWalOp {
+    /// Session opened with a broker attached (`metered` selects the
+    /// software-DAA engine over the fast-path probe).
+    Open {
+        /// Resource dimension.
+        resources: u16,
+        /// Process dimension.
+        processes: u16,
+        /// Metered (cycle-accounting) engine?
+        metered: bool,
+    },
+    /// Priority change for process `p`.
+    SetPriority {
+        /// Target process.
+        p: ProcId,
+        /// New priority.
+        priority: Priority,
+    },
+    /// Algorithm-3 request command.
+    Acquire {
+        /// Requesting process.
+        p: ProcId,
+        /// Requested resource.
+        q: ResId,
+    },
+    /// Algorithm-3 release command.
+    Release {
+        /// Releasing process.
+        p: ProcId,
+        /// Released resource.
+        q: ResId,
+    },
+    /// Process `p` honors its outstanding give-up asks.
+    GiveUpAck {
+        /// The shedding process.
+        p: ProcId,
+    },
+}
+
+const BR_OPEN: u8 = 1;
+const BR_SET_PRIORITY: u8 = 2;
+const BR_ACQUIRE: u8 = 3;
+const BR_RELEASE: u8 = 4;
+const BR_GIVE_UP_ACK: u8 = 5;
+
+impl BrokerWalOp {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            BrokerWalOp::Open {
+                resources,
+                processes,
+                metered,
+            } => {
+                put_u8(out, BR_OPEN);
+                put_u16(out, resources);
+                put_u16(out, processes);
+                put_u8(out, metered as u8);
+            }
+            BrokerWalOp::SetPriority { p, priority } => {
+                put_u8(out, BR_SET_PRIORITY);
+                put_u16(out, p.0);
+                put_u8(out, priority.level());
+            }
+            BrokerWalOp::Acquire { p, q } => {
+                put_u8(out, BR_ACQUIRE);
+                put_u16(out, p.0);
+                put_u16(out, q.0);
+            }
+            BrokerWalOp::Release { p, q } => {
+                put_u8(out, BR_RELEASE);
+                put_u16(out, p.0);
+                put_u16(out, q.0);
+            }
+            BrokerWalOp::GiveUpAck { p } => {
+                put_u8(out, BR_GIVE_UP_ACK);
+                put_u16(out, p.0);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(match r.u8()? {
+            BR_OPEN => {
+                let resources = r.u16()?;
+                let processes = r.u16()?;
+                if resources == 0 || processes == 0 {
+                    return Err(StoreError::Invalid {
+                        what: "zero broker open dimension",
+                    });
+                }
+                let metered = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    tag => {
+                        return Err(StoreError::UnknownTag {
+                            what: "broker engine kind",
+                            tag,
+                        })
+                    }
+                };
+                BrokerWalOp::Open {
+                    resources,
+                    processes,
+                    metered,
+                }
+            }
+            BR_SET_PRIORITY => BrokerWalOp::SetPriority {
+                p: ProcId(r.u16()?),
+                priority: Priority::new(r.u8()?),
+            },
+            BR_ACQUIRE => BrokerWalOp::Acquire {
+                p: ProcId(r.u16()?),
+                q: ResId(r.u16()?),
+            },
+            BR_RELEASE => BrokerWalOp::Release {
+                p: ProcId(r.u16()?),
+                q: ResId(r.u16()?),
+            },
+            BR_GIVE_UP_ACK => BrokerWalOp::GiveUpAck {
+                p: ProcId(r.u16()?),
+            },
+            tag => {
+                return Err(StoreError::UnknownTag {
+                    what: "broker wal op",
+                    tag,
+                })
+            }
+        })
+    }
 }
 
 const OP_OPEN: u8 = 1;
 const OP_BATCH: u8 = 2;
 const OP_CLOSE: u8 = 3;
 const OP_RESTORE: u8 = 4;
+const OP_BROKER: u8 = 5;
 
 impl WalOp {
     /// Appends the op encoding (tag + fields) to `out`.
@@ -212,6 +357,11 @@ impl WalOp {
             WalOp::Restore { snapshot } => {
                 put_u8(out, OP_RESTORE);
                 snapshot.encode_into(out);
+            }
+            WalOp::Broker { session, op } => {
+                put_u8(out, OP_BROKER);
+                put_u64(out, *session);
+                op.encode_into(out);
             }
         }
     }
@@ -246,7 +396,11 @@ impl WalOp {
             }
             OP_CLOSE => WalOp::Close { session: r.u64()? },
             OP_RESTORE => WalOp::Restore {
-                snapshot: SessionSnapshot::decode_from(&mut r)?,
+                snapshot: Box::new(SessionSnapshot::decode_from(&mut r)?),
+            },
+            OP_BROKER => WalOp::Broker {
+                session: r.u64()?,
+                op: BrokerWalOp::decode_from(&mut r)?,
             },
             tag => {
                 return Err(StoreError::UnknownTag {
@@ -532,6 +686,39 @@ mod tests {
                     },
                 ],
             },
+            WalOp::Broker {
+                session: 5,
+                op: BrokerWalOp::Open {
+                    resources: 4,
+                    processes: 4,
+                    metered: true,
+                },
+            },
+            WalOp::Broker {
+                session: 5,
+                op: BrokerWalOp::SetPriority {
+                    p: ProcId(2),
+                    priority: Priority::new(7),
+                },
+            },
+            WalOp::Broker {
+                session: 5,
+                op: BrokerWalOp::Acquire {
+                    p: ProcId(2),
+                    q: ResId(3),
+                },
+            },
+            WalOp::Broker {
+                session: 5,
+                op: BrokerWalOp::Release {
+                    p: ProcId(2),
+                    q: ResId(3),
+                },
+            },
+            WalOp::Broker {
+                session: 5,
+                op: BrokerWalOp::GiveUpAck { p: ProcId(2) },
+            },
             WalOp::Close { session: 4 },
         ]
     }
@@ -569,8 +756,8 @@ mod tests {
         let replayed: Vec<WalOp> = scan.records.iter().map(|(_, op)| op.clone()).collect();
         assert_eq!(replayed, ops);
         let seqs: Vec<u64> = scan.records.iter().map(|&(s, _)| s).collect();
-        assert_eq!(seqs, vec![1, 2, 3]);
-        assert_eq!(w.next_seq(), 4);
+        assert_eq!(seqs, (1..=ops.len() as u64).collect::<Vec<u64>>());
+        assert_eq!(w.next_seq(), ops.len() as u64 + 1);
         std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }
 
@@ -588,9 +775,9 @@ mod tests {
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 5]).unwrap();
         let (w, scan) = WalWriter::open(&path, FsyncPolicy::Os).unwrap();
-        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records.len(), sample_ops().len() - 1);
         assert!(matches!(scan.tail, WalTail::Torn { dropped } if dropped > 0));
-        assert_eq!(w.next_seq(), 3);
+        assert_eq!(w.next_seq(), sample_ops().len() as u64);
         // The truncation is persistent.
         assert_eq!(std::fs::read(&path).unwrap().len() as u64, scan.valid_len);
         std::fs::remove_dir_all(path.parent().unwrap()).unwrap();

@@ -8,11 +8,14 @@
 //! Driven by the vendored deterministic PRNG so failures replay from
 //! their seed.
 
+use deltaos_core::avoid::{GiveUpAsk, GiveUpReason};
 use deltaos_core::engine::EngineStats;
 use deltaos_core::pdda::DetectOutcome;
-use deltaos_core::{ProcId, ResId};
+use deltaos_core::{Priority, ProcId, ResId};
 use deltaos_store::wal::{scan, WalEvent, WalTail};
-use deltaos_store::{SessionSnapshot, ShardCheckpoint, ShardCounters, StoreError, WalOp};
+use deltaos_store::{
+    BrokerSnapshot, BrokerWalOp, SessionSnapshot, ShardCheckpoint, ShardCounters, StoreError, WalOp,
+};
 use rand::{Rng, SeedableRng, StdRng};
 
 fn sample_snapshot(session: u64) -> SessionSnapshot {
@@ -33,7 +36,37 @@ fn sample_snapshot(session: u64) -> SessionSnapshot {
             iterations: 3,
             steps: 17,
         }),
+        broker: None,
     }
+}
+
+/// A checkpoint-v3 session image with the avoidance-broker section.
+fn sample_broker_snapshot(session: u64) -> SessionSnapshot {
+    let mut snap = sample_snapshot(session);
+    snap.broker = Some(BrokerSnapshot {
+        metered: true,
+        priorities: (0..6).map(|i| Priority::new(i as u8 + 1)).collect(),
+        parked: vec![(4, 2), (1, 5)],
+        outstanding: vec![
+            GiveUpAsk {
+                target: ProcId(3),
+                resources: vec![ResId(2)],
+                reason: GiveUpReason::RequestDeadlock,
+            },
+            GiveUpAsk {
+                target: ProcId(1),
+                resources: vec![ResId(5), ResId(0)],
+                reason: GiveUpReason::Livelock,
+            },
+        ],
+        livelock_events: 2,
+        total_cycles: 98765,
+        commands: 31,
+        grants: 12,
+        deferrals: 6,
+        give_ups: 4,
+    });
+    snap
 }
 
 fn sample_checkpoint() -> ShardCheckpoint {
@@ -47,7 +80,7 @@ fn sample_checkpoint() -> ShardCheckpoint {
             probes: 11,
             ..ShardCounters::default()
         },
-        sessions: vec![sample_snapshot(2), sample_snapshot(6)],
+        sessions: vec![sample_snapshot(2), sample_broker_snapshot(6)],
     }
 }
 
@@ -81,7 +114,43 @@ fn sample_wal_stream() -> Vec<u8> {
             ],
         },
         WalOp::Restore {
-            snapshot: sample_snapshot(4),
+            snapshot: Box::new(sample_snapshot(4)),
+        },
+        WalOp::Broker {
+            session: 5,
+            op: BrokerWalOp::Open {
+                resources: 4,
+                processes: 4,
+                metered: false,
+            },
+        },
+        WalOp::Broker {
+            session: 5,
+            op: BrokerWalOp::SetPriority {
+                p: ProcId(1),
+                priority: Priority::new(3),
+            },
+        },
+        WalOp::Broker {
+            session: 5,
+            op: BrokerWalOp::Acquire {
+                p: ProcId(1),
+                q: ResId(2),
+            },
+        },
+        WalOp::Broker {
+            session: 5,
+            op: BrokerWalOp::Release {
+                p: ProcId(1),
+                q: ResId(2),
+            },
+        },
+        WalOp::Broker {
+            session: 5,
+            op: BrokerWalOp::GiveUpAck { p: ProcId(1) },
+        },
+        WalOp::Restore {
+            snapshot: Box::new(sample_broker_snapshot(5)),
         },
         WalOp::Close { session: 0 },
     ];
@@ -105,7 +174,7 @@ fn sample_wal_stream() -> Vec<u8> {
 fn wal_every_truncation_yields_a_valid_prefix() {
     let bytes = sample_wal_stream();
     let full = scan(&bytes);
-    assert_eq!(full.records.len(), 4);
+    assert_eq!(full.records.len(), 10);
     assert_eq!(full.tail, WalTail::Clean);
     for cut in 0..bytes.len() {
         let s = scan(&bytes[..cut]);
@@ -156,33 +225,34 @@ fn wal_mutations_never_panic() {
 /// error or a valid message; round-trips are exact.
 #[test]
 fn snapshot_decoder_is_total() {
-    let snap = sample_snapshot(7);
-    let bytes = snap.encode();
-    assert_eq!(SessionSnapshot::decode(&bytes).unwrap(), snap);
     assert!(matches!(
         SessionSnapshot::decode(&[]),
         Err(StoreError::Truncated)
     ));
-    // Trailing bytes are rejected, not ignored.
-    let mut extended = bytes.clone();
-    extended.push(0);
-    assert!(matches!(
-        SessionSnapshot::decode(&extended),
-        Err(StoreError::TrailingBytes { .. })
-    ));
-    for cut in 0..bytes.len() {
-        let _ = SessionSnapshot::decode(&bytes[..cut]);
-    }
     let mut rng = StdRng::seed_from_u64(0x54A9);
-    for _ in 0..2000 {
-        let mut m = bytes.clone();
-        for _ in 0..rng.gen_range(1..4u32) {
-            let i = rng.gen_range(0..m.len());
-            m[i] ^= 1 << rng.gen_range(0..8u32);
+    for snap in [sample_snapshot(7), sample_broker_snapshot(7)] {
+        let bytes = snap.encode();
+        assert_eq!(SessionSnapshot::decode(&bytes).unwrap(), snap);
+        // Trailing bytes are rejected, not ignored.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(
+            SessionSnapshot::decode(&extended),
+            Err(StoreError::TrailingBytes { .. })
+        ));
+        for cut in 0..bytes.len() {
+            let _ = SessionSnapshot::decode(&bytes[..cut]);
         }
-        if let Ok(decoded) = SessionSnapshot::decode(&m) {
-            // A mutation that still decodes must re-encode canonically.
-            assert_eq!(decoded.encode().len(), m.len());
+        for _ in 0..2000 {
+            let mut m = bytes.clone();
+            for _ in 0..rng.gen_range(1..4u32) {
+                let i = rng.gen_range(0..m.len());
+                m[i] ^= 1 << rng.gen_range(0..8u32);
+            }
+            if let Ok(decoded) = SessionSnapshot::decode(&m) {
+                // A mutation that still decodes must re-encode canonically.
+                assert_eq!(decoded.encode().len(), m.len());
+            }
         }
     }
 }
