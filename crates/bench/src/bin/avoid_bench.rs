@@ -14,6 +14,11 @@
 //! * **wakeup** — a second thread parks `wait = true` acquires on a held
 //!   resource; the main thread releases it and the histogram records
 //!   release-to-grant latency (the push path through the waiter table).
+//! * **wire_wakeup** — the same release-to-grant measurement through the
+//!   thread-per-core [`CoreRuntime`] wire path: the waiter parks over
+//!   one TCP connection, the releaser releases over another, and the
+//!   grant is *pushed* to the parked connection as a cross-loop message
+//!   (no reply channel, no poll tick).
 //!
 //! Writes `BENCH_avoid.json` at the repository root. `--smoke` runs a
 //! seconds-free miniature (debug builds allowed, no JSON, no perf gate)
@@ -25,7 +30,8 @@ use std::time::Instant;
 
 use deltaos_core::{ProcId, ResId};
 use deltaos_service::{
-    AvoidanceMode, Client, Event, Response, Service, ServiceConfig, ServiceError, SessionId,
+    AvoidanceMode, Client, CoreConfig, CoreRuntime, Event, Request, Response, Service,
+    ServiceConfig, ServiceError, SessionId, TcpClient,
 };
 use deltaos_sim::Histogram;
 use rand::{Rng, SeedableRng, StdRng};
@@ -182,12 +188,144 @@ fn wakeup_run(service: &Service, drive: &Drive) -> Histogram {
     hist
 }
 
+/// Release-to-grant latency of blocked acquires over the fused
+/// thread-per-core runtime's wire path. Same choreography as
+/// [`wakeup_run`], but waiter and releaser are two TCP connections into
+/// a [`CoreRuntime`], so each grant crosses the runtime as a pushed
+/// message to the parked connection's loop.
+fn wire_wakeup_run(drive: &Drive) -> Histogram {
+    let runtime = CoreRuntime::bind(
+        "127.0.0.1:0",
+        CoreConfig {
+            loops: 0, // auto: one pinned loop per host CPU
+            shards: 2,
+            ..CoreConfig::default()
+        },
+    )
+    .expect("bind thread-per-core runtime");
+    let addr = runtime.local_addr();
+
+    let mut main = TcpClient::connect(addr).expect("connect releaser");
+    let sid = match main
+        .call(&Request::OpenAvoid {
+            resources: 2,
+            processes: 2,
+            mode: AvoidanceMode::FastPath,
+        })
+        .expect("open_avoid")
+    {
+        Response::Opened(sid) => sid,
+        other => panic!("open_avoid answered {other:?}"),
+    };
+    let grant = |resp: Response| {
+        assert!(
+            matches!(resp, Response::Granted { .. }),
+            "expected a grant, got {resp:?}"
+        );
+    };
+    grant(
+        main.call(&Request::Acquire {
+            session: sid,
+            p: ProcId(0),
+            q: ResId(0),
+            wait: false,
+        })
+        .expect("seed acquire"),
+    );
+
+    let barrier = Arc::new(Barrier::new(2));
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<Instant>();
+    let waiter = {
+        let barrier = Arc::clone(&barrier);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut cli = TcpClient::connect(addr).expect("connect waiter");
+            loop {
+                barrier.wait();
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                // Parks on the owning loop until the releaser's grant
+                // is pushed back to this connection.
+                grant(
+                    cli.call(&Request::Acquire {
+                        session: sid,
+                        p: ProcId(1),
+                        q: ResId(0),
+                        wait: true,
+                    })
+                    .expect("blocked acquire"),
+                );
+                tx.send(Instant::now()).unwrap();
+                cli.call(&Request::BrokerRelease {
+                    session: sid,
+                    p: ProcId(1),
+                    q: ResId(0),
+                })
+                .expect("hand-back release");
+            }
+        })
+    };
+
+    let mut hist = Histogram::new();
+    for _ in 0..drive.wakeups {
+        barrier.wait();
+        // Release over a *queued* waiter, not an empty table.
+        loop {
+            let waiting = match main.call(&Request::Stats).expect("stats") {
+                Response::Stats { shards, .. } => {
+                    shards.iter().map(|s| s.broker_waiters).sum::<u64>()
+                }
+                other => panic!("stats answered {other:?}"),
+            };
+            if waiting >= 1 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let t0 = Instant::now();
+        main.call(&Request::BrokerRelease {
+            session: sid,
+            p: ProcId(0),
+            q: ResId(0),
+        })
+        .expect("timed release");
+        let granted_at = rx.recv().unwrap();
+        hist.record(granted_at.duration_since(t0).as_nanos() as u64);
+        grant(
+            main.call(&Request::Acquire {
+                session: sid,
+                p: ProcId(0),
+                q: ResId(0),
+                wait: true,
+            })
+            .expect("reclaim acquire"),
+        );
+    }
+    stop.store(true, Ordering::Release);
+    barrier.wait();
+    waiter.join().expect("wire waiter thread panicked");
+    match main.call(&Request::Close { session: sid }).expect("close") {
+        Response::Closed => {}
+        other => panic!("close answered {other:?}"),
+    }
+    let ticks: u64 = runtime.core_stats().iter().map(|c| c.busy_poll_ticks).sum();
+    assert_eq!(
+        ticks, 0,
+        "fused loops must block in poll(2) through the whole wakeup drive"
+    );
+    runtime.stop();
+    hist
+}
+
 struct Outcome {
     probe_eps: f64,
     off_eps: f64,
     metered_cps: f64,
     fastpath_cps: f64,
     wakeup: Histogram,
+    wire_wakeup: Histogram,
     grants: u64,
     deferrals: u64,
 }
@@ -226,6 +364,7 @@ fn run(drive: &Drive) -> Outcome {
     retry(|| client.close(fast));
 
     let wakeup = wakeup_run(&service, drive);
+    let wire_wakeup = wire_wakeup_run(drive);
 
     let per_shard = service.shutdown();
     let mut grants = 0u64;
@@ -240,6 +379,7 @@ fn run(drive: &Drive) -> Outcome {
         metered_cps,
         fastpath_cps,
         wakeup,
+        wire_wakeup,
         grants,
         deferrals,
     }
@@ -264,6 +404,12 @@ fn report(label: &str, o: &Outcome) {
         o.wakeup.count(),
         o.grants,
         o.deferrals
+    );
+    println!(
+        "  wire wakeup (thread-per-core) p50 {} ns p99 {} ns ({} samples)",
+        o.wire_wakeup.percentile(0.50),
+        o.wire_wakeup.percentile(0.99),
+        o.wire_wakeup.count()
     );
 }
 
@@ -292,6 +438,8 @@ fn to_json(drive: &Drive, o: &Outcome, ratio: f64, pass: bool) -> String {
             "  \"broker_deferrals\": {},\n",
             "  \"wakeup_latency_ns\": {{\"p50\": {}, \"p99\": {}, \"samples\": {},\n",
             "    \"buckets\": {}}},\n",
+            "  \"wire_wakeup_latency_ns\": {{\"p50\": {}, \"p99\": {}, \"samples\": {},\n",
+            "    \"buckets\": {}}},\n",
             "  \"acceptance\": {{\"off_vs_probe_ratio\": {:.3}, ",
             "\"required_ratio\": 0.95, \"pass\": {}}}\n",
             "}}\n"
@@ -312,6 +460,10 @@ fn to_json(drive: &Drive, o: &Outcome, ratio: f64, pass: bool) -> String {
         o.wakeup.percentile(0.99),
         o.wakeup.count(),
         buckets_json(&o.wakeup),
+        o.wire_wakeup.percentile(0.50),
+        o.wire_wakeup.percentile(0.99),
+        o.wire_wakeup.count(),
+        buckets_json(&o.wire_wakeup),
         ratio,
         pass
     )
@@ -325,6 +477,7 @@ fn main() {
         assert!(o.probe_eps > 0.0 && o.off_eps > 0.0);
         assert!(o.metered_cps > 0.0 && o.fastpath_cps > 0.0);
         assert_eq!(o.wakeup.count(), SMOKE.wakeups as u64);
+        assert_eq!(o.wire_wakeup.count(), SMOKE.wakeups as u64);
         println!("smoke ok");
         return;
     }

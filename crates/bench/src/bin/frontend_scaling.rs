@@ -1,12 +1,16 @@
-//! TCP front-end scaling sweep: thread-per-connection vs event loop.
+//! TCP front-end scaling sweep: thread-per-connection vs event loop vs
+//! the thread-per-core fused runtime.
 //!
 //! Drives 256 concurrent connections, each pipelining small batches to
-//! its own session, against the same sharded service behind (a) the
-//! blocking thread-per-connection [`TcpServer`] and (b) the `poll(2)`
-//! event-loop [`EvServer`]. With the per-event work deliberately cheap,
-//! the drive is transport-bound — exactly the regime where a stack and
-//! a scheduler entity per connection stop scaling and the fixed loop
-//! threads with coalesced reads/writes pull ahead.
+//! its own session, against the same sharded workload behind (a) the
+//! blocking thread-per-connection [`TcpServer`], (b) the `poll(2)`
+//! event-loop [`EvServer`] in front of worker shards, and (c) the
+//! shared-nothing [`CoreRuntime`] that executes the shards inline on
+//! the loops. With the per-event work deliberately cheap, the drive is
+//! transport-bound — exactly the regime where a stack and a scheduler
+//! entity per connection stop scaling, the fixed loop threads with
+//! coalesced reads/writes pull ahead, and the fused runtime\'s deleted
+//! loop→worker hand-off shows up directly in round-trip latency.
 //!
 //! Before any number is reported, every connection's full event log is
 //! replayed through a fresh in-process [`Session`] and the wire results
@@ -15,22 +19,24 @@
 //!
 //! Emits `BENCH_frontend.json` at the repository root with aggregate
 //! events/sec, round-trip p50/p99 (log-linear histogram) per mode, and
-//! the acceptance check (event loop ≥2× thread-per-connection at 256
-//! pipelined connections). The throughput gate is conditional on the
-//! host actually having ≥4 CPUs; smaller hosts run the same sweep and
-//! record `host_cpus` honestly with the gate marked skipped (replay
-//! identity is always enforced).
+//! the acceptance checks: event loop ≥2× thread-per-connection, fused
+//! thread-per-core ≥1.5× the event loop with round-RTT p99 strictly
+//! below it. The throughput gates are conditional on the host actually
+//! having ≥4 CPUs; smaller hosts run the same sweep and record
+//! `host_cpus` honestly with the gates marked skipped (replay identity
+//! is always enforced, as is the fused runtime\'s zero-busy-tick
+//! contract).
 //!
-//! `--smoke` runs a 16-connection miniature of both modes (debug builds
-//! allowed, no JSON, no perf gate) for CI.
+//! `--smoke` runs a 16-connection miniature of all three modes (debug
+//! builds allowed, no JSON, no perf gates) for CI.
 
 use std::net::SocketAddr;
 use std::time::Instant;
 
 use deltaos_core::{ProcId, ResId};
 use deltaos_service::{
-    EvConfig, EvServer, Event, EventResult, Request, Response, Service, ServiceConfig, Session,
-    SessionId, TcpClient, TcpServer,
+    CoreConfig, CoreRuntime, EvConfig, EvServer, Event, EventResult, Request, Response, Service,
+    ServiceConfig, Session, SessionId, TcpClient, TcpServer,
 };
 use deltaos_sim::Histogram;
 use rand::{Rng, SeedableRng, StdRng};
@@ -193,6 +199,7 @@ impl Outcome {
 enum Mode {
     ThreadPerConn,
     EventLoop,
+    ThreadPerCore,
 }
 
 impl Mode {
@@ -200,6 +207,7 @@ impl Mode {
         match self {
             Mode::ThreadPerConn => "thread_per_conn",
             Mode::EventLoop => "event_loop",
+            Mode::ThreadPerCore => "thread_per_core",
         }
     }
 }
@@ -209,18 +217,21 @@ impl Mode {
 /// the aggregate outcome.
 fn run(mode: &Mode, drive: &Drive) -> Outcome {
     assert_eq!(drive.conns % drive.client_threads, 0);
-    let service = Service::start(drive.service_config());
 
     enum Server {
-        Tpc(TcpServer),
-        Ev(EvServer),
+        Tpc(TcpServer, Service),
+        Ev(EvServer, Service),
+        Core(CoreRuntime),
     }
     let server = match mode {
-        Mode::ThreadPerConn => Server::Tpc(
-            TcpServer::bind("127.0.0.1:0", service.client()).expect("bind thread-per-conn"),
-        ),
-        Mode::EventLoop => Server::Ev(
-            EvServer::bind(
+        Mode::ThreadPerConn => {
+            let service = Service::start(drive.service_config());
+            let s = TcpServer::bind("127.0.0.1:0", service.client()).expect("bind thread-per-conn");
+            Server::Tpc(s, service)
+        }
+        Mode::EventLoop => {
+            let service = Service::start(drive.service_config());
+            let s = EvServer::bind(
                 "127.0.0.1:0",
                 service.client(),
                 EvConfig {
@@ -228,12 +239,29 @@ fn run(mode: &Mode, drive: &Drive) -> Outcome {
                     ..EvConfig::default()
                 },
             )
-            .expect("bind event loop"),
+            .expect("bind event loop");
+            Server::Ev(s, service)
+        }
+        // The fused runtime *is* the service: the same shard count, no
+        // queue to size (there is no queue).
+        Mode::ThreadPerCore => Server::Core(
+            CoreRuntime::bind(
+                "127.0.0.1:0",
+                CoreConfig {
+                    loops: 0, // auto: one pinned loop per host CPU
+                    shards: drive.shards,
+                    max_sessions_per_shard: drive.conns,
+                    max_pipeline: drive.pipeline * 4,
+                    ..CoreConfig::default()
+                },
+            )
+            .expect("bind thread-per-core"),
         ),
     };
     let addr = match &server {
-        Server::Tpc(s) => s.local_addr(),
-        Server::Ev(s) => s.local_addr(),
+        Server::Tpc(s, _) => s.local_addr(),
+        Server::Ev(s, _) => s.local_addr(),
+        Server::Core(s) => s.local_addr(),
     };
 
     let start = Instant::now();
@@ -248,19 +276,41 @@ fn run(mode: &Mode, drive: &Drive) -> Outcome {
     });
     let elapsed_secs = start.elapsed().as_secs_f64();
 
-    if let Server::Ev(s) = &server {
-        let fs = s.stats();
-        assert_eq!(fs.desynced, 0, "well-formed traffic must never desync");
-        assert_eq!(
-            fs.busy_replies, 0,
-            "pipeline sized under the cap; Busy would skew the comparison"
-        );
+    match &server {
+        Server::Ev(s, _) => {
+            let fs = s.stats();
+            assert_eq!(fs.desynced, 0, "well-formed traffic must never desync");
+            assert_eq!(
+                fs.busy_replies, 0,
+                "pipeline sized under the cap; Busy would skew the comparison"
+            );
+        }
+        Server::Core(s) => {
+            let fs = s.frontend_stats();
+            assert_eq!(fs.desynced, 0, "well-formed traffic must never desync");
+            assert_eq!(
+                fs.busy_replies, 0,
+                "pipeline sized under the cap; Busy would skew the comparison"
+            );
+            let ticks: u64 = s.core_stats().iter().map(|c| c.busy_poll_ticks).sum();
+            assert_eq!(
+                ticks, 0,
+                "fused loops must block in poll(2); a busy tick means a lost wakeup"
+            );
+        }
+        Server::Tpc(..) => {}
     }
     match server {
-        Server::Tpc(s) => s.stop(),
-        Server::Ev(s) => s.stop(),
+        Server::Tpc(s, service) => {
+            s.stop();
+            service.shutdown();
+        }
+        Server::Ev(s, service) => {
+            s.stop();
+            service.shutdown();
+        }
+        Server::Core(s) => s.stop(),
     }
-    service.shutdown();
 
     // Replay identity: the wire results of every connection must be
     // bit-identical to an in-process single-threaded replay of its log.
@@ -327,13 +377,23 @@ fn mode_json(mode: &Mode, o: &Outcome) -> String {
     )
 }
 
-fn to_json(drive: &Drive, tpc: &Outcome, ev: &Outcome, host_cpus: usize) -> String {
+fn to_json(
+    drive: &Drive,
+    tpc: &Outcome,
+    ev: &Outcome,
+    fused: &Outcome,
+    host_cpus: usize,
+) -> String {
     let speedup = ev.events_per_sec() / tpc.events_per_sec();
+    let fused_speedup = fused.events_per_sec() / ev.events_per_sec();
+    let p99_below = fused.rtts.percentile(0.99) < ev.rtts.percentile(0.99);
     let gated = host_cpus >= 4;
-    let pass_field = if gated {
-        format!("{}", speedup >= 2.0)
-    } else {
-        "null".to_string()
+    let pass = |ok: bool| {
+        if gated {
+            format!("{ok}")
+        } else {
+            "null".to_string()
+        }
     };
     format!(
         concat!(
@@ -343,10 +403,13 @@ fn to_json(drive: &Drive, tpc: &Outcome, ev: &Outcome, host_cpus: usize) -> Stri
             "  \"config\": {{\"conns\": {}, \"client_threads\": {}, \"pipeline\": {}, ",
             "\"rounds\": {}, \"events_per_batch\": {}, \"dims\": {}, \"shards\": {}}},\n",
             "  \"replay_identity\": {{\"wire_vs_in_process_bit_identical\": true}},\n",
-            "  \"modes\": [\n{},\n{}\n  ],\n",
+            "  \"modes\": [\n{},\n{},\n{}\n  ],\n",
             "  \"acceptance\": {{\"speedup_event_loop_vs_thread_per_conn\": {:.3}, ",
             "\"required\": 2.0, \"gate_requires_cpus\": 4, ",
-            "\"gate_skipped_insufficient_cpus\": {}, \"pass\": {}}}\n",
+            "\"gate_skipped_insufficient_cpus\": {}, \"pass\": {}, ",
+            "\"speedup_thread_per_core_vs_event_loop\": {:.3}, ",
+            "\"fused_required\": 1.5, \"fused_pass\": {}, ",
+            "\"fused_p99_below_event_loop\": {}, \"fused_p99_pass\": {}}}\n",
             "}}\n"
         ),
         host_cpus,
@@ -359,9 +422,14 @@ fn to_json(drive: &Drive, tpc: &Outcome, ev: &Outcome, host_cpus: usize) -> Stri
         drive.shards,
         mode_json(&Mode::ThreadPerConn, tpc),
         mode_json(&Mode::EventLoop, ev),
+        mode_json(&Mode::ThreadPerCore, fused),
         speedup,
         !gated,
-        pass_field
+        pass(speedup >= 2.0),
+        fused_speedup,
+        pass(fused_speedup >= 1.5),
+        p99_below,
+        pass(p99_below),
     )
 }
 
@@ -372,8 +440,11 @@ fn main() {
         report(&Mode::ThreadPerConn, &SMOKE, &tpc);
         let ev = run(&Mode::EventLoop, &SMOKE);
         report(&Mode::EventLoop, &SMOKE, &ev);
-        assert!(tpc.events > 0 && ev.events > 0);
-        assert_eq!(tpc.events, ev.events, "both modes drive the same load");
+        let fused = run(&Mode::ThreadPerCore, &SMOKE);
+        report(&Mode::ThreadPerCore, &SMOKE, &fused);
+        assert!(tpc.events > 0 && ev.events > 0 && fused.events > 0);
+        assert_eq!(tpc.events, ev.events, "all modes drive the same load");
+        assert_eq!(tpc.events, fused.events, "all modes drive the same load");
         println!("smoke ok");
         return;
     }
@@ -391,10 +462,14 @@ fn main() {
     report(&Mode::ThreadPerConn, &FULL, &tpc);
     let ev = run(&Mode::EventLoop, &FULL);
     report(&Mode::EventLoop, &FULL, &ev);
+    let fused = run(&Mode::ThreadPerCore, &FULL);
+    report(&Mode::ThreadPerCore, &FULL, &fused);
     let speedup = ev.events_per_sec() / tpc.events_per_sec();
+    let fused_speedup = fused.events_per_sec() / ev.events_per_sec();
     println!("  event loop vs thread-per-conn: {speedup:.2}x");
+    println!("  thread-per-core vs event loop: {fused_speedup:.2}x");
 
-    let json = to_json(&FULL, &tpc, &ev, host_cpus);
+    let json = to_json(&FULL, &tpc, &ev, &fused, host_cpus);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_frontend.json");
     std::fs::write(path, &json).expect("write BENCH_frontend.json");
     println!("wrote {path}");
@@ -407,10 +482,23 @@ fn main() {
              connections (got {speedup:.2}x on a {host_cpus}-CPU host)",
             FULL.conns
         );
+        println!("acceptance: thread-per-core speedup {fused_speedup:.2}x (required >= 1.5x)");
+        assert!(
+            fused_speedup >= 1.5,
+            "fused thread-per-core runtime must be >= 1.5x the event loop + worker \
+             shards (got {fused_speedup:.2}x on a {host_cpus}-CPU host)"
+        );
+        let (fp99, ep99) = (fused.rtts.percentile(0.99), ev.rtts.percentile(0.99));
+        println!("acceptance: round RTT p99 fused {fp99} ns vs event loop {ep99} ns");
+        assert!(
+            fp99 < ep99,
+            "deleting the loop-to-worker hand-off must show up in tail latency: \
+             fused p99 {fp99} ns >= event loop p99 {ep99} ns"
+        );
     } else {
         println!(
-            "acceptance: gate skipped — host has {host_cpus} CPU(s) < 4; \
-             measured speedup {speedup:.2}x recorded ungated"
+            "acceptance: gates skipped — host has {host_cpus} CPU(s) < 4; measured \
+             speedups {speedup:.2}x / {fused_speedup:.2}x recorded ungated"
         );
     }
 }

@@ -1,0 +1,1269 @@
+//! Shared-nothing thread-per-core runtime: the event-loop front-end and
+//! the shard workers fused into N pinned per-core loops.
+//!
+//! The PR-4 front-end still pays a partitioning tax: every request
+//! crosses threads twice (loop thread → shard worker over a
+//! `sync_channel`, reply back through `try_recv` polling), and whenever
+//! replies are outstanding the loop degrades to a 1 ms poll tick. The
+//! paper's argument — move the deadlock unit next to the execution
+//! resource and the crossing overhead disappears — applies in software
+//! too: here each loop *owns* a set of shards ([`ShardCore`]s) and runs
+//! their `DetectEngine`s, broker waiter tables and durability logging
+//! **inline** on the loop thread. A request whose session lives on the
+//! serving loop is decoded, executed and answered without any
+//! cross-thread hand-off; there is no request queue, no reply channel,
+//! and no poll tick of any kind.
+//!
+//! Routing follows shard ownership (`session_id % shards`, shard `s`
+//! owned by loop `s % loops`):
+//!
+//! * **Connection migration (fd hand-off)** — at `Open`/`OpenAvoid`/
+//!   `Restore` the connection's *affinity* becomes the owning loop of
+//!   the newly opened session. Once the connection is quiescent (no
+//!   pending replies, no write backlog) it is handed over wholesale —
+//!   socket, read buffer, counters — to that loop, making subsequent
+//!   requests same-core. The quiescence requirement guarantees no
+//!   in-flight completion can target the old loop.
+//! * **Cross-core forwarding** — the minority of requests whose session
+//!   lives elsewhere (multi-session connections, traffic racing ahead
+//!   of migration) is forwarded over a per-core inbox; the owning loop
+//!   executes inline and sends the reply back the same way. Every
+//!   enqueue writes one byte to the receiving loop's self-pipe, so
+//!   loops block in `poll(2)` with **no timeout** and are woken
+//!   exactly when work arrives — the 1 ms degraded tick is gone even
+//!   on forwarded paths ([`CoreStats::busy_poll_ticks`] asserts it).
+//!
+//! Observable semantics are identical to `EvServer` + worker shards:
+//! pipelined submission-order replies per connection, in-band
+//! [`Response::Busy`] past the pipeline cap, idle/slow-loris reaping,
+//! broker blocked-grant push (grants cross loops as messages instead of
+//! channel sends), and WAL/checkpoint durability with bit-identical
+//! recovery.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use deltaos_core::par::{self, ParConfig, WorkerPool};
+use deltaos_sim::Stats;
+
+use crate::durable::{DurabilityConfig, RecoveryInfo};
+use crate::evloop::{error_response, sys, Counters, FrameBuf, ReadOutcome};
+use crate::proto::{
+    decode_request, encode_response_into, AvoidanceMode, CoreStats, ErrorCode, Event,
+    FrontendStats, Request, Response, SessionId, MAX_FRAME,
+};
+use crate::shard::{BrokerCmd, ServiceError, ShardCore};
+use crate::tcp::stats_rows;
+
+/// Thread-per-core runtime construction parameters. The front-end knobs
+/// (`max_pipeline`, `max_write_buf`, timeouts) mean exactly what they
+/// mean on [`crate::evloop::EvConfig`]; the shard knobs mean what they
+/// mean on [`crate::ServiceConfig`] — minus `queue_cap`, because the
+/// fused runtime has no request queue to bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Pinned loop threads; `0` auto-sizes to the host CPUs (1..=8).
+    pub loops: usize,
+    /// Shards (deadlock units); `0` matches the resolved loop count.
+    /// Sessions pin by `session_id % shards`, shard `s` lives on loop
+    /// `s % loops`.
+    pub shards: usize,
+    /// Admission control: maximum live sessions per shard.
+    pub max_sessions_per_shard: usize,
+    /// Admission control: maximum events per batch.
+    pub max_batch: usize,
+    /// Admission control: maximum session dimension (rows or columns).
+    pub max_dim: u16,
+    /// Parallel reduction configuration for the session engines; with
+    /// `par.threads > 1` each loop owns one [`WorkerPool`] shared by
+    /// every session it houses.
+    pub par: ParConfig,
+    /// Pin loop `i` to CPU `i` (a placement hint, like everywhere else).
+    pub pin_cpus: bool,
+    /// Durability: per-shard WAL + checkpoints, recovered before the
+    /// acceptor starts.
+    pub durability: Option<DurabilityConfig>,
+    /// Maximum in-flight requests per connection; overflow answers
+    /// [`Response::Busy`] in-band.
+    pub max_pipeline: usize,
+    /// Write-backlog bytes at which the loop stops reading from a
+    /// connection.
+    pub max_write_buf: usize,
+    /// Idle-connection reap timeout.
+    pub idle_timeout: Duration,
+    /// Partial-frame (slow-loris) reap deadline.
+    pub partial_frame_deadline: Duration,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            loops: 1,
+            shards: 0,
+            max_sessions_per_shard: 1024,
+            max_batch: crate::proto::MAX_BATCH,
+            max_dim: 4096,
+            par: ParConfig::default(),
+            pin_cpus: false,
+            durability: None,
+            max_pipeline: 64,
+            max_write_buf: 256 * 1024,
+            idle_timeout: Duration::from_secs(60),
+            partial_frame_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+impl CoreConfig {
+    /// One pinned loop per host CPU (1..=8), shards matching, reduction
+    /// pools splitting whatever CPUs remain.
+    pub fn auto_sized() -> CoreConfig {
+        let loops = par::host_cpus().clamp(1, 8);
+        CoreConfig {
+            loops,
+            par: ParConfig::auto_for_shards(loops),
+            pin_cpus: true,
+            ..CoreConfig::default()
+        }
+    }
+
+    /// The loop-thread count `bind` will spawn.
+    pub fn resolved_loops(&self) -> usize {
+        if self.loops > 0 {
+            self.loops
+        } else {
+            par::host_cpus().clamp(1, 8)
+        }
+    }
+
+    /// The shard count `bind` will create.
+    pub fn resolved_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            self.resolved_loops()
+        }
+    }
+}
+
+/// Per-loop monotonic counters, readable from any thread (the `Stats`
+/// op snapshots all loops from whichever loop serves it).
+#[derive(Default)]
+struct LoopCounters {
+    conns: AtomicU64,
+    frames_in: AtomicU64,
+    replies_out: AtomicU64,
+    inline_ops: AtomicU64,
+    cross_core_forwards: AtomicU64,
+    migrations_in: AtomicU64,
+    wakeups: AtomicU64,
+    busy_poll_ticks: AtomicU64,
+}
+
+fn core_stats_snapshot(per_loop: &[LoopCounters]) -> Vec<CoreStats> {
+    per_loop
+        .iter()
+        .enumerate()
+        .map(|(i, lc)| CoreStats {
+            core: i as u16,
+            conns: lc.conns.load(Ordering::Relaxed),
+            frames_in: lc.frames_in.load(Ordering::Relaxed),
+            replies_out: lc.replies_out.load(Ordering::Relaxed),
+            inline_ops: lc.inline_ops.load(Ordering::Relaxed),
+            cross_core_forwards: lc.cross_core_forwards.load(Ordering::Relaxed),
+            migrations_in: lc.migrations_in.load(Ordering::Relaxed),
+            wakeups: lc.wakeups.load(Ordering::Relaxed),
+            busy_poll_ticks: lc.busy_poll_ticks.load(Ordering::Relaxed),
+        })
+        .collect()
+}
+
+/// Addresses one submitted request: the loop housing the connection,
+/// the connection, and the request's per-connection sequence number.
+/// This is the fused runtime's reply-slot type — where the worker pool
+/// parks an `mpsc::Sender`, [`ShardCore`] here parks a ticket, and
+/// delivery routes the response back by loop + connection + seq.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ticket {
+    home: usize,
+    conn: u64,
+    seq: u64,
+}
+
+/// A session operation, executable on whichever loop owns the shard.
+enum ExecJob {
+    Open {
+        session: SessionId,
+        resources: u16,
+        processes: u16,
+    },
+    OpenAvoid {
+        session: SessionId,
+        resources: u16,
+        processes: u16,
+        mode: AvoidanceMode,
+    },
+    Batch {
+        session: SessionId,
+        events: Vec<Event>,
+    },
+    Close {
+        session: SessionId,
+    },
+    Snapshot {
+        session: SessionId,
+    },
+    Restore {
+        session: SessionId,
+        snapshot: Vec<u8>,
+    },
+    Broker {
+        session: SessionId,
+        cmd: BrokerCmd,
+    },
+}
+
+impl ExecJob {
+    fn session(&self) -> SessionId {
+        match self {
+            ExecJob::Open { session, .. }
+            | ExecJob::OpenAvoid { session, .. }
+            | ExecJob::Batch { session, .. }
+            | ExecJob::Close { session }
+            | ExecJob::Snapshot { session }
+            | ExecJob::Restore { session, .. }
+            | ExecJob::Broker { session, .. } => *session,
+        }
+    }
+}
+
+/// Inter-loop message. Every send is paired with one byte down the
+/// receiving loop's self-pipe, so the receiver is always *woken*, never
+/// polled for.
+enum CoreMsg {
+    /// A freshly accepted socket from the acceptor (round-robin).
+    Accept(TcpStream),
+    /// A quiescent connection handed over to its affine loop.
+    Migrate(Box<CConn>),
+    /// Run a session operation on the shard this loop owns and deliver
+    /// the reply to `ticket`.
+    Exec { ticket: Ticket, job: ExecJob },
+    /// A completed reply for a request this loop houses.
+    Done { conn: u64, seq: u64, resp: Response },
+    /// Collect this loop's shard rows for a `Stats` request.
+    StatsAsk { ticket: Ticket },
+    /// The rows answering a [`CoreMsg::StatsAsk`].
+    StatsReply {
+        conn: u64,
+        seq: u64,
+        from: usize,
+        rows: Vec<Stats>,
+    },
+}
+
+/// One submitted-but-unanswered request, in submission order.
+enum Slot {
+    /// Answer known (in-band error, `Busy`, or a delivered completion).
+    Ready(Response),
+    /// Executing on another loop, or parked in a broker waiter table.
+    Wait,
+    /// A `Stats` fan-out: per-loop shard rows, filled as replies arrive.
+    Stats(Vec<Option<Vec<Stats>>>),
+}
+
+/// Per-connection state: identical transport machinery to the evloop
+/// front-end (same framing, write coalescing, reap bookkeeping), but
+/// the pending FIFO holds [`Slot`]s keyed by sequence number instead of
+/// reply channels — completions are messages, not `try_recv` polls.
+struct CConn {
+    id: u64,
+    stream: TcpStream,
+    rbuf: FrameBuf,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    next_seq: u64,
+    pending: VecDeque<(u64, Slot)>,
+    /// The loop this connection should live on: the owner of its most
+    /// recently opened session. Migration happens at quiescence.
+    affine: usize,
+    last_activity: Instant,
+    partial_since: Option<Instant>,
+    peer_closed: bool,
+    dead: bool,
+}
+
+impl CConn {
+    fn new(id: u64, stream: TcpStream, home: usize, now: Instant) -> CConn {
+        CConn {
+            id,
+            stream,
+            rbuf: FrameBuf::default(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            next_seq: 0,
+            pending: VecDeque::new(),
+            affine: home,
+            last_activity: now,
+            partial_since: None,
+            peer_closed: false,
+            dead: false,
+        }
+    }
+
+    fn backlog(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Appends one length-prefixed response frame to the write buffer.
+    fn push_response(&mut self, resp: &Response, counters: &Counters, lc: &LoopCounters) {
+        let at = self.wbuf.len();
+        self.wbuf.extend_from_slice(&[0u8; 4]);
+        encode_response_into(resp, &mut self.wbuf);
+        let len = self.wbuf.len() - at - 4;
+        debug_assert!(len <= MAX_FRAME, "server response exceeds MAX_FRAME");
+        self.wbuf[at..at + 4].copy_from_slice(&(len as u32).to_le_bytes());
+        counters.replies_out.fetch_add(1, Ordering::Relaxed);
+        lc.replies_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Moves completed replies, in submission order, into the write
+    /// buffer — stopping at the first slot still waiting, which is what
+    /// keeps pipelined responses positionally matched.
+    fn pump_replies(&mut self, counters: &Counters, lc: &LoopCounters) {
+        while let Some((_, Slot::Ready(_))) = self.pending.front() {
+            let Some((_, Slot::Ready(resp))) = self.pending.pop_front() else {
+                unreachable!("front was Ready");
+            };
+            self.push_response(&resp, counters, lc);
+        }
+    }
+
+    /// Writes as much backlog as the socket accepts (coalesced replies).
+    fn flush(&mut self, counters: &Counters) {
+        let mut progressed = false;
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.wpos += n;
+                    progressed = true;
+                    counters.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos >= crate::evloop::READ_CHUNK {
+            self.wbuf.copy_within(self.wpos.., 0);
+            let keep = self.wbuf.len() - self.wpos;
+            self.wbuf.truncate(keep);
+            self.wpos = 0;
+        }
+        if progressed {
+            self.last_activity = Instant::now();
+        }
+    }
+}
+
+/// Everything a loop owns besides its connections — split so borrow
+/// scopes stay honest while one connection is being served.
+struct LoopEnv {
+    me: usize,
+    loops: usize,
+    shards_total: usize,
+    cfg: CoreConfig,
+    /// The shards this loop owns (`shard % loops == me`), run inline.
+    shards: HashMap<usize, ShardCore<Ticket>>,
+    /// Completed replies for locally housed requests, applied between
+    /// borrow scopes (an inline broker command can complete requests of
+    /// *other* connections on this same loop).
+    deliveries: Vec<(u64, u64, Response)>,
+    inboxes: Vec<Sender<CoreMsg>>,
+    wake_txs: Vec<UnixStream>,
+    counters: Arc<Counters>,
+    loop_counters: Arc<Vec<LoopCounters>>,
+    next_session: Arc<AtomicU64>,
+    /// Cross-core requests this loop has sent and not yet seen answered
+    /// — the "work in flight" half of the busy-tick assertion.
+    cross_outstanding: usize,
+}
+
+impl LoopEnv {
+    fn lc(&self) -> &LoopCounters {
+        &self.loop_counters[self.me]
+    }
+
+    /// Sends `msg` to loop `target` and wakes it. Sends can only fail
+    /// after stop, when the receiving loop has already exited.
+    fn send_to(&mut self, target: usize, msg: CoreMsg) {
+        if self.inboxes[target].send(msg).is_ok() {
+            let _ = self.wake_txs[target].write(&[1]);
+        }
+    }
+
+    /// Routes one completed reply to the loop housing `ticket`.
+    fn deliver(&mut self, ticket: Ticket, resp: Response) {
+        if ticket.home == self.me {
+            self.deliveries.push((ticket.conn, ticket.seq, resp));
+        } else {
+            self.send_to(
+                ticket.home,
+                CoreMsg::Done {
+                    conn: ticket.conn,
+                    seq: ticket.seq,
+                    resp,
+                },
+            );
+        }
+    }
+
+    /// Executes a session operation on the owned shard, delivering the
+    /// primary reply plus any broker wakes/failures it caused.
+    fn run_job(&mut self, ticket: Ticket, job: ExecJob) {
+        let shard = (job.session().0 % self.shards_total as u64) as usize;
+        debug_assert_eq!(shard % self.loops, self.me, "job routed to non-owner");
+        let Some(core) = self.shards.get_mut(&shard) else {
+            self.deliver(ticket, Response::Error(ErrorCode::Shutdown));
+            return;
+        };
+        match job {
+            ExecJob::Open {
+                session,
+                resources,
+                processes,
+            } => {
+                let resp = respond(
+                    core.open(session, resources, processes)
+                        .map(Response::Opened),
+                );
+                self.deliver(ticket, resp);
+            }
+            ExecJob::OpenAvoid {
+                session,
+                resources,
+                processes,
+                mode,
+            } => {
+                let resp = respond(
+                    core.open_avoid(session, resources, processes, mode)
+                        .map(Response::Opened),
+                );
+                self.deliver(ticket, resp);
+            }
+            ExecJob::Batch { session, events } => {
+                let resp = respond(core.batch(session, &events).map(Response::Batch));
+                self.deliver(ticket, resp);
+            }
+            ExecJob::Close { session } => {
+                let (result, dead) = core.close(session);
+                let resp = respond(result.map(|()| Response::Closed));
+                self.deliver(ticket, resp);
+                // Waiters parked on the closed broker session can never
+                // be granted — fail them instead of leaking hangs.
+                for t in dead {
+                    self.deliver(t, Response::Error(ErrorCode::UnknownSession));
+                }
+            }
+            ExecJob::Snapshot { session } => {
+                let resp = respond(core.snapshot_blob(session).map(Response::Snapshot));
+                self.deliver(ticket, resp);
+            }
+            ExecJob::Restore { session, snapshot } => {
+                let resp = respond(core.restore(session, &snapshot).map(Response::Opened));
+                self.deliver(ticket, resp);
+            }
+            ExecJob::Broker { session, cmd } => {
+                let out = core.broker(session, cmd, ticket);
+                if let Some((t, result)) = out.reply {
+                    let resp = respond(result);
+                    self.deliver(t, resp);
+                }
+                for t in out.woken {
+                    self.deliver(
+                        t,
+                        Response::Granted {
+                            cycles: 0,
+                            probes: 0,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// This loop's shard rows, shard-id order.
+    fn own_rows(&self) -> Vec<Stats> {
+        let mut ids: Vec<usize> = self.shards.keys().copied().collect();
+        ids.sort_unstable();
+        // The fused runtime has no request queue, so the queue-depth
+        // high-water mark is identically zero.
+        ids.iter().map(|s| self.shards[s].report(0)).collect()
+    }
+
+    /// Assembles the wire `Stats` response once every loop has reported.
+    fn finish_stats(&self, rows: Vec<Option<Vec<Stats>>>) -> Response {
+        let mut flat: Vec<Stats> = rows.into_iter().flatten().flatten().collect();
+        flat.sort_by_key(|s| s.counter("service.shard_id"));
+        Response::Stats {
+            shards: stats_rows(&flat),
+            frontend: Some(self.counters.snapshot()),
+            cores: core_stats_snapshot(&self.loop_counters),
+        }
+    }
+}
+
+/// Maps a service result to its wire response.
+fn respond(r: Result<Response, ServiceError>) -> Response {
+    r.unwrap_or_else(error_response)
+}
+
+/// Fills waiting slots from the delivery buffer. Deliveries for
+/// connections that died in the meantime are discarded — the slot died
+/// with the connection, exactly as a dropped reply channel would have.
+fn apply_deliveries(env: &mut LoopEnv, conns: &mut [CConn]) {
+    for (conn_id, seq, resp) in env.deliveries.drain(..) {
+        let Some(c) = conns.iter_mut().find(|c| c.id == conn_id) else {
+            continue;
+        };
+        if let Some((_, slot)) = c.pending.iter_mut().find(|(s, _)| *s == seq) {
+            *slot = Slot::Ready(resp);
+        }
+    }
+}
+
+/// Consumes every complete frame in `c`'s read buffer: decode in place,
+/// execute inline when this loop owns the session's shard, forward
+/// otherwise. Mirrors the evloop's `process_frames` semantics (in-band
+/// `BadRequest`, `Busy` past the pipeline cap, desync drop) exactly.
+fn process_conn_frames(env: &mut LoopEnv, c: &mut CConn) {
+    loop {
+        match c.rbuf.next_frame() {
+            Err(_) => {
+                env.counters.desynced.fetch_add(1, Ordering::Relaxed);
+                c.dead = true;
+                return;
+            }
+            Ok(None) => break,
+            Ok(Some(range)) => {
+                env.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                env.lc().frames_in.fetch_add(1, Ordering::Relaxed);
+                let seq = c.next_seq;
+                c.next_seq += 1;
+                let over_depth = c.pending.len() >= env.cfg.max_pipeline;
+                let ticket = Ticket {
+                    home: env.me,
+                    conn: c.id,
+                    seq,
+                };
+                let slot = match decode_request(c.rbuf.slice(range)) {
+                    Err(_) => Slot::Ready(Response::Error(ErrorCode::BadRequest)),
+                    Ok(_) if over_depth => {
+                        env.counters.busy_replies.fetch_add(1, Ordering::Relaxed);
+                        Slot::Ready(Response::Busy)
+                    }
+                    Ok(Request::Stats) => {
+                        if env.loops == 1 {
+                            let rows = vec![Some(env.own_rows())];
+                            Slot::Ready(env.finish_stats(rows))
+                        } else {
+                            let mut rows = vec![None; env.loops];
+                            rows[env.me] = Some(env.own_rows());
+                            for target in 0..env.loops {
+                                if target != env.me {
+                                    env.send_to(target, CoreMsg::StatsAsk { ticket });
+                                    env.cross_outstanding += 1;
+                                }
+                            }
+                            Slot::Stats(rows)
+                        }
+                    }
+                    Ok(req) => match to_job(env, c, req) {
+                        Err(resp) => Slot::Ready(*resp),
+                        Ok(job) => {
+                            let shard = (job.session().0 % env.shards_total as u64) as usize;
+                            let owner = shard % env.loops;
+                            if owner == env.me {
+                                env.lc().inline_ops.fetch_add(1, Ordering::Relaxed);
+                                env.run_job(ticket, job);
+                            } else {
+                                env.lc().cross_core_forwards.fetch_add(1, Ordering::Relaxed);
+                                env.cross_outstanding += 1;
+                                env.send_to(owner, CoreMsg::Exec { ticket, job });
+                            }
+                            Slot::Wait
+                        }
+                    },
+                };
+                c.pending.push_back((seq, slot));
+            }
+        }
+    }
+    c.rbuf.compact();
+    c.partial_since = if c.rbuf.has_partial() {
+        c.partial_since.or(Some(Instant::now()))
+    } else {
+        None
+    };
+}
+
+/// Validates a session request and binds it to an [`ExecJob`]; errors
+/// are the same in-band responses the evloop's sync admission checks
+/// produce. Opens allocate the session id here (on the *serving* loop)
+/// and re-point the connection's affinity at the owning loop.
+fn to_job(env: &LoopEnv, c: &mut CConn, req: Request) -> Result<ExecJob, Box<Response>> {
+    let dims_ok = |r: u16, p: u16| r != 0 && p != 0 && r <= env.cfg.max_dim && p <= env.cfg.max_dim;
+    let alloc = |env: &LoopEnv, c: &mut CConn| {
+        let session = SessionId(env.next_session.fetch_add(1, Ordering::Relaxed));
+        c.affine = (session.0 % env.shards_total as u64) as usize % env.loops;
+        session
+    };
+    match req {
+        Request::Open {
+            resources,
+            processes,
+        } => {
+            if !dims_ok(resources, processes) {
+                return Err(Box::new(error_response(ServiceError::BadDimensions)));
+            }
+            Ok(ExecJob::Open {
+                session: alloc(env, c),
+                resources,
+                processes,
+            })
+        }
+        Request::OpenAvoid {
+            resources,
+            processes,
+            mode,
+        } => {
+            if !dims_ok(resources, processes) {
+                return Err(Box::new(error_response(ServiceError::BadDimensions)));
+            }
+            Ok(ExecJob::OpenAvoid {
+                session: alloc(env, c),
+                resources,
+                processes,
+                mode,
+            })
+        }
+        Request::Batch { session, events } => {
+            if events.len() > env.cfg.max_batch {
+                return Err(Box::new(error_response(ServiceError::BatchTooLarge)));
+            }
+            Ok(ExecJob::Batch { session, events })
+        }
+        Request::Close { session } => Ok(ExecJob::Close { session }),
+        Request::Snapshot { session } => Ok(ExecJob::Snapshot { session }),
+        Request::Restore { snapshot } => Ok(ExecJob::Restore {
+            session: alloc(env, c),
+            snapshot,
+        }),
+        Request::SetPriority {
+            session,
+            p,
+            priority,
+        } => Ok(ExecJob::Broker {
+            session,
+            cmd: BrokerCmd::SetPriority { p, priority },
+        }),
+        Request::Acquire {
+            session,
+            p,
+            q,
+            wait,
+        } => Ok(ExecJob::Broker {
+            session,
+            cmd: BrokerCmd::Acquire { p, q, wait },
+        }),
+        Request::BrokerRelease { session, p, q } => Ok(ExecJob::Broker {
+            session,
+            cmd: BrokerCmd::Release { p, q },
+        }),
+        Request::GiveUpAck { session, p } => Ok(ExecJob::Broker {
+            session,
+            cmd: BrokerCmd::GiveUpAck { p },
+        }),
+        // Handled by the caller before `to_job` (it fans out, it does
+        // not execute on a single shard).
+        Request::Stats => unreachable!("Stats is routed before to_job"),
+    }
+}
+
+/// Smallest remaining time until any reap deadline, as a poll timeout.
+/// This is the *only* source of finite poll timeouts: completions are
+/// fd-signalled (self-pipe), so there is nothing to tick for.
+fn reap_timeout_ms(conns: &[CConn], cfg: &CoreConfig, now: Instant) -> i32 {
+    let mut best: Option<Duration> = None;
+    let mut consider = |d: Duration| {
+        best = Some(best.map_or(d, |b| b.min(d)));
+    };
+    for c in conns {
+        if c.pending.is_empty() {
+            consider(cfg.idle_timeout.saturating_sub(now - c.last_activity));
+        }
+        if let Some(t) = c.partial_since {
+            consider(cfg.partial_frame_deadline.saturating_sub(now - t));
+        }
+    }
+    match best {
+        None => -1,
+        // +1 rounds up so we never spin on a sub-millisecond remainder.
+        Some(d) => (d.as_millis().min(1000) as i32) + 1,
+    }
+}
+
+struct CoreCtx {
+    me: usize,
+    cfg: CoreConfig,
+    loops: usize,
+    shards_total: usize,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    loop_counters: Arc<Vec<LoopCounters>>,
+    inbox: Receiver<CoreMsg>,
+    inboxes: Vec<Sender<CoreMsg>>,
+    wake_rx: UnixStream,
+    wake_txs: Vec<UnixStream>,
+    next_session: Arc<AtomicU64>,
+    ready_tx: Sender<(usize, u64, Vec<RecoveryInfo>)>,
+    go_rx: Receiver<()>,
+}
+
+fn run_core_loop(ctx: CoreCtx) {
+    if ctx.cfg.pin_cpus {
+        par::pin_current_thread(ctx.me);
+    }
+    // One reduction pool per loop, shared by every session housed here.
+    let pool: Option<Arc<WorkerPool>> =
+        (ctx.cfg.par.threads > 1).then(|| Arc::new(WorkerPool::new(ctx.cfg.par.threads)));
+    // Build (and, with durability, recover) the owned shards before the
+    // acceptor starts: no request may observe a half-recovered service.
+    let mut shards: HashMap<usize, ShardCore<Ticket>> = HashMap::new();
+    for shard in (ctx.me..ctx.shards_total).step_by(ctx.loops.max(1)) {
+        shards.insert(
+            shard,
+            ShardCore::new(
+                shard,
+                ctx.cfg.max_sessions_per_shard,
+                ctx.cfg.max_dim,
+                ctx.cfg.par,
+                pool.clone(),
+                ctx.cfg.durability.as_ref(),
+            ),
+        );
+    }
+    let mut max_next = 0u64;
+    let mut infos = Vec::new();
+    for core in shards.values() {
+        if let Some(info) = core.recovery_info() {
+            max_next = max_next.max(info.next_session);
+            infos.push(info);
+        }
+    }
+    let _ = ctx.ready_tx.send((ctx.me, max_next, infos));
+    // Wait for bind to seed the shared session counter from every
+    // loop's recovery high-water mark.
+    if ctx.go_rx.recv().is_err() {
+        return;
+    }
+
+    let mut env = LoopEnv {
+        me: ctx.me,
+        loops: ctx.loops,
+        shards_total: ctx.shards_total,
+        cfg: ctx.cfg,
+        shards,
+        deliveries: Vec::new(),
+        inboxes: ctx.inboxes,
+        wake_txs: ctx.wake_txs,
+        counters: ctx.counters,
+        loop_counters: ctx.loop_counters,
+        next_session: ctx.next_session,
+        cross_outstanding: 0,
+    };
+    let mut conns: Vec<CConn> = Vec::new();
+    let mut fds: Vec<sys::PollFd> = Vec::new();
+    let mut wake_rx = ctx.wake_rx;
+    loop {
+        if ctx.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let now = Instant::now();
+        // Drain the inbox: adopted connections, forwarded work, and
+        // completions from other loops.
+        while let Ok(msg) = ctx.inbox.try_recv() {
+            match msg {
+                CoreMsg::Accept(stream) => {
+                    let id = NEXT_CONN.fetch_add(1, Ordering::Relaxed);
+                    conns.push(CConn::new(id, stream, env.me, now));
+                }
+                CoreMsg::Migrate(c) => {
+                    env.lc().migrations_in.fetch_add(1, Ordering::Relaxed);
+                    conns.push(*c);
+                }
+                CoreMsg::Exec { ticket, job } => env.run_job(ticket, job),
+                CoreMsg::Done { conn, seq, resp } => {
+                    env.cross_outstanding = env.cross_outstanding.saturating_sub(1);
+                    env.deliveries.push((conn, seq, resp));
+                }
+                CoreMsg::StatsAsk { ticket } => {
+                    let rows = env.own_rows();
+                    let me = env.me;
+                    env.send_to(
+                        ticket.home,
+                        CoreMsg::StatsReply {
+                            conn: ticket.conn,
+                            seq: ticket.seq,
+                            from: me,
+                            rows,
+                        },
+                    );
+                }
+                CoreMsg::StatsReply {
+                    conn,
+                    seq,
+                    from,
+                    rows,
+                } => {
+                    env.cross_outstanding = env.cross_outstanding.saturating_sub(1);
+                    if let Some(c) = conns.iter_mut().find(|c| c.id == conn) {
+                        if let Some((_, slot)) = c.pending.iter_mut().find(|(s, _)| *s == seq) {
+                            if let Slot::Stats(got) = slot {
+                                got[from] = Some(rows);
+                                if got.iter().all(Option::is_some) {
+                                    let rows = std::mem::take(got);
+                                    *slot = Slot::Ready(env.finish_stats(rows));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        apply_deliveries(&mut env, &mut conns);
+        // Complete what finished, then flush.
+        for c in conns.iter_mut() {
+            c.pump_replies(&env.counters, &env.loop_counters[env.me]);
+            if c.backlog() > 0 {
+                c.flush(&env.counters);
+            }
+        }
+        // Hand quiescent connections to their affine loop: with no
+        // pending replies and no backlog, nothing in flight can target
+        // this loop, so the fd (and every buffer) moves wholesale.
+        let mut i = 0;
+        while i < conns.len() {
+            let c = &conns[i];
+            if c.affine != env.me
+                && !c.dead
+                && !c.peer_closed
+                && c.pending.is_empty()
+                && c.backlog() == 0
+            {
+                let c = conns.swap_remove(i);
+                let target = c.affine;
+                env.send_to(target, CoreMsg::Migrate(Box::new(c)));
+            } else {
+                i += 1;
+            }
+        }
+        // Reap and drop in one pass.
+        conns.retain(|c| {
+            let drained = c.pending.is_empty() && c.backlog() == 0;
+            let mut reap = c.dead || (c.peer_closed && drained);
+            if !reap {
+                if let Some(t) = c.partial_since {
+                    if now - t >= env.cfg.partial_frame_deadline {
+                        env.counters.reaped_partial.fetch_add(1, Ordering::Relaxed);
+                        reap = true;
+                    }
+                }
+            }
+            if !reap && c.pending.is_empty() && now - c.last_activity >= env.cfg.idle_timeout {
+                env.counters.reaped_idle.fetch_add(1, Ordering::Relaxed);
+                reap = true;
+            }
+            if reap {
+                env.counters.closed.fetch_add(1, Ordering::Relaxed);
+            }
+            !reap
+        });
+        env.lc().conns.store(conns.len() as u64, Ordering::Relaxed);
+        // Register interest: the self-pipe, then one slot per conn.
+        fds.clear();
+        fds.push(sys::PollFd {
+            fd: wake_rx.as_raw_fd(),
+            events: sys::POLLIN,
+            revents: 0,
+        });
+        for c in &conns {
+            let mut events = 0;
+            if !c.peer_closed && c.backlog() < env.cfg.max_write_buf {
+                events |= sys::POLLIN;
+            }
+            if c.backlog() > 0 {
+                events |= sys::POLLOUT;
+            }
+            fds.push(sys::PollFd {
+                fd: c.stream.as_raw_fd(),
+                events,
+                revents: 0,
+            });
+        }
+        // No degraded tick: completions arrive as self-pipe wakeups, so
+        // the only finite timeouts are reap deadlines.
+        let timeout = reap_timeout_ms(&conns, &env.cfg, now);
+        let Ok(ready) = sys::poll_fds(&mut fds, timeout) else {
+            break;
+        };
+        if ready == 0 && env.cross_outstanding > 0 {
+            // A timeout fired while cross-core work was in flight; in
+            // steady state this never happens (the wake pipe is an fd).
+            env.lc().busy_poll_ticks.fetch_add(1, Ordering::Relaxed);
+        }
+        // Drain wake bytes (coalesced; one byte per notification).
+        if fds[0].revents != 0 {
+            env.lc().wakeups.fetch_add(1, Ordering::Relaxed);
+            let mut sink = [0u8; 64];
+            while matches!(wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+        }
+        // Serve readable/writable sockets.
+        for (i, c) in conns.iter_mut().enumerate() {
+            let re = fds[1 + i].revents;
+            if re == 0 {
+                continue;
+            }
+            if re & sys::POLLNVAL != 0 {
+                c.dead = true;
+                continue;
+            }
+            if re & (sys::POLLIN | sys::POLLHUP | sys::POLLERR) != 0 {
+                match c.rbuf.fill_from(&mut c.stream) {
+                    ReadOutcome::Progress(n, eof) => {
+                        if n > 0 {
+                            env.counters.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                            c.last_activity = Instant::now();
+                            process_conn_frames(&mut env, c);
+                        }
+                        if eof {
+                            c.peer_closed = true;
+                        }
+                        if n == 0 && !eof && re & sys::POLLERR != 0 {
+                            c.dead = true;
+                        }
+                    }
+                    ReadOutcome::Broken => c.dead = true,
+                }
+            }
+        }
+        // Eager turnaround: inline executions (the common, same-core
+        // case) completed during the reads above — answer them in the
+        // same iteration, no hand-off, no tick.
+        apply_deliveries(&mut env, &mut conns);
+        for c in conns.iter_mut() {
+            c.pump_replies(&env.counters, &env.loop_counters[env.me]);
+            if c.backlog() > 0 {
+                c.flush(&env.counters);
+            }
+        }
+    }
+    // Teardown: shutdown durability per owned shard (final checkpoint
+    // or WAL sync), then drop the connections with the loop.
+    for core in env.shards.values_mut() {
+        core.finish();
+    }
+    let n = conns.len() as u64;
+    env.counters.closed.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Global connection-id source — ids must be unique across loops
+/// because connections migrate between them.
+static NEXT_CONN: AtomicU64 = AtomicU64::new(0);
+
+/// A running thread-per-core fused runtime: acceptor + N pinned loops,
+/// each owning its shards outright. Self-contained — there is no
+/// separate [`crate::Service`] behind it, because the shards *are* the
+/// loops.
+///
+/// Construction: [`CoreRuntime::bind`]. Dropping the handle stops the
+/// acceptor and joins every loop (open connections drop; durable shards
+/// run their shutdown checkpoint/sync first).
+pub struct CoreRuntime {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    loop_counters: Arc<Vec<LoopCounters>>,
+    recovery: Vec<RecoveryInfo>,
+    accept_thread: Option<JoinHandle<()>>,
+    loop_threads: Vec<JoinHandle<()>>,
+    wakes: Vec<UnixStream>,
+}
+
+impl CoreRuntime {
+    /// Binds `addr` (port 0 for ephemeral), builds and recovers every
+    /// shard on its owning loop, seeds the shared session counter from
+    /// the recovery high-water marks, and only then starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/pipe/spawn failures.
+    pub fn bind(addr: &str, cfg: CoreConfig) -> io::Result<CoreRuntime> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let loops = cfg.resolved_loops();
+        let shards_total = cfg.resolved_shards();
+        if let Some(d) = &cfg.durability {
+            deltaos_store::init_dir(&d.dir, shards_total as u32)
+                .unwrap_or_else(|e| panic!("store init failed: {e}"));
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let loop_counters: Arc<Vec<LoopCounters>> =
+            Arc::new((0..loops).map(|_| LoopCounters::default()).collect());
+        let next_session = Arc::new(AtomicU64::new(0));
+
+        // Wire the mesh: every loop can reach every inbox and wake pipe.
+        let mut inboxes = Vec::with_capacity(loops);
+        let mut inbox_rxs = Vec::with_capacity(loops);
+        let mut wake_rxs = Vec::with_capacity(loops);
+        let mut wake_master = Vec::with_capacity(loops);
+        for _ in 0..loops {
+            let (tx, rx) = mpsc::channel();
+            inboxes.push(tx);
+            inbox_rxs.push(rx);
+            let (rx_end, tx_end) = UnixStream::pair()?;
+            rx_end.set_nonblocking(true)?;
+            tx_end.set_nonblocking(true)?;
+            wake_rxs.push(rx_end);
+            wake_master.push(tx_end);
+        }
+
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let mut go_txs = Vec::with_capacity(loops);
+        let mut loop_threads = Vec::with_capacity(loops);
+        for (me, (inbox, wake_rx)) in inbox_rxs.into_iter().zip(wake_rxs).enumerate() {
+            let (go_tx, go_rx) = mpsc::channel();
+            go_txs.push(go_tx);
+            let mut wake_txs = Vec::with_capacity(loops);
+            for w in &wake_master {
+                wake_txs.push(w.try_clone()?);
+            }
+            let ctx = CoreCtx {
+                me,
+                cfg: cfg.clone(),
+                loops,
+                shards_total,
+                stop: Arc::clone(&stop),
+                counters: Arc::clone(&counters),
+                loop_counters: Arc::clone(&loop_counters),
+                inbox,
+                inboxes: inboxes.clone(),
+                wake_rx,
+                wake_txs,
+                next_session: Arc::clone(&next_session),
+                ready_tx: ready_tx.clone(),
+                go_rx,
+            };
+            loop_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("deltaos-core-{me}"))
+                    .spawn(move || run_core_loop(ctx))?,
+            );
+        }
+        drop(ready_tx);
+
+        // Recovery handshake: collect every loop's high-water mark
+        // before any of them serves a byte.
+        let mut recovery = Vec::new();
+        let mut max_next = 0u64;
+        for _ in 0..loops {
+            let Ok((_, loop_max, infos)) = ready_rx.recv() else {
+                break;
+            };
+            max_next = max_next.max(loop_max);
+            recovery.extend(infos);
+        }
+        recovery.sort_by_key(|r| r.shard);
+        next_session.store(max_next, Ordering::Relaxed);
+        for go in &go_txs {
+            let _ = go.send(());
+        }
+
+        // Acceptor: round-robin hand-off; migration rebalances after.
+        let accept_stop = Arc::clone(&stop);
+        let accept_counters = Arc::clone(&counters);
+        let accept_inboxes = inboxes.clone();
+        let mut accept_wakes = Vec::with_capacity(loops);
+        for w in &wake_master {
+            accept_wakes.push(w.try_clone()?);
+        }
+        let accept_thread = std::thread::Builder::new()
+            .name("deltaos-core-accept".into())
+            .spawn(move || {
+                let mut next = 0usize;
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    accept_counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    if accept_inboxes[next].send(CoreMsg::Accept(stream)).is_ok() {
+                        let _ = accept_wakes[next].write(&[1]);
+                    }
+                    next = (next + 1) % accept_inboxes.len();
+                }
+            })?;
+
+        Ok(CoreRuntime {
+            addr: local,
+            stop,
+            counters,
+            loop_counters,
+            recovery,
+            accept_thread: Some(accept_thread),
+            loop_threads,
+            wakes: wake_master,
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the front-end transport counters.
+    pub fn frontend_stats(&self) -> FrontendStats {
+        self.counters.snapshot()
+    }
+
+    /// Snapshot of the per-loop counters, loop order.
+    pub fn core_stats(&self) -> Vec<CoreStats> {
+        core_stats_snapshot(&self.loop_counters)
+    }
+
+    /// The per-loop counters as flat `service.core<N>.*` keys (plus the
+    /// summed `service.cross_core_forwards`), for dashboards that speak
+    /// [`Stats`] rather than the wire structs.
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        let mut forwards = 0u64;
+        for c in self.core_stats() {
+            let n = c.core;
+            s.add(&format!("service.core{n}.conns"), c.conns);
+            s.add(&format!("service.core{n}.frames_in"), c.frames_in);
+            s.add(&format!("service.core{n}.replies_out"), c.replies_out);
+            s.add(&format!("service.core{n}.inline_ops"), c.inline_ops);
+            s.add(
+                &format!("service.core{n}.cross_core_forwards"),
+                c.cross_core_forwards,
+            );
+            s.add(&format!("service.core{n}.migrations_in"), c.migrations_in);
+            s.add(&format!("service.core{n}.wakeups"), c.wakeups);
+            s.add(
+                &format!("service.core{n}.busy_poll_ticks"),
+                c.busy_poll_ticks,
+            );
+            forwards += c.cross_core_forwards;
+        }
+        s.add("service.cross_core_forwards", forwards);
+        s
+    }
+
+    /// What recovery found per durable shard (shard order; empty
+    /// without durability).
+    pub fn recovery(&self) -> &[RecoveryInfo] {
+        &self.recovery
+    }
+
+    /// Stops accepting, wakes every loop, and joins all threads. Open
+    /// connections drop; durable shards run their shutdown checkpoint
+    /// or WAL sync before the loop exits.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for w in &mut self.wakes {
+            let _ = w.write(&[1]);
+        }
+        // The acceptor blocks in `incoming()`; poke it awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.loop_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for CoreRuntime {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.halt();
+        }
+    }
+}
+
+impl std::fmt::Debug for CoreRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreRuntime")
+            .field("addr", &self.addr)
+            .field("loops", &self.loop_threads.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_sizing_stays_in_bounds() {
+        let auto = CoreConfig::auto_sized();
+        assert!((1..=8).contains(&auto.resolved_loops()));
+        assert_eq!(auto.resolved_shards(), auto.resolved_loops());
+        let fixed = CoreConfig {
+            loops: 3,
+            shards: 7,
+            ..CoreConfig::default()
+        };
+        assert_eq!(fixed.resolved_loops(), 3);
+        assert_eq!(fixed.resolved_shards(), 7);
+    }
+
+    #[test]
+    fn ticket_routing_is_stable() {
+        // shard = session % shards, owner = shard % loops: the whole
+        // routing contract in one place.
+        let (loops, shards) = (3usize, 7usize);
+        for sid in 0..100u64 {
+            let shard = (sid % shards as u64) as usize;
+            let owner = shard % loops;
+            assert!(owner < loops);
+            assert_eq!(shard, (sid % shards as u64) as usize);
+        }
+    }
+}

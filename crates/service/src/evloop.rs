@@ -66,7 +66,7 @@ use crate::tcp::stats_rows;
 /// Raw `poll(2)` binding — the only non-std surface this crate touches,
 /// and still libc-free: std already links the platform C library, so a
 /// direct `extern "C"` declaration suffices.
-mod sys {
+pub(crate) mod sys {
     use std::io;
     use std::os::raw::{c_int, c_short};
 
@@ -111,7 +111,7 @@ mod sys {
 }
 
 /// Bytes asked of the socket per `read(2)` when filling a frame buffer.
-const READ_CHUNK: usize = 64 * 1024;
+pub(crate) const READ_CHUNK: usize = 64 * 1024;
 
 /// Event-loop front-end construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,23 +166,23 @@ impl EvConfig {
 
 /// Monotonic front-end counters, shared by the acceptor and every loop.
 #[derive(Default)]
-struct Counters {
-    accepted: AtomicU64,
-    closed: AtomicU64,
-    reaped_idle: AtomicU64,
-    reaped_partial: AtomicU64,
-    desynced: AtomicU64,
-    frames_in: AtomicU64,
-    replies_out: AtomicU64,
-    busy_replies: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) accepted: AtomicU64,
+    pub(crate) closed: AtomicU64,
+    pub(crate) reaped_idle: AtomicU64,
+    pub(crate) reaped_partial: AtomicU64,
+    pub(crate) desynced: AtomicU64,
+    pub(crate) frames_in: AtomicU64,
+    pub(crate) replies_out: AtomicU64,
+    pub(crate) busy_replies: AtomicU64,
+    pub(crate) bytes_in: AtomicU64,
+    pub(crate) bytes_out: AtomicU64,
 }
 
 impl Counters {
     /// Snapshot as the wire-visible [`FrontendStats`] (also served
     /// in-band through the `Stats` response).
-    fn snapshot(&self) -> FrontendStats {
+    pub(crate) fn snapshot(&self) -> FrontendStats {
         let accepted = self.accepted.load(Ordering::Relaxed);
         let closed = self.closed.load(Ordering::Relaxed);
         FrontendStats {
@@ -213,13 +213,13 @@ impl Counters {
 ///
 /// [`compact`]: FrameBuf::compact
 #[derive(Debug, Default)]
-struct FrameBuf {
+pub(crate) struct FrameBuf {
     buf: Vec<u8>,
     pos: usize,
 }
 
 /// What one readable event yielded.
-enum ReadOutcome {
+pub(crate) enum ReadOutcome {
     /// Bytes appended (possibly 0 if the socket was already drained);
     /// `true` when the peer also half-closed.
     Progress(usize, bool),
@@ -237,7 +237,7 @@ impl FrameBuf {
 
     /// Reads from `stream` until it would block (or EOF/error),
     /// appending to the tail.
-    fn fill_from(&mut self, stream: &mut TcpStream) -> ReadOutcome {
+    pub(crate) fn fill_from(&mut self, stream: &mut TcpStream) -> ReadOutcome {
         let mut total = 0usize;
         loop {
             let old = self.buf.len();
@@ -273,7 +273,7 @@ impl FrameBuf {
     ///
     /// [`WireError::Oversized`] when the length prefix exceeds
     /// [`MAX_FRAME`] — framing is lost and the stream must be dropped.
-    fn next_frame(&mut self) -> Result<Option<(usize, usize)>, WireError> {
+    pub(crate) fn next_frame(&mut self) -> Result<Option<(usize, usize)>, WireError> {
         let avail = self.buf.len() - self.pos;
         if avail < 4 {
             return Ok(None);
@@ -292,13 +292,13 @@ impl FrameBuf {
     }
 
     /// The payload bytes of a range returned by [`FrameBuf::next_frame`].
-    fn slice(&self, (a, b): (usize, usize)) -> &[u8] {
+    pub(crate) fn slice(&self, (a, b): (usize, usize)) -> &[u8] {
         &self.buf[a..b]
     }
 
     /// Drops the consumed prefix so the buffer only holds the (at most
     /// one) partial frame at its head.
-    fn compact(&mut self) {
+    pub(crate) fn compact(&mut self) {
         if self.pos > 0 {
             self.buf.copy_within(self.pos.., 0);
             let keep = self.buf.len() - self.pos;
@@ -309,7 +309,7 @@ impl FrameBuf {
 
     /// `true` while an incomplete frame (or stray bytes) sits in the
     /// buffer — the state the slow-loris deadline polices.
-    fn has_partial(&self) -> bool {
+    pub(crate) fn has_partial(&self) -> bool {
         self.pos < self.buf.len()
     }
 }
@@ -350,7 +350,7 @@ struct Conn {
 }
 
 /// Maps a synchronous service error to its wire response.
-fn error_response(e: ServiceError) -> Response {
+pub(crate) fn error_response(e: ServiceError) -> Response {
     match e {
         ServiceError::Busy => Response::Busy,
         other => Response::Error(other.into()),
@@ -550,6 +550,7 @@ impl Conn {
                         Some(Response::Stats {
                             shards: stats_rows(&per_shard),
                             frontend: Some(counters.snapshot()),
+                            cores: Vec::new(),
                         })
                     } else {
                         None

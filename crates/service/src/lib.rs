@@ -24,6 +24,11 @@
 //!   set of non-blocking loop threads with zero-copy framing, request
 //!   pipelining and bounded write queues, replacing thread-per-connection
 //!   at scale.
+//! * [`core_runtime`] (unix) — the shared-nothing thread-per-core fused
+//!   runtime: N pinned loops owning their shards outright and executing
+//!   them inline, with connection migration (fd hand-off) to the owning
+//!   loop and self-pipe-woken cross-core forwarding — no request queue,
+//!   no reply polling, no poll tick.
 //!
 //! ```
 //! use deltaos_service::{Event, Service, ServiceConfig};
@@ -45,6 +50,8 @@
 //! ```
 
 pub mod broker;
+#[cfg(unix)]
+pub mod core_runtime;
 pub mod durable;
 #[cfg(unix)]
 pub mod evloop;
@@ -54,14 +61,16 @@ pub mod shard;
 pub mod tcp;
 
 pub use broker::{Broker, BrokerCounters};
+#[cfg(unix)]
+pub use core_runtime::{CoreConfig, CoreRuntime};
 pub use deltaos_core::par::{ParConfig, WorkerPool};
 pub use deltaos_store::FsyncPolicy;
 pub use durable::{DurabilityConfig, RecoveryInfo};
 #[cfg(unix)]
 pub use evloop::{EvConfig, EvServer};
 pub use proto::{
-    AvoidanceMode, ErrorCode, Event, EventResult, FrontendStats, RejectReason, Request, Response,
-    SessionId, ShardStats, WireError, MAX_BATCH, MAX_FRAME,
+    AvoidanceMode, CoreStats, ErrorCode, Event, EventResult, FrontendStats, RejectReason, Request,
+    Response, SessionId, ShardStats, WireError, MAX_BATCH, MAX_FRAME,
 };
 pub use session::{BatchTally, Session};
 pub use shard::{Client, Service, ServiceConfig, ServiceError};

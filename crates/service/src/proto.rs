@@ -338,6 +338,35 @@ impl FrontendStats {
     }
 }
 
+/// Per-loop counters of the fused thread-per-core runtime
+/// (`service::core_runtime`), serialized in a [`Response::Stats`]. One
+/// row per pinned loop; front-ends without per-core loops (the worker
+/// pool behind `TcpServer`/`EvServer`) report an empty list.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Loop index (0-based).
+    pub core: u16,
+    /// Connections currently housed on this loop (gauge).
+    pub conns: u64,
+    /// Frames decoded and dispatched by this loop.
+    pub frames_in: u64,
+    /// Replies written back by this loop.
+    pub replies_out: u64,
+    /// Requests executed inline on the owning loop — no cross-thread
+    /// hand-off of any kind.
+    pub inline_ops: u64,
+    /// Requests forwarded to another loop's inbox because the session's
+    /// shard lives there and the connection could not (yet) migrate.
+    pub cross_core_forwards: u64,
+    /// Connections adopted from another loop (fd hand-off at open).
+    pub migrations_in: u64,
+    /// Self-pipe wakeups drained (cross-core notifications).
+    pub wakeups: u64,
+    /// Poll returns with zero ready fds while cross-core work was in
+    /// flight on this loop — 0 in steady state (no degraded ticks).
+    pub busy_poll_ticks: u64,
+}
+
 /// A service → client message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -357,6 +386,9 @@ pub enum Response {
         shards: Vec<ShardStats>,
         /// Front-end counters; `None` from front-ends without them.
         frontend: Option<FrontendStats>,
+        /// Per-loop counters of the thread-per-core runtime; empty from
+        /// front-ends without per-core loops.
+        cores: Vec<CoreStats>,
     },
     /// Opaque durable image of one session.
     Snapshot(Vec<u8>),
@@ -744,7 +776,11 @@ pub fn encode_response_into(resp: &Response, out: &mut Vec<u8>) {
         }
         Response::Closed => out.push(0x83),
         Response::Busy => out.push(0x84),
-        Response::Stats { shards, frontend } => {
+        Response::Stats {
+            shards,
+            frontend,
+            cores,
+        } => {
             out.push(0x85);
             put_u16(out, shards.len() as u16);
             for s in shards {
@@ -771,6 +807,18 @@ pub fn encode_response_into(resp: &Response, out: &mut Vec<u8>) {
                         put_u64(out, v);
                     }
                 }
+            }
+            put_u16(out, cores.len() as u16);
+            for c in cores {
+                put_u16(out, c.core);
+                put_u64(out, c.conns);
+                put_u64(out, c.frames_in);
+                put_u64(out, c.replies_out);
+                put_u64(out, c.inline_ops);
+                put_u64(out, c.cross_core_forwards);
+                put_u64(out, c.migrations_in);
+                put_u64(out, c.wakeups);
+                put_u64(out, c.busy_poll_ticks);
             }
         }
         Response::Snapshot(bytes) => {
@@ -1206,7 +1254,31 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                     })
                 }
             };
-            Response::Stats { shards, frontend }
+            let core_count = r.u16()?;
+            if core_count as usize > 1024 {
+                return Err(WireError::CountTooLarge {
+                    count: u32::from(core_count),
+                });
+            }
+            let mut cores = Vec::with_capacity(core_count as usize);
+            for _ in 0..core_count {
+                cores.push(CoreStats {
+                    core: r.u16()?,
+                    conns: r.u64()?,
+                    frames_in: r.u64()?,
+                    replies_out: r.u64()?,
+                    inline_ops: r.u64()?,
+                    cross_core_forwards: r.u64()?,
+                    migrations_in: r.u64()?,
+                    wakeups: r.u64()?,
+                    busy_poll_ticks: r.u64()?,
+                });
+            }
+            Response::Stats {
+                shards,
+                frontend,
+                cores,
+            }
         }
         0x86 => {
             let code = r.u8()?;
@@ -1510,6 +1582,7 @@ mod tests {
         roundtrip_response(Response::Stats {
             shards: rows.clone(),
             frontend: None,
+            cores: Vec::new(),
         });
         roundtrip_response(Response::Stats {
             shards: rows,
@@ -1526,6 +1599,30 @@ mod tests {
                 bytes_in: 12_000,
                 bytes_out: 9_000,
             }),
+            cores: vec![
+                CoreStats {
+                    core: 0,
+                    conns: 4,
+                    frames_in: 250,
+                    replies_out: 249,
+                    inline_ops: 200,
+                    cross_core_forwards: 49,
+                    migrations_in: 2,
+                    wakeups: 51,
+                    busy_poll_ticks: 0,
+                },
+                CoreStats {
+                    core: 1,
+                    conns: 3,
+                    frames_in: 250,
+                    replies_out: 250,
+                    inline_ops: 220,
+                    cross_core_forwards: 30,
+                    migrations_in: 1,
+                    wakeups: 33,
+                    busy_poll_ticks: 0,
+                },
+            ],
         });
         roundtrip_response(Response::Snapshot(vec![1, 2, 3]));
         roundtrip_response(Response::Error(ErrorCode::BatchTooLarge));

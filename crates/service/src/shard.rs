@@ -236,7 +236,7 @@ enum Job {
     /// edge — that is the blocking primitive clients see.
     Broker {
         session: SessionId,
-        op: BrokerJob,
+        op: BrokerCmd,
         reply: Sender<Result<Response, ServiceError>>,
     },
     /// Shutdown marker: enqueued behind all accepted work by
@@ -244,8 +244,9 @@ enum Job {
     Shutdown,
 }
 
-/// The avoidance commands multiplexed through [`Job::Broker`].
-enum BrokerJob {
+/// The avoidance commands multiplexed through [`Job::Broker`] and
+/// executed inline by the thread-per-core runtime.
+pub(crate) enum BrokerCmd {
     SetPriority { p: ProcId, priority: Priority },
     Acquire { p: ProcId, q: ResId, wait: bool },
     Release { p: ProcId, q: ResId },
@@ -253,11 +254,13 @@ enum BrokerJob {
 }
 
 /// A blocked `Acquire`'s parked reply slot, filled by the grant a later
-/// `Release`/`GiveUpAck` fixes.
-struct Waiter {
+/// `Release`/`GiveUpAck` fixes. The slot type is the front-end's choice:
+/// an mpsc sender for the channel-fed worker pool, a connection ticket
+/// for the fused thread-per-core runtime.
+struct Waiter<W> {
     p: ProcId,
     q: ResId,
-    reply: Sender<Result<Response, ServiceError>>,
+    slot: W,
 }
 
 struct Shared {
@@ -691,7 +694,7 @@ impl Client {
     fn broker_op(
         &self,
         session: SessionId,
-        op: BrokerJob,
+        op: BrokerCmd,
     ) -> Result<Receiver<Result<Response, ServiceError>>, ServiceError> {
         let (reply, rx) = mpsc::channel();
         self.enqueue(self.shard_of(session), Job::Broker { session, op, reply })?;
@@ -727,7 +730,7 @@ impl Client {
         p: ProcId,
         priority: Priority,
     ) -> Result<Receiver<Result<Response, ServiceError>>, ServiceError> {
-        self.broker_op(session, BrokerJob::SetPriority { p, priority })
+        self.broker_op(session, BrokerCmd::SetPriority { p, priority })
     }
 
     /// Runs the avoidance request command for `(p, q)`, blocking for the
@@ -770,7 +773,7 @@ impl Client {
         q: ResId,
         wait: bool,
     ) -> Result<Receiver<Result<Response, ServiceError>>, ServiceError> {
-        self.broker_op(session, BrokerJob::Acquire { p, q, wait })
+        self.broker_op(session, BrokerCmd::Acquire { p, q, wait })
     }
 
     /// Runs the avoidance release command for `(p, q)`, blocking for the
@@ -803,7 +806,7 @@ impl Client {
         p: ProcId,
         q: ResId,
     ) -> Result<Receiver<Result<Response, ServiceError>>, ServiceError> {
-        self.broker_op(session, BrokerJob::Release { p, q })
+        self.broker_op(session, BrokerCmd::Release { p, q })
     }
 
     /// Honors every outstanding give-up ask targeting `p` (releasing the
@@ -829,7 +832,7 @@ impl Client {
         session: SessionId,
         p: ProcId,
     ) -> Result<Receiver<Result<Response, ServiceError>>, ServiceError> {
-        self.broker_op(session, BrokerJob::GiveUpAck { p })
+        self.broker_op(session, BrokerCmd::GiveUpAck { p })
     }
 
     /// Merged counters across all shards.
@@ -908,6 +911,582 @@ impl WorkerCounters {
     }
 }
 
+/// Outcome of one [`ShardCore::broker`] command: the command's own reply
+/// with its slot (absent when the slot parked in the waiter table), plus
+/// any previously parked slots the command's grants just woke — each of
+/// those answers `Granted { cycles: 0, probes: 0 }`.
+pub(crate) struct BrokerOutcome<W> {
+    pub reply: Option<(W, Result<Response, ServiceError>)>,
+    pub woken: Vec<W>,
+}
+
+/// One shard's deadlock unit, front-end agnostic: the session and broker
+/// tables, the parked-waiter table, write-ahead durability and the
+/// per-shard counters — everything `session_id % shards` pins to one
+/// owner. The channel-fed worker pool drives it from [`run_worker`] with
+/// `W = Sender<..>`; the fused thread-per-core runtime
+/// ([`crate::core_runtime`]) runs it inline on the owning loop with a
+/// connection-ticket slot type. Reply delivery is the *caller's* job —
+/// the core only decides, parks and wakes.
+pub(crate) struct ShardCore<W> {
+    shard_id: usize,
+    max_sessions: usize,
+    max_dim: u16,
+    par: ParConfig,
+    pool: Option<Arc<WorkerPool>>,
+    sessions: HashMap<u64, Session>,
+    brokers: HashMap<u64, Broker>,
+    /// Blocked Acquire reply slots per broker session. Reconstructed
+    /// waiting state after recovery lives in the avoiders; slots reappear
+    /// as reconnecting clients re-issue (re-attach) their acquires.
+    waiters: HashMap<u64, Vec<Waiter<W>>>,
+    counters: WorkerCounters,
+    next_session: u64,
+    persist: Option<durable::ShardPersist>,
+}
+
+impl<W> ShardCore<W> {
+    /// Builds the shard's state, recovering checkpoint + WAL first when
+    /// durability is configured (fail-stop on storage errors).
+    pub(crate) fn new(
+        shard_id: usize,
+        max_sessions: usize,
+        max_dim: u16,
+        par: ParConfig,
+        pool: Option<Arc<WorkerPool>>,
+        durability: Option<&DurabilityConfig>,
+    ) -> ShardCore<W> {
+        match durability {
+            None => ShardCore {
+                shard_id,
+                max_sessions,
+                max_dim,
+                par,
+                pool,
+                sessions: HashMap::new(),
+                brokers: HashMap::new(),
+                waiters: HashMap::new(),
+                counters: WorkerCounters::default(),
+                next_session: 0,
+                persist: None,
+            },
+            Some(d) => {
+                let recovered = durable::open_shard(d, shard_id, pool.clone(), par);
+                let mut persist = recovered.persist;
+                persist.info.next_session = recovered.next_session;
+                ShardCore {
+                    shard_id,
+                    max_sessions,
+                    max_dim,
+                    par,
+                    pool,
+                    sessions: recovered.sessions,
+                    brokers: recovered.brokers,
+                    waiters: HashMap::new(),
+                    counters: WorkerCounters::from_store(recovered.counters),
+                    next_session: recovered.next_session,
+                    persist: Some(persist),
+                }
+            }
+        }
+    }
+
+    /// What recovery found, when durability is on.
+    pub(crate) fn recovery_info(&self) -> Option<RecoveryInfo> {
+        self.persist.as_ref().map(|p| p.info)
+    }
+
+    fn live(&self) -> usize {
+        self.sessions.len() + self.brokers.len()
+    }
+
+    /// Opens a plain detection session under `session`.
+    pub(crate) fn open(
+        &mut self,
+        session: SessionId,
+        resources: u16,
+        processes: u16,
+    ) -> Result<SessionId, ServiceError> {
+        if self.live() >= self.max_sessions {
+            return Err(ServiceError::TooManySessions);
+        }
+        // Write-ahead: the open is durable before it exists.
+        if let Some(p) = self.persist.as_mut() {
+            p.log(&WalOp::Open {
+                session: session.0,
+                resources,
+                processes,
+            });
+        }
+        self.sessions.insert(
+            session.0,
+            Session::with_parallel(resources, processes, self.pool.clone(), self.par),
+        );
+        self.counters.sessions_opened += 1;
+        self.next_session = self.next_session.max(session.0 + 1);
+        Ok(session)
+    }
+
+    /// Opens an avoidance session under `session` (mode `Off` is
+    /// literally a plain open: a probe-only session, logged as one,
+    /// indistinguishable from it).
+    pub(crate) fn open_avoid(
+        &mut self,
+        session: SessionId,
+        resources: u16,
+        processes: u16,
+        mode: AvoidanceMode,
+    ) -> Result<SessionId, ServiceError> {
+        if mode == AvoidanceMode::Off {
+            return self.open(session, resources, processes);
+        }
+        if self.live() >= self.max_sessions {
+            return Err(ServiceError::TooManySessions);
+        }
+        let metered = mode == AvoidanceMode::Metered;
+        if let Some(p) = self.persist.as_mut() {
+            p.log(&WalOp::Broker {
+                session: session.0,
+                op: BrokerWalOp::Open {
+                    resources,
+                    processes,
+                    metered,
+                },
+            });
+        }
+        self.brokers.insert(
+            session.0,
+            Broker::new(resources, processes, metered, self.pool.clone(), self.par),
+        );
+        self.counters.sessions_opened += 1;
+        self.next_session = self.next_session.max(session.0 + 1);
+        Ok(session)
+    }
+
+    /// Applies a batch to its session, WAL-first.
+    pub(crate) fn batch(
+        &mut self,
+        session: SessionId,
+        events: &[Event],
+    ) -> Result<Vec<EventResult>, ServiceError> {
+        match self.sessions.get_mut(&session.0) {
+            None if self.brokers.contains_key(&session.0) => Err(ServiceError::AvoidanceOn),
+            None => Err(ServiceError::UnknownSession),
+            Some(sess) => {
+                // Every accepted batch is logged — probe-only ones too,
+                // because probes advance the engine counters recovery
+                // must reproduce.
+                if let Some(p) = self.persist.as_mut() {
+                    p.log(&WalOp::Batch {
+                        session: session.0,
+                        events: events.iter().map(durable::wal_event).collect(),
+                    });
+                }
+                self.counters.batches += 1;
+                let mut results = Vec::new();
+                let tally = sess.apply_batch(events, &mut results);
+                self.counters.events += tally.events;
+                self.counters.probes += tally.probes;
+                self.counters.rejected += tally.rejected;
+                Ok(results)
+            }
+        }
+    }
+
+    /// Tears a session down, folding its engine counters into the shard
+    /// totals. Returns any parked waiter slots of a closed broker
+    /// session — they can never be granted now, so the caller must fail
+    /// them with [`ServiceError::UnknownSession`] instead of leaking
+    /// silent hangs.
+    pub(crate) fn close(&mut self, session: SessionId) -> (Result<(), ServiceError>, Vec<W>) {
+        if self.sessions.contains_key(&session.0) {
+            if let Some(p) = self.persist.as_mut() {
+                p.log(&WalOp::Close { session: session.0 });
+            }
+            let sess = self.sessions.remove(&session.0).expect("checked above");
+            let es = sess.engine_stats();
+            self.counters.retired_cache_hits += es.cache_hits;
+            self.counters.retired_reductions += es.reductions;
+            self.counters.retired_dense_reductions += es.dense_reductions;
+            self.counters.retired_sparse_reductions += es.sparse_reductions;
+            self.counters.sessions_closed += 1;
+            (Ok(()), Vec::new())
+        } else if self.brokers.contains_key(&session.0) {
+            if let Some(p) = self.persist.as_mut() {
+                p.log(&WalOp::Close { session: session.0 });
+            }
+            let broker = self.brokers.remove(&session.0).expect("checked above");
+            let es = broker.engine_stats();
+            self.counters.retired_cache_hits += es.cache_hits;
+            self.counters.retired_reductions += es.reductions;
+            self.counters.retired_dense_reductions += es.dense_reductions;
+            self.counters.retired_sparse_reductions += es.sparse_reductions;
+            let bc = broker.counters();
+            self.counters.retired_broker_grants += bc.grants;
+            self.counters.retired_broker_deferrals += bc.deferrals;
+            self.counters.retired_broker_give_ups += bc.give_ups;
+            self.counters.retired_broker_livelocks += broker.livelock_events();
+            self.counters.sessions_closed += 1;
+            let dead = self
+                .waiters
+                .remove(&session.0)
+                .unwrap_or_default()
+                .into_iter()
+                .map(|w| w.slot)
+                .collect();
+            (Ok(()), dead)
+        } else {
+            (Err(ServiceError::UnknownSession), Vec::new())
+        }
+    }
+
+    /// Serializes a live session (plain or broker) into a checkpoint
+    /// blob that fits one wire frame.
+    pub(crate) fn snapshot_blob(&self, session: SessionId) -> Result<Vec<u8>, ServiceError> {
+        let snap = match (self.sessions.get(&session.0), self.brokers.get(&session.0)) {
+            (Some(sess), _) => sess.snapshot(session.0),
+            (None, Some(b)) => b.snapshot(session.0),
+            (None, None) => return Err(ServiceError::UnknownSession),
+        };
+        let bytes = snap.encode();
+        // Leave header room so the reply still frames.
+        if bytes.len() > MAX_FRAME - 16 {
+            Err(ServiceError::SnapshotTooLarge)
+        } else {
+            Ok(bytes)
+        }
+    }
+
+    /// Validates, write-aheads and installs a snapshot blob under the
+    /// freshly assigned `session` id. A snapshot with a broker section
+    /// restores as a broker session — the blob decides the kind, so a
+    /// broker snapshotted on one service instance resumes avoiding on
+    /// another.
+    pub(crate) fn restore(
+        &mut self,
+        session: SessionId,
+        snapshot: &[u8],
+    ) -> Result<SessionId, ServiceError> {
+        if self.live() >= self.max_sessions {
+            return Err(ServiceError::TooManySessions);
+        }
+        let mut snap =
+            SessionSnapshot::decode(snapshot).map_err(|_| ServiceError::InvalidSnapshot)?;
+        if snap.resources > self.max_dim || snap.processes > self.max_dim {
+            return Err(ServiceError::BadDimensions);
+        }
+        // The restored session lives under the freshly assigned id, not
+        // whatever id it had in its previous life.
+        snap.session = session.0;
+        if snap.broker.is_some() {
+            let b = Broker::restore_from(&snap, self.pool.clone(), self.par)
+                .map_err(|_| ServiceError::InvalidSnapshot)?;
+            if let Some(p) = self.persist.as_mut() {
+                p.log(&WalOp::Restore {
+                    snapshot: Box::new(snap),
+                });
+            }
+            self.brokers.insert(session.0, b);
+        } else {
+            let sess = Session::restore_from(&snap, self.pool.clone(), self.par)
+                .map_err(|_| ServiceError::InvalidSnapshot)?;
+            if let Some(p) = self.persist.as_mut() {
+                p.log(&WalOp::Restore {
+                    snapshot: Box::new(snap),
+                });
+            }
+            self.sessions.insert(session.0, sess);
+        }
+        self.counters.sessions_opened += 1;
+        self.next_session = self.next_session.max(session.0 + 1);
+        Ok(session)
+    }
+
+    /// Runs one brokered avoidance command: route, re-attach or
+    /// write-ahead + execute, wake granted waiters, reply — or park
+    /// `slot` in the waiter table when a `wait`ing Acquire defers.
+    pub(crate) fn broker(
+        &mut self,
+        session: SessionId,
+        cmd: BrokerCmd,
+        slot: W,
+    ) -> BrokerOutcome<W> {
+        let mut out = BrokerOutcome {
+            reply: None,
+            woken: Vec::new(),
+        };
+        let ShardCore {
+            sessions,
+            brokers,
+            waiters,
+            persist,
+            ..
+        } = self;
+        let Some(broker) = brokers.get_mut(&session.0) else {
+            let e = if sessions.contains_key(&session.0) {
+                ServiceError::AvoidanceOff
+            } else {
+                ServiceError::UnknownSession
+            };
+            out.reply = Some((slot, Err(e)));
+            return out;
+        };
+        if let BrokerCmd::Acquire { p, q, wait } = cmd {
+            // Re-attach: an acquire for an edge already waiting (a client
+            // polling, or reconnecting after its connection died) must not
+            // re-run the command — it just (re)binds a reply slot to the
+            // pending grant. Not logged: no state changes.
+            if broker.is_waiting(p, q) {
+                if wait {
+                    waiters
+                        .entry(session.0)
+                        .or_default()
+                        .push(Waiter { p, q, slot });
+                } else {
+                    out.reply = Some((
+                        slot,
+                        Ok(Response::Deferred {
+                            cycles: 0,
+                            probes: 0,
+                        }),
+                    ));
+                }
+                return out;
+            }
+            // Likewise idempotent: a grant delivered while the client was
+            // away answers `Granted` on the next poll, not a rejection.
+            if p.index() < broker.rag().processes()
+                && q.index() < broker.rag().resources()
+                && broker.rag().owner(q) == Some(p)
+            {
+                out.reply = Some((
+                    slot,
+                    Ok(Response::Granted {
+                        cycles: 0,
+                        probes: 0,
+                    }),
+                ));
+                return out;
+            }
+        }
+        // Write-ahead: the *command* is durable before it runs, not its
+        // decision — replay re-runs it against identical state and
+        // re-derives the identical decision, rejections included.
+        if let Some(persist) = persist.as_mut() {
+            let wal_op = match cmd {
+                BrokerCmd::SetPriority { p, priority } => BrokerWalOp::SetPriority { p, priority },
+                BrokerCmd::Acquire { p, q, .. } => BrokerWalOp::Acquire { p, q },
+                BrokerCmd::Release { p, q } => BrokerWalOp::Release { p, q },
+                BrokerCmd::GiveUpAck { p } => BrokerWalOp::GiveUpAck { p },
+            };
+            persist.log(&WalOp::Broker {
+                session: session.0,
+                op: wal_op,
+            });
+        }
+        match cmd {
+            BrokerCmd::SetPriority { p, priority } => {
+                out.reply = Some((slot, Ok(broker.set_priority(p, priority))));
+            }
+            BrokerCmd::Acquire { p, q, wait } => {
+                let (resp, grants) = broker.acquire(p, q);
+                Self::wake_waiters(waiters, session.0, &grants, &mut out.woken);
+                if wait && matches!(resp, Response::Deferred { .. }) {
+                    // The blocking primitive: the reply slot fills when a
+                    // later command's grant names this edge. An R-dl
+                    // acquire (`GiveUp`) still answers immediately even
+                    // with `wait` set — the client must see the ask to
+                    // act on it.
+                    waiters
+                        .entry(session.0)
+                        .or_default()
+                        .push(Waiter { p, q, slot });
+                } else {
+                    out.reply = Some((slot, Ok(resp)));
+                }
+            }
+            BrokerCmd::Release { p, q } => {
+                let (resp, grants) = broker.release(p, q);
+                Self::wake_waiters(waiters, session.0, &grants, &mut out.woken);
+                out.reply = Some((slot, Ok(resp)));
+            }
+            BrokerCmd::GiveUpAck { p } => {
+                let (resp, grants) = broker.give_up_ack(p);
+                Self::wake_waiters(waiters, session.0, &grants, &mut out.woken);
+                out.reply = Some((slot, Ok(resp)));
+            }
+        }
+        out
+    }
+
+    /// Collects any parked reply slots whose `(p, q)` edges a broker
+    /// command just granted. Grants with no registered slot (the
+    /// command's own immediate grant, or a waiter whose client polls
+    /// instead of blocking) are simply broker state — the next re-attach
+    /// answers `Granted`.
+    fn wake_waiters(
+        waiters: &mut HashMap<u64, Vec<Waiter<W>>>,
+        session: u64,
+        grants: &[(ProcId, ResId)],
+        woken: &mut Vec<W>,
+    ) {
+        if grants.is_empty() {
+            return;
+        }
+        let Some(list) = waiters.get_mut(&session) else {
+            return;
+        };
+        for &(p, q) in grants {
+            while let Some(i) = list.iter().position(|w| w.p == p && w.q == q) {
+                woken.push(list.remove(i).slot);
+            }
+        }
+        if list.is_empty() {
+            waiters.remove(&session);
+        }
+    }
+
+    /// This shard's counters as a [`Stats`] row. `queue_depth_max` is
+    /// the front-end's in-flight high-water mark (the bounded queue's
+    /// for the worker pool; 0 for the fused runtime, which has no
+    /// request queue at all).
+    pub(crate) fn report(&self, queue_depth_max: u64) -> Stats {
+        let counters = &self.counters;
+        let mut cache_hits = counters.retired_cache_hits;
+        let mut reductions = counters.retired_reductions;
+        let mut dense_reductions = counters.retired_dense_reductions;
+        let mut sparse_reductions = counters.retired_sparse_reductions;
+        // Live-graph gauges: summed edges and the shard-wide density over
+        // the combined area of all open sessions (permille, like the
+        // engine's).
+        let mut live_edges = 0u64;
+        let mut live_area = 0u64;
+        for sess in self.sessions.values() {
+            let es = sess.engine_stats();
+            cache_hits += es.cache_hits;
+            reductions += es.reductions;
+            dense_reductions += es.dense_reductions;
+            sparse_reductions += es.sparse_reductions;
+            live_edges += es.live_edges;
+            let rag = sess.rag();
+            live_area += (rag.resources() as u64).saturating_mul(rag.processes() as u64);
+        }
+        // Broker sessions fold in the same way: their fast-path probes
+        // run through an ordinary detect engine, and their tracked RAGs
+        // count toward the live-graph gauges. The broker-specific
+        // counters are retired totals plus live brokers, like the engine
+        // counters.
+        let mut broker_grants = counters.retired_broker_grants;
+        let mut broker_deferrals = counters.retired_broker_deferrals;
+        let mut broker_give_ups = counters.retired_broker_give_ups;
+        let mut broker_livelocks = counters.retired_broker_livelocks;
+        // Logically waiting acquires (queued + parked) across live
+        // brokers — a gauge that survives recovery bit-identically,
+        // unlike the parked reply *slots*, which die with their
+        // connections.
+        let mut broker_waiters = 0u64;
+        for b in self.brokers.values() {
+            let es = b.engine_stats();
+            cache_hits += es.cache_hits;
+            reductions += es.reductions;
+            dense_reductions += es.dense_reductions;
+            sparse_reductions += es.sparse_reductions;
+            let bc = b.counters();
+            broker_grants += bc.grants;
+            broker_deferrals += bc.deferrals;
+            broker_give_ups += bc.give_ups;
+            broker_livelocks += b.livelock_events();
+            broker_waiters += b.waiter_depth();
+            let rag = b.rag();
+            live_edges += rag.edge_count() as u64;
+            live_area += (rag.resources() as u64).saturating_mul(rag.processes() as u64);
+        }
+        let density_permille = live_edges
+            .saturating_mul(1000)
+            .checked_div(live_area)
+            .unwrap_or(0);
+        let mut s = Stats::new();
+        s.add("service.shard_id", self.shard_id as u64);
+        s.add("service.events", counters.events);
+        s.add("service.batches", counters.batches);
+        s.add("service.probes", counters.probes);
+        s.add("service.rejected_events", counters.rejected);
+        s.add("service.cache_hits", cache_hits);
+        s.add("service.reductions", reductions);
+        s.add("service.dense_reductions", dense_reductions);
+        s.add("service.sparse_reductions", sparse_reductions);
+        s.add("service.live_edges", live_edges);
+        s.add("service.density_permille", density_permille);
+        s.add("service.sessions_opened", counters.sessions_opened);
+        s.add("service.sessions_closed", counters.sessions_closed);
+        s.add("service.sessions_open", self.live() as u64);
+        s.add("service.broker_grants", broker_grants);
+        s.add("service.broker_deferrals", broker_deferrals);
+        s.add("service.broker_give_ups", broker_give_ups);
+        s.add("service.broker_livelocks", broker_livelocks);
+        s.add("service.broker_waiters", broker_waiters);
+        s.add("service.queue_depth_max", queue_depth_max);
+        if let Some(p) = &self.persist {
+            s.add("store.last_seq", p.store.last_seq());
+            s.add("store.wal_records", p.store.wal_records());
+            s.add("store.commits", p.store.commits());
+            s.add("store.fsyncs", p.store.fsyncs());
+            s.add("store.checkpoints", p.store.checkpoints());
+            s.add("store.recovered_sessions", p.info.live_sessions);
+            s.add("store.replayed_records", p.info.replayed_records);
+            s.add("store.torn_bytes", p.info.torn_bytes);
+        }
+        s
+    }
+
+    /// Compaction: checkpoint + WAL truncation once enough records
+    /// accumulated since the last one (`force` skips the threshold).
+    pub(crate) fn maybe_checkpoint(&mut self, force: bool) {
+        let ShardCore {
+            shard_id,
+            sessions,
+            brokers,
+            counters,
+            next_session,
+            persist,
+            ..
+        } = self;
+        if let Some(p) = persist.as_mut() {
+            p.maybe_checkpoint(
+                *shard_id,
+                counters.to_store(),
+                *next_session,
+                sessions,
+                brokers,
+                force,
+            );
+        }
+    }
+
+    /// Shutdown durability: final checkpoint, or at least a WAL sync —
+    /// under `EveryN`/`Os` nothing acknowledged may be lost to a clean
+    /// stop.
+    pub(crate) fn finish(&mut self) {
+        if self.persist.is_none() {
+            return;
+        }
+        if self
+            .persist
+            .as_ref()
+            .is_some_and(|p| p.checkpoint_on_shutdown)
+        {
+            self.maybe_checkpoint(true);
+        } else if let Some(p) = self.persist.as_mut() {
+            p.store
+                .sync()
+                .unwrap_or_else(|e| panic!("WAL sync failed: {e}"));
+        }
+    }
+}
+
+/// The reply slot type of the channel-fed worker pool.
+type ReplyTx<T> = Sender<Result<T, ServiceError>>;
+
 fn run_worker(
     shard_id: usize,
     rx: Receiver<Job>,
@@ -931,36 +1510,17 @@ fn run_worker(
         })
     });
     // Durability: recover before serving, then tell Service::start.
-    let mut sessions: HashMap<u64, Session>;
-    let mut brokers: HashMap<u64, Broker>;
-    // Blocked Acquire reply slots per broker session. Reconstructed
-    // waiting state after recovery lives in the avoiders; slots reappear
-    // as reconnecting clients re-issue (re-attach) their acquires.
-    let mut waiters: HashMap<u64, Vec<Waiter>> = HashMap::new();
-    let mut counters: WorkerCounters;
-    let mut next_session: u64;
-    let mut persist = match &config.durability {
-        None => {
-            sessions = HashMap::new();
-            brokers = HashMap::new();
-            counters = WorkerCounters::default();
-            next_session = 0;
-            None
-        }
-        Some(d) => {
-            let recovered = durable::open_shard(d, shard_id, pool.clone(), config.par);
-            sessions = recovered.sessions;
-            brokers = recovered.brokers;
-            counters = WorkerCounters::from_store(recovered.counters);
-            next_session = recovered.next_session;
-            let mut persist = recovered.persist;
-            persist.info.next_session = next_session;
-            if let Some(ready) = &ready {
-                let _ = ready.send(persist.info);
-            }
-            Some(persist)
-        }
-    };
+    let mut core: ShardCore<ReplyTx<Response>> = ShardCore::new(
+        shard_id,
+        config.max_sessions_per_shard,
+        config.max_dim,
+        config.par,
+        pool,
+        config.durability.as_ref(),
+    );
+    if let (Some(ready), Some(info)) = (&ready, core.recovery_info()) {
+        let _ = ready.send(info);
+    }
     // `recv` until the drain marker (or every sender dropped): accepted
     // work is always fully processed before the worker exits.
     while let Ok(job) = rx.recv() {
@@ -971,26 +1531,7 @@ fn run_worker(
                 processes,
                 reply,
             } => {
-                let result = if sessions.len() + brokers.len() >= config.max_sessions_per_shard {
-                    Err(ServiceError::TooManySessions)
-                } else {
-                    // Write-ahead: the open is durable before it exists.
-                    if let Some(p) = persist.as_mut() {
-                        p.log(&WalOp::Open {
-                            session: session.0,
-                            resources,
-                            processes,
-                        });
-                    }
-                    sessions.insert(
-                        session.0,
-                        Session::with_parallel(resources, processes, pool.clone(), config.par),
-                    );
-                    counters.sessions_opened += 1;
-                    next_session = next_session.max(session.0 + 1);
-                    Ok(session)
-                };
-                let _ = reply.send(result);
+                let _ = reply.send(core.open(session, resources, processes));
             }
             Job::OpenAvoid {
                 session,
@@ -999,491 +1540,59 @@ fn run_worker(
                 mode,
                 reply,
             } => {
-                let result = if sessions.len() + brokers.len() >= config.max_sessions_per_shard {
-                    Err(ServiceError::TooManySessions)
-                } else if mode == AvoidanceMode::Off {
-                    // Avoidance off is literally a plain open: a probe-only
-                    // session, logged as one, indistinguishable from it.
-                    if let Some(p) = persist.as_mut() {
-                        p.log(&WalOp::Open {
-                            session: session.0,
-                            resources,
-                            processes,
-                        });
-                    }
-                    sessions.insert(
-                        session.0,
-                        Session::with_parallel(resources, processes, pool.clone(), config.par),
-                    );
-                    counters.sessions_opened += 1;
-                    next_session = next_session.max(session.0 + 1);
-                    Ok(session)
-                } else {
-                    let metered = mode == AvoidanceMode::Metered;
-                    if let Some(p) = persist.as_mut() {
-                        p.log(&WalOp::Broker {
-                            session: session.0,
-                            op: BrokerWalOp::Open {
-                                resources,
-                                processes,
-                                metered,
-                            },
-                        });
-                    }
-                    brokers.insert(
-                        session.0,
-                        Broker::new(resources, processes, metered, pool.clone(), config.par),
-                    );
-                    counters.sessions_opened += 1;
-                    next_session = next_session.max(session.0 + 1);
-                    Ok(session)
-                };
-                let _ = reply.send(result);
+                let _ = reply.send(core.open_avoid(session, resources, processes, mode));
             }
             Job::Broker { session, op, reply } => {
-                broker_job(
-                    session,
-                    op,
-                    reply,
-                    &mut brokers,
-                    &mut waiters,
-                    &sessions,
-                    persist.as_mut(),
-                );
+                let out = core.broker(session, op, reply);
+                if let Some((slot, result)) = out.reply {
+                    let _ = slot.send(result);
+                }
+                for slot in out.woken {
+                    let _ = slot.send(Ok(Response::Granted {
+                        cycles: 0,
+                        probes: 0,
+                    }));
+                }
             }
             Job::Batch {
                 session,
                 events,
                 reply,
             } => {
-                let result = match sessions.get_mut(&session.0) {
-                    None if brokers.contains_key(&session.0) => Err(ServiceError::AvoidanceOn),
-                    None => Err(ServiceError::UnknownSession),
-                    Some(sess) => {
-                        // Every accepted batch is logged — probe-only ones
-                        // too, because probes advance the engine counters
-                        // recovery must reproduce.
-                        if let Some(p) = persist.as_mut() {
-                            p.log(&WalOp::Batch {
-                                session: session.0,
-                                events: events.iter().map(durable::wal_event).collect(),
-                            });
-                        }
-                        counters.batches += 1;
-                        let mut results = Vec::new();
-                        let tally = sess.apply_batch(&events, &mut results);
-                        counters.events += tally.events;
-                        counters.probes += tally.probes;
-                        counters.rejected += tally.rejected;
-                        Ok(results)
-                    }
-                };
-                let _ = reply.send(result);
+                let _ = reply.send(core.batch(session, &events));
             }
             Job::Close { session, reply } => {
-                let result = if sessions.contains_key(&session.0) {
-                    if let Some(p) = persist.as_mut() {
-                        p.log(&WalOp::Close { session: session.0 });
-                    }
-                    let sess = sessions.remove(&session.0).expect("checked above");
-                    let es = sess.engine_stats();
-                    counters.retired_cache_hits += es.cache_hits;
-                    counters.retired_reductions += es.reductions;
-                    counters.retired_dense_reductions += es.dense_reductions;
-                    counters.retired_sparse_reductions += es.sparse_reductions;
-                    counters.sessions_closed += 1;
-                    Ok(())
-                } else if brokers.contains_key(&session.0) {
-                    if let Some(p) = persist.as_mut() {
-                        p.log(&WalOp::Close { session: session.0 });
-                    }
-                    let broker = brokers.remove(&session.0).expect("checked above");
-                    let es = broker.engine_stats();
-                    counters.retired_cache_hits += es.cache_hits;
-                    counters.retired_reductions += es.reductions;
-                    counters.retired_dense_reductions += es.dense_reductions;
-                    counters.retired_sparse_reductions += es.sparse_reductions;
-                    let bc = broker.counters();
-                    counters.retired_broker_grants += bc.grants;
-                    counters.retired_broker_deferrals += bc.deferrals;
-                    counters.retired_broker_give_ups += bc.give_ups;
-                    counters.retired_broker_livelocks += broker.livelock_events();
-                    counters.sessions_closed += 1;
-                    // Blocked acquires on this session can never be
-                    // granted now; fail their slots instead of leaking
-                    // silent hangs.
-                    for w in waiters.remove(&session.0).unwrap_or_default() {
-                        let _ = w.reply.send(Err(ServiceError::UnknownSession));
-                    }
-                    Ok(())
-                } else {
-                    Err(ServiceError::UnknownSession)
-                };
+                let (result, dead) = core.close(session);
+                // Blocked acquires on this session can never be granted
+                // now; fail their slots instead of leaking silent hangs.
+                for slot in dead {
+                    let _ = slot.send(Err(ServiceError::UnknownSession));
+                }
                 let _ = reply.send(result);
             }
             Job::Stats { reply } => {
-                let _ = reply.send(report(
-                    shard_id,
-                    &counters,
-                    &sessions,
-                    &brokers,
-                    &meter,
-                    persist.as_ref(),
-                ));
+                let _ = reply.send(core.report(meter.max()));
             }
             Job::Snapshot { session, reply } => {
-                let snap = match (sessions.get(&session.0), brokers.get(&session.0)) {
-                    (Some(sess), _) => Ok(sess.snapshot(session.0)),
-                    (None, Some(b)) => Ok(b.snapshot(session.0)),
-                    (None, None) => Err(ServiceError::UnknownSession),
-                };
-                let result = snap.and_then(|snap| {
-                    let bytes = snap.encode();
-                    // Leave header room so the reply still frames.
-                    if bytes.len() > MAX_FRAME - 16 {
-                        Err(ServiceError::SnapshotTooLarge)
-                    } else {
-                        Ok(bytes)
-                    }
-                });
-                let _ = reply.send(result);
+                let _ = reply.send(core.snapshot_blob(session));
             }
             Job::Restore {
                 session,
                 snapshot,
                 reply,
             } => {
-                let result = restore_session(
-                    session,
-                    &snapshot,
-                    &mut sessions,
-                    &mut brokers,
-                    &mut counters,
-                    persist.as_mut(),
-                    pool.clone(),
-                    &config,
-                );
-                if result.is_ok() {
-                    next_session = next_session.max(session.0 + 1);
-                }
-                let _ = reply.send(result);
+                let _ = reply.send(core.restore(session, &snapshot));
             }
             Job::Shutdown => {
                 meter.finished();
                 break;
             }
         }
-        // Compaction: checkpoint + WAL truncation once enough records
-        // accumulated since the last one.
-        if let Some(p) = persist.as_mut() {
-            p.maybe_checkpoint(
-                shard_id,
-                counters.to_store(),
-                next_session,
-                &sessions,
-                &brokers,
-                false,
-            );
-        }
+        core.maybe_checkpoint(false);
         meter.finished();
     }
-    if let Some(p) = persist.as_mut() {
-        if p.checkpoint_on_shutdown {
-            p.maybe_checkpoint(
-                shard_id,
-                counters.to_store(),
-                next_session,
-                &sessions,
-                &brokers,
-                true,
-            );
-        } else {
-            // Graceful shutdown still flushes the log: under `EveryN`/`Os`
-            // nothing acknowledged may be lost to a clean stop.
-            p.store
-                .sync()
-                .unwrap_or_else(|e| panic!("WAL sync failed: {e}"));
-        }
-    }
-    report(
-        shard_id,
-        &counters,
-        &sessions,
-        &brokers,
-        &meter,
-        persist.as_ref(),
-    )
-}
-
-/// The [`Job::Broker`] body: route, re-attach or write-ahead + run the
-/// command, wake granted waiters, reply (or park the slot).
-fn broker_job(
-    session: SessionId,
-    op: BrokerJob,
-    reply: Sender<Result<Response, ServiceError>>,
-    brokers: &mut HashMap<u64, Broker>,
-    waiters: &mut HashMap<u64, Vec<Waiter>>,
-    sessions: &HashMap<u64, Session>,
-    persist: Option<&mut durable::ShardPersist>,
-) {
-    let Some(broker) = brokers.get_mut(&session.0) else {
-        let e = if sessions.contains_key(&session.0) {
-            ServiceError::AvoidanceOff
-        } else {
-            ServiceError::UnknownSession
-        };
-        let _ = reply.send(Err(e));
-        return;
-    };
-    if let BrokerJob::Acquire { p, q, wait } = op {
-        // Re-attach: an acquire for an edge already waiting (a client
-        // polling, or reconnecting after its connection died) must not
-        // re-run the command — it just (re)binds a reply slot to the
-        // pending grant. Not logged: no state changes.
-        if broker.is_waiting(p, q) {
-            if wait {
-                waiters
-                    .entry(session.0)
-                    .or_default()
-                    .push(Waiter { p, q, reply });
-            } else {
-                let _ = reply.send(Ok(Response::Deferred {
-                    cycles: 0,
-                    probes: 0,
-                }));
-            }
-            return;
-        }
-        // Likewise idempotent: a grant delivered while the client was
-        // away answers `Granted` on the next poll, not a rejection.
-        if p.index() < broker.rag().processes()
-            && q.index() < broker.rag().resources()
-            && broker.rag().owner(q) == Some(p)
-        {
-            let _ = reply.send(Ok(Response::Granted {
-                cycles: 0,
-                probes: 0,
-            }));
-            return;
-        }
-    }
-    // Write-ahead: the *command* is durable before it runs, not its
-    // decision — replay re-runs it against identical state and
-    // re-derives the identical decision, rejections included.
-    if let Some(persist) = persist {
-        let wal_op = match op {
-            BrokerJob::SetPriority { p, priority } => BrokerWalOp::SetPriority { p, priority },
-            BrokerJob::Acquire { p, q, .. } => BrokerWalOp::Acquire { p, q },
-            BrokerJob::Release { p, q } => BrokerWalOp::Release { p, q },
-            BrokerJob::GiveUpAck { p } => BrokerWalOp::GiveUpAck { p },
-        };
-        persist.log(&WalOp::Broker {
-            session: session.0,
-            op: wal_op,
-        });
-    }
-    match op {
-        BrokerJob::SetPriority { p, priority } => {
-            let _ = reply.send(Ok(broker.set_priority(p, priority)));
-        }
-        BrokerJob::Acquire { p, q, wait } => {
-            let (resp, grants) = broker.acquire(p, q);
-            wake_waiters(waiters, session.0, &grants);
-            if wait && matches!(resp, Response::Deferred { .. }) {
-                // The blocking primitive: the reply slot fills when a
-                // later command's grant names this edge. An R-dl acquire
-                // (`GiveUp`) still answers immediately even with `wait`
-                // set — the client must see the ask to act on it.
-                waiters
-                    .entry(session.0)
-                    .or_default()
-                    .push(Waiter { p, q, reply });
-            } else {
-                let _ = reply.send(Ok(resp));
-            }
-        }
-        BrokerJob::Release { p, q } => {
-            let (resp, grants) = broker.release(p, q);
-            wake_waiters(waiters, session.0, &grants);
-            let _ = reply.send(Ok(resp));
-        }
-        BrokerJob::GiveUpAck { p } => {
-            let (resp, grants) = broker.give_up_ack(p);
-            wake_waiters(waiters, session.0, &grants);
-            let _ = reply.send(Ok(resp));
-        }
-    }
-}
-
-/// Fills any parked reply slots whose `(p, q)` edges a broker command
-/// just granted. Grants with no registered slot (the command's own
-/// immediate grant, or a waiter whose client polls instead of blocking)
-/// are simply broker state — the next re-attach answers `Granted`.
-fn wake_waiters(waiters: &mut HashMap<u64, Vec<Waiter>>, session: u64, grants: &[(ProcId, ResId)]) {
-    if grants.is_empty() {
-        return;
-    }
-    let Some(list) = waiters.get_mut(&session) else {
-        return;
-    };
-    for &(p, q) in grants {
-        while let Some(i) = list.iter().position(|w| w.p == p && w.q == q) {
-            let w = list.remove(i);
-            let _ = w.reply.send(Ok(Response::Granted {
-                cycles: 0,
-                probes: 0,
-            }));
-        }
-    }
-    if list.is_empty() {
-        waiters.remove(&session);
-    }
-}
-
-/// The `Restore` job body: validate, write-ahead, install. (One
-/// parameter per piece of worker state it can install into — a broker
-/// snapshot and a plain one land in different maps.)
-#[allow(clippy::too_many_arguments)]
-fn restore_session(
-    session: SessionId,
-    snapshot: &[u8],
-    sessions: &mut HashMap<u64, Session>,
-    brokers: &mut HashMap<u64, Broker>,
-    counters: &mut WorkerCounters,
-    persist: Option<&mut durable::ShardPersist>,
-    pool: Option<Arc<WorkerPool>>,
-    config: &ServiceConfig,
-) -> Result<SessionId, ServiceError> {
-    if sessions.len() + brokers.len() >= config.max_sessions_per_shard {
-        return Err(ServiceError::TooManySessions);
-    }
-    let mut snap = SessionSnapshot::decode(snapshot).map_err(|_| ServiceError::InvalidSnapshot)?;
-    let cap = config.max_dim;
-    if snap.resources > cap || snap.processes > cap {
-        return Err(ServiceError::BadDimensions);
-    }
-    // The restored session lives under the freshly assigned id, not
-    // whatever id it had in its previous life. A snapshot with a broker
-    // section restores as a broker session — the blob decides the kind,
-    // so a broker snapshotted on one service instance resumes avoiding
-    // on another.
-    snap.session = session.0;
-    if snap.broker.is_some() {
-        let b = Broker::restore_from(&snap, pool, config.par)
-            .map_err(|_| ServiceError::InvalidSnapshot)?;
-        if let Some(p) = persist {
-            p.log(&WalOp::Restore {
-                snapshot: Box::new(snap),
-            });
-        }
-        brokers.insert(session.0, b);
-    } else {
-        let sess = Session::restore_from(&snap, pool, config.par)
-            .map_err(|_| ServiceError::InvalidSnapshot)?;
-        if let Some(p) = persist {
-            p.log(&WalOp::Restore {
-                snapshot: Box::new(snap),
-            });
-        }
-        sessions.insert(session.0, sess);
-    }
-    counters.sessions_opened += 1;
-    Ok(session)
-}
-
-fn report(
-    shard_id: usize,
-    counters: &WorkerCounters,
-    sessions: &HashMap<u64, Session>,
-    brokers: &HashMap<u64, Broker>,
-    meter: &ShardMeter,
-    persist: Option<&durable::ShardPersist>,
-) -> Stats {
-    let mut cache_hits = counters.retired_cache_hits;
-    let mut reductions = counters.retired_reductions;
-    let mut dense_reductions = counters.retired_dense_reductions;
-    let mut sparse_reductions = counters.retired_sparse_reductions;
-    // Live-graph gauges: summed edges and the shard-wide density over the
-    // combined area of all open sessions (permille, like the engine's).
-    let mut live_edges = 0u64;
-    let mut live_area = 0u64;
-    for sess in sessions.values() {
-        let es = sess.engine_stats();
-        cache_hits += es.cache_hits;
-        reductions += es.reductions;
-        dense_reductions += es.dense_reductions;
-        sparse_reductions += es.sparse_reductions;
-        live_edges += es.live_edges;
-        let rag = sess.rag();
-        live_area += (rag.resources() as u64).saturating_mul(rag.processes() as u64);
-    }
-    // Broker sessions fold in the same way: their fast-path probes run
-    // through an ordinary detect engine, and their tracked RAGs count
-    // toward the live-graph gauges. The broker-specific counters are
-    // retired totals plus live brokers, like the engine counters.
-    let mut broker_grants = counters.retired_broker_grants;
-    let mut broker_deferrals = counters.retired_broker_deferrals;
-    let mut broker_give_ups = counters.retired_broker_give_ups;
-    let mut broker_livelocks = counters.retired_broker_livelocks;
-    // Logically waiting acquires (queued + parked) across live brokers —
-    // a gauge that survives recovery bit-identically, unlike the parked
-    // reply *slots*, which die with their connections.
-    let mut broker_waiters = 0u64;
-    for b in brokers.values() {
-        let es = b.engine_stats();
-        cache_hits += es.cache_hits;
-        reductions += es.reductions;
-        dense_reductions += es.dense_reductions;
-        sparse_reductions += es.sparse_reductions;
-        let bc = b.counters();
-        broker_grants += bc.grants;
-        broker_deferrals += bc.deferrals;
-        broker_give_ups += bc.give_ups;
-        broker_livelocks += b.livelock_events();
-        broker_waiters += b.waiter_depth();
-        let rag = b.rag();
-        live_edges += rag.edge_count() as u64;
-        live_area += (rag.resources() as u64).saturating_mul(rag.processes() as u64);
-    }
-    let density_permille = live_edges
-        .saturating_mul(1000)
-        .checked_div(live_area)
-        .unwrap_or(0);
-    let mut s = Stats::new();
-    s.add("service.shard_id", shard_id as u64);
-    s.add("service.events", counters.events);
-    s.add("service.batches", counters.batches);
-    s.add("service.probes", counters.probes);
-    s.add("service.rejected_events", counters.rejected);
-    s.add("service.cache_hits", cache_hits);
-    s.add("service.reductions", reductions);
-    s.add("service.dense_reductions", dense_reductions);
-    s.add("service.sparse_reductions", sparse_reductions);
-    s.add("service.live_edges", live_edges);
-    s.add("service.density_permille", density_permille);
-    s.add("service.sessions_opened", counters.sessions_opened);
-    s.add("service.sessions_closed", counters.sessions_closed);
-    s.add(
-        "service.sessions_open",
-        (sessions.len() + brokers.len()) as u64,
-    );
-    s.add("service.broker_grants", broker_grants);
-    s.add("service.broker_deferrals", broker_deferrals);
-    s.add("service.broker_give_ups", broker_give_ups);
-    s.add("service.broker_livelocks", broker_livelocks);
-    s.add("service.broker_waiters", broker_waiters);
-    s.add("service.queue_depth_max", meter.max());
-    if let Some(p) = persist {
-        s.add("store.last_seq", p.store.last_seq());
-        s.add("store.wal_records", p.store.wal_records());
-        s.add("store.commits", p.store.commits());
-        s.add("store.fsyncs", p.store.fsyncs());
-        s.add("store.checkpoints", p.store.checkpoints());
-        s.add("store.recovered_sessions", p.info.live_sessions);
-        s.add("store.replayed_records", p.info.replayed_records);
-        s.add("store.torn_bytes", p.info.torn_bytes);
-    }
-    s
+    core.finish();
+    core.report(meter.max())
 }
 
 #[cfg(test)]

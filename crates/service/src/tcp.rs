@@ -143,6 +143,7 @@ fn service_response(client: &Client, req: Request) -> Response {
             Ok(per_shard) => Response::Stats {
                 shards: stats_rows(&per_shard),
                 frontend: None,
+                cores: Vec::new(),
             },
             Err(ServiceError::Busy) => Response::Busy,
             Err(e) => Response::Error(e.into()),

@@ -8,8 +8,8 @@ use deltaos_core::pdda::DetectOutcome;
 use deltaos_core::{Priority, ProcId, ResId};
 use deltaos_service::proto::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    AvoidanceMode, ErrorCode, Event, EventResult, FrontendStats, RejectReason, Request, Response,
-    SessionId, ShardStats, WireError, MAX_FRAME,
+    AvoidanceMode, CoreStats, ErrorCode, Event, EventResult, FrontendStats, RejectReason, Request,
+    Response, SessionId, ShardStats, WireError, MAX_FRAME,
 };
 use rand::{Rng, SeedableRng, StdRng};
 
@@ -198,6 +198,19 @@ fn sample_responses(rng: &mut StdRng) -> Response {
                 bytes_in: rng.gen_range(0..u64::MAX),
                 bytes_out: rng.gen_range(0..u64::MAX),
             }),
+            cores: (0..rng.gen_range(0..4usize))
+                .map(|i| CoreStats {
+                    core: i as u16,
+                    conns: rng.gen_range(0..u64::MAX),
+                    frames_in: rng.gen_range(0..u64::MAX),
+                    replies_out: rng.gen_range(0..u64::MAX),
+                    inline_ops: rng.gen_range(0..u64::MAX),
+                    cross_core_forwards: rng.gen_range(0..u64::MAX),
+                    migrations_in: rng.gen_range(0..u64::MAX),
+                    wakeups: rng.gen_range(0..u64::MAX),
+                    busy_poll_ticks: rng.gen_range(0..u64::MAX),
+                })
+                .collect(),
         },
         _ => Response::Error(ErrorCode::Shutdown),
     }
