@@ -229,6 +229,12 @@ enum ExecJob {
         session: SessionId,
         cmd: BrokerCmd,
     },
+    /// Client-forced durability barrier: fsync the owning shard's WAL,
+    /// release its withheld replies, answer the durable frontier. The
+    /// session is a routing key only.
+    Sync {
+        session: SessionId,
+    },
 }
 
 impl ExecJob {
@@ -240,7 +246,8 @@ impl ExecJob {
             | ExecJob::Close { session }
             | ExecJob::Snapshot { session }
             | ExecJob::Restore { session, .. }
-            | ExecJob::Broker { session, .. } => *session,
+            | ExecJob::Broker { session, .. }
+            | ExecJob::Sync { session } => *session,
         }
     }
 }
@@ -404,6 +411,11 @@ struct LoopEnv {
     /// Cross-core requests this loop has sent and not yet seen answered
     /// — the "work in flight" half of the busy-tick assertion.
     cross_outstanding: usize,
+    /// Under `FsyncPolicy::Pipelined`: per owned shard, replies whose
+    /// LSN is appended but not yet durable, in submission order as
+    /// `(lsn, appended-at, ticket, response)`. Released by
+    /// [`LoopEnv::flush_shard`] when one fsync covers them.
+    withheld: HashMap<usize, VecDeque<(u64, Instant, Ticket, Response)>>,
 }
 
 impl LoopEnv {
@@ -416,6 +428,136 @@ impl LoopEnv {
     fn send_to(&mut self, target: usize, msg: CoreMsg) {
         if self.inboxes[target].send(msg).is_ok() {
             let _ = self.wake_txs[target].write(&[1]);
+        }
+    }
+
+    /// Parks a reply until `lsn` is durable on `shard`, or delivers it
+    /// right away when the op carried no withhold LSN (non-pipelined
+    /// policy, read-only op, broker re-attach).
+    fn deliver_or_withhold(
+        &mut self,
+        shard: usize,
+        lsn: Option<u64>,
+        ticket: Ticket,
+        resp: Response,
+    ) {
+        match lsn {
+            Some(lsn) => {
+                let q = self.withheld.entry(shard).or_default();
+                q.push_back((lsn, Instant::now(), ticket, resp));
+                let depth = q.len() as u64;
+                if let Some(core) = self.shards.get_mut(&shard) {
+                    core.pipeline.on_withheld(depth);
+                }
+            }
+            None => self.deliver(ticket, resp),
+        }
+    }
+
+    /// Delivers the withheld replies `shard`'s durable frontier now
+    /// covers, in submission order.
+    fn release_shard(&mut self, shard: usize) {
+        let durable = match self.shards.get(&shard) {
+            Some(core) => core.durable_lsn(),
+            None => return,
+        };
+        let Some(q) = self.withheld.get_mut(&shard) else {
+            return;
+        };
+        let now = Instant::now();
+        let mut released = Vec::new();
+        while q.front().is_some_and(|(lsn, _, _, _)| *lsn <= durable) {
+            released.push(q.pop_front().expect("checked front"));
+        }
+        if released.is_empty() {
+            return;
+        }
+        if let Some(core) = self.shards.get_mut(&shard) {
+            for (_, since, _, _) in &released {
+                core.pipeline.on_release(now.duration_since(*since));
+            }
+        }
+        for (_, _, ticket, resp) in released {
+            self.deliver(ticket, resp);
+        }
+    }
+
+    /// Group-commit flush for one owned shard: one fsync makes every
+    /// appended record durable, then the withheld replies drain.
+    fn flush_shard(&mut self, shard: usize) {
+        if let Some(core) = self.shards.get_mut(&shard) {
+            let before = core.durable_lsn();
+            let durable = core.sync_barrier();
+            core.pipeline.on_flush(durable.saturating_sub(before));
+        }
+        self.release_shard(shard);
+    }
+
+    /// Trigger (a): flush as soon as the unsynced batch reaches the
+    /// policy's `max_records`. Called after every executed job.
+    fn maybe_flush(&mut self, shard: usize) {
+        let Some(core) = self.shards.get(&shard) else {
+            return;
+        };
+        let Some((max_records, _)) = core.pipeline_params() else {
+            return;
+        };
+        if core.unsynced_records() >= max_records.max(1) as u64 {
+            self.flush_shard(shard);
+        }
+    }
+
+    /// Trigger (b): the poll-timeout arm of the commit deadline — the
+    /// soonest `appended-at + deadline` across shards with withheld
+    /// replies, as a poll timeout (ms, rounded up). `None` when nothing
+    /// is withheld.
+    fn withheld_timeout_ms(&self, now: Instant) -> Option<i32> {
+        let mut best: Option<Duration> = None;
+        for (shard, q) in &self.withheld {
+            let Some((_, since, _, _)) = q.front() else {
+                continue;
+            };
+            let Some((_, deadline)) = self.shards.get(shard).and_then(|c| c.pipeline_params())
+            else {
+                continue;
+            };
+            let left = (*since + deadline).saturating_duration_since(now);
+            best = Some(best.map_or(left, |b| b.min(left)));
+        }
+        // +1 rounds up so a sub-millisecond remainder still blocks.
+        best.map(|d| (d.as_millis().min(1000) as i32) + 1)
+    }
+
+    /// Trigger (b), firing half: flush every shard whose oldest withheld
+    /// reply has aged past the commit deadline.
+    fn flush_expired(&mut self, now: Instant) {
+        let expired: Vec<usize> = self
+            .withheld
+            .iter()
+            .filter_map(|(shard, q)| {
+                let (_, since, _, _) = q.front()?;
+                let (_, deadline) = self.shards.get(shard)?.pipeline_params()?;
+                (now.saturating_duration_since(*since) >= deadline).then_some(*shard)
+            })
+            .collect();
+        for shard in expired {
+            self.flush_shard(shard);
+        }
+    }
+
+    /// Trigger (c): the loop is about to block with nothing left to do —
+    /// sync every non-empty batch now instead of sitting on replies
+    /// until the deadline. This is the common-case batch boundary: all
+    /// frames read in one poll cycle share one fsync.
+    fn flush_idle(&mut self) {
+        let pending: Vec<usize> = self
+            .withheld
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(shard, _)| *shard)
+            .collect();
+        for shard in pending {
+            self.flush_shard(shard);
         }
     }
 
@@ -454,7 +596,8 @@ impl LoopEnv {
                     core.open(session, resources, processes)
                         .map(Response::Opened),
                 );
-                self.deliver(ticket, resp);
+                let lsn = core.take_withhold_lsn();
+                self.deliver_or_withhold(shard, lsn, ticket, resp);
             }
             ExecJob::OpenAvoid {
                 session,
@@ -466,20 +609,29 @@ impl LoopEnv {
                     core.open_avoid(session, resources, processes, mode)
                         .map(Response::Opened),
                 );
-                self.deliver(ticket, resp);
+                let lsn = core.take_withhold_lsn();
+                self.deliver_or_withhold(shard, lsn, ticket, resp);
             }
             ExecJob::Batch { session, events } => {
                 let resp = respond(core.batch(session, &events).map(Response::Batch));
-                self.deliver(ticket, resp);
+                let lsn = core.take_withhold_lsn();
+                self.deliver_or_withhold(shard, lsn, ticket, resp);
             }
             ExecJob::Close { session } => {
                 let (result, dead) = core.close(session);
+                let lsn = core.take_withhold_lsn();
                 let resp = respond(result.map(|()| Response::Closed));
-                self.deliver(ticket, resp);
+                self.deliver_or_withhold(shard, lsn, ticket, resp);
                 // Waiters parked on the closed broker session can never
-                // be granted — fail them instead of leaking hangs.
+                // be granted — fail them instead of leaking hangs. The
+                // errors ride the close's LSN like any reply it caused.
                 for t in dead {
-                    self.deliver(t, Response::Error(ErrorCode::UnknownSession));
+                    self.deliver_or_withhold(
+                        shard,
+                        lsn,
+                        t,
+                        Response::Error(ErrorCode::UnknownSession),
+                    );
                 }
             }
             ExecJob::Snapshot { session } => {
@@ -488,16 +640,22 @@ impl LoopEnv {
             }
             ExecJob::Restore { session, snapshot } => {
                 let resp = respond(core.restore(session, &snapshot).map(Response::Opened));
-                self.deliver(ticket, resp);
+                let lsn = core.take_withhold_lsn();
+                self.deliver_or_withhold(shard, lsn, ticket, resp);
             }
             ExecJob::Broker { session, cmd } => {
                 let out = core.broker(session, cmd, ticket);
+                // The command's reply and the waiters it woke all ride
+                // the command's LSN (re-attaches didn't log: deliver).
+                let lsn = core.take_withhold_lsn();
                 if let Some((t, result)) = out.reply {
                     let resp = respond(result);
-                    self.deliver(t, resp);
+                    self.deliver_or_withhold(shard, lsn, t, resp);
                 }
                 for t in out.woken {
-                    self.deliver(
+                    self.deliver_or_withhold(
+                        shard,
+                        lsn,
                         t,
                         Response::Granted {
                             cycles: 0,
@@ -506,7 +664,25 @@ impl LoopEnv {
                     );
                 }
             }
+            ExecJob::Sync { .. } => {
+                // Client-forced barrier: flush this shard (releasing
+                // every withheld reply), then answer the frontier. The
+                // withheld replies all carry smaller sequence numbers on
+                // their connections, so they pump out first.
+                let before = core.durable_lsn();
+                let durable = core.sync_barrier();
+                core.pipeline.on_flush(durable.saturating_sub(before));
+                self.release_shard(shard);
+                self.deliver(
+                    ticket,
+                    Response::Synced {
+                        durable_lsn: durable,
+                    },
+                );
+            }
         }
+        // Trigger (a): the batch may have just reached `max_records`.
+        self.maybe_flush(shard);
     }
 
     /// This loop's shard rows, shard-id order.
@@ -701,6 +877,7 @@ fn to_job(env: &LoopEnv, c: &mut CConn, req: Request) -> Result<ExecJob, Box<Res
             session,
             cmd: BrokerCmd::GiveUpAck { p },
         }),
+        Request::Sync { session } => Ok(ExecJob::Sync { session }),
         // Handled by the caller before `to_job` (it fans out, it does
         // not execute on a single shard).
         Request::Stats => unreachable!("Stats is routed before to_job"),
@@ -798,6 +975,7 @@ fn run_core_loop(ctx: CoreCtx) {
         loop_counters: ctx.loop_counters,
         next_session: ctx.next_session,
         cross_outstanding: 0,
+        withheld: HashMap::new(),
     };
     let mut conns: Vec<CConn> = Vec::new();
     let mut fds: Vec<sys::PollFd> = Vec::new();
@@ -928,17 +1106,42 @@ fn run_core_loop(ctx: CoreCtx) {
                 revents: 0,
             });
         }
+        // Trigger (c): about to block with every readable frame already
+        // processed — the batch boundary. One fsync covers everything
+        // appended this poll cycle, and the withheld replies it releases
+        // pump out below before the next poll... unless new deliveries
+        // for *other* loops' requests still ride the self-pipe, which
+        // poll then reports instantly.
+        env.flush_idle();
+        apply_deliveries(&mut env, &mut conns);
+        for c in conns.iter_mut() {
+            c.pump_replies(&env.counters, &env.loop_counters[env.me]);
+            if c.backlog() > 0 {
+                c.flush(&env.counters);
+            }
+        }
         // No degraded tick: completions arrive as self-pipe wakeups, so
-        // the only finite timeouts are reap deadlines.
+        // the only finite timeouts are reap deadlines — and, under the
+        // pipelined policy, the commit deadline of withheld replies
+        // (trigger (b), a backstop: the idle flush above usually empties
+        // the batch first).
         let timeout = reap_timeout_ms(&conns, &env.cfg, now);
+        let commit_timeout = env.withheld_timeout_ms(now);
+        let timeout = match commit_timeout {
+            Some(t) if timeout < 0 => t,
+            Some(t) => timeout.min(t),
+            None => timeout,
+        };
         let Ok(ready) = sys::poll_fds(&mut fds, timeout) else {
             break;
         };
-        if ready == 0 && env.cross_outstanding > 0 {
+        if ready == 0 && env.cross_outstanding > 0 && commit_timeout.is_none() {
             // A timeout fired while cross-core work was in flight; in
             // steady state this never happens (the wake pipe is an fd).
+            // A commit-deadline timeout is work, not a degraded tick.
             env.lc().busy_poll_ticks.fetch_add(1, Ordering::Relaxed);
         }
+        env.flush_expired(Instant::now());
         // Drain wake bytes (coalesced; one byte per notification).
         if fds[0].revents != 0 {
             env.lc().wakeups.fetch_add(1, Ordering::Relaxed);
@@ -985,8 +1188,17 @@ fn run_core_loop(ctx: CoreCtx) {
             }
         }
     }
-    // Teardown: shutdown durability per owned shard (final checkpoint
-    // or WAL sync), then drop the connections with the loop.
+    // Teardown: drain the commit pipeline (best-effort delivery of
+    // withheld replies), run shutdown durability per owned shard (final
+    // checkpoint or WAL sync), then drop the connections with the loop.
+    env.flush_idle();
+    apply_deliveries(&mut env, &mut conns);
+    for c in conns.iter_mut() {
+        c.pump_replies(&env.counters, &env.loop_counters[env.me]);
+        if c.backlog() > 0 {
+            c.flush(&env.counters);
+        }
+    }
     for core in env.shards.values_mut() {
         core.finish();
     }

@@ -44,7 +44,11 @@ pub struct DurabilityConfig {
     /// Store directory (created if missing). Holds `store.meta`, one
     /// `wal-<shard>.log` and one `checkpoint-<shard>.snap` per shard.
     pub dir: PathBuf,
-    /// When the WAL fsyncs relative to commits.
+    /// When the WAL fsyncs relative to commits. With
+    /// [`FsyncPolicy::Pipelined`] the front-end runs a per-core group-
+    /// commit scheduler: durable replies are withheld until their LSN
+    /// is flushed, amortizing one fsync over every session the core
+    /// serves.
     pub fsync: FsyncPolicy,
     /// Write a checkpoint (and truncate the WAL) after this many logged
     /// records per shard. Bounds both disk growth and recovery time.
@@ -121,14 +125,48 @@ pub(crate) struct ShardPersist {
 }
 
 impl ShardPersist {
-    /// Appends `op` and commits it per the fsync policy. Called before
-    /// the op is applied; a failure here panics (fail-stop, see module
-    /// docs).
-    pub fn log(&mut self, op: &WalOp) {
-        self.store.append(op);
+    /// Appends `op` and commits it per the fsync policy, returning its
+    /// WAL sequence number (the op's commit LSN). Called before the op
+    /// is applied; a failure here panics (fail-stop, see module docs).
+    ///
+    /// Under [`FsyncPolicy::Pipelined`] the returned LSN is *not yet
+    /// durable* — the caller withholds the client reply until a group
+    /// flush advances [`ShardPersist::durable_seq`] past it.
+    pub fn log(&mut self, op: &WalOp) -> u64 {
+        let lsn = self.store.append(op);
         self.store
             .commit()
             .unwrap_or_else(|e| panic!("WAL commit failed: {e}"));
+        lsn
+    }
+
+    /// Group flush: forces staged + written records to the device and
+    /// returns the new durable frontier. The pipelined scheduler's one
+    /// fsync per batch; a no-op fast path when nothing is unsynced.
+    pub fn sync(&mut self) -> u64 {
+        if self.store.unsynced_records() > 0 {
+            self.store
+                .sync()
+                .unwrap_or_else(|e| panic!("WAL sync failed: {e}"));
+        }
+        self.store.durable_seq()
+    }
+
+    /// Highest WAL sequence number known durable.
+    pub fn durable_seq(&self) -> u64 {
+        self.store.durable_seq()
+    }
+
+    /// The pipelined group-commit parameters, when that policy is
+    /// configured (`None` under every self-syncing policy).
+    pub fn pipeline(&self) -> Option<(u32, std::time::Duration)> {
+        match self.store.policy() {
+            FsyncPolicy::Pipelined {
+                max_records,
+                deadline,
+            } => Some((max_records, deadline)),
+            _ => None,
+        }
     }
 
     /// Writes a checkpoint if `checkpoint_every` records accumulated

@@ -486,6 +486,12 @@ impl Conn {
                                 Err(e) => Pending::Ready(error_response(e)),
                             }
                         }
+                        // The shard answers `Synced` directly, so the
+                        // barrier rides the generic response slot.
+                        Ok(Request::Sync { session }) => match client.sync_async(session) {
+                            Ok(rx) => Pending::Broker(rx),
+                            Err(e) => Pending::Ready(error_response(e)),
+                        },
                     };
                     self.pending.push_back(slot);
                 }

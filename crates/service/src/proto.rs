@@ -260,6 +260,18 @@ pub enum Request {
         /// The process shedding its asked resources.
         p: ProcId,
     },
+    /// Durability barrier: force the owning shard's WAL to disk and
+    /// reply [`Response::Synced`] once the durable LSN covers every
+    /// record logged before this request. Lets a client buy an explicit
+    /// durability point under the pipelined (or any group) fsync policy
+    /// without paying for `FsyncPolicy::Always` globally. The session
+    /// is a routing key only — it selects the shard and need not be
+    /// open. On a memory-only service the barrier is trivially
+    /// satisfied (`durable_lsn = 0`).
+    Sync {
+        /// Session whose owning shard is flushed.
+        session: SessionId,
+    },
 }
 
 /// Key per-shard counters serialized in a [`Response::Stats`].
@@ -298,6 +310,24 @@ pub struct ShardStats {
     /// Broker: currently blocked `Acquire` reply slots across the
     /// shard's sessions (gauge).
     pub broker_waiters: u64,
+    /// Group-commit pipeline: fsyncs issued by the shard's WAL (group
+    /// flushes + barriers). 0 without durability.
+    pub pipeline_fsyncs: u64,
+    /// Group-commit pipeline: group flushes that released at least one
+    /// withheld reply. 0 outside `FsyncPolicy::Pipelined`.
+    pub pipeline_batches: u64,
+    /// Group-commit pipeline: largest record batch covered by one
+    /// flush.
+    pub pipeline_batch_max: u64,
+    /// Group-commit pipeline: high-water mark of replies withheld at
+    /// once.
+    pub pipeline_withheld_peak: u64,
+    /// Group-commit pipeline: p50 commit latency (append → durable) in
+    /// microseconds.
+    pub pipeline_commit_p50_us: u64,
+    /// Group-commit pipeline: p99 commit latency (append → durable) in
+    /// microseconds.
+    pub pipeline_commit_p99_us: u64,
 }
 
 /// Front-end (event-loop) health counters, serialized in a
@@ -443,6 +473,14 @@ pub enum Response {
     /// release by a non-owner, out-of-range id). Session state is
     /// unchanged.
     Rejected(RejectReason),
+    /// A [`Request::Sync`] barrier completed: every record the shard
+    /// logged before the barrier is durable. `durable_lsn` is the
+    /// shard's WAL durable frontier at the reply (0 on a memory-only
+    /// service, where the barrier is vacuous).
+    Synced {
+        /// The shard's durable WAL sequence number.
+        durable_lsn: u64,
+    },
 }
 
 /// Typed decode/framing failure. Total over arbitrary input: malformed
@@ -734,6 +772,10 @@ pub fn encode_request_into(req: &Request, out: &mut Vec<u8>) {
             put_u64(out, session.0);
             put_u16(out, p.0);
         }
+        Request::Sync { session } => {
+            out.push(0x0C);
+            put_u64(out, session.0);
+        }
     }
 }
 
@@ -798,6 +840,12 @@ pub fn encode_response_into(resp: &Response, out: &mut Vec<u8>) {
                 put_u64(out, s.broker_give_ups);
                 put_u64(out, s.broker_livelocks);
                 put_u64(out, s.broker_waiters);
+                put_u64(out, s.pipeline_fsyncs);
+                put_u64(out, s.pipeline_batches);
+                put_u64(out, s.pipeline_batch_max);
+                put_u64(out, s.pipeline_withheld_peak);
+                put_u64(out, s.pipeline_commit_p50_us);
+                put_u64(out, s.pipeline_commit_p99_us);
             }
             match frontend {
                 None => out.push(0),
@@ -866,6 +914,10 @@ pub fn encode_response_into(resp: &Response, out: &mut Vec<u8>) {
         Response::Rejected(reason) => {
             out.push(0x8D);
             out.push(reject_code(*reason));
+        }
+        Response::Synced { durable_lsn } => {
+            out.push(0x8E);
+            put_u64(out, *durable_lsn);
         }
     }
 }
@@ -1155,6 +1207,9 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             session: SessionId(r.u64()?),
             p: ProcId(r.u16()?),
         },
+        0x0C => Request::Sync {
+            session: SessionId(r.u64()?),
+        },
         tag => {
             return Err(WireError::UnknownTag {
                 what: "request",
@@ -1230,6 +1285,12 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                     broker_give_ups: r.u64()?,
                     broker_livelocks: r.u64()?,
                     broker_waiters: r.u64()?,
+                    pipeline_fsyncs: r.u64()?,
+                    pipeline_batches: r.u64()?,
+                    pipeline_batch_max: r.u64()?,
+                    pipeline_withheld_peak: r.u64()?,
+                    pipeline_commit_p50_us: r.u64()?,
+                    pipeline_commit_p99_us: r.u64()?,
                 });
             }
             let frontend = match r.u8()? {
@@ -1323,6 +1384,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             let code = r.u8()?;
             Response::Rejected(read_reject(code)?)
         }
+        0x8E => Response::Synced {
+            durable_lsn: r.u64()?,
+        },
         tag => {
             return Err(WireError::UnknownTag {
                 what: "response",
@@ -1500,6 +1564,9 @@ mod tests {
             session: SessionId(4),
             p: ProcId(1),
         });
+        roundtrip_request(Request::Sync {
+            session: SessionId(13),
+        });
     }
 
     #[test]
@@ -1578,6 +1645,12 @@ mod tests {
             broker_give_ups: 3,
             broker_livelocks: 1,
             broker_waiters: 2,
+            pipeline_fsyncs: 9,
+            pipeline_batches: 7,
+            pipeline_batch_max: 30,
+            pipeline_withheld_peak: 12,
+            pipeline_commit_p50_us: 180,
+            pipeline_commit_p99_us: 900,
         }];
         roundtrip_response(Response::Stats {
             shards: rows.clone(),
@@ -1625,6 +1698,7 @@ mod tests {
             ],
         });
         roundtrip_response(Response::Snapshot(vec![1, 2, 3]));
+        roundtrip_response(Response::Synced { durable_lsn: 1952 });
         roundtrip_response(Response::Error(ErrorCode::BatchTooLarge));
         roundtrip_response(Response::Error(ErrorCode::InvalidSnapshot));
         roundtrip_response(Response::Error(ErrorCode::SnapshotTooLarge));

@@ -19,16 +19,17 @@
 //!   [`deltaos_sim::Stats`] so they merge with the rest of the
 //!   simulator's counter plumbing.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use deltaos_core::par::{ParConfig, WorkerPool};
 use deltaos_core::{Priority, ProcId, ResId};
-use deltaos_sim::Stats;
+use deltaos_sim::{Histogram, Stats};
 use deltaos_store::{BrokerWalOp, SessionSnapshot, WalOp};
 
 use crate::broker::Broker;
@@ -237,6 +238,11 @@ enum Job {
     Broker {
         session: SessionId,
         op: BrokerCmd,
+        reply: Sender<Result<Response, ServiceError>>,
+    },
+    /// Client-forced durability barrier: fsync the shard's WAL, release
+    /// every withheld reply, answer with the durable frontier.
+    Sync {
         reply: Sender<Result<Response, ServiceError>>,
     },
     /// Shutdown marker: enqueued behind all accepted work by
@@ -835,6 +841,36 @@ impl Client {
         self.broker_op(session, BrokerCmd::GiveUpAck { p })
     }
 
+    /// Client-forced durability barrier on `session`'s shard: fsyncs the
+    /// shard's WAL (releasing any withheld replies) and answers
+    /// [`Response::Synced`] with the durable frontier, blocking for it.
+    /// The session id is a routing key only — it need not be open. On a
+    /// memory-only service the barrier is trivially satisfied and the
+    /// frontier is 0.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Busy`] / [`ServiceError::Shutdown`] as for any
+    /// submission.
+    pub fn sync(&self, session: SessionId) -> Result<Response, ServiceError> {
+        let rx = self.sync_async(session)?;
+        rx.recv().map_err(|_| ServiceError::Shutdown)?
+    }
+
+    /// Submits a durability barrier without waiting.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::sync`].
+    pub fn sync_async(
+        &self,
+        session: SessionId,
+    ) -> Result<Receiver<Result<Response, ServiceError>>, ServiceError> {
+        let (reply, rx) = mpsc::channel();
+        self.enqueue(self.shard_of(session), Job::Sync { reply })?;
+        Ok(rx)
+    }
+
     /// Merged counters across all shards.
     ///
     /// # Errors
@@ -911,6 +947,45 @@ impl WorkerCounters {
     }
 }
 
+/// Pipelined group-commit telemetry: flush batch sizes, withheld-reply
+/// depth and append→release commit latency. Lives in [`ShardCore`] so
+/// both front-ends (channel-fed worker pool and fused thread-per-core
+/// runtime) feed the same `store.pipeline_*` stats keys. All zeros
+/// outside `FsyncPolicy::Pipelined`.
+#[derive(Default)]
+pub(crate) struct PipelineMeter {
+    /// Non-empty flushes (fsyncs covering ≥ 1 new record).
+    batches: u64,
+    /// Largest record count one flush made durable.
+    batch_max: u64,
+    /// High-water mark of simultaneously withheld replies.
+    withheld_peak: u64,
+    /// Append→release commit latency in microseconds.
+    commit_us: Histogram,
+}
+
+impl PipelineMeter {
+    /// A reply was just withheld; `depth` is the new queue depth.
+    pub(crate) fn on_withheld(&mut self, depth: u64) {
+        self.withheld_peak = self.withheld_peak.max(depth);
+    }
+
+    /// A flush made `records` new records durable (0 = frontier was
+    /// already current; not counted as a batch).
+    pub(crate) fn on_flush(&mut self, records: u64) {
+        if records > 0 {
+            self.batches += 1;
+            self.batch_max = self.batch_max.max(records);
+        }
+    }
+
+    /// A withheld reply was released `waited` after its append.
+    pub(crate) fn on_release(&mut self, waited: Duration) {
+        self.commit_us
+            .record(waited.as_micros().min(u64::MAX as u128) as u64);
+    }
+}
+
 /// Outcome of one [`ShardCore::broker`] command: the command's own reply
 /// with its slot (absent when the slot parked in the waiter table), plus
 /// any previously parked slots the command's grants just woke — each of
@@ -943,6 +1018,12 @@ pub(crate) struct ShardCore<W> {
     counters: WorkerCounters,
     next_session: u64,
     persist: Option<durable::ShardPersist>,
+    /// Under `FsyncPolicy::Pipelined`: the LSN the last logged op's reply
+    /// must wait out before delivery. Consumed (and reset) by the
+    /// front-end via [`ShardCore::take_withhold_lsn`] right after the op.
+    withhold_lsn: Option<u64>,
+    /// Group-commit telemetry, reported under `store.pipeline_*`.
+    pub(crate) pipeline: PipelineMeter,
 }
 
 impl<W> ShardCore<W> {
@@ -969,6 +1050,8 @@ impl<W> ShardCore<W> {
                 counters: WorkerCounters::default(),
                 next_session: 0,
                 persist: None,
+                withhold_lsn: None,
+                pipeline: PipelineMeter::default(),
             },
             Some(d) => {
                 let recovered = durable::open_shard(d, shard_id, pool.clone(), par);
@@ -986,6 +1069,8 @@ impl<W> ShardCore<W> {
                     counters: WorkerCounters::from_store(recovered.counters),
                     next_session: recovered.next_session,
                     persist: Some(persist),
+                    withhold_lsn: None,
+                    pipeline: PipelineMeter::default(),
                 }
             }
         }
@@ -1000,6 +1085,42 @@ impl<W> ShardCore<W> {
         self.sessions.len() + self.brokers.len()
     }
 
+    /// `Some((max_records, deadline))` when the WAL runs
+    /// [`deltaos_store::FsyncPolicy::Pipelined`] — the front-end is then
+    /// the commit scheduler and must drive [`ShardCore::sync_barrier`].
+    pub(crate) fn pipeline_params(&self) -> Option<(u32, Duration)> {
+        self.persist.as_ref().and_then(|p| p.pipeline())
+    }
+
+    /// Records appended but not yet made durable (0 without durability).
+    pub(crate) fn unsynced_records(&self) -> u64 {
+        self.persist
+            .as_ref()
+            .map_or(0, |p| p.store.unsynced_records())
+    }
+
+    /// The durable-LSN frontier: every WAL record with seq ≤ this
+    /// survives a crash (0 without durability).
+    pub(crate) fn durable_lsn(&self) -> u64 {
+        self.persist.as_ref().map_or(0, |p| p.durable_seq())
+    }
+
+    /// Fsync barrier: forces everything appended durable and returns the
+    /// new frontier. A no-op (beyond reading the frontier) when nothing
+    /// is unsynced; 0 without durability.
+    pub(crate) fn sync_barrier(&mut self) -> u64 {
+        self.persist.as_mut().map_or(0, |p| p.sync())
+    }
+
+    /// Takes (and resets) the LSN the just-run op's reply must wait out.
+    /// `Some` only when the op was logged under the pipelined policy and
+    /// is durable-visible (probe-only batches and broker re-attaches
+    /// reply immediately). The front-end calls this after *every* op; a
+    /// `None` means deliver now.
+    pub(crate) fn take_withhold_lsn(&mut self) -> Option<u64> {
+        self.withhold_lsn.take()
+    }
+
     /// Opens a plain detection session under `session`.
     pub(crate) fn open(
         &mut self,
@@ -1012,11 +1133,14 @@ impl<W> ShardCore<W> {
         }
         // Write-ahead: the open is durable before it exists.
         if let Some(p) = self.persist.as_mut() {
-            p.log(&WalOp::Open {
+            let lsn = p.log(&WalOp::Open {
                 session: session.0,
                 resources,
                 processes,
             });
+            if p.pipeline().is_some() {
+                self.withhold_lsn = Some(lsn);
+            }
         }
         self.sessions.insert(
             session.0,
@@ -1045,7 +1169,7 @@ impl<W> ShardCore<W> {
         }
         let metered = mode == AvoidanceMode::Metered;
         if let Some(p) = self.persist.as_mut() {
-            p.log(&WalOp::Broker {
+            let lsn = p.log(&WalOp::Broker {
                 session: session.0,
                 op: BrokerWalOp::Open {
                     resources,
@@ -1053,6 +1177,9 @@ impl<W> ShardCore<W> {
                     metered,
                 },
             });
+            if p.pipeline().is_some() {
+                self.withhold_lsn = Some(lsn);
+            }
         }
         self.brokers.insert(
             session.0,
@@ -1075,12 +1202,21 @@ impl<W> ShardCore<W> {
             Some(sess) => {
                 // Every accepted batch is logged — probe-only ones too,
                 // because probes advance the engine counters recovery
-                // must reproduce.
+                // must reproduce. Read-only batches (probes and
+                // would-deadlock queries, which mutate no client-visible
+                // edge state) still reply immediately under the
+                // pipelined policy: read latency is untouched.
                 if let Some(p) = self.persist.as_mut() {
-                    p.log(&WalOp::Batch {
+                    let lsn = p.log(&WalOp::Batch {
                         session: session.0,
                         events: events.iter().map(durable::wal_event).collect(),
                     });
+                    let durable_visible = events
+                        .iter()
+                        .any(|e| !matches!(e, Event::Probe | Event::WouldDeadlock { .. }));
+                    if durable_visible && p.pipeline().is_some() {
+                        self.withhold_lsn = Some(lsn);
+                    }
                 }
                 self.counters.batches += 1;
                 let mut results = Vec::new();
@@ -1101,7 +1237,10 @@ impl<W> ShardCore<W> {
     pub(crate) fn close(&mut self, session: SessionId) -> (Result<(), ServiceError>, Vec<W>) {
         if self.sessions.contains_key(&session.0) {
             if let Some(p) = self.persist.as_mut() {
-                p.log(&WalOp::Close { session: session.0 });
+                let lsn = p.log(&WalOp::Close { session: session.0 });
+                if p.pipeline().is_some() {
+                    self.withhold_lsn = Some(lsn);
+                }
             }
             let sess = self.sessions.remove(&session.0).expect("checked above");
             let es = sess.engine_stats();
@@ -1113,7 +1252,10 @@ impl<W> ShardCore<W> {
             (Ok(()), Vec::new())
         } else if self.brokers.contains_key(&session.0) {
             if let Some(p) = self.persist.as_mut() {
-                p.log(&WalOp::Close { session: session.0 });
+                let lsn = p.log(&WalOp::Close { session: session.0 });
+                if p.pipeline().is_some() {
+                    self.withhold_lsn = Some(lsn);
+                }
             }
             let broker = self.brokers.remove(&session.0).expect("checked above");
             let es = broker.engine_stats();
@@ -1182,18 +1324,24 @@ impl<W> ShardCore<W> {
             let b = Broker::restore_from(&snap, self.pool.clone(), self.par)
                 .map_err(|_| ServiceError::InvalidSnapshot)?;
             if let Some(p) = self.persist.as_mut() {
-                p.log(&WalOp::Restore {
+                let lsn = p.log(&WalOp::Restore {
                     snapshot: Box::new(snap),
                 });
+                if p.pipeline().is_some() {
+                    self.withhold_lsn = Some(lsn);
+                }
             }
             self.brokers.insert(session.0, b);
         } else {
             let sess = Session::restore_from(&snap, self.pool.clone(), self.par)
                 .map_err(|_| ServiceError::InvalidSnapshot)?;
             if let Some(p) = self.persist.as_mut() {
-                p.log(&WalOp::Restore {
+                let lsn = p.log(&WalOp::Restore {
                     snapshot: Box::new(snap),
                 });
+                if p.pipeline().is_some() {
+                    self.withhold_lsn = Some(lsn);
+                }
             }
             self.sessions.insert(session.0, sess);
         }
@@ -1220,6 +1368,7 @@ impl<W> ShardCore<W> {
             brokers,
             waiters,
             persist,
+            withhold_lsn,
             ..
         } = self;
         let Some(broker) = brokers.get_mut(&session.0) else {
@@ -1279,10 +1428,17 @@ impl<W> ShardCore<W> {
                 BrokerCmd::Release { p, q } => BrokerWalOp::Release { p, q },
                 BrokerCmd::GiveUpAck { p } => BrokerWalOp::GiveUpAck { p },
             };
-            persist.log(&WalOp::Broker {
+            let lsn = persist.log(&WalOp::Broker {
                 session: session.0,
                 op: wal_op,
             });
+            // The command's reply AND any waiters its grants wake ride
+            // this LSN: a grant exists only because the logged command
+            // ran, so neither may be seen before the command is durable.
+            // (The unlogged re-attach paths above replied immediately.)
+            if persist.pipeline().is_some() {
+                *withhold_lsn = Some(lsn);
+            }
         }
         match cmd {
             BrokerCmd::SetPriority { p, priority } => {
@@ -1435,6 +1591,18 @@ impl<W> ShardCore<W> {
             s.add("store.recovered_sessions", p.info.live_sessions);
             s.add("store.replayed_records", p.info.replayed_records);
             s.add("store.torn_bytes", p.info.torn_bytes);
+            s.add("store.durable_seq", p.store.durable_seq());
+            s.add("store.pipeline_batches", self.pipeline.batches);
+            s.add("store.pipeline_batch_max", self.pipeline.batch_max);
+            s.add("store.pipeline_withheld_peak", self.pipeline.withheld_peak);
+            s.add(
+                "store.pipeline_commit_p50_us",
+                self.pipeline.commit_us.percentile(0.50),
+            );
+            s.add(
+                "store.pipeline_commit_p99_us",
+                self.pipeline.commit_us.percentile(0.99),
+            );
         }
         s
     }
@@ -1487,6 +1655,43 @@ impl<W> ShardCore<W> {
 /// The reply slot type of the channel-fed worker pool.
 type ReplyTx<T> = Sender<Result<T, ServiceError>>;
 
+/// The worker-pool scheduler's withheld replies, in submission order:
+/// `(lsn, appended-at, boxed send)`. Heterogeneous reply channel types
+/// hide behind the boxed closure; it runs on the owning worker thread.
+type WithheldQueue = VecDeque<(u64, Instant, Box<dyn FnOnce()>)>;
+
+/// Releases every withheld reply the durable frontier now covers, in
+/// submission order.
+fn release_durable(core: &mut ShardCore<ReplyTx<Response>>, withheld: &mut WithheldQueue) {
+    let durable = core.durable_lsn();
+    let now = Instant::now();
+    while withheld.front().is_some_and(|(lsn, _, _)| *lsn <= durable) {
+        let (_, since, send) = withheld.pop_front().expect("checked front");
+        core.pipeline.on_release(now.duration_since(since));
+        send();
+    }
+}
+
+/// Fsync barrier + release: the group-commit flush. Everything appended
+/// becomes durable, so the whole queue drains.
+fn flush_withheld(core: &mut ShardCore<ReplyTx<Response>>, withheld: &mut WithheldQueue) {
+    let before = core.durable_lsn();
+    let durable = core.sync_barrier();
+    core.pipeline.on_flush(durable.saturating_sub(before));
+    release_durable(core, withheld);
+}
+
+/// Parks one reply until its LSN is durable.
+fn park(
+    core: &mut ShardCore<ReplyTx<Response>>,
+    withheld: &mut WithheldQueue,
+    lsn: u64,
+    send: Box<dyn FnOnce()>,
+) {
+    withheld.push_back((lsn, Instant::now(), send));
+    core.pipeline.on_withheld(withheld.len() as u64);
+}
+
 fn run_worker(
     shard_id: usize,
     rx: Receiver<Job>,
@@ -1522,8 +1727,33 @@ fn run_worker(
         let _ = ready.send(info);
     }
     // `recv` until the drain marker (or every sender dropped): accepted
-    // work is always fully processed before the worker exits.
-    while let Ok(job) = rx.recv() {
+    // work is always fully processed before the worker exits. Under the
+    // pipelined policy this loop doubles as the commit scheduler:
+    // replies to logged ops park in `withheld` and the WAL is fsynced
+    // when the unsynced batch hits `max_records`, the oldest withheld
+    // reply ages past `deadline`, or the queue goes idle with a batch
+    // outstanding — one fsync then releases every parked reply.
+    let pipeline = core.pipeline_params();
+    let mut withheld: WithheldQueue = VecDeque::new();
+    loop {
+        let job = if withheld.is_empty() {
+            match rx.recv() {
+                Ok(job) => job,
+                Err(_) => break,
+            }
+        } else {
+            match rx.try_recv() {
+                Ok(job) => job,
+                // Idle with a non-empty batch: no more work is coming
+                // to fill it, so sync now instead of sitting on replies
+                // until the deadline.
+                Err(mpsc::TryRecvError::Empty) => {
+                    flush_withheld(&mut core, &mut withheld);
+                    continue;
+                }
+                Err(mpsc::TryRecvError::Disconnected) => break,
+            }
+        };
         match job {
             Job::Open {
                 session,
@@ -1531,7 +1761,20 @@ fn run_worker(
                 processes,
                 reply,
             } => {
-                let _ = reply.send(core.open(session, resources, processes));
+                let result = core.open(session, resources, processes);
+                match core.take_withhold_lsn() {
+                    Some(lsn) => park(
+                        &mut core,
+                        &mut withheld,
+                        lsn,
+                        Box::new(move || {
+                            let _ = reply.send(result);
+                        }),
+                    ),
+                    None => {
+                        let _ = reply.send(result);
+                    }
+                }
             }
             Job::OpenAvoid {
                 session,
@@ -1540,18 +1783,59 @@ fn run_worker(
                 mode,
                 reply,
             } => {
-                let _ = reply.send(core.open_avoid(session, resources, processes, mode));
+                let result = core.open_avoid(session, resources, processes, mode);
+                match core.take_withhold_lsn() {
+                    Some(lsn) => park(
+                        &mut core,
+                        &mut withheld,
+                        lsn,
+                        Box::new(move || {
+                            let _ = reply.send(result);
+                        }),
+                    ),
+                    None => {
+                        let _ = reply.send(result);
+                    }
+                }
             }
             Job::Broker { session, op, reply } => {
                 let out = core.broker(session, op, reply);
+                // The command's reply and the waiters it woke all ride
+                // the command's LSN (re-attaches didn't log: deliver).
+                let lsn = core.take_withhold_lsn();
                 if let Some((slot, result)) = out.reply {
-                    let _ = slot.send(result);
+                    match lsn {
+                        Some(lsn) => park(
+                            &mut core,
+                            &mut withheld,
+                            lsn,
+                            Box::new(move || {
+                                let _ = slot.send(result);
+                            }),
+                        ),
+                        None => {
+                            let _ = slot.send(result);
+                        }
+                    }
                 }
                 for slot in out.woken {
-                    let _ = slot.send(Ok(Response::Granted {
+                    let granted = Ok(Response::Granted {
                         cycles: 0,
                         probes: 0,
-                    }));
+                    });
+                    match lsn {
+                        Some(lsn) => park(
+                            &mut core,
+                            &mut withheld,
+                            lsn,
+                            Box::new(move || {
+                                let _ = slot.send(granted);
+                            }),
+                        ),
+                        None => {
+                            let _ = slot.send(granted);
+                        }
+                    }
                 }
             }
             Job::Batch {
@@ -1559,16 +1843,56 @@ fn run_worker(
                 events,
                 reply,
             } => {
-                let _ = reply.send(core.batch(session, &events));
+                let result = core.batch(session, &events);
+                match core.take_withhold_lsn() {
+                    Some(lsn) => park(
+                        &mut core,
+                        &mut withheld,
+                        lsn,
+                        Box::new(move || {
+                            let _ = reply.send(result);
+                        }),
+                    ),
+                    None => {
+                        let _ = reply.send(result);
+                    }
+                }
             }
             Job::Close { session, reply } => {
                 let (result, dead) = core.close(session);
+                let lsn = core.take_withhold_lsn();
                 // Blocked acquires on this session can never be granted
                 // now; fail their slots instead of leaking silent hangs.
+                // The errors ride the close's LSN like any other reply
+                // the op produced.
                 for slot in dead {
-                    let _ = slot.send(Err(ServiceError::UnknownSession));
+                    match lsn {
+                        Some(lsn) => park(
+                            &mut core,
+                            &mut withheld,
+                            lsn,
+                            Box::new(move || {
+                                let _ = slot.send(Err(ServiceError::UnknownSession));
+                            }),
+                        ),
+                        None => {
+                            let _ = slot.send(Err(ServiceError::UnknownSession));
+                        }
+                    }
                 }
-                let _ = reply.send(result);
+                match lsn {
+                    Some(lsn) => park(
+                        &mut core,
+                        &mut withheld,
+                        lsn,
+                        Box::new(move || {
+                            let _ = reply.send(result);
+                        }),
+                    ),
+                    None => {
+                        let _ = reply.send(result);
+                    }
+                }
             }
             Job::Stats { reply } => {
                 let _ = reply.send(core.report(meter.max()));
@@ -1581,7 +1905,28 @@ fn run_worker(
                 snapshot,
                 reply,
             } => {
-                let _ = reply.send(core.restore(session, &snapshot));
+                let result = core.restore(session, &snapshot);
+                match core.take_withhold_lsn() {
+                    Some(lsn) => park(
+                        &mut core,
+                        &mut withheld,
+                        lsn,
+                        Box::new(move || {
+                            let _ = reply.send(result);
+                        }),
+                    ),
+                    None => {
+                        let _ = reply.send(result);
+                    }
+                }
+            }
+            Job::Sync { reply } => {
+                // Client-forced barrier: flush (releasing every withheld
+                // reply) and answer with the durable frontier.
+                flush_withheld(&mut core, &mut withheld);
+                let _ = reply.send(Ok(Response::Synced {
+                    durable_lsn: core.durable_lsn(),
+                }));
             }
             Job::Shutdown => {
                 meter.finished();
@@ -1589,8 +1934,22 @@ fn run_worker(
             }
         }
         core.maybe_checkpoint(false);
+        // A checkpoint's WAL sync advances the frontier on its own.
+        release_durable(&mut core, &mut withheld);
+        if let Some((max_records, deadline)) = pipeline {
+            let full = core.unsynced_records() >= max_records.max(1) as u64;
+            let stale = withheld
+                .front()
+                .is_some_and(|(_, since, _)| since.elapsed() >= deadline);
+            if full || stale {
+                flush_withheld(&mut core, &mut withheld);
+            }
+        }
         meter.finished();
     }
+    // Drain the pipeline before the final checkpoint/sync: a clean stop
+    // never drops an accepted op's reply.
+    flush_withheld(&mut core, &mut withheld);
     core.finish();
     core.report(meter.max())
 }

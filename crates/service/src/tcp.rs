@@ -114,6 +114,12 @@ pub(crate) fn stats_rows(per_shard: &[Stats]) -> Vec<ShardStats> {
             broker_give_ups: s.counter("service.broker_give_ups"),
             broker_livelocks: s.counter("service.broker_livelocks"),
             broker_waiters: s.counter("service.broker_waiters"),
+            pipeline_fsyncs: s.counter("store.fsyncs"),
+            pipeline_batches: s.counter("store.pipeline_batches"),
+            pipeline_batch_max: s.counter("store.pipeline_batch_max"),
+            pipeline_withheld_peak: s.counter("store.pipeline_withheld_peak"),
+            pipeline_commit_p50_us: s.counter("store.pipeline_commit_p50_us"),
+            pipeline_commit_p99_us: s.counter("store.pipeline_commit_p99_us"),
         })
         .collect()
 }
@@ -186,6 +192,9 @@ fn service_response(client: &Client, req: Request) -> Response {
             broker_reply(client.broker_release(session, p, q))
         }
         Request::GiveUpAck { session, p } => broker_reply(client.give_up_ack(session, p)),
+        // Durability barrier: the shard flushes its WAL and answers with
+        // the durable frontier; blocking here is the point.
+        Request::Sync { session } => broker_reply(client.sync(session)),
     }
 }
 

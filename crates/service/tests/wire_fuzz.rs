@@ -28,7 +28,7 @@ fn sample_give_up_ask(rng: &mut StdRng) -> GiveUpAsk {
 }
 
 fn sample_requests(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0..11u32) {
+    match rng.gen_range(0..12u32) {
         0 => Request::Open {
             resources: rng.gen_range(1..128u16),
             processes: rng.gen_range(1..128u16),
@@ -61,6 +61,9 @@ fn sample_requests(rng: &mut StdRng) -> Request {
         10 => Request::GiveUpAck {
             session: SessionId(rng.gen_range(0..1000u64)),
             p: ProcId(rng.gen_range(0..64u16)),
+        },
+        11 => Request::Sync {
+            session: SessionId(rng.gen_range(0..1000u64)),
         },
         4 => Request::Snapshot {
             session: SessionId(rng.gen_range(0..1000u64)),
@@ -100,7 +103,7 @@ fn sample_requests(rng: &mut StdRng) -> Request {
 }
 
 fn sample_responses(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0..13u32) {
+    match rng.gen_range(0..14u32) {
         0 => Response::Opened(SessionId(rng.gen_range(0..1000u64))),
         7 => Response::Granted {
             cycles: rng.gen_range(0..u64::MAX),
@@ -134,6 +137,9 @@ fn sample_responses(rng: &mut StdRng) -> Response {
             probes: rng.gen_range(0..u32::MAX),
         },
         11 => Response::Ack,
+        13 => Response::Synced {
+            durable_lsn: rng.gen_range(0..u64::MAX),
+        },
         12 => Response::Rejected(match rng.gen_range(0..6u32) {
             0 => RejectReason::UnknownId,
             1 => RejectReason::DuplicateEdge,
@@ -184,6 +190,12 @@ fn sample_responses(rng: &mut StdRng) -> Response {
                 broker_give_ups: rng.gen_range(0..u64::MAX),
                 broker_livelocks: rng.gen_range(0..u64::MAX),
                 broker_waiters: rng.gen_range(0..u64::MAX),
+                pipeline_fsyncs: rng.gen_range(0..u64::MAX),
+                pipeline_batches: rng.gen_range(0..u64::MAX),
+                pipeline_batch_max: rng.gen_range(0..u64::MAX),
+                pipeline_withheld_peak: rng.gen_range(0..u64::MAX),
+                pipeline_commit_p50_us: rng.gen_range(0..u64::MAX),
+                pipeline_commit_p99_us: rng.gen_range(0..u64::MAX),
             }],
             frontend: rng.gen_bool(0.5).then(|| FrontendStats {
                 accepted: rng.gen_range(0..u64::MAX),

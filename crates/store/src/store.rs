@@ -236,6 +236,21 @@ impl ShardStore {
         self.wal.fsyncs()
     }
 
+    /// Highest WAL sequence number known durable.
+    pub fn durable_seq(&self) -> u64 {
+        self.wal.durable_seq()
+    }
+
+    /// Appended records not yet covered by an fsync.
+    pub fn unsynced_records(&self) -> u64 {
+        self.wal.unsynced_records()
+    }
+
+    /// The WAL's fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.wal.policy()
+    }
+
     /// Checkpoints written since open.
     pub fn checkpoints(&self) -> u64 {
         self.checkpoints

@@ -23,6 +23,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::time::Duration;
 
 use deltaos_core::{Priority, ProcId, ResId};
 
@@ -36,19 +37,45 @@ use crate::snapshot::SessionSnapshot;
 pub const MAX_RECORD: usize = 1 << 20;
 
 /// When the WAL writer calls `fsync` relative to commits.
+///
+/// Counter semantics (shared by every policy): `records` counts
+/// appended records, `commits` counts [`WalWriter::commit`] calls that
+/// had staged data (i.e. logical commit *requests*, one per logged op
+/// in the service), and `fsyncs` counts actual `fdatasync` calls. Group
+/// policies amortize by making `fsyncs` ≪ `commits` — they never
+/// redefine what a commit is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FsyncPolicy {
     /// `fdatasync` after every commit. Maximum durability: nothing
     /// acknowledged is ever lost, at the cost of one device flush per
     /// commit.
     Always,
-    /// `fdatasync` once every `n` commits (group durability). A crash
-    /// can lose at most the last `n − 1` acknowledged commits; torn-tail
-    /// truncation keeps the log consistent regardless.
+    /// Write + `fdatasync` once every `n` commits (group durability).
+    /// Staged records accumulate in the user-space buffer and hit the
+    /// kernel in one `write` at the group boundary, so both the syscall
+    /// and the flush are amortized. A crash can lose at most the last
+    /// `n − 1` acknowledged commits; torn-tail truncation keeps the log
+    /// consistent regardless.
     EveryN(u32),
     /// Never `fsync`; leave flushing to the OS page cache. Survives
     /// process crashes (the data is in the kernel) but not power loss.
     Os,
+    /// Pipelined group commit: commits stage in the user-space buffer
+    /// (like [`FsyncPolicy::EveryN`] inside a group) and both the
+    /// `write` and the `fdatasync` are driven *externally* by a
+    /// per-core scheduler, which batches flushes across sessions and
+    /// withholds client replies until [`WalWriter::durable_seq`] covers
+    /// their record — the withheld reply, not the kernel hand-off, is
+    /// the durability contract. The parameters bound the scheduler:
+    /// flush at `max_records` appended-but-unsynced records, or when
+    /// `deadline` elapses since the oldest withheld reply, whichever is
+    /// first.
+    Pipelined {
+        /// Unsynced-record count that forces a flush.
+        max_records: u32,
+        /// Longest a withheld reply may wait for its flush.
+        deadline: Duration,
+    },
 }
 
 /// One event inside a [`WalOp::Batch`] — mirrors the service wire
@@ -500,6 +527,10 @@ pub struct WalWriter {
     next_seq: u64,
     policy: FsyncPolicy,
     unsynced_commits: u32,
+    /// Highest sequence number known to have reached the device (the
+    /// durable-LSN frontier). Baselined to the recovered tail on open:
+    /// everything the scan accepted is on disk by definition.
+    durable_seq: u64,
     records: u64,
     commits: u64,
     fsyncs: u64,
@@ -535,6 +566,7 @@ impl WalWriter {
             next_seq,
             policy,
             unsynced_commits: 0,
+            durable_seq: next_seq - 1,
             records: 0,
             commits: 0,
             fsyncs: 0,
@@ -549,9 +581,11 @@ impl WalWriter {
 
     /// Forces the next record's sequence number to be at least `seq`
     /// (used after loading a checkpoint whose `last_seq` is ahead of the
-    /// surviving log).
+    /// surviving log). Sequences below the reservation are covered by
+    /// the checkpoint, so the durable frontier advances with it.
     pub fn reserve_seq(&mut self, seq: u64) {
         self.next_seq = self.next_seq.max(seq);
+        self.durable_seq = self.durable_seq.max(self.next_seq - 1);
     }
 
     /// Stages one record in the group-commit buffer; returns its
@@ -570,44 +604,69 @@ impl WalWriter {
         seq
     }
 
-    /// Writes all staged records in one `write` and applies the fsync
-    /// policy. No-op when nothing is staged.
+    /// Hands all staged records to the kernel in one `write`.
+    fn write_out(&mut self) -> Result<(), StoreError> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Commits staged records per the fsync policy. No-op when nothing
+    /// is staged. One call = one logical commit (the `commits` counter
+    /// counts requests, not device flushes); under [`FsyncPolicy::
+    /// EveryN`] the staged bytes stay in the group buffer until the
+    /// group boundary, where one `write` + one `fdatasync` covers the
+    /// whole group.
     pub fn commit(&mut self) -> Result<(), StoreError> {
         if self.buf.is_empty() {
             return Ok(());
         }
-        self.file.write_all(&self.buf)?;
-        self.buf.clear();
         self.commits += 1;
         match self.policy {
             FsyncPolicy::Always => {
+                self.write_out()?;
                 self.file.sync_data()?;
                 self.fsyncs += 1;
+                self.durable_seq = self.next_seq - 1;
             }
             FsyncPolicy::EveryN(n) => {
                 self.unsynced_commits += 1;
                 if self.unsynced_commits >= n.max(1) {
+                    self.write_out()?;
                     self.file.sync_data()?;
                     self.fsyncs += 1;
+                    self.durable_seq = self.next_seq - 1;
                     self.unsynced_commits = 0;
                 }
             }
-            FsyncPolicy::Os => {}
+            // Hands the bytes to the kernel immediately and stops
+            // there for good.
+            FsyncPolicy::Os => {
+                self.write_out()?;
+            }
+            // Stays in the group buffer: the external scheduler's
+            // `sync` calls do one `write` + one `fdatasync` per flush
+            // (and advance the durable frontier), so the syscall count
+            // matches `EveryN`'s amortization.
+            FsyncPolicy::Pipelined { .. } => {}
         }
         Ok(())
     }
 
     /// Flushes staged records and forces an fsync regardless of policy
-    /// (shutdown / pre-checkpoint barrier).
+    /// (shutdown / pre-checkpoint barrier, and the pipelined
+    /// scheduler's group flush). Advances the durable frontier to the
+    /// last appended record.
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        if !self.buf.is_empty() {
-            self.file.write_all(&self.buf)?;
-            self.buf.clear();
-            self.commits += 1;
-        }
+        // Staged bytes were already counted by their `commit` calls;
+        // a sync is a flush, never an extra logical commit.
+        self.write_out()?;
         self.file.sync_data()?;
         self.fsyncs += 1;
         self.unsynced_commits = 0;
+        self.durable_seq = self.next_seq - 1;
         Ok(())
     }
 
@@ -627,7 +686,7 @@ impl WalWriter {
         self.records
     }
 
-    /// Commits since open.
+    /// Logical commits (calls with staged data) since open.
     pub fn commits(&self) -> u64 {
         self.commits
     }
@@ -635,6 +694,21 @@ impl WalWriter {
     /// Fsyncs issued since open.
     pub fn fsyncs(&self) -> u64 {
         self.fsyncs
+    }
+
+    /// Highest sequence number known durable (0 when nothing is).
+    pub fn durable_seq(&self) -> u64 {
+        self.durable_seq
+    }
+
+    /// Appended records not yet covered by an fsync.
+    pub fn unsynced_records(&self) -> u64 {
+        (self.next_seq - 1).saturating_sub(self.durable_seq)
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
     }
 }
 
@@ -806,6 +880,57 @@ mod tests {
             "records after the corrupt one are dropped too"
         );
         assert!(matches!(scan.tail, WalTail::Torn { .. }));
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn every_n_batches_writes_and_fsyncs_at_the_group_boundary() {
+        let path = tmp("group");
+        let (mut w, _) = WalWriter::open(&path, FsyncPolicy::EveryN(4)).unwrap();
+        let op = WalOp::Close { session: 1 };
+        for i in 1..=3u64 {
+            w.append(&op);
+            w.commit().unwrap();
+            assert_eq!(w.commits(), i, "commits count requests");
+            assert_eq!(w.fsyncs(), 0, "flush deferred to the group boundary");
+            assert_eq!(w.durable_seq(), 0);
+        }
+        // The write syscall is deferred too: nothing reached the kernel.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        w.append(&op);
+        w.commit().unwrap();
+        assert_eq!(w.commits(), 4);
+        assert_eq!(w.fsyncs(), 1, "one flush covers the whole group");
+        assert_eq!(w.durable_seq(), 4);
+        assert_eq!(w.unsynced_records(), 0);
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn pipelined_policy_defers_fsync_to_external_sync() {
+        let path = tmp("pipelined");
+        let policy = FsyncPolicy::Pipelined {
+            max_records: 8,
+            deadline: Duration::from_micros(500),
+        };
+        let (mut w, _) = WalWriter::open(&path, policy).unwrap();
+        let op = WalOp::Close { session: 1 };
+        for _ in 0..5 {
+            w.append(&op);
+            w.commit().unwrap();
+        }
+        assert_eq!(w.commits(), 5);
+        assert_eq!(w.fsyncs(), 0, "fsync is the scheduler's job");
+        assert_eq!(w.unsynced_records(), 5);
+        // The write syscall is the scheduler's job too: nothing reaches
+        // the kernel until the group flush.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        w.sync().unwrap();
+        assert_eq!(w.fsyncs(), 1);
+        assert_eq!(w.commits(), 5, "a sync is a flush, not a commit");
+        assert_eq!(scan(&std::fs::read(&path).unwrap()).records.len(), 5);
+        assert_eq!(w.durable_seq(), 5);
+        assert_eq!(w.unsynced_records(), 0);
         std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }
 
