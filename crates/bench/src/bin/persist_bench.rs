@@ -268,6 +268,7 @@ fn durable_config(drive: &Drive, dir: &Path, fsync: FsyncPolicy, ckpt_every: u64
             // Keep the WAL at shutdown so the recovery measurement
             // actually replays it.
             checkpoint_on_shutdown: false,
+            repl_ack: false,
         }),
         ..ServiceConfig::default()
     }

@@ -1,0 +1,178 @@
+//! Consistent-hash ring over node indices.
+//!
+//! The classic construction: every node projects `replicas` virtual
+//! points onto the `u64` circle; a key routes to the node owning the
+//! first point clockwise of its hash. Adding or removing one node moves
+//! only the keys in the arcs it gains or loses — about `1/n` of them —
+//! which is what makes cluster grow/shrink a *migration* problem rather
+//! than a *reshuffle-everything* problem.
+//!
+//! Hashing is [`splitmix64`], hand-rolled like the store's CRC32 to keep
+//! the offline, registry-free build. It is not cryptographic and does
+//! not need to be: the adversary here is accidental clustering, not an
+//! attacker choosing session ids.
+
+use std::collections::BTreeMap;
+
+/// SplitMix64: the standard 64-bit finalizer (Steele, Lea & Flood) —
+/// passes avalanche tests, two multiplies and three xor-shifts.
+#[must_use]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Default virtual points per node — enough that load imbalance across
+/// a handful of nodes stays within a few percent.
+pub const DEFAULT_REPLICAS: usize = 64;
+
+/// A consistent-hash ring mapping `u64` keys to node indices.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Point on the circle → owning node index.
+    points: BTreeMap<u64, usize>,
+    /// Virtual points per node.
+    replicas: usize,
+}
+
+/// Virtual-point placement for `(node, replica)`. Keys route by a
+/// *single* `splitmix64(key)`, so points must stay off that orbit: a
+/// point equal to `splitmix64(k)` for a small `k` would capture key `k`
+/// exactly (ranges are inclusive at the low end). Hashing twice with a
+/// salt in between puts points on `splitmix64(random-looking ^ salt)`,
+/// which small keys never hit.
+fn vpoint(node: usize, replica: usize) -> u64 {
+    let raw = splitmix64((node as u64) << 32 | replica as u64);
+    splitmix64(raw ^ 0xC1A5_7E2D_0B5E_55AA)
+}
+
+impl HashRing {
+    /// An empty ring with `replicas` virtual points per node (0 is
+    /// clamped to 1).
+    #[must_use]
+    pub fn new(replicas: usize) -> HashRing {
+        HashRing {
+            points: BTreeMap::new(),
+            replicas: replicas.max(1),
+        }
+    }
+
+    /// Inserts `node`'s virtual points. Idempotent.
+    pub fn add(&mut self, node: usize) {
+        for r in 0..self.replicas {
+            self.points.insert(vpoint(node, r), node);
+        }
+    }
+
+    /// Removes `node`'s virtual points. Idempotent.
+    pub fn remove(&mut self, node: usize) {
+        for r in 0..self.replicas {
+            // Another node's point could collide; only remove our own.
+            if self.points.get(&vpoint(node, r)) == Some(&node) {
+                self.points.remove(&vpoint(node, r));
+            }
+        }
+    }
+
+    /// `true` if the ring holds no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The node owning `key`: the first virtual point clockwise of
+    /// `splitmix64(key)`, wrapping at the top of the circle. `None` on
+    /// an empty ring.
+    #[must_use]
+    pub fn route(&self, key: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = splitmix64(key);
+        self.points
+            .range(h..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|(_, node)| *node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_are_stable_and_total() {
+        let mut ring = HashRing::new(DEFAULT_REPLICAS);
+        ring.add(0);
+        ring.add(1);
+        ring.add(2);
+        for key in 0..1000u64 {
+            let a = ring.route(key).unwrap();
+            let b = ring.route(key).unwrap();
+            assert_eq!(a, b);
+            assert!(a < 3);
+        }
+    }
+
+    #[test]
+    fn removal_only_moves_the_removed_nodes_keys() {
+        let mut ring = HashRing::new(DEFAULT_REPLICAS);
+        for n in 0..4 {
+            ring.add(n);
+        }
+        let before: Vec<usize> = (0..2000u64).map(|k| ring.route(k).unwrap()).collect();
+        ring.remove(3);
+        for (k, &owner) in before.iter().enumerate() {
+            let now = ring.route(k as u64).unwrap();
+            if owner != 3 {
+                assert_eq!(now, owner, "key {k} moved despite its node surviving");
+            } else {
+                assert_ne!(now, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_nodes() {
+        let mut ring = HashRing::new(DEFAULT_REPLICAS);
+        for n in 0..4 {
+            ring.add(n);
+        }
+        let mut counts = [0usize; 4];
+        for k in 0..8000u64 {
+            counts[ring.route(k).unwrap()] += 1;
+        }
+        for (n, &c) in counts.iter().enumerate() {
+            assert!(c > 800, "node {n} owns only {c} of 8000 keys");
+        }
+    }
+
+    #[test]
+    fn small_sequential_keys_spread() {
+        // Regression: virtual points placed on `splitmix64(small int)`
+        // sit exactly where small keys hash, capturing every early
+        // session id on node 0. The salted double hash keeps points off
+        // that orbit.
+        let mut ring = HashRing::new(DEFAULT_REPLICAS);
+        for n in 0..3 {
+            ring.add(n);
+        }
+        let mut counts = [0usize; 3];
+        for k in 0..48u64 {
+            counts[ring.route(k).unwrap()] += 1;
+        }
+        for (n, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "node {n} captured none of the first 48 keys");
+        }
+    }
+
+    #[test]
+    fn empty_ring_routes_nothing() {
+        let ring = HashRing::new(8);
+        assert!(ring.is_empty());
+        assert_eq!(ring.route(7), None);
+    }
+}

@@ -91,6 +91,10 @@ pub struct CoreConfig {
     /// Durability: per-shard WAL + checkpoints, recovered before the
     /// acceptor starts.
     pub durability: Option<DurabilityConfig>,
+    /// Start every shard as a read-only replica (see
+    /// [`crate::ServiceConfig::replica`]): mutations answer
+    /// `ReadOnlyReplica` until a `Promote` lands.
+    pub replica: bool,
     /// Maximum in-flight requests per connection; overflow answers
     /// [`Response::Busy`] in-band.
     pub max_pipeline: usize,
@@ -114,6 +118,7 @@ impl Default for CoreConfig {
             par: ParConfig::default(),
             pin_cpus: false,
             durability: None,
+            replica: false,
             max_pipeline: 64,
             max_write_buf: 256 * 1024,
             idle_timeout: Duration::from_secs(60),
@@ -235,6 +240,23 @@ enum ExecJob {
     Sync {
         session: SessionId,
     },
+    /// Replication poll against the shard `session` routes to (the
+    /// shard-addressed ops reuse session routing with
+    /// `session = shard`, which pins to exactly that shard).
+    Subscribe {
+        session: SessionId,
+        from_seq: u64,
+        acked_seq: u64,
+    },
+    /// Replication posture read; `session = shard`, as above.
+    ReplicaStatus {
+        session: SessionId,
+    },
+    /// Failover promotion; `session = shard`, as above.
+    Promote {
+        session: SessionId,
+        epoch: u64,
+    },
 }
 
 impl ExecJob {
@@ -247,7 +269,10 @@ impl ExecJob {
             | ExecJob::Snapshot { session }
             | ExecJob::Restore { session, .. }
             | ExecJob::Broker { session, .. }
-            | ExecJob::Sync { session } => *session,
+            | ExecJob::Sync { session }
+            | ExecJob::Subscribe { session, .. }
+            | ExecJob::ReplicaStatus { session }
+            | ExecJob::Promote { session, .. } => *session,
         }
     }
 }
@@ -454,11 +479,12 @@ impl LoopEnv {
         }
     }
 
-    /// Delivers the withheld replies `shard`'s durable frontier now
+    /// Delivers the withheld replies `shard`'s release floor (durable
+    /// frontier, clamped to the follower ack under `repl_ack`) now
     /// covers, in submission order.
     fn release_shard(&mut self, shard: usize) {
         let durable = match self.shards.get(&shard) {
-            Some(core) => core.durable_lsn(),
+            Some(core) => core.release_floor(),
             None => return,
         };
         let Some(q) = self.withheld.get_mut(&shard) else {
@@ -680,6 +706,37 @@ impl LoopEnv {
                     },
                 );
             }
+            ExecJob::Subscribe {
+                from_seq,
+                acked_seq,
+                ..
+            } => {
+                // Followers pull durable records only: flush first so a
+                // fresh append does not stall replication until the
+                // commit deadline. The poll's piggybacked ack may also
+                // advance the repl_ack release floor — drain after.
+                self.flush_shard(shard);
+                let resp = {
+                    let core = self.shards.get_mut(&shard).expect("owned shard");
+                    respond(core.subscribe(from_seq, acked_seq))
+                };
+                self.release_shard(shard);
+                self.deliver(ticket, resp);
+            }
+            ExecJob::ReplicaStatus { .. } => {
+                let resp = {
+                    let core = self.shards.get(&shard).expect("owned shard");
+                    Response::ReplicaStatus(core.replica_status())
+                };
+                self.deliver(ticket, resp);
+            }
+            ExecJob::Promote { epoch, .. } => {
+                let resp = {
+                    let core = self.shards.get_mut(&shard).expect("owned shard");
+                    respond(core.promote(epoch))
+                };
+                self.deliver(ticket, resp);
+            }
         }
         // Trigger (a): the batch may have just reached `max_records`.
         self.maybe_flush(shard);
@@ -878,6 +935,40 @@ fn to_job(env: &LoopEnv, c: &mut CConn, req: Request) -> Result<ExecJob, Box<Res
             cmd: BrokerCmd::GiveUpAck { p },
         }),
         Request::Sync { session } => Ok(ExecJob::Sync { session }),
+        // Shard-addressed replication ops ride session routing with
+        // `session = shard`: `shard % shards_total == shard`, so the job
+        // lands on exactly the named shard's owning loop.
+        Request::Subscribe {
+            shard,
+            from_seq,
+            acked_seq,
+        } => {
+            if shard as usize >= env.shards_total {
+                return Err(Box::new(error_response(ServiceError::UnknownSession)));
+            }
+            Ok(ExecJob::Subscribe {
+                session: SessionId(shard as u64),
+                from_seq,
+                acked_seq,
+            })
+        }
+        Request::ReplicaStatus { shard } => {
+            if shard as usize >= env.shards_total {
+                return Err(Box::new(error_response(ServiceError::UnknownSession)));
+            }
+            Ok(ExecJob::ReplicaStatus {
+                session: SessionId(shard as u64),
+            })
+        }
+        Request::Promote { shard, epoch } => {
+            if shard as usize >= env.shards_total {
+                return Err(Box::new(error_response(ServiceError::UnknownSession)));
+            }
+            Ok(ExecJob::Promote {
+                session: SessionId(shard as u64),
+                epoch,
+            })
+        }
         // Handled by the caller before `to_job` (it fans out, it does
         // not execute on a single shard).
         Request::Stats => unreachable!("Stats is routed before to_job"),
@@ -944,6 +1035,7 @@ fn run_core_loop(ctx: CoreCtx) {
                 ctx.cfg.par,
                 pool.clone(),
                 ctx.cfg.durability.as_ref(),
+                ctx.cfg.replica,
             ),
         );
     }
@@ -1192,6 +1284,25 @@ fn run_core_loop(ctx: CoreCtx) {
     // withheld replies), run shutdown durability per owned shard (final
     // checkpoint or WAL sync), then drop the connections with the loop.
     env.flush_idle();
+    // Replies still parked after the flush are gated on a follower ack
+    // that will never arrive (the runtime is stopping); locally durable
+    // is the most a dying process can promise, so deliver.
+    let gated: Vec<(usize, u64, Instant, Ticket, Response)> = env
+        .withheld
+        .iter_mut()
+        .flat_map(|(shard, q)| {
+            let shard = *shard;
+            q.drain(..)
+                .map(move |(lsn, since, t, r)| (shard, lsn, since, t, r))
+        })
+        .collect();
+    let now = Instant::now();
+    for (shard, _, since, ticket, resp) in gated {
+        if let Some(core) = env.shards.get_mut(&shard) {
+            core.pipeline.on_release(now.duration_since(since));
+        }
+        env.deliver(ticket, resp);
+    }
     apply_deliveries(&mut env, &mut conns);
     for c in conns.iter_mut() {
         c.pump_replies(&env.counters, &env.loop_counters[env.me]);

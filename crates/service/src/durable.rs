@@ -56,18 +56,27 @@ pub struct DurabilityConfig {
     /// Write a final checkpoint during graceful shutdown, so the next
     /// start recovers from the checkpoint alone with an empty WAL.
     pub checkpoint_on_shutdown: bool,
+    /// Durable-on-follower acks: withhold every logged op's reply until
+    /// a subscribed follower has acknowledged the op's LSN durable on
+    /// *its* disk (in addition to the local fsync frontier). An
+    /// acknowledged op then survives the loss of the whole primary, not
+    /// just a primary crash — the contract the failover-promotion path
+    /// relies on. Off by default; meaningless without a follower
+    /// polling `Subscribe`.
+    pub repl_ack: bool,
 }
 
 impl DurabilityConfig {
     /// Durability rooted at `dir` with the balanced defaults: group
     /// commit every 32 commits, checkpoint every 4096 records, final
-    /// checkpoint on shutdown.
+    /// checkpoint on shutdown, no follower-ack gating.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         DurabilityConfig {
             dir: dir.into(),
             fsync: FsyncPolicy::EveryN(32),
             checkpoint_every_records: 4096,
             checkpoint_on_shutdown: true,
+            repl_ack: false,
         }
     }
 }
@@ -195,6 +204,7 @@ impl ShardPersist {
             shard: shard as u32,
             last_seq: 0, // overwritten by ShardStore::checkpoint
             next_session,
+            epoch: 0, // overwritten by ShardStore::checkpoint
             counters,
             sessions: snaps,
         };
@@ -212,6 +222,145 @@ pub(crate) struct RecoveredShard {
     pub brokers: HashMap<u64, Broker>,
     pub counters: ShardCounters,
     pub next_session: u64,
+    /// The replayed WAL suffix as `(seq, epoch, encoded op)` — seeds the
+    /// shard's replication buffer so a follower can resume tailing from
+    /// any record the checkpoint has not yet swallowed.
+    pub wal_tail: Vec<(u64, u64, Vec<u8>)>,
+}
+
+/// Engine-construction context threaded through WAL apply: the shard's
+/// shared reduction pool and its parallelism gate, which travel
+/// together into every `Session`/`Broker` (re)construction.
+#[derive(Clone, Copy)]
+pub(crate) struct EngineCtx<'a> {
+    pub pool: &'a Option<Arc<WorkerPool>>,
+    pub par: ParConfig,
+}
+
+/// Applies one WAL op to a shard's session/broker tables — the single
+/// ingestion path shared by crash recovery ([`open_shard`]) and live
+/// replica apply ([`crate::shard::ShardCore`]), which is why a follower
+/// ends up *bit-identical* to the primary: same code, same order, same
+/// counters.
+///
+/// # Panics
+///
+/// Panics on an op referencing an unknown session or an undecodable
+/// embedded snapshot — a forged or desynced log, fail-stop either way.
+pub(crate) fn apply_wal_op(
+    shard: usize,
+    op: &WalOp,
+    sessions: &mut HashMap<u64, Session>,
+    brokers: &mut HashMap<u64, Broker>,
+    counters: &mut ShardCounters,
+    next_session: &mut u64,
+    engine: EngineCtx<'_>,
+) {
+    let EngineCtx { pool, par } = engine;
+    match op {
+        WalOp::Open {
+            session,
+            resources,
+            processes,
+        } => {
+            sessions.insert(
+                *session,
+                Session::with_parallel(*resources, *processes, pool.clone(), par),
+            );
+            counters.sessions_opened += 1;
+            *next_session = (*next_session).max(*session + 1);
+        }
+        WalOp::Batch { session, events } => {
+            // A logged batch always follows a logged open/restore of
+            // its session; a miss would mean the log was forged.
+            let Some(sess) = sessions.get_mut(session) else {
+                panic!("shard {shard}: WAL batch for unknown session {session}");
+            };
+            let events: Vec<Event> = events.iter().map(proto_event).collect();
+            let mut results = Vec::new();
+            let tally = sess.apply_batch(&events, &mut results);
+            counters.batches += 1;
+            counters.events += tally.events;
+            counters.probes += tally.probes;
+            counters.rejected += tally.rejected;
+        }
+        WalOp::Close { session } => {
+            if let Some(sess) = sessions.remove(session) {
+                let es = sess.engine_stats();
+                counters.retired_cache_hits += es.cache_hits;
+                counters.retired_reductions += es.reductions;
+                counters.retired_dense_reductions += es.dense_reductions;
+                counters.retired_sparse_reductions += es.sparse_reductions;
+                counters.sessions_closed += 1;
+            } else if let Some(b) = brokers.remove(session) {
+                let es = b.engine_stats();
+                counters.retired_cache_hits += es.cache_hits;
+                counters.retired_reductions += es.reductions;
+                counters.retired_dense_reductions += es.dense_reductions;
+                counters.retired_sparse_reductions += es.sparse_reductions;
+                let bc = b.counters();
+                counters.retired_broker_grants += bc.grants;
+                counters.retired_broker_deferrals += bc.deferrals;
+                counters.retired_broker_give_ups += bc.give_ups;
+                counters.retired_broker_livelocks += b.livelock_events();
+                counters.sessions_closed += 1;
+            }
+        }
+        WalOp::Restore { snapshot } => {
+            if snapshot.broker.is_some() {
+                let b = Broker::restore_from(snapshot, pool.clone(), par)
+                    .unwrap_or_else(|e| panic!("shard {shard}: WAL broker restore: {e}"));
+                brokers.insert(snapshot.session, b);
+            } else {
+                let sess = Session::restore_from(snapshot, pool.clone(), par)
+                    .unwrap_or_else(|e| panic!("shard {shard}: WAL session restore: {e}"));
+                sessions.insert(snapshot.session, sess);
+            }
+            counters.sessions_opened += 1;
+            *next_session = (*next_session).max(snapshot.session + 1);
+        }
+        WalOp::Broker { session, op } => match op {
+            // Broker commands are logged, not their decisions:
+            // replaying the command against identical state re-derives
+            // the identical decision (including rejections), and the
+            // broker's own grant/deferral/give-up counters advance
+            // exactly as they did live. Woken waiters need no replay —
+            // a grant is broker state, and the reply slots died with
+            // the connections.
+            BrokerWalOp::Open {
+                resources,
+                processes,
+                metered,
+            } => {
+                brokers.insert(
+                    *session,
+                    Broker::new(*resources, *processes, *metered, pool.clone(), par),
+                );
+                counters.sessions_opened += 1;
+                *next_session = (*next_session).max(*session + 1);
+            }
+            op => {
+                let Some(b) = brokers.get_mut(session) else {
+                    panic!("shard {shard}: WAL broker op for unknown session {session}");
+                };
+                match *op {
+                    BrokerWalOp::Open { .. } => unreachable!("handled above"),
+                    BrokerWalOp::SetPriority { p, priority } => {
+                        b.set_priority(p, priority);
+                    }
+                    BrokerWalOp::Acquire { p, q } => {
+                        b.acquire(p, q);
+                    }
+                    BrokerWalOp::Release { p, q } => {
+                        b.release(p, q);
+                    }
+                    BrokerWalOp::GiveUpAck { p } => {
+                        b.give_up_ack(p);
+                    }
+                }
+            }
+        },
+    }
 }
 
 /// Opens shard `shard`'s store and rebuilds its state: checkpoint
@@ -252,112 +401,20 @@ pub(crate) fn open_shard(
         }
     }
     let replayed_records = recovery.wal_ops.len() as u64;
-    let mut results = Vec::new();
-    for (_seq, op) in &recovery.wal_ops {
-        match op {
-            WalOp::Open {
-                session,
-                resources,
-                processes,
-            } => {
-                sessions.insert(
-                    *session,
-                    Session::with_parallel(*resources, *processes, pool.clone(), par),
-                );
-                counters.sessions_opened += 1;
-                next_session = next_session.max(*session + 1);
-            }
-            WalOp::Batch { session, events } => {
-                // A logged batch always follows a logged open/restore of
-                // its session; a miss would mean the log was forged.
-                let Some(sess) = sessions.get_mut(session) else {
-                    panic!("shard {shard}: WAL batch for unknown session {session}");
-                };
-                let events: Vec<Event> = events.iter().map(proto_event).collect();
-                results.clear();
-                let tally = sess.apply_batch(&events, &mut results);
-                counters.batches += 1;
-                counters.events += tally.events;
-                counters.probes += tally.probes;
-                counters.rejected += tally.rejected;
-            }
-            WalOp::Close { session } => {
-                if let Some(sess) = sessions.remove(session) {
-                    let es = sess.engine_stats();
-                    counters.retired_cache_hits += es.cache_hits;
-                    counters.retired_reductions += es.reductions;
-                    counters.retired_dense_reductions += es.dense_reductions;
-                    counters.retired_sparse_reductions += es.sparse_reductions;
-                    counters.sessions_closed += 1;
-                } else if let Some(b) = brokers.remove(session) {
-                    let es = b.engine_stats();
-                    counters.retired_cache_hits += es.cache_hits;
-                    counters.retired_reductions += es.reductions;
-                    counters.retired_dense_reductions += es.dense_reductions;
-                    counters.retired_sparse_reductions += es.sparse_reductions;
-                    let bc = b.counters();
-                    counters.retired_broker_grants += bc.grants;
-                    counters.retired_broker_deferrals += bc.deferrals;
-                    counters.retired_broker_give_ups += bc.give_ups;
-                    counters.retired_broker_livelocks += b.livelock_events();
-                    counters.sessions_closed += 1;
-                }
-            }
-            WalOp::Restore { snapshot } => {
-                if snapshot.broker.is_some() {
-                    let b = Broker::restore_from(snapshot, pool.clone(), par)
-                        .unwrap_or_else(|e| panic!("shard {shard}: WAL broker restore: {e}"));
-                    brokers.insert(snapshot.session, b);
-                } else {
-                    let sess = Session::restore_from(snapshot, pool.clone(), par)
-                        .unwrap_or_else(|e| panic!("shard {shard}: WAL session restore: {e}"));
-                    sessions.insert(snapshot.session, sess);
-                }
-                counters.sessions_opened += 1;
-                next_session = next_session.max(snapshot.session + 1);
-            }
-            WalOp::Broker { session, op } => match op {
-                // Broker commands are logged, not their decisions:
-                // replaying the command against identical state re-derives
-                // the identical decision (including rejections), and the
-                // broker's own grant/deferral/give-up counters advance
-                // exactly as they did live. Woken waiters need no replay —
-                // a grant is broker state, and the reply slots died with
-                // the connections.
-                BrokerWalOp::Open {
-                    resources,
-                    processes,
-                    metered,
-                } => {
-                    brokers.insert(
-                        *session,
-                        Broker::new(*resources, *processes, *metered, pool.clone(), par),
-                    );
-                    counters.sessions_opened += 1;
-                    next_session = next_session.max(*session + 1);
-                }
-                op => {
-                    let Some(b) = brokers.get_mut(session) else {
-                        panic!("shard {shard}: WAL broker op for unknown session {session}");
-                    };
-                    match *op {
-                        BrokerWalOp::Open { .. } => unreachable!("handled above"),
-                        BrokerWalOp::SetPriority { p, priority } => {
-                            b.set_priority(p, priority);
-                        }
-                        BrokerWalOp::Acquire { p, q } => {
-                            b.acquire(p, q);
-                        }
-                        BrokerWalOp::Release { p, q } => {
-                            b.release(p, q);
-                        }
-                        BrokerWalOp::GiveUpAck { p } => {
-                            b.give_up_ack(p);
-                        }
-                    }
-                }
-            },
-        }
+    let mut wal_tail = Vec::with_capacity(recovery.wal_ops.len());
+    for (seq, epoch, op) in &recovery.wal_ops {
+        apply_wal_op(
+            shard,
+            op,
+            &mut sessions,
+            &mut brokers,
+            &mut counters,
+            &mut next_session,
+            EngineCtx { pool: &pool, par },
+        );
+        let mut bytes = Vec::new();
+        op.encode_into(&mut bytes);
+        wal_tail.push((*seq, *epoch, bytes));
     }
     let info = RecoveryInfo {
         shard,
@@ -379,5 +436,6 @@ pub(crate) fn open_shard(
         brokers,
         counters,
         next_session,
+        wal_tail,
     }
 }

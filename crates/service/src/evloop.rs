@@ -492,6 +492,30 @@ impl Conn {
                             Ok(rx) => Pending::Broker(rx),
                             Err(e) => Pending::Ready(error_response(e)),
                         },
+                        // Replication ops answer with their full wire
+                        // response (`WalSegment`/`ReplicaStatus`), so they
+                        // ride the generic slot too — inheriting the
+                        // worker pool's repl_ack gating for free.
+                        Ok(Request::Subscribe {
+                            shard,
+                            from_seq,
+                            acked_seq,
+                        }) => match client.subscribe_async(shard, from_seq, acked_seq) {
+                            Ok(rx) => Pending::Broker(rx),
+                            Err(e) => Pending::Ready(error_response(e)),
+                        },
+                        Ok(Request::ReplicaStatus { shard }) => {
+                            match client.replica_status_async(shard) {
+                                Ok(rx) => Pending::Broker(rx),
+                                Err(e) => Pending::Ready(error_response(e)),
+                            }
+                        }
+                        Ok(Request::Promote { shard, epoch }) => {
+                            match client.promote_async(shard, epoch) {
+                                Ok(rx) => Pending::Broker(rx),
+                                Err(e) => Pending::Ready(error_response(e)),
+                            }
+                        }
                     };
                     self.pending.push_back(slot);
                 }

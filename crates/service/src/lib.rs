@@ -17,6 +17,11 @@
 //! * [`shard`] — the worker pool: bounded queues, `Busy` backpressure,
 //!   admission control, graceful drain-on-shutdown, per-shard
 //!   [`deltaos_sim::Stats`].
+//! * [`durable`] — opt-in persistence: per-shard WAL + checkpoints via
+//!   `deltaos-store`, bit-identical recovery, group-commit scheduling.
+//! * [`replica`] — the WAL-streaming follower: a tailer pulling wire
+//!   `Subscribe` segments into a replica-mode service, heartbeat death
+//!   detection and epoch-fenced promotion.
 //! * [`proto`] — the length-prefixed binary wire protocol with a total,
 //!   panic-free decoder.
 //! * [`tcp`] — a blocking `std::net` server/client pair over [`proto`].
@@ -56,6 +61,7 @@ pub mod durable;
 #[cfg(unix)]
 pub mod evloop;
 pub mod proto;
+pub mod replica;
 pub mod session;
 pub mod shard;
 pub mod tcp;
@@ -69,9 +75,10 @@ pub use durable::{DurabilityConfig, RecoveryInfo};
 #[cfg(unix)]
 pub use evloop::{EvConfig, EvServer};
 pub use proto::{
-    AvoidanceMode, CoreStats, ErrorCode, Event, EventResult, FrontendStats, RejectReason, Request,
-    Response, SessionId, ShardStats, WireError, MAX_BATCH, MAX_FRAME,
+    AvoidanceMode, CoreStats, ErrorCode, Event, EventResult, FrontendStats, RejectReason,
+    ReplStatus, Request, Response, SessionId, ShardStats, WireError, MAX_BATCH, MAX_FRAME,
 };
+pub use replica::{ReplicaTailer, TailerConfig, TailerReport};
 pub use session::{BatchTally, Session};
 pub use shard::{Client, Service, ServiceConfig, ServiceError};
 pub use tcp::{TcpClient, TcpServer};

@@ -143,6 +143,18 @@ pub enum ErrorCode {
     /// to Algorithm 3; direct edits would corrupt the avoider's
     /// invariants.
     AvoidanceOn,
+    /// A state-mutating request reached a replica. Followers serve
+    /// probes, stats, snapshots and subscriptions only; writes must go
+    /// to the primary.
+    ReadOnlyReplica,
+    /// The request carried a stale epoch: a fenced former primary (or a
+    /// `Promote` that does not advance the epoch) tried to write past a
+    /// newer incarnation's authority.
+    EpochFenced,
+    /// A `Subscribe` asked for WAL records older than the primary's
+    /// replication buffer retains; the follower must re-seed from a
+    /// checkpoint/snapshot instead of tailing.
+    SubscribeGap,
 }
 
 /// Per-session avoidance policy chosen at open time.
@@ -272,6 +284,39 @@ pub enum Request {
         /// Session whose owning shard is flushed.
         session: SessionId,
     },
+    /// Replication: poll shard `shard` for WAL records with sequence
+    /// numbers `>= from_seq`, answered with one bounded
+    /// [`Response::WalSegment`]. The poll doubles as the follower's
+    /// heartbeat, and `acked_seq` piggybacks the follower's durable
+    /// frontier so a `repl_ack`-gated primary can release withheld
+    /// replies.
+    Subscribe {
+        /// Shard whose WAL is tailed.
+        shard: u16,
+        /// First sequence number wanted (records below are skipped).
+        from_seq: u64,
+        /// Highest WAL seq the follower has made durable locally
+        /// (0 = nothing acknowledged yet).
+        acked_seq: u64,
+    },
+    /// Replication: read shard `shard`'s role, epoch and replication
+    /// frontiers, answered with [`Response::ReplicaStatus`]. Passive —
+    /// forces no fsync; the reported durable frontier is the fsynced
+    /// floor at the time of the request.
+    ReplicaStatus {
+        /// Shard inspected.
+        shard: u16,
+    },
+    /// Replication: promote shard `shard` to primary under `epoch`.
+    /// The epoch must strictly exceed the shard's current epoch or the
+    /// request fails with [`ErrorCode::EpochFenced`] — the fencing rule
+    /// that keeps a deposed primary from reclaiming authority.
+    Promote {
+        /// Shard promoted.
+        shard: u16,
+        /// New epoch; must be greater than the shard's current epoch.
+        epoch: u64,
+    },
 }
 
 /// Key per-shard counters serialized in a [`Response::Stats`].
@@ -328,6 +373,17 @@ pub struct ShardStats {
     /// Group-commit pipeline: p99 commit latency (append → durable) in
     /// microseconds.
     pub pipeline_commit_p99_us: u64,
+    /// Replication: records the connected follower has yet to
+    /// acknowledge (`last_seq - follower_acked_seq`; gauge). 0 when no
+    /// follower has ever subscribed.
+    pub repl_lag_records: u64,
+    /// Replication: highest WAL seq a follower has acknowledged durable
+    /// (gauge).
+    pub follower_acked_seq: u64,
+    /// Replication: the shard's current fencing epoch (gauge).
+    pub epoch: u64,
+    /// Replication: promotions this shard has accepted since start.
+    pub promotions: u64,
 }
 
 /// Front-end (event-loop) health counters, serialized in a
@@ -481,6 +537,49 @@ pub enum Response {
         /// The shard's durable WAL sequence number.
         durable_lsn: u64,
     },
+    /// Replication: one bounded slice of a shard's WAL answering a
+    /// [`Request::Subscribe`] poll. `records` holds at most
+    /// [`MAX_BATCH`] `(seq, epoch, op_bytes)` triples, op bytes opaque
+    /// at the wire layer (the follower hands them to its store, whose
+    /// total decoder owns validation). Empty `records` with
+    /// `last_seq >= from_seq - 1` means the follower is caught up.
+    WalSegment {
+        /// Shard the records belong to.
+        shard: u16,
+        /// The primary's current fencing epoch.
+        epoch: u64,
+        /// The primary's fsynced WAL floor — the durable-frontier
+        /// invariant applies: never the appended seq.
+        durable_seq: u64,
+        /// The primary's highest appended WAL seq (0 = empty log).
+        last_seq: u64,
+        /// `(seq, epoch, encoded WalOp)` triples in seq order.
+        records: Vec<(u64, u64, Vec<u8>)>,
+    },
+    /// Replication: a shard's role, epoch and frontiers, answering
+    /// [`Request::ReplicaStatus`].
+    ReplicaStatus(ReplStatus),
+}
+
+/// One shard's replication posture, carried by
+/// [`Response::ReplicaStatus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplStatus {
+    /// Shard inspected.
+    pub shard: u16,
+    /// `true` if the shard currently serves writes (primary role).
+    pub primary: bool,
+    /// Current fencing epoch.
+    pub epoch: u64,
+    /// Highest appended WAL seq (0 = empty log).
+    pub last_seq: u64,
+    /// Fsynced WAL floor (the durable-frontier invariant: only ever the
+    /// fdatasync'd floor, never the appended seq).
+    pub durable_seq: u64,
+    /// Highest WAL seq a subscribed follower has acknowledged durable.
+    pub acked_seq: u64,
+    /// Promotions accepted since start.
+    pub promotions: u64,
 }
 
 /// Typed decode/framing failure. Total over arbitrary input: malformed
@@ -612,6 +711,9 @@ fn error_code(e: ErrorCode) -> u8 {
         ErrorCode::SnapshotTooLarge => 8,
         ErrorCode::AvoidanceOff => 9,
         ErrorCode::AvoidanceOn => 10,
+        ErrorCode::ReadOnlyReplica => 11,
+        ErrorCode::EpochFenced => 12,
+        ErrorCode::SubscribeGap => 13,
     }
 }
 
@@ -776,6 +878,25 @@ pub fn encode_request_into(req: &Request, out: &mut Vec<u8>) {
             out.push(0x0C);
             put_u64(out, session.0);
         }
+        Request::Subscribe {
+            shard,
+            from_seq,
+            acked_seq,
+        } => {
+            out.push(0x0D);
+            put_u16(out, *shard);
+            put_u64(out, *from_seq);
+            put_u64(out, *acked_seq);
+        }
+        Request::ReplicaStatus { shard } => {
+            out.push(0x0E);
+            put_u16(out, *shard);
+        }
+        Request::Promote { shard, epoch } => {
+            out.push(0x0F);
+            put_u16(out, *shard);
+            put_u64(out, *epoch);
+        }
     }
 }
 
@@ -846,6 +967,10 @@ pub fn encode_response_into(resp: &Response, out: &mut Vec<u8>) {
                 put_u64(out, s.pipeline_withheld_peak);
                 put_u64(out, s.pipeline_commit_p50_us);
                 put_u64(out, s.pipeline_commit_p99_us);
+                put_u64(out, s.repl_lag_records);
+                put_u64(out, s.follower_acked_seq);
+                put_u64(out, s.epoch);
+                put_u64(out, s.promotions);
             }
             match frontend {
                 None => out.push(0),
@@ -918,6 +1043,36 @@ pub fn encode_response_into(resp: &Response, out: &mut Vec<u8>) {
         Response::Synced { durable_lsn } => {
             out.push(0x8E);
             put_u64(out, *durable_lsn);
+        }
+        Response::WalSegment {
+            shard,
+            epoch,
+            durable_seq,
+            last_seq,
+            records,
+        } => {
+            out.push(0x8F);
+            put_u16(out, *shard);
+            put_u64(out, *epoch);
+            put_u64(out, *durable_seq);
+            put_u64(out, *last_seq);
+            put_u32(out, records.len() as u32);
+            for (seq, rec_epoch, op_bytes) in records {
+                put_u64(out, *seq);
+                put_u64(out, *rec_epoch);
+                put_u32(out, op_bytes.len() as u32);
+                out.extend_from_slice(op_bytes);
+            }
+        }
+        Response::ReplicaStatus(s) => {
+            out.push(0x90);
+            put_u16(out, s.shard);
+            out.push(u8::from(s.primary));
+            put_u64(out, s.epoch);
+            put_u64(out, s.last_seq);
+            put_u64(out, s.durable_seq);
+            put_u64(out, s.acked_seq);
+            put_u64(out, s.promotions);
         }
     }
 }
@@ -1025,6 +1180,9 @@ fn read_error_code(code: u8) -> Result<ErrorCode, WireError> {
         8 => ErrorCode::SnapshotTooLarge,
         9 => ErrorCode::AvoidanceOff,
         10 => ErrorCode::AvoidanceOn,
+        11 => ErrorCode::ReadOnlyReplica,
+        12 => ErrorCode::EpochFenced,
+        13 => ErrorCode::SubscribeGap,
         tag => {
             return Err(WireError::UnknownTag {
                 what: "error code",
@@ -1210,6 +1368,16 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         0x0C => Request::Sync {
             session: SessionId(r.u64()?),
         },
+        0x0D => Request::Subscribe {
+            shard: r.u16()?,
+            from_seq: r.u64()?,
+            acked_seq: r.u64()?,
+        },
+        0x0E => Request::ReplicaStatus { shard: r.u16()? },
+        0x0F => Request::Promote {
+            shard: r.u16()?,
+            epoch: r.u64()?,
+        },
         tag => {
             return Err(WireError::UnknownTag {
                 what: "request",
@@ -1291,6 +1459,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                     pipeline_withheld_peak: r.u64()?,
                     pipeline_commit_p50_us: r.u64()?,
                     pipeline_commit_p99_us: r.u64()?,
+                    repl_lag_records: r.u64()?,
+                    follower_acked_seq: r.u64()?,
+                    epoch: r.u64()?,
+                    promotions: r.u64()?,
                 });
             }
             let frontend = match r.u8()? {
@@ -1387,6 +1559,57 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
         0x8E => Response::Synced {
             durable_lsn: r.u64()?,
         },
+        0x8F => {
+            let shard = r.u16()?;
+            let epoch = r.u64()?;
+            let durable_seq = r.u64()?;
+            let last_seq = r.u64()?;
+            let count = r.u32()?;
+            if count as usize > MAX_BATCH {
+                return Err(WireError::CountTooLarge { count });
+            }
+            let mut records = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let seq = r.u64()?;
+                let rec_epoch = r.u64()?;
+                let len = r.u32()?;
+                if len as usize > MAX_FRAME {
+                    return Err(WireError::Oversized {
+                        len: u64::from(len),
+                    });
+                }
+                records.push((seq, rec_epoch, r.take(len as usize)?.to_vec()));
+            }
+            Response::WalSegment {
+                shard,
+                epoch,
+                durable_seq,
+                last_seq,
+                records,
+            }
+        }
+        0x90 => {
+            let shard = r.u16()?;
+            let primary = match r.u8()? {
+                0 => false,
+                1 => true,
+                tag => {
+                    return Err(WireError::UnknownTag {
+                        what: "replica role flag",
+                        tag,
+                    })
+                }
+            };
+            Response::ReplicaStatus(ReplStatus {
+                shard,
+                primary,
+                epoch: r.u64()?,
+                last_seq: r.u64()?,
+                durable_seq: r.u64()?,
+                acked_seq: r.u64()?,
+                promotions: r.u64()?,
+            })
+        }
         tag => {
             return Err(WireError::UnknownTag {
                 what: "response",
@@ -1567,6 +1790,70 @@ mod tests {
         roundtrip_request(Request::Sync {
             session: SessionId(13),
         });
+        roundtrip_request(Request::Subscribe {
+            shard: 3,
+            from_seq: 1001,
+            acked_seq: 990,
+        });
+        roundtrip_request(Request::ReplicaStatus { shard: 0 });
+        roundtrip_request(Request::Promote { shard: 1, epoch: 4 });
+    }
+
+    #[test]
+    fn replication_response_roundtrips() {
+        roundtrip_response(Response::WalSegment {
+            shard: 2,
+            epoch: 3,
+            durable_seq: 41,
+            last_seq: 44,
+            records: vec![
+                (42, 3, vec![0xAA, 0xBB]),
+                (43, 3, Vec::new()),
+                (44, 3, vec![0x01]),
+            ],
+        });
+        roundtrip_response(Response::WalSegment {
+            shard: 0,
+            epoch: 0,
+            durable_seq: 0,
+            last_seq: 0,
+            records: Vec::new(),
+        });
+        roundtrip_response(Response::ReplicaStatus(ReplStatus {
+            shard: 5,
+            primary: false,
+            epoch: 7,
+            last_seq: 900,
+            durable_seq: 896,
+            acked_seq: 0,
+            promotions: 2,
+        }));
+        roundtrip_response(Response::ReplicaStatus(ReplStatus {
+            shard: 0,
+            primary: true,
+            epoch: 1,
+            last_seq: 10,
+            durable_seq: 10,
+            acked_seq: 10,
+            promotions: 1,
+        }));
+        roundtrip_response(Response::Error(ErrorCode::ReadOnlyReplica));
+        roundtrip_response(Response::Error(ErrorCode::EpochFenced));
+        roundtrip_response(Response::Error(ErrorCode::SubscribeGap));
+    }
+
+    #[test]
+    fn hostile_wal_segment_count_rejected_before_allocation() {
+        let mut bytes = vec![0x8F];
+        bytes.extend_from_slice(&2u16.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&5u64.to_le_bytes());
+        bytes.extend_from_slice(&9u64.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_response(&bytes),
+            Err(WireError::CountTooLarge { count: u32::MAX })
+        ));
     }
 
     #[test]
@@ -1651,6 +1938,10 @@ mod tests {
             pipeline_withheld_peak: 12,
             pipeline_commit_p50_us: 180,
             pipeline_commit_p99_us: 900,
+            repl_lag_records: 4,
+            follower_acked_seq: 96,
+            epoch: 2,
+            promotions: 1,
         }];
         roundtrip_response(Response::Stats {
             shards: rows.clone(),

@@ -34,7 +34,9 @@ use deltaos_store::{BrokerWalOp, SessionSnapshot, WalOp};
 
 use crate::broker::Broker;
 use crate::durable::{self, DurabilityConfig, RecoveryInfo};
-use crate::proto::{AvoidanceMode, ErrorCode, Event, EventResult, Response, SessionId, MAX_FRAME};
+use crate::proto::{
+    AvoidanceMode, ErrorCode, Event, EventResult, ReplStatus, Response, SessionId, MAX_FRAME,
+};
 use crate::session::Session;
 
 /// Service construction parameters.
@@ -69,6 +71,12 @@ pub struct ServiceConfig {
     /// there. `None` (the default) is the memory-only service, byte-
     /// and allocation-identical to before the store existed.
     pub durability: Option<DurabilityConfig>,
+    /// Start every shard as a read-only replica: mutations are refused
+    /// with [`ServiceError::ReadOnlyReplica`] and state advances only
+    /// through [`Client::repl_apply`] feeding it the primary's WAL
+    /// records. A replica becomes a primary through
+    /// [`Client::promote`] under a strictly larger epoch.
+    pub replica: bool,
 }
 
 impl Default for ServiceConfig {
@@ -82,6 +90,7 @@ impl Default for ServiceConfig {
             par: ParConfig::default(),
             pin_cpus: false,
             durability: None,
+            replica: false,
         }
     }
 }
@@ -130,6 +139,15 @@ pub enum ServiceError {
     /// A raw edit `Batch` was sent to a broker session, whose graph is
     /// owned by the avoider.
     AvoidanceOn,
+    /// A state-mutating command reached a replica; writes go to the
+    /// primary.
+    ReadOnlyReplica,
+    /// The command carried a stale fencing epoch (a deposed primary's
+    /// WAL tail, or a `Promote` that does not advance the epoch).
+    EpochFenced,
+    /// A WAL subscription (or replica apply) needed records older than
+    /// the replication buffer retains; re-seed from a snapshot.
+    SubscribeGap,
 }
 
 impl fmt::Display for ServiceError {
@@ -145,6 +163,11 @@ impl fmt::Display for ServiceError {
             ServiceError::SnapshotTooLarge => write!(f, "session snapshot exceeds frame cap"),
             ServiceError::AvoidanceOff => write!(f, "broker command on a plain session"),
             ServiceError::AvoidanceOn => write!(f, "raw batch on a broker session"),
+            ServiceError::ReadOnlyReplica => write!(f, "mutation on a read-only replica"),
+            ServiceError::EpochFenced => write!(f, "stale epoch fenced"),
+            ServiceError::SubscribeGap => {
+                write!(f, "subscription behind the replication buffer")
+            }
         }
     }
 }
@@ -166,6 +189,9 @@ impl From<ServiceError> for ErrorCode {
             ServiceError::SnapshotTooLarge => ErrorCode::SnapshotTooLarge,
             ServiceError::AvoidanceOff => ErrorCode::AvoidanceOff,
             ServiceError::AvoidanceOn => ErrorCode::AvoidanceOn,
+            ServiceError::ReadOnlyReplica => ErrorCode::ReadOnlyReplica,
+            ServiceError::EpochFenced => ErrorCode::EpochFenced,
+            ServiceError::SubscribeGap => ErrorCode::SubscribeGap,
         }
     }
 }
@@ -243,6 +269,28 @@ enum Job {
     /// Client-forced durability barrier: fsync the shard's WAL, release
     /// every withheld reply, answer with the durable frontier.
     Sync {
+        reply: Sender<Result<Response, ServiceError>>,
+    },
+    /// Replication poll: serve a bounded WAL segment from `from_seq`
+    /// and fold the follower's durable ack into the release floor.
+    Subscribe {
+        from_seq: u64,
+        acked_seq: u64,
+        reply: Sender<Result<Response, ServiceError>>,
+    },
+    /// Replication posture read (role, epoch, frontiers). Passive.
+    ReplicaStatus {
+        reply: Sender<Result<Response, ServiceError>>,
+    },
+    /// Promote this shard to primary under a strictly larger epoch.
+    Promote {
+        epoch: u64,
+        reply: Sender<Result<Response, ServiceError>>,
+    },
+    /// Follower ingest: mirror the primary's WAL records (same seqs,
+    /// same epochs) and apply them through the recovery path.
+    ReplApply {
+        records: Vec<(u64, u64, Vec<u8>)>,
         reply: Sender<Result<Response, ServiceError>>,
     },
     /// Shutdown marker: enqueued behind all accepted work by
@@ -871,6 +919,151 @@ impl Client {
         Ok(rx)
     }
 
+    /// One replication poll against `shard`: answers
+    /// [`Response::WalSegment`] with a bounded run of WAL records from
+    /// `from_seq` (empty = caught up, the heartbeat), folding `acked_seq`
+    /// — the highest seq the caller has durable — into the primary's
+    /// `repl_ack` release floor. Blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] for an out-of-range shard,
+    /// [`ServiceError::SubscribeGap`] when `from_seq` fell behind the
+    /// replication buffer (re-seed from a snapshot).
+    pub fn subscribe(
+        &self,
+        shard: u16,
+        from_seq: u64,
+        acked_seq: u64,
+    ) -> Result<Response, ServiceError> {
+        let rx = self.subscribe_async(shard, from_seq, acked_seq)?;
+        rx.recv().map_err(|_| ServiceError::Shutdown)?
+    }
+
+    /// Submits a replication poll without waiting.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::subscribe`].
+    pub fn subscribe_async(
+        &self,
+        shard: u16,
+        from_seq: u64,
+        acked_seq: u64,
+    ) -> Result<Receiver<Result<Response, ServiceError>>, ServiceError> {
+        if shard as usize >= self.shared.config.shards {
+            return Err(ServiceError::UnknownSession);
+        }
+        let (reply, rx) = mpsc::channel();
+        self.enqueue(
+            shard as usize,
+            Job::Subscribe {
+                from_seq,
+                acked_seq,
+                reply,
+            },
+        )?;
+        Ok(rx)
+    }
+
+    /// `shard`'s replication posture (role, epoch, frontiers), blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] for an out-of-range shard.
+    pub fn replica_status(&self, shard: u16) -> Result<Response, ServiceError> {
+        let rx = self.replica_status_async(shard)?;
+        rx.recv().map_err(|_| ServiceError::Shutdown)?
+    }
+
+    /// Submits a replication-posture read without waiting.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::replica_status`].
+    pub fn replica_status_async(
+        &self,
+        shard: u16,
+    ) -> Result<Receiver<Result<Response, ServiceError>>, ServiceError> {
+        if shard as usize >= self.shared.config.shards {
+            return Err(ServiceError::UnknownSession);
+        }
+        let (reply, rx) = mpsc::channel();
+        self.enqueue(shard as usize, Job::ReplicaStatus { reply })?;
+        Ok(rx)
+    }
+
+    /// Promotes `shard` to primary under `epoch` (which must strictly
+    /// advance its current epoch), blocking for the resulting
+    /// [`Response::ReplicaStatus`]. See [`ServiceConfig::replica`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] for an out-of-range shard,
+    /// [`ServiceError::EpochFenced`] when `epoch` does not advance.
+    pub fn promote(&self, shard: u16, epoch: u64) -> Result<Response, ServiceError> {
+        let rx = self.promote_async(shard, epoch)?;
+        rx.recv().map_err(|_| ServiceError::Shutdown)?
+    }
+
+    /// Submits a promotion without waiting.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::promote`].
+    pub fn promote_async(
+        &self,
+        shard: u16,
+        epoch: u64,
+    ) -> Result<Receiver<Result<Response, ServiceError>>, ServiceError> {
+        if shard as usize >= self.shared.config.shards {
+            return Err(ServiceError::UnknownSession);
+        }
+        let (reply, rx) = mpsc::channel();
+        self.enqueue(shard as usize, Job::Promote { epoch, reply })?;
+        Ok(rx)
+    }
+
+    /// Feeds a primary's WAL records (as pulled by [`Client::subscribe`]
+    /// against it) into replica `shard`, blocking for the resulting
+    /// [`Response::ReplicaStatus`] — whose `durable_seq` is what the
+    /// tailer acks back to the primary. Records are mirrored
+    /// byte-for-byte into the local WAL and applied through the recovery
+    /// interpreter.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] for an out-of-range shard,
+    /// [`ServiceError::EpochFenced`] on a primary or for records below
+    /// the local epoch, [`ServiceError::SubscribeGap`] on a sequence
+    /// gap.
+    pub fn repl_apply(
+        &self,
+        shard: u16,
+        records: Vec<(u64, u64, Vec<u8>)>,
+    ) -> Result<Response, ServiceError> {
+        let rx = self.repl_apply_async(shard, records)?;
+        rx.recv().map_err(|_| ServiceError::Shutdown)?
+    }
+
+    /// Submits a replica apply without waiting.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::repl_apply`].
+    pub fn repl_apply_async(
+        &self,
+        shard: u16,
+        records: Vec<(u64, u64, Vec<u8>)>,
+    ) -> Result<Receiver<Result<Response, ServiceError>>, ServiceError> {
+        if shard as usize >= self.shared.config.shards {
+            return Err(ServiceError::UnknownSession);
+        }
+        let (reply, rx) = mpsc::channel();
+        self.enqueue(shard as usize, Job::ReplApply { records, reply })?;
+        Ok(rx)
+    }
+
     /// Merged counters across all shards.
     ///
     /// # Errors
@@ -986,6 +1179,71 @@ impl PipelineMeter {
     }
 }
 
+/// Replication buffer cap: the primary retains this many recent WAL
+/// records in memory for `Subscribe` polls; a follower that falls
+/// further behind gets [`ServiceError::SubscribeGap`] and must re-seed
+/// from a snapshot.
+const REPL_BUF_CAP: usize = 16_384;
+
+/// Byte budget for one `WalSegment` reply (op bytes, excluding the
+/// fixed per-record framing) — keeps the response inside one wire frame
+/// with comfortable header room.
+const SEGMENT_BYTE_BUDGET: usize = MAX_FRAME / 2;
+
+/// One shard's replication posture: role, fencing epoch, the
+/// follower-ack frontier and the bounded in-memory WAL suffix served to
+/// [`Job::Subscribe`] polls. Lives in [`ShardCore`] so every front-end
+/// shares one implementation.
+pub(crate) struct ReplState {
+    /// `false` = replica: mutations answer `ReadOnlyReplica` and state
+    /// advances only through [`ShardCore::repl_apply`].
+    primary: bool,
+    /// Fencing epoch; mirrors the stamp on every WAL record appended.
+    epoch: u64,
+    /// Promotions accepted since start.
+    promotions: u64,
+    /// Highest WAL seq a follower acknowledged durable on its disk.
+    follower_acked: u64,
+    /// True once any follower subscribed — gates the lag gauge so a
+    /// standalone primary reports 0 lag, not `last_seq`.
+    has_follower: bool,
+    /// Withhold acknowledgements until the follower ack covers them
+    /// (durable-on-follower replies; `DurabilityConfig::repl_ack`).
+    gate: bool,
+    /// Highest WAL seq appended/applied locally (the store's `last_seq`
+    /// when durable; the memory-only follower's only frontier
+    /// otherwise).
+    last_seq: u64,
+    /// Recent WAL suffix as `(seq, epoch, encoded op)`, capped at
+    /// [`REPL_BUF_CAP`].
+    buf: VecDeque<(u64, u64, Vec<u8>)>,
+}
+
+impl ReplState {
+    fn new(primary: bool, gate: bool) -> ReplState {
+        ReplState {
+            primary,
+            epoch: 0,
+            promotions: 0,
+            follower_acked: 0,
+            has_follower: false,
+            gate,
+            last_seq: 0,
+            buf: VecDeque::new(),
+        }
+    }
+
+    /// Mirrors one appended WAL record into the subscription buffer and
+    /// advances the local frontier.
+    fn push(&mut self, seq: u64, epoch: u64, op_bytes: Vec<u8>) {
+        self.last_seq = self.last_seq.max(seq);
+        self.buf.push_back((seq, epoch, op_bytes));
+        while self.buf.len() > REPL_BUF_CAP {
+            self.buf.pop_front();
+        }
+    }
+}
+
 /// Outcome of one [`ShardCore::broker`] command: the command's own reply
 /// with its slot (absent when the slot parked in the waiter table), plus
 /// any previously parked slots the command's grants just woke — each of
@@ -1024,11 +1282,16 @@ pub(crate) struct ShardCore<W> {
     withhold_lsn: Option<u64>,
     /// Group-commit telemetry, reported under `store.pipeline_*`.
     pub(crate) pipeline: PipelineMeter,
+    /// Replication posture: role, epoch, follower frontier, WAL-suffix
+    /// buffer.
+    repl: ReplState,
 }
 
 impl<W> ShardCore<W> {
     /// Builds the shard's state, recovering checkpoint + WAL first when
-    /// durability is configured (fail-stop on storage errors).
+    /// durability is configured (fail-stop on storage errors). With
+    /// `replica` set the shard starts read-only, serving probes and
+    /// subscriptions until promoted.
     pub(crate) fn new(
         shard_id: usize,
         max_sessions: usize,
@@ -1036,6 +1299,7 @@ impl<W> ShardCore<W> {
         par: ParConfig,
         pool: Option<Arc<WorkerPool>>,
         durability: Option<&DurabilityConfig>,
+        replica: bool,
     ) -> ShardCore<W> {
         match durability {
             None => ShardCore {
@@ -1052,11 +1316,18 @@ impl<W> ShardCore<W> {
                 persist: None,
                 withhold_lsn: None,
                 pipeline: PipelineMeter::default(),
+                repl: ReplState::new(!replica, false),
             },
             Some(d) => {
                 let recovered = durable::open_shard(d, shard_id, pool.clone(), par);
                 let mut persist = recovered.persist;
                 persist.info.next_session = recovered.next_session;
+                let mut repl = ReplState::new(!replica, d.repl_ack);
+                repl.epoch = persist.store.epoch();
+                repl.last_seq = persist.store.last_seq();
+                for (seq, epoch, bytes) in recovered.wal_tail {
+                    repl.push(seq, epoch, bytes);
+                }
                 ShardCore {
                     shard_id,
                     max_sessions,
@@ -1071,6 +1342,7 @@ impl<W> ShardCore<W> {
                     persist: Some(persist),
                     withhold_lsn: None,
                     pipeline: PipelineMeter::default(),
+                    repl,
                 }
             }
         }
@@ -1113,12 +1385,41 @@ impl<W> ShardCore<W> {
     }
 
     /// Takes (and resets) the LSN the just-run op's reply must wait out.
-    /// `Some` only when the op was logged under the pipelined policy and
-    /// is durable-visible (probe-only batches and broker re-attaches
-    /// reply immediately). The front-end calls this after *every* op; a
-    /// `None` means deliver now.
+    /// `Some` only when the op was logged under the pipelined policy or
+    /// follower-ack gating and is durable-visible (probe-only batches
+    /// and broker re-attaches reply immediately). The front-end calls
+    /// this after *every* op; a `None` means deliver now.
     pub(crate) fn take_withhold_lsn(&mut self) -> Option<u64> {
         self.withhold_lsn.take()
+    }
+
+    /// The reply-release frontier: the durable LSN, further clamped to
+    /// the follower's acknowledged LSN under `repl_ack` gating — an op
+    /// is acknowledged only once it survives the loss of this whole
+    /// process, not just a crash.
+    pub(crate) fn release_floor(&self) -> u64 {
+        let durable = self.durable_lsn();
+        if self.repl.gate {
+            durable.min(self.repl.follower_acked)
+        } else {
+            durable
+        }
+    }
+
+    /// Write-ahead one op: append + commit through the persistence
+    /// handle, mirror it into the replication buffer, and return its LSN
+    /// plus whether the reply must be withheld (pipelined policy or
+    /// follower-ack gating).
+    fn log_mirrored(
+        persist: &mut durable::ShardPersist,
+        repl: &mut ReplState,
+        op: &WalOp,
+    ) -> (u64, bool) {
+        let lsn = persist.log(op);
+        let mut bytes = Vec::new();
+        op.encode_into(&mut bytes);
+        repl.push(lsn, persist.store.epoch(), bytes);
+        (lsn, persist.pipeline().is_some() || repl.gate)
     }
 
     /// Opens a plain detection session under `session`.
@@ -1128,17 +1429,24 @@ impl<W> ShardCore<W> {
         resources: u16,
         processes: u16,
     ) -> Result<SessionId, ServiceError> {
+        if !self.repl.primary {
+            return Err(ServiceError::ReadOnlyReplica);
+        }
         if self.live() >= self.max_sessions {
             return Err(ServiceError::TooManySessions);
         }
         // Write-ahead: the open is durable before it exists.
         if let Some(p) = self.persist.as_mut() {
-            let lsn = p.log(&WalOp::Open {
-                session: session.0,
-                resources,
-                processes,
-            });
-            if p.pipeline().is_some() {
+            let (lsn, withhold) = Self::log_mirrored(
+                p,
+                &mut self.repl,
+                &WalOp::Open {
+                    session: session.0,
+                    resources,
+                    processes,
+                },
+            );
+            if withhold {
                 self.withhold_lsn = Some(lsn);
             }
         }
@@ -1164,20 +1472,27 @@ impl<W> ShardCore<W> {
         if mode == AvoidanceMode::Off {
             return self.open(session, resources, processes);
         }
+        if !self.repl.primary {
+            return Err(ServiceError::ReadOnlyReplica);
+        }
         if self.live() >= self.max_sessions {
             return Err(ServiceError::TooManySessions);
         }
         let metered = mode == AvoidanceMode::Metered;
         if let Some(p) = self.persist.as_mut() {
-            let lsn = p.log(&WalOp::Broker {
-                session: session.0,
-                op: BrokerWalOp::Open {
-                    resources,
-                    processes,
-                    metered,
+            let (lsn, withhold) = Self::log_mirrored(
+                p,
+                &mut self.repl,
+                &WalOp::Broker {
+                    session: session.0,
+                    op: BrokerWalOp::Open {
+                        resources,
+                        processes,
+                        metered,
+                    },
                 },
-            });
-            if p.pipeline().is_some() {
+            );
+            if withhold {
                 self.withhold_lsn = Some(lsn);
             }
         }
@@ -1200,22 +1515,37 @@ impl<W> ShardCore<W> {
             None if self.brokers.contains_key(&session.0) => Err(ServiceError::AvoidanceOn),
             None => Err(ServiceError::UnknownSession),
             Some(sess) => {
+                let read_only = events
+                    .iter()
+                    .all(|e| matches!(e, Event::Probe | Event::WouldDeadlock { .. }));
+                if !self.repl.primary && !read_only {
+                    return Err(ServiceError::ReadOnlyReplica);
+                }
                 // Every accepted batch is logged — probe-only ones too,
                 // because probes advance the engine counters recovery
                 // must reproduce. Read-only batches (probes and
                 // would-deadlock queries, which mutate no client-visible
                 // edge state) still reply immediately under the
                 // pipelined policy: read latency is untouched.
-                if let Some(p) = self.persist.as_mut() {
-                    let lsn = p.log(&WalOp::Batch {
-                        session: session.0,
-                        events: events.iter().map(durable::wal_event).collect(),
-                    });
-                    let durable_visible = events
-                        .iter()
-                        .any(|e| !matches!(e, Event::Probe | Event::WouldDeadlock { .. }));
-                    if durable_visible && p.pipeline().is_some() {
-                        self.withhold_lsn = Some(lsn);
+                //
+                // Exception: a replica serves read-only batches without
+                // logging. Its WAL is a byte mirror of the primary's and
+                // must not diverge by local appends; the price is that a
+                // probed replica's engine counters run ahead of the
+                // primary's.
+                if self.repl.primary {
+                    if let Some(p) = self.persist.as_mut() {
+                        let (lsn, withhold) = Self::log_mirrored(
+                            p,
+                            &mut self.repl,
+                            &WalOp::Batch {
+                                session: session.0,
+                                events: events.iter().map(durable::wal_event).collect(),
+                            },
+                        );
+                        if !read_only && withhold {
+                            self.withhold_lsn = Some(lsn);
+                        }
                     }
                 }
                 self.counters.batches += 1;
@@ -1235,10 +1565,14 @@ impl<W> ShardCore<W> {
     /// them with [`ServiceError::UnknownSession`] instead of leaking
     /// silent hangs.
     pub(crate) fn close(&mut self, session: SessionId) -> (Result<(), ServiceError>, Vec<W>) {
+        if !self.repl.primary {
+            return (Err(ServiceError::ReadOnlyReplica), Vec::new());
+        }
         if self.sessions.contains_key(&session.0) {
             if let Some(p) = self.persist.as_mut() {
-                let lsn = p.log(&WalOp::Close { session: session.0 });
-                if p.pipeline().is_some() {
+                let (lsn, withhold) =
+                    Self::log_mirrored(p, &mut self.repl, &WalOp::Close { session: session.0 });
+                if withhold {
                     self.withhold_lsn = Some(lsn);
                 }
             }
@@ -1252,8 +1586,9 @@ impl<W> ShardCore<W> {
             (Ok(()), Vec::new())
         } else if self.brokers.contains_key(&session.0) {
             if let Some(p) = self.persist.as_mut() {
-                let lsn = p.log(&WalOp::Close { session: session.0 });
-                if p.pipeline().is_some() {
+                let (lsn, withhold) =
+                    Self::log_mirrored(p, &mut self.repl, &WalOp::Close { session: session.0 });
+                if withhold {
                     self.withhold_lsn = Some(lsn);
                 }
             }
@@ -1309,6 +1644,9 @@ impl<W> ShardCore<W> {
         session: SessionId,
         snapshot: &[u8],
     ) -> Result<SessionId, ServiceError> {
+        if !self.repl.primary {
+            return Err(ServiceError::ReadOnlyReplica);
+        }
         if self.live() >= self.max_sessions {
             return Err(ServiceError::TooManySessions);
         }
@@ -1324,10 +1662,14 @@ impl<W> ShardCore<W> {
             let b = Broker::restore_from(&snap, self.pool.clone(), self.par)
                 .map_err(|_| ServiceError::InvalidSnapshot)?;
             if let Some(p) = self.persist.as_mut() {
-                let lsn = p.log(&WalOp::Restore {
-                    snapshot: Box::new(snap),
-                });
-                if p.pipeline().is_some() {
+                let (lsn, withhold) = Self::log_mirrored(
+                    p,
+                    &mut self.repl,
+                    &WalOp::Restore {
+                        snapshot: Box::new(snap),
+                    },
+                );
+                if withhold {
                     self.withhold_lsn = Some(lsn);
                 }
             }
@@ -1336,10 +1678,14 @@ impl<W> ShardCore<W> {
             let sess = Session::restore_from(&snap, self.pool.clone(), self.par)
                 .map_err(|_| ServiceError::InvalidSnapshot)?;
             if let Some(p) = self.persist.as_mut() {
-                let lsn = p.log(&WalOp::Restore {
-                    snapshot: Box::new(snap),
-                });
-                if p.pipeline().is_some() {
+                let (lsn, withhold) = Self::log_mirrored(
+                    p,
+                    &mut self.repl,
+                    &WalOp::Restore {
+                        snapshot: Box::new(snap),
+                    },
+                );
+                if withhold {
                     self.withhold_lsn = Some(lsn);
                 }
             }
@@ -1369,8 +1715,13 @@ impl<W> ShardCore<W> {
             waiters,
             persist,
             withhold_lsn,
+            repl,
             ..
         } = self;
+        if !repl.primary {
+            out.reply = Some((slot, Err(ServiceError::ReadOnlyReplica)));
+            return out;
+        }
         let Some(broker) = brokers.get_mut(&session.0) else {
             let e = if sessions.contains_key(&session.0) {
                 ServiceError::AvoidanceOff
@@ -1428,15 +1779,19 @@ impl<W> ShardCore<W> {
                 BrokerCmd::Release { p, q } => BrokerWalOp::Release { p, q },
                 BrokerCmd::GiveUpAck { p } => BrokerWalOp::GiveUpAck { p },
             };
-            let lsn = persist.log(&WalOp::Broker {
-                session: session.0,
-                op: wal_op,
-            });
+            let (lsn, withhold) = Self::log_mirrored(
+                persist,
+                repl,
+                &WalOp::Broker {
+                    session: session.0,
+                    op: wal_op,
+                },
+            );
             // The command's reply AND any waiters its grants wake ride
             // this LSN: a grant exists only because the logged command
             // ran, so neither may be seen before the command is durable.
             // (The unlogged re-attach paths above replied immediately.)
-            if persist.pipeline().is_some() {
+            if withhold {
                 *withhold_lsn = Some(lsn);
             }
         }
@@ -1500,6 +1855,177 @@ impl<W> ShardCore<W> {
         if list.is_empty() {
             waiters.remove(&session);
         }
+    }
+
+    /// Serves one replication poll: a bounded run of WAL records
+    /// starting at `from_seq`, plus the current frontiers so the
+    /// follower knows how far behind it is. The follower's piggybacked
+    /// `acked_seq` (highest seq durable on *its* disk) advances the
+    /// `repl_ack` release floor. An empty segment doubles as the
+    /// heartbeat a caught-up follower keeps polling for.
+    pub(crate) fn subscribe(
+        &mut self,
+        from_seq: u64,
+        acked_seq: u64,
+    ) -> Result<Response, ServiceError> {
+        self.repl.has_follower = true;
+        self.repl.follower_acked = self.repl.follower_acked.max(acked_seq);
+        let (epoch, last_seq) = (self.repl.epoch, self.repl.last_seq);
+        let durable_seq = self.durable_lsn();
+        let shard = self.shard_id as u16;
+        if from_seq > last_seq {
+            // Caught up: empty heartbeat segment carrying the frontiers.
+            return Ok(Response::WalSegment {
+                shard,
+                epoch,
+                durable_seq,
+                last_seq,
+                records: Vec::new(),
+            });
+        }
+        // The wanted record must still be buffered.
+        match self.repl.buf.front() {
+            Some((oldest, _, _)) if from_seq >= *oldest => {}
+            _ => return Err(ServiceError::SubscribeGap),
+        }
+        let mut records = Vec::new();
+        let mut budget = SEGMENT_BYTE_BUDGET;
+        for (seq, rec_epoch, bytes) in &self.repl.buf {
+            if *seq < from_seq {
+                continue;
+            }
+            let cost = 8 + 8 + 4 + bytes.len();
+            if cost > budget {
+                if records.is_empty() {
+                    // A single record too big for any segment (a huge
+                    // Restore snapshot): unstreamable — the follower
+                    // re-seeds from a snapshot, the documented gap
+                    // remedy.
+                    return Err(ServiceError::SubscribeGap);
+                }
+                break;
+            }
+            budget -= cost;
+            records.push((*seq, *rec_epoch, bytes.clone()));
+            if records.len() >= crate::proto::MAX_BATCH {
+                break;
+            }
+        }
+        Ok(Response::WalSegment {
+            shard,
+            epoch,
+            durable_seq,
+            last_seq,
+            records,
+        })
+    }
+
+    /// This shard's replication posture, as the wire row.
+    pub(crate) fn replica_status(&self) -> ReplStatus {
+        ReplStatus {
+            shard: self.shard_id as u16,
+            primary: self.repl.primary,
+            epoch: self.repl.epoch,
+            last_seq: self.repl.last_seq,
+            durable_seq: self.durable_lsn(),
+            acked_seq: self.repl.follower_acked,
+            promotions: self.repl.promotions,
+        }
+    }
+
+    /// Promotes this shard to primary under `epoch`, which must strictly
+    /// advance the current one — the fence that keeps a deposed primary
+    /// from ever splitting the brain: its WAL tail carries the old
+    /// epoch, and [`ShardCore::repl_apply`] on any promoted node refuses
+    /// records below its own. Forces a checkpoint so the new epoch
+    /// survives an immediate crash. Promoting a primary is how a
+    /// standalone node bumps its fencing epoch; it is idempotent in
+    /// role, never in epoch.
+    pub(crate) fn promote(&mut self, epoch: u64) -> Result<Response, ServiceError> {
+        if epoch <= self.repl.epoch {
+            return Err(ServiceError::EpochFenced);
+        }
+        self.repl.primary = true;
+        self.repl.epoch = epoch;
+        self.repl.promotions += 1;
+        if let Some(p) = self.persist.as_mut() {
+            p.store.set_epoch(epoch);
+        }
+        self.maybe_checkpoint(true);
+        Ok(Response::ReplicaStatus(self.replica_status()))
+    }
+
+    /// Follower ingest: mirrors the primary's WAL records byte-for-byte
+    /// (same seqs, same epochs) into the local WAL and applies each
+    /// through the same interpreter recovery uses — a follower's state
+    /// is, by construction, exactly what replaying the primary's log
+    /// produces. Strictly contiguous: a record that skips past
+    /// `last_seq + 1` answers [`ServiceError::SubscribeGap`] (re-seed);
+    /// one stamped below the local epoch answers
+    /// [`ServiceError::EpochFenced`] (a deposed primary's tail);
+    /// already-applied seqs are skipped (idempotent re-delivery).
+    /// Refused on a primary: it owns its log.
+    pub(crate) fn repl_apply(
+        &mut self,
+        records: &[(u64, u64, Vec<u8>)],
+    ) -> Result<Response, ServiceError> {
+        if self.repl.primary {
+            return Err(ServiceError::EpochFenced);
+        }
+        let mut applied = false;
+        for (seq, epoch, bytes) in records {
+            if *seq <= self.repl.last_seq {
+                continue;
+            }
+            if *seq != self.repl.last_seq + 1 {
+                return Err(ServiceError::SubscribeGap);
+            }
+            if *epoch < self.repl.epoch {
+                return Err(ServiceError::EpochFenced);
+            }
+            let op = WalOp::decode(bytes).map_err(|_| ServiceError::InvalidSnapshot)?;
+            if let Some(p) = self.persist.as_mut() {
+                p.store.append_at(*seq, *epoch, &op);
+                p.store
+                    .commit()
+                    .unwrap_or_else(|e| panic!("replica WAL commit failed: {e}"));
+            }
+            let ShardCore {
+                shard_id,
+                sessions,
+                brokers,
+                counters,
+                next_session,
+                pool,
+                par,
+                repl,
+                ..
+            } = self;
+            let mut store_counters = counters.to_store();
+            durable::apply_wal_op(
+                *shard_id,
+                &op,
+                sessions,
+                brokers,
+                &mut store_counters,
+                next_session,
+                durable::EngineCtx { pool, par: *par },
+            );
+            *counters = WorkerCounters::from_store(store_counters);
+            repl.epoch = *epoch;
+            repl.push(*seq, *epoch, bytes.clone());
+            applied = true;
+        }
+        if applied {
+            // Fsync what we just mirrored: the status row this returns is
+            // what the tailer acks back to the primary, and under
+            // `repl_ack` the primary releases client replies against it —
+            // an ack must mean durable-on-this-disk, not merely buffered.
+            if let Some(p) = self.persist.as_mut() {
+                p.sync();
+            }
+        }
+        Ok(Response::ReplicaStatus(self.replica_status()))
     }
 
     /// This shard's counters as a [`Stats`] row. `queue_depth_max` is
@@ -1582,6 +2108,19 @@ impl<W> ShardCore<W> {
         s.add("service.broker_livelocks", broker_livelocks);
         s.add("service.broker_waiters", broker_waiters);
         s.add("service.queue_depth_max", queue_depth_max);
+        // Replication gauges, emitted unconditionally: a standalone
+        // primary legitimately reports epoch 0 and zero lag.
+        s.add("store.epoch", self.repl.epoch);
+        s.add("store.promotions", self.repl.promotions);
+        s.add("store.follower_acked_seq", self.repl.follower_acked);
+        s.add(
+            "store.repl_lag_records",
+            if self.repl.has_follower {
+                self.repl.last_seq.saturating_sub(self.repl.follower_acked)
+            } else {
+                0
+            },
+        );
         if let Some(p) = &self.persist {
             s.add("store.last_seq", p.store.last_seq());
             s.add("store.wal_records", p.store.wal_records());
@@ -1663,7 +2202,7 @@ type WithheldQueue = VecDeque<(u64, Instant, Box<dyn FnOnce()>)>;
 /// Releases every withheld reply the durable frontier now covers, in
 /// submission order.
 fn release_durable(core: &mut ShardCore<ReplyTx<Response>>, withheld: &mut WithheldQueue) {
-    let durable = core.durable_lsn();
+    let durable = core.release_floor();
     let now = Instant::now();
     while withheld.front().is_some_and(|(lsn, _, _)| *lsn <= durable) {
         let (_, since, send) = withheld.pop_front().expect("checked front");
@@ -1722,6 +2261,7 @@ fn run_worker(
         config.par,
         pool,
         config.durability.as_ref(),
+        config.replica,
     );
     if let (Some(ready), Some(info)) = (&ready, core.recovery_info()) {
         let _ = ready.send(info);
@@ -1749,7 +2289,18 @@ fn run_worker(
                 // until the deadline.
                 Err(mpsc::TryRecvError::Empty) => {
                     flush_withheld(&mut core, &mut withheld);
-                    continue;
+                    if withheld.is_empty() {
+                        continue;
+                    }
+                    // Still parked after the flush: replies gated on a
+                    // follower ack only a future `Subscribe` poll can
+                    // advance. Block briefly for that job instead of
+                    // spinning the CPU on try_recv.
+                    match rx.recv_timeout(Duration::from_millis(1)) {
+                        Ok(job) => job,
+                        Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
                 }
                 Err(mpsc::TryRecvError::Disconnected) => break,
             }
@@ -1928,6 +2479,29 @@ fn run_worker(
                     durable_lsn: core.durable_lsn(),
                 }));
             }
+            Job::Subscribe {
+                from_seq,
+                acked_seq,
+                reply,
+            } => {
+                // The follower polls for durable records only; make the
+                // frontier current before serving so a fresh append under
+                // a lazy policy does not stall replication a full
+                // deadline.
+                if !withheld.is_empty() || core.unsynced_records() > 0 {
+                    flush_withheld(&mut core, &mut withheld);
+                }
+                let _ = reply.send(core.subscribe(from_seq, acked_seq));
+            }
+            Job::ReplicaStatus { reply } => {
+                let _ = reply.send(Ok(Response::ReplicaStatus(core.replica_status())));
+            }
+            Job::Promote { epoch, reply } => {
+                let _ = reply.send(core.promote(epoch));
+            }
+            Job::ReplApply { records, reply } => {
+                let _ = reply.send(core.repl_apply(&records));
+            }
             Job::Shutdown => {
                 meter.finished();
                 break;
@@ -1950,6 +2524,15 @@ fn run_worker(
     // Drain the pipeline before the final checkpoint/sync: a clean stop
     // never drops an accepted op's reply.
     flush_withheld(&mut core, &mut withheld);
+    // Under follower-ack gating, replies can still be parked on an ack
+    // that will never arrive (the service is stopping). Everything here
+    // is locally durable — the most a stopping process can promise — so
+    // release rather than hang the callers on a dead service.
+    let now = Instant::now();
+    while let Some((_, since, send)) = withheld.pop_front() {
+        core.pipeline.on_release(now.duration_since(since));
+        send();
+    }
     core.finish();
     core.report(meter.max())
 }
@@ -1976,6 +2559,7 @@ mod tests {
             par: ParConfig::default(),
             pin_cpus: false,
             durability: None,
+            replica: false,
         }
     }
 

@@ -120,6 +120,10 @@ pub(crate) fn stats_rows(per_shard: &[Stats]) -> Vec<ShardStats> {
             pipeline_withheld_peak: s.counter("store.pipeline_withheld_peak"),
             pipeline_commit_p50_us: s.counter("store.pipeline_commit_p50_us"),
             pipeline_commit_p99_us: s.counter("store.pipeline_commit_p99_us"),
+            repl_lag_records: s.counter("store.repl_lag_records"),
+            follower_acked_seq: s.counter("store.follower_acked_seq"),
+            epoch: s.counter("store.epoch"),
+            promotions: s.counter("store.promotions"),
         })
         .collect()
 }
@@ -195,6 +199,15 @@ fn service_response(client: &Client, req: Request) -> Response {
         // Durability barrier: the shard flushes its WAL and answers with
         // the durable frontier; blocking here is the point.
         Request::Sync { session } => broker_reply(client.sync(session)),
+        // Replication: a follower's pull poll, a posture read, and the
+        // failover promotion — shard-addressed, no session routing.
+        Request::Subscribe {
+            shard,
+            from_seq,
+            acked_seq,
+        } => broker_reply(client.subscribe(shard, from_seq, acked_seq)),
+        Request::ReplicaStatus { shard } => broker_reply(client.replica_status(shard)),
+        Request::Promote { shard, epoch } => broker_reply(client.promote(shard, epoch)),
     }
 }
 

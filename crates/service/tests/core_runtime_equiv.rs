@@ -381,6 +381,7 @@ fn durable_runtime_recovers_bit_identical_across_restart() {
                 // tail replay, not just one of them.
                 checkpoint_every_records: 16,
                 checkpoint_on_shutdown: false,
+                repl_ack: false,
             }),
             ..CoreConfig::default()
         };

@@ -96,7 +96,7 @@ fn replay_reference(damaged: &[Vec<u8>]) -> HashMap<u64, Session> {
     let mut sessions: HashMap<u64, Session> = HashMap::new();
     let mut scratch = Vec::new();
     for wal in damaged {
-        for (_seq, op) in scan(wal).records {
+        for (_seq, _epoch, op) in scan(wal).records {
             match op {
                 WalOp::Open {
                     session,
@@ -135,6 +135,7 @@ fn pipelined_crash_loses_only_the_unreplied_suffix() {
                 // offsets captured at the barrier remain valid floors.
                 checkpoint_every_records: u64::MAX,
                 checkpoint_on_shutdown: false,
+                repl_ack: false,
             }),
             ..CoreConfig::default()
         };

@@ -67,6 +67,7 @@ fn config(dir: &Path, fsync: FsyncPolicy, checkpoint_every: u64) -> ServiceConfi
             fsync,
             checkpoint_every_records: checkpoint_every,
             checkpoint_on_shutdown: false,
+            repl_ack: false,
         }),
         ..ServiceConfig::default()
     }
@@ -215,7 +216,7 @@ fn replay_reference(dir: &Path, wal_bytes: &[Vec<u8>]) -> Vec<RefShard> {
                 }
             }
             let mut results = Vec::new();
-            for (seq, op) in scan(&wal_bytes[shard]).records {
+            for (seq, _epoch, op) in scan(&wal_bytes[shard]).records {
                 if seq <= floor {
                     continue;
                 }

@@ -8,8 +8,8 @@ use deltaos_core::pdda::DetectOutcome;
 use deltaos_core::{Priority, ProcId, ResId};
 use deltaos_service::proto::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    AvoidanceMode, CoreStats, ErrorCode, Event, EventResult, FrontendStats, RejectReason, Request,
-    Response, SessionId, ShardStats, WireError, MAX_FRAME,
+    AvoidanceMode, CoreStats, ErrorCode, Event, EventResult, FrontendStats, RejectReason,
+    ReplStatus, Request, Response, SessionId, ShardStats, WireError, MAX_FRAME,
 };
 use rand::{Rng, SeedableRng, StdRng};
 
@@ -28,7 +28,19 @@ fn sample_give_up_ask(rng: &mut StdRng) -> GiveUpAsk {
 }
 
 fn sample_requests(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0..12u32) {
+    match rng.gen_range(0..15u32) {
+        12 => Request::Subscribe {
+            shard: rng.gen_range(0..16u16),
+            from_seq: rng.gen_range(0..u64::MAX),
+            acked_seq: rng.gen_range(0..u64::MAX),
+        },
+        13 => Request::ReplicaStatus {
+            shard: rng.gen_range(0..16u16),
+        },
+        14 => Request::Promote {
+            shard: rng.gen_range(0..16u16),
+            epoch: rng.gen_range(0..u64::MAX),
+        },
         0 => Request::Open {
             resources: rng.gen_range(1..128u16),
             processes: rng.gen_range(1..128u16),
@@ -103,7 +115,36 @@ fn sample_requests(rng: &mut StdRng) -> Request {
 }
 
 fn sample_responses(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0..14u32) {
+    match rng.gen_range(0..16u32) {
+        14 => Response::WalSegment {
+            shard: rng.gen_range(0..16u16),
+            epoch: rng.gen_range(0..u64::MAX),
+            durable_seq: rng.gen_range(0..u64::MAX),
+            last_seq: rng.gen_range(0..u64::MAX),
+            records: (0..rng.gen_range(0..4usize))
+                .map(|_| {
+                    let n = rng.gen_range(0..32usize);
+                    let mut bytes = vec![0u8; n];
+                    for b in &mut bytes {
+                        *b = rng.gen_range(0..=255u32) as u8;
+                    }
+                    (
+                        rng.gen_range(0..u64::MAX),
+                        rng.gen_range(0..u64::MAX),
+                        bytes,
+                    )
+                })
+                .collect(),
+        },
+        15 => Response::ReplicaStatus(ReplStatus {
+            shard: rng.gen_range(0..16u16),
+            primary: rng.gen_bool(0.5),
+            epoch: rng.gen_range(0..u64::MAX),
+            last_seq: rng.gen_range(0..u64::MAX),
+            durable_seq: rng.gen_range(0..u64::MAX),
+            acked_seq: rng.gen_range(0..u64::MAX),
+            promotions: rng.gen_range(0..u64::MAX),
+        }),
         0 => Response::Opened(SessionId(rng.gen_range(0..1000u64))),
         7 => Response::Granted {
             cycles: rng.gen_range(0..u64::MAX),
@@ -196,6 +237,10 @@ fn sample_responses(rng: &mut StdRng) -> Response {
                 pipeline_withheld_peak: rng.gen_range(0..u64::MAX),
                 pipeline_commit_p50_us: rng.gen_range(0..u64::MAX),
                 pipeline_commit_p99_us: rng.gen_range(0..u64::MAX),
+                repl_lag_records: rng.gen_range(0..u64::MAX),
+                follower_acked_seq: rng.gen_range(0..u64::MAX),
+                epoch: rng.gen_range(0..u64::MAX),
+                promotions: rng.gen_range(0..u64::MAX),
             }],
             frontend: rng.gen_bool(0.5).then(|| FrontendStats {
                 accepted: rng.gen_range(0..u64::MAX),

@@ -38,4 +38,6 @@ pub mod wal;
 pub use error::StoreError;
 pub use snapshot::{BrokerSnapshot, SessionSnapshot, ShardCheckpoint, ShardCounters};
 pub use store::{init_dir, ShardRecovery, ShardStore};
-pub use wal::{BrokerWalOp, FsyncPolicy, WalEvent, WalOp, WalScan, WalTail, MAX_RECORD};
+pub use wal::{
+    BrokerWalOp, FsyncPolicy, WalEvent, WalOp, WalScan, WalTail, EPOCH_MARKER, MAX_RECORD,
+};

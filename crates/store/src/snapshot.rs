@@ -40,7 +40,11 @@ pub const CHECKPOINT_MAGIC: [u8; 4] = *b"DLSS";
 /// Version 3 added the per-session avoidance-broker section (priorities,
 /// parked requests, outstanding give-up asks, metered cycle totals) and
 /// four retired broker counters to [`ShardCounters`].
-pub const CHECKPOINT_VERSION: u16 = 3;
+/// Version 4 added the replication epoch after `next_session`; version 3
+/// files still load (epoch 0).
+pub const CHECKPOINT_VERSION: u16 = 4;
+/// Oldest checkpoint version this build still reads.
+pub const CHECKPOINT_MIN_VERSION: u16 = 3;
 /// Hard cap on a checkpoint body (64 MiB) — rejects absurd length
 /// fields before any allocation.
 pub const MAX_CHECKPOINT: usize = 1 << 26;
@@ -462,6 +466,10 @@ pub struct ShardCheckpoint {
     /// recovery seeds the service-wide id allocator above it so live
     /// ids are never reissued.
     pub next_session: u64,
+    /// Replication epoch at capture time (0 before any promotion). The
+    /// checkpoint carries it because compaction truncates the
+    /// epoch-stamped WAL records it would otherwise be recovered from.
+    pub epoch: u64,
     /// Shard service counters at capture time.
     pub counters: ShardCounters,
     /// Every live session on the shard.
@@ -475,6 +483,7 @@ impl ShardCheckpoint {
         put_u32(&mut out, self.shard);
         put_u64(&mut out, self.last_seq);
         put_u64(&mut out, self.next_session);
+        put_u64(&mut out, self.epoch);
         let c = &self.counters;
         for v in [
             c.events,
@@ -501,12 +510,20 @@ impl ShardCheckpoint {
         out
     }
 
-    /// Decodes a checkpoint body, requiring exact consumption.
+    /// Decodes a checkpoint body in the current format, requiring exact
+    /// consumption.
     pub fn decode_body(bytes: &[u8]) -> Result<Self, StoreError> {
+        Self::decode_body_versioned(bytes, CHECKPOINT_VERSION)
+    }
+
+    /// Decodes a checkpoint body written at `version` (v3 has no epoch
+    /// field and loads as epoch 0), requiring exact consumption.
+    pub fn decode_body_versioned(bytes: &[u8], version: u16) -> Result<Self, StoreError> {
         let mut r = Reader::new(bytes);
         let shard = r.u32()?;
         let last_seq = r.u64()?;
         let next_session = r.u64()?;
+        let epoch = if version >= 4 { r.u64()? } else { 0 };
         let mut vals = [0u64; 14];
         for v in vals.iter_mut() {
             *v = r.u64()?;
@@ -539,6 +556,7 @@ impl ShardCheckpoint {
             shard,
             last_seq,
             next_session,
+            epoch,
             counters,
             sessions,
         })
@@ -566,7 +584,7 @@ impl ShardCheckpoint {
             return Err(StoreError::BadMagic { what: "checkpoint" });
         }
         let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-        if version != CHECKPOINT_VERSION {
+        if !(CHECKPOINT_MIN_VERSION..=CHECKPOINT_VERSION).contains(&version) {
             return Err(StoreError::UnsupportedVersion { version });
         }
         let body_len = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]) as usize;
@@ -589,7 +607,7 @@ impl ShardCheckpoint {
         if computed != stored {
             return Err(StoreError::ChecksumMismatch { stored, computed });
         }
-        Self::decode_body(body)
+        Self::decode_body_versioned(body, version)
     }
 
     /// Writes the checkpoint to `path` atomically: temp file in the
@@ -733,6 +751,7 @@ mod tests {
             shard: 2,
             last_seq: 41,
             next_session: 11,
+            epoch: 5,
             counters: ShardCounters {
                 events: 9,
                 probes: 2,
@@ -749,11 +768,55 @@ mod tests {
     }
 
     #[test]
+    fn v3_checkpoint_still_loads_with_epoch_zero() {
+        let (rag, engine) = sample_session();
+        let ckpt = ShardCheckpoint {
+            shard: 1,
+            last_seq: 17,
+            next_session: 5,
+            epoch: 0,
+            counters: ShardCounters {
+                events: 3,
+                ..Default::default()
+            },
+            sessions: vec![SessionSnapshot::capture(4, &rag, &engine)],
+        };
+        // Hand-build a v3 file: the v4 body minus the epoch u64 (bytes
+        // 20..28 of the body), stamped version 3.
+        let v4_body = ckpt.encode_body();
+        let mut v3_body = Vec::with_capacity(v4_body.len() - 8);
+        v3_body.extend_from_slice(&v4_body[..20]);
+        v3_body.extend_from_slice(&v4_body[28..]);
+        let mut file = Vec::new();
+        file.extend_from_slice(&CHECKPOINT_MAGIC);
+        put_u16(&mut file, 3);
+        put_u32(&mut file, v3_body.len() as u32);
+        put_u32(&mut file, crc32(&v3_body));
+        file.extend_from_slice(&v3_body);
+        let decoded = ShardCheckpoint::decode_file(&file).unwrap();
+        assert_eq!(decoded, ckpt);
+        // Versions outside [min, current] stay rejected.
+        let mut v2 = file.clone();
+        v2[4] = 2;
+        assert!(matches!(
+            ShardCheckpoint::decode_file(&v2),
+            Err(StoreError::UnsupportedVersion { version: 2 })
+        ));
+        let mut v5 = file;
+        v5[4] = 5;
+        assert!(matches!(
+            ShardCheckpoint::decode_file(&v5),
+            Err(StoreError::UnsupportedVersion { version: 5 })
+        ));
+    }
+
+    #[test]
     fn checkpoint_rejects_corruption() {
         let ckpt = ShardCheckpoint {
             shard: 0,
             last_seq: 0,
             next_session: 0,
+            epoch: 0,
             counters: ShardCounters::default(),
             sessions: Vec::new(),
         };
@@ -792,6 +855,7 @@ mod tests {
             shard: 0,
             last_seq: 3,
             next_session: 1,
+            epoch: 2,
             counters: ShardCounters::default(),
             sessions: Vec::new(),
         };

@@ -111,8 +111,8 @@ pub fn decode_manifest(bytes: &[u8]) -> Result<u32, StoreError> {
 pub struct ShardRecovery {
     /// Latest valid checkpoint, if any.
     pub checkpoint: Option<ShardCheckpoint>,
-    /// WAL suffix to replay, in log order.
-    pub wal_ops: Vec<(u64, WalOp)>,
+    /// WAL suffix to replay, in log order, as `(seq, epoch, op)`.
+    pub wal_ops: Vec<(u64, u64, WalOp)>,
     /// Torn-tail bytes truncated from the WAL on open.
     pub torn_bytes: u64,
 }
@@ -147,16 +147,21 @@ impl ShardStore {
         let (mut wal, scan) = WalWriter::open(&wal_path, policy)?;
         let floor = checkpoint.as_ref().map(|c| c.last_seq).unwrap_or(0);
         wal.reserve_seq(floor + 1);
+        // The epoch survives compaction through the checkpoint even when
+        // every epoch-stamped record was truncated away.
+        if let Some(c) = &checkpoint {
+            wal.set_epoch(c.epoch);
+        }
         let torn_bytes = match scan.tail {
             WalTail::Clean => 0,
             WalTail::Torn { dropped } => dropped,
         };
         // Skip records the checkpoint already covers (present only when
         // a crash landed between checkpoint rename and WAL truncation).
-        let wal_ops: Vec<(u64, WalOp)> = scan
+        let wal_ops: Vec<(u64, u64, WalOp)> = scan
             .records
             .into_iter()
-            .filter(|&(seq, _)| seq > floor)
+            .filter(|&(seq, _, _)| seq > floor)
             .collect();
         let last_seq = wal.next_seq() - 1;
         let store = ShardStore {
@@ -184,6 +189,29 @@ impl ShardStore {
         seq
     }
 
+    /// Stages `op` mirroring a primary's exact sequence number and
+    /// epoch (replica ingestion; see [`WalWriter::append_at`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` would rewind the log.
+    pub fn append_at(&mut self, seq: u64, epoch: u64, op: &WalOp) {
+        self.wal.append_at(seq, epoch, op);
+        self.last_seq = seq;
+        self.records_since_checkpoint += 1;
+    }
+
+    /// The epoch stamped into appended records.
+    pub fn epoch(&self) -> u64 {
+        self.wal.epoch()
+    }
+
+    /// Raises the record-stamping epoch (promotion). Lower values are
+    /// ignored — fencing never regresses.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.wal.set_epoch(epoch);
+    }
+
     /// Commits staged records per the fsync policy.
     pub fn commit(&mut self) -> Result<(), StoreError> {
         self.wal.commit()
@@ -200,6 +228,9 @@ impl ShardStore {
     /// far".
     pub fn checkpoint(&mut self, mut checkpoint: ShardCheckpoint) -> Result<(), StoreError> {
         checkpoint.last_seq = self.last_seq;
+        // Compaction may drop every epoch-stamped record; the checkpoint
+        // carries the epoch across so fencing survives the truncate.
+        checkpoint.epoch = self.wal.epoch();
         // Barrier: everything the checkpoint claims to cover must be on
         // disk before the old log becomes unreachable.
         self.wal.sync()?;
@@ -274,9 +305,32 @@ mod tests {
             shard,
             last_seq: 0,
             next_session: 0,
+            epoch: 0,
             counters: ShardCounters::default(),
             sessions: Vec::new(),
         }
+    }
+
+    #[test]
+    fn epoch_survives_checkpoint_compaction() {
+        let dir = tmp("epoch-compact");
+        init_dir(&dir, 1).unwrap();
+        {
+            let (mut s, _) = ShardStore::open(&dir, 0, FsyncPolicy::Os).unwrap();
+            s.set_epoch(7);
+            s.append(&WalOp::Open {
+                session: 0,
+                resources: 2,
+                processes: 2,
+            });
+            s.commit().unwrap();
+            // The checkpoint truncates every epoch-stamped record away.
+            s.checkpoint(empty_ckpt(0)).unwrap();
+        }
+        let (s, r) = ShardStore::open(&dir, 0, FsyncPolicy::Os).unwrap();
+        assert_eq!(r.checkpoint.as_ref().unwrap().epoch, 7);
+        assert_eq!(s.epoch(), 7, "epoch recovered from the checkpoint alone");
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

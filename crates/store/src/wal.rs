@@ -4,8 +4,18 @@
 //!
 //! ```text
 //! [len: u32 LE] [crc: u32 LE = crc32(payload)] [payload: len bytes]
-//! payload = [seq: u64 LE] [op bytes]
+//! payload (v2) = [seq: u64 LE] [0xE5] [epoch: u64 LE] [op bytes]
+//! payload (v1) = [seq: u64 LE] [op bytes]
 //! ```
+//!
+//! Records written since replication are **epoch-stamped** (v2): the
+//! byte after the sequence number is the [`EPOCH_MARKER`] followed by
+//! the primary epoch that produced the record. The marker cannot
+//! collide with a v1 op tag (op tags are small integers), so v1 logs —
+//! written before the version bump — still replay: a payload whose
+//! ninth byte is not the marker decodes as v1 with epoch 0. Epochs fence
+//! stale primaries after a failover: a promoted follower bumps its
+//! epoch, and replication rejects any record stamped with a lower one.
 //!
 //! Sequence numbers are strictly increasing and never reset (a
 //! checkpoint records `last_seq` instead of rewinding, so WAL records
@@ -19,6 +29,23 @@
 //! Writes go through a group-commit buffer: [`WalWriter::append`]
 //! stages records, [`WalWriter::commit`] hands them to the OS in one
 //! write and applies the [`FsyncPolicy`].
+//!
+//! ## The durable-frontier invariant
+//!
+//! [`WalWriter::durable_seq`] is the **fsynced floor**: the highest
+//! sequence number for which an `fdatasync` has returned (or that a
+//! loaded checkpoint covers). It advances *only* at those two points —
+//! never on [`append`](WalWriter::append), and never on a
+//! [`commit`](WalWriter::commit) that stages without flushing (the
+//! inside of an [`FsyncPolicy::EveryN`] group, every
+//! [`FsyncPolicy::Pipelined`] commit, and all of [`FsyncPolicy::Os`]).
+//! Anything that reports a durable LSN — the wire `Synced{durable_lsn}`
+//! barrier, `ReplicaStatus`, replication acks — must report this floor,
+//! **not** the appended sequence (`next_seq - 1`): a replica acking
+//! against the appended seq would treat data still in the group buffer
+//! as replicated-durable, and a crash on the primary could then lose
+//! acknowledged records. `durable_seq ≤ next_seq - 1` always holds;
+//! the gap is [`WalWriter::unsynced_records`].
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -35,6 +62,11 @@ use crate::snapshot::SessionSnapshot;
 /// Hard cap on one record's payload (matches the service's wire-frame
 /// cap so anything a client can send fits in one record).
 pub const MAX_RECORD: usize = 1 << 20;
+
+/// Marker byte distinguishing epoch-stamped (v2) record payloads from
+/// legacy (v1) ones. Sits where a v1 payload has its op tag; op tags
+/// are small integers (1..=5), so the two can never be confused.
+pub const EPOCH_MARKER: u8 = 0xE5;
 
 /// When the WAL writer calls `fsync` relative to commits.
 ///
@@ -457,8 +489,9 @@ pub enum WalTail {
 /// Result of scanning a WAL byte stream.
 #[derive(Debug)]
 pub struct WalScan {
-    /// Valid records in log order.
-    pub records: Vec<(u64, WalOp)>,
+    /// Valid records in log order as `(seq, epoch, op)`; legacy v1
+    /// records carry epoch 0.
+    pub records: Vec<(u64, u64, WalOp)>,
     /// Byte length of the valid prefix.
     pub valid_len: u64,
     /// Tail condition.
@@ -497,10 +530,30 @@ pub fn scan(bytes: &[u8]) -> WalScan {
         if prev_seq.is_some_and(|p| seq <= p) {
             break;
         }
-        let Ok(op) = WalOp::decode(&payload[8..]) else {
+        // v2 payloads put the epoch marker + epoch between seq and op;
+        // a v1 payload's ninth byte is an op tag, never the marker.
+        let (epoch, op_bytes) = if payload.len() > 8 && payload[8] == EPOCH_MARKER {
+            if payload.len() < 17 {
+                break;
+            }
+            let epoch = u64::from_le_bytes([
+                payload[9],
+                payload[10],
+                payload[11],
+                payload[12],
+                payload[13],
+                payload[14],
+                payload[15],
+                payload[16],
+            ]);
+            (epoch, &payload[17..])
+        } else {
+            (0, &payload[8..])
+        };
+        let Ok(op) = WalOp::decode(op_bytes) else {
             break;
         };
-        records.push((seq, op));
+        records.push((seq, epoch, op));
         prev_seq = Some(seq);
         pos += 8 + len;
     }
@@ -525,6 +578,9 @@ pub struct WalWriter {
     buf: Vec<u8>,
     scratch: Vec<u8>,
     next_seq: u64,
+    /// Epoch stamped into every appended record. 0 until a primary
+    /// epoch is assigned; bumped by promotion.
+    epoch: u64,
     policy: FsyncPolicy,
     unsynced_commits: u32,
     /// Highest sequence number known to have reached the device (the
@@ -558,12 +614,16 @@ impl WalWriter {
             file.sync_all()?;
         }
         file.seek(SeekFrom::Start(scan.valid_len))?;
-        let next_seq = scan.records.last().map(|(s, _)| s + 1).unwrap_or(1);
+        let next_seq = scan.records.last().map(|(s, _, _)| s + 1).unwrap_or(1);
+        // Resume at the highest epoch the surviving log carries so a
+        // restarted node never stamps records below its own history.
+        let epoch = scan.records.iter().map(|&(_, e, _)| e).max().unwrap_or(0);
         let writer = WalWriter {
             file,
             buf: Vec::new(),
             scratch: Vec::new(),
             next_seq,
+            epoch,
             policy,
             unsynced_commits: 0,
             durable_seq: next_seq - 1,
@@ -588,20 +648,56 @@ impl WalWriter {
         self.durable_seq = self.durable_seq.max(self.next_seq - 1);
     }
 
+    /// The epoch stamped into appended records.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Sets the epoch stamped into subsequent records. Epochs only move
+    /// forward — a lower value is ignored (fencing must never regress).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = self.epoch.max(epoch);
+    }
+
     /// Stages one record in the group-commit buffer; returns its
     /// sequence number. Not durable until [`commit`](Self::commit).
     pub fn append(&mut self, op: &WalOp) -> u64 {
         let seq = self.next_seq;
-        self.next_seq += 1;
+        let epoch = self.epoch;
+        self.append_record(seq, epoch, op);
+        seq
+    }
+
+    /// Stages one record with an explicit sequence number and epoch — a
+    /// replica mirroring its primary's log verbatim, so a promoted
+    /// follower's WAL is indistinguishable from the primary's prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is below the writer's next sequence number (the
+    /// log would no longer scan as strictly increasing).
+    pub fn append_at(&mut self, seq: u64, epoch: u64, op: &WalOp) {
+        assert!(
+            seq >= self.next_seq,
+            "append_at would rewind the log: seq {seq} < next {}",
+            self.next_seq
+        );
+        self.set_epoch(epoch);
+        self.append_record(seq, epoch, op);
+    }
+
+    fn append_record(&mut self, seq: u64, epoch: u64, op: &WalOp) {
+        self.next_seq = seq + 1;
         self.scratch.clear();
         put_u64(&mut self.scratch, seq);
+        put_u8(&mut self.scratch, EPOCH_MARKER);
+        put_u64(&mut self.scratch, epoch);
         op.encode_into(&mut self.scratch);
         debug_assert!(self.scratch.len() <= MAX_RECORD);
         put_u32(&mut self.buf, self.scratch.len() as u32);
         put_u32(&mut self.buf, crc32(&self.scratch));
         self.buf.extend_from_slice(&self.scratch);
         self.records += 1;
-        seq
     }
 
     /// Hands all staged records to the kernel in one `write`.
@@ -827,9 +923,10 @@ mod tests {
         }
         let (w, scan) = WalWriter::open(&path, FsyncPolicy::Always).unwrap();
         assert_eq!(scan.tail, WalTail::Clean);
-        let replayed: Vec<WalOp> = scan.records.iter().map(|(_, op)| op.clone()).collect();
+        let replayed: Vec<WalOp> = scan.records.iter().map(|(_, _, op)| op.clone()).collect();
         assert_eq!(replayed, ops);
-        let seqs: Vec<u64> = scan.records.iter().map(|&(s, _)| s).collect();
+        assert!(scan.records.iter().all(|&(_, e, _)| e == 0));
+        let seqs: Vec<u64> = scan.records.iter().map(|&(s, _, _)| s).collect();
         assert_eq!(seqs, (1..=ops.len() as u64).collect::<Vec<u64>>());
         assert_eq!(w.next_seq(), ops.len() as u64 + 1);
         std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
@@ -932,6 +1029,80 @@ mod tests {
         assert_eq!(w.durable_seq(), 5);
         assert_eq!(w.unsynced_records(), 0);
         std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn legacy_v1_records_replay_with_epoch_zero() {
+        // Hand-encode the pre-epoch payload layout [seq][op] and prove
+        // the scanner still accepts it (old WALs must replay).
+        let mut bytes = Vec::new();
+        let mut payload = Vec::new();
+        for (i, op) in sample_ops().iter().enumerate() {
+            payload.clear();
+            put_u64(&mut payload, i as u64 + 1);
+            op.encode_into(&mut payload);
+            put_u32(&mut bytes, payload.len() as u32);
+            put_u32(&mut bytes, crc32(&payload));
+            bytes.extend_from_slice(&payload);
+        }
+        let scan = scan(&bytes);
+        assert_eq!(scan.tail, WalTail::Clean);
+        assert_eq!(scan.records.len(), sample_ops().len());
+        assert!(scan.records.iter().all(|&(_, e, _)| e == 0));
+        let replayed: Vec<WalOp> = scan.records.iter().map(|(_, _, op)| op.clone()).collect();
+        assert_eq!(replayed, sample_ops());
+    }
+
+    #[test]
+    fn epoch_stamp_survives_reopen_and_never_regresses() {
+        let path = tmp("epoch");
+        {
+            let (mut w, _) = WalWriter::open(&path, FsyncPolicy::Always).unwrap();
+            w.append(&WalOp::Close { session: 1 });
+            w.commit().unwrap();
+            w.set_epoch(3);
+            w.append(&WalOp::Close { session: 2 });
+            w.commit().unwrap();
+            // Lower epochs are ignored: fencing must not regress.
+            w.set_epoch(1);
+            assert_eq!(w.epoch(), 3);
+            w.append(&WalOp::Close { session: 3 });
+            w.commit().unwrap();
+        }
+        let (w, scan) = WalWriter::open(&path, FsyncPolicy::Always).unwrap();
+        let epochs: Vec<u64> = scan.records.iter().map(|&(_, e, _)| e).collect();
+        assert_eq!(epochs, vec![0, 3, 3]);
+        assert_eq!(w.epoch(), 3, "reopen resumes at the highest logged epoch");
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn append_at_mirrors_primary_seqs_and_epochs() {
+        let path = tmp("mirror");
+        let (mut w, _) = WalWriter::open(&path, FsyncPolicy::Always).unwrap();
+        let op = WalOp::Close { session: 9 };
+        // A follower applies a segment that starts past seq 1 (records
+        // below the checkpoint floor were never streamed).
+        w.append_at(5, 2, &op);
+        w.append_at(6, 2, &op);
+        w.append_at(9, 3, &op);
+        w.commit().unwrap();
+        let (w2, scan) = WalWriter::open(&path, FsyncPolicy::Always).unwrap();
+        let keys: Vec<(u64, u64)> = scan.records.iter().map(|&(s, e, _)| (s, e)).collect();
+        assert_eq!(keys, vec![(5, 2), (6, 2), (9, 3)]);
+        assert_eq!(w2.next_seq(), 10);
+        assert_eq!(w.epoch(), 3);
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "append_at would rewind the log")]
+    fn append_at_rejects_rewinds() {
+        let path = tmp("rewind");
+        let (mut w, _) = WalWriter::open(&path, FsyncPolicy::Os).unwrap();
+        let op = WalOp::Close { session: 1 };
+        w.append_at(4, 1, &op);
+        w.append_at(3, 1, &op);
     }
 
     #[test]

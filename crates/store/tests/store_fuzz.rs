@@ -74,6 +74,7 @@ fn sample_checkpoint() -> ShardCheckpoint {
         shard: 2,
         last_seq: 40,
         next_session: 9,
+        epoch: 3,
         counters: ShardCounters {
             events: 123,
             batches: 17,
@@ -84,7 +85,43 @@ fn sample_checkpoint() -> ShardCheckpoint {
     }
 }
 
+/// Encodes `sample_wal_ops` in the **legacy v1** payload layout
+/// (`[seq][op]`, no epoch stamp) — the pre-replication format, kept as
+/// the proof that old WALs still replay.
 fn sample_wal_stream() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let mut payload = Vec::new();
+    for (i, op) in sample_wal_ops().iter().enumerate() {
+        payload.clear();
+        payload.extend_from_slice(&(i as u64 + 1).to_le_bytes());
+        op.encode_into(&mut payload);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&deltaos_store::crc::crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+    }
+    bytes
+}
+
+/// Encodes `sample_wal_ops` in the **epoch-stamped v2** payload layout
+/// (`[seq][0xE5][epoch][op]`), epochs stepping mid-stream the way a
+/// promotion would.
+fn sample_wal_stream_v2() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let mut payload = Vec::new();
+    for (i, op) in sample_wal_ops().iter().enumerate() {
+        payload.clear();
+        payload.extend_from_slice(&(i as u64 + 1).to_le_bytes());
+        payload.push(deltaos_store::EPOCH_MARKER);
+        payload.extend_from_slice(&(if i >= 5 { 2u64 } else { 1u64 }).to_le_bytes());
+        op.encode_into(&mut payload);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&deltaos_store::crc::crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+    }
+    bytes
+}
+
+fn sample_wal_ops() -> Vec<WalOp> {
     let ops = [
         WalOp::Open {
             session: 0,
@@ -154,17 +191,7 @@ fn sample_wal_stream() -> Vec<u8> {
         },
         WalOp::Close { session: 0 },
     ];
-    let mut bytes = Vec::new();
-    let mut payload = Vec::new();
-    for (i, op) in ops.iter().enumerate() {
-        payload.clear();
-        payload.extend_from_slice(&(i as u64 + 1).to_le_bytes());
-        op.encode_into(&mut payload);
-        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        bytes.extend_from_slice(&deltaos_store::crc::crc32(&payload).to_le_bytes());
-        bytes.extend_from_slice(&payload);
-    }
-    bytes
+    ops.to_vec()
 }
 
 /// Every split point of a valid WAL stream scans cleanly: the valid
@@ -172,42 +199,80 @@ fn sample_wal_stream() -> Vec<u8> {
 /// a torn tail, and a re-scan of the valid prefix is clean.
 #[test]
 fn wal_every_truncation_yields_a_valid_prefix() {
-    let bytes = sample_wal_stream();
-    let full = scan(&bytes);
-    assert_eq!(full.records.len(), 10);
-    assert_eq!(full.tail, WalTail::Clean);
-    for cut in 0..bytes.len() {
-        let s = scan(&bytes[..cut]);
-        assert!(s.valid_len <= cut as u64, "cut {cut}");
-        assert!(s.records.len() <= full.records.len());
-        // The surviving records are a strict prefix of the originals.
-        for (got, want) in s.records.iter().zip(full.records.iter()) {
-            assert_eq!(got, want, "cut {cut}");
+    for bytes in [sample_wal_stream(), sample_wal_stream_v2()] {
+        let full = scan(&bytes);
+        assert_eq!(full.records.len(), 10);
+        assert_eq!(full.tail, WalTail::Clean);
+        for cut in 0..bytes.len() {
+            let s = scan(&bytes[..cut]);
+            assert!(s.valid_len <= cut as u64, "cut {cut}");
+            assert!(s.records.len() <= full.records.len());
+            // The surviving records are a strict prefix of the originals.
+            for (got, want) in s.records.iter().zip(full.records.iter()) {
+                assert_eq!(got, want, "cut {cut}");
+            }
+            let rescan = scan(&bytes[..s.valid_len as usize]);
+            assert_eq!(rescan.tail, WalTail::Clean, "cut {cut}");
+            assert_eq!(rescan.records.len(), s.records.len(), "cut {cut}");
         }
-        let rescan = scan(&bytes[..s.valid_len as usize]);
-        assert_eq!(rescan.tail, WalTail::Clean, "cut {cut}");
-        assert_eq!(rescan.records.len(), s.records.len(), "cut {cut}");
     }
+}
+
+/// Legacy v1 records (no epoch stamp) replay as epoch 0; v2 records
+/// carry their stamped epochs; a v1 prefix continued by a v2 suffix —
+/// exactly what an upgraded node's WAL looks like — scans as one clean
+/// stream.
+#[test]
+fn wal_record_format_versions_interoperate() {
+    let v1 = scan(&sample_wal_stream());
+    assert!(v1.records.iter().all(|&(_, e, _)| e == 0));
+    let v2 = scan(&sample_wal_stream_v2());
+    let epochs: Vec<u64> = v2.records.iter().map(|&(_, e, _)| e).collect();
+    assert_eq!(epochs, vec![1, 1, 1, 1, 1, 2, 2, 2, 2, 2]);
+    assert_eq!(
+        v1.records.iter().map(|(_, _, op)| op).collect::<Vec<_>>(),
+        v2.records.iter().map(|(_, _, op)| op).collect::<Vec<_>>(),
+        "the op payloads are format-independent"
+    );
+    // v1 prefix + v2 suffix with continuing seqs.
+    let mut mixed = sample_wal_stream();
+    let mut payload = Vec::new();
+    for (i, op) in sample_wal_ops().iter().enumerate() {
+        payload.clear();
+        payload.extend_from_slice(&(i as u64 + 11).to_le_bytes());
+        payload.push(deltaos_store::EPOCH_MARKER);
+        payload.extend_from_slice(&3u64.to_le_bytes());
+        op.encode_into(&mut payload);
+        mixed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        mixed.extend_from_slice(&deltaos_store::crc::crc32(&payload).to_le_bytes());
+        mixed.extend_from_slice(&payload);
+    }
+    let s = scan(&mixed);
+    assert_eq!(s.tail, WalTail::Clean);
+    assert_eq!(s.records.len(), 20);
+    assert!(s.records[..10].iter().all(|&(_, e, _)| e == 0));
+    assert!(s.records[10..].iter().all(|&(_, e, _)| e == 3));
 }
 
 /// Random multi-byte mutations of a valid WAL stream never panic the
 /// scanner, and whatever it accepts is internally consistent.
 #[test]
 fn wal_mutations_never_panic() {
-    let bytes = sample_wal_stream();
     let mut rng = StdRng::seed_from_u64(0x5709E);
-    for _ in 0..2000 {
-        let mut m = bytes.clone();
-        for _ in 0..rng.gen_range(1..6u32) {
-            let i = rng.gen_range(0..m.len());
-            m[i] ^= 1 << rng.gen_range(0..8u32);
-        }
-        let s = scan(&m);
-        assert!(s.valid_len <= m.len() as u64);
-        let mut prev = 0u64;
-        for &(seq, _) in &s.records {
-            assert!(seq > prev, "sequence numbers stay strictly increasing");
-            prev = seq;
+    for bytes in [sample_wal_stream(), sample_wal_stream_v2()] {
+        for _ in 0..2000 {
+            let mut m = bytes.clone();
+            for _ in 0..rng.gen_range(1..6u32) {
+                let i = rng.gen_range(0..m.len());
+                m[i] ^= 1 << rng.gen_range(0..8u32);
+            }
+            let s = scan(&m);
+            assert!(s.valid_len <= m.len() as u64);
+            let mut prev = 0u64;
+            for &(seq, _, _) in &s.records {
+                assert!(seq > prev, "sequence numbers stay strictly increasing");
+                prev = seq;
+            }
         }
     }
     // Pure garbage too.

@@ -23,6 +23,10 @@
 //! * [`service`] — sharded multi-session deadlock detection/avoidance
 //!   service: session-per-RAG incremental engines behind bounded worker
 //!   queues, an in-process client and a length-prefixed TCP protocol.
+//! * [`cluster`] — the multi-process layer over [`service`]: a
+//!   consistent-hash front-end routing sessions across N service
+//!   processes, live session migration, and failover onto WAL-streaming
+//!   replicas.
 //! * [`framework`] — the δ framework: configuration, RTOS1–RTOS7 presets,
 //!   system generation and design-space exploration.
 //!
@@ -44,6 +48,7 @@
 //! ```
 
 pub use deltaos_apps as apps;
+pub use deltaos_cluster as cluster;
 pub use deltaos_core as core;
 pub use deltaos_framework as framework;
 pub use deltaos_hwunits as hwunits;
